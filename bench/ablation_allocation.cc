@@ -1,0 +1,125 @@
+// Ablation: FPR-allocation variants at the same memory budget.
+//
+//   uniform     — the state of the art (same bits/entry everywhere);
+//   simplified  — Eqs. 5/6 (the paper's large-L approximations);
+//   exact       — Eqs. 17/18 with deep-level saturation;
+//   numeric     — the generalized geometry solver;
+//   autotuned   — Appendix C's iterative Algorithm 1 on the capacity runs.
+//
+// All variants are evaluated with the model's Eq. 3 lookup cost over the
+// same capacity geometry, so differences isolate the allocation itself.
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bloom/bloom_math.h"
+#include "monkey/fpr_allocator.h"
+
+using namespace monkeydb;
+using namespace monkeydb::monkey;
+
+namespace {
+
+// Memory consumed by per-level per-run FPRs over a geometry.
+double MemoryUsed(const std::vector<LevelGeometry>& geometry,
+                  const FprVector& fprs) {
+  double memory = 0;
+  for (size_t i = 0; i < geometry.size(); i++) {
+    memory += -geometry[i].entries * std::log(fprs[i]) /
+              bloom::kLn2Squared;
+  }
+  return memory;
+}
+
+// The paper's simplified forms (Eqs. 5/6): p_i = R'(T-1)/T^{Lf+1-i}
+// (leveling) — implemented by deriving R from the memory-driven closed
+// form, then applying the large-L profile without the (T^Lf - 1)
+// normalization.
+FprVector SimplifiedFprs(MergePolicy policy, double t, int levels,
+                         double n, double budget) {
+  FprVector exact = OptimalFprsForMemory(policy, t, levels, n, budget);
+  double r = LookupCostForFprs(policy, t, exact);
+  FprVector fprs(levels, 1.0);
+  for (int i = 1; i <= levels; i++) {
+    double p;
+    if (policy == MergePolicy::kTiering) {
+      p = r / std::pow(t, levels + 1 - i);
+    } else {
+      p = r * (t - 1.0) / std::pow(t, levels + 1 - i);
+    }
+    fprs[i - 1] = std::min(1.0, std::max(p, 1e-12));
+  }
+  return fprs;
+}
+
+}  // namespace
+
+int main() {
+  const double n = 1e8;
+  const double t = 4.0;
+  const int levels = 7;
+  const double budget = 5.0 * n;
+  const MergePolicy policy = MergePolicy::kLeveling;
+
+  const auto geometry = CapacityGeometry(policy, t, levels, n);
+
+  printf("Ablation: FPR allocation variants "
+         "(leveling, T=%.0f, L=%d, %.0f bits/entry)\n\n", t, levels,
+         budget / n);
+  printf("%-12s %16s %18s\n", "variant", "R (I/Os, Eq. 3)",
+         "memory used/budget");
+
+  // Uniform.
+  {
+    FprVector fprs(levels, bloom::FalsePositiveRate(budget / n));
+    printf("%-12s %16.6f %17.1f%%\n", "uniform",
+           LookupCostForGeometry(geometry, fprs),
+           MemoryUsed(geometry, fprs) / budget * 100);
+  }
+  // Simplified Eqs. 5/6.
+  {
+    FprVector fprs = SimplifiedFprs(policy, t, levels, n, budget);
+    printf("%-12s %16.6f %17.1f%%\n", "simplified",
+           LookupCostForGeometry(geometry, fprs),
+           MemoryUsed(geometry, fprs) / budget * 100);
+  }
+  // Exact closed form (Eqs. 17/18).
+  {
+    FprVector fprs = OptimalFprsForMemory(policy, t, levels, n, budget);
+    printf("%-12s %16.6f %17.1f%%\n", "exact",
+           LookupCostForGeometry(geometry, fprs),
+           MemoryUsed(geometry, fprs) / budget * 100);
+  }
+  // Numeric geometry solver.
+  {
+    FprVector fprs = OptimalFprsForGeometry(geometry, budget);
+    printf("%-12s %16.6f %17.1f%%\n", "numeric",
+           LookupCostForGeometry(geometry, fprs),
+           MemoryUsed(geometry, fprs) / budget * 100);
+  }
+  // Appendix C autotuner over the capacity runs.
+  {
+    std::vector<RunFilterInfo> runs(levels);
+    for (int i = 0; i < levels; i++) {
+      runs[i].entries =
+          static_cast<uint64_t>(geometry[i].entries / geometry[i].runs);
+    }
+    AutotuneFilters(budget, &runs);
+    FprVector fprs(levels, 1.0);
+    for (int i = 0; i < levels; i++) {
+      fprs[i] = runs[i].entries == 0
+                    ? 1.0
+                    : std::exp(-(runs[i].bits / runs[i].entries) *
+                               bloom::kLn2Squared);
+    }
+    printf("%-12s %16.6f %17.1f%%\n", "autotuned",
+           LookupCostForGeometry(geometry, fprs),
+           MemoryUsed(geometry, fprs) / budget * 100);
+  }
+
+  printf("\nExpected: uniform is several-fold worse; simplified, exact,\n"
+         "numeric, and autotuned agree to within a few percent — the\n"
+         "closed forms are accurate and Algorithm 1 converges to them.\n");
+  return 0;
+}

@@ -1,0 +1,115 @@
+// Ablation: WiscKey-style key-value separation (paper Sec. 6: compatible
+// with Monkey, "but it would require adapting the cost models to account
+// for (1) only merging keys, and (2) having to access the log during
+// lookups").
+//
+// Adapted models used here:
+//   W' = W * (key+handle bytes) / (entry bytes)   — merges move handles
+//   V' = V + 1                                    — one log read per hit
+//   R' = R                                        — zero-result unchanged
+// The engine measurement checks all three effects.
+
+#include <cstdio>
+
+#include "harness.h"
+#include "monkey/cost_model.h"
+
+using namespace monkeydb;
+using namespace monkeydb::bench;
+
+namespace {
+
+struct Measured {
+  double write_per_put;
+  double zero_lookup;
+  double hit_lookup;
+};
+
+Measured Run(size_t threshold, int value_size) {
+  auto base = NewMemEnv();
+  IoStats stats;
+  CountingEnv env(base.get(), &stats, kPageSize);
+  DbOptions options;
+  options.env = &env;
+  options.merge_policy = MergePolicy::kLeveling;
+  options.size_ratio = 2.0;
+  options.buffer_size_bytes = 64 << 10;
+  options.bits_per_entry = 8.0;
+  options.value_separation_threshold = threshold;
+  options.expected_entries = 30000;
+  options.fpr_policy = monkey::NewMonkeyFprPolicy();
+  std::unique_ptr<DB> db;
+  if (!DB::Open(options, "/db", &db).ok()) abort();
+  WriteOptions wo;
+  const std::string value(value_size, 'v');
+  for (int i = 0; i < 30000; i++) {
+    char key[24];
+    snprintf(key, sizeof(key), "user%012d", i);
+    if (!db->Put(wo, key, value).ok()) abort();
+  }
+  db->Flush().ok();
+
+  Measured m;
+  m.write_per_put =
+      static_cast<double>(stats.Snapshot().write_ios) / 30000;
+
+  Random rng(6);
+  std::string out;
+  auto before = stats.Snapshot();
+  for (int i = 0; i < 3000; i++) {
+    char key[28];
+    snprintf(key, sizeof(key), "user%012llux",
+             static_cast<unsigned long long>(rng.Uniform(30000)));
+    db->Get(ReadOptions(), key, &out).ok();
+  }
+  m.zero_lookup =
+      static_cast<double>((stats.Snapshot() - before).read_ios) / 3000;
+
+  before = stats.Snapshot();
+  for (int i = 0; i < 3000; i++) {
+    char key[24];
+    snprintf(key, sizeof(key), "user%012llu",
+             static_cast<unsigned long long>(rng.Uniform(30000)));
+    if (!db->Get(ReadOptions(), key, &out).ok()) abort();
+  }
+  m.hit_lookup =
+      static_cast<double>((stats.Snapshot() - before).read_ios) / 3000;
+  return m;
+}
+
+}  // namespace
+
+int main() {
+  printf("Ablation: key-value separation (leveling T=2, 8 bits/entry, "
+         "N=30000)\n\n");
+  printf("%12s %-11s | %16s %12s %12s\n", "value bytes", "mode",
+         "write I/O / put", "zero-R I/O", "hit V I/O");
+
+  for (int value_size : {256, 1024}) {
+    const Measured inline_mode = Run(0, value_size);
+    const Measured separated = Run(128, value_size);
+    printf("%12d %-11s | %16.4f %12.4f %12.4f\n", value_size, "inline",
+           inline_mode.write_per_put, inline_mode.zero_lookup,
+           inline_mode.hit_lookup);
+    printf("%12d %-11s | %16.4f %12.4f %12.4f\n", value_size, "separated",
+           separated.write_per_put, separated.zero_lookup,
+           separated.hit_lookup);
+
+    // Adapted model: merge traffic scales by the (key+handle)/entry share;
+    // each value additionally pays its own one-time sequential log append
+    // of value_bytes/page I/Os.
+    const double key_handle_share = (16.0 + 8.0) / (16.0 + value_size);
+    const double log_append_ios =
+        static_cast<double>(value_size + 8) / kPageSize;
+    const double predicted =
+        inline_mode.write_per_put * key_handle_share + log_append_ios;
+    printf("%12s %-11s |  (adapted model predicts ~%.4f write I/O / put; "
+           "measured %.4f)\n",
+           "", "", predicted, separated.write_per_put);
+  }
+  printf("\nExpected: separation slashes per-put write I/O toward the\n"
+         "value/entry ratio floor (the log append itself is sequential and\n"
+         "written once), leaves zero-result lookups unchanged, and adds\n"
+         "~1 I/O to each non-zero-result lookup (V' = V + 1).\n");
+  return 0;
+}

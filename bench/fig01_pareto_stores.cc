@@ -1,0 +1,50 @@
+// Figure 1: state-of-the-art stores sit off the Pareto curve.
+//
+// Positions each named store's default tuning (uniform filters) in the
+// (update cost, lookup cost) plane, prints the Monkey lookup cost at the
+// same (policy, T, memory) — the Pareto curve point directly below it —
+// and the Pareto curve itself.
+
+#include <cstdio>
+
+#include "monkey/design_space.h"
+
+using namespace monkeydb;
+using namespace monkeydb::monkey;
+
+int main() {
+  // A common environment for all stores: 100 M entries of 128 B, the
+  // paper's "typical in practice" entry size, 10 bits/entry of filters.
+  Environment env;
+  env.num_entries = 1e8;
+  env.entry_size_bits = 128 * 8;
+  env.page_bits = 4096.0 * 8;
+
+  printf("Figure 1: state-of-the-art key-value stores vs the Pareto curve\n");
+  printf("(lookup cost R in I/Os, update cost W in I/Os; lower-left is "
+         "better)\n\n");
+  printf("%-12s %-9s %5s %9s %14s %16s\n", "store", "policy", "T",
+         "W (I/O)", "R_store (I/O)", "R_pareto (I/O)");
+  for (const StoreConfig& store : StateOfTheArtStores()) {
+    const CurvePoint p = EvaluateStore(store, env);
+    printf("%-12s %-9s %5.0f %9.4f %14.4f %16.4f\n", store.name.c_str(),
+           store.policy == MergePolicy::kLeveling ? "leveling" : "tiering",
+           store.size_ratio, p.update_cost, p.baseline_lookup_cost,
+           p.lookup_cost);
+  }
+
+  printf("\nPareto curve (Monkey allocation, 10 bits/entry, buffer 64 MB):\n");
+  printf("%-9s %5s %9s %14s\n", "policy", "T", "W (I/O)", "R (I/O)");
+  DesignPoint base;
+  base.num_entries = env.num_entries;
+  base.entry_size_bits = env.entry_size_bits;
+  base.buffer_bits = 64.0 * (1 << 20) * 8;
+  base.filter_bits = 10.0 * env.num_entries;
+  base.entries_per_page = env.page_bits / env.entry_size_bits;
+  for (const CurvePoint& p : SweepDesignSpace(base, 16.0, 2.0)) {
+    printf("%-9s %5.0f %9.4f %14.6f\n",
+           p.policy == MergePolicy::kLeveling ? "leveling" : "tiering",
+           p.size_ratio, p.update_cost, p.lookup_cost);
+  }
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Figure 4: the LSM-tree design space spans a continuum from a
+// write-optimized log (tiering, T -> T_lim) to a read-optimized sorted
+// array (leveling, T -> T_lim).
+//
+// Prints lookup cost vs update cost for both merge policies across size
+// ratios, using the uniform-filter baseline models (Fig. 4 predates the
+// Monkey allocation).
+
+#include <algorithm>
+#include <cstdio>
+
+#include "monkey/cost_model.h"
+
+using namespace monkeydb;
+using namespace monkeydb::monkey;
+
+int main() {
+  DesignPoint d;
+  d.num_entries = 1e8;
+  d.entry_size_bits = 128 * 8;
+  d.buffer_bits = 2.0 * (1 << 20) * 8;
+  d.filter_bits = 10.0 * d.num_entries;
+  d.entries_per_page = 4096.0 * 8 / d.entry_size_bits;
+
+  const double t_lim = SizeRatioLimit(d);
+  printf("Figure 4: LSM-tree design space, log <-> sorted array\n");
+  printf("(uniform filters; T_lim = %.0f)\n\n", t_lim);
+  printf("%-9s %10s %5s %12s %12s %8s\n", "policy", "T", "L", "R (I/O)",
+         "W (I/O)", "note");
+
+  for (MergePolicy policy :
+       {MergePolicy::kTiering, MergePolicy::kLeveling}) {
+    const char* policy_name =
+        policy == MergePolicy::kLeveling ? "leveling" : "tiering";
+    for (double t : {2.0, 4.0, 8.0, 16.0, 64.0, 1024.0, t_lim}) {
+      const double ratio = std::min(t, t_lim);
+      DesignPoint p = d;
+      p.policy = policy;
+      p.size_ratio = ratio;
+      const char* note = "";
+      if (ratio >= t_lim && policy == MergePolicy::kTiering) {
+        note = "≈ log";
+      } else if (ratio >= t_lim) {
+        note = "≈ sorted array";
+      }
+      printf("%-9s %10.0f %5d %12.4f %12.6f %8s\n", policy_name, ratio,
+             NumLevels(p), BaselineZeroResultLookupCost(p), UpdateCost(p),
+             note);
+      if (ratio >= t_lim) break;
+    }
+  }
+
+  printf("\nShape checks (paper Sec. 3):\n");
+  DesignPoint lev2 = d, tier2 = d;
+  lev2.policy = MergePolicy::kLeveling;
+  tier2.policy = MergePolicy::kTiering;
+  lev2.size_ratio = tier2.size_ratio = 2.0;
+  printf("  T=2: leveling R==tiering R?  %.6f vs %.6f\n",
+         BaselineZeroResultLookupCost(lev2),
+         BaselineZeroResultLookupCost(tier2));
+  printf("  T=2: leveling W==tiering W?  %.6f vs %.6f\n", UpdateCost(lev2),
+         UpdateCost(tier2));
+  return 0;
+}

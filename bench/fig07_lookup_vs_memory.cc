@@ -1,0 +1,46 @@
+// Figure 7: Monkey dominates the state of the art in lookup cost R for all
+// values of M_filters.
+//
+// Reproduces the paper's configuration: N = 2^35 entries, E = 16 bytes,
+// T = 4, buffer 2 MB, M_filters swept from 0 to 35 GB; prints R for the
+// uniform baseline (Eq. 26) and Monkey (Eqs. 7/8), for both policies.
+
+#include <cstdio>
+
+#include "monkey/cost_model.h"
+
+using namespace monkeydb;
+using namespace monkeydb::monkey;
+
+int main() {
+  DesignPoint d;
+  d.size_ratio = 4.0;
+  d.num_entries = 34359738368.0;  // 2^35.
+  d.entry_size_bits = 16 * 8;
+  d.buffer_bits = 2.0 * (1 << 20) * 8;
+  d.entries_per_page = 4096.0 * 8 / d.entry_size_bits;
+
+  printf("Figure 7: zero-result lookup cost R vs filter memory "
+         "(N=2^35, E=16B, T=4, buffer=2MB)\n");
+  printf("M_threshold = %.2f GB\n\n",
+         MemoryThreshold(d) / 8.0 / (1 << 30));
+
+  for (MergePolicy policy :
+       {MergePolicy::kLeveling, MergePolicy::kTiering}) {
+    d.policy = policy;
+    printf("--- %s ---\n",
+           policy == MergePolicy::kLeveling ? "leveling" : "tiering");
+    printf("%12s %12s %14s %14s %6s\n", "Mf (GB)", "bits/entry",
+           "R state-of-art", "R Monkey", "L_unf");
+    for (double gb : {0.0, 0.5, 1.0, 2.0, 4.0, 6.0, 8.0, 12.0, 16.0, 20.0,
+                      25.0, 30.0, 35.0}) {
+      d.filter_bits = gb * (1 << 30) * 8.0;
+      printf("%12.1f %12.3f %14.5f %14.5f %6d\n", gb,
+             d.filter_bits / d.num_entries,
+             BaselineZeroResultLookupCost(d), ZeroResultLookupCost(d),
+             UnfilteredLevels(d));
+    }
+    printf("\n");
+  }
+  return 0;
+}

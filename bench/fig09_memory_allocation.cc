@@ -1,0 +1,52 @@
+// Figure 9: lookup cost (top) and update cost (bottom) as the buffer/filter
+// memory split varies. Monkey removes the dependence of lookup cost on the
+// buffer size; the baseline's filters can actively HURT lookups when the
+// memory would be better spent on the buffer.
+
+#include <cstdio>
+
+#include "monkey/cost_model.h"
+
+using namespace monkeydb;
+using namespace monkeydb::monkey;
+
+int main() {
+  // Total memory M to split between buffer and filters.
+  const double n = 1e8;
+  const double entry_bits = 128 * 8;
+  const double m_total = 16.0 * n;  // 16 bits/entry overall.
+  const double page_bits = 4096.0 * 8;
+
+  printf("Figure 9: cost vs main-memory allocation "
+         "(M = %.0f bits = %.1f bits/entry)\n\n",
+         m_total, m_total / n);
+  printf("%16s %12s %14s %12s %12s\n", "M_buffer", "(share)",
+         "R baseline", "R Monkey", "W (I/O)");
+
+  // Sweep M_buffer from one disk page to all of M (log-scale, Fig. 9).
+  for (double share = page_bits / m_total; share <= 1.0; share *= 4) {
+    DesignPoint d;
+    d.policy = MergePolicy::kLeveling;
+    d.size_ratio = 4.0;
+    d.num_entries = n;
+    d.entry_size_bits = entry_bits;
+    d.buffer_bits = std::max(page_bits, m_total * share);
+    d.filter_bits = m_total - d.buffer_bits;
+    if (d.filter_bits < 0) d.filter_bits = 0;
+    d.entries_per_page = page_bits / entry_bits;
+
+    char label[32];
+    snprintf(label, sizeof(label), "%.0f KB",
+             d.buffer_bits / 8.0 / 1024.0);
+    printf("%16s %11.4f%% %14.6f %12.6f %12.6f\n", label, share * 100.0,
+           BaselineZeroResultLookupCost(d), ZeroResultLookupCost(d),
+           UpdateCost(d));
+  }
+
+  printf("\nReadout: Monkey's R stays flat while the buffer share is small\n"
+         "(lookup cost independent of M_buffer, Sec. 4.3); the baseline's R\n"
+         "first falls as the buffer grows (fewer levels), showing its filters\n"
+         "were mis-allocated. W falls with the buffer throughout, with\n"
+         "diminishing returns — the 'sweet spot' of Sec. 4.4.\n");
+  return 0;
+}

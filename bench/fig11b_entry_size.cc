@@ -1,0 +1,61 @@
+// Figure 11(B): lookup cost vs entry size at a fixed number of entries.
+//
+// Larger entries -> more levels for the same N (the tree is sized by bytes)
+// -> the uniform baseline's lookup cost grows while Monkey's stays flat.
+
+#include <cstdio>
+
+#include <algorithm>
+
+#include "harness.h"
+
+using namespace monkeydb;
+using namespace monkeydb::bench;
+
+int main() {
+  printf("Figure 11(B): zero-result lookup cost vs entry size "
+         "(N=60000, T=2 leveling, 5 bits/entry)\n\n");
+  printf("%12s %8s | %13s %10s | %13s %10s | %8s\n", "entry bytes",
+         "levels", "uniform I/O", "bits/key", "monkey I/O", "bits/key",
+         "gain");
+
+  for (int value_size : {16, 48, 112, 240, 496}) {
+    // Average over three nearby fill sizes: a single snapshot can land
+    // right at a level-transition boundary, which makes one tree state
+    // unrepresentative (the paper's much larger fills average this out).
+    double u_io = 0, m_io = 0, u_bits = 0, m_bits = 0;
+    int levels = 0;
+    const int kFills = 3;
+    for (int f = 0; f < kFills; f++) {
+      FillSpec spec;
+      spec.num_keys = 54000 + f * 6000;
+      spec.value_size = value_size;
+      spec.bits_per_entry = 5.0;
+      spec.buffer_bytes = 64 << 10;
+
+      spec.monkey_filters = false;
+      TestDb uniform = Fill(spec);
+      spec.monkey_filters = true;
+      TestDb monkey = Fill(spec);
+
+      u_io += MeasureZeroResultLookups(&uniform, 8000).ios_per_lookup;
+      m_io += MeasureZeroResultLookups(&monkey, 8000).ios_per_lookup;
+      const DbStats us = uniform.db->GetStats();
+      const DbStats ms = monkey.db->GetStats();
+      u_bits += static_cast<double>(us.filter_bits_total) /
+                us.total_disk_entries;
+      m_bits += static_cast<double>(ms.filter_bits_total) /
+                ms.total_disk_entries;
+      levels = std::max(levels, us.deepest_level);
+    }
+    u_io /= kFills;
+    m_io /= kFills;
+    u_bits /= kFills;
+    m_bits /= kFills;
+    const double gain = u_io > 0 ? (u_io - m_io) / u_io : 0;
+    printf("%12d %8d | %13.4f %10.2f | %13.4f %10.2f | %7.1f%%\n",
+           value_size + 16, levels, u_io, u_bits, m_io, m_bits,
+           gain * 100.0);
+  }
+  return 0;
+}

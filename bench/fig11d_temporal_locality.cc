@@ -1,0 +1,43 @@
+// Figure 11(D): non-zero-result lookup cost vs temporal locality.
+//
+// Coefficient c: the c-fraction of most recently updated entries receives
+// (1-c) of the lookups. Both designs pay >= 1 I/O for the target page; the
+// delta above 1.0 is false positives, which Monkey nearly eliminates
+// (~30% latency win in the paper).
+
+#include <cstdio>
+
+#include "harness.h"
+
+using namespace monkeydb;
+using namespace monkeydb::bench;
+
+int main() {
+  printf("Figure 11(D): non-zero-result lookup cost vs temporal locality\n");
+  printf("(N=120000, T=2 leveling, 5 bits/entry; 1.0 I/O = the mandatory "
+         "target read)\n\n");
+  printf("%6s | %13s | %13s\n", "c", "uniform I/O", "monkey I/O");
+
+  FillSpec spec;
+  spec.num_keys = 120000;
+  spec.bits_per_entry = 5.0;
+  spec.buffer_bytes = 64 << 10;
+
+  spec.monkey_filters = false;
+  TestDb uniform = Fill(spec);
+  spec.monkey_filters = true;
+  TestDb monkey = Fill(spec);
+
+  for (double c : {0.0, 0.1, 0.3, 0.5, 0.7, 0.9, 1.0}) {
+    const LookupResult u =
+        MeasureNonZeroResultLookups(&uniform, 6000, c, 100 + c * 10);
+    const LookupResult m =
+        MeasureNonZeroResultLookups(&monkey, 6000, c, 100 + c * 10);
+    printf("%6.1f | %13.4f | %13.4f\n", c, u.ios_per_lookup,
+           m.ios_per_lookup);
+  }
+  printf("\nExpected shape: both curves are largely insensitive to c (even\n"
+         "recent entries sit below several levels); Monkey's sits closer\n"
+         "to the 1.0 floor because its shallow-level FPRs are tiny.\n");
+  return 0;
+}

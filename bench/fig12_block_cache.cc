@@ -1,0 +1,56 @@
+// Figure 12 (Appendix F): Monkey with a block cache of 0% / 20% / 40% of
+// the data volume, under non-zero-result lookups of varying temporal
+// locality. Monkey keeps its advantage; at high locality both converge as
+// the cache absorbs the hot set.
+
+#include <cstdio>
+
+#include "harness.h"
+
+using namespace monkeydb;
+using namespace monkeydb::bench;
+
+int main() {
+  const int n = 100000;
+  const size_t data_bytes = static_cast<size_t>(n) * 64;
+
+  printf("Figure 12: non-zero-result lookups with a block cache "
+         "(N=%d, T=2 leveling, 5 bits/entry)\n\n", n);
+
+  for (double cache_frac : {0.0, 0.2, 0.4}) {
+    const size_t cache_bytes =
+        static_cast<size_t>(cache_frac * data_bytes);
+    printf("--- cache = %.0f%% of data (%zu KB) ---\n", cache_frac * 100,
+           cache_bytes >> 10);
+    printf("%6s | %13s | %13s\n", "c", "uniform I/O", "monkey I/O");
+
+    FillSpec spec;
+    spec.num_keys = n;
+    spec.bits_per_entry = 5.0;
+    spec.buffer_bytes = 64 << 10;
+    spec.block_cache_bytes = cache_bytes;
+
+    spec.monkey_filters = false;
+    TestDb uniform = Fill(spec);
+    spec.monkey_filters = true;
+    TestDb monkey = Fill(spec);
+
+    for (double c : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+      // Warm-up pass fills the cache with the workload's hot blocks.
+      MeasureNonZeroResultLookups(&uniform, 6000, c, 900);
+      MeasureNonZeroResultLookups(&monkey, 6000, c, 900);
+      // Measured pass.
+      const LookupResult u =
+          MeasureNonZeroResultLookups(&uniform, 6000, c, 901);
+      const LookupResult m =
+          MeasureNonZeroResultLookups(&monkey, 6000, c, 901);
+      printf("%6.1f | %13.4f | %13.4f\n", c, u.ios_per_lookup,
+             m.ios_per_lookup);
+    }
+    printf("\n");
+  }
+  printf("Expected shape: with no cache, Monkey wins at every locality; "
+         "with a\ncache, high-c rows converge toward 0 I/O for both while "
+         "Monkey keeps a\nmargin at low/medium locality (Appendix F).\n");
+  return 0;
+}

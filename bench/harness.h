@@ -1,0 +1,178 @@
+// Shared helpers for the per-figure benchmark binaries.
+//
+// Engine-based figures load an instrumented DB (CountingEnv over MemEnv),
+// run the paper's workloads, and report disk I/Os per operation and the
+// simulated latency those I/Os imply on the paper's hardware (HDD: 10 ms
+// per page read).
+
+#ifndef MONKEYDB_BENCH_HARNESS_H_
+#define MONKEYDB_BENCH_HARNESS_H_
+
+#include <cstdio>
+#include <numeric>
+#include <vector>
+#include <memory>
+#include <string>
+
+#include "io/counting_env.h"
+#include "io/env.h"
+#include "lsm/db.h"
+#include "monkey/monkey_db.h"
+#include "util/random.h"
+
+namespace monkeydb {
+namespace bench {
+
+constexpr size_t kPageSize = 4096;
+
+// An instrumented database with everything it needs kept alive.
+struct TestDb {
+  std::unique_ptr<Env> base_env;
+  std::unique_ptr<IoStats> stats;
+  std::unique_ptr<CountingEnv> env;
+  std::unique_ptr<BlockCache> cache;
+  std::unique_ptr<DB> db;
+  int num_keys = 0;
+  int value_size = 0;
+  std::vector<uint64_t> insertion_order;  // insertion_order[i] = i-th key.
+};
+
+struct FillSpec {
+  int num_keys = 100000;
+  int value_size = 48;  // Key adds 16 bytes.
+  MergePolicy policy = MergePolicy::kLeveling;
+  double size_ratio = 2.0;
+  size_t buffer_bytes = 64 << 10;
+  double bits_per_entry = 5.0;
+  bool monkey_filters = false;
+  size_t block_cache_bytes = 0;
+};
+
+inline std::string MakeKey(uint64_t i) {
+  char buf[32];
+  snprintf(buf, sizeof(buf), "user%012llu",
+           static_cast<unsigned long long>(i));
+  return buf;
+}
+
+// A key guaranteed absent but inside the key range (so fence pointers do
+// not short-circuit the lookup; only Bloom filters can).
+inline std::string MakeMissingKey(uint64_t i) { return MakeKey(i) + "x"; }
+
+// Loads num_keys unique keys (the paper's worst-case update pattern:
+// uniformly random insert order, no early duplicate elimination).
+inline TestDb Fill(const FillSpec& spec) {
+  TestDb t;
+  t.base_env = NewMemEnv();
+  t.stats = std::make_unique<IoStats>();
+  t.env = std::make_unique<CountingEnv>(t.base_env.get(), t.stats.get(),
+                                        kPageSize);
+  if (spec.block_cache_bytes > 0) {
+    t.cache = std::make_unique<BlockCache>(spec.block_cache_bytes);
+  }
+  t.num_keys = spec.num_keys;
+  t.value_size = spec.value_size;
+
+  DbOptions options;
+  options.env = t.env.get();
+  options.merge_policy = spec.policy;
+  options.size_ratio = spec.size_ratio;
+  options.buffer_size_bytes = spec.buffer_bytes;
+  options.bits_per_entry = spec.bits_per_entry;
+  options.page_size = kPageSize;
+  options.block_cache = t.cache.get();
+  options.expected_entries = spec.num_keys;
+  if (spec.monkey_filters) options.fpr_policy = monkey::NewMonkeyFprPolicy();
+
+  Status s = DB::Open(options, "/db", &t.db);
+  if (!s.ok()) {
+    fprintf(stderr, "Open failed: %s\n", s.ToString().c_str());
+    abort();
+  }
+
+  // Insert keys in a pseudo-random order (uniformly distributed across the
+  // key space, Sec. 5 default setup).
+  WriteOptions wo;
+  Random rng(20170514);  // SIGMOD'17 :)
+  const std::string value(spec.value_size, 'v');
+  // Random permutation via a multiplicative step co-prime with num_keys.
+  uint64_t step = 0;
+  do {
+    step = 1 + rng.Uniform(spec.num_keys - 1);
+  } while (std::gcd<uint64_t, uint64_t>(step, spec.num_keys) != 1);
+  uint64_t pos = rng.Uniform(spec.num_keys);
+  t.insertion_order.reserve(spec.num_keys);
+  for (int i = 0; i < spec.num_keys; i++) {
+    pos = (pos + step) % spec.num_keys;
+    t.insertion_order.push_back(pos);
+    s = t.db->Put(wo, MakeKey(pos), value);
+    if (!s.ok()) {
+      fprintf(stderr, "Put failed: %s\n", s.ToString().c_str());
+      abort();
+    }
+  }
+  s = t.db->Flush();
+  if (!s.ok()) abort();
+  return t;
+}
+
+struct LookupResult {
+  double ios_per_lookup = 0;
+  double simulated_ms_per_lookup = 0;  // On the paper's HDD (10 ms/seek).
+};
+
+// Zero-result point lookups uniformly distributed across the key space
+// (the paper's default query workload).
+inline LookupResult MeasureZeroResultLookups(TestDb* t, int lookups,
+                                             uint64_t seed = 4242) {
+  ReadOptions ro;
+  Random rng(seed);
+  std::string value;
+  const auto before = t->stats->Snapshot();
+  for (int i = 0; i < lookups; i++) {
+    t->db->Get(ro, MakeMissingKey(rng.Uniform(t->num_keys)), &value).ok();
+  }
+  const auto delta = t->stats->Snapshot() - before;
+  LookupResult r;
+  r.ios_per_lookup = static_cast<double>(delta.read_ios) / lookups;
+  r.simulated_ms_per_lookup =
+      DeviceModel::Hdd().SimulatedSeconds({delta.read_ios, 0, 0, 0, 0}) /
+      lookups * 1e3;
+  return r;
+}
+
+// Existing-key lookups with the paper's temporal-locality coefficient c
+// (Fig. 11D): rank 0 = most recently inserted key.
+inline LookupResult MeasureNonZeroResultLookups(TestDb* t, int lookups,
+                                                double locality_c,
+                                                uint64_t seed = 77) {
+  ReadOptions ro;
+  Random rng(seed);
+  TemporalLocalityGenerator gen(locality_c, t->num_keys);
+  std::string value;
+  const auto before = t->stats->Snapshot();
+  for (int i = 0; i < lookups; i++) {
+    // Rank 0 = most recently inserted: walk the recorded insertion order
+    // from the back.
+    const uint64_t rank = gen.NextRank(&rng);
+    const uint64_t key_index =
+        t->insertion_order[t->num_keys - 1 - rank];
+    Status s = t->db->Get(ro, MakeKey(key_index), &value);
+    if (!s.ok()) {
+      fprintf(stderr, "lookup of existing key failed\n");
+      abort();
+    }
+  }
+  const auto delta = t->stats->Snapshot() - before;
+  LookupResult r;
+  r.ios_per_lookup = static_cast<double>(delta.read_ios) / lookups;
+  r.simulated_ms_per_lookup =
+      DeviceModel::Hdd().SimulatedSeconds({delta.read_ios, 0, 0, 0, 0}) /
+      lookups * 1e3;
+  return r;
+}
+
+}  // namespace bench
+}  // namespace monkeydb
+
+#endif  // MONKEYDB_BENCH_HARNESS_H_

@@ -1,0 +1,92 @@
+// De-amortization view (paper Sec. 6): the *distribution* of per-put write
+// work across merge policies. Leveling concentrates merge work into fewer,
+// larger spikes; tiering and lazy leveling spread it. The paper's models
+// are amortized; this bench shows the shape behind the amortization.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "harness.h"
+
+using namespace monkeydb;
+using namespace monkeydb::bench;
+
+namespace {
+
+const char* PolicyName(MergePolicy policy) {
+  switch (policy) {
+    case MergePolicy::kLeveling:
+      return "leveling";
+    case MergePolicy::kTiering:
+      return "tiering";
+    case MergePolicy::kLazyLeveling:
+      return "lazy-leveling";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main() {
+  const int n = 60000;
+  printf("Per-put write-I/O distribution (N=%d, T=4, Monkey filters)\n\n",
+         n);
+  printf("%-14s %10s %10s %10s %12s %12s\n", "policy", "mean", "p99",
+         "p99.9", "max spike", "puts w/ I/O");
+
+  for (MergePolicy policy :
+       {MergePolicy::kLeveling, MergePolicy::kLazyLeveling,
+        MergePolicy::kTiering}) {
+    auto base = NewMemEnv();
+    IoStats stats;
+    CountingEnv env(base.get(), &stats, kPageSize);
+    DbOptions options;
+    options.env = &env;
+    options.merge_policy = policy;
+    options.size_ratio = 4.0;
+    options.buffer_size_bytes = 32 << 10;
+    options.bits_per_entry = 5.0;
+    options.expected_entries = n;
+    options.fpr_policy = monkey::NewMonkeyFprPolicy();
+    std::unique_ptr<DB> db;
+    if (!DB::Open(options, "/db", &db).ok()) abort();
+
+    WriteOptions wo;
+    std::vector<uint64_t> per_put;
+    per_put.reserve(n);
+    uint64_t prev = 0;
+    for (int i = 0; i < n; i++) {
+      char key[24];
+      snprintf(key, sizeof(key), "user%012d", i);
+      if (!db->Put(wo, key, std::string(48, 'v')).ok()) abort();
+      const uint64_t now = stats.Snapshot().write_ios;
+      per_put.push_back(now - prev);
+      prev = now;
+    }
+
+    std::vector<uint64_t> sorted = per_put;
+    std::sort(sorted.begin(), sorted.end());
+    const double mean =
+        static_cast<double>(prev) / static_cast<double>(n);
+    const uint64_t p99 = sorted[static_cast<size_t>(0.99 * n)];
+    const uint64_t p999 = sorted[static_cast<size_t>(0.999 * n)];
+    const uint64_t max_spike = sorted.back();
+    const size_t busy =
+        sorted.end() -
+        std::upper_bound(sorted.begin(), sorted.end(), uint64_t{0});
+
+    printf("%-14s %10.4f %10llu %10llu %12llu %11.2f%%\n",
+           PolicyName(policy), mean,
+           static_cast<unsigned long long>(p99),
+           static_cast<unsigned long long>(p999),
+           static_cast<unsigned long long>(max_spike),
+           100.0 * busy / n);
+  }
+  printf("\nExpected shape: similar means (the amortized W of Eq. 10) but\n"
+         "leveling's worst spike is the largest — it rewrites the biggest\n"
+         "level most often. De-amortization techniques (Sec. 6) spread\n"
+         "these spikes; our engine runs merges synchronously on purpose so\n"
+         "the spikes are visible.\n");
+  return 0;
+}

@@ -1,0 +1,198 @@
+// Component microbenchmarks (google-benchmark): hashing, Bloom filters,
+// memtable, block, table probe, and the closed-form models/tuner.
+
+#include <benchmark/benchmark.h>
+
+#include "bloom/blocked_bloom_filter.h"
+#include "bloom/bloom_filter.h"
+#include "io/env.h"
+#include "lsm/internal_key.h"
+#include "memtable/memtable.h"
+#include "monkey/fpr_allocator.h"
+#include "monkey/tuner.h"
+#include "sstable/table_builder.h"
+#include "sstable/table_reader.h"
+#include "util/hash.h"
+#include "util/random.h"
+
+namespace monkeydb {
+namespace {
+
+void BM_XxHash64(benchmark::State& state) {
+  std::string data(state.range(0), 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(XxHash64(data.data(), data.size()));
+  }
+  state.SetBytesProcessed(state.iterations() * data.size());
+}
+BENCHMARK(BM_XxHash64)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_Crc32c(benchmark::State& state) {
+  std::string data(state.range(0), 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Crc32c(data.data(), data.size()));
+  }
+  state.SetBytesProcessed(state.iterations() * data.size());
+}
+BENCHMARK(BM_Crc32c)->Arg(4096);
+
+void BM_BloomBuild(benchmark::State& state) {
+  const int n = state.range(0);
+  for (auto _ : state) {
+    BloomFilterBuilder builder;
+    for (int i = 0; i < n; i++) {
+      builder.AddKey("key" + std::to_string(i));
+    }
+    benchmark::DoNotOptimize(builder.Finish(10.0));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_BloomBuild)->Arg(10000);
+
+void BM_BloomQuery(benchmark::State& state) {
+  BloomFilterBuilder builder;
+  for (int i = 0; i < 100000; i++) {
+    builder.AddKey("key" + std::to_string(i));
+  }
+  const std::string filter = builder.Finish(10.0);
+  Random rng(1);
+  for (auto _ : state) {
+    const std::string key = "key" + std::to_string(rng.Uniform(200000));
+    benchmark::DoNotOptimize(BloomFilterReader::MayContain(filter, key));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BloomQuery);
+
+void BM_BlockedBloomQuery(benchmark::State& state) {
+  BlockedBloomFilterBuilder builder;
+  for (int i = 0; i < 100000; i++) {
+    builder.AddKey("key" + std::to_string(i));
+  }
+  const std::string filter = builder.Finish(10.0);
+  Random rng(1);
+  for (auto _ : state) {
+    const std::string key = "key" + std::to_string(rng.Uniform(200000));
+    benchmark::DoNotOptimize(
+        BlockedBloomFilterReader::MayContain(filter, key));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BlockedBloomQuery);
+
+void BM_MemTableInsert(benchmark::State& state) {
+  InternalKeyComparator cmp(BytewiseComparator());
+  auto mem = std::make_unique<MemTable>(cmp);
+  SequenceNumber seq = 0;
+  Random rng(2);
+  const std::string value(64, 'v');
+  for (auto _ : state) {
+    mem->Add(++seq, ValueType::kValue, "key" + std::to_string(rng.Next()),
+             value);
+    if (mem->ApproximateMemoryUsage() > (64 << 20)) {
+      state.PauseTiming();
+      mem = std::make_unique<MemTable>(cmp);
+      state.ResumeTiming();
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MemTableInsert);
+
+void BM_MemTableGet(benchmark::State& state) {
+  InternalKeyComparator cmp(BytewiseComparator());
+  MemTable mem(cmp);
+  for (int i = 0; i < 100000; i++) {
+    mem.Add(i + 1, ValueType::kValue, "key" + std::to_string(i), "value");
+  }
+  Random rng(3);
+  std::string value;
+  for (auto _ : state) {
+    LookupKey lookup("key" + std::to_string(rng.Uniform(100000)),
+                     kMaxSequenceNumber);
+    bool found;
+    benchmark::DoNotOptimize(mem.Get(lookup, &value, &found));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MemTableGet);
+
+void BM_TableProbe(benchmark::State& state) {
+  auto env = NewMemEnv();
+  InternalKeyComparator cmp(BytewiseComparator());
+  std::unique_ptr<WritableFile> file;
+  env->NewWritableFile("/t.sst", &file).ok();
+  TableBuilderOptions opts;
+  TableBuilder builder(opts, file.get());
+  const int n = 200000;
+  for (int i = 0; i < n; i++) {
+    char buf[24];
+    snprintf(buf, sizeof(buf), "key%09d", i);
+    std::string ikey;
+    AppendInternalKey(&ikey, buf, 1, ValueType::kValue);
+    builder.Add(ikey, std::string(32, 'v'));
+  }
+  builder.Finish().ok();
+  file->Close().ok();
+
+  std::unique_ptr<RandomAccessFile> rfile;
+  env->NewRandomAccessFile("/t.sst", &rfile).ok();
+  TableReaderOptions ropts;
+  ropts.comparator = &cmp;
+  std::unique_ptr<TableReader> table;
+  TableReader::Open(ropts, std::move(rfile), builder.file_size(), &table)
+      .ok();
+
+  Random rng(4);
+  std::string value;
+  for (auto _ : state) {
+    char buf[24];
+    snprintf(buf, sizeof(buf), "key%09llu",
+             static_cast<unsigned long long>(rng.Uniform(n)));
+    LookupKey lookup(buf, kMaxSequenceNumber);
+    TableLookupResult result;
+    benchmark::DoNotOptimize(table->Get(lookup, &value, &result));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TableProbe);
+
+void BM_OptimalFprAllocation(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(monkey::OptimalFprsForMemory(
+        MergePolicy::kLeveling, 4.0, 8, 1e9, 5e9));
+  }
+}
+BENCHMARK(BM_OptimalFprAllocation);
+
+void BM_AutotuneFilters(benchmark::State& state) {
+  for (auto _ : state) {
+    std::vector<monkey::RunFilterInfo> runs;
+    uint64_t entries = 1000;
+    for (int i = 0; i < 8; i++) {
+      runs.push_back({entries, 0});
+      entries *= 4;
+    }
+    benchmark::DoNotOptimize(monkey::AutotuneFilters(1e8, &runs));
+  }
+}
+BENCHMARK(BM_AutotuneFilters);
+
+void BM_TunerSearch(benchmark::State& state) {
+  monkey::Environment env;
+  env.num_entries = 1e9;
+  env.entry_size_bits = 1024;
+  env.total_memory_bits = 1.2e10;
+  monkey::Workload w;
+  w.zero_result_lookups = 0.5;
+  w.updates = 0.5;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(monkey::AutotuneSizeRatioAndPolicy(env, w));
+  }
+}
+BENCHMARK(BM_TunerSearch);
+
+}  // namespace
+}  // namespace monkeydb
+
+BENCHMARK_MAIN();

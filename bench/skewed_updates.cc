@@ -1,0 +1,81 @@
+// Skewed updates (paper Sec. 6 cites Lim et al. [23]: skew makes updates
+// cheaper than the worst-case model, because duplicate keys die young in
+// shallow levels and never pay the full merge path).
+//
+// Measures per-put write I/O under uniform vs zipfian update keys and
+// compares with the worst-case W of Eq. 10 — the model is an upper bound
+// that tightens as skew disappears.
+
+#include <cstdio>
+
+#include "harness.h"
+#include "monkey/cost_model.h"
+
+using namespace monkeydb;
+using namespace monkeydb::bench;
+
+namespace {
+
+double MeasureWritePerPut(double zipf_theta, int ops, int key_space) {
+  auto base = NewMemEnv();
+  IoStats stats;
+  CountingEnv env(base.get(), &stats, kPageSize);
+  DbOptions options;
+  options.env = &env;
+  options.merge_policy = MergePolicy::kLeveling;
+  options.size_ratio = 4.0;
+  options.buffer_size_bytes = 32 << 10;
+  options.bits_per_entry = 5.0;
+  options.fpr_policy = monkey::NewMonkeyFprPolicy();
+  std::unique_ptr<DB> db;
+  if (!DB::Open(options, "/db", &db).ok()) abort();
+
+  Random rng(13);
+  ZipfianGenerator zipf(key_space,
+                        zipf_theta > 0 ? zipf_theta : 0.5);
+  WriteOptions wo;
+  const std::string value(48, 'v');
+  for (int i = 0; i < ops; i++) {
+    const uint64_t id = zipf_theta > 0
+                            ? zipf.Next(&rng)
+                            : rng.Uniform(key_space);
+    if (!db->Put(wo, MakeKey(id), value).ok()) abort();
+  }
+  db->Flush().ok();
+  return static_cast<double>(stats.Snapshot().write_ios) / ops;
+}
+
+}  // namespace
+
+int main() {
+  const int ops = 120000;
+  const int key_space = 40000;  // 3x overwrite rate on average.
+  printf("Skewed updates: write I/O per put, %d puts over %d keys "
+         "(leveling T=4)\n\n", ops, key_space);
+  printf("%-22s %18s\n", "update distribution", "write I/O / put");
+
+  const double uniform = MeasureWritePerPut(0.0, ops, key_space);
+  printf("%-22s %18.4f\n", "uniform", uniform);
+  for (double theta : {0.7, 0.9, 0.99}) {
+    const double skewed = MeasureWritePerPut(theta, ops, key_space);
+    printf("zipfian theta=%-8.2f %18.4f  (%.0f%% of uniform)\n", theta,
+           skewed, skewed / uniform * 100);
+  }
+
+  // Worst-case model reference: unique keys, no early elimination.
+  monkey::DesignPoint d;
+  d.policy = MergePolicy::kLeveling;
+  d.size_ratio = 4.0;
+  d.num_entries = key_space;
+  d.entry_size_bits = 64 * 8.0;
+  d.buffer_bits = (32 << 10) * 8.0;
+  d.filter_bits = 5.0 * key_space;
+  d.entries_per_page = kPageSize / 70.0;
+  printf("\nWorst-case model W (Eq. 10, unique keys): %.4f I/O "
+         "(write half ~%.4f)\n",
+         monkey::UpdateCost(d), monkey::UpdateCost(d) / 2);
+  printf("Expected shape: skew reduces write cost below the worst case —\n"
+         "hot keys are superseded in shallow levels before reaching the\n"
+         "expensive deep merges (Sec. 6, [23]).\n");
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Table 1: asymptotic complexity of lookup cost, checked numerically.
+//
+// For each regime of the table we scale N geometrically and fit the growth
+// of the model's R (and the engine-measured R for moderate sizes):
+//   - Monkey, M_f > M_threshold:      R = O(e^{-M/N})        -> flat in L
+//   - Baseline, M_f > M_threshold:    R = O(L * e^{-M/N})    -> linear in L
+//   - Monkey, M_f < M_threshold:      R = O(L_unfiltered)    -> grows
+//   - T = T_lim degeneracies:         log / sorted array
+
+#include <cmath>
+#include <cstdio>
+
+#include "harness.h"
+#include "monkey/cost_model.h"
+
+using namespace monkeydb;
+using namespace monkeydb::bench;
+using monkey::DesignPoint;
+
+int main() {
+  printf("Table 1: asymptotic scaling of zero-result lookup cost\n\n");
+
+  // --- Model: scaling in N at fixed bits/entry (rows 2-3, columns c/e). ---
+  printf("Model check (T=4 leveling, 10 bits/entry, buffer 2MB):\n");
+  printf("%14s %6s %14s %14s\n", "N", "L", "R baseline", "R Monkey");
+  DesignPoint d;
+  d.size_ratio = 4.0;
+  d.entry_size_bits = 128 * 8;
+  d.buffer_bits = 2.0 * (1 << 20) * 8;
+  d.entries_per_page = 4096.0 * 8 / d.entry_size_bits;
+  double first_rart = 0, last_rart = 0, first_r = 0, last_r = 0;
+  int first_l = 0, last_l = 0;
+  for (double n = 1e7; n <= 1e13; n *= 100) {
+    d.num_entries = n;
+    d.filter_bits = 10.0 * n;
+    const double rart = monkey::BaselineZeroResultLookupCost(d);
+    const double r = monkey::ZeroResultLookupCost(d);
+    if (first_rart == 0) {
+      first_rart = rart;
+      first_r = r;
+      first_l = monkey::NumLevels(d);
+    }
+    last_rart = rart;
+    last_r = r;
+    last_l = monkey::NumLevels(d);
+    printf("%14.0f %6d %14.6f %14.6f\n", n, monkey::NumLevels(d), rart, r);
+  }
+  printf("  baseline grew %.2fx over %dx more levels (O(L));"
+         " Monkey grew %.2fx (O(1)).\n\n",
+         last_rart / first_rart, last_l - first_l + 1,
+         last_r / first_r);
+
+  // --- Model: below-threshold regime (columns b/d). ---
+  printf("Below M_threshold (0.5 bits/entry):\n");
+  printf("%14s %6s %8s %14s %14s\n", "N", "L", "L_unf", "R baseline",
+         "R Monkey");
+  for (double n = 1e7; n <= 1e13; n *= 100) {
+    d.num_entries = n;
+    d.filter_bits = 0.5 * n;
+    printf("%14.0f %6d %8d %14.6f %14.6f\n", n, monkey::NumLevels(d),
+           monkey::UnfilteredLevels(d),
+           monkey::BaselineZeroResultLookupCost(d),
+           monkey::ZeroResultLookupCost(d));
+  }
+  printf("  both grow with L here, but Monkey stays below the baseline.\n\n");
+
+  // --- Degeneracies (rows 1 and 4): T = T_lim. ---
+  printf("T = T_lim degeneracies:\n");
+  d.num_entries = 1e9;
+  d.filter_bits = 10.0 * d.num_entries;
+  d.size_ratio = monkey::SizeRatioLimit(d);
+  d.policy = MergePolicy::kTiering;
+  printf("  tiering  (log):          L=%d  R=%10.4f  W=%.6f\n",
+         monkey::NumLevels(d), monkey::ZeroResultLookupCost(d),
+         monkey::UpdateCost(d));
+  d.policy = MergePolicy::kLeveling;
+  printf("  leveling (sorted array): L=%d  R=%10.4f  W=%.6f\n",
+         monkey::NumLevels(d), monkey::ZeroResultLookupCost(d),
+         monkey::UpdateCost(d));
+
+  // --- Engine: measured scaling (moderate sizes). ---
+  printf("\nEngine check (T=2 leveling, 5 bits/entry):\n");
+  printf("%10s %8s | %13s | %13s\n", "entries", "levels", "uniform I/O",
+         "monkey I/O");
+  for (int n : {25000, 100000, 400000}) {
+    FillSpec spec;
+    spec.num_keys = n;
+    spec.bits_per_entry = 5.0;
+    spec.buffer_bytes = 32 << 10;
+    spec.monkey_filters = false;
+    TestDb uniform = Fill(spec);
+    spec.monkey_filters = true;
+    TestDb monkey_db = Fill(spec);
+    printf("%10d %8d | %13.4f | %13.4f\n", n,
+           uniform.db->GetStats().deepest_level,
+           MeasureZeroResultLookups(&uniform, 6000).ios_per_lookup,
+           MeasureZeroResultLookups(&monkey_db, 6000).ios_per_lookup);
+  }
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Design explorer: interactive what-if analysis over the LSM design space
+// (the paper's closed-form models; a CLI stand-in for the authors' online
+// demo).
+//
+// Usage:
+//   design_explorer N entry_bytes memory_MB lookup%% [hdd|flash]
+// e.g.
+//   ./build/examples/design_explorer 1e9 128 1024 50 hdd
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "monkey/design_space.h"
+
+using namespace monkeydb;
+using namespace monkeydb::monkey;
+
+int main(int argc, char** argv) {
+  const double n = argc > 1 ? atof(argv[1]) : 1e8;
+  const double entry_bytes = argc > 2 ? atof(argv[2]) : 128;
+  const double memory_mb = argc > 3 ? atof(argv[3]) : 256;
+  const double lookup_pct = argc > 4 ? atof(argv[4]) : 50;
+  const bool flash = argc > 5 && strcmp(argv[5], "flash") == 0;
+
+  Environment env;
+  env.num_entries = n;
+  env.entry_size_bits = entry_bytes * 8;
+  env.total_memory_bits = memory_mb * (1 << 20) * 8.0;
+  env.read_seconds = flash ? 100e-6 : 10e-3;
+  env.write_read_cost_ratio = flash ? 2.0 : 1.0;
+
+  Workload w;
+  w.zero_result_lookups = lookup_pct / 100.0;
+  w.updates = 1.0 - w.zero_result_lookups;
+
+  printf("Environment: N=%.3g entries x %.0f B, memory %.0f MB, "
+         "%s (omega=%.0f us, phi=%.0f)\n",
+         n, entry_bytes, memory_mb, flash ? "flash" : "disk",
+         env.read_seconds * 1e6, env.write_read_cost_ratio);
+  printf("Workload: %.0f%% zero-result lookups, %.0f%% updates\n\n",
+         lookup_pct, 100 - lookup_pct);
+
+  const Tuning best = AutotuneSizeRatioAndPolicy(env, w);
+  printf("Optimal design:\n");
+  printf("  merge policy : %s\n",
+         best.policy == MergePolicy::kLeveling ? "leveling" : "tiering");
+  printf("  size ratio T : %.0f\n", best.size_ratio);
+  printf("  buffer       : %.1f MB\n", best.buffer_bits / 8 / (1 << 20));
+  printf("  filters      : %.1f MB (%.2f bits/entry, Monkey allocation)\n",
+         best.filter_bits / 8 / (1 << 20), best.filter_bits / n);
+  printf("  predicted    : R=%.5f I/O  W=%.5f I/O  theta=%.5f  "
+         "tau=%.1f ops/s\n\n",
+         best.lookup_cost, best.update_cost, best.avg_op_cost,
+         best.throughput);
+
+  // What-if panel (Sec. 4.4): one change at a time, re-tuned.
+  printf("What-if analysis:\n");
+  {
+    const WhatIfResult r = WhatIfMemoryChanges(env, w,
+                                               env.total_memory_bits * 2);
+    printf("  2x memory        -> %s T=%.0f, tau %.1f -> %.1f ops/s\n",
+           r.after.policy == MergePolicy::kLeveling ? "leveling" : "tiering",
+           r.after.size_ratio, r.before.throughput, r.after.throughput);
+  }
+  {
+    Workload inverted;
+    inverted.zero_result_lookups = w.updates;
+    inverted.updates = w.zero_result_lookups;
+    const WhatIfResult r = WhatIfWorkloadChanges(env, w, inverted);
+    printf("  inverted workload-> %s T=%.0f, tau %.1f -> %.1f ops/s\n",
+           r.after.policy == MergePolicy::kLeveling ? "leveling" : "tiering",
+           r.after.size_ratio, r.before.throughput, r.after.throughput);
+  }
+  {
+    const WhatIfResult r = WhatIfDataGrows(env, w, n * 10,
+                                           env.entry_size_bits);
+    printf("  10x data         -> %s T=%.0f, tau %.1f -> %.1f ops/s\n",
+           r.after.policy == MergePolicy::kLeveling ? "leveling" : "tiering",
+           r.after.size_ratio, r.before.throughput, r.after.throughput);
+  }
+  {
+    const WhatIfResult r = WhatIfStorageChanges(
+        env, w, flash ? 10e-3 : 100e-6, flash ? 1.0 : 2.0);
+    printf("  %s       -> %s T=%.0f, tau %.1f -> %.1f ops/s\n",
+           flash ? "move to disk " : "move to flash",
+           r.after.policy == MergePolicy::kLeveling ? "leveling" : "tiering",
+           r.after.size_ratio, r.before.throughput, r.after.throughput);
+  }
+
+  // SLA example: bound lookup latency.
+  SlaBounds sla;
+  sla.max_lookup_cost = best.lookup_cost / 2;
+  const Tuning bounded = AutotuneSizeRatioAndPolicy(env, w, sla);
+  printf("\nWith an SLA capping R at %.5f I/O: %s T=%.0f, tau=%.1f ops/s"
+         " (%s)\n",
+         sla.max_lookup_cost,
+         bounded.policy == MergePolicy::kLeveling ? "leveling" : "tiering",
+         bounded.size_ratio, bounded.throughput,
+         bounded.feasible ? "feasible" : "INFEASIBLE");
+  return 0;
+}

@@ -1,0 +1,153 @@
+// monkeydb_cli: a small interactive shell over a MonkeyDB database.
+//
+// Usage: monkeydb_cli <db_path> [< script]
+// Commands:
+//   put <key> <value>     delete <key>        get <key>
+//   scan <start> <count>  stats               flush
+//   compact               tune <lookup%%>      help        quit
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "io/env.h"
+#include "lsm/db.h"
+#include "monkey/monkey_db.h"
+
+using namespace monkeydb;
+
+namespace {
+
+void PrintStats(DB* db) {
+  const DbStats stats = db->GetStats();
+  printf("memtable entries : %llu\n",
+         static_cast<unsigned long long>(stats.memtable_entries));
+  printf("disk entries     : %llu in %llu runs, deepest level %d\n",
+         static_cast<unsigned long long>(stats.total_disk_entries),
+         static_cast<unsigned long long>(stats.total_runs),
+         stats.deepest_level);
+  for (size_t level = 0; level < stats.entries_per_level.size(); level++) {
+    if (stats.runs_per_level[level] == 0) continue;
+    const double bpe =
+        stats.entries_per_level[level] > 0
+            ? static_cast<double>(stats.filter_bits_per_level[level]) /
+                  stats.entries_per_level[level]
+            : 0;
+    printf("  level %zu: %llu runs, %llu entries, %.2f filter bits/entry\n",
+           level + 1,
+           static_cast<unsigned long long>(stats.runs_per_level[level]),
+           static_cast<unsigned long long>(stats.entries_per_level[level]),
+           bpe);
+  }
+  printf("lookups          : %llu (%llu filtered, %llu false positive)\n",
+         static_cast<unsigned long long>(stats.gets),
+         static_cast<unsigned long long>(stats.filter_negatives),
+         static_cast<unsigned long long>(stats.false_positives));
+  printf("flushes/merges   : %llu / %llu\n",
+         static_cast<unsigned long long>(stats.flushes),
+         static_cast<unsigned long long>(stats.merges));
+}
+
+void Tune(DB* db, double lookup_share) {
+  const DbStats stats = db->GetStats();
+  const uint64_t n =
+      std::max<uint64_t>(stats.total_disk_entries + stats.memtable_entries,
+                         1000);
+  monkey::Environment env;
+  env.num_entries = static_cast<double>(n);
+  env.entry_size_bits = 64 * 8;  // Assume ~64 B entries for the estimate.
+  env.total_memory_bits =
+      db->options().bits_per_entry * n +
+      db->options().buffer_size_bytes * 8.0;
+  monkey::Workload w;
+  w.zero_result_lookups = lookup_share;
+  w.updates = 1.0 - lookup_share;
+  const monkey::Tuning tuning = monkey::AutotuneSizeRatioAndPolicy(env, w);
+  printf("recommended: %s, T=%.0f, buffer %.0f KB, %.1f bits/entry "
+         "(R=%.4f W=%.4f I/O)\n",
+         tuning.policy == MergePolicy::kLeveling ? "leveling" : "tiering",
+         tuning.size_ratio, tuning.buffer_bits / 8 / 1024,
+         tuning.filter_bits / env.num_entries, tuning.lookup_cost,
+         tuning.update_cost);
+  printf("(reopen the database with these options to apply)\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    fprintf(stderr, "usage: %s <db_path>\n", argv[0]);
+    return 1;
+  }
+
+  DbOptions options;
+  options.env = GetPosixEnv();
+  options.size_ratio = 4.0;
+  options.buffer_size_bytes = 1 << 20;
+  options.bits_per_entry = 8.0;
+  options.fpr_policy = monkey::NewMonkeyFprPolicy();
+
+  std::unique_ptr<DB> db;
+  Status s = DB::Open(options, argv[1], &db);
+  if (!s.ok()) {
+    fprintf(stderr, "open failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  printf("MonkeyDB shell — 'help' for commands\n");
+
+  std::string line;
+  while (printf("> "), fflush(stdout), std::getline(std::cin, line)) {
+    std::istringstream in(line);
+    std::string cmd;
+    in >> cmd;
+    if (cmd.empty()) continue;
+
+    if (cmd == "quit" || cmd == "exit") break;
+    if (cmd == "help") {
+      printf("put <k> <v> | get <k> | delete <k> | scan <start> <count> |\n"
+             "stats | flush | compact | tune <lookup%%> | quit\n");
+    } else if (cmd == "put") {
+      std::string key, value;
+      in >> key >> value;
+      s = db->Put(WriteOptions(), key, value);
+      printf("%s\n", s.ToString().c_str());
+    } else if (cmd == "get") {
+      std::string key, value;
+      in >> key;
+      s = db->Get(ReadOptions(), key, &value);
+      printf("%s\n", s.ok() ? value.c_str() : s.ToString().c_str());
+    } else if (cmd == "delete") {
+      std::string key;
+      in >> key;
+      s = db->Delete(WriteOptions(), key);
+      printf("%s\n", s.ToString().c_str());
+    } else if (cmd == "scan") {
+      std::string start;
+      int count = 10;
+      in >> start >> count;
+      auto iter = db->NewIterator(ReadOptions());
+      int shown = 0;
+      for (iter->Seek(start); iter->Valid() && shown < count;
+           iter->Next(), shown++) {
+        printf("%s = %s\n", iter->key().ToString().c_str(),
+               iter->value().ToString().c_str());
+      }
+      if (shown == 0) printf("(empty range)\n");
+    } else if (cmd == "stats") {
+      PrintStats(db.get());
+    } else if (cmd == "flush") {
+      printf("%s\n", db->Flush().ToString().c_str());
+    } else if (cmd == "compact") {
+      printf("%s\n", db->CompactAll().ToString().c_str());
+    } else if (cmd == "tune") {
+      double pct = 50;
+      in >> pct;
+      Tune(db.get(), pct / 100.0);
+    } else {
+      printf("unknown command '%s' ('help' for commands)\n", cmd.c_str());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,131 @@
+// Social-graph workload: the paper's motivating use case (Sec. 1 cites
+// LinkBench / Facebook's TAO, where zero-result lookups are common — e.g.
+// insert-if-not-exist on edges).
+//
+// Models a social app over MonkeyDB:
+//   - "edge:<src>:<dst>" keys, inserted as follows arrive;
+//   - insert-if-not-exist: each insert first issues a point lookup that is
+//     usually zero-result (the paper's dominant cost);
+//   - timeline reads: short range scans over a user's outgoing edges.
+// Compares the uniform baseline against Monkey on the same memory budget.
+
+#include <cstdio>
+#include <string>
+
+#include "io/counting_env.h"
+#include "io/env.h"
+#include "lsm/db.h"
+#include "monkey/monkey_db.h"
+#include "util/random.h"
+
+using namespace monkeydb;
+
+namespace {
+
+constexpr int kUsers = 20000;
+constexpr int kEdges = 150000;
+constexpr int kTimelineReads = 3000;
+
+std::string EdgeKey(uint32_t src, uint32_t dst) {
+  char buf[32];
+  snprintf(buf, sizeof(buf), "edge:%08u:%08u", src, dst);
+  return buf;
+}
+
+struct RunStats {
+  uint64_t read_ios = 0;
+  uint64_t write_ios = 0;
+  double hdd_seconds = 0;
+};
+
+RunStats RunWorkload(bool monkey_filters) {
+  auto base_env = NewMemEnv();
+  IoStats stats;
+  CountingEnv env(base_env.get(), &stats, 4096);
+
+  DbOptions options;
+  options.env = &env;
+  options.merge_policy = MergePolicy::kLeveling;
+  options.size_ratio = 4.0;
+  options.buffer_size_bytes = 128 << 10;
+  options.bits_per_entry = 5.0;
+  if (monkey_filters) options.fpr_policy = monkey::NewMonkeyFprPolicy();
+
+  std::unique_ptr<DB> db;
+  if (!DB::Open(options, "/social", &db).ok()) abort();
+
+  Random rng(8);
+  WriteOptions wo;
+  ReadOptions ro;
+  std::string value;
+
+  // Followers arrive: insert-if-not-exist on edges. Most probes are
+  // zero-result (a fresh follow), some are duplicates (already following).
+  int duplicates = 0;
+  for (int i = 0; i < kEdges; i++) {
+    const uint32_t src = static_cast<uint32_t>(rng.Uniform(kUsers));
+    const uint32_t dst = static_cast<uint32_t>(rng.Uniform(kUsers));
+    const std::string key = EdgeKey(src, dst);
+    if (db->Get(ro, key, &value).ok()) {
+      duplicates++;  // Edge exists: skip the write.
+      continue;
+    }
+    db->Put(wo, key, "ts=1699999999;weight=1").ok();
+  }
+
+  // Timeline reads: scan a user's outgoing edges.
+  uint64_t edges_scanned = 0;
+  for (int i = 0; i < kTimelineReads; i++) {
+    const uint32_t src = static_cast<uint32_t>(rng.Uniform(kUsers));
+    char prefix[16];
+    snprintf(prefix, sizeof(prefix), "edge:%08u:", src);
+    auto iter = db->NewIterator(ro);
+    for (iter->Seek(prefix);
+         iter->Valid() && iter->key().starts_with(Slice(prefix));
+         iter->Next()) {
+      edges_scanned++;
+    }
+  }
+
+  const auto io = stats.Snapshot();
+  RunStats result;
+  result.read_ios = io.read_ios;
+  result.write_ios = io.write_ios;
+  result.hdd_seconds = DeviceModel::Hdd().SimulatedSeconds(io);
+  static bool printed = false;
+  if (!printed) {
+    printf("workload: %d insert-if-not-exist (%d duplicates), %d timeline "
+           "scans (%llu edges)\n\n",
+           kEdges, duplicates, kTimelineReads,
+           static_cast<unsigned long long>(edges_scanned));
+    printed = true;
+  }
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  printf("Social-graph workload on MonkeyDB (leveling, T=4, 5 bits/entry)\n");
+  const RunStats uniform = RunWorkload(false);
+  const RunStats monkey = RunWorkload(true);
+
+  printf("%-22s %12s %12s %14s\n", "filter allocation", "read I/Os",
+         "write I/Os", "HDD time (s)");
+  printf("%-22s %12llu %12llu %14.1f\n", "uniform (baseline)",
+         static_cast<unsigned long long>(uniform.read_ios),
+         static_cast<unsigned long long>(uniform.write_ios),
+         uniform.hdd_seconds);
+  printf("%-22s %12llu %12llu %14.1f\n", "Monkey",
+         static_cast<unsigned long long>(monkey.read_ios),
+         static_cast<unsigned long long>(monkey.write_ios),
+         monkey.hdd_seconds);
+
+  const double saved =
+      100.0 * (1.0 - static_cast<double>(monkey.read_ios) /
+                         static_cast<double>(uniform.read_ios));
+  printf("\nMonkey served the same workload with %.1f%% fewer read I/Os —\n"
+         "the insert-if-not-exist probes are exactly the zero-result "
+         "lookups\nthe paper optimizes (Sec. 2, [29]).\n", saved);
+  return 0;
+}

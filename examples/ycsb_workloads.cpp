@@ -1,0 +1,193 @@
+// YCSB-style workload suite over MonkeyDB, comparing the uniform baseline
+// with Monkey filters under each core workload:
+//   A  update-heavy      (50% reads, 50% updates, zipfian)
+//   B  read-mostly       (95% reads,  5% updates, zipfian)
+//   C  read-only         (100% reads, zipfian)
+//   D  read-latest       (95% reads of recent keys, 5% inserts)
+//   E  short scans       (95% scans, 5% inserts)
+//   F  read-modify-write (50% reads, 50% RMW, zipfian)
+// plus the insert-if-not-exist flavor the paper's Sec. 2 highlights.
+//
+// Usage: ycsb_workloads [records=100000] [operations=30000]
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "io/counting_env.h"
+#include "io/env.h"
+#include "lsm/db.h"
+#include "monkey/monkey_db.h"
+#include "util/random.h"
+
+using namespace monkeydb;
+
+namespace {
+
+int g_records = 100000;
+int g_operations = 30000;
+
+std::string Key(uint64_t i) {
+  char buf[32];
+  snprintf(buf, sizeof(buf), "user%012llu",
+           static_cast<unsigned long long>(i));
+  return buf;
+}
+
+struct Instance {
+  std::unique_ptr<Env> base_env;
+  std::unique_ptr<IoStats> stats;
+  std::unique_ptr<CountingEnv> env;
+  std::unique_ptr<DB> db;
+};
+
+Instance Load(bool monkey_filters) {
+  Instance inst;
+  inst.base_env = NewMemEnv();
+  inst.stats = std::make_unique<IoStats>();
+  inst.env = std::make_unique<CountingEnv>(inst.base_env.get(),
+                                           inst.stats.get(), 4096);
+  DbOptions options;
+  options.env = inst.env.get();
+  options.merge_policy = MergePolicy::kLeveling;
+  options.size_ratio = 4.0;
+  options.buffer_size_bytes = 128 << 10;
+  options.bits_per_entry = 5.0;
+  options.expected_entries = g_records;
+  if (monkey_filters) options.fpr_policy = monkey::NewMonkeyFprPolicy();
+  if (!DB::Open(options, "/ycsb", &inst.db).ok()) abort();
+  WriteOptions wo;
+  const std::string value(100, 'y');  // YCSB default: ~100 B fields.
+  for (int i = 0; i < g_records; i++) {
+    if (!inst.db->Put(wo, Key(i), value).ok()) abort();
+  }
+  if (!inst.db->Flush().ok()) abort();
+  return inst;
+}
+
+// Runs `name` against both filter allocations and prints read I/Os per op.
+template <typename WorkloadFn>
+void RunWorkload(const char* name, WorkloadFn&& fn) {
+  double ios[2];
+  for (int monkey_on = 0; monkey_on <= 1; monkey_on++) {
+    Instance inst = Load(monkey_on == 1);
+    Random rng(20260706);
+    const auto before = inst.stats->Snapshot();
+    fn(inst.db.get(), &rng);
+    const auto delta = inst.stats->Snapshot() - before;
+    ios[monkey_on] =
+        static_cast<double>(delta.read_ios) / g_operations;
+  }
+  const double gain =
+      ios[0] > 0 ? (ios[0] - ios[1]) / ios[0] * 100.0 : 0.0;
+  printf("%-28s %14.4f %14.4f %9.1f%%\n", name, ios[0], ios[1], gain);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc > 1) g_records = atoi(argv[1]);
+  if (argc > 2) g_operations = atoi(argv[2]);
+
+  printf("YCSB-style workloads, %d records / %d ops "
+         "(leveling T=4, 5 bits/entry)\n\n", g_records, g_operations);
+  printf("%-28s %14s %14s %10s\n", "workload", "uniform I/O/op",
+         "monkey I/O/op", "gain");
+
+  const std::string value(100, 'y');
+
+  RunWorkload("A update-heavy (zipf)", [&](DB* db, Random* rng) {
+    ZipfianGenerator zipf(g_records);
+    std::string out;
+    for (int i = 0; i < g_operations; i++) {
+      const std::string key = Key(zipf.Next(rng));
+      if (rng->Bernoulli(0.5)) {
+        db->Get(ReadOptions(), key, &out).ok();
+      } else {
+        db->Put(WriteOptions(), key, value).ok();
+      }
+    }
+  });
+
+  RunWorkload("B read-mostly (zipf)", [&](DB* db, Random* rng) {
+    ZipfianGenerator zipf(g_records);
+    std::string out;
+    for (int i = 0; i < g_operations; i++) {
+      const std::string key = Key(zipf.Next(rng));
+      if (rng->Bernoulli(0.95)) {
+        db->Get(ReadOptions(), key, &out).ok();
+      } else {
+        db->Put(WriteOptions(), key, value).ok();
+      }
+    }
+  });
+
+  RunWorkload("C read-only (zipf)", [&](DB* db, Random* rng) {
+    ZipfianGenerator zipf(g_records);
+    std::string out;
+    for (int i = 0; i < g_operations; i++) {
+      db->Get(ReadOptions(), Key(zipf.Next(rng)), &out).ok();
+    }
+  });
+
+  RunWorkload("D read-latest", [&](DB* db, Random* rng) {
+    std::string out;
+    uint64_t next = g_records;
+    for (int i = 0; i < g_operations; i++) {
+      if (rng->Bernoulli(0.05)) {
+        db->Put(WriteOptions(), Key(next++), value).ok();
+      } else {
+        // Read near the most recently inserted keys.
+        const uint64_t back = rng->Uniform(1000) + 1;
+        db->Get(ReadOptions(), Key(next > back ? next - back : 0), &out)
+            .ok();
+      }
+    }
+  });
+
+  RunWorkload("E short scans", [&](DB* db, Random* rng) {
+    uint64_t next = g_records;
+    for (int i = 0; i < g_operations; i++) {
+      if (rng->Bernoulli(0.05)) {
+        db->Put(WriteOptions(), Key(next++), value).ok();
+      } else {
+        auto iter = db->NewIterator(ReadOptions());
+        int len = 1 + static_cast<int>(rng->Uniform(100));
+        for (iter->Seek(Key(rng->Uniform(g_records)));
+             iter->Valid() && len > 0; iter->Next(), len--) {
+        }
+      }
+    }
+  });
+
+  RunWorkload("F read-modify-write (zipf)", [&](DB* db, Random* rng) {
+    ZipfianGenerator zipf(g_records);
+    std::string out;
+    for (int i = 0; i < g_operations; i++) {
+      const std::string key = Key(zipf.Next(rng));
+      db->Get(ReadOptions(), key, &out).ok();
+      if (rng->Bernoulli(0.5)) {
+        db->Put(WriteOptions(), key, value).ok();
+      }
+    }
+  });
+
+  RunWorkload("insert-if-not-exist", [&](DB* db, Random* rng) {
+    // The paper's canonical zero-result workload (Sec. 2, [29]): new ids
+    // interleaved inside the existing key range, so fence pointers cannot
+    // exclude the probe and only Bloom filters stand before the I/O.
+    std::string out;
+    for (int i = 0; i < g_operations; i++) {
+      const std::string key = Key(rng->Uniform(g_records)) + "n" +
+                              std::to_string(rng->Uniform(1 << 20));
+      if (db->Get(ReadOptions(), key, &out).IsNotFound()) {
+        db->Put(WriteOptions(), key, value).ok();
+      }
+    }
+  });
+
+  printf("\nMonkey helps most where zero-result probes dominate\n"
+         "(insert-if-not-exist) and least where every read returns data\n"
+         "(C: the mandatory 1-I/O target read dominates).\n");
+  return 0;
+}

@@ -1,0 +1,98 @@
+#include "bloom/blocked_bloom_filter.h"
+
+#include <cmath>
+
+#include "bloom/bloom_math.h"
+#include "util/hash.h"
+
+namespace monkeydb {
+
+namespace {
+
+constexpr size_t kBlockBytes = 64;  // One cache line.
+constexpr size_t kBlockBits = kBlockBytes * 8;
+constexpr char kFormatTag = 'B';
+
+// Picks the block from the high hash bits, then derives in-block probe
+// positions from the low bits via an odd multiplicative step.
+struct ProbePlan {
+  uint64_t block;
+  uint32_t h1;
+  uint32_t h2;
+};
+
+ProbePlan PlanProbes(uint64_t hash, uint64_t num_blocks) {
+  ProbePlan plan;
+  plan.block = (hash >> 32) % num_blocks;
+  plan.h1 = static_cast<uint32_t>(hash);
+  plan.h2 = (static_cast<uint32_t>(hash >> 17)) | 1;
+  return plan;
+}
+
+}  // namespace
+
+void BlockedBloomFilterBuilder::AddKey(const Slice& key) {
+  hashes_.push_back(XxHash64(key, /*seed=*/0xB10C4ED));
+}
+
+std::string BlockedBloomFilterBuilder::Finish(double bits_per_key) {
+  std::string result;
+  const double total_bits =
+      bits_per_key * static_cast<double>(hashes_.size());
+  if (total_bits < 1.0 || hashes_.empty()) {
+    hashes_.clear();
+    return result;
+  }
+  uint64_t num_blocks = static_cast<uint64_t>(
+      std::ceil(total_bits / static_cast<double>(kBlockBits)));
+  if (num_blocks == 0) num_blocks = 1;
+
+  const double bits_per_entry =
+      static_cast<double>(num_blocks * kBlockBits) /
+      static_cast<double>(hashes_.size());
+  const int k = bloom::OptimalNumProbes(bits_per_entry);
+
+  result.resize(num_blocks * kBlockBytes, 0);
+  char* data = result.data();
+  for (uint64_t hash : hashes_) {
+    const ProbePlan plan = PlanProbes(hash, num_blocks);
+    char* block = data + plan.block * kBlockBytes;
+    for (int i = 0; i < k; i++) {
+      const uint32_t bit =
+          (plan.h1 + static_cast<uint32_t>(i) * plan.h2) % kBlockBits;
+      block[bit / 8] |= static_cast<char>(1 << (bit % 8));
+    }
+  }
+  result.push_back(static_cast<char>(k));
+  result.push_back(kFormatTag);
+  hashes_.clear();
+  return result;
+}
+
+bool BlockedBloomFilterReader::MayContain(const Slice& filter,
+                                          const Slice& key) {
+  if (filter.size() < kBlockBytes + 2) return true;
+  if (filter[filter.size() - 1] != kFormatTag) return true;
+  const size_t array_bytes = filter.size() - 2;
+  if (array_bytes % kBlockBytes != 0) return true;
+  const uint64_t num_blocks = array_bytes / kBlockBytes;
+  const int k = static_cast<unsigned char>(filter[filter.size() - 2]);
+  if (k == 0 || k > 30) return true;
+
+  const uint64_t hash = XxHash64(key, /*seed=*/0xB10C4ED);
+  const ProbePlan plan = PlanProbes(hash, num_blocks);
+  const char* block = filter.data() + plan.block * kBlockBytes;
+  for (int i = 0; i < k; i++) {
+    const uint32_t bit =
+        (plan.h1 + static_cast<uint32_t>(i) * plan.h2) % kBlockBits;
+    if ((block[bit / 8] & (1 << (bit % 8))) == 0) return false;
+  }
+  return true;
+}
+
+uint64_t BlockedBloomFilterReader::SizeBits(const Slice& filter) {
+  if (filter.size() < kBlockBytes + 2) return 0;
+  return (filter.size() - 2) * 8;
+}
+
+}  // namespace monkeydb

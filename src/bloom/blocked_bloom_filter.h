@@ -1,0 +1,45 @@
+// BlockedBloomFilter: a register-/cache-friendly Bloom filter variant where
+// all probes of a key land in one 64-byte cache line (as used by RocksDB's
+// "new" filter format). Trades a small FPR penalty for ~k-fold fewer cache
+// misses per query.
+//
+// Orthogonal to Monkey — the allocation policy decides *how many bits* a
+// run gets; this decides how those bits are arranged. Serialized format:
+//   [cache-line blocks][num_probes: 1 byte][kFormatTag: 1 byte]
+// (The trailing tag distinguishes it from the standard filter's encoding;
+// readers of one format must not be handed the other.)
+
+#ifndef MONKEYDB_BLOOM_BLOCKED_BLOOM_FILTER_H_
+#define MONKEYDB_BLOOM_BLOCKED_BLOOM_FILTER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/slice.h"
+
+namespace monkeydb {
+
+class BlockedBloomFilterBuilder {
+ public:
+  void AddKey(const Slice& key);
+
+  size_t num_keys() const { return hashes_.size(); }
+
+  // Builds a filter sized for bits_per_key (fractional ok); <= 0 yields the
+  // empty always-positive filter. Resets the builder.
+  std::string Finish(double bits_per_key);
+
+ private:
+  std::vector<uint64_t> hashes_;
+};
+
+class BlockedBloomFilterReader {
+ public:
+  static bool MayContain(const Slice& filter, const Slice& key);
+  static uint64_t SizeBits(const Slice& filter);
+};
+
+}  // namespace monkeydb
+
+#endif  // MONKEYDB_BLOOM_BLOCKED_BLOOM_FILTER_H_

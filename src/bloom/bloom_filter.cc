@@ -1,0 +1,90 @@
+#include "bloom/bloom_filter.h"
+
+#include <cmath>
+
+#include "bloom/bloom_math.h"
+#include "util/hash.h"
+
+namespace monkeydb {
+
+namespace {
+
+// Double hashing (Kirsch-Mitzenmacher): probe_i = h1 + i·h2. One 64-bit
+// hash split into two 32-bit halves gives independent-enough h1/h2.
+inline void SplitHash(uint64_t h, uint32_t* h1, uint32_t* h2) {
+  *h1 = static_cast<uint32_t>(h);
+  *h2 = static_cast<uint32_t>(h >> 32) | 1;  // Odd so it cycles all slots.
+}
+
+}  // namespace
+
+void BloomFilterBuilder::AddKey(const Slice& key) {
+  hashes_.push_back(XxHash64(key, /*seed=*/0xB10053ED));
+}
+
+std::string BloomFilterBuilder::Finish(double bits_per_key) {
+  const double total_bits = bits_per_key * static_cast<double>(hashes_.size());
+  return BuildFromHashes(total_bits);
+}
+
+std::string BloomFilterBuilder::FinishForFpr(double fpr) {
+  const double total_bits =
+      bloom::BitsForFpr(fpr, static_cast<double>(hashes_.size()));
+  return BuildFromHashes(total_bits);
+}
+
+std::string BloomFilterBuilder::BuildFromHashes(double total_bits) {
+  std::string result;
+  if (total_bits < 1.0 || hashes_.empty()) {
+    hashes_.clear();
+    return result;  // Empty filter: MayContain always true.
+  }
+
+  uint64_t bits = static_cast<uint64_t>(std::llround(total_bits));
+  if (bits < 64) bits = 64;  // Floor so tiny runs still filter something.
+  const uint64_t bytes = (bits + 7) / 8;
+  bits = bytes * 8;
+
+  const double bits_per_entry =
+      static_cast<double>(bits) / static_cast<double>(hashes_.size());
+  const int k = bloom::OptimalNumProbes(bits_per_entry);
+
+  result.resize(bytes, 0);
+  char* array = result.data();
+  for (uint64_t h : hashes_) {
+    uint32_t h1, h2;
+    SplitHash(h, &h1, &h2);
+    for (int i = 0; i < k; i++) {
+      const uint64_t bit = (h1 + static_cast<uint64_t>(i) * h2) % bits;
+      array[bit / 8] |= static_cast<char>(1 << (bit % 8));
+    }
+  }
+  result.push_back(static_cast<char>(k));
+  hashes_.clear();
+  return result;
+}
+
+bool BloomFilterReader::MayContain(const Slice& filter, const Slice& key) {
+  if (filter.size() < 2) return true;  // Empty / degenerate filter.
+  const size_t array_bytes = filter.size() - 1;
+  const int k = static_cast<unsigned char>(filter[filter.size() - 1]);
+  if (k > 30) return true;  // Reserved encodings: treat as always-positive.
+  const uint64_t bits = array_bytes * 8;
+
+  const uint64_t h = XxHash64(key, /*seed=*/0xB10053ED);
+  uint32_t h1, h2;
+  SplitHash(h, &h1, &h2);
+  const char* array = filter.data();
+  for (int i = 0; i < k; i++) {
+    const uint64_t bit = (h1 + static_cast<uint64_t>(i) * h2) % bits;
+    if ((array[bit / 8] & (1 << (bit % 8))) == 0) return false;
+  }
+  return true;
+}
+
+uint64_t BloomFilterReader::SizeBits(const Slice& filter) {
+  if (filter.size() < 2) return 0;
+  return (filter.size() - 1) * 8;
+}
+
+}  // namespace monkeydb

@@ -1,0 +1,49 @@
+// Bloom filter math from the paper (Eq. 2 and its inverse), assuming the
+// optimal number of hash functions k = (bits/entries)·ln 2.
+//
+//   FPR  = e^{-(bits/entries)·ln(2)^2}                     (Eq. 2)
+//   bits = -entries·ln(FPR)/ln(2)^2                        (Sec. 4.1)
+
+#ifndef MONKEYDB_BLOOM_BLOOM_MATH_H_
+#define MONKEYDB_BLOOM_BLOOM_MATH_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+namespace monkeydb {
+namespace bloom {
+
+inline constexpr double kLn2 = 0.6931471805599453;
+inline constexpr double kLn2Squared = kLn2 * kLn2;
+
+// Expected false positive rate of a filter with the given bits-per-entry
+// ratio (Eq. 2). bits_per_entry <= 0 yields FPR = 1 (no filter).
+inline double FalsePositiveRate(double bits_per_entry) {
+  if (bits_per_entry <= 0.0) return 1.0;
+  return std::exp(-bits_per_entry * kLn2Squared);
+}
+
+// Bits per entry required to achieve the given false positive rate.
+// fpr >= 1 requires 0 bits; fpr must be > 0.
+inline double BitsPerEntryForFpr(double fpr) {
+  if (fpr >= 1.0) return 0.0;
+  return -std::log(fpr) / kLn2Squared;
+}
+
+// Total bits for `entries` keys at the given FPR.
+inline double BitsForFpr(double fpr, double entries) {
+  return BitsPerEntryForFpr(fpr) * entries;
+}
+
+// Optimal number of hash probes for a bits-per-entry ratio, clamped to
+// [1, 30]. (k = bits/entries · ln 2 minimizes the FPR.)
+inline int OptimalNumProbes(double bits_per_entry) {
+  int k = static_cast<int>(std::lround(bits_per_entry * kLn2));
+  return std::clamp(k, 1, 30);
+}
+
+}  // namespace bloom
+}  // namespace monkeydb
+
+#endif  // MONKEYDB_BLOOM_BLOOM_MATH_H_

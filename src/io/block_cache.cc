@@ -1,0 +1,92 @@
+#include "io/block_cache.h"
+
+namespace monkeydb {
+
+BlockCache::BlockCache(size_t capacity_bytes)
+    : capacity_(capacity_bytes),
+      per_shard_capacity_(capacity_bytes / kNumShards) {}
+
+std::shared_ptr<const std::string> BlockCache::Lookup(const Key& key) {
+  if (capacity_ == 0) return nullptr;
+  Shard* shard = GetShard(key);
+  std::lock_guard<std::mutex> lock(shard->mu);
+  auto it = shard->index.find(key);
+  if (it == shard->index.end()) {
+    shard->misses++;
+    return nullptr;
+  }
+  shard->hits++;
+  // Move to front (most recently used).
+  shard->lru.splice(shard->lru.begin(), shard->lru, it->second);
+  return it->second->block;
+}
+
+void BlockCache::Insert(const Key& key,
+                        std::shared_ptr<const std::string> block) {
+  if (capacity_ == 0 || block == nullptr) return;
+  Shard* shard = GetShard(key);
+  std::lock_guard<std::mutex> lock(shard->mu);
+  auto it = shard->index.find(key);
+  if (it != shard->index.end()) {
+    shard->usage -= it->second->block->size();
+    shard->lru.erase(it->second);
+    shard->index.erase(it);
+  }
+  shard->usage += block->size();
+  shard->lru.push_front(Entry{key, std::move(block)});
+  shard->index[key] = shard->lru.begin();
+  EvictLocked(shard);
+}
+
+void BlockCache::EraseFile(uint64_t file_id) {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (auto it = shard.lru.begin(); it != shard.lru.end();) {
+      if (it->key.file_id == file_id) {
+        shard.usage -= it->block->size();
+        shard.index.erase(it->key);
+        it = shard.lru.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+void BlockCache::EvictLocked(Shard* shard) {
+  while (shard->usage > per_shard_capacity_ && shard->lru.size() > 1) {
+    const Entry& victim = shard->lru.back();
+    shard->usage -= victim.block->size();
+    shard->index.erase(victim.key);
+    shard->lru.pop_back();
+  }
+}
+
+size_t BlockCache::usage_bytes() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(const_cast<std::mutex&>(shard.mu));
+    total += shard.usage;
+  }
+  return total;
+}
+
+uint64_t BlockCache::hits() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(const_cast<std::mutex&>(shard.mu));
+    total += shard.hits;
+  }
+  return total;
+}
+
+uint64_t BlockCache::misses() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(const_cast<std::mutex&>(shard.mu));
+    total += shard.misses;
+  }
+  return total;
+}
+
+}  // namespace monkeydb

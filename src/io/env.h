@@ -1,0 +1,87 @@
+// Env: the storage-environment abstraction.
+//
+// All file access in MonkeyDB flows through an Env so experiments can run on
+// (a) the real filesystem (PosixEnv), (b) a deterministic in-memory
+// filesystem (MemEnv), or (c) an instrumented decorator (CountingEnv, see
+// counting_env.h) that measures disk I/Os at page granularity — the unit the
+// paper's cost models are expressed in.
+
+#ifndef MONKEYDB_IO_ENV_H_
+#define MONKEYDB_IO_ENV_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace monkeydb {
+
+// Sequential read-only file (WAL/manifest recovery).
+class SequentialFile {
+ public:
+  virtual ~SequentialFile() = default;
+
+  // Reads up to n bytes. *result points into scratch (which must have room
+  // for n bytes) or into internal storage. Short reads indicate EOF.
+  virtual Status Read(size_t n, Slice* result, char* scratch) = 0;
+
+  virtual Status Skip(uint64_t n) = 0;
+};
+
+// Random-access read-only file (SSTables).
+class RandomAccessFile {
+ public:
+  virtual ~RandomAccessFile() = default;
+
+  // Reads up to n bytes starting at offset. Thread-safe.
+  virtual Status Read(uint64_t offset, size_t n, Slice* result,
+                      char* scratch) const = 0;
+};
+
+// Append-only writable file (SSTable building, WAL, manifest).
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+
+  virtual Status Append(const Slice& data) = 0;
+  virtual Status Flush() = 0;
+  virtual Status Sync() = 0;
+  virtual Status Close() = 0;
+};
+
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  virtual Status NewSequentialFile(const std::string& fname,
+                                   std::unique_ptr<SequentialFile>* result) = 0;
+  virtual Status NewRandomAccessFile(
+      const std::string& fname,
+      std::unique_ptr<RandomAccessFile>* result) = 0;
+  virtual Status NewWritableFile(const std::string& fname,
+                                 std::unique_ptr<WritableFile>* result) = 0;
+
+  virtual bool FileExists(const std::string& fname) = 0;
+  // Fills *result with the names (not paths) of the children of dir.
+  virtual Status GetChildren(const std::string& dir,
+                             std::vector<std::string>* result) = 0;
+  virtual Status RemoveFile(const std::string& fname) = 0;
+  virtual Status CreateDir(const std::string& dirname) = 0;
+  virtual Status GetFileSize(const std::string& fname, uint64_t* size) = 0;
+  virtual Status RenameFile(const std::string& src,
+                            const std::string& target) = 0;
+};
+
+// Process-wide POSIX environment singleton. Do not delete.
+Env* GetPosixEnv();
+
+// Creates a fresh, empty in-memory environment. Deterministic and fast;
+// the default substrate for tests and I/O-count experiments.
+std::unique_ptr<Env> NewMemEnv();
+
+}  // namespace monkeydb
+
+#endif  // MONKEYDB_IO_ENV_H_

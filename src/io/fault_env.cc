@@ -1,0 +1,71 @@
+#include "io/fault_env.h"
+
+namespace monkeydb {
+
+namespace {
+
+Status InjectedError() { return Status::IoError("injected fault"); }
+
+class FaultyRandomAccessFile : public RandomAccessFile {
+ public:
+  FaultyRandomAccessFile(std::unique_ptr<RandomAccessFile> base,
+                         FaultInjectionEnv* env)
+      : base_(std::move(base)), env_(env) {}
+
+  Status Read(uint64_t offset, size_t n, Slice* result,
+              char* scratch) const override {
+    if (env_->ShouldFailRead()) return InjectedError();
+    return base_->Read(offset, n, result, scratch);
+  }
+
+ private:
+  std::unique_ptr<RandomAccessFile> base_;
+  FaultInjectionEnv* env_;
+};
+
+class FaultyWritableFile : public WritableFile {
+ public:
+  FaultyWritableFile(std::unique_ptr<WritableFile> base,
+                     FaultInjectionEnv* env)
+      : base_(std::move(base)), env_(env) {}
+
+  Status Append(const Slice& data) override {
+    if (env_->ShouldFailWrite()) return InjectedError();
+    return base_->Append(data);
+  }
+  Status Flush() override { return base_->Flush(); }
+  Status Sync() override {
+    if (env_->ShouldFailWrite()) return InjectedError();
+    return base_->Sync();
+  }
+  Status Close() override {
+    if (env_->ShouldFailWrite()) return InjectedError();
+    return base_->Close();
+  }
+
+ private:
+  std::unique_ptr<WritableFile> base_;
+  FaultInjectionEnv* env_;
+};
+
+}  // namespace
+
+Status FaultInjectionEnv::NewRandomAccessFile(
+    const std::string& fname, std::unique_ptr<RandomAccessFile>* result) {
+  std::unique_ptr<RandomAccessFile> base_file;
+  MONKEYDB_RETURN_IF_ERROR(base_->NewRandomAccessFile(fname, &base_file));
+  *result =
+      std::make_unique<FaultyRandomAccessFile>(std::move(base_file), this);
+  return Status::OK();
+}
+
+Status FaultInjectionEnv::NewWritableFile(
+    const std::string& fname, std::unique_ptr<WritableFile>* result) {
+  if (ShouldFailWrite()) return Status::IoError("injected fault");
+  std::unique_ptr<WritableFile> base_file;
+  MONKEYDB_RETURN_IF_ERROR(base_->NewWritableFile(fname, &base_file));
+  *result = std::make_unique<FaultyWritableFile>(std::move(base_file), this);
+  return Status::OK();
+}
+
+}  // namespace monkeydb

@@ -1,0 +1,98 @@
+// FaultInjectionEnv: an Env decorator that injects I/O failures on demand,
+// for testing that the engine surfaces errors as Status (never corrupting
+// silently) and that recovery handles torn tails.
+//
+// Modes:
+//  - countdown: the k-th write operation from now (Append/Sync/Close/
+//    NewWritableFile) fails with IoError; subsequent ones keep failing
+//    until the countdown is reset.
+//  - read faults: all RandomAccessFile reads fail while enabled.
+
+#ifndef MONKEYDB_IO_FAULT_ENV_H_
+#define MONKEYDB_IO_FAULT_ENV_H_
+
+#include <atomic>
+#include <memory>
+
+#include "io/env.h"
+
+namespace monkeydb {
+
+class FaultInjectionEnv : public Env {
+ public:
+  explicit FaultInjectionEnv(Env* base) : base_(base) {}
+
+  // After `ops` more write operations, every write operation fails until
+  // ResetFaults() is called. ScheduleWriteFault(0) fails immediately.
+  void ScheduleWriteFault(uint64_t ops) {
+    write_countdown_.store(static_cast<int64_t>(ops));
+    write_faults_armed_.store(true);
+  }
+
+  void SetReadFaults(bool enabled) { read_faults_.store(enabled); }
+
+  void ResetFaults() {
+    write_faults_armed_.store(false);
+    read_faults_.store(false);
+  }
+
+  uint64_t injected_failures() const { return injected_failures_.load(); }
+
+  // Called by the wrapped files; returns true if this operation must fail.
+  bool ShouldFailWrite() {
+    if (!write_faults_armed_.load(std::memory_order_relaxed)) return false;
+    if (write_countdown_.fetch_sub(1, std::memory_order_relaxed) <= 0) {
+      injected_failures_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  }
+
+  bool ShouldFailRead() {
+    if (!read_faults_.load(std::memory_order_relaxed)) return false;
+    injected_failures_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  Status NewSequentialFile(const std::string& fname,
+                           std::unique_ptr<SequentialFile>* result) override {
+    return base_->NewSequentialFile(fname, result);
+  }
+  Status NewRandomAccessFile(
+      const std::string& fname,
+      std::unique_ptr<RandomAccessFile>* result) override;
+  Status NewWritableFile(const std::string& fname,
+                         std::unique_ptr<WritableFile>* result) override;
+
+  bool FileExists(const std::string& fname) override {
+    return base_->FileExists(fname);
+  }
+  Status GetChildren(const std::string& dir,
+                     std::vector<std::string>* result) override {
+    return base_->GetChildren(dir, result);
+  }
+  Status RemoveFile(const std::string& fname) override {
+    return base_->RemoveFile(fname);
+  }
+  Status CreateDir(const std::string& dirname) override {
+    return base_->CreateDir(dirname);
+  }
+  Status GetFileSize(const std::string& fname, uint64_t* size) override {
+    return base_->GetFileSize(fname, size);
+  }
+  Status RenameFile(const std::string& src,
+                    const std::string& target) override {
+    return base_->RenameFile(src, target);
+  }
+
+ private:
+  Env* base_;
+  std::atomic<bool> write_faults_armed_{false};
+  std::atomic<int64_t> write_countdown_{0};
+  std::atomic<bool> read_faults_{false};
+  std::atomic<uint64_t> injected_failures_{0};
+};
+
+}  // namespace monkeydb
+
+#endif  // MONKEYDB_IO_FAULT_ENV_H_

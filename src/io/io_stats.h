@@ -1,0 +1,92 @@
+// IoStats: page-granular I/O accounting, plus a simulated device clock.
+//
+// The paper's cost models count disk-page I/Os (unit: one page read or
+// written). CountingEnv charges every random read and every appended byte
+// against an IoStats at disk-page granularity, and a DeviceModel converts
+// those counts into simulated latency with the paper's parameters:
+//   Ω   — time to read one page from persistent storage (Sec. 4.4),
+//   φ   — cost ratio between a write and a read I/O (Eq. 10).
+
+#ifndef MONKEYDB_IO_IO_STATS_H_
+#define MONKEYDB_IO_IO_STATS_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace monkeydb {
+
+struct IoStatsSnapshot {
+  uint64_t read_ios = 0;       // Page-granular random reads.
+  uint64_t write_ios = 0;      // Page-granular writes (appends).
+  uint64_t bytes_read = 0;
+  uint64_t bytes_written = 0;
+  uint64_t read_calls = 0;     // Number of Read() invocations.
+
+  IoStatsSnapshot operator-(const IoStatsSnapshot& rhs) const {
+    IoStatsSnapshot d;
+    d.read_ios = read_ios - rhs.read_ios;
+    d.write_ios = write_ios - rhs.write_ios;
+    d.bytes_read = bytes_read - rhs.bytes_read;
+    d.bytes_written = bytes_written - rhs.bytes_written;
+    d.read_calls = read_calls - rhs.read_calls;
+    return d;
+  }
+};
+
+class IoStats {
+ public:
+  void AddRead(uint64_t pages, uint64_t bytes) {
+    read_ios_.fetch_add(pages, std::memory_order_relaxed);
+    bytes_read_.fetch_add(bytes, std::memory_order_relaxed);
+    read_calls_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  void AddWrite(uint64_t pages, uint64_t bytes) {
+    write_ios_.fetch_add(pages, std::memory_order_relaxed);
+    bytes_written_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+
+  IoStatsSnapshot Snapshot() const {
+    IoStatsSnapshot s;
+    s.read_ios = read_ios_.load(std::memory_order_relaxed);
+    s.write_ios = write_ios_.load(std::memory_order_relaxed);
+    s.bytes_read = bytes_read_.load(std::memory_order_relaxed);
+    s.bytes_written = bytes_written_.load(std::memory_order_relaxed);
+    s.read_calls = read_calls_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+  void Reset() {
+    read_ios_.store(0);
+    write_ios_.store(0);
+    bytes_read_.store(0);
+    bytes_written_.store(0);
+    read_calls_.store(0);
+  }
+
+ private:
+  std::atomic<uint64_t> read_ios_{0};
+  std::atomic<uint64_t> write_ios_{0};
+  std::atomic<uint64_t> bytes_read_{0};
+  std::atomic<uint64_t> bytes_written_{0};
+  std::atomic<uint64_t> read_calls_{0};
+};
+
+// Converts I/O counts into simulated seconds.
+struct DeviceModel {
+  double read_seconds_per_page = 10e-3;  // Ω: HDD seek ≈ 10 ms (Sec. 4.4).
+  double write_read_cost_ratio = 1.0;    // φ (1.0 = disk, >1 = flash).
+
+  static DeviceModel Hdd() { return DeviceModel{10e-3, 1.0}; }
+  static DeviceModel Flash() { return DeviceModel{100e-6, 2.0}; }
+
+  double SimulatedSeconds(const IoStatsSnapshot& s) const {
+    return static_cast<double>(s.read_ios) * read_seconds_per_page +
+           static_cast<double>(s.write_ios) * read_seconds_per_page *
+               write_read_cost_ratio;
+  }
+};
+
+}  // namespace monkeydb
+
+#endif  // MONKEYDB_IO_IO_STATS_H_

@@ -1,0 +1,180 @@
+#include <map>
+#include <mutex>
+
+#include "io/env.h"
+
+namespace monkeydb {
+
+namespace {
+
+// Shared, refcounted file contents so readers stay valid if the file is
+// removed (matches POSIX unlink semantics for open descriptors).
+struct MemFile {
+  std::mutex mu;
+  std::string data;
+};
+
+using MemFilePtr = std::shared_ptr<MemFile>;
+
+class MemSequentialFile : public SequentialFile {
+ public:
+  explicit MemSequentialFile(MemFilePtr file) : file_(std::move(file)) {}
+
+  Status Read(size_t n, Slice* result, char* scratch) override {
+    std::lock_guard<std::mutex> lock(file_->mu);
+    if (pos_ >= file_->data.size()) {
+      *result = Slice();
+      return Status::OK();
+    }
+    const size_t avail = file_->data.size() - pos_;
+    const size_t to_read = n < avail ? n : avail;
+    memcpy(scratch, file_->data.data() + pos_, to_read);
+    pos_ += to_read;
+    *result = Slice(scratch, to_read);
+    return Status::OK();
+  }
+
+  Status Skip(uint64_t n) override {
+    pos_ += n;
+    return Status::OK();
+  }
+
+ private:
+  MemFilePtr file_;
+  size_t pos_ = 0;
+};
+
+class MemRandomAccessFile : public RandomAccessFile {
+ public:
+  explicit MemRandomAccessFile(MemFilePtr file) : file_(std::move(file)) {}
+
+  Status Read(uint64_t offset, size_t n, Slice* result,
+              char* scratch) const override {
+    std::lock_guard<std::mutex> lock(file_->mu);
+    if (offset > file_->data.size()) {
+      return Status::IoError("read past end of file");
+    }
+    const size_t avail = file_->data.size() - offset;
+    const size_t to_read = n < avail ? n : avail;
+    memcpy(scratch, file_->data.data() + offset, to_read);
+    *result = Slice(scratch, to_read);
+    return Status::OK();
+  }
+
+ private:
+  MemFilePtr file_;
+};
+
+class MemWritableFile : public WritableFile {
+ public:
+  explicit MemWritableFile(MemFilePtr file) : file_(std::move(file)) {}
+
+  Status Append(const Slice& data) override {
+    std::lock_guard<std::mutex> lock(file_->mu);
+    file_->data.append(data.data(), data.size());
+    return Status::OK();
+  }
+  Status Flush() override { return Status::OK(); }
+  Status Sync() override { return Status::OK(); }
+  Status Close() override { return Status::OK(); }
+
+ private:
+  MemFilePtr file_;
+};
+
+class MemEnv : public Env {
+ public:
+  Status NewSequentialFile(const std::string& fname,
+                           std::unique_ptr<SequentialFile>* result) override {
+    MemFilePtr f;
+    MONKEYDB_RETURN_IF_ERROR(Find(fname, &f));
+    *result = std::make_unique<MemSequentialFile>(std::move(f));
+    return Status::OK();
+  }
+
+  Status NewRandomAccessFile(
+      const std::string& fname,
+      std::unique_ptr<RandomAccessFile>* result) override {
+    MemFilePtr f;
+    MONKEYDB_RETURN_IF_ERROR(Find(fname, &f));
+    *result = std::make_unique<MemRandomAccessFile>(std::move(f));
+    return Status::OK();
+  }
+
+  Status NewWritableFile(const std::string& fname,
+                         std::unique_ptr<WritableFile>* result) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto f = std::make_shared<MemFile>();
+    files_[fname] = f;  // Truncates any existing file.
+    *result = std::make_unique<MemWritableFile>(std::move(f));
+    return Status::OK();
+  }
+
+  bool FileExists(const std::string& fname) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    return files_.count(fname) > 0;
+  }
+
+  Status GetChildren(const std::string& dir,
+                     std::vector<std::string>* result) override {
+    result->clear();
+    std::string prefix = dir;
+    if (!prefix.empty() && prefix.back() != '/') prefix += '/';
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [name, file] : files_) {
+      if (name.size() > prefix.size() && name.compare(0, prefix.size(), prefix) == 0) {
+        std::string rest = name.substr(prefix.size());
+        if (rest.find('/') == std::string::npos) result->push_back(rest);
+      }
+    }
+    return Status::OK();
+  }
+
+  Status RemoveFile(const std::string& fname) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (files_.erase(fname) == 0) {
+      return Status::NotFound(fname);
+    }
+    return Status::OK();
+  }
+
+  Status CreateDir(const std::string& dirname) override {
+    return Status::OK();  // Directories are implicit.
+  }
+
+  Status GetFileSize(const std::string& fname, uint64_t* size) override {
+    MemFilePtr f;
+    MONKEYDB_RETURN_IF_ERROR(Find(fname, &f));
+    std::lock_guard<std::mutex> lock(f->mu);
+    *size = f->data.size();
+    return Status::OK();
+  }
+
+  Status RenameFile(const std::string& src,
+                    const std::string& target) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = files_.find(src);
+    if (it == files_.end()) return Status::NotFound(src);
+    files_[target] = it->second;
+    files_.erase(it);
+    return Status::OK();
+  }
+
+ private:
+  Status Find(const std::string& fname, MemFilePtr* out) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = files_.find(fname);
+    if (it == files_.end()) return Status::NotFound(fname);
+    *out = it->second;
+    return Status::OK();
+  }
+
+  std::mutex mu_;
+  std::map<std::string, MemFilePtr> files_;
+};
+
+}  // namespace
+
+std::unique_ptr<Env> NewMemEnv() { return std::make_unique<MemEnv>(); }
+
+}  // namespace monkeydb

@@ -1,0 +1,185 @@
+// DB: the public key-value store API over the LSM-tree engine.
+//
+// Single-threaded by design (operations are internally serialized with a
+// mutex): compactions run synchronously inside the writing thread, exactly
+// like the amortized model in the paper. The engine supports both merge
+// policies (leveling/tiering), any size ratio T >= 2, any buffer size, and
+// pluggable Bloom-filter memory allocation (uniform vs Monkey).
+
+#ifndef MONKEYDB_LSM_DB_H_
+#define MONKEYDB_LSM_DB_H_
+
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "lsm/internal_key.h"
+#include "lsm/options.h"
+#include "lsm/snapshot.h"
+#include "lsm/version.h"
+#include "lsm/value_log.h"
+#include "lsm/wal.h"
+#include "lsm/write_batch.h"
+#include "memtable/memtable.h"
+#include "util/iterator.h"
+
+namespace monkeydb {
+
+// Aggregate statistics for experiments and debugging.
+struct DbStats {
+  uint64_t memtable_entries = 0;
+  uint64_t total_disk_entries = 0;
+  uint64_t total_runs = 0;
+  int deepest_level = 0;
+  std::vector<uint64_t> entries_per_level;   // Index 0 = Level 1.
+  std::vector<uint64_t> runs_per_level;
+  std::vector<uint64_t> filter_bits_per_level;
+  uint64_t filter_bits_total = 0;
+
+  // Lookup-path counters since Open.
+  uint64_t gets = 0;
+  uint64_t runs_probed = 0;       // Runs whose data page was read.
+  uint64_t filter_negatives = 0;  // Probes skipped by a Bloom filter.
+  uint64_t false_positives = 0;   // Page reads that found nothing.
+
+  // Compaction counters since Open.
+  uint64_t flushes = 0;
+  uint64_t merges = 0;
+  uint64_t entries_compacted = 0;
+};
+
+class DB {
+ public:
+  // Opens (creating if needed) the database at `name`. Recovers from the
+  // manifest and WAL if they exist.
+  static Status Open(const DbOptions& options, const std::string& name,
+                     std::unique_ptr<DB>* dbptr);
+
+  ~DB();
+
+  DB(const DB&) = delete;
+  DB& operator=(const DB&) = delete;
+
+  Status Put(const WriteOptions& options, const Slice& key,
+             const Slice& value);
+  Status Delete(const WriteOptions& options, const Slice& key);
+
+  // Applies every operation in the batch atomically (one WAL record:
+  // after a crash, all of them or none of them survive).
+  Status Write(const WriteOptions& options, const WriteBatch& batch);
+
+  // Pins the current state for consistent reads via
+  // ReadOptions::snapshot. Must be released with ReleaseSnapshot.
+  const Snapshot* GetSnapshot();
+  void ReleaseSnapshot(const Snapshot* snapshot);
+
+  // Point lookup. Returns NotFound if the key does not exist or was
+  // deleted.
+  Status Get(const ReadOptions& options, const Slice& key,
+             std::string* value);
+
+  // Forward iteration over live user keys (newest visible version, no
+  // tombstones). SeekToLast/Prev are not supported.
+  std::unique_ptr<Iterator> NewIterator(const ReadOptions& options);
+
+  // Forces the memtable to disk (flush + cascading merges per policy).
+  Status Flush();
+
+  // Full compaction: merges the memtable and every run into a single run at
+  // the deepest occupied level, purging tombstones and superseded versions.
+  Status CompactAll();
+
+  DbStats GetStats() const;
+
+  // Human-readable summary of the tree: per-level runs, entries, and
+  // realized filter bits/entry (LevelDB's GetProperty-style report).
+  std::string DebugString() const;
+
+  // Approximate on-disk bytes of entries in [start, limit), estimated from
+  // run metadata and fence pointers (no data I/O).
+  uint64_t ApproximateSize(const Slice& start, const Slice& limit) const;
+
+  // Writes a consistent copy of the database (runs + manifest snapshot +
+  // value-log segments) into `target_dir` on the same Env. The copy can be
+  // opened as an independent database.
+  Status Checkpoint(const std::string& target_dir);
+
+  // The current tree geometry, as fed to the FPR allocation policy.
+  LsmShape CurrentShape() const;
+
+  const DbOptions& options() const { return options_; }
+
+ private:
+  DB(const DbOptions& options, std::string name);
+
+  Status Recover();
+  Status ReplayWal(const std::string& wal_path);
+  Status NewWal();
+
+  Status WriteInternal(const WriteOptions& options, ValueType type,
+                       const Slice& key, const Slice& value);
+
+  // Flush + cascade, per merge policy. REQUIRES: mu_ held.
+  Status FlushMemTableLocked();
+  Status CascadeLeveling(RunPtr incoming);
+  Status CascadeTiering();
+  Status CascadeLazyLeveling();
+
+  // Builds a new on-disk run from iter (which yields internal keys in
+  // order), installing its Bloom filter per the FPR policy for
+  // target_level. Drops superseded versions; drops tombstones iff
+  // drop_tombstones. estimated_entries is an upper bound on the output
+  // size and replaced_files lists the runs this compaction consumes; both
+  // feed the FPR policy's view of the post-compaction tree geometry.
+  Status BuildRun(Iterator* iter, int target_level, bool drop_tombstones,
+                  uint64_t estimated_entries,
+                  const std::set<uint64_t>& replaced_files, RunPtr* out);
+
+  // True iff nothing older than output_level exists, so tombstones and all
+  // superseded entries can be dropped.
+  bool CanDropTombstones(int output_level) const;
+
+  // Appends edit to the manifest and applies it to current_.
+  Status LogAndApply(const VersionEdit& edit);
+
+  uint64_t LevelCapacityEntries(int level) const;
+
+  // Replaces *value (an encoded ValueHandle) with the logged value.
+  Status ResolveHandle(std::string* value) const;
+
+  std::string TableFileName(uint64_t number) const;
+  Status OpenTable(RunPtr run);
+
+  const DbOptions options_;
+  const std::string name_;
+  InternalKeyComparator internal_comparator_;
+
+  // Smallest sequence pinned by an active snapshot (or last_sequence_ if
+  // none). Compactions must keep versions visible at this point. REQUIRES:
+  // mu_ held.
+  SequenceNumber SmallestSnapshotLocked() const;
+
+  mutable std::mutex mu_;
+  std::shared_ptr<MemTable> mem_;
+  std::multiset<SequenceNumber> snapshots_;
+  SequenceNumber last_sequence_ = 0;
+  uint64_t next_file_number_ = 1;
+  uint64_t buffer_entries_ = 0;  // B·P: set from the first flush.
+
+  Version current_;
+  std::unique_ptr<ValueLog> vlog_;  // Non-null iff separation is enabled.
+  std::unique_ptr<WalWriter> wal_;
+  std::unique_ptr<WalWriter> manifest_;
+
+  // Mutable pieces of DbStats.
+  mutable DbStats stats_;
+
+  friend class DbIterator;
+};
+
+}  // namespace monkeydb
+
+#endif  // MONKEYDB_LSM_DB_H_

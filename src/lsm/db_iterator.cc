@@ -1,0 +1,144 @@
+// DbIterator: merges the memtable and every disk run into a forward
+// iterator over live user keys — the engine's range-lookup path (the
+// paper's Q: one cursor per run, sort-merge, skip superseded entries).
+
+#include <cassert>
+
+#include "lsm/db.h"
+#include "lsm/merging_iterator.h"
+
+namespace monkeydb {
+
+class DbIterator : public Iterator {
+ public:
+  DbIterator(const DB* db, const InternalKeyComparator* comparator,
+             std::unique_ptr<Iterator> internal_iter,
+             SequenceNumber sequence, std::shared_ptr<MemTable> pinned_mem,
+             std::vector<RunPtr> pinned_runs)
+      : db_(db),
+        comparator_(comparator),
+        iter_(std::move(internal_iter)),
+        sequence_(sequence),
+        pinned_mem_(std::move(pinned_mem)),
+        pinned_runs_(std::move(pinned_runs)) {}
+
+  bool Valid() const override { return valid_; }
+
+  void SeekToFirst() override {
+    iter_->SeekToFirst();
+    FindNextUserEntry();
+  }
+
+  void Seek(const Slice& target) override {
+    // Seek to the newest version of target visible at the read sequence.
+    LookupKey lookup(target, sequence_);
+    iter_->Seek(lookup.internal_key());
+    FindNextUserEntry();
+  }
+
+  void Next() override {
+    assert(valid_);
+    iter_->Next();
+    FindNextUserEntry();
+  }
+
+  // Backward iteration is intentionally unsupported: the paper's range
+  // lookups are forward scans (Sec. 4.2, Q).
+  void SeekToLast() override { valid_ = false; }
+  void Prev() override { valid_ = false; }
+
+  Slice key() const override {
+    assert(valid_);
+    return Slice(saved_key_);
+  }
+
+  Slice value() const override {
+    assert(valid_);
+    return Slice(saved_value_);
+  }
+
+  Status status() const override {
+    if (!status_.ok()) return status_;
+    return iter_->status();
+  }
+
+ private:
+  // Advances iter_ to the next visible, live user entry: the newest version
+  // of each user key wins; tombstones hide all older versions.
+  void FindNextUserEntry() {
+    valid_ = false;
+    while (iter_->Valid()) {
+      ParsedInternalKey parsed;
+      if (!ParseInternalKey(iter_->key(), &parsed)) {
+        iter_->Next();
+        continue;
+      }
+      if (parsed.sequence > sequence_) {
+        iter_->Next();  // Written after the read snapshot.
+        continue;
+      }
+      const bool same_as_skipped =
+          has_skip_ && comparator_->user_comparator()->Compare(
+                           parsed.user_key, Slice(skip_key_)) == 0;
+      if (same_as_skipped) {
+        iter_->Next();
+        continue;
+      }
+      // Newest version of a fresh user key.
+      if (parsed.type == ValueType::kDeletion) {
+        skip_key_.assign(parsed.user_key.data(), parsed.user_key.size());
+        has_skip_ = true;
+        iter_->Next();
+        continue;
+      }
+      // A live value: emit it, and skip its older versions.
+      saved_key_.assign(parsed.user_key.data(), parsed.user_key.size());
+      saved_value_.assign(iter_->value().data(), iter_->value().size());
+      if (parsed.type == ValueType::kValueHandle) {
+        status_ = db_->ResolveHandle(&saved_value_);
+        if (!status_.ok()) return;  // Invalid; surfaced via status().
+      }
+      skip_key_ = saved_key_;
+      has_skip_ = true;
+      valid_ = true;
+      return;
+    }
+  }
+
+  const DB* db_;
+  const InternalKeyComparator* comparator_;
+  std::unique_ptr<Iterator> iter_;
+  SequenceNumber sequence_;
+  Status status_;
+  std::shared_ptr<MemTable> pinned_mem_;
+  std::vector<RunPtr> pinned_runs_;  // Keep TableReaders alive.
+
+  bool valid_ = false;
+  bool has_skip_ = false;
+  std::string skip_key_;
+  std::string saved_key_;
+  std::string saved_value_;
+};
+
+std::unique_ptr<Iterator> DB::NewIterator(const ReadOptions& options) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::unique_ptr<Iterator>> children;
+  std::vector<RunPtr> pinned;
+  children.push_back(mem_->NewIterator());
+  for (int level = 1; level <= current_.NumLevels(); level++) {
+    for (const RunPtr& run : current_.RunsAt(level)) {
+      children.push_back(run->table->NewIterator());
+      pinned.push_back(run);
+    }
+  }
+  const SequenceNumber read_seq = options.snapshot != nullptr
+                                      ? options.snapshot->sequence()
+                                      : last_sequence_;
+  auto merged =
+      NewMergingIterator(&internal_comparator_, std::move(children));
+  return std::make_unique<DbIterator>(this, &internal_comparator_,
+                                      std::move(merged), read_seq, mem_,
+                                      std::move(pinned));
+}
+
+}  // namespace monkeydb

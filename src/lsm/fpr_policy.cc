@@ -1,0 +1,11 @@
+#include "lsm/fpr_policy.h"
+
+#include "bloom/bloom_math.h"
+
+namespace monkeydb {
+
+double UniformFprPolicy::RunFpr(const LsmShape& shape, int level) const {
+  return bloom::FalsePositiveRate(shape.bits_per_entry_budget);
+}
+
+}  // namespace monkeydb

@@ -1,0 +1,23 @@
+// MergingIterator: k-way merge over sorted child iterators, ordered by the
+// internal key comparator. Ties (same internal key) cannot occur because
+// sequence numbers are unique; for robustness, earlier children win.
+
+#ifndef MONKEYDB_LSM_MERGING_ITERATOR_H_
+#define MONKEYDB_LSM_MERGING_ITERATOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "lsm/internal_key.h"
+#include "util/iterator.h"
+
+namespace monkeydb {
+
+// Takes ownership of the children. comparator must outlive the iterator.
+std::unique_ptr<Iterator> NewMergingIterator(
+    const InternalKeyComparator* comparator,
+    std::vector<std::unique_ptr<Iterator>> children);
+
+}  // namespace monkeydb
+
+#endif  // MONKEYDB_LSM_MERGING_ITERATOR_H_

@@ -1,0 +1,82 @@
+// DbOptions: the tuning knobs of the LSM engine — exactly the design knobs
+// the paper identifies (Sec. 4): merge policy, size ratio T, buffer size
+// M_buffer, filter memory M_filters (as bits per entry) and its allocation
+// policy.
+
+#ifndef MONKEYDB_LSM_OPTIONS_H_
+#define MONKEYDB_LSM_OPTIONS_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "io/block_cache.h"
+#include "io/env.h"
+#include "lsm/fpr_policy.h"
+#include "util/comparator.h"
+
+namespace monkeydb {
+
+struct DbOptions {
+  // Storage environment. Required (use NewMemEnv() or GetPosixEnv(),
+  // optionally wrapped in a CountingEnv).
+  Env* env = nullptr;
+
+  const Comparator* comparator = nullptr;  // Defaults to bytewise.
+
+  // --- LSM design knobs (paper Sec. 4, "Design Knobs") ---
+
+  MergePolicy merge_policy = MergePolicy::kLeveling;
+
+  // T: capacity ratio between adjacent levels. Must be >= 2.
+  double size_ratio = 2.0;
+
+  // M_buffer in bytes: flush the memtable once it reaches this size.
+  size_t buffer_size_bytes = 1 << 20;  // 1 MB, the paper's default setup.
+
+  // M_filters expressed as bits per entry. 0 disables filters entirely.
+  double bits_per_entry = 5.0;  // The paper's default experimental setup.
+
+  // How the filter memory is divided among levels. Null = uniform baseline.
+  std::shared_ptr<const FprAllocationPolicy> fpr_policy;
+
+  // --- Physical parameters ---
+
+  // Disk page size; data blocks are page-aligned so one probe = one I/O.
+  size_t page_size = 4096;
+
+  // Optional block cache (paper Appendix F). Null = no cache.
+  BlockCache* block_cache = nullptr;
+
+  // Durability: fsync WAL appends. Off by default (experiments measure
+  // steady-state I/O, not fsync latency).
+  bool sync_writes = false;
+
+  // WiscKey-style key-value separation: values of at least this many bytes
+  // are stored in the value log and the tree keeps only a handle, so merges
+  // move keys without their values (Sec. 6 "Reducing Merge Overheads").
+  // 0 disables separation.
+  size_t value_separation_threshold = 0;
+
+  // Expected total number of entries (N). When set, filter-allocation
+  // planning targets the final tree geometry instead of adapting to the
+  // current fill level — this is how the paper's experiments configure
+  // Monkey. 0 = adapt dynamically as the tree grows.
+  uint64_t expected_entries = 0;
+};
+
+class Snapshot;
+
+struct ReadOptions {
+  bool fill_block_cache = true;
+  // Read at this snapshot instead of the latest state. Not owned; must
+  // stay unreleased for the duration of the read (nullptr = latest).
+  const Snapshot* snapshot = nullptr;
+};
+
+struct WriteOptions {
+  bool sync = false;
+};
+
+}  // namespace monkeydb
+
+#endif  // MONKEYDB_LSM_OPTIONS_H_

@@ -1,0 +1,27 @@
+// Snapshot: a pinned sequence number giving a consistent point-in-time
+// read view. While a snapshot is active, compactions retain the newest
+// version of each key that is visible at it.
+
+#ifndef MONKEYDB_LSM_SNAPSHOT_H_
+#define MONKEYDB_LSM_SNAPSHOT_H_
+
+#include "lsm/internal_key.h"
+
+namespace monkeydb {
+
+class DB;
+
+class Snapshot {
+ public:
+  SequenceNumber sequence() const { return sequence_; }
+
+ private:
+  friend class DB;
+  explicit Snapshot(SequenceNumber sequence) : sequence_(sequence) {}
+
+  const SequenceNumber sequence_;
+};
+
+}  // namespace monkeydb
+
+#endif  // MONKEYDB_LSM_SNAPSHOT_H_

@@ -1,0 +1,103 @@
+#include "lsm/value_log.h"
+
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "util/hash.h"
+
+namespace monkeydb {
+
+std::string ValueLog::FileName(uint64_t number) const {
+  char buf[32];
+  snprintf(buf, sizeof(buf), "/vlog-%06llu.data",
+           static_cast<unsigned long long>(number));
+  return dir_ + buf;
+}
+
+Status ValueLog::Open(Env* env, const std::string& dbname,
+                      std::unique_ptr<ValueLog>* log) {
+  auto vlog = std::unique_ptr<ValueLog>(new ValueLog(env, dbname));
+
+  // Continue numbering above any existing log files (their contents stay
+  // readable via the handles already persisted in the tree).
+  std::vector<std::string> children;
+  env->GetChildren(dbname, &children).ok();
+  uint64_t max_number = 0;
+  for (const std::string& child : children) {
+    unsigned long long number;
+    if (sscanf(child.c_str(), "vlog-%llu.data", &number) == 1) {
+      max_number = std::max<uint64_t>(max_number, number);
+    }
+  }
+  vlog->active_number_ = max_number + 1;
+  MONKEYDB_RETURN_IF_ERROR(env->NewWritableFile(
+      vlog->FileName(vlog->active_number_), &vlog->active_));
+  *log = std::move(vlog);
+  return Status::OK();
+}
+
+Status ValueLog::Add(const Slice& value, bool sync, ValueHandle* handle) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string header;
+  PutFixed32(&header, MaskCrc(Crc32c(value.data(), value.size())));
+  PutFixed32(&header, static_cast<uint32_t>(value.size()));
+
+  handle->file_number = active_number_;
+  handle->offset = active_offset_;
+  handle->size = static_cast<uint32_t>(value.size());
+
+  MONKEYDB_RETURN_IF_ERROR(active_->Append(header));
+  MONKEYDB_RETURN_IF_ERROR(active_->Append(value));
+  if (sync) MONKEYDB_RETURN_IF_ERROR(active_->Sync());
+  active_offset_ += header.size() + value.size();
+  bytes_appended_ += header.size() + value.size();
+  return Status::OK();
+}
+
+Status ValueLog::ReaderFor(uint64_t number,
+                           std::shared_ptr<RandomAccessFile>* reader) {
+  auto it = readers_.find(number);
+  if (it != readers_.end()) {
+    *reader = it->second;
+    return Status::OK();
+  }
+  std::unique_ptr<RandomAccessFile> file;
+  MONKEYDB_RETURN_IF_ERROR(env_->NewRandomAccessFile(FileName(number),
+                                                     &file));
+  auto shared = std::shared_ptr<RandomAccessFile>(std::move(file));
+  readers_[number] = shared;
+  *reader = shared;
+  return Status::OK();
+}
+
+Status ValueLog::Get(const ValueHandle& handle, std::string* value) {
+  std::shared_ptr<RandomAccessFile> reader;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Reading from the active file requires its buffered bytes to be
+    // visible; our Env implementations write through, so this is safe.
+    MONKEYDB_RETURN_IF_ERROR(ReaderFor(handle.file_number, &reader));
+  }
+
+  const size_t n = 8 + handle.size;
+  auto scratch = std::make_unique<char[]>(n);
+  Slice result;
+  MONKEYDB_RETURN_IF_ERROR(
+      reader->Read(handle.offset, n, &result, scratch.get()));
+  if (result.size() != n) {
+    return Status::Corruption("short value-log read");
+  }
+  const uint32_t expected_crc = UnmaskCrc(DecodeFixed32(result.data()));
+  const uint32_t stored_size = DecodeFixed32(result.data() + 4);
+  if (stored_size != handle.size) {
+    return Status::Corruption("value-log size mismatch");
+  }
+  if (Crc32c(result.data() + 8, handle.size) != expected_crc) {
+    return Status::Corruption("value-log checksum mismatch");
+  }
+  value->assign(result.data() + 8, handle.size);
+  return Status::OK();
+}
+
+}  // namespace monkeydb

@@ -1,0 +1,93 @@
+// Version: the current set of disk-resident runs, organized into levels of
+// exponentially increasing capacity (paper Fig. 2), plus the manifest that
+// makes this state recoverable.
+//
+// Level 0 is the in-memory buffer (the memtable); levels 1..L hold runs.
+// With leveling a level holds at most one run; with tiering up to T-1 runs
+// ordered newest-first.
+
+#ifndef MONKEYDB_LSM_VERSION_H_
+#define MONKEYDB_LSM_VERSION_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "io/env.h"
+#include "sstable/table_reader.h"
+#include "util/status.h"
+
+namespace monkeydb {
+
+// Metadata + open reader for one immutable sorted run.
+struct RunMetadata {
+  uint64_t file_number = 0;
+  uint64_t file_size = 0;
+  uint64_t num_entries = 0;
+  uint64_t sequence = 0;  // Creation order; larger = newer.
+  std::string smallest;   // Internal keys.
+  std::string largest;
+  std::shared_ptr<TableReader> table;  // Open reader (always set in memory).
+};
+
+using RunPtr = std::shared_ptr<RunMetadata>;
+
+// The levels of the tree. levels()[0] corresponds to Level 1 in the paper's
+// numbering (index i holds Level i+1).
+class Version {
+ public:
+  const std::vector<std::vector<RunPtr>>& levels() const { return levels_; }
+  std::vector<std::vector<RunPtr>>* mutable_levels() { return &levels_; }
+
+  // Ensures the vector has at least `level` levels (1-based).
+  void EnsureLevel(int level) {
+    if (static_cast<int>(levels_.size()) < level) levels_.resize(level);
+  }
+
+  // Runs at a 1-based level, newest first.
+  const std::vector<RunPtr>& RunsAt(int level) const {
+    static const std::vector<RunPtr> kEmpty;
+    if (level < 1 || level > static_cast<int>(levels_.size())) return kEmpty;
+    return levels_[level - 1];
+  }
+
+  int NumLevels() const { return static_cast<int>(levels_.size()); }
+
+  // Deepest level with at least one run (0 if the tree is empty on disk).
+  int DeepestNonEmptyLevel() const;
+
+  uint64_t TotalEntries() const;
+  uint64_t TotalRuns() const;
+  uint64_t TotalFilterBits() const;
+
+ private:
+  std::vector<std::vector<RunPtr>> levels_;
+};
+
+// --- Manifest: a log of version edits for recovery ---
+
+// One edit record: files added to levels and file numbers deleted.
+struct VersionEdit {
+  struct AddedRun {
+    int level = 1;
+    uint64_t file_number = 0;
+    uint64_t file_size = 0;
+    uint64_t num_entries = 0;
+    uint64_t sequence = 0;
+    std::string smallest;
+    std::string largest;
+  };
+
+  std::vector<AddedRun> added;
+  std::vector<uint64_t> deleted_files;
+  uint64_t last_sequence = 0;
+  uint64_t next_file_number = 0;
+
+  void EncodeTo(std::string* dst) const;
+  Status DecodeFrom(const Slice& src);
+};
+
+}  // namespace monkeydb
+
+#endif  // MONKEYDB_LSM_VERSION_H_

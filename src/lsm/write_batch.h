@@ -1,0 +1,46 @@
+// WriteBatch: a group of updates applied atomically — they share one WAL
+// record, so after a crash either all of them or none of them survive.
+
+#ifndef MONKEYDB_LSM_WRITE_BATCH_H_
+#define MONKEYDB_LSM_WRITE_BATCH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "lsm/internal_key.h"
+#include "util/slice.h"
+
+namespace monkeydb {
+
+class WriteBatch {
+ public:
+  WriteBatch() = default;
+
+  void Put(const Slice& key, const Slice& value) {
+    ops_.push_back(Op{ValueType::kValue, key.ToString(), value.ToString()});
+  }
+
+  void Delete(const Slice& key) {
+    ops_.push_back(Op{ValueType::kDeletion, key.ToString(), std::string()});
+  }
+
+  void Clear() { ops_.clear(); }
+
+  size_t count() const { return ops_.size(); }
+
+  // Internal: the recorded operations, in order.
+  struct Op {
+    ValueType type;
+    std::string key;
+    std::string value;
+  };
+  const std::vector<Op>& ops() const { return ops_; }
+
+ private:
+  std::vector<Op> ops_;
+};
+
+}  // namespace monkeydb
+
+#endif  // MONKEYDB_LSM_WRITE_BATCH_H_

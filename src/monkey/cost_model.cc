@@ -1,0 +1,196 @@
+#include "monkey/cost_model.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "bloom/bloom_math.h"
+#include "monkey/fpr_allocator.h"
+
+namespace monkeydb {
+namespace monkey {
+
+namespace {
+
+using bloom::kLn2Squared;
+
+double Clamp(double x, double lo, double hi) {
+  return std::min(std::max(x, lo), hi);
+}
+
+}  // namespace
+
+double SizeRatioLimit(const DesignPoint& d) {
+  return std::max(2.0, d.num_entries * d.entry_size_bits / d.buffer_bits);
+}
+
+int NumLevels(const DesignPoint& d) {
+  assert(d.valid());
+  const double t = d.size_ratio;
+  const double ratio =
+      (d.num_entries * d.entry_size_bits / d.buffer_bits) * (t - 1.0) / t;
+  if (ratio <= 1.0) return 1;
+  const int levels = static_cast<int>(std::ceil(std::log(ratio) /
+                                                std::log(t)));
+  return std::max(1, levels);
+}
+
+double MemoryThreshold(const DesignPoint& d) {
+  const double t = d.size_ratio;
+  return d.num_entries / kLn2Squared * std::log(t) / (t - 1.0);
+}
+
+int UnfilteredLevels(const DesignPoint& d) {
+  const int levels = NumLevels(d);
+  const double threshold = MemoryThreshold(d);
+  if (d.filter_bits >= threshold) return 0;
+  if (d.filter_bits <= 0.0) return levels;
+  const double raw =
+      std::ceil(std::log(threshold / d.filter_bits) / std::log(d.size_ratio));
+  return static_cast<int>(Clamp(raw, 0.0, static_cast<double>(levels)));
+}
+
+double MaxRuns(const DesignPoint& d) {
+  const int levels = NumLevels(d);
+  switch (d.policy) {
+    case MergePolicy::kTiering:
+      return levels * (d.size_ratio - 1.0);
+    case MergePolicy::kLazyLeveling:
+      return (levels - 1) * (d.size_ratio - 1.0) + 1.0;
+    case MergePolicy::kLeveling:
+      break;
+  }
+  return levels;
+}
+
+double ZeroResultLookupCost(const DesignPoint& d) {
+  if (d.policy == MergePolicy::kLazyLeveling) {
+    // No closed form for the hybrid: solve the allocation numerically over
+    // the capacity geometry (extension; see fpr_allocator.h).
+    const int levels = NumLevels(d);
+    const auto geometry = CapacityGeometry(d.policy, d.size_ratio, levels,
+                                           d.num_entries);
+    const FprVector fprs = OptimalFprsForGeometry(geometry, d.filter_bits);
+    return Clamp(LookupCostForGeometry(geometry, fprs), 0.0, MaxRuns(d));
+  }
+  const double t = d.size_ratio;
+  const int levels = NumLevels(d);
+  const int unfiltered = UnfilteredLevels(d);
+
+  // Runs in the unfiltered deep levels are always probed (Eq. 7).
+  double r_unfiltered;
+  if (d.policy == MergePolicy::kTiering) {
+    r_unfiltered = unfiltered * (t - 1.0);
+  } else {
+    r_unfiltered = unfiltered;
+  }
+
+  // Expected false positives across the filtered shallow levels (Eq. 7):
+  // filters there cover only N/T^unfiltered entries.
+  double r_filtered = 0.0;
+  if (unfiltered < levels) {
+    const double effective_exponent = (d.filter_bits / d.num_entries) *
+                                      kLn2Squared *
+                                      std::pow(t, unfiltered);
+    const double base = std::pow(t, t / (t - 1.0));
+    if (d.policy == MergePolicy::kTiering) {
+      r_filtered = base * std::exp(-effective_exponent);
+    } else {
+      r_filtered = base / (t - 1.0) * std::exp(-effective_exponent);
+    }
+  }
+
+  return Clamp(r_filtered + r_unfiltered, 0.0, MaxRuns(d));
+}
+
+double BaselineZeroResultLookupCost(const DesignPoint& d) {
+  const double fpr =
+      std::exp(-(d.filter_bits / d.num_entries) * kLn2Squared);
+  // Eq. 26 generalizes to: (number of runs) x (uniform FPR).
+  const double r = MaxRuns(d) * fpr;
+  return Clamp(r, 0.0, MaxRuns(d));
+}
+
+double LastLevelFpr(const DesignPoint& d) {
+  if (d.policy == MergePolicy::kLazyLeveling) {
+    const int levels = NumLevels(d);
+    const auto geometry = CapacityGeometry(d.policy, d.size_ratio, levels,
+                                           d.num_entries);
+    const FprVector fprs = OptimalFprsForGeometry(geometry, d.filter_bits);
+    return fprs.back();
+  }
+  if (UnfilteredLevels(d) > 0) return 1.0;
+  const double t = d.size_ratio;
+  const double r = ZeroResultLookupCost(d);
+  // From the optimal allocation (Eq. 15/16 at i = L, large-L form):
+  // leveling p_L = R(T-1)/T, tiering p_L = R/T.
+  double p_last;
+  if (d.policy == MergePolicy::kTiering) {
+    p_last = r / t;
+  } else {
+    p_last = r * (t - 1.0) / t;
+  }
+  return Clamp(p_last, 0.0, 1.0);
+}
+
+double BaselineLastLevelFpr(const DesignPoint& d) {
+  return Clamp(
+      std::exp(-(d.filter_bits / d.num_entries) * kLn2Squared), 0.0, 1.0);
+}
+
+double NonZeroResultLookupCost(const DesignPoint& d) {
+  return ZeroResultLookupCost(d) - LastLevelFpr(d) + 1.0;  // Eq. 9.
+}
+
+double BaselineNonZeroResultLookupCost(const DesignPoint& d) {
+  return BaselineZeroResultLookupCost(d) - BaselineLastLevelFpr(d) + 1.0;
+}
+
+double UpdateCost(const DesignPoint& d) {
+  const double t = d.size_ratio;
+  const double levels = NumLevels(d);
+  const double b = d.entries_per_page;
+  const double phi = d.write_read_cost_ratio;
+  switch (d.policy) {
+    case MergePolicy::kTiering:
+      return levels / b * (t - 1.0) / t * (1.0 + phi);  // Eq. 10.
+    case MergePolicy::kLazyLeveling:
+      // Tiered merges through L-1 levels plus one leveled largest level.
+      return ((levels - 1) / b * (t - 1.0) / t +
+              1.0 / b * (t - 1.0) / 2.0) *
+             (1.0 + phi);
+    case MergePolicy::kLeveling:
+      break;
+  }
+  return levels / b * (t - 1.0) / 2.0 * (1.0 + phi);
+}
+
+double RangeLookupCost(const DesignPoint& d, double selectivity) {
+  const double scan_pages = selectivity * d.num_entries / d.entries_per_page;
+  // Eq. 11 generalizes to: scan pages + one seek per run.
+  return scan_pages + MaxRuns(d);
+}
+
+double AverageOperationCost(const DesignPoint& d, const Workload& w) {
+  return w.zero_result_lookups * ZeroResultLookupCost(d) +
+         w.nonzero_result_lookups * NonZeroResultLookupCost(d) +
+         w.range_lookups * RangeLookupCost(d, w.range_selectivity) +
+         w.updates * UpdateCost(d);  // Eq. 12.
+}
+
+double BaselineAverageOperationCost(const DesignPoint& d, const Workload& w) {
+  return w.zero_result_lookups * BaselineZeroResultLookupCost(d) +
+         w.nonzero_result_lookups * BaselineNonZeroResultLookupCost(d) +
+         w.range_lookups * RangeLookupCost(d, w.range_selectivity) +
+         w.updates * UpdateCost(d);
+}
+
+double Throughput(const DesignPoint& d, const Workload& w,
+                  double read_seconds) {
+  const double theta = AverageOperationCost(d, w);
+  if (theta <= 0.0) return 0.0;
+  return 1.0 / (theta * read_seconds);  // Eq. 13.
+}
+
+}  // namespace monkey
+}  // namespace monkeydb

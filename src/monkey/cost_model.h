@@ -1,0 +1,107 @@
+// Closed-form worst-case cost models for the LSM-tree design space
+// (paper Sections 2, 4.2 and Appendices B.1, E).
+//
+// All I/O costs are expressed in disk-page I/Os, matching the engine's
+// CountingEnv unit. The models take a DesignPoint — the paper's tuning and
+// environmental parameters — and produce:
+//   R      zero-result point lookup cost        (Eqs. 7 & 8)
+//   R_art  same, for the uniform-FPR baseline   (Eq. 26)
+//   V      non-zero-result point lookup cost    (Eq. 9)
+//   W      amortized update cost                (Eq. 10)
+//   Q      range lookup cost                    (Eq. 11)
+//   theta  average operation cost               (Eq. 12)
+//   tau    worst-case throughput                (Eq. 13)
+
+#ifndef MONKEYDB_MONKEY_COST_MODEL_H_
+#define MONKEYDB_MONKEY_COST_MODEL_H_
+
+#include <cstdint>
+
+#include "lsm/fpr_policy.h"
+
+namespace monkeydb {
+namespace monkey {
+
+// A full configuration of the LSM-tree design space plus environment
+// (paper Fig. 2 and Table 2 terms).
+struct DesignPoint {
+  MergePolicy policy = MergePolicy::kLeveling;
+  double size_ratio = 2.0;        // T, in [2, T_lim].
+
+  double num_entries = 0;         // N.
+  double entry_size_bits = 0;     // E.
+  double buffer_bits = 0;         // M_buffer.
+  double filter_bits = 0;         // M_filters.
+  double entries_per_page = 1;    // B.
+
+  double write_read_cost_ratio = 1.0;  // phi (flash > 1).
+
+  bool valid() const {
+    return size_ratio >= 2.0 && num_entries > 0 && entry_size_bits > 0 &&
+           buffer_bits > 0 && entries_per_page >= 1;
+  }
+};
+
+// Workload mix (paper Table 2): proportions must sum to 1.
+struct Workload {
+  double zero_result_lookups = 0;     // r.
+  double nonzero_result_lookups = 0;  // v.
+  double range_lookups = 0;           // q.
+  double updates = 0;                 // w.
+  double range_selectivity = 0;       // s: fraction of entries per range.
+};
+
+// T_lim: the size ratio at which the tree collapses to a single level
+// (Sec. 2): T_lim = N·E / M_buffer.
+double SizeRatioLimit(const DesignPoint& d);
+
+// L: number of levels (Eq. 1). Always >= 1.
+int NumLevels(const DesignPoint& d);
+
+// M_threshold: filter memory below which the largest level's FPR converges
+// to 1 (Eq. 8, bottom).
+double MemoryThreshold(const DesignPoint& d);
+
+// L_unfiltered: number of deep levels with no filters under Monkey's
+// allocation (Eq. 8).
+int UnfilteredLevels(const DesignPoint& d);
+
+// R: Monkey's zero-result lookup cost (Eqs. 7 & 8), clamped to the total
+// number of runs.
+double ZeroResultLookupCost(const DesignPoint& d);
+
+// R_art: the state-of-the-art baseline with uniform bits-per-entry
+// (Eq. 26), clamped to the total number of runs.
+double BaselineZeroResultLookupCost(const DesignPoint& d);
+
+// p_L: FPR of the largest level under Monkey / baseline (used by Eq. 9).
+double LastLevelFpr(const DesignPoint& d);
+double BaselineLastLevelFpr(const DesignPoint& d);
+
+// V = R - p_L + 1 (Eq. 9).
+double NonZeroResultLookupCost(const DesignPoint& d);
+double BaselineNonZeroResultLookupCost(const DesignPoint& d);
+
+// W (Eq. 10).
+double UpdateCost(const DesignPoint& d);
+
+// Q (Eq. 11) for range lookups touching fraction s of all entries.
+double RangeLookupCost(const DesignPoint& d, double selectivity);
+
+// theta (Eq. 12): workload-weighted average operation cost, using Monkey's
+// (or the baseline's) lookup models.
+double AverageOperationCost(const DesignPoint& d, const Workload& w);
+double BaselineAverageOperationCost(const DesignPoint& d, const Workload& w);
+
+// tau = 1/(theta * Omega) (Eq. 13). read_seconds is Omega.
+double Throughput(const DesignPoint& d, const Workload& w,
+                  double read_seconds);
+
+// Maximum possible number of runs (L with leveling, L·(T-1) with tiering):
+// the natural upper bound on R.
+double MaxRuns(const DesignPoint& d);
+
+}  // namespace monkey
+}  // namespace monkeydb
+
+#endif  // MONKEYDB_MONKEY_COST_MODEL_H_

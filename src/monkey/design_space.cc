@@ -1,0 +1,107 @@
+#include "monkey/design_space.h"
+
+#include <algorithm>
+
+namespace monkeydb {
+namespace monkey {
+
+std::vector<CurvePoint> SweepDesignSpace(const DesignPoint& base,
+                                         double t_max, double t_step) {
+  std::vector<CurvePoint> points;
+  for (MergePolicy policy :
+       {MergePolicy::kLeveling, MergePolicy::kTiering}) {
+    for (double t = 2.0; t <= t_max; t += t_step) {
+      DesignPoint d = base;
+      d.policy = policy;
+      d.size_ratio = t;
+      CurvePoint point;
+      point.policy = policy;
+      point.size_ratio = t;
+      point.lookup_cost = ZeroResultLookupCost(d);
+      point.baseline_lookup_cost = BaselineZeroResultLookupCost(d);
+      point.update_cost = UpdateCost(d);
+      points.push_back(point);
+    }
+  }
+  return points;
+}
+
+std::vector<StoreConfig> StateOfTheArtStores() {
+  // Defaults from each system's source/documentation circa the paper
+  // (Sec. 1 Fig. 1 and Sec. 6): all use uniform bits-per-entry filters.
+  return {
+      {"LevelDB", MergePolicy::kLeveling, 10.0, 10.0, 2.0 * (1 << 20)},
+      {"RocksDB", MergePolicy::kLeveling, 10.0, 10.0, 64.0 * (1 << 20)},
+      {"cLSM", MergePolicy::kLeveling, 10.0, 10.0, 64.0 * (1 << 20)},
+      {"bLSM", MergePolicy::kLeveling, 10.0, 10.0, 128.0 * (1 << 20)},
+      {"Cassandra", MergePolicy::kTiering, 4.0, 10.0, 64.0 * (1 << 20)},
+      {"HBase", MergePolicy::kTiering, 4.0, 10.0, 128.0 * (1 << 20)},
+      {"WiredTiger", MergePolicy::kLeveling, 15.0, 16.0, 64.0 * (1 << 20)},
+  };
+}
+
+CurvePoint EvaluateStore(const StoreConfig& store, const Environment& env) {
+  DesignPoint d;
+  d.policy = store.policy;
+  d.size_ratio = store.size_ratio;
+  d.num_entries = env.num_entries;
+  d.entry_size_bits = env.entry_size_bits;
+  d.buffer_bits = store.buffer_bytes * 8.0;
+  d.filter_bits = store.bits_per_entry * env.num_entries;
+  d.entries_per_page = std::max(1.0, env.page_bits / env.entry_size_bits);
+  d.write_read_cost_ratio = env.write_read_cost_ratio;
+
+  CurvePoint point;
+  point.policy = store.policy;
+  point.size_ratio = store.size_ratio;
+  point.lookup_cost = ZeroResultLookupCost(d);
+  point.baseline_lookup_cost = BaselineZeroResultLookupCost(d);
+  point.update_cost = UpdateCost(d);
+  return point;
+}
+
+WhatIfResult WhatIfMemoryChanges(const Environment& env, const Workload& w,
+                                 double new_total_memory_bits) {
+  WhatIfResult result;
+  result.before = AutotuneSizeRatioAndPolicy(env, w);
+  Environment changed = env;
+  changed.total_memory_bits = new_total_memory_bits;
+  result.after = AutotuneSizeRatioAndPolicy(changed, w);
+  return result;
+}
+
+WhatIfResult WhatIfWorkloadChanges(const Environment& env,
+                                   const Workload& before,
+                                   const Workload& after) {
+  WhatIfResult result;
+  result.before = AutotuneSizeRatioAndPolicy(env, before);
+  result.after = AutotuneSizeRatioAndPolicy(env, after);
+  return result;
+}
+
+WhatIfResult WhatIfDataGrows(const Environment& env, const Workload& w,
+                             double new_num_entries,
+                             double new_entry_size_bits) {
+  WhatIfResult result;
+  result.before = AutotuneSizeRatioAndPolicy(env, w);
+  Environment changed = env;
+  changed.num_entries = new_num_entries;
+  changed.entry_size_bits = new_entry_size_bits;
+  result.after = AutotuneSizeRatioAndPolicy(changed, w);
+  return result;
+}
+
+WhatIfResult WhatIfStorageChanges(const Environment& env, const Workload& w,
+                                  double new_read_seconds,
+                                  double new_write_read_cost_ratio) {
+  WhatIfResult result;
+  result.before = AutotuneSizeRatioAndPolicy(env, w);
+  Environment changed = env;
+  changed.read_seconds = new_read_seconds;
+  changed.write_read_cost_ratio = new_write_read_cost_ratio;
+  result.after = AutotuneSizeRatioAndPolicy(changed, w);
+  return result;
+}
+
+}  // namespace monkey
+}  // namespace monkeydb

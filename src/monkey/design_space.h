@@ -1,0 +1,72 @@
+// DesignSpace: enumeration and what-if analysis over the LSM design
+// continuum (paper Figs. 1, 4, 8 and the what-if questions of Sec. 4.4).
+
+#ifndef MONKEYDB_MONKEY_DESIGN_SPACE_H_
+#define MONKEYDB_MONKEY_DESIGN_SPACE_H_
+
+#include <string>
+#include <vector>
+
+#include "monkey/cost_model.h"
+#include "monkey/tuner.h"
+
+namespace monkeydb {
+namespace monkey {
+
+// One point on a lookup-vs-update cost curve.
+struct CurvePoint {
+  MergePolicy policy;
+  double size_ratio;
+  double lookup_cost;           // R, Monkey allocation.
+  double baseline_lookup_cost;  // R_art, uniform allocation.
+  double update_cost;           // W (same for both).
+};
+
+// Sweeps the size ratio from 2 to t_max for both policies with a fixed
+// environment/memory split (Figs. 4 and 8). The two half-curves meet at
+// T = 2 where tiering and leveling coincide.
+std::vector<CurvePoint> SweepDesignSpace(const DesignPoint& base,
+                                         double t_max, double t_step = 1.0);
+
+// Default configurations of named state-of-the-art stores, as positioned in
+// Fig. 1 (values from each system's documentation/source defaults).
+struct StoreConfig {
+  std::string name;
+  MergePolicy policy;
+  double size_ratio;
+  double bits_per_entry;  // Uniform filter budget.
+  double buffer_bytes;
+};
+std::vector<StoreConfig> StateOfTheArtStores();
+
+// Evaluates a named store's default tuning (uniform FPR allocation) against
+// an environment; returns (R_art, W) — its position in Fig. 1.
+CurvePoint EvaluateStore(const StoreConfig& store, const Environment& env);
+
+// --- What-if analysis (Sec. 4.4 / intro bullet 4) ---
+//
+// Each what-if takes a baseline environment+workload, applies one change,
+// re-tunes Monkey, and reports both tunings so callers can see how the
+// optimal design and its performance shift.
+struct WhatIfResult {
+  Tuning before;
+  Tuning after;
+};
+
+WhatIfResult WhatIfMemoryChanges(const Environment& env, const Workload& w,
+                                 double new_total_memory_bits);
+WhatIfResult WhatIfWorkloadChanges(const Environment& env,
+                                   const Workload& before,
+                                   const Workload& after);
+WhatIfResult WhatIfDataGrows(const Environment& env, const Workload& w,
+                             double new_num_entries,
+                             double new_entry_size_bits);
+// E.g. disk (omega=10ms, phi=1) -> flash (omega=100us, phi=2).
+WhatIfResult WhatIfStorageChanges(const Environment& env, const Workload& w,
+                                  double new_read_seconds,
+                                  double new_write_read_cost_ratio);
+
+}  // namespace monkey
+}  // namespace monkeydb
+
+#endif  // MONKEYDB_MONKEY_DESIGN_SPACE_H_

@@ -1,0 +1,305 @@
+#include "monkey/fpr_allocator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "bloom/bloom_math.h"
+#include "monkey/cost_model.h"
+
+namespace monkeydb {
+namespace monkey {
+
+namespace {
+
+using bloom::kLn2Squared;
+
+double Clamp01(double p) { return std::min(std::max(p, 1e-12), 1.0); }
+
+}  // namespace
+
+FprVector OptimalFprsForLookupCost(MergePolicy policy, double size_ratio,
+                                   int levels, double target_r) {
+  assert(levels >= 1);
+  assert(size_ratio >= 2.0);
+  const double t = size_ratio;
+  const double runs_per_level =
+      (policy == MergePolicy::kTiering) ? (t - 1.0) : 1.0;
+  const double max_r = levels * runs_per_level;
+  target_r = std::min(std::max(target_r, 1e-12), max_r);
+
+  // Eq. 17/18: the deepest L_u levels get FPR 1; the rest share the
+  // remaining R following the geometric profile. The paper's estimate
+  // L_u = max(0, floor((R-1)/runs_per_level)) can still leave the deepest
+  // filtered level's FPR above 1 for large T, so saturate levels one at a
+  // time (deepest first, which preserves optimality: deep filters are the
+  // most expensive per unit of FPR reduction) until the profile is valid.
+  int unfiltered;
+  if (policy == MergePolicy::kTiering) {
+    unfiltered = std::max(0, static_cast<int>(
+                                 std::floor((target_r - 1.0) / (t - 1.0))));
+  } else {
+    unfiltered = std::max(0, static_cast<int>(std::floor(target_r - 1.0)));
+  }
+  unfiltered = std::min(unfiltered, levels - 1);
+
+  // For the filtered sub-problem with Lf levels (exact forms of Eqs. 15/16
+  // re-derived in Appendix B):
+  //   leveling: p_i = R'·(T-1)·T^{i-1} / (T^{Lf} - 1)
+  //   tiering:  p_i = R'·T^{i-1} / (T^{Lf} - 1)
+  // The deepest filtered level (i = Lf) must satisfy p_{Lf} <= 1.
+  auto deepest_fpr = [&](int filtered, double remaining_r) {
+    const double denom = std::pow(t, filtered) - 1.0;
+    const double numer = remaining_r * std::pow(t, filtered - 1);
+    if (policy == MergePolicy::kTiering) return numer / denom;
+    return numer * (t - 1.0) / denom;
+  };
+  while (unfiltered < levels - 1 &&
+         deepest_fpr(levels - unfiltered,
+                     target_r - unfiltered * runs_per_level) > 1.0) {
+    unfiltered++;
+  }
+
+  const int filtered = levels - unfiltered;
+  const double remaining_r = target_r - unfiltered * runs_per_level;
+
+  FprVector fprs(levels, 1.0);
+  const double denom = std::pow(t, filtered) - 1.0;
+  for (int i = 1; i <= filtered; i++) {
+    double p;
+    if (policy == MergePolicy::kTiering) {
+      p = remaining_r * std::pow(t, i - 1) / denom;
+    } else {
+      p = remaining_r * (t - 1.0) * std::pow(t, i - 1) / denom;
+    }
+    fprs[i - 1] = Clamp01(p);
+  }
+  return fprs;
+}
+
+FprVector OptimalFprsForMemory(MergePolicy policy, double size_ratio,
+                               int levels, double total_entries,
+                               double filter_bits) {
+  assert(levels >= 1);
+  // Derive R from the closed-form model. The model's level count comes from
+  // the caller (the live tree shape), so build a DesignPoint that
+  // reproduces exactly `levels` levels.
+  DesignPoint d;
+  d.policy = policy;
+  d.size_ratio = size_ratio;
+  d.num_entries = std::max(total_entries, 1.0);
+  d.entry_size_bits = 1.0;
+  d.entries_per_page = 1.0;
+  // Choose buffer_bits so that NumLevels(d) == levels: Eq. 1 gives
+  // L = ceil(log_T(N·E/Mbuf · (T-1)/T)). With
+  // Mbuf = N·(T-1)/T^(levels+0.5) the log argument is T^(levels-0.5),
+  // whose ceil-log is exactly `levels`.
+  d.buffer_bits = d.num_entries * (size_ratio - 1.0) /
+                  std::pow(size_ratio, static_cast<double>(levels) + 0.5);
+  d.filter_bits = std::max(filter_bits, 0.0);
+
+  const double r = ZeroResultLookupCost(d);
+  return OptimalFprsForLookupCost(policy, size_ratio, levels, r);
+}
+
+double FilterMemoryForFprs(MergePolicy policy, double size_ratio,
+                           double total_entries, const FprVector& fprs) {
+  // Eq. 4: M_filters = -N/ln(2)^2 · (T-1)/T · sum_i ln(p_i)/T^{L-i}.
+  const double t = size_ratio;
+  const int levels = static_cast<int>(fprs.size());
+  double sum = 0.0;
+  for (int i = 1; i <= levels; i++) {
+    sum += std::log(fprs[i - 1]) / std::pow(t, levels - i);
+  }
+  return -total_entries / kLn2Squared * (t - 1.0) / t * sum;
+}
+
+double LookupCostForFprs(MergePolicy policy, double size_ratio,
+                         const FprVector& fprs) {
+  double sum = 0.0;
+  for (double p : fprs) sum += p;
+  if (policy == MergePolicy::kTiering) return (size_ratio - 1.0) * sum;
+  return sum;  // Eq. 3.
+}
+
+// --- Generalized geometry allocation ---
+
+std::vector<LevelGeometry> CapacityGeometry(MergePolicy policy,
+                                            double size_ratio, int levels,
+                                            double total_entries) {
+  std::vector<LevelGeometry> geometry(levels);
+  const double t = size_ratio;
+  for (int i = 1; i <= levels; i++) {
+    geometry[i - 1].entries =
+        total_entries * (t - 1.0) / std::pow(t, levels - i + 1);
+    switch (policy) {
+      case MergePolicy::kLeveling:
+        geometry[i - 1].runs = 1;
+        break;
+      case MergePolicy::kTiering:
+        geometry[i - 1].runs = t - 1.0;
+        break;
+      case MergePolicy::kLazyLeveling:
+        geometry[i - 1].runs = (i == levels) ? 1.0 : t - 1.0;
+        break;
+    }
+  }
+  return geometry;
+}
+
+double LookupCostForGeometry(const std::vector<LevelGeometry>& geometry,
+                             const FprVector& fprs) {
+  double sum = 0;
+  for (size_t i = 0; i < geometry.size(); i++) {
+    sum += geometry[i].runs * fprs[i];
+  }
+  return sum;
+}
+
+FprVector OptimalFprsForGeometry(const std::vector<LevelGeometry>& geometry,
+                                 double filter_bits) {
+  const int levels = static_cast<int>(geometry.size());
+  FprVector fprs(levels, 1.0);
+  if (filter_bits <= 0.0) return fprs;
+
+  // Optimal per-run FPR is alpha * entries_per_run (Lagrange condition of
+  // Eq. 3 vs Eq. 4, generalized); clamp at 1. Memory used is a decreasing
+  // function of alpha, so bisect alpha to spend exactly the budget.
+  auto memory_for_alpha = [&](double alpha) {
+    double memory = 0;
+    for (const LevelGeometry& level : geometry) {
+      if (level.entries <= 0) continue;
+      const double per_run = level.entries / level.runs;
+      const double p = std::min(1.0, alpha * per_run);
+      memory += -level.entries * std::log(p) / kLn2Squared;
+    }
+    return memory;
+  };
+
+  // Bracket alpha: lo small enough that memory > budget, hi large enough
+  // that all FPRs are 1 (memory 0).
+  double max_per_run = 0;
+  for (const LevelGeometry& level : geometry) {
+    if (level.entries > 0) {
+      max_per_run = std::max(max_per_run, level.entries / level.runs);
+    }
+  }
+  if (max_per_run <= 0) return fprs;
+  double hi = 1.0 / max_per_run;   // All p_i == 1 boundary.
+  double lo = hi * 1e-30;
+  if (memory_for_alpha(lo) < filter_bits) {
+    // Budget exceeds what even absurdly small FPRs need; use lo as-is.
+  }
+  for (int iter = 0; iter < 200; iter++) {
+    const double mid = std::sqrt(lo * hi);  // Geometric bisection.
+    if (memory_for_alpha(mid) > filter_bits) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  const double alpha = std::sqrt(lo * hi);
+  for (int i = 0; i < levels; i++) {
+    if (geometry[i].entries <= 0) continue;
+    fprs[i] = Clamp01(std::min(
+        1.0, alpha * geometry[i].entries / geometry[i].runs));
+  }
+  return fprs;
+}
+
+// --- Appendix C ---
+
+namespace {
+
+// Algorithm 3: FPR of a filter with `bits` bits over `entries` keys.
+double EvalFpr(double bits, uint64_t entries) {
+  if (entries == 0) return 0.0;
+  if (bits <= 0.0) return 1.0;
+  return std::exp(-(bits / static_cast<double>(entries)) * kLn2Squared);
+}
+
+// Algorithm 2: moves delta bits from run2 to run1 if that reduces R.
+double TrySwitch(RunFilterInfo* run1, RunFilterInfo* run2, double delta,
+                 double r) {
+  const double r_new = r - EvalFpr(run1->bits, run1->entries) -
+                       EvalFpr(run2->bits, run2->entries) +
+                       EvalFpr(run1->bits + delta, run1->entries) +
+                       EvalFpr(run2->bits - delta, run2->entries);
+  if (r_new < r && run2->bits - delta >= 0.0) {
+    run1->bits += delta;
+    run2->bits -= delta;
+    return r_new;
+  }
+  return r;
+}
+
+}  // namespace
+
+double AutotuneFilters(double filter_bits, std::vector<RunFilterInfo>* runs) {
+  if (runs->empty()) return 0.0;
+
+  // Algorithm 1: start with all memory on run 0, then iteratively shift
+  // halving amounts of memory between pairs of runs while it helps.
+  double delta = filter_bits;
+  for (auto& run : *runs) run.bits = 0.0;
+  (*runs)[0].bits = filter_bits;
+
+  double r = 0.0;
+  for (const auto& run : *runs) r += EvalFpr(run.bits, run.entries);
+
+  // Halve the step once a full pass stops producing a meaningful
+  // improvement. (Algorithm 1 halves on exactly-zero improvement; the
+  // epsilon keeps convergence fast when moves yield only rounding-level
+  // gains, without changing the fixed point materially.)
+  constexpr double kEpsilon = 1e-9;
+  while (delta >= 1.0) {
+    const double r_before = r;
+    for (size_t i = 0; i + 1 < runs->size(); i++) {
+      for (size_t j = i + 1; j < runs->size(); j++) {
+        r = TrySwitch(&(*runs)[i], &(*runs)[j], delta, r);
+        r = TrySwitch(&(*runs)[j], &(*runs)[i], delta, r);
+      }
+    }
+    if (r >= r_before - kEpsilon) delta /= 2.0;
+  }
+  return r;
+}
+
+// --- MonkeyFprPolicy ---
+
+double MonkeyFprPolicy::RunFpr(const LsmShape& shape, int level) const {
+  // Plan against the tree's *capacity* geometry (paper Sec. 4.1): derive
+  // the level count L from Eq. 1 for the planning N (the expected final N
+  // when the caller provides one, else the live total), then assign level i
+  // the closed-form optimal FPR p_i. Because a level never holds more
+  // entries than its capacity, the realized filter memory is bounded by the
+  // budget M_filters = bits_per_entry * N automatically.
+  const double n = static_cast<double>(std::max<uint64_t>(
+      shape.total_entries, 1));
+  int levels = std::max(shape.num_levels, level);
+  if (shape.buffer_entries > 0) {
+    const double t = shape.size_ratio;
+    const double ratio =
+        n / static_cast<double>(shape.buffer_entries) * (t - 1.0) / t;
+    if (ratio > 1.0) {
+      levels = std::max(
+          levels,
+          static_cast<int>(std::ceil(std::log(ratio) / std::log(t))));
+    }
+  }
+  const double filter_bits = shape.bits_per_entry_budget * n;
+  FprVector fprs;
+  if (shape.merge_policy == MergePolicy::kLazyLeveling) {
+    fprs = OptimalFprsForGeometry(
+        CapacityGeometry(shape.merge_policy, shape.size_ratio, levels, n),
+        filter_bits);
+  } else {
+    fprs = OptimalFprsForMemory(shape.merge_policy, shape.size_ratio, levels,
+                                n, filter_bits);
+  }
+  assert(level >= 1 && level <= static_cast<int>(fprs.size()));
+  return fprs[level - 1];
+}
+
+}  // namespace monkey
+}  // namespace monkeydb

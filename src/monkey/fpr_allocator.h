@@ -1,0 +1,109 @@
+// Monkey's optimal Bloom-filter memory allocation.
+//
+// Three entry points:
+//  1. OptimalFprsForLookupCost — Eqs. 17/18: given a target zero-result
+//     lookup cost R, return the per-level FPRs that minimize filter memory.
+//  2. OptimalFprsForMemory — the converse used by the engine: given a
+//     filter-memory budget, derive R via the closed-form model and return
+//     the per-level FPRs.
+//  3. AutotuneFilters — Appendix C (Algorithms 1-3): an iterative optimizer
+//     over arbitrary per-run entry counts (variable entry sizes); converges
+//     to the closed form when runs follow the ideal geometry.
+//
+// Plus MonkeyFprPolicy, the engine plug-in implementing FprAllocationPolicy.
+
+#ifndef MONKEYDB_MONKEY_FPR_ALLOCATOR_H_
+#define MONKEYDB_MONKEY_FPR_ALLOCATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "lsm/fpr_policy.h"
+
+namespace monkeydb {
+namespace monkey {
+
+// Per-level FPRs p_1..p_L (index 0 = Level 1, the smallest). All values in
+// (0, 1].
+using FprVector = std::vector<double>;
+
+// Eqs. 17 (leveling) / 18 (tiering): FPR assignment minimizing filter
+// memory subject to sum-of-FPRs == target R. REQUIRES: levels >= 1,
+// size_ratio >= 2, 0 < target_r <= max total runs.
+FprVector OptimalFprsForLookupCost(MergePolicy policy, double size_ratio,
+                                   int levels, double target_r);
+
+// Engine-facing: given the filter budget in bits for `total_entries` spread
+// across `levels` levels with ratio `size_ratio`, computes R from the
+// closed-form model (Eqs. 7/8) and returns the per-level FPRs.
+FprVector OptimalFprsForMemory(MergePolicy policy, double size_ratio,
+                               int levels, double total_entries,
+                               double filter_bits);
+
+// Total filter memory (bits) consumed by an FPR assignment (Eq. 4), for
+// N entries distributed geometrically across the levels.
+double FilterMemoryForFprs(MergePolicy policy, double size_ratio,
+                           double total_entries, const FprVector& fprs);
+
+// Expected zero-result lookup cost of an assignment (Eq. 3).
+double LookupCostForFprs(MergePolicy policy, double size_ratio,
+                         const FprVector& fprs);
+
+// --- Generalized allocation over an arbitrary level geometry ---
+//
+// Supports hybrid merge policies (e.g. lazy leveling) that the closed
+// forms above do not cover. The optimality condition is the paper's:
+// each run's FPR is proportional to the number of entries in the run;
+// this solves it numerically (bisection on the proportionality constant,
+// with FPRs clamped at 1) for any {entries, runs} profile per level.
+
+struct LevelGeometry {
+  double entries = 0;  // Total entries at the level.
+  double runs = 1;     // Number of runs sharing them (same size each).
+};
+
+// Per-level per-run FPRs minimizing the expected lookup cost
+// sum_i runs_i * p_i subject to the total filter memory budget (bits).
+FprVector OptimalFprsForGeometry(const std::vector<LevelGeometry>& geometry,
+                                 double filter_bits);
+
+// Expected zero-result lookup cost of a per-level assignment over the
+// geometry: sum_i runs_i * p_i.
+double LookupCostForGeometry(const std::vector<LevelGeometry>& geometry,
+                             const FprVector& fprs);
+
+// The level geometry implied by the paper's capacity profile for a tree of
+// n entries: level i holds n·(T-1)/T^{L-i+1} entries, split into T-1 runs
+// under tiering, 1 under leveling, and (tiering below / one run at the
+// largest level) under lazy leveling.
+std::vector<LevelGeometry> CapacityGeometry(MergePolicy policy,
+                                            double size_ratio, int levels,
+                                            double total_entries);
+
+// --- Appendix C: iterative autotuning for arbitrary run sizes ---
+
+struct RunFilterInfo {
+  uint64_t entries = 0;  // Number of keys in the run.
+  double bits = 0;       // Filter bits currently assigned.
+};
+
+// Algorithm 1: redistributes `filter_bits` among the runs to minimize the
+// sum of FPRs. On return runs[i].bits holds the assignment; returns the
+// minimized sum of FPRs (the expected lookup I/O cost R).
+double AutotuneFilters(double filter_bits, std::vector<RunFilterInfo>* runs);
+
+// --- Engine plug-in ---
+
+// Assigns each run the Monkey-optimal FPR for its level, re-deriving the
+// assignment from the tree shape every time a run is built (so filters
+// adapt as the tree grows, like the paper's LevelDB retrofit).
+class MonkeyFprPolicy : public FprAllocationPolicy {
+ public:
+  double RunFpr(const LsmShape& shape, int level) const override;
+  const char* Name() const override { return "monkey"; }
+};
+
+}  // namespace monkey
+}  // namespace monkeydb
+
+#endif  // MONKEYDB_MONKEY_FPR_ALLOCATOR_H_

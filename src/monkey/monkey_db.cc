@@ -1,0 +1,35 @@
+#include "monkey/monkey_db.h"
+
+#include <algorithm>
+
+namespace monkeydb {
+namespace monkey {
+
+std::shared_ptr<const FprAllocationPolicy> NewMonkeyFprPolicy() {
+  return std::make_shared<const MonkeyFprPolicy>();
+}
+
+void ApplyTuning(const Tuning& tuning, double num_entries,
+                 DbOptions* options) {
+  options->merge_policy = tuning.policy;
+  options->size_ratio = tuning.size_ratio;
+  options->buffer_size_bytes =
+      static_cast<size_t>(std::max(tuning.buffer_bits / 8.0, 4096.0));
+  options->bits_per_entry =
+      num_entries > 0 ? tuning.filter_bits / num_entries : 0.0;
+  options->fpr_policy = NewMonkeyFprPolicy();
+}
+
+Status OpenNavigableMonkey(const Environment& env, const Workload& workload,
+                           const DbOptions& base_options,
+                           const std::string& name, Tuning* chosen,
+                           std::unique_ptr<DB>* db) {
+  const Tuning tuning = AutotuneSizeRatioAndPolicy(env, workload);
+  if (chosen != nullptr) *chosen = tuning;
+  DbOptions options = base_options;
+  ApplyTuning(tuning, env.num_entries, &options);
+  return DB::Open(options, name, db);
+}
+
+}  // namespace monkey
+}  // namespace monkeydb

@@ -1,0 +1,183 @@
+#include "monkey/tuner.h"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+#include <cmath>
+
+#include "bloom/bloom_math.h"
+
+namespace monkeydb {
+namespace monkey {
+
+namespace {
+
+// Evaluates a candidate (policy, T): allocates memory per Sec. 4.4, then
+// computes costs. Returns theta = +inf for SLA-violating candidates so the
+// search discards them (Appendix D).
+Tuning Evaluate(const Environment& env, const Workload& w,
+                const SlaBounds& sla, MergePolicy policy, double size_ratio) {
+  Tuning tuning;
+  tuning.policy = policy;
+  tuning.size_ratio = size_ratio;
+
+  const MemorySplit split = AllocateMainMemory(env, policy, size_ratio);
+  tuning.buffer_bits = split.buffer_bits;
+  tuning.filter_bits = split.filter_bits;
+
+  const DesignPoint d = MakeDesignPoint(env, policy, size_ratio,
+                                        split.buffer_bits, split.filter_bits);
+  tuning.lookup_cost = ZeroResultLookupCost(d);
+  tuning.update_cost = UpdateCost(d);
+  tuning.avg_op_cost = AverageOperationCost(d, w);
+  tuning.throughput = Throughput(d, w, env.read_seconds);
+  tuning.feasible = tuning.lookup_cost <= sla.max_lookup_cost &&
+                    tuning.update_cost <= sla.max_update_cost;
+  if (!tuning.feasible) {
+    tuning.avg_op_cost = std::numeric_limits<double>::infinity();
+    tuning.throughput = 0.0;
+  }
+  return tuning;
+}
+
+}  // namespace
+
+DesignPoint MakeDesignPoint(const Environment& env, MergePolicy policy,
+                            double size_ratio, double buffer_bits,
+                            double filter_bits) {
+  DesignPoint d;
+  d.policy = policy;
+  d.size_ratio = size_ratio;
+  d.num_entries = env.num_entries;
+  d.entry_size_bits = env.entry_size_bits;
+  d.buffer_bits = std::max(buffer_bits, env.page_bits);  // >= one page.
+  d.filter_bits = std::max(filter_bits, 0.0);
+  d.entries_per_page = std::max(1.0, env.page_bits / env.entry_size_bits);
+  d.write_read_cost_ratio = env.write_read_cost_ratio;
+  return d;
+}
+
+MemorySplit AllocateMainMemory(const Environment& env, MergePolicy policy,
+                               double size_ratio, double r_target) {
+  MemorySplit split;
+  const double total = env.total_memory_bits;
+  const double page = env.page_bits;
+
+  // The buffer must hold at least one page.
+  split.buffer_bits = std::min(total, page);
+  split.filter_bits = 0.0;
+  if (total <= page) return split;
+
+  // Step 1: filters below M_threshold/T^L yield no benefit (Eq. 8), so the
+  // first min(M, M_threshold/T^L) bits go to the buffer. L depends on the
+  // buffer size, so iterate the fixed point a few times.
+  DesignPoint probe = MakeDesignPoint(env, policy, size_ratio,
+                                      split.buffer_bits, 0.0);
+  double step1 = split.buffer_bits;
+  for (int iter = 0; iter < 8; iter++) {
+    probe.buffer_bits = std::max(step1, page);
+    const double threshold = MemoryThreshold(probe) /
+                             std::pow(size_ratio, NumLevels(probe));
+    const double next = std::min(total, std::max(page, threshold));
+    if (std::abs(next - step1) < 1.0) {
+      step1 = next;
+      break;
+    }
+    step1 = next;
+  }
+  split.buffer_bits = step1;
+  double remaining = total - step1;
+  if (remaining <= 0.0) return split;
+
+  // Step 2: 95% of the remainder to filters, 5% to the buffer — but filters
+  // stop paying off once R falls below r_target (false-positive I/O becomes
+  // negligible next to CPU/RAM costs). Cap the filter memory there.
+  double filters = 0.95 * remaining;
+  double buffer_extra = 0.05 * remaining;
+
+  // Invert Eq. 19 to find the filter memory where R == r_target.
+  const double t = size_ratio;
+  const double base = std::pow(t, t / (t - 1.0));
+  double cap;
+  if (policy == MergePolicy::kTiering) {
+    cap = env.num_entries / bloom::kLn2Squared *
+          std::log(base / r_target);
+  } else {
+    cap = env.num_entries / bloom::kLn2Squared *
+          std::log(base / (r_target * (t - 1.0)));
+  }
+  cap = std::max(cap, 0.0);
+  if (filters > cap) {
+    // Step 3: memory beyond the cap goes back to the buffer.
+    buffer_extra += filters - cap;
+    filters = cap;
+  }
+
+  split.buffer_bits += buffer_extra;
+  split.filter_bits = filters;
+  return split;
+}
+
+Tuning AutotuneSizeRatioAndPolicy(const Environment& env, const Workload& w,
+                                  const SlaBounds& sla,
+                                  std::vector<Tuning>* trace) {
+  // Linearized space (Algorithm 5): candidate i maps to
+  //   T = |i| + 2,  policy = tiering if i > 0 else leveling.
+  const DesignPoint probe = MakeDesignPoint(env, MergePolicy::kLeveling, 2.0,
+                                            env.total_memory_bits / 2,
+                                            env.total_memory_bits / 2);
+  const double t_lim = SizeRatioLimit(probe);
+
+  auto compute = [&](double i) {
+    const double t = std::min(std::fabs(i) + 2.0, std::max(2.0, t_lim));
+    const MergePolicy policy =
+        (i > 0) ? MergePolicy::kTiering : MergePolicy::kLeveling;
+    Tuning result = Evaluate(env, w, sla, policy, t);
+    if (trace != nullptr) trace->push_back(result);
+    return result;
+  };
+
+  // Algorithm 4: binary search with probes at i +- delta.
+  double i = 0.0;
+  Tuning best = compute(i);
+  double delta = 0.5 * t_lim;
+  while (delta >= 1.0) {
+    const Tuning plus = compute(i + delta);
+    const Tuning minus = compute(i - delta);
+    if (plus.avg_op_cost < best.avg_op_cost &&
+        plus.avg_op_cost < minus.avg_op_cost) {
+      best = plus;
+      i += delta;
+    } else if (minus.avg_op_cost < best.avg_op_cost) {
+      best = minus;
+      i -= delta;
+    }
+    delta /= 2.0;
+  }
+  return best;
+}
+
+Tuning ExhaustiveSearch(const Environment& env, const Workload& w,
+                        const SlaBounds& sla) {
+  const DesignPoint probe = MakeDesignPoint(env, MergePolicy::kLeveling, 2.0,
+                                            env.total_memory_bits / 2,
+                                            env.total_memory_bits / 2);
+  const double t_lim = std::max(2.0, SizeRatioLimit(probe));
+
+  Tuning best;
+  best.avg_op_cost = std::numeric_limits<double>::infinity();
+  best.feasible = false;
+  for (double t = 2.0; t <= t_lim + 0.5; t += 1.0) {
+    const double ratio = std::min(t, t_lim);
+    for (MergePolicy policy :
+         {MergePolicy::kLeveling, MergePolicy::kTiering}) {
+      const Tuning candidate = Evaluate(env, w, sla, policy, ratio);
+      if (candidate.avg_op_cost < best.avg_op_cost) best = candidate;
+    }
+    if (ratio >= t_lim) break;
+  }
+  return best;
+}
+
+}  // namespace monkey
+}  // namespace monkeydb

@@ -1,0 +1,89 @@
+// Tuner: navigates the Pareto curve (paper Sec. 4.4 and Appendix D).
+//
+// - AutotuneSizeRatioAndPolicy: the divide-and-conquer search (Algorithms
+//   4-5) over the linearized (merge policy, size ratio) continuum that
+//   maximizes worst-case throughput, optionally under SLA bounds on lookup
+//   or update cost.
+// - AllocateMainMemory: the three-step rule for dividing main memory
+//   between the buffer and the filters (Sec. 4.4).
+
+#ifndef MONKEYDB_MONKEY_TUNER_H_
+#define MONKEYDB_MONKEY_TUNER_H_
+
+#include <limits>
+#include <vector>
+
+#include "monkey/cost_model.h"
+
+namespace monkeydb {
+namespace monkey {
+
+// Environment parameters that the tuner cannot change.
+struct Environment {
+  double num_entries = 0;          // N.
+  double entry_size_bits = 0;      // E.
+  double page_bits = 4096 * 8;     // Disk page size -> B = page/E.
+  double total_memory_bits = 0;    // M: to divide into buffer + filters.
+  double read_seconds = 10e-3;     // Omega (HDD default).
+  double write_read_cost_ratio = 1.0;  // phi.
+};
+
+// Optional SLA bounds (Appendix D: "impose upper-bounds on lookup cost or
+// update cost"). Infinity = unconstrained.
+struct SlaBounds {
+  double max_lookup_cost = std::numeric_limits<double>::infinity();
+  double max_update_cost = std::numeric_limits<double>::infinity();
+};
+
+struct Tuning {
+  MergePolicy policy = MergePolicy::kLeveling;
+  double size_ratio = 2.0;
+  double buffer_bits = 0;
+  double filter_bits = 0;
+
+  // Predicted costs at this tuning (Monkey allocation).
+  double lookup_cost = 0;     // R.
+  double update_cost = 0;     // W.
+  double avg_op_cost = 0;     // theta.
+  double throughput = 0;      // tau.
+  bool feasible = true;       // False if no tuning satisfied the SLA.
+};
+
+// Builds the DesignPoint for a candidate (policy, T) given env and a
+// memory split.
+DesignPoint MakeDesignPoint(const Environment& env, MergePolicy policy,
+                            double size_ratio, double buffer_bits,
+                            double filter_bits);
+
+// Sec. 4.4 three-step memory allocation for a fixed (policy, T):
+//   1. give the buffer min(M, M_threshold/T^L) bits;
+//   2. split the remainder 5% buffer / 95% filters, but cap the filters
+//      once R drops below r_target (1e-4 for disk, 1e-2 for flash);
+//   3. the rest goes to the buffer.
+// Returns {buffer_bits, filter_bits}.
+struct MemorySplit {
+  double buffer_bits = 0;
+  double filter_bits = 0;
+};
+MemorySplit AllocateMainMemory(const Environment& env, MergePolicy policy,
+                               double size_ratio,
+                               double r_target = 1e-4);
+
+// Appendix D (Algorithms 4-5): divide-and-conquer over the linearized
+// design continuum i in [-(T_lim-2), +(T_lim-2)], where negative i means
+// leveling with T = |i|+2 and positive i means tiering with T = i+2.
+// Runs in O(log^2 T_lim) model evaluations. If trace is non-null, each
+// probed candidate is appended in evaluation order (the walk of Fig. 10).
+Tuning AutotuneSizeRatioAndPolicy(const Environment& env, const Workload& w,
+                                  const SlaBounds& sla = SlaBounds(),
+                                  std::vector<Tuning>* trace = nullptr);
+
+// Exhaustive reference search over every integer size ratio and both
+// policies (used to validate the divide-and-conquer algorithm in tests).
+Tuning ExhaustiveSearch(const Environment& env, const Workload& w,
+                        const SlaBounds& sla = SlaBounds());
+
+}  // namespace monkey
+}  // namespace monkeydb
+
+#endif  // MONKEYDB_MONKEY_TUNER_H_

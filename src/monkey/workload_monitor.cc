@@ -1,0 +1,46 @@
+#include "monkey/workload_monitor.h"
+
+namespace monkeydb {
+namespace monkey {
+
+Workload WorkloadMonitor::ObservedWorkload() const {
+  Workload w;
+  const double total = zero_ + nonzero_ + updates_ + ranges_;
+  if (total <= 0) {
+    w.zero_result_lookups = 0.5;
+    w.updates = 0.5;
+    return w;
+  }
+  w.zero_result_lookups = zero_ / total;
+  w.nonzero_result_lookups = nonzero_ / total;
+  w.updates = updates_ / total;
+  w.range_lookups = ranges_ / total;
+  w.range_selectivity = selectivity_;
+  return w;
+}
+
+WorkloadMonitor::Recommendation WorkloadMonitor::Recommend(
+    const Environment& env, const Tuning& current,
+    double transformation_ios, double horizon_ops) const {
+  const Workload w = ObservedWorkload();
+  Recommendation rec;
+  rec.tuning = AutotuneSizeRatioAndPolicy(env, w);
+
+  // Average op cost of the *current* design under the observed mix.
+  const DesignPoint current_design =
+      MakeDesignPoint(env, current.policy, current.size_ratio,
+                      current.buffer_bits, current.filter_bits);
+  const double current_cost = AverageOperationCost(current_design, w);
+  rec.gain_ios_per_op = current_cost - rec.tuning.avg_op_cost;
+
+  // Switching pays off if the saved I/Os over the horizon exceed the
+  // one-time migration cost (Appendix A: "along with the transformation
+  // costs").
+  rec.worth_switching =
+      rec.gain_ios_per_op > 0 &&
+      rec.gain_ios_per_op * horizon_ops > transformation_ios;
+  return rec;
+}
+
+}  // namespace monkey
+}  // namespace monkeydb

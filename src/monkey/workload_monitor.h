@@ -1,0 +1,84 @@
+// WorkloadMonitor: the seed for adaptive key-value stores (paper
+// Appendix A: "A future class of key-value stores may adaptively switch
+// from one tuning setting to another one. The formulas provided in this
+// paper can be the seed for taking these decisions").
+//
+// The application reports its operations (or the monitor ingests DbStats
+// deltas); the monitor maintains the observed mix and, on demand, runs the
+// tuner to recommend a design — including whether switching is worth it
+// given a transformation-cost estimate.
+
+#ifndef MONKEYDB_MONKEY_WORKLOAD_MONITOR_H_
+#define MONKEYDB_MONKEY_WORKLOAD_MONITOR_H_
+
+#include <cstdint>
+
+#include "monkey/tuner.h"
+
+namespace monkeydb {
+namespace monkey {
+
+class WorkloadMonitor {
+ public:
+  // decay in (0, 1]: weight kept per Observe window (1 = never forget).
+  explicit WorkloadMonitor(double decay = 0.9) : decay_(decay) {}
+
+  // Report operations observed since the last call.
+  void ObserveLookupsZeroResult(uint64_t n) { zero_ += n; }
+  void ObserveLookupsNonZeroResult(uint64_t n) { nonzero_ += n; }
+  void ObserveUpdates(uint64_t n) { updates_ += n; }
+  void ObserveRangeLookups(uint64_t n, double avg_selectivity) {
+    // Track a count-weighted mean selectivity.
+    const double total = ranges_ + n;
+    if (total > 0) {
+      selectivity_ =
+          (selectivity_ * ranges_ + avg_selectivity * n) / total;
+    }
+    ranges_ += n;
+  }
+
+  // Ages the history so the mix tracks recent behaviour.
+  void EndWindow() {
+    zero_ *= decay_;
+    nonzero_ *= decay_;
+    updates_ *= decay_;
+    ranges_ *= decay_;
+  }
+
+  uint64_t total_observed() const {
+    return static_cast<uint64_t>(zero_ + nonzero_ + updates_ + ranges_);
+  }
+
+  // The observed mix as tuner input (uniform 50/50 if nothing observed).
+  Workload ObservedWorkload() const;
+
+  struct Recommendation {
+    Tuning tuning;
+    // Predicted steady-state gain in average op cost (I/Os/op) vs staying
+    // with `current`.
+    double gain_ios_per_op = 0;
+    // Whether switching pays for itself within horizon_ops operations,
+    // given the one-time transformation cost (rewriting the tree).
+    bool worth_switching = false;
+  };
+
+  // Recommends a tuning for env given the observed mix, and compares it
+  // with `current` (the running design). transformation_ios estimates the
+  // one-time cost of migrating (e.g. N/B page writes for a full rewrite).
+  Recommendation Recommend(const Environment& env, const Tuning& current,
+                           double transformation_ios,
+                           double horizon_ops) const;
+
+ private:
+  double decay_;
+  double zero_ = 0;
+  double nonzero_ = 0;
+  double updates_ = 0;
+  double ranges_ = 0;
+  double selectivity_ = 0;
+};
+
+}  // namespace monkey
+}  // namespace monkeydb
+
+#endif  // MONKEYDB_MONKEY_WORKLOAD_MONITOR_H_

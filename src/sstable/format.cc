@@ -1,0 +1,52 @@
+#include "sstable/format.h"
+
+#include <memory>
+
+#include "util/hash.h"
+
+namespace monkeydb {
+
+void Footer::EncodeTo(std::string* dst) const {
+  const size_t original_size = dst->size();
+  filter_handle.EncodeTo(dst);
+  index_handle.EncodeTo(dst);
+  dst->resize(original_size + 40);  // Zero-pad the handle area.
+  PutFixed64(dst, kMagicNumber);
+}
+
+Status Footer::DecodeFrom(Slice input) {
+  if (input.size() < kEncodedLength) {
+    return Status::Corruption("footer too short");
+  }
+  const char* magic_ptr = input.data() + kEncodedLength - 8;
+  if (DecodeFixed64(magic_ptr) != kMagicNumber) {
+    return Status::Corruption("bad table magic number");
+  }
+  Slice handles(input.data(), 40);
+  MONKEYDB_RETURN_IF_ERROR(filter_handle.DecodeFrom(&handles));
+  return index_handle.DecodeFrom(&handles);
+}
+
+Status ReadBlockContents(RandomAccessFile* file, const BlockHandle& handle,
+                         std::string* contents) {
+  const size_t n = handle.size + kBlockTrailerSize;
+  auto buf = std::make_unique<char[]>(n);
+  Slice result;
+  MONKEYDB_RETURN_IF_ERROR(file->Read(handle.offset, n, &result, buf.get()));
+  if (result.size() != n) {
+    return Status::Corruption("truncated block read");
+  }
+  const char* data = result.data();
+  const uint32_t expected = UnmaskCrc(DecodeFixed32(data + handle.size + 1));
+  const uint32_t actual = Crc32c(data, handle.size + 1);
+  if (expected != actual) {
+    return Status::Corruption("block checksum mismatch");
+  }
+  if (data[handle.size] != kNoCompression) {
+    return Status::Corruption("unknown block type");
+  }
+  contents->assign(data, handle.size);
+  return Status::OK();
+}
+
+}  // namespace monkeydb

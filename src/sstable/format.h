@@ -1,0 +1,71 @@
+// On-disk format shared by the table builder and reader.
+//
+// File layout (offsets in bytes):
+//   [data block 0][pad to page]      <- page-aligned: the fence-pointer
+//   [data block 1][pad to page]         guarantee "one I/O per probe"
+//   ...                                 (paper Sec. 2) holds exactly
+//   [filter block]                   <- serialized Bloom filter (may be empty)
+//   [index block]                    <- fence pointers: last key per page
+//   [footer, 48 bytes]
+//
+// Each block is [payload][1-byte type][4-byte masked crc32c of payload+type].
+// Data blocks are padded so each occupies exactly one disk page.
+
+#ifndef MONKEYDB_SSTABLE_FORMAT_H_
+#define MONKEYDB_SSTABLE_FORMAT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "io/env.h"
+#include "util/coding.h"
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace monkeydb {
+
+struct BlockHandle {
+  uint64_t offset = 0;
+  uint64_t size = 0;  // Payload size, excluding the 5-byte trailer.
+
+  void EncodeTo(std::string* dst) const {
+    PutVarint64(dst, offset);
+    PutVarint64(dst, size);
+  }
+
+  Status DecodeFrom(Slice* input) {
+    if (GetVarint64(input, &offset) && GetVarint64(input, &size)) {
+      return Status::OK();
+    }
+    return Status::Corruption("bad block handle");
+  }
+};
+
+// Footer layout: filter handle + index handle (varints, zero-padded to 40
+// bytes), then fixed64 magic.
+struct Footer {
+  static constexpr size_t kEncodedLength = 48;
+  static constexpr uint64_t kMagicNumber = 0x4d6f6e6b65794442ull;  // "MonkeyDB"
+
+  BlockHandle filter_handle;
+  BlockHandle index_handle;
+
+  void EncodeTo(std::string* dst) const;
+  Status DecodeFrom(Slice input);
+};
+
+// Size of the per-block trailer: 1-byte type tag + 4-byte masked CRC.
+inline constexpr size_t kBlockTrailerSize = 5;
+
+// Block type tags (compression is not implemented; kept for format
+// compatibility and corruption detection).
+inline constexpr char kNoCompression = 0x0;
+
+// Reads the block whose payload is described by handle, verifying the CRC.
+// On success *contents holds the payload bytes.
+Status ReadBlockContents(RandomAccessFile* file, const BlockHandle& handle,
+                         std::string* contents);
+
+}  // namespace monkeydb
+
+#endif  // MONKEYDB_SSTABLE_FORMAT_H_

@@ -1,0 +1,252 @@
+#include "sstable/table_reader.h"
+
+#include <cassert>
+
+#include "bloom/bloom_filter.h"
+
+namespace monkeydb {
+
+TableReader::TableReader(const TableReaderOptions& options,
+                         std::unique_ptr<RandomAccessFile> file)
+    : options_(options), file_(std::move(file)) {}
+
+Status TableReader::Open(const TableReaderOptions& options,
+                         std::unique_ptr<RandomAccessFile> file,
+                         uint64_t file_size,
+                         std::unique_ptr<TableReader>* table) {
+  assert(options.comparator != nullptr);
+  if (file_size < Footer::kEncodedLength) {
+    return Status::Corruption("file too short to be a table");
+  }
+
+  char footer_buf[Footer::kEncodedLength];
+  Slice footer_slice;
+  MONKEYDB_RETURN_IF_ERROR(file->Read(file_size - Footer::kEncodedLength,
+                                      Footer::kEncodedLength, &footer_slice,
+                                      footer_buf));
+  Footer footer;
+  MONKEYDB_RETURN_IF_ERROR(footer.DecodeFrom(footer_slice));
+
+  auto reader =
+      std::unique_ptr<TableReader>(new TableReader(options, std::move(file)));
+
+  // Filter and fence pointers live in main memory from here on.
+  MONKEYDB_RETURN_IF_ERROR(ReadBlockContents(
+      reader->file_.get(), footer.filter_handle, &reader->filter_));
+
+  std::string index_contents;
+  MONKEYDB_RETURN_IF_ERROR(ReadBlockContents(
+      reader->file_.get(), footer.index_handle, &index_contents));
+  reader->index_block_ = std::make_unique<Block>(
+      std::make_shared<const std::string>(std::move(index_contents)));
+  if (!reader->index_block_->ok()) {
+    return Status::Corruption("malformed index block");
+  }
+
+  *table = std::move(reader);
+  return Status::OK();
+}
+
+bool TableReader::FilterMayContain(const Slice& user_key) const {
+  return BloomFilterReader::MayContain(Slice(filter_), user_key);
+}
+
+uint64_t TableReader::filter_size_bits() const {
+  return BloomFilterReader::SizeBits(Slice(filter_));
+}
+
+uint64_t TableReader::num_data_blocks() const {
+  uint64_t n = 0;
+  auto it = index_block_->NewIterator(options_.comparator);
+  for (it->SeekToFirst(); it->Valid(); it->Next()) n++;
+  return n;
+}
+
+Status TableReader::ReadDataBlock(
+    const BlockHandle& handle, std::shared_ptr<const Block>* block) const {
+  BlockCache::Key cache_key{options_.cache_file_id, handle.offset};
+  if (options_.block_cache != nullptr) {
+    auto cached = options_.block_cache->Lookup(cache_key);
+    if (cached != nullptr) {
+      *block = std::make_shared<const Block>(std::move(cached));
+      return Status::OK();
+    }
+  }
+
+  std::string contents;
+  MONKEYDB_RETURN_IF_ERROR(ReadBlockContents(file_.get(), handle, &contents));
+  auto shared_contents =
+      std::make_shared<const std::string>(std::move(contents));
+  if (options_.block_cache != nullptr) {
+    options_.block_cache->Insert(cache_key, shared_contents);
+  }
+  *block = std::make_shared<const Block>(std::move(shared_contents));
+  if (!(*block)->ok()) return Status::Corruption("malformed data block");
+  return Status::OK();
+}
+
+Status TableReader::Get(const LookupKey& lookup, std::string* value,
+                        TableLookupResult* result, ValueType* type) {
+  // 1. Bloom filter (in memory, no I/O).
+  if (!FilterMayContain(lookup.user_key())) {
+    *result = TableLookupResult::kFilteredOut;
+    return Status::OK();
+  }
+
+  // 2. Fence pointers (in memory): find the first page whose largest key is
+  // >= the lookup internal key.
+  auto index_iter = index_block_->NewIterator(options_.comparator);
+  index_iter->Seek(lookup.internal_key());
+  if (!index_iter->Valid()) {
+    *result = TableLookupResult::kNotPresent;
+    return index_iter->status();
+  }
+
+  BlockHandle handle;
+  Slice handle_value = index_iter->value();
+  MONKEYDB_RETURN_IF_ERROR(handle.DecodeFrom(&handle_value));
+
+  // 3. One data-page I/O.
+  std::shared_ptr<const Block> block;
+  MONKEYDB_RETURN_IF_ERROR(ReadDataBlock(handle, &block));
+
+  auto block_iter = block->NewIterator(options_.comparator);
+  block_iter->Seek(lookup.internal_key());
+  if (!block_iter->Valid()) {
+    *result = TableLookupResult::kNotPresent;
+    return block_iter->status();
+  }
+
+  ParsedInternalKey parsed;
+  if (!ParseInternalKey(block_iter->key(), &parsed)) {
+    return Status::Corruption("malformed internal key in data block");
+  }
+  if (options_.comparator->user_comparator()->Compare(
+          parsed.user_key, lookup.user_key()) != 0) {
+    *result = TableLookupResult::kNotPresent;  // Bloom false positive.
+    return Status::OK();
+  }
+  if (type != nullptr) *type = parsed.type;
+  if (parsed.type == ValueType::kDeletion) {
+    *result = TableLookupResult::kDeleted;
+    return Status::OK();
+  }
+  value->assign(block_iter->value().data(), block_iter->value().size());
+  *result = TableLookupResult::kFound;
+  return Status::OK();
+}
+
+// Two-level iterator: walks the fence-pointer index and lazily opens data
+// blocks. At namespace scope (not anonymous) so the friend declaration in
+// TableReader applies.
+class TableIterator : public Iterator {
+ public:
+  explicit TableIterator(const TableReader* table)
+      : table_(table),
+        index_iter_(table->index_block_->NewIterator(
+            table->options_.comparator)) {}
+
+  bool Valid() const override {
+    return block_iter_ != nullptr && block_iter_->Valid();
+  }
+
+  void SeekToFirst() override {
+    index_iter_->SeekToFirst();
+    InitDataBlock(/*seek_to_first=*/true);
+    SkipEmptyBlocksForward();
+  }
+
+  void SeekToLast() override {
+    index_iter_->SeekToLast();
+    InitDataBlock(/*seek_to_first=*/false);
+    if (block_iter_ != nullptr) block_iter_->SeekToLast();
+    SkipEmptyBlocksBackward();
+  }
+
+  void Seek(const Slice& target) override {
+    index_iter_->Seek(target);
+    InitDataBlock(/*seek_to_first=*/false);
+    if (block_iter_ != nullptr) block_iter_->Seek(target);
+    SkipEmptyBlocksForward();
+  }
+
+  void Next() override {
+    assert(Valid());
+    block_iter_->Next();
+    SkipEmptyBlocksForward();
+  }
+
+  void Prev() override {
+    assert(Valid());
+    block_iter_->Prev();
+    SkipEmptyBlocksBackward();
+  }
+
+  Slice key() const override { return block_iter_->key(); }
+  Slice value() const override { return block_iter_->value(); }
+
+  Status status() const override {
+    if (!status_.ok()) return status_;
+    if (!index_iter_->status().ok()) return index_iter_->status();
+    if (block_iter_ != nullptr) return block_iter_->status();
+    return Status::OK();
+  }
+
+ private:
+  void InitDataBlock(bool seek_to_first) {
+    block_iter_.reset();
+    block_.reset();
+    if (!index_iter_->Valid()) return;
+    BlockHandle handle;
+    Slice handle_value = index_iter_->value();
+    Status s = handle.DecodeFrom(&handle_value);
+    if (!s.ok()) {
+      status_ = s;
+      return;
+    }
+    s = table_->ReadDataBlock(handle, &block_);
+    if (!s.ok()) {
+      status_ = s;
+      return;
+    }
+    block_iter_ = block_->NewIterator(table_->options_.comparator);
+    if (seek_to_first) block_iter_->SeekToFirst();
+  }
+
+  void SkipEmptyBlocksForward() {
+    while ((block_iter_ == nullptr || !block_iter_->Valid()) &&
+           index_iter_->Valid() && status_.ok()) {
+      index_iter_->Next();
+      if (!index_iter_->Valid()) {
+        block_iter_.reset();
+        return;
+      }
+      InitDataBlock(/*seek_to_first=*/true);
+    }
+  }
+
+  void SkipEmptyBlocksBackward() {
+    while ((block_iter_ == nullptr || !block_iter_->Valid()) &&
+           index_iter_->Valid() && status_.ok()) {
+      index_iter_->Prev();
+      if (!index_iter_->Valid()) {
+        block_iter_.reset();
+        return;
+      }
+      InitDataBlock(/*seek_to_first=*/false);
+      if (block_iter_ != nullptr) block_iter_->SeekToLast();
+    }
+  }
+
+  const TableReader* table_;
+  std::unique_ptr<Iterator> index_iter_;
+  std::shared_ptr<const Block> block_;
+  std::unique_ptr<Iterator> block_iter_;
+  Status status_;
+};
+
+std::unique_ptr<Iterator> TableReader::NewIterator() const {
+  return std::make_unique<TableIterator>(this);
+}
+
+}  // namespace monkeydb

@@ -1,0 +1,86 @@
+// TableReader: read-side of an SSTable (a sorted run).
+//
+// The fence-pointer index and the Bloom filter are loaded into main memory
+// at Open (the paper keeps both resident: M_pointers and M_filters). A point
+// lookup consults the filter, binary-searches the fence pointers, and reads
+// exactly one page-aligned data block from the environment (or the block
+// cache).
+
+#ifndef MONKEYDB_SSTABLE_TABLE_READER_H_
+#define MONKEYDB_SSTABLE_TABLE_READER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "io/block_cache.h"
+#include "io/env.h"
+#include "lsm/internal_key.h"
+#include "sstable/block.h"
+#include "sstable/format.h"
+#include "util/iterator.h"
+
+namespace monkeydb {
+
+struct TableReaderOptions {
+  const InternalKeyComparator* comparator = nullptr;  // Required.
+  BlockCache* block_cache = nullptr;                  // Optional.
+  // Identifies this file in the block cache; must be unique per table.
+  uint64_t cache_file_id = 0;
+};
+
+// Result of a point lookup within one table.
+enum class TableLookupResult {
+  kFound,       // Newest visible entry is a value; *value filled.
+  kDeleted,     // Newest visible entry is a tombstone.
+  kNotPresent,  // No entry for this user key (possibly after a false
+                // positive block read).
+  kFilteredOut, // Bloom filter says definitely absent; no I/O issued.
+};
+
+class TableReader {
+ public:
+  // Opens a table. file is owned by the reader afterwards.
+  static Status Open(const TableReaderOptions& options,
+                     std::unique_ptr<RandomAccessFile> file,
+                     uint64_t file_size,
+                     std::unique_ptr<TableReader>* table);
+
+  TableReader(const TableReader&) = delete;
+  TableReader& operator=(const TableReader&) = delete;
+
+  // Point lookup for lookup.user_key() at snapshot lookup sequence. On
+  // kFound fills *value (and *type when non-null, so callers can resolve
+  // value-log handles).
+  Status Get(const LookupKey& lookup, std::string* value,
+             TableLookupResult* result, ValueType* type = nullptr);
+
+  // Iterates over all entries (internal keys) in the table.
+  std::unique_ptr<Iterator> NewIterator() const;
+
+  // True iff the filter admits the key (or there is no filter). Exposed for
+  // instrumentation and tests.
+  bool FilterMayContain(const Slice& user_key) const;
+
+  uint64_t filter_size_bits() const;
+  uint64_t num_data_blocks() const;
+
+ private:
+  TableReader(const TableReaderOptions& options,
+              std::unique_ptr<RandomAccessFile> file);
+
+  // Reads (or fetches from cache) the data block at handle.
+  Status ReadDataBlock(const BlockHandle& handle,
+                       std::shared_ptr<const Block>* block) const;
+
+  TableReaderOptions options_;
+  std::unique_ptr<RandomAccessFile> file_;
+  std::string filter_;                  // Serialized Bloom filter (in RAM).
+  std::unique_ptr<Block> index_block_;  // Fence pointers (in RAM).
+
+  friend class TableIterator;
+};
+
+}  // namespace monkeydb
+
+#endif  // MONKEYDB_SSTABLE_TABLE_READER_H_

@@ -1,0 +1,60 @@
+// Arena: bump allocator backing the memtable skiplist. All memory is freed
+// at once when the arena is destroyed.
+
+#ifndef MONKEYDB_UTIL_ARENA_H_
+#define MONKEYDB_UTIL_ARENA_H_
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace monkeydb {
+
+class Arena {
+ public:
+  Arena() = default;
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  // Returns a pointer to bytes bytes of memory (bytes > 0).
+  char* Allocate(size_t bytes);
+
+  // Like Allocate but with pointer alignment suitable for any object.
+  char* AllocateAligned(size_t bytes);
+
+  // Total memory footprint of the arena (used for memtable size accounting,
+  // i.e. the paper's M_buffer).
+  size_t MemoryUsage() const {
+    return memory_usage_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  static constexpr size_t kBlockSize = 4096;
+
+  char* AllocateFallback(size_t bytes);
+  char* AllocateNewBlock(size_t block_bytes);
+
+  char* alloc_ptr_ = nullptr;
+  size_t alloc_bytes_remaining_ = 0;
+  std::vector<std::unique_ptr<char[]>> blocks_;
+  std::atomic<size_t> memory_usage_{0};
+};
+
+inline char* Arena::Allocate(size_t bytes) {
+  assert(bytes > 0);
+  if (bytes <= alloc_bytes_remaining_) {
+    char* result = alloc_ptr_;
+    alloc_ptr_ += bytes;
+    alloc_bytes_remaining_ -= bytes;
+    return result;
+  }
+  return AllocateFallback(bytes);
+}
+
+}  // namespace monkeydb
+
+#endif  // MONKEYDB_UTIL_ARENA_H_

@@ -1,0 +1,65 @@
+// Little-endian fixed-width and varint encodings used by the WAL, block,
+// table, and manifest formats.
+
+#ifndef MONKEYDB_UTIL_CODING_H_
+#define MONKEYDB_UTIL_CODING_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "util/slice.h"
+
+namespace monkeydb {
+
+// --- Fixed-width little-endian ---
+
+inline void EncodeFixed32(char* dst, uint32_t value) {
+  memcpy(dst, &value, sizeof(value));  // Little-endian hosts only.
+}
+
+inline void EncodeFixed64(char* dst, uint64_t value) {
+  memcpy(dst, &value, sizeof(value));
+}
+
+inline uint32_t DecodeFixed32(const char* ptr) {
+  uint32_t result;
+  memcpy(&result, ptr, sizeof(result));
+  return result;
+}
+
+inline uint64_t DecodeFixed64(const char* ptr) {
+  uint64_t result;
+  memcpy(&result, ptr, sizeof(result));
+  return result;
+}
+
+void PutFixed32(std::string* dst, uint32_t value);
+void PutFixed64(std::string* dst, uint64_t value);
+
+// --- Varints (LEB128) ---
+
+// Appends a varint-encoded value; uses 1-5 bytes (32-bit) or 1-10 (64-bit).
+void PutVarint32(std::string* dst, uint32_t value);
+void PutVarint64(std::string* dst, uint64_t value);
+
+// Appends varint32(s.size()) followed by the bytes of s.
+void PutLengthPrefixedSlice(std::string* dst, const Slice& s);
+
+// Decoders parse from [p, limit) and return a pointer just past the parsed
+// value, or nullptr on malformed input.
+const char* GetVarint32Ptr(const char* p, const char* limit, uint32_t* value);
+const char* GetVarint64Ptr(const char* p, const char* limit, uint64_t* value);
+
+// Slice-consuming variants: advance *input past the parsed value.
+// Return false on malformed input.
+bool GetVarint32(Slice* input, uint32_t* value);
+bool GetVarint64(Slice* input, uint64_t* value);
+bool GetLengthPrefixedSlice(Slice* input, Slice* result);
+
+// Number of bytes PutVarint{32,64} would emit.
+int VarintLength(uint64_t v);
+
+}  // namespace monkeydb
+
+#endif  // MONKEYDB_UTIL_CODING_H_

@@ -1,0 +1,22 @@
+#include "util/comparator.h"
+
+namespace monkeydb {
+
+namespace {
+
+class BytewiseComparatorImpl : public Comparator {
+ public:
+  int Compare(const Slice& a, const Slice& b) const override {
+    return a.compare(b);
+  }
+  const char* Name() const override { return "monkeydb.BytewiseComparator"; }
+};
+
+}  // namespace
+
+const Comparator* BytewiseComparator() {
+  static const BytewiseComparatorImpl* singleton = new BytewiseComparatorImpl;
+  return singleton;
+}
+
+}  // namespace monkeydb

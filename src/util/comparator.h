@@ -1,0 +1,27 @@
+// Comparator: ordering abstraction for user keys.
+
+#ifndef MONKEYDB_UTIL_COMPARATOR_H_
+#define MONKEYDB_UTIL_COMPARATOR_H_
+
+#include "util/slice.h"
+
+namespace monkeydb {
+
+class Comparator {
+ public:
+  virtual ~Comparator() = default;
+
+  // Three-way comparison: <0, ==0, >0 if a is <, ==, > b.
+  virtual int Compare(const Slice& a, const Slice& b) const = 0;
+
+  // Name used to verify on-disk compatibility.
+  virtual const char* Name() const = 0;
+};
+
+// Lexicographic byte-order comparator (the default). Singleton; do not
+// delete the returned pointer.
+const Comparator* BytewiseComparator();
+
+}  // namespace monkeydb
+
+#endif  // MONKEYDB_UTIL_COMPARATOR_H_

@@ -1,0 +1,40 @@
+// Hash functions: a 64-bit xxHash64 implementation for Bloom filters and
+// hash-partitioned caches, and CRC32C for on-disk integrity checks.
+
+#ifndef MONKEYDB_UTIL_HASH_H_
+#define MONKEYDB_UTIL_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/slice.h"
+
+namespace monkeydb {
+
+// xxHash64 over [data, data+len) with the given seed.
+uint64_t XxHash64(const void* data, size_t len, uint64_t seed = 0);
+
+inline uint64_t XxHash64(const Slice& s, uint64_t seed = 0) {
+  return XxHash64(s.data(), s.size(), seed);
+}
+
+// CRC32C (Castagnoli). Software slicing-by-1 table implementation; adequate
+// for our block sizes and fully portable.
+uint32_t Crc32c(const void* data, size_t len);
+
+inline uint32_t Crc32c(const Slice& s) { return Crc32c(s.data(), s.size()); }
+
+// Masks a CRC so that a CRC of data that itself embeds CRCs stays robust
+// (same trick as LevelDB).
+inline uint32_t MaskCrc(uint32_t crc) {
+  return ((crc >> 15) | (crc << 17)) + 0xa282ead8ul;
+}
+
+inline uint32_t UnmaskCrc(uint32_t masked) {
+  uint32_t rot = masked - 0xa282ead8ul;
+  return ((rot >> 17) | (rot << 15));
+}
+
+}  // namespace monkeydb
+
+#endif  // MONKEYDB_UTIL_HASH_H_

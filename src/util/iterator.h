@@ -1,0 +1,38 @@
+// Iterator: the common cursor abstraction over sorted key-value sequences
+// (memtable, data blocks, tables, merged views). Keys/values returned are
+// valid only until the next mutation of the iterator.
+
+#ifndef MONKEYDB_UTIL_ITERATOR_H_
+#define MONKEYDB_UTIL_ITERATOR_H_
+
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace monkeydb {
+
+class Iterator {
+ public:
+  Iterator() = default;
+  virtual ~Iterator() = default;
+
+  Iterator(const Iterator&) = delete;
+  Iterator& operator=(const Iterator&) = delete;
+
+  virtual bool Valid() const = 0;
+  virtual void SeekToFirst() = 0;
+  virtual void SeekToLast() = 0;
+  // Positions at the first entry with key >= target.
+  virtual void Seek(const Slice& target) = 0;
+  virtual void Next() = 0;
+  virtual void Prev() = 0;
+
+  // REQUIRES: Valid().
+  virtual Slice key() const = 0;
+  virtual Slice value() const = 0;
+
+  virtual Status status() const = 0;
+};
+
+}  // namespace monkeydb
+
+#endif  // MONKEYDB_UTIL_ITERATOR_H_

@@ -1,0 +1,142 @@
+// Deterministic pseudo-random utilities for workload generation.
+//
+// Includes the temporal-locality key distribution from the paper's Section 5:
+// a coefficient c in [0, 1] such that the c most-recently-updated fraction of
+// entries receives (1 - c) of the lookups.
+
+#ifndef MONKEYDB_UTIL_RANDOM_H_
+#define MONKEYDB_UTIL_RANDOM_H_
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+
+namespace monkeydb {
+
+// splitmix64-seeded xorshift128+ generator: fast, reproducible, and good
+// enough statistical quality for workload generation.
+class Random {
+ public:
+  explicit Random(uint64_t seed) {
+    // splitmix64 expansion of the seed into the two lanes.
+    uint64_t z = seed + 0x9E3779B97F4A7C15ULL;
+    s0_ = Mix(&z);
+    s1_ = Mix(&z);
+    if (s0_ == 0 && s1_ == 0) s1_ = 1;
+  }
+
+  uint64_t Next() {
+    uint64_t x = s0_;
+    const uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+
+  // Uniform in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n) {
+    assert(n > 0);
+    return Next() % n;
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  // Returns true with probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+ private:
+  static uint64_t Mix(uint64_t* state) {
+    uint64_t z = (*state += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  uint64_t s0_;
+  uint64_t s1_;
+};
+
+// Samples "recency ranks" in [0, n): rank 0 is the most recently updated
+// entry, rank n-1 the least recently updated.
+//
+// With coefficient c, the c*n most recent entries receive (1-c) of lookups
+// (paper Sec. 5, Fig. 11(D)). c = 0.5 yields the uniform distribution.
+class TemporalLocalityGenerator {
+ public:
+  // c must be in [0, 1]; n > 0.
+  TemporalLocalityGenerator(double c, uint64_t n) : c_(c), n_(n) {
+    assert(c >= 0.0 && c <= 1.0);
+    assert(n > 0);
+  }
+
+  uint64_t NextRank(Random* rng) const {
+    // Split point: the first hot_count ranks are the "recent" set.
+    uint64_t hot_count = static_cast<uint64_t>(c_ * static_cast<double>(n_));
+    if (hot_count == 0) hot_count = (c_ > 0.0) ? 1 : 0;
+    if (hot_count >= n_) hot_count = n_;
+    const double hot_prob = 1.0 - c_;  // Probability mass on the recent set.
+    const bool pick_hot = rng->Bernoulli(hot_prob);
+    if (pick_hot && hot_count > 0) {
+      return rng->Uniform(hot_count);
+    }
+    const uint64_t cold_count = n_ - hot_count;
+    if (cold_count == 0) return rng->Uniform(n_);
+    return hot_count + rng->Uniform(cold_count);
+  }
+
+ private:
+  double c_;
+  uint64_t n_;
+};
+
+// Zipfian-distributed values in [0, n): rank 0 is the most popular item.
+// Standard YCSB-style generator (Gray et al.) with precomputed zeta.
+class ZipfianGenerator {
+ public:
+  // theta in (0, 1); YCSB default 0.99. n > 0.
+  explicit ZipfianGenerator(uint64_t n, double theta = 0.99)
+      : n_(n), theta_(theta) {
+    assert(n > 0);
+    assert(theta > 0.0 && theta < 1.0);
+    zeta_n_ = Zeta(n, theta);
+    zeta2_ = Zeta(2, theta);
+    alpha_ = 1.0 / (1.0 - theta);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+           (1.0 - zeta2_ / zeta_n_);
+  }
+
+  uint64_t Next(Random* rng) const {
+    const double u = rng->NextDouble();
+    const double uz = u * zeta_n_;
+    if (uz < 1.0) return 0;
+    if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+    const uint64_t v = static_cast<uint64_t>(
+        static_cast<double>(n_) *
+        std::pow(eta_ * u - eta_ + 1.0, alpha_));
+    return v >= n_ ? n_ - 1 : v;
+  }
+
+ private:
+  static double Zeta(uint64_t n, double theta) {
+    double sum = 0;
+    for (uint64_t i = 1; i <= n; i++) {
+      sum += 1.0 / std::pow(static_cast<double>(i), theta);
+    }
+    return sum;
+  }
+
+  uint64_t n_;
+  double theta_;
+  double zeta_n_;
+  double zeta2_;
+  double alpha_;
+  double eta_;
+};
+
+}  // namespace monkeydb
+
+#endif  // MONKEYDB_UTIL_RANDOM_H_

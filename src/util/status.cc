@@ -1,0 +1,34 @@
+#include "util/status.h"
+
+namespace monkeydb {
+
+std::string Status::ToString() const {
+  const char* label = nullptr;
+  switch (code_) {
+    case Code::kOk:
+      return "OK";
+    case Code::kNotFound:
+      label = "NotFound";
+      break;
+    case Code::kCorruption:
+      label = "Corruption";
+      break;
+    case Code::kNotSupported:
+      label = "NotSupported";
+      break;
+    case Code::kInvalidArgument:
+      label = "InvalidArgument";
+      break;
+    case Code::kIoError:
+      label = "IoError";
+      break;
+  }
+  std::string out = label;
+  if (!msg_.empty()) {
+    out += ": ";
+    out += msg_;
+  }
+  return out;
+}
+
+}  // namespace monkeydb

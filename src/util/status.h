@@ -1,0 +1,83 @@
+// Status: lightweight error propagation without exceptions.
+//
+// Every fallible operation in MonkeyDB returns a Status (or fills an output
+// parameter and returns a Status). A Status is cheap to copy in the OK case
+// (a single pointer-sized field) and carries a code plus a message otherwise.
+
+#ifndef MONKEYDB_UTIL_STATUS_H_
+#define MONKEYDB_UTIL_STATUS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace monkeydb {
+
+class Status {
+ public:
+  enum class Code {
+    kOk = 0,
+    kNotFound = 1,
+    kCorruption = 2,
+    kNotSupported = 3,
+    kInvalidArgument = 4,
+    kIoError = 5,
+  };
+
+  // Creates an OK status.
+  Status() : code_(Code::kOk) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  // Factory functions for each error class.
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string_view msg = "") {
+    return Status(Code::kNotFound, msg);
+  }
+  static Status Corruption(std::string_view msg = "") {
+    return Status(Code::kCorruption, msg);
+  }
+  static Status NotSupported(std::string_view msg = "") {
+    return Status(Code::kNotSupported, msg);
+  }
+  static Status InvalidArgument(std::string_view msg = "") {
+    return Status(Code::kInvalidArgument, msg);
+  }
+  static Status IoError(std::string_view msg = "") {
+    return Status(Code::kIoError, msg);
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  bool IsNotFound() const { return code_ == Code::kNotFound; }
+  bool IsCorruption() const { return code_ == Code::kCorruption; }
+  bool IsNotSupported() const { return code_ == Code::kNotSupported; }
+  bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
+  bool IsIoError() const { return code_ == Code::kIoError; }
+
+  Code code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  // Human-readable representation, e.g. "Corruption: bad block checksum".
+  std::string ToString() const;
+
+ private:
+  Status(Code code, std::string_view msg) : code_(code), msg_(msg) {}
+
+  Code code_;
+  std::string msg_;
+};
+
+// Propagates a non-OK status to the caller. Usage:
+//   MONKEYDB_RETURN_IF_ERROR(file->Read(...));
+#define MONKEYDB_RETURN_IF_ERROR(expr)                    \
+  do {                                                    \
+    ::monkeydb::Status _st = (expr);                      \
+    if (!_st.ok()) return _st;                            \
+  } while (0)
+
+}  // namespace monkeydb
+
+#endif  // MONKEYDB_UTIL_STATUS_H_

@@ -1,0 +1,180 @@
+// Tests for ApproximateSize, Checkpoint, and the WorkloadMonitor
+// (Appendix A's adaptive-tuning seed).
+
+#include <gtest/gtest.h>
+
+#include "io/env.h"
+#include "lsm/db.h"
+#include "monkey/monkey_db.h"
+#include "monkey/workload_monitor.h"
+
+namespace monkeydb {
+namespace {
+
+class AdaptiveFeaturesTest : public ::testing::Test {
+ protected:
+  AdaptiveFeaturesTest() : env_(NewMemEnv()) {}
+
+  DbOptions MakeOptions() {
+    DbOptions options;
+    options.env = env_.get();
+    options.buffer_size_bytes = 16 << 10;
+    options.fpr_policy = monkey::NewMonkeyFprPolicy();
+    return options;
+  }
+
+  std::unique_ptr<Env> env_;
+};
+
+TEST_F(AdaptiveFeaturesTest, ApproximateSizeScalesWithRange) {
+  std::unique_ptr<DB> db;
+  ASSERT_TRUE(DB::Open(MakeOptions(), "/db", &db).ok());
+  WriteOptions wo;
+  for (int i = 0; i < 20000; i++) {
+    char key[16];
+    snprintf(key, sizeof(key), "key%06d", i);
+    ASSERT_TRUE(db->Put(wo, key, std::string(64, 'v')).ok());
+  }
+  ASSERT_TRUE(db->Flush().ok());
+
+  const uint64_t all = db->ApproximateSize("key000000", "key999999");
+  const uint64_t half = db->ApproximateSize("key000000", "key010000");
+  const uint64_t tiny = db->ApproximateSize("key005000", "key005100");
+  const uint64_t empty = db->ApproximateSize("zzz", "zzzz");
+  const uint64_t inverted = db->ApproximateSize("key9", "key0");
+
+  EXPECT_GT(all, 20000u * 64u);  // At least the raw values.
+  EXPECT_NEAR(static_cast<double>(half) / all, 0.5, 0.2);
+  EXPECT_LT(tiny, half / 10);
+  EXPECT_EQ(empty, 0u);
+  EXPECT_EQ(inverted, 0u);
+}
+
+TEST_F(AdaptiveFeaturesTest, CheckpointOpensAsIndependentDb) {
+  std::unique_ptr<DB> db;
+  ASSERT_TRUE(DB::Open(MakeOptions(), "/db", &db).ok());
+  WriteOptions wo;
+  for (int i = 0; i < 5000; i++) {
+    ASSERT_TRUE(
+        db->Put(wo, "key" + std::to_string(i), "v" + std::to_string(i))
+            .ok());
+  }
+  ASSERT_TRUE(db->Flush().ok());  // Checkpoint captures flushed state.
+  ASSERT_TRUE(db->Checkpoint("/backup").ok());
+
+  // Mutate the original after the checkpoint.
+  ASSERT_TRUE(db->Put(wo, "key100", "mutated").ok());
+  ASSERT_TRUE(db->Delete(wo, "key200").ok());
+
+  std::unique_ptr<DB> backup;
+  ASSERT_TRUE(DB::Open(MakeOptions(), "/backup", &backup).ok());
+  std::string value;
+  ASSERT_TRUE(backup->Get(ReadOptions(), "key100", &value).ok());
+  EXPECT_EQ(value, "v100");  // Pre-mutation value.
+  ASSERT_TRUE(backup->Get(ReadOptions(), "key200", &value).ok());
+  EXPECT_EQ(value, "v200");  // Still present in the backup.
+  // And the original still sees its own mutations.
+  ASSERT_TRUE(db->Get(ReadOptions(), "key100", &value).ok());
+  EXPECT_EQ(value, "mutated");
+}
+
+TEST_F(AdaptiveFeaturesTest, CheckpointIncludesValueLog) {
+  DbOptions options = MakeOptions();
+  options.value_separation_threshold = 100;
+  std::unique_ptr<DB> db;
+  ASSERT_TRUE(DB::Open(options, "/db", &db).ok());
+  WriteOptions wo;
+  for (int i = 0; i < 300; i++) {
+    ASSERT_TRUE(db->Put(wo, "big" + std::to_string(i),
+                        std::string(500, 'B'))
+                    .ok());
+  }
+  ASSERT_TRUE(db->Flush().ok());
+  ASSERT_TRUE(db->Checkpoint("/backup2").ok());
+
+  std::unique_ptr<DB> backup;
+  ASSERT_TRUE(DB::Open(options, "/backup2", &backup).ok());
+  std::string value;
+  ASSERT_TRUE(backup->Get(ReadOptions(), "big42", &value).ok());
+  EXPECT_EQ(value, std::string(500, 'B'));
+}
+
+TEST(WorkloadMonitor, TracksObservedMix) {
+  monkey::WorkloadMonitor monitor;
+  monitor.ObserveLookupsZeroResult(600);
+  monitor.ObserveUpdates(300);
+  monitor.ObserveLookupsNonZeroResult(50);
+  monitor.ObserveRangeLookups(50, 1e-4);
+  const monkey::Workload w = monitor.ObservedWorkload();
+  EXPECT_NEAR(w.zero_result_lookups, 0.6, 1e-9);
+  EXPECT_NEAR(w.updates, 0.3, 1e-9);
+  EXPECT_NEAR(w.nonzero_result_lookups, 0.05, 1e-9);
+  EXPECT_NEAR(w.range_lookups, 0.05, 1e-9);
+  EXPECT_NEAR(w.range_selectivity, 1e-4, 1e-12);
+}
+
+TEST(WorkloadMonitor, DecayForgetsOldBehaviour) {
+  monkey::WorkloadMonitor monitor(0.1);  // Aggressive decay.
+  monitor.ObserveUpdates(1000);
+  for (int window = 0; window < 5; window++) monitor.EndWindow();
+  monitor.ObserveLookupsZeroResult(100);
+  const monkey::Workload w = monitor.ObservedWorkload();
+  EXPECT_GT(w.zero_result_lookups, 0.9);  // Recent lookups dominate.
+}
+
+TEST(WorkloadMonitor, RecommendsSwitchWhenWorkloadFlips) {
+  monkey::Environment env;
+  env.num_entries = 1e8;
+  env.entry_size_bits = 128 * 8;
+  env.total_memory_bits = 12.0 * env.num_entries;
+
+  // The running design is write-optimized (tiering, large T).
+  monkey::Workload writes;
+  writes.updates = 0.95;
+  writes.zero_result_lookups = 0.05;
+  const monkey::Tuning current =
+      monkey::AutotuneSizeRatioAndPolicy(env, writes);
+
+  // Observed behaviour is read-heavy.
+  monkey::WorkloadMonitor monitor;
+  monitor.ObserveLookupsZeroResult(9500);
+  monitor.ObserveUpdates(500);
+
+  // A long horizon justifies the migration...
+  const auto long_horizon =
+      monitor.Recommend(env, current, /*transformation_ios=*/1e6,
+                        /*horizon_ops=*/1e9);
+  EXPECT_GT(long_horizon.gain_ios_per_op, 0);
+  EXPECT_TRUE(long_horizon.worth_switching);
+  EXPECT_EQ(long_horizon.tuning.policy, MergePolicy::kLeveling);
+
+  // ...a short horizon does not.
+  const auto short_horizon =
+      monitor.Recommend(env, current, /*transformation_ios=*/1e6,
+                        /*horizon_ops=*/10);
+  EXPECT_FALSE(short_horizon.worth_switching);
+}
+
+TEST(WorkloadMonitor, NoSwitchWhenAlreadyOptimal) {
+  monkey::Environment env;
+  env.num_entries = 1e8;
+  env.entry_size_bits = 128 * 8;
+  env.total_memory_bits = 12.0 * env.num_entries;
+
+  monkey::Workload mix;
+  mix.zero_result_lookups = 0.5;
+  mix.updates = 0.5;
+  const monkey::Tuning current =
+      monkey::AutotuneSizeRatioAndPolicy(env, mix);
+
+  monkey::WorkloadMonitor monitor;
+  monitor.ObserveLookupsZeroResult(500);
+  monitor.ObserveUpdates(500);
+  const auto rec = monitor.Recommend(env, current, 1e6, 1e9);
+  // Gain vs an already-optimal design is ~0; not worth migrating.
+  EXPECT_NEAR(rec.gain_ios_per_op, 0.0, 1e-6);
+  EXPECT_FALSE(rec.worth_switching);
+}
+
+}  // namespace
+}  // namespace monkeydb

@@ -1,0 +1,92 @@
+// Blocked (cache-local) Bloom filter tests: no false negatives, FPR close
+// to (slightly above) the standard filter's, and format safety.
+
+#include "bloom/blocked_bloom_filter.h"
+
+#include <gtest/gtest.h>
+
+#include "bloom/bloom_filter.h"
+#include "bloom/bloom_math.h"
+
+namespace monkeydb {
+namespace {
+
+std::string Key(int i) { return "bkey_" + std::to_string(i); }
+
+TEST(BlockedBloom, NoFalseNegatives) {
+  BlockedBloomFilterBuilder builder;
+  const int n = 20000;
+  for (int i = 0; i < n; i++) builder.AddKey(Key(i));
+  const std::string filter = builder.Finish(10.0);
+  for (int i = 0; i < n; i++) {
+    EXPECT_TRUE(BlockedBloomFilterReader::MayContain(filter, Key(i))) << i;
+  }
+}
+
+TEST(BlockedBloom, EmptyFilterAlwaysPositive) {
+  BlockedBloomFilterBuilder builder;
+  for (int i = 0; i < 10; i++) builder.AddKey(Key(i));
+  const std::string filter = builder.Finish(0.0);
+  EXPECT_TRUE(filter.empty());
+  EXPECT_TRUE(BlockedBloomFilterReader::MayContain(filter, "anything"));
+}
+
+class BlockedBloomFprSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(BlockedBloomFprSweep, FprNearTheoryWithBlockingPenalty) {
+  const double bits_per_key = GetParam();
+  BlockedBloomFilterBuilder builder;
+  const int n = 30000;
+  for (int i = 0; i < n; i++) builder.AddKey(Key(i));
+  const std::string filter = builder.Finish(bits_per_key);
+
+  int fp = 0;
+  const int probes = 30000;
+  for (int i = 0; i < probes; i++) {
+    if (BlockedBloomFilterReader::MayContain(filter, Key(n + i))) fp++;
+  }
+  const double empirical = static_cast<double>(fp) / probes;
+  const double ideal = bloom::FalsePositiveRate(bits_per_key);
+  // Blocking costs accuracy (uneven per-block load): allow up to ~2.2x the
+  // ideal FPR plus sampling slack, but demand it's still a real filter.
+  EXPECT_LT(empirical, ideal * 2.2 + 0.01) << "bits/key=" << bits_per_key;
+  EXPECT_GT(empirical, ideal * 0.3 - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(BitsPerKey, BlockedBloomFprSweep,
+                         ::testing::Values(4.0, 8.0, 10.0, 12.0));
+
+TEST(BlockedBloom, FormatsAreDistinguished) {
+  // A standard filter must not be accepted as a definite-negative source
+  // by the blocked reader and vice versa: both fall back to "may contain".
+  BloomFilterBuilder standard;
+  BlockedBloomFilterBuilder blocked;
+  for (int i = 0; i < 1000; i++) {
+    standard.AddKey(Key(i));
+    blocked.AddKey(Key(i));
+  }
+  const std::string standard_filter = standard.Finish(10.0);
+  const std::string blocked_filter = blocked.Finish(10.0);
+
+  // Cross-reading never yields a false negative for present keys.
+  for (int i = 0; i < 1000; i += 111) {
+    EXPECT_TRUE(
+        BlockedBloomFilterReader::MayContain(standard_filter, Key(i)));
+    EXPECT_TRUE(BloomFilterReader::MayContain(blocked_filter, Key(i)));
+  }
+}
+
+TEST(BlockedBloom, SizeTracksBudget) {
+  BlockedBloomFilterBuilder builder;
+  const int n = 10000;
+  for (int i = 0; i < n; i++) builder.AddKey(Key(i));
+  const std::string filter = builder.Finish(10.0);
+  // Rounded up to whole cache lines.
+  EXPECT_GE(BlockedBloomFilterReader::SizeBits(filter), 10.0 * n * 0.99);
+  EXPECT_LE(BlockedBloomFilterReader::SizeBits(filter),
+            10.0 * n + 64 * 8);
+  EXPECT_EQ((filter.size() - 2) % 64, 0u);
+}
+
+}  // namespace
+}  // namespace monkeydb

@@ -1,0 +1,149 @@
+// Bloom filter tests: no false negatives (ever), empirical FPR tracking the
+// Eq. 2 prediction across a parameterized bits-per-key sweep, and the
+// FPR <-> bits math.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "bloom/bloom_filter.h"
+#include "bloom/bloom_math.h"
+#include "util/random.h"
+
+namespace monkeydb {
+namespace {
+
+std::string Key(int i) { return "key_" + std::to_string(i); }
+
+TEST(BloomMath, Equation2RoundTrip) {
+  // FPR(bits_per_entry) and its inverse must compose to identity.
+  for (double fpr : {0.5, 0.1, 0.01, 0.001, 1e-6}) {
+    const double bpe = bloom::BitsPerEntryForFpr(fpr);
+    EXPECT_NEAR(bloom::FalsePositiveRate(bpe), fpr, fpr * 1e-9);
+  }
+  EXPECT_DOUBLE_EQ(bloom::FalsePositiveRate(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(bloom::BitsPerEntryForFpr(1.0), 0.0);
+}
+
+TEST(BloomMath, TenBitsIsAboutOnePercent) {
+  // The paper: "All implementations use 10 bits per entry ... the
+  // corresponding false positive rate is ~1%".
+  EXPECT_NEAR(bloom::FalsePositiveRate(10.0), 0.0082, 0.001);
+}
+
+TEST(BloomMath, OptimalProbes) {
+  EXPECT_EQ(bloom::OptimalNumProbes(10.0), 7);  // 10·ln2 ≈ 6.93.
+  EXPECT_EQ(bloom::OptimalNumProbes(1.0), 1);
+  EXPECT_EQ(bloom::OptimalNumProbes(100.0), 30);  // Clamped.
+}
+
+TEST(BloomFilter, NoFalseNegatives) {
+  BloomFilterBuilder builder;
+  const int n = 10000;
+  for (int i = 0; i < n; i++) builder.AddKey(Key(i));
+  const std::string filter = builder.Finish(8.0);
+  for (int i = 0; i < n; i++) {
+    EXPECT_TRUE(BloomFilterReader::MayContain(filter, Key(i))) << i;
+  }
+}
+
+TEST(BloomFilter, EmptyFilterAlwaysPositive) {
+  BloomFilterBuilder builder;
+  for (int i = 0; i < 100; i++) builder.AddKey(Key(i));
+  const std::string filter = builder.Finish(0.0);
+  EXPECT_TRUE(filter.empty());
+  EXPECT_TRUE(BloomFilterReader::MayContain(filter, "anything"));
+  EXPECT_EQ(BloomFilterReader::SizeBits(filter), 0u);
+}
+
+TEST(BloomFilter, NoKeysProducesEmptyFilter) {
+  BloomFilterBuilder builder;
+  const std::string filter = builder.Finish(10.0);
+  EXPECT_TRUE(BloomFilterReader::MayContain(filter, "x"));
+}
+
+TEST(BloomFilter, SizeMatchesBudget) {
+  BloomFilterBuilder builder;
+  const int n = 4096;
+  for (int i = 0; i < n; i++) builder.AddKey(Key(i));
+  const std::string filter = builder.Finish(10.0);
+  const uint64_t bits = BloomFilterReader::SizeBits(filter);
+  EXPECT_NEAR(static_cast<double>(bits), 10.0 * n, 8.0);  // Byte rounding.
+}
+
+// Parameterized sweep: the empirical FPR must track Eq. 2 within sampling
+// noise across the bits-per-key range the paper explores (Fig. 11C).
+class BloomFprSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(BloomFprSweep, EmpiricalFprMatchesTheory) {
+  const double bits_per_key = GetParam();
+  BloomFilterBuilder builder;
+  const int n = 20000;
+  for (int i = 0; i < n; i++) builder.AddKey(Key(i));
+  const std::string filter = builder.Finish(bits_per_key);
+
+  int false_positives = 0;
+  const int probes = 20000;
+  for (int i = 0; i < probes; i++) {
+    if (BloomFilterReader::MayContain(filter, Key(n + i))) false_positives++;
+  }
+  const double empirical = static_cast<double>(false_positives) / probes;
+  const double theoretical = bloom::FalsePositiveRate(bits_per_key);
+  // Double hashing + integer k costs a little accuracy vs the ideal; allow
+  // 40% relative + absolute sampling slack.
+  EXPECT_LE(std::abs(empirical - theoretical),
+            0.4 * theoretical + 0.004)
+      << "bits/key=" << bits_per_key << " empirical=" << empirical
+      << " theoretical=" << theoretical;
+}
+
+INSTANTIATE_TEST_SUITE_P(BitsPerKey, BloomFprSweep,
+                         ::testing::Values(2.0, 4.0, 5.0, 8.0, 10.0, 14.0));
+
+TEST(BloomFilter, FinishForFprHitsTarget) {
+  for (double target : {0.5, 0.1, 0.01}) {
+    BloomFilterBuilder builder;
+    const int n = 20000;
+    for (int i = 0; i < n; i++) builder.AddKey(Key(i));
+    const std::string filter = builder.FinishForFpr(target);
+
+    int fp = 0;
+    const int probes = 20000;
+    for (int i = 0; i < probes; i++) {
+      if (BloomFilterReader::MayContain(filter, Key(n + i))) fp++;
+    }
+    const double empirical = static_cast<double>(fp) / probes;
+    EXPECT_LE(std::abs(empirical - target), 0.4 * target + 0.004)
+        << "target=" << target;
+  }
+}
+
+TEST(BloomFilter, FprOneMeansNoFilter) {
+  BloomFilterBuilder builder;
+  for (int i = 0; i < 100; i++) builder.AddKey(Key(i));
+  EXPECT_TRUE(builder.FinishForFpr(1.0).empty());
+}
+
+TEST(BloomFilter, TinyRunStillGetsFloorFilter) {
+  BloomFilterBuilder builder;
+  builder.AddKey("only_key");
+  const std::string filter = builder.Finish(5.0);
+  // 5 bits would be useless; the builder floors at 64 bits.
+  EXPECT_GE(BloomFilterReader::SizeBits(filter), 64u);
+  EXPECT_TRUE(BloomFilterReader::MayContain(filter, "only_key"));
+  EXPECT_FALSE(BloomFilterReader::MayContain(filter, "other_key"));
+}
+
+TEST(BloomFilter, BuilderResetsAfterFinish) {
+  BloomFilterBuilder builder;
+  builder.AddKey("a");
+  builder.Finish(10.0);
+  EXPECT_EQ(builder.num_keys(), 0u);
+  builder.AddKey("b");
+  const std::string filter = builder.Finish(10.0);
+  EXPECT_TRUE(BloomFilterReader::MayContain(filter, "b"));
+}
+
+}  // namespace
+}  // namespace monkeydb

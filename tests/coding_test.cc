@@ -1,0 +1,128 @@
+#include "util/coding.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <vector>
+
+#include "util/random.h"
+
+namespace monkeydb {
+namespace {
+
+TEST(Coding, Fixed32RoundTrip) {
+  std::string s;
+  for (uint32_t v : {0u, 1u, 255u, 256u, 0xDEADBEEFu,
+                     std::numeric_limits<uint32_t>::max()}) {
+    s.clear();
+    PutFixed32(&s, v);
+    ASSERT_EQ(s.size(), 4u);
+    EXPECT_EQ(DecodeFixed32(s.data()), v);
+  }
+}
+
+TEST(Coding, Fixed64RoundTrip) {
+  std::string s;
+  for (uint64_t v : {uint64_t{0}, uint64_t{1}, uint64_t{1} << 32,
+                     std::numeric_limits<uint64_t>::max()}) {
+    s.clear();
+    PutFixed64(&s, v);
+    ASSERT_EQ(s.size(), 8u);
+    EXPECT_EQ(DecodeFixed64(s.data()), v);
+  }
+}
+
+TEST(Coding, Varint32Boundaries) {
+  // Each 7-bit boundary changes the encoded length.
+  struct Case {
+    uint32_t value;
+    int length;
+  };
+  const Case cases[] = {{0, 1},         {127, 1},      {128, 2},
+                        {16383, 2},     {16384, 3},    {2097151, 3},
+                        {2097152, 4},   {268435455, 4}, {268435456, 5},
+                        {0xFFFFFFFFu, 5}};
+  for (const Case& c : cases) {
+    std::string s;
+    PutVarint32(&s, c.value);
+    EXPECT_EQ(static_cast<int>(s.size()), c.length) << c.value;
+    uint32_t decoded;
+    const char* p = GetVarint32Ptr(s.data(), s.data() + s.size(), &decoded);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(decoded, c.value);
+    EXPECT_EQ(p, s.data() + s.size());
+  }
+}
+
+TEST(Coding, Varint64RandomRoundTrip) {
+  Random rng(42);
+  std::string s;
+  std::vector<uint64_t> values;
+  for (int i = 0; i < 1000; i++) {
+    // Bias toward all widths by masking with a random bit count.
+    const int bits = 1 + static_cast<int>(rng.Uniform(64));
+    const uint64_t v =
+        rng.Next() & (bits == 64 ? ~uint64_t{0} : ((uint64_t{1} << bits) - 1));
+    values.push_back(v);
+    PutVarint64(&s, v);
+  }
+  Slice input(s);
+  for (uint64_t expected : values) {
+    uint64_t v;
+    ASSERT_TRUE(GetVarint64(&input, &v));
+    EXPECT_EQ(v, expected);
+  }
+  EXPECT_TRUE(input.empty());
+}
+
+TEST(Coding, VarintLengthMatchesEncoding) {
+  Random rng(7);
+  for (int i = 0; i < 200; i++) {
+    const uint64_t v = rng.Next() >> rng.Uniform(64);
+    std::string s;
+    PutVarint64(&s, v);
+    EXPECT_EQ(VarintLength(v), static_cast<int>(s.size()));
+  }
+}
+
+TEST(Coding, MalformedVarintRejected) {
+  // Five continuation bytes exceed the 32-bit range.
+  const char bad[] = {'\xff', '\xff', '\xff', '\xff', '\xff', '\xff'};
+  uint32_t v32;
+  EXPECT_EQ(GetVarint32Ptr(bad, bad + sizeof(bad), &v32), nullptr);
+
+  // Truncated input.
+  std::string s;
+  PutVarint32(&s, 1 << 20);
+  Slice input(s.data(), 1);
+  EXPECT_FALSE(GetVarint32(&input, &v32));
+}
+
+TEST(Coding, LengthPrefixedSlice) {
+  std::string s;
+  PutLengthPrefixedSlice(&s, "hello");
+  PutLengthPrefixedSlice(&s, "");
+  PutLengthPrefixedSlice(&s, std::string(300, 'x'));
+
+  Slice input(s);
+  Slice out;
+  ASSERT_TRUE(GetLengthPrefixedSlice(&input, &out));
+  EXPECT_EQ(out.ToString(), "hello");
+  ASSERT_TRUE(GetLengthPrefixedSlice(&input, &out));
+  EXPECT_TRUE(out.empty());
+  ASSERT_TRUE(GetLengthPrefixedSlice(&input, &out));
+  EXPECT_EQ(out.size(), 300u);
+  EXPECT_FALSE(GetLengthPrefixedSlice(&input, &out));  // Exhausted.
+}
+
+TEST(Coding, LengthPrefixTruncatedBodyRejected) {
+  std::string s;
+  PutVarint32(&s, 10);
+  s += "abc";  // Claims 10 bytes, provides 3.
+  Slice input(s);
+  Slice out;
+  EXPECT_FALSE(GetLengthPrefixedSlice(&input, &out));
+}
+
+}  // namespace
+}  // namespace monkeydb

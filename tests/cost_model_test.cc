@@ -1,0 +1,257 @@
+// Closed-form cost-model tests: internal consistency, the paper's limiting
+// behaviours (Table 1, Figs. 4/7/8), and Monkey-dominates-baseline.
+
+#include "monkey/cost_model.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace monkeydb {
+namespace monkey {
+namespace {
+
+// The paper's Fig. 7 configuration: 512 TB of data, N = 2^35, E = 16 bytes,
+// T = 4, buffer 2 MB. (The text says 512 GB-scale; what matters here is the
+// geometry.)
+DesignPoint PaperConfig() {
+  DesignPoint d;
+  d.policy = MergePolicy::kLeveling;
+  d.size_ratio = 4.0;
+  d.num_entries = std::pow(2.0, 35);
+  d.entry_size_bits = 16 * 8;
+  d.buffer_bits = 2.0 * (1 << 20) * 8;
+  d.filter_bits = 10.0 * d.num_entries;
+  d.entries_per_page = 4096.0 * 8 / d.entry_size_bits;
+  return d;
+}
+
+TEST(CostModel, NumLevelsMatchesEq1) {
+  DesignPoint d = PaperConfig();
+  // Eq. 1: L = ceil(log_T(N*E/Mbuf * (T-1)/T)).
+  const double expected = std::ceil(
+      std::log((d.num_entries * d.entry_size_bits / d.buffer_bits) * 3.0 /
+               4.0) /
+      std::log(4.0));
+  EXPECT_EQ(NumLevels(d), static_cast<int>(expected));
+  EXPECT_GE(NumLevels(d), 5);  // Sizeable tree at this scale.
+}
+
+TEST(CostModel, LevelCountShrinksWithBufferAndT) {
+  DesignPoint d = PaperConfig();
+  const int base = NumLevels(d);
+  DesignPoint bigger_buffer = d;
+  bigger_buffer.buffer_bits *= 64;
+  EXPECT_LT(NumLevels(bigger_buffer), base);
+
+  DesignPoint bigger_t = d;
+  bigger_t.size_ratio = 16.0;
+  EXPECT_LT(NumLevels(bigger_t), base);
+
+  // As T approaches T_lim the tree collapses to one level (Sec. 2).
+  DesignPoint at_limit = d;
+  at_limit.size_ratio = SizeRatioLimit(d);
+  EXPECT_EQ(NumLevels(at_limit), 1);
+}
+
+TEST(CostModel, LevelingEqualsTieringAtT2) {
+  // "When the size ratio T is set to 2, the complexities of lookup and
+  // update costs for tiering and leveling become identical."
+  DesignPoint lev = PaperConfig();
+  lev.size_ratio = 2.0;
+  lev.policy = MergePolicy::kLeveling;
+  DesignPoint tier = lev;
+  tier.policy = MergePolicy::kTiering;
+
+  EXPECT_NEAR(ZeroResultLookupCost(lev), ZeroResultLookupCost(tier), 1e-9);
+  EXPECT_NEAR(UpdateCost(lev), UpdateCost(tier), 1e-9);
+  EXPECT_NEAR(BaselineZeroResultLookupCost(lev),
+              BaselineZeroResultLookupCost(tier), 1e-9);
+  EXPECT_NEAR(RangeLookupCost(lev, 0.01), RangeLookupCost(tier, 0.01), 1e-9);
+}
+
+TEST(CostModel, MonkeyDominatesBaselineEverywhere) {
+  // Fig. 7: R <= R_art for every filter budget; Fig. 8: for every (policy,
+  // T) combination.
+  for (MergePolicy policy :
+       {MergePolicy::kLeveling, MergePolicy::kTiering}) {
+    for (double t : {2.0, 3.0, 4.0, 8.0, 16.0}) {
+      for (double bits_per_entry :
+           {0.0, 0.5, 1.0, 2.0, 5.0, 10.0, 16.0}) {
+        DesignPoint d = PaperConfig();
+        d.policy = policy;
+        d.size_ratio = t;
+        d.filter_bits = bits_per_entry * d.num_entries;
+        EXPECT_LE(ZeroResultLookupCost(d),
+                  BaselineZeroResultLookupCost(d) + 1e-9)
+            << "policy=" << static_cast<int>(policy) << " T=" << t
+            << " bpe=" << bits_per_entry;
+      }
+    }
+  }
+}
+
+TEST(CostModel, MonkeyLookupCostIndependentOfLevelCountAboveThreshold) {
+  // Table 1: with M_filters > M_threshold, Monkey's R is O(e^{-M/N}) —
+  // independent of N's effect on L. Grow N (and the budget proportionally):
+  // the baseline grows logarithmically while Monkey stays ~flat.
+  DesignPoint d = PaperConfig();
+  d.filter_bits = 5.0 * d.num_entries;
+  const double r_small = ZeroResultLookupCost(d);
+  const double rart_small = BaselineZeroResultLookupCost(d);
+
+  DesignPoint big = d;
+  big.num_entries *= 1024;  // +5 levels at T=4.
+  big.filter_bits = 5.0 * big.num_entries;
+  const double r_big = ZeroResultLookupCost(big);
+  const double rart_big = BaselineZeroResultLookupCost(big);
+
+  EXPECT_GT(NumLevels(big), NumLevels(d));
+  EXPECT_NEAR(r_big, r_small, r_small * 1e-6);     // Monkey: flat.
+  EXPECT_GT(rart_big, rart_small * 1.3);           // Baseline: grows.
+}
+
+TEST(CostModel, MonkeyLookupCostIndependentOfBufferSize) {
+  // Fig. 9 top: above the threshold, R does not depend on M_buffer.
+  DesignPoint d = PaperConfig();
+  d.filter_bits = 8.0 * d.num_entries;
+  const double r1 = ZeroResultLookupCost(d);
+  DesignPoint d2 = d;
+  d2.buffer_bits *= 256;
+  const double r2 = ZeroResultLookupCost(d2);
+  EXPECT_NEAR(r1, r2, r1 * 1e-9);
+
+  // The baseline DOES depend on the buffer (through L).
+  EXPECT_LT(BaselineZeroResultLookupCost(d2),
+            BaselineZeroResultLookupCost(d));
+}
+
+TEST(CostModel, LookupCostMonotonicallyDecreasingInFilterMemory) {
+  DesignPoint d = PaperConfig();
+  double prev_r = 1e100;
+  double prev_rart = 1e100;
+  for (double bpe = 0.0; bpe <= 16.0; bpe += 0.25) {
+    d.filter_bits = bpe * d.num_entries;
+    const double r = ZeroResultLookupCost(d);
+    const double rart = BaselineZeroResultLookupCost(d);
+    EXPECT_LE(r, prev_r + 1e-9) << bpe;
+    EXPECT_LE(rart, prev_rart + 1e-9) << bpe;
+    prev_r = r;
+    prev_rart = rart;
+  }
+}
+
+TEST(CostModel, CurvesMeetWithNoFilterMemory) {
+  // Fig. 7: as M_filters -> 0 both degenerate to the unfiltered LSM-tree
+  // (R = number of runs).
+  for (MergePolicy policy :
+       {MergePolicy::kLeveling, MergePolicy::kTiering}) {
+    DesignPoint d = PaperConfig();
+    d.policy = policy;
+    d.filter_bits = 0.0;
+    EXPECT_NEAR(ZeroResultLookupCost(d), MaxRuns(d), 1e-9);
+    EXPECT_NEAR(BaselineZeroResultLookupCost(d), MaxRuns(d), 1e-9);
+  }
+}
+
+TEST(CostModel, MemoryThresholdFormula) {
+  DesignPoint d = PaperConfig();
+  // M_threshold = N/ln(2)^2 * ln(T)/(T-1). At T=2 this is ~1.44 N bits.
+  d.size_ratio = 2.0;
+  EXPECT_NEAR(MemoryThreshold(d) / d.num_entries, 1.44, 0.01);
+  // Above the threshold no level loses its filter; below, some do.
+  d.filter_bits = MemoryThreshold(d) * 1.01;
+  EXPECT_EQ(UnfilteredLevels(d), 0);
+  d.filter_bits = MemoryThreshold(d) * 0.5;
+  EXPECT_GE(UnfilteredLevels(d), 1);
+  d.filter_bits = 0.0;
+  EXPECT_EQ(UnfilteredLevels(d), NumLevels(d));
+}
+
+TEST(CostModel, UpdateCostBehaviour) {
+  DesignPoint d = PaperConfig();
+  // Tiering updates are cheaper than leveling at the same T (Fig. 4).
+  DesignPoint tier = d;
+  tier.policy = MergePolicy::kTiering;
+  EXPECT_LT(UpdateCost(tier), UpdateCost(d));
+
+  // With leveling, increasing T makes updates more expensive; with tiering
+  // the per-level cost factor (T-1)/T grows slowly but L shrinks, so the
+  // overall cost falls.
+  DesignPoint lev_t16 = d;
+  lev_t16.size_ratio = 16.0;
+  EXPECT_GT(UpdateCost(lev_t16) * NumLevels(d),
+            UpdateCost(d) * NumLevels(lev_t16) * 0.99);
+
+  DesignPoint tier_t16 = tier;
+  tier_t16.size_ratio = 16.0;
+  EXPECT_LT(UpdateCost(tier_t16), UpdateCost(tier));
+
+  // Flash (phi = 2) makes updates 1.5x pricier than disk (phi = 1).
+  DesignPoint flash = d;
+  flash.write_read_cost_ratio = 2.0;
+  EXPECT_NEAR(UpdateCost(flash) / UpdateCost(d), 1.5, 1e-9);
+}
+
+TEST(CostModel, LookupVsUpdateTradeoffAcrossT) {
+  // Fig. 4: under leveling, raising T lowers R but raises W;
+  // under tiering, raising T raises R but lowers W.
+  DesignPoint d = PaperConfig();
+  d.filter_bits = 5.0 * d.num_entries;
+
+  DesignPoint lev2 = d, lev16 = d;
+  lev2.size_ratio = 2.0;
+  lev16.size_ratio = 16.0;
+  EXPECT_LE(BaselineZeroResultLookupCost(lev16),
+            BaselineZeroResultLookupCost(lev2));
+  EXPECT_GT(UpdateCost(lev16), UpdateCost(lev2));
+
+  DesignPoint tier2 = d, tier16 = d;
+  tier2.policy = tier16.policy = MergePolicy::kTiering;
+  tier2.size_ratio = 2.0;
+  tier16.size_ratio = 16.0;
+  EXPECT_GE(BaselineZeroResultLookupCost(tier16),
+            BaselineZeroResultLookupCost(tier2));
+  EXPECT_LT(UpdateCost(tier16), UpdateCost(tier2));
+}
+
+TEST(CostModel, NonZeroLookupAtLeastOneIo) {
+  // Eq. 9: V = R - p_L + 1 >= 1 (the target page must be read).
+  for (double bpe : {0.0, 2.0, 10.0}) {
+    DesignPoint d = PaperConfig();
+    d.filter_bits = bpe * d.num_entries;
+    EXPECT_GE(NonZeroResultLookupCost(d), 1.0 - 1e-9);
+    EXPECT_GE(BaselineNonZeroResultLookupCost(d), 1.0 - 1e-9);
+    EXPECT_LE(NonZeroResultLookupCost(d),
+              BaselineNonZeroResultLookupCost(d) + 1.0);
+  }
+}
+
+TEST(CostModel, RangeLookupScalesWithSelectivity) {
+  DesignPoint d = PaperConfig();
+  const double q_small = RangeLookupCost(d, 1e-6);
+  const double q_large = RangeLookupCost(d, 1e-3);
+  EXPECT_GT(q_large, q_small);
+  // The selectivity term dominates for large ranges: s*N/B pages.
+  EXPECT_NEAR(q_large - q_small,
+              (1e-3 - 1e-6) * d.num_entries / d.entries_per_page,
+              1.0);
+}
+
+TEST(CostModel, ThroughputComposition) {
+  DesignPoint d = PaperConfig();
+  Workload w;
+  w.zero_result_lookups = 0.5;
+  w.updates = 0.5;
+  const double theta = AverageOperationCost(d, w);
+  EXPECT_NEAR(theta, 0.5 * ZeroResultLookupCost(d) + 0.5 * UpdateCost(d),
+              1e-12);
+  const double tau = Throughput(d, w, 10e-3);
+  EXPECT_NEAR(tau, 1.0 / (theta * 10e-3), 1e-6);
+  // Monkey's throughput beats the baseline's for the same design.
+  EXPECT_GE(tau, 1.0 / (BaselineAverageOperationCost(d, w) * 10e-3) - 1e-9);
+}
+
+}  // namespace
+}  // namespace monkey
+}  // namespace monkeydb

@@ -1,0 +1,362 @@
+// End-to-end DB engine tests: randomized cross-checks against a reference
+// model, structural invariants of both merge policies, range scans, and
+// crash recovery.
+
+#include "lsm/db.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <optional>
+
+#include "io/env.h"
+#include "monkey/monkey_db.h"
+#include "util/random.h"
+
+namespace monkeydb {
+namespace {
+
+struct DbTestParam {
+  MergePolicy policy;
+  double size_ratio;
+  bool monkey_filters;
+};
+
+std::string ParamName(const ::testing::TestParamInfo<DbTestParam>& info) {
+  std::string name;
+  switch (info.param.policy) {
+    case MergePolicy::kLeveling:
+      name = "Leveling";
+      break;
+    case MergePolicy::kTiering:
+      name = "Tiering";
+      break;
+    case MergePolicy::kLazyLeveling:
+      name = "LazyLeveling";
+      break;
+  }
+  name += "T" + std::to_string(static_cast<int>(info.param.size_ratio));
+  name += info.param.monkey_filters ? "Monkey" : "Uniform";
+  return name;
+}
+
+class DbTest : public ::testing::TestWithParam<DbTestParam> {
+ protected:
+  DbTest() : env_(NewMemEnv()) {}
+
+  DbOptions MakeOptions() {
+    DbOptions options;
+    options.env = env_.get();
+    options.merge_policy = GetParam().policy;
+    options.size_ratio = GetParam().size_ratio;
+    options.buffer_size_bytes = 8 << 10;  // Small: force many levels.
+    options.bits_per_entry = 5.0;
+    if (GetParam().monkey_filters) {
+      options.fpr_policy = monkey::NewMonkeyFprPolicy();
+    }
+    return options;
+  }
+
+  std::unique_ptr<Env> env_;
+};
+
+TEST_P(DbTest, RandomizedAgainstReferenceModel) {
+  std::unique_ptr<DB> db;
+  ASSERT_TRUE(DB::Open(MakeOptions(), "/db", &db).ok());
+
+  // Reference: user key -> live value (nullopt = deleted).
+  std::map<std::string, std::optional<std::string>> model;
+  Random rng(GetParam().policy == MergePolicy::kLeveling ? 11 : 22);
+  WriteOptions wo;
+  ReadOptions ro;
+
+  for (int op = 0; op < 8000; op++) {
+    const std::string key = "key" + std::to_string(rng.Uniform(1500));
+    if (rng.Bernoulli(0.75)) {
+      const std::string value = "val" + std::to_string(op);
+      ASSERT_TRUE(db->Put(wo, key, value).ok());
+      model[key] = value;
+    } else {
+      ASSERT_TRUE(db->Delete(wo, key).ok());
+      model[key] = std::nullopt;
+    }
+
+    // Spot-check a random key every few ops.
+    if (op % 7 == 0) {
+      const std::string probe = "key" + std::to_string(rng.Uniform(1500));
+      std::string value;
+      Status s = db->Get(ro, probe, &value);
+      auto it = model.find(probe);
+      if (it == model.end() || !it->second.has_value()) {
+        EXPECT_TRUE(s.IsNotFound()) << probe << " op=" << op;
+      } else {
+        ASSERT_TRUE(s.ok()) << probe << " op=" << op << " " << s.ToString();
+        EXPECT_EQ(value, *it->second) << probe;
+      }
+    }
+  }
+
+  // Exhaustive final check.
+  for (const auto& [key, expected] : model) {
+    std::string value;
+    Status s = db->Get(ro, key, &value);
+    if (expected.has_value()) {
+      ASSERT_TRUE(s.ok()) << key << " " << s.ToString();
+      EXPECT_EQ(value, *expected);
+    } else {
+      EXPECT_TRUE(s.IsNotFound()) << key;
+    }
+  }
+}
+
+TEST_P(DbTest, StructuralInvariants) {
+  std::unique_ptr<DB> db;
+  ASSERT_TRUE(DB::Open(MakeOptions(), "/db", &db).ok());
+  WriteOptions wo;
+  Random rng(5);
+  for (int i = 0; i < 20000; i++) {
+    ASSERT_TRUE(db->Put(wo, "k" + std::to_string(rng.Next()),
+                        std::string(32, 'v'))
+                    .ok());
+  }
+  const DbStats stats = db->GetStats();
+  const int trigger = static_cast<int>(GetParam().size_ratio);
+  for (size_t level = 0; level < stats.runs_per_level.size(); level++) {
+    switch (GetParam().policy) {
+      case MergePolicy::kLeveling:
+        EXPECT_LE(stats.runs_per_level[level], 1u) << "level " << level + 1;
+        break;
+      case MergePolicy::kTiering:
+        // Fewer than T runs after cascades settle.
+        EXPECT_LT(stats.runs_per_level[level],
+                  static_cast<uint64_t>(trigger))
+            << "level " << level + 1;
+        break;
+      case MergePolicy::kLazyLeveling:
+        if (static_cast<int>(level) + 1 == stats.deepest_level) {
+          EXPECT_EQ(stats.runs_per_level[level], 1u)
+              << "largest level " << level + 1;
+        } else {
+          EXPECT_LT(stats.runs_per_level[level],
+                    static_cast<uint64_t>(trigger))
+              << "level " << level + 1;
+        }
+        break;
+    }
+  }
+  EXPECT_GE(stats.deepest_level, 2);  // Data actually cascaded.
+  EXPECT_GT(stats.flushes, 0u);
+}
+
+TEST_P(DbTest, RangeScanMatchesModel) {
+  std::unique_ptr<DB> db;
+  ASSERT_TRUE(DB::Open(MakeOptions(), "/db", &db).ok());
+  std::map<std::string, std::optional<std::string>> model;
+  Random rng(99);
+  WriteOptions wo;
+  for (int op = 0; op < 6000; op++) {
+    char buf[16];
+    snprintf(buf, sizeof(buf), "key%05llu",
+             static_cast<unsigned long long>(rng.Uniform(2000)));
+    if (rng.Bernoulli(0.8)) {
+      const std::string value = "v" + std::to_string(op);
+      ASSERT_TRUE(db->Put(wo, buf, value).ok());
+      model[buf] = value;
+    } else {
+      ASSERT_TRUE(db->Delete(wo, buf).ok());
+      model[buf] = std::nullopt;
+    }
+  }
+
+  // Full scan.
+  auto iter = db->NewIterator(ReadOptions());
+  auto model_it = model.begin();
+  for (iter->SeekToFirst(); iter->Valid(); iter->Next()) {
+    while (model_it != model.end() && !model_it->second.has_value()) {
+      ++model_it;
+    }
+    ASSERT_NE(model_it, model.end());
+    EXPECT_EQ(iter->key().ToString(), model_it->first);
+    EXPECT_EQ(iter->value().ToString(), *model_it->second);
+    ++model_it;
+  }
+  while (model_it != model.end() && !model_it->second.has_value()) {
+    ++model_it;
+  }
+  EXPECT_EQ(model_it, model.end());
+
+  // Bounded scan from a random start.
+  iter = db->NewIterator(ReadOptions());
+  iter->Seek("key01000");
+  int count = 0;
+  for (; iter->Valid() && count < 50; iter->Next(), count++) {
+    EXPECT_GE(iter->key().ToString(), std::string("key01000"));
+  }
+}
+
+TEST_P(DbTest, ReopenRecoversEverything) {
+  auto options = MakeOptions();
+  std::map<std::string, std::string> expected;
+  {
+    std::unique_ptr<DB> db;
+    ASSERT_TRUE(DB::Open(options, "/db", &db).ok());
+    WriteOptions wo;
+    Random rng(31);
+    for (int i = 0; i < 5000; i++) {
+      const std::string key = "key" + std::to_string(i);
+      const std::string value = "value" + std::to_string(rng.Next() % 100);
+      ASSERT_TRUE(db->Put(wo, key, value).ok());
+      expected[key] = value;
+    }
+    // Note: no explicit Flush — recovery must replay the WAL tail too.
+  }
+  std::unique_ptr<DB> db;
+  ASSERT_TRUE(DB::Open(options, "/db", &db).ok());
+  ReadOptions ro;
+  for (const auto& [key, value] : expected) {
+    std::string got;
+    ASSERT_TRUE(db->Get(ro, key, &got).ok()) << key;
+    EXPECT_EQ(got, value) << key;
+  }
+  // Deletions survive recovery too.
+  WriteOptions wo;
+  ASSERT_TRUE(db->Delete(wo, "key100").ok());
+  db.reset();
+  ASSERT_TRUE(DB::Open(options, "/db", &db).ok());
+  std::string got;
+  EXPECT_TRUE(db->Get(ro, "key100", &got).IsNotFound());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Policies, DbTest,
+    ::testing::Values(
+        DbTestParam{MergePolicy::kLeveling, 2.0, false},
+        DbTestParam{MergePolicy::kLeveling, 2.0, true},
+        DbTestParam{MergePolicy::kLeveling, 4.0, true},
+        DbTestParam{MergePolicy::kLeveling, 8.0, false},
+        DbTestParam{MergePolicy::kTiering, 2.0, true},
+        DbTestParam{MergePolicy::kTiering, 3.0, false},
+        DbTestParam{MergePolicy::kTiering, 4.0, true},
+        DbTestParam{MergePolicy::kTiering, 8.0, true},
+        DbTestParam{MergePolicy::kLazyLeveling, 3.0, true},
+        DbTestParam{MergePolicy::kLazyLeveling, 4.0, false}),
+    ParamName);
+
+// --- Non-parameterized engine tests ---
+
+TEST(DbBasics, RejectsBadOptions) {
+  std::unique_ptr<DB> db;
+  DbOptions no_env;
+  EXPECT_TRUE(DB::Open(no_env, "/db", &db).IsInvalidArgument());
+
+  auto env = NewMemEnv();
+  DbOptions bad_ratio;
+  bad_ratio.env = env.get();
+  bad_ratio.size_ratio = 1.5;
+  EXPECT_TRUE(DB::Open(bad_ratio, "/db", &db).IsInvalidArgument());
+}
+
+TEST(DbBasics, OverwriteSameKeyManyTimes) {
+  auto env = NewMemEnv();
+  DbOptions options;
+  options.env = env.get();
+  options.buffer_size_bytes = 4 << 10;
+  std::unique_ptr<DB> db;
+  ASSERT_TRUE(DB::Open(options, "/db", &db).ok());
+  WriteOptions wo;
+  for (int i = 0; i < 5000; i++) {
+    ASSERT_TRUE(db->Put(wo, "hot_key", "v" + std::to_string(i)).ok());
+  }
+  std::string value;
+  ASSERT_TRUE(db->Get(ReadOptions(), "hot_key", &value).ok());
+  EXPECT_EQ(value, "v4999");
+  // Compaction collapses duplicates: total disk entries stay small.
+  ASSERT_TRUE(db->Flush().ok());
+  EXPECT_LE(db->GetStats().total_disk_entries, 16u);
+}
+
+TEST(DbBasics, EmptyDbBehaves) {
+  auto env = NewMemEnv();
+  DbOptions options;
+  options.env = env.get();
+  std::unique_ptr<DB> db;
+  ASSERT_TRUE(DB::Open(options, "/db", &db).ok());
+  std::string value;
+  EXPECT_TRUE(db->Get(ReadOptions(), "nothing", &value).IsNotFound());
+  auto iter = db->NewIterator(ReadOptions());
+  iter->SeekToFirst();
+  EXPECT_FALSE(iter->Valid());
+  ASSERT_TRUE(db->Flush().ok());  // Flush of empty memtable is a no-op.
+  EXPECT_EQ(db->GetStats().total_disk_entries, 0u);
+}
+
+TEST(DbBasics, LargeValuesSpanBlocks) {
+  auto env = NewMemEnv();
+  DbOptions options;
+  options.env = env.get();
+  options.buffer_size_bytes = 256 << 10;
+  std::unique_ptr<DB> db;
+  ASSERT_TRUE(DB::Open(options, "/db", &db).ok());
+  WriteOptions wo;
+  // Values near the page size each get their own data block.
+  for (int i = 0; i < 100; i++) {
+    ASSERT_TRUE(db->Put(wo, "key" + std::to_string(i),
+                        std::string(3500, 'a' + (i % 26)))
+                    .ok());
+  }
+  ASSERT_TRUE(db->Flush().ok());
+  std::string value;
+  ASSERT_TRUE(db->Get(ReadOptions(), "key42", &value).ok());
+  EXPECT_EQ(value, std::string(3500, 'a' + (42 % 26)));
+}
+
+TEST(DbBasics, TombstonesPurgedAtBottomLevel) {
+  auto env = NewMemEnv();
+  DbOptions options;
+  options.env = env.get();
+  options.buffer_size_bytes = 4 << 10;
+  std::unique_ptr<DB> db;
+  ASSERT_TRUE(DB::Open(options, "/db", &db).ok());
+  WriteOptions wo;
+  for (int i = 0; i < 1000; i++) {
+    ASSERT_TRUE(db->Put(wo, "k" + std::to_string(i), "v").ok());
+  }
+  for (int i = 0; i < 1000; i++) {
+    ASSERT_TRUE(db->Delete(wo, "k" + std::to_string(i)).ok());
+  }
+  // Deletes do not eagerly reach the bottom; a full compaction purges
+  // every tombstone and superseded version.
+  ASSERT_TRUE(db->CompactAll().ok());
+  EXPECT_EQ(db->GetStats().total_disk_entries, 0u);
+  std::string value;
+  EXPECT_TRUE(db->Get(ReadOptions(), "k500", &value).IsNotFound());
+}
+
+TEST(DbBasics, StatsCountersAdvance) {
+  auto env = NewMemEnv();
+  DbOptions options;
+  options.env = env.get();
+  options.buffer_size_bytes = 8 << 10;
+  options.bits_per_entry = 10.0;
+  std::unique_ptr<DB> db;
+  ASSERT_TRUE(DB::Open(options, "/db", &db).ok());
+  WriteOptions wo;
+  for (int i = 0; i < 4000; i++) {
+    ASSERT_TRUE(
+        db->Put(wo, "key" + std::to_string(i), std::string(24, 'x')).ok());
+  }
+  ASSERT_TRUE(db->Flush().ok());
+  std::string value;
+  for (int i = 0; i < 200; i++) {
+    db->Get(ReadOptions(), "absent" + std::to_string(i), &value);
+  }
+  const DbStats stats = db->GetStats();
+  EXPECT_EQ(stats.gets, 200u);
+  // With 10 bits/key nearly all zero-result probes are filtered out.
+  EXPECT_GT(stats.filter_negatives, 0u);
+  EXPECT_GT(stats.flushes, 0u);
+  EXPECT_GT(stats.filter_bits_total, 0u);
+}
+
+}  // namespace
+}  // namespace monkeydb

@@ -1,0 +1,167 @@
+// Design-space enumeration and what-if analysis tests (Figs. 1, 4, 8 and
+// the Sec. 4.4 what-if questions).
+
+#include "monkey/design_space.h"
+
+#include <gtest/gtest.h>
+
+namespace monkeydb {
+namespace monkey {
+namespace {
+
+DesignPoint BaseConfig() {
+  DesignPoint d;
+  d.policy = MergePolicy::kLeveling;
+  d.size_ratio = 2.0;
+  d.num_entries = 1e8;
+  d.entry_size_bits = 128 * 8;
+  d.buffer_bits = 8.0 * (1 << 20) * 8;
+  d.filter_bits = 10.0 * d.num_entries;
+  d.entries_per_page = 32;
+  return d;
+}
+
+Environment BaseEnv() {
+  Environment env;
+  env.num_entries = 1e8;
+  env.entry_size_bits = 128 * 8;
+  env.total_memory_bits = 12.0 * 1e8;
+  return env;
+}
+
+TEST(DesignSpace, SweepCoversBothPoliciesAndMeetsAtT2) {
+  auto points = SweepDesignSpace(BaseConfig(), /*t_max=*/16.0);
+  ASSERT_FALSE(points.empty());
+
+  const CurvePoint* lev2 = nullptr;
+  const CurvePoint* tier2 = nullptr;
+  for (const auto& p : points) {
+    if (p.size_ratio == 2.0) {
+      if (p.policy == MergePolicy::kLeveling) lev2 = &p;
+      if (p.policy == MergePolicy::kTiering) tier2 = &p;
+    }
+  }
+  ASSERT_NE(lev2, nullptr);
+  ASSERT_NE(tier2, nullptr);
+  // The two half-curves meet where T = 2 (Fig. 4).
+  EXPECT_NEAR(lev2->lookup_cost, tier2->lookup_cost, 1e-9);
+  EXPECT_NEAR(lev2->update_cost, tier2->update_cost, 1e-9);
+}
+
+TEST(DesignSpace, MonkeyCurveDominatesBaselineCurve) {
+  // Fig. 8: at every point of the continuum the Monkey allocation is at
+  // least as good as uniform.
+  for (const auto& p : SweepDesignSpace(BaseConfig(), 32.0)) {
+    EXPECT_LE(p.lookup_cost, p.baseline_lookup_cost + 1e-9)
+        << "T=" << p.size_ratio;
+  }
+}
+
+TEST(DesignSpace, TradeoffDirectionAlongEachBranch) {
+  // Along leveling, update cost trends up with T; along tiering it trends
+  // down (Fig. 4). The ceil() in the level count makes the curves sawtooth
+  // locally, so compare the branch endpoints, which is the paper's claim.
+  auto points = SweepDesignSpace(BaseConfig(), 32.0);
+  const CurvePoint* lev_first = nullptr;
+  const CurvePoint* lev_last = nullptr;
+  const CurvePoint* tier_first = nullptr;
+  const CurvePoint* tier_last = nullptr;
+  for (const auto& p : points) {
+    if (p.policy == MergePolicy::kLeveling) {
+      if (lev_first == nullptr) lev_first = &p;
+      lev_last = &p;
+    } else {
+      if (tier_first == nullptr) tier_first = &p;
+      tier_last = &p;
+    }
+  }
+  ASSERT_NE(lev_first, nullptr);
+  ASSERT_NE(tier_first, nullptr);
+  EXPECT_GT(lev_last->update_cost, lev_first->update_cost);
+  EXPECT_LT(tier_last->update_cost, tier_first->update_cost);
+  // And the lookup side moves the other way on each branch.
+  EXPECT_LE(lev_last->baseline_lookup_cost,
+            lev_first->baseline_lookup_cost + 1e-12);
+  EXPECT_GE(tier_last->baseline_lookup_cost,
+            tier_first->baseline_lookup_cost - 1e-12);
+}
+
+TEST(DesignSpace, StateOfTheArtStoresAreOffThePareto) {
+  // Fig. 1: every named store's default tuning has a strictly worse lookup
+  // cost than the Monkey allocation at the same (policy, T, memory).
+  const Environment env = BaseEnv();
+  for (const StoreConfig& store : StateOfTheArtStores()) {
+    const CurvePoint p = EvaluateStore(store, env);
+    EXPECT_GT(p.baseline_lookup_cost, p.lookup_cost)
+        << store.name << " should be dominated by Monkey";
+  }
+}
+
+TEST(DesignSpace, StoreListCoversThePaperFigure) {
+  auto stores = StateOfTheArtStores();
+  ASSERT_GE(stores.size(), 6u);
+  bool has_leveldb = false, has_cassandra = false;
+  for (const auto& s : stores) {
+    if (s.name == "LevelDB") {
+      has_leveldb = true;
+      EXPECT_EQ(s.policy, MergePolicy::kLeveling);
+      EXPECT_EQ(s.size_ratio, 10.0);
+    }
+    if (s.name == "Cassandra") {
+      has_cassandra = true;
+      EXPECT_EQ(s.policy, MergePolicy::kTiering);
+    }
+  }
+  EXPECT_TRUE(has_leveldb);
+  EXPECT_TRUE(has_cassandra);
+}
+
+TEST(WhatIf, MoreMemoryNeverHurtsThroughput) {
+  const Environment env = BaseEnv();
+  Workload w;
+  w.zero_result_lookups = 0.5;
+  w.updates = 0.5;
+  const WhatIfResult result =
+      WhatIfMemoryChanges(env, w, env.total_memory_bits * 4);
+  EXPECT_GE(result.after.throughput, result.before.throughput * 0.999);
+}
+
+TEST(WhatIf, WorkloadShiftMovesTheTuning) {
+  const Environment env = BaseEnv();
+  Workload reads;
+  reads.zero_result_lookups = 0.9;
+  reads.updates = 0.1;
+  Workload writes;
+  writes.zero_result_lookups = 0.1;
+  writes.updates = 0.9;
+  const WhatIfResult result = WhatIfWorkloadChanges(env, reads, writes);
+  // Moving toward writes should lower the chosen update cost.
+  EXPECT_LE(result.after.update_cost, result.before.update_cost + 1e-12);
+}
+
+TEST(WhatIf, DataGrowthIsHandled) {
+  const Environment env = BaseEnv();
+  Workload w;
+  w.zero_result_lookups = 0.5;
+  w.updates = 0.5;
+  const WhatIfResult result =
+      WhatIfDataGrows(env, w, env.num_entries * 16, env.entry_size_bits);
+  ASSERT_TRUE(result.after.feasible);
+  // 16x the data with the same memory: operations can only get costlier.
+  EXPECT_GE(result.after.avg_op_cost, result.before.avg_op_cost - 1e-12);
+}
+
+TEST(WhatIf, FlashRaisesThroughput) {
+  const Environment env = BaseEnv();
+  Workload w;
+  w.zero_result_lookups = 0.5;
+  w.updates = 0.5;
+  const WhatIfResult result =
+      WhatIfStorageChanges(env, w, /*read_seconds=*/100e-6,
+                           /*phi=*/2.0);
+  EXPECT_GT(result.after.throughput, result.before.throughput);
+}
+
+}  // namespace
+}  // namespace monkey
+}  // namespace monkeydb

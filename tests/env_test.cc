@@ -1,0 +1,182 @@
+// Tests for MemEnv, PosixEnv, CountingEnv (page-granular I/O accounting),
+// and the DeviceModel.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "io/counting_env.h"
+#include "io/env.h"
+#include "io/io_stats.h"
+
+namespace monkeydb {
+namespace {
+
+void ExerciseEnv(Env* env, const std::string& dir) {
+  ASSERT_TRUE(env->CreateDir(dir).ok());
+  const std::string fname = dir + "/file1";
+
+  // Write.
+  {
+    std::unique_ptr<WritableFile> file;
+    ASSERT_TRUE(env->NewWritableFile(fname, &file).ok());
+    ASSERT_TRUE(file->Append("hello ").ok());
+    ASSERT_TRUE(file->Append("world").ok());
+    ASSERT_TRUE(file->Sync().ok());
+    ASSERT_TRUE(file->Close().ok());
+  }
+  EXPECT_TRUE(env->FileExists(fname));
+  uint64_t size = 0;
+  ASSERT_TRUE(env->GetFileSize(fname, &size).ok());
+  EXPECT_EQ(size, 11u);
+
+  // Random access.
+  {
+    std::unique_ptr<RandomAccessFile> file;
+    ASSERT_TRUE(env->NewRandomAccessFile(fname, &file).ok());
+    char scratch[16];
+    Slice result;
+    ASSERT_TRUE(file->Read(6, 5, &result, scratch).ok());
+    EXPECT_EQ(result.ToString(), "world");
+    // Read past EOF returns a short read.
+    ASSERT_TRUE(file->Read(9, 10, &result, scratch).ok());
+    EXPECT_EQ(result.ToString(), "ld");
+  }
+
+  // Sequential.
+  {
+    std::unique_ptr<SequentialFile> file;
+    ASSERT_TRUE(env->NewSequentialFile(fname, &file).ok());
+    char scratch[16];
+    Slice result;
+    ASSERT_TRUE(file->Read(5, &result, scratch).ok());
+    EXPECT_EQ(result.ToString(), "hello");
+    ASSERT_TRUE(file->Skip(1).ok());
+    ASSERT_TRUE(file->Read(16, &result, scratch).ok());
+    EXPECT_EQ(result.ToString(), "world");
+  }
+
+  // Children, rename, remove.
+  std::vector<std::string> children;
+  ASSERT_TRUE(env->GetChildren(dir, &children).ok());
+  EXPECT_EQ(children.size(), 1u);
+  EXPECT_EQ(children[0], "file1");
+
+  ASSERT_TRUE(env->RenameFile(fname, dir + "/file2").ok());
+  EXPECT_FALSE(env->FileExists(fname));
+  EXPECT_TRUE(env->FileExists(dir + "/file2"));
+  ASSERT_TRUE(env->RemoveFile(dir + "/file2").ok());
+  EXPECT_FALSE(env->FileExists(dir + "/file2"));
+  EXPECT_TRUE(env->RemoveFile(dir + "/file2").IsNotFound());
+}
+
+TEST(MemEnv, FullSurface) {
+  auto env = NewMemEnv();
+  ExerciseEnv(env.get(), "/test");
+}
+
+TEST(MemEnv, MissingFileIsNotFound) {
+  auto env = NewMemEnv();
+  std::unique_ptr<RandomAccessFile> file;
+  EXPECT_TRUE(env->NewRandomAccessFile("/nope", &file).IsNotFound());
+  uint64_t size;
+  EXPECT_TRUE(env->GetFileSize("/nope", &size).IsNotFound());
+}
+
+TEST(MemEnv, TruncatesOnRewrite) {
+  auto env = NewMemEnv();
+  std::unique_ptr<WritableFile> file;
+  ASSERT_TRUE(env->NewWritableFile("/f", &file).ok());
+  ASSERT_TRUE(file->Append("0123456789").ok());
+  ASSERT_TRUE(env->NewWritableFile("/f", &file).ok());
+  ASSERT_TRUE(file->Append("ab").ok());
+  uint64_t size;
+  ASSERT_TRUE(env->GetFileSize("/f", &size).ok());
+  EXPECT_EQ(size, 2u);
+}
+
+TEST(PosixEnv, FullSurface) {
+  std::string dir = std::filesystem::temp_directory_path() /
+                    ("monkeydb_env_test_" + std::to_string(::getpid()));
+  ExerciseEnv(GetPosixEnv(), dir);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(CountingEnv, ChargesReadsByPagesTouched) {
+  auto base = NewMemEnv();
+  IoStats stats;
+  CountingEnv env(base.get(), &stats, /*page_size_bytes=*/100);
+
+  {
+    std::unique_ptr<WritableFile> file;
+    ASSERT_TRUE(env.NewWritableFile("/f", &file).ok());
+    ASSERT_TRUE(file->Append(std::string(1000, 'x')).ok());
+    ASSERT_TRUE(file->Close().ok());
+  }
+  // 1000 bytes at 100-byte pages = exactly 10 write I/Os.
+  EXPECT_EQ(stats.Snapshot().write_ios, 10u);
+
+  std::unique_ptr<RandomAccessFile> file;
+  ASSERT_TRUE(env.NewRandomAccessFile("/f", &file).ok());
+  char scratch[300];
+  Slice result;
+
+  auto before = stats.Snapshot();
+  // Within one page.
+  ASSERT_TRUE(file->Read(10, 50, &result, scratch).ok());
+  EXPECT_EQ((stats.Snapshot() - before).read_ios, 1u);
+
+  before = stats.Snapshot();
+  // Crosses one page boundary -> 2 pages.
+  ASSERT_TRUE(file->Read(90, 20, &result, scratch).ok());
+  EXPECT_EQ((stats.Snapshot() - before).read_ios, 2u);
+
+  before = stats.Snapshot();
+  // Exactly page-aligned read of one page.
+  ASSERT_TRUE(file->Read(200, 100, &result, scratch).ok());
+  EXPECT_EQ((stats.Snapshot() - before).read_ios, 1u);
+
+  before = stats.Snapshot();
+  // [99, 301) touches pages 0..3 -> 4 pages.
+  ASSERT_TRUE(file->Read(99, 202, &result, scratch).ok());
+  EXPECT_EQ((stats.Snapshot() - before).read_ios, 4u);
+}
+
+TEST(CountingEnv, ChargesPartialPageOnClose) {
+  auto base = NewMemEnv();
+  IoStats stats;
+  CountingEnv env(base.get(), &stats, 100);
+  std::unique_ptr<WritableFile> file;
+  ASSERT_TRUE(env.NewWritableFile("/f", &file).ok());
+  ASSERT_TRUE(file->Append(std::string(150, 'x')).ok());
+  EXPECT_EQ(stats.Snapshot().write_ios, 1u);  // One full page so far.
+  ASSERT_TRUE(file->Close().ok());
+  EXPECT_EQ(stats.Snapshot().write_ios, 2u);  // Tail charged at close.
+}
+
+TEST(CountingEnv, SnapshotDelta) {
+  IoStats stats;
+  stats.AddRead(3, 300);
+  auto a = stats.Snapshot();
+  stats.AddRead(2, 200);
+  stats.AddWrite(1, 100);
+  auto d = stats.Snapshot() - a;
+  EXPECT_EQ(d.read_ios, 2u);
+  EXPECT_EQ(d.write_ios, 1u);
+  EXPECT_EQ(d.bytes_read, 200u);
+  EXPECT_EQ(d.bytes_written, 100u);
+}
+
+TEST(DeviceModel, SimulatedLatency) {
+  IoStatsSnapshot s;
+  s.read_ios = 10;
+  s.write_ios = 5;
+  DeviceModel hdd = DeviceModel::Hdd();  // 10ms, phi=1.
+  EXPECT_DOUBLE_EQ(hdd.SimulatedSeconds(s), 0.15);
+  DeviceModel flash = DeviceModel::Flash();  // 100us, phi=2.
+  EXPECT_DOUBLE_EQ(flash.SimulatedSeconds(s), 10 * 100e-6 + 5 * 200e-6);
+}
+
+}  // namespace
+}  // namespace monkeydb

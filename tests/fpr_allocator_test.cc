@@ -1,0 +1,243 @@
+// Tests for Monkey's FPR allocation: the closed forms (Eqs. 15-18), their
+// optimality against brute-force search, and the Appendix C autotuner.
+
+#include "monkey/fpr_allocator.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "monkey/cost_model.h"
+#include "util/random.h"
+
+namespace monkeydb {
+namespace monkey {
+namespace {
+
+struct AllocParam {
+  MergePolicy policy;
+  double t;
+  int levels;
+};
+
+class OptimalFprTest : public ::testing::TestWithParam<AllocParam> {};
+
+TEST_P(OptimalFprTest, SumOfFprsEqualsTargetR) {
+  const auto& p = GetParam();
+  const double runs_per_level =
+      p.policy == MergePolicy::kTiering ? p.t - 1.0 : 1.0;
+  for (double r : {0.1, 0.5, 1.0, 1.5, 2.5}) {
+    if (r > p.levels * runs_per_level) continue;
+    FprVector fprs = OptimalFprsForLookupCost(p.policy, p.t, p.levels, r);
+    ASSERT_EQ(static_cast<int>(fprs.size()), p.levels);
+    EXPECT_NEAR(LookupCostForFprs(p.policy, p.t, fprs), r, 1e-9)
+        << "r=" << r;
+  }
+}
+
+TEST_P(OptimalFprTest, FprsIncreaseGeometricallyWithLevel) {
+  const auto& p = GetParam();
+  // Small R so every level keeps a filter (no saturation at 1).
+  FprVector fprs = OptimalFprsForLookupCost(p.policy, p.t, p.levels, 0.2);
+  for (int i = 1; i < p.levels; i++) {
+    ASSERT_LT(fprs[i - 1], fprs[i]);
+    // Optimal FPR at level i is T x the FPR at level i-1 (Sec. 4.1).
+    EXPECT_NEAR(fprs[i] / fprs[i - 1], p.t, p.t * 1e-6);
+  }
+}
+
+TEST_P(OptimalFprTest, LargeRSaturatesDeepLevelsFirst) {
+  const auto& p = GetParam();
+  if (p.levels < 3) return;
+  const double runs_per_level =
+      p.policy == MergePolicy::kTiering ? p.t - 1.0 : 1.0;
+  // R large enough that at least one deep level loses its filter.
+  const double r = 1.0 + 2.0 * runs_per_level;
+  FprVector fprs = OptimalFprsForLookupCost(p.policy, p.t, p.levels, r);
+  EXPECT_DOUBLE_EQ(fprs[p.levels - 1], 1.0);
+  // FPR = 1 region is a suffix.
+  bool seen_one = false;
+  for (double fpr : fprs) {
+    if (seen_one) {
+      EXPECT_DOUBLE_EQ(fpr, 1.0);
+    }
+    if (fpr == 1.0) seen_one = true;
+  }
+  EXPECT_NEAR(LookupCostForFprs(p.policy, p.t, fprs), r, 1e-9);
+}
+
+// The heart of the paper: among allocations with the same lookup cost R,
+// Monkey's uses the least memory. Compare against random alternatives.
+TEST_P(OptimalFprTest, MinimizesMemoryAmongEqualCostAllocations) {
+  const auto& p = GetParam();
+  const double n = 1e7;
+  const double r = 0.5;
+  FprVector optimal = OptimalFprsForLookupCost(p.policy, p.t, p.levels, r);
+  const double optimal_memory =
+      FilterMemoryForFprs(p.policy, p.t, n, optimal);
+
+  Random rng(0xF00D);
+  const double per_level_target = LookupCostForFprs(p.policy, p.t, optimal);
+  for (int trial = 0; trial < 200; trial++) {
+    // Random perturbation preserving the sum of FPRs.
+    FprVector alt = optimal;
+    const int a = static_cast<int>(rng.Uniform(p.levels));
+    const int b = static_cast<int>(rng.Uniform(p.levels));
+    if (a == b) continue;
+    const double delta =
+        (rng.NextDouble() - 0.5) * 0.5 * std::min(alt[a], alt[b]);
+    if (alt[a] + delta >= 1.0 || alt[a] + delta <= 0 ||
+        alt[b] - delta >= 1.0 || alt[b] - delta <= 0) {
+      continue;
+    }
+    alt[a] += delta;
+    alt[b] -= delta;
+    ASSERT_NEAR(LookupCostForFprs(p.policy, p.t, alt), per_level_target,
+                1e-6);
+    EXPECT_GE(FilterMemoryForFprs(p.policy, p.t, n, alt),
+              optimal_memory * (1 - 1e-9))
+        << "trial " << trial;
+  }
+}
+
+TEST_P(OptimalFprTest, MemoryDrivenAllocationConsistentWithCostModel) {
+  const auto& p = GetParam();
+  const double n = 1 << 20;
+  for (double bits_per_entry : {1.0, 3.0, 5.0, 10.0}) {
+    FprVector fprs = OptimalFprsForMemory(p.policy, p.t, p.levels, n,
+                                          bits_per_entry * n);
+    const double r = LookupCostForFprs(p.policy, p.t, fprs);
+    // Rebuild the memory from the FPRs: must not exceed the budget by more
+    // than the closed-form approximation error (~the deepest level's share).
+    const double memory = FilterMemoryForFprs(p.policy, p.t, n, fprs);
+    EXPECT_LT(memory, bits_per_entry * n * 1.35)
+        << "bpe=" << bits_per_entry << " R=" << r;
+    EXPECT_GT(r, 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, OptimalFprTest,
+    ::testing::Values(AllocParam{MergePolicy::kLeveling, 2.0, 5},
+                      AllocParam{MergePolicy::kLeveling, 4.0, 6},
+                      AllocParam{MergePolicy::kLeveling, 10.0, 4},
+                      AllocParam{MergePolicy::kLeveling, 3.0, 1},
+                      AllocParam{MergePolicy::kTiering, 2.0, 5},
+                      AllocParam{MergePolicy::kTiering, 4.0, 6},
+                      AllocParam{MergePolicy::kTiering, 10.0, 3}));
+
+// --- Appendix C autotuner ---
+
+TEST(AutotuneFilters, ConvergesToClosedFormOnGeometricRuns) {
+  // Runs with the ideal geometry (leveling, T=4, 5 levels).
+  const double t = 4.0;
+  const int levels = 5;
+  std::vector<RunFilterInfo> runs(levels);
+  uint64_t entries = 1000;
+  for (int i = 0; i < levels; i++) {
+    runs[i].entries = entries;
+    entries *= static_cast<uint64_t>(t);
+  }
+  double total_entries = 0;
+  for (const auto& run : runs) total_entries += run.entries;
+
+  const double budget_bits = 8.0 * total_entries;
+  const double autotuned_r = AutotuneFilters(budget_bits, &runs);
+
+  // Closed form with the same budget.
+  FprVector fprs = OptimalFprsForMemory(MergePolicy::kLeveling, t, levels,
+                                        total_entries, budget_bits);
+  const double closed_form_r =
+      LookupCostForFprs(MergePolicy::kLeveling, t, fprs);
+
+  EXPECT_NEAR(autotuned_r, closed_form_r, closed_form_r * 0.25 + 1e-3);
+
+  // The iterative solution must assign more bits-per-entry to smaller runs.
+  for (int i = 0; i + 1 < levels; i++) {
+    const double bpe_small = runs[i].bits / runs[i].entries;
+    const double bpe_large = runs[i + 1].bits / runs[i + 1].entries;
+    EXPECT_GE(bpe_small, bpe_large - 1e-6) << i;
+  }
+}
+
+TEST(AutotuneFilters, BeatsUniformAllocationOnSkewedRuns) {
+  // Variable entry sizes -> irregular run sizes: the case Appendix C is
+  // for. Compare the autotuned R with the uniform-bits-per-entry R.
+  std::vector<RunFilterInfo> runs = {
+      {500, 0}, {700, 0}, {9000, 0}, {200000, 0}, {1500000, 0}};
+  double total_entries = 0;
+  for (const auto& run : runs) total_entries += run.entries;
+  const double budget = 6.0 * total_entries;
+
+  double uniform_r = 0;
+  for (const auto& run : runs) {
+    const double bits = budget * (run.entries / total_entries);
+    uniform_r += std::exp(-(bits / run.entries) * 0.4804530139182014);
+  }
+
+  std::vector<RunFilterInfo> tuned = runs;
+  const double autotuned_r = AutotuneFilters(budget, &tuned);
+  EXPECT_LT(autotuned_r, uniform_r);
+
+  // Budget conservation: assigned bits never exceed the budget.
+  double assigned = 0;
+  for (const auto& run : tuned) assigned += run.bits;
+  EXPECT_LE(assigned, budget * (1 + 1e-9));
+}
+
+TEST(AutotuneFilters, EmptyAndSingleRunEdgeCases) {
+  std::vector<RunFilterInfo> none;
+  EXPECT_DOUBLE_EQ(AutotuneFilters(1000, &none), 0.0);
+
+  std::vector<RunFilterInfo> one = {{1000, 0}};
+  const double r = AutotuneFilters(10000, &one);
+  EXPECT_NEAR(r, std::exp(-(10000.0 / 1000.0) * 0.4804530139182014), 1e-6);
+  EXPECT_DOUBLE_EQ(one[0].bits, 10000.0);
+}
+
+// --- The engine-facing policy ---
+
+TEST(MonkeyFprPolicy, AssignsSmallerFprToShallowerLevels) {
+  MonkeyFprPolicy policy;
+  LsmShape shape;
+  shape.total_entries = 1 << 20;
+  shape.buffer_entries = 1 << 10;
+  shape.size_ratio = 4.0;
+  shape.num_levels = 5;
+  shape.merge_policy = MergePolicy::kLeveling;
+  shape.bits_per_entry_budget = 5.0;
+
+  double prev = 0;
+  for (int level = 1; level <= 5; level++) {
+    const double fpr = policy.RunFpr(shape, level);
+    EXPECT_GT(fpr, 0.0);
+    EXPECT_LE(fpr, 1.0);
+    EXPECT_GT(fpr, prev) << "level " << level;
+    prev = fpr;
+  }
+}
+
+TEST(MonkeyFprPolicy, UsesLessTotalMemoryThanUniformForSameR) {
+  // For the same total filter budget, the resulting sum of FPRs (lookup
+  // cost) must be lower than uniform allocation (Fig. 7).
+  MonkeyFprPolicy policy;
+  LsmShape shape;
+  shape.total_entries = 1 << 22;
+  shape.size_ratio = 4.0;
+  shape.num_levels = 6;
+  shape.merge_policy = MergePolicy::kLeveling;
+  shape.bits_per_entry_budget = 5.0;
+
+  double monkey_r = 0;
+  const double uniform_fpr = std::exp(-5.0 * 0.4804530139182014);
+  double uniform_r = 0;
+  for (int level = 1; level <= 6; level++) {
+    monkey_r += policy.RunFpr(shape, level);
+    uniform_r += uniform_fpr;
+  }
+  EXPECT_LT(monkey_r, uniform_r);
+}
+
+}  // namespace
+}  // namespace monkey
+}  // namespace monkeydb

@@ -1,0 +1,247 @@
+// Tests for the lazy-leveling extension (hybrid merge policy): engine
+// structural invariants, correctness against a reference model, and the
+// generalized numeric FPR allocation that supports it.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <optional>
+
+#include "io/counting_env.h"
+#include "io/env.h"
+#include "lsm/db.h"
+#include "monkey/cost_model.h"
+#include "monkey/fpr_allocator.h"
+#include "monkey/monkey_db.h"
+#include "util/random.h"
+
+namespace monkeydb {
+namespace {
+
+DbOptions LazyOptions(Env* env, double t = 4.0) {
+  DbOptions options;
+  options.env = env;
+  options.merge_policy = MergePolicy::kLazyLeveling;
+  options.size_ratio = t;
+  options.buffer_size_bytes = 8 << 10;
+  options.bits_per_entry = 5.0;
+  options.fpr_policy = monkey::NewMonkeyFprPolicy();
+  return options;
+}
+
+TEST(LazyLeveling, StructuralInvariant) {
+  auto env = NewMemEnv();
+  std::unique_ptr<DB> db;
+  ASSERT_TRUE(DB::Open(LazyOptions(env.get()), "/db", &db).ok());
+  WriteOptions wo;
+  Random rng(1);
+  for (int i = 0; i < 30000; i++) {
+    ASSERT_TRUE(
+        db->Put(wo, "k" + std::to_string(rng.Next()), std::string(32, 'v'))
+            .ok());
+  }
+  const DbStats stats = db->GetStats();
+  ASSERT_GE(stats.deepest_level, 3);
+  // Largest level: exactly one run. Shallower levels: < T runs each.
+  for (int level = 1; level <= stats.deepest_level; level++) {
+    const uint64_t runs = stats.runs_per_level[level - 1];
+    if (level == stats.deepest_level) {
+      EXPECT_EQ(runs, 1u) << "largest level must hold a single run";
+    } else {
+      EXPECT_LT(runs, 4u) << "level " << level;
+    }
+  }
+}
+
+TEST(LazyLeveling, RandomizedAgainstReferenceModel) {
+  auto env = NewMemEnv();
+  std::unique_ptr<DB> db;
+  ASSERT_TRUE(DB::Open(LazyOptions(env.get(), 3.0), "/db", &db).ok());
+  std::map<std::string, std::optional<std::string>> model;
+  Random rng(77);
+  WriteOptions wo;
+  ReadOptions ro;
+  for (int op = 0; op < 6000; op++) {
+    const std::string key = "key" + std::to_string(rng.Uniform(1200));
+    if (rng.Bernoulli(0.75)) {
+      const std::string value = "v" + std::to_string(op);
+      ASSERT_TRUE(db->Put(wo, key, value).ok());
+      model[key] = value;
+    } else {
+      ASSERT_TRUE(db->Delete(wo, key).ok());
+      model[key] = std::nullopt;
+    }
+  }
+  for (const auto& [key, expected] : model) {
+    std::string value;
+    Status s = db->Get(ro, key, &value);
+    if (expected.has_value()) {
+      ASSERT_TRUE(s.ok()) << key << " " << s.ToString();
+      EXPECT_EQ(value, *expected);
+    } else {
+      EXPECT_TRUE(s.IsNotFound()) << key;
+    }
+  }
+  // Recovery too.
+  db.reset();
+  ASSERT_TRUE(DB::Open(LazyOptions(env.get(), 3.0), "/db", &db).ok());
+  std::string value;
+  for (const auto& [key, expected] : model) {
+    Status s = db->Get(ro, key, &value);
+    EXPECT_EQ(s.ok(), expected.has_value()) << key;
+  }
+}
+
+TEST(LazyLeveling, WritesCheaperThanLevelingLookupsCheaperThanTiering) {
+  // The hybrid's raison d'etre: W close to tiering, R close to leveling.
+  auto measure = [](MergePolicy policy) {
+    auto base = NewMemEnv();
+    IoStats stats;
+    CountingEnv env(base.get(), &stats, 4096);
+    DbOptions options;
+    options.env = &env;
+    options.merge_policy = policy;
+    options.size_ratio = 4.0;
+    options.buffer_size_bytes = 16 << 10;
+    options.bits_per_entry = 5.0;
+    options.expected_entries = 40000;
+    options.fpr_policy = monkey::NewMonkeyFprPolicy();
+    std::unique_ptr<DB> db;
+    EXPECT_TRUE(DB::Open(options, "/db", &db).ok());
+    WriteOptions wo;
+    for (int i = 0; i < 40000; i++) {
+      char key[24];
+      snprintf(key, sizeof(key), "user%012d", i);
+      EXPECT_TRUE(db->Put(wo, key, std::string(48, 'v')).ok());
+    }
+    EXPECT_TRUE(db->Flush().ok());
+    const double write_ios = static_cast<double>(
+        stats.Snapshot().write_ios);
+
+    ReadOptions ro;
+    Random rng(5);
+    std::string value;
+    const auto before = stats.Snapshot();
+    for (int i = 0; i < 3000; i++) {
+      char key[28];
+      snprintf(key, sizeof(key), "user%012llux",
+               static_cast<unsigned long long>(rng.Uniform(40000)));
+      db->Get(ro, key, &value).ok();
+    }
+    const double read_ios =
+        static_cast<double>((stats.Snapshot() - before).read_ios) / 3000;
+    return std::pair<double, double>(write_ios, read_ios);
+  };
+
+  const auto [lev_w, lev_r] = measure(MergePolicy::kLeveling);
+  const auto [tier_w, tier_r] = measure(MergePolicy::kTiering);
+  const auto [lazy_w, lazy_r] = measure(MergePolicy::kLazyLeveling);
+
+  EXPECT_LT(lazy_w, lev_w) << "lazy leveling must write less than leveling";
+  EXPECT_LE(lazy_r, tier_r + 0.02)
+      << "lazy leveling lookups must not exceed tiering's";
+}
+
+// --- Generalized numeric allocation ---
+
+TEST(GeometryAllocation, MatchesClosedFormForPureLeveling) {
+  const double n = 1e7;
+  const int levels = 5;
+  const double t = 4.0;
+  const double budget = 5.0 * n;
+  const auto geometry =
+      monkey::CapacityGeometry(MergePolicy::kLeveling, t, levels, n);
+  const monkey::FprVector numeric =
+      monkey::OptimalFprsForGeometry(geometry, budget);
+  const monkey::FprVector closed = monkey::OptimalFprsForMemory(
+      MergePolicy::kLeveling, t, levels, n, budget);
+  // Same cost within a few percent (the closed form uses the infinite-
+  // series approximation).
+  const double numeric_r =
+      monkey::LookupCostForGeometry(geometry, numeric);
+  const double closed_r =
+      monkey::LookupCostForFprs(MergePolicy::kLeveling, t, closed);
+  EXPECT_NEAR(numeric_r, closed_r, closed_r * 0.10 + 1e-6);
+  // FPRs geometric in the level capacities.
+  for (int i = 0; i + 1 < levels; i++) {
+    EXPECT_NEAR(numeric[i + 1] / numeric[i], t, t * 0.01);
+  }
+}
+
+TEST(GeometryAllocation, SpendsTheBudget) {
+  const double n = 1e6;
+  for (MergePolicy policy :
+       {MergePolicy::kLeveling, MergePolicy::kTiering,
+        MergePolicy::kLazyLeveling}) {
+    const auto geometry = monkey::CapacityGeometry(policy, 4.0, 5, n);
+    const double budget = 6.0 * n;
+    const auto fprs = monkey::OptimalFprsForGeometry(geometry, budget);
+    double memory = 0;
+    for (size_t i = 0; i < geometry.size(); i++) {
+      memory += -geometry[i].entries * std::log(fprs[i]) /
+                0.4804530139182014;
+    }
+    EXPECT_NEAR(memory, budget, budget * 0.01)
+        << "policy " << static_cast<int>(policy);
+  }
+}
+
+TEST(GeometryAllocation, ZeroBudgetMeansNoFilters) {
+  const auto geometry =
+      monkey::CapacityGeometry(MergePolicy::kLazyLeveling, 4.0, 4, 1e6);
+  const auto fprs = monkey::OptimalFprsForGeometry(geometry, 0.0);
+  for (double p : fprs) EXPECT_DOUBLE_EQ(p, 1.0);
+}
+
+// --- Lazy-leveling cost model ---
+
+TEST(LazyLevelingModel, SitsBetweenLevelingAndTiering) {
+  monkey::DesignPoint d;
+  d.size_ratio = 6.0;
+  d.num_entries = 1e8;
+  d.entry_size_bits = 128 * 8;
+  d.buffer_bits = 2.0 * (1 << 20) * 8;
+  d.filter_bits = 8.0 * d.num_entries;
+  d.entries_per_page = 32;
+
+  monkey::DesignPoint lev = d, tier = d, lazy = d;
+  lev.policy = MergePolicy::kLeveling;
+  tier.policy = MergePolicy::kTiering;
+  lazy.policy = MergePolicy::kLazyLeveling;
+
+  // Updates: lazy between tiering (cheapest) and leveling.
+  EXPECT_LT(monkey::UpdateCost(tier), monkey::UpdateCost(lazy));
+  EXPECT_LT(monkey::UpdateCost(lazy), monkey::UpdateCost(lev));
+
+  // Zero-result lookups with Monkey filters: lazy close to leveling, far
+  // below tiering.
+  const double r_lev = monkey::ZeroResultLookupCost(lev);
+  const double r_tier = monkey::ZeroResultLookupCost(tier);
+  const double r_lazy = monkey::ZeroResultLookupCost(lazy);
+  EXPECT_LT(r_lazy, r_tier);
+  EXPECT_LT(r_lazy, r_lev * 3.0);
+
+  // Monkey dominates uniform for the hybrid too.
+  EXPECT_LE(r_lazy, monkey::BaselineZeroResultLookupCost(lazy) + 1e-9);
+}
+
+TEST(LazyLevelingModel, DegeneratesAtOneLevel) {
+  monkey::DesignPoint d;
+  d.policy = MergePolicy::kLazyLeveling;
+  d.size_ratio = 4.0;
+  d.num_entries = 1000;
+  d.entry_size_bits = 8;
+  d.buffer_bits = 1e6;  // Everything fits in the buffer's first level.
+  d.filter_bits = 5000;
+  d.entries_per_page = 32;
+  ASSERT_EQ(monkey::NumLevels(d), 1);
+  // One level: identical to leveling.
+  monkey::DesignPoint lev = d;
+  lev.policy = MergePolicy::kLeveling;
+  EXPECT_NEAR(monkey::UpdateCost(d), monkey::UpdateCost(lev), 1e-12);
+  EXPECT_NEAR(monkey::MaxRuns(d), monkey::MaxRuns(lev), 1e-12);
+}
+
+}  // namespace
+}  // namespace monkeydb

@@ -1,0 +1,141 @@
+// Monte-Carlo model validation: for randomly drawn configurations across
+// the design space, the engine's measured behaviour must stay within a
+// band of the closed-form models' predictions — and every qualitative
+// ordering the paper relies on must hold.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "io/counting_env.h"
+#include "io/env.h"
+#include "lsm/db.h"
+#include "monkey/cost_model.h"
+#include "monkey/monkey_db.h"
+#include "util/random.h"
+
+namespace monkeydb {
+namespace {
+
+struct Config {
+  MergePolicy policy;
+  double t;
+  size_t buffer_bytes;
+  double bits_per_entry;
+  int num_keys;
+};
+
+struct Outcome {
+  double measured_r_monkey;
+  double measured_r_uniform;
+  double model_r_monkey;
+  double model_r_uniform;
+  int deepest_level;
+};
+
+Outcome RunConfig(const Config& config) {
+  Outcome outcome;
+  for (int monkey_on = 0; monkey_on <= 1; monkey_on++) {
+    auto base = NewMemEnv();
+    IoStats stats;
+    CountingEnv env(base.get(), &stats, 4096);
+    DbOptions options;
+    options.env = &env;
+    options.merge_policy = config.policy;
+    options.size_ratio = config.t;
+    options.buffer_size_bytes = config.buffer_bytes;
+    options.bits_per_entry = config.bits_per_entry;
+    options.expected_entries = config.num_keys;
+    if (monkey_on) options.fpr_policy = monkey::NewMonkeyFprPolicy();
+    std::unique_ptr<DB> db;
+    EXPECT_TRUE(DB::Open(options, "/db", &db).ok());
+    WriteOptions wo;
+    for (int i = 0; i < config.num_keys; i++) {
+      char key[24];
+      snprintf(key, sizeof(key), "user%012d", i);
+      EXPECT_TRUE(db->Put(wo, key, std::string(48, 'v')).ok());
+    }
+    EXPECT_TRUE(db->Flush().ok());
+    outcome.deepest_level = db->GetStats().deepest_level;
+
+    Random rng(100 + monkey_on);
+    std::string value;
+    const int lookups = 4000;
+    const auto before = stats.Snapshot();
+    for (int i = 0; i < lookups; i++) {
+      char key[28];
+      snprintf(key, sizeof(key), "user%012llux",
+               static_cast<unsigned long long>(
+                   rng.Uniform(config.num_keys)));
+      db->Get(ReadOptions(), key, &value).ok();
+    }
+    const double ios = static_cast<double>(
+                           (stats.Snapshot() - before).read_ios) /
+                       lookups;
+    if (monkey_on) {
+      outcome.measured_r_monkey = ios;
+    } else {
+      outcome.measured_r_uniform = ios;
+    }
+  }
+
+  monkey::DesignPoint d;
+  d.policy = config.policy;
+  d.size_ratio = config.t;
+  d.num_entries = config.num_keys;
+  d.entry_size_bits = 64 * 8.0;
+  d.buffer_bits = config.buffer_bytes * 8.0;
+  d.filter_bits = config.bits_per_entry * config.num_keys;
+  d.entries_per_page = 4096.0 / 70.0;
+  outcome.model_r_monkey = monkey::ZeroResultLookupCost(d);
+  outcome.model_r_uniform = monkey::BaselineZeroResultLookupCost(d);
+  return outcome;
+}
+
+class ModelValidation : public ::testing::TestWithParam<Config> {};
+
+TEST_P(ModelValidation, EngineTracksModelWithinBand) {
+  const Config& config = GetParam();
+  const Outcome o = RunConfig(config);
+
+  // Qualitative: whenever the model says Monkey wins clearly, the engine
+  // must agree (or be within measurement noise).
+  if (o.model_r_monkey < o.model_r_uniform * 0.7 &&
+      o.model_r_uniform > 0.05) {
+    EXPECT_LT(o.measured_r_monkey, o.measured_r_uniform * 1.05)
+        << "model says Monkey should win";
+  }
+
+  // Quantitative band: measured within [0.2x, 3x + small absolute slack]
+  // of the model. The live tree only approximates the model's geometry
+  // (partially filled levels), so the band is generous; the point is the
+  // order of magnitude across the whole space.
+  EXPECT_LT(o.measured_r_uniform, o.model_r_uniform * 3.0 + 0.08)
+      << "uniform measured far above model";
+  EXPECT_GT(o.measured_r_uniform, o.model_r_uniform * 0.15 - 0.01)
+      << "uniform measured far below model";
+  EXPECT_LT(o.measured_r_monkey, o.model_r_monkey * 3.0 + 0.08)
+      << "monkey measured far above model";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DesignSpaceSamples, ModelValidation,
+    ::testing::Values(
+        Config{MergePolicy::kLeveling, 2.0, 16 << 10, 3.0, 30000},
+        Config{MergePolicy::kLeveling, 4.0, 32 << 10, 5.0, 40000},
+        Config{MergePolicy::kLeveling, 8.0, 16 << 10, 8.0, 30000},
+        Config{MergePolicy::kTiering, 3.0, 32 << 10, 4.0, 30000},
+        Config{MergePolicy::kTiering, 5.0, 16 << 10, 6.0, 40000},
+        Config{MergePolicy::kLazyLeveling, 4.0, 16 << 10, 5.0, 30000}),
+    [](const ::testing::TestParamInfo<Config>& info) {
+      const char* policy =
+          info.param.policy == MergePolicy::kLeveling ? "Lev"
+          : info.param.policy == MergePolicy::kTiering ? "Tier"
+                                                       : "Lazy";
+      return std::string(policy) + "T" +
+             std::to_string(static_cast<int>(info.param.t)) + "B" +
+             std::to_string(static_cast<int>(info.param.bits_per_entry));
+    });
+
+}  // namespace
+}  // namespace monkeydb

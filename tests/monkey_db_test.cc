@@ -1,0 +1,82 @@
+// Tests for the monkey_db glue: ApplyTuning and OpenNavigableMonkey.
+
+#include "monkey/monkey_db.h"
+
+#include <gtest/gtest.h>
+
+#include "io/env.h"
+
+namespace monkeydb {
+namespace monkey {
+namespace {
+
+TEST(ApplyTuning, TranslatesTuningIntoOptions) {
+  Tuning tuning;
+  tuning.policy = MergePolicy::kTiering;
+  tuning.size_ratio = 6.0;
+  tuning.buffer_bits = 8.0 * (1 << 20);  // 1 MB in bits.
+  tuning.filter_bits = 7.5 * 1000000;
+
+  DbOptions options;
+  ApplyTuning(tuning, /*num_entries=*/1000000, &options);
+  EXPECT_EQ(options.merge_policy, MergePolicy::kTiering);
+  EXPECT_DOUBLE_EQ(options.size_ratio, 6.0);
+  EXPECT_EQ(options.buffer_size_bytes, size_t{1 << 20});
+  EXPECT_DOUBLE_EQ(options.bits_per_entry, 7.5);
+  EXPECT_NE(options.fpr_policy, nullptr);
+  EXPECT_STREQ(options.fpr_policy->Name(), "monkey");
+}
+
+TEST(ApplyTuning, FloorsTinyBuffers) {
+  Tuning tuning;
+  tuning.buffer_bits = 8.0;  // 1 byte: must floor to a sane page.
+  DbOptions options;
+  ApplyTuning(tuning, 1000, &options);
+  EXPECT_GE(options.buffer_size_bytes, 4096u);
+}
+
+TEST(OpenNavigableMonkey, TunesAndOpens) {
+  auto env = NewMemEnv();
+  Environment environment;
+  environment.num_entries = 50000;
+  environment.entry_size_bits = 64 * 8;
+  environment.total_memory_bits = 10.0 * environment.num_entries;
+
+  Workload workload;
+  workload.zero_result_lookups = 0.7;
+  workload.updates = 0.3;
+
+  DbOptions base;
+  base.env = env.get();
+
+  Tuning chosen;
+  std::unique_ptr<DB> db;
+  ASSERT_TRUE(OpenNavigableMonkey(environment, workload, base, "/nav",
+                                  &chosen, &db)
+                  .ok());
+  ASSERT_TRUE(chosen.feasible);
+  EXPECT_EQ(db->options().merge_policy, chosen.policy);
+  EXPECT_DOUBLE_EQ(db->options().size_ratio, chosen.size_ratio);
+
+  // The opened DB works end to end.
+  WriteOptions wo;
+  for (int i = 0; i < 3000; i++) {
+    ASSERT_TRUE(db->Put(wo, "k" + std::to_string(i), "v").ok());
+  }
+  std::string value;
+  ASSERT_TRUE(db->Get(ReadOptions(), "k1500", &value).ok());
+  EXPECT_EQ(value, "v");
+}
+
+TEST(UniformFprPolicy, MatchesEq2) {
+  UniformFprPolicy policy;
+  LsmShape shape;
+  shape.bits_per_entry_budget = 10.0;
+  EXPECT_NEAR(policy.RunFpr(shape, 1), 0.0082, 0.001);
+  EXPECT_NEAR(policy.RunFpr(shape, 5), policy.RunFpr(shape, 1), 1e-12);
+  EXPECT_STREQ(policy.Name(), "uniform");
+}
+
+}  // namespace
+}  // namespace monkey
+}  // namespace monkeydb

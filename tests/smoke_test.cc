@@ -1,0 +1,47 @@
+// End-to-end smoke test: open a DB on the in-memory env, write, read,
+// flush, and reopen.
+
+#include <gtest/gtest.h>
+
+#include "io/env.h"
+#include "lsm/db.h"
+#include "monkey/monkey_db.h"
+
+namespace monkeydb {
+namespace {
+
+TEST(Smoke, PutGetFlushReopen) {
+  auto env = NewMemEnv();
+  DbOptions options;
+  options.env = env.get();
+  options.buffer_size_bytes = 16 << 10;
+  options.fpr_policy = monkey::NewMonkeyFprPolicy();
+
+  std::unique_ptr<DB> db;
+  ASSERT_TRUE(DB::Open(options, "/db", &db).ok());
+
+  WriteOptions wo;
+  ReadOptions ro;
+  for (int i = 0; i < 2000; i++) {
+    const std::string key = "key" + std::to_string(i);
+    ASSERT_TRUE(db->Put(wo, key, "value" + std::to_string(i)).ok());
+  }
+  std::string value;
+  ASSERT_TRUE(db->Get(ro, "key1234", &value).ok());
+  EXPECT_EQ(value, "value1234");
+  EXPECT_TRUE(db->Get(ro, "missing", &value).IsNotFound());
+
+  ASSERT_TRUE(db->Delete(wo, "key1234").ok());
+  EXPECT_TRUE(db->Get(ro, "key1234", &value).IsNotFound());
+
+  ASSERT_TRUE(db->Flush().ok());
+  db.reset();
+
+  ASSERT_TRUE(DB::Open(options, "/db", &db).ok());
+  ASSERT_TRUE(db->Get(ro, "key777", &value).ok());
+  EXPECT_EQ(value, "value777");
+  EXPECT_TRUE(db->Get(ro, "key1234", &value).IsNotFound());
+}
+
+}  // namespace
+}  // namespace monkeydb

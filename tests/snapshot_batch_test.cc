@@ -1,0 +1,198 @@
+// Tests for atomic WriteBatch and snapshot (point-in-time) reads,
+// including compaction's snapshot-aware version retention.
+
+#include <gtest/gtest.h>
+
+#include "io/env.h"
+#include "lsm/db.h"
+#include "monkey/monkey_db.h"
+#include "util/random.h"
+
+namespace monkeydb {
+namespace {
+
+class SnapshotBatchTest : public ::testing::Test {
+ protected:
+  SnapshotBatchTest() : env_(NewMemEnv()) {
+    DbOptions options;
+    options.env = env_.get();
+    options.buffer_size_bytes = 8 << 10;  // Small: frequent compactions.
+    options.fpr_policy = monkey::NewMonkeyFprPolicy();
+    EXPECT_TRUE(DB::Open(options, "/db", &db_).ok());
+  }
+
+  std::unique_ptr<Env> env_;
+  std::unique_ptr<DB> db_;
+  WriteOptions wo_;
+  ReadOptions ro_;
+};
+
+TEST_F(SnapshotBatchTest, BatchAppliesAtomically) {
+  WriteBatch batch;
+  batch.Put("a", "1");
+  batch.Put("b", "2");
+  batch.Delete("a");
+  batch.Put("c", "3");
+  EXPECT_EQ(batch.count(), 4u);
+  ASSERT_TRUE(db_->Write(wo_, batch).ok());
+
+  std::string value;
+  EXPECT_TRUE(db_->Get(ro_, "a", &value).IsNotFound());  // Deleted in-batch.
+  ASSERT_TRUE(db_->Get(ro_, "b", &value).ok());
+  EXPECT_EQ(value, "2");
+  ASSERT_TRUE(db_->Get(ro_, "c", &value).ok());
+  EXPECT_EQ(value, "3");
+}
+
+TEST_F(SnapshotBatchTest, EmptyBatchIsNoOp) {
+  WriteBatch batch;
+  EXPECT_TRUE(db_->Write(wo_, batch).ok());
+}
+
+TEST_F(SnapshotBatchTest, BatchSurvivesCrashAtomically) {
+  WriteBatch batch;
+  for (int i = 0; i < 100; i++) {
+    batch.Put("batch_key" + std::to_string(i), "v");
+  }
+  ASSERT_TRUE(db_->Write(wo_, batch).ok());
+  db_.reset();  // "Crash" (WAL not flushed into a run).
+
+  DbOptions options;
+  options.env = env_.get();
+  std::unique_ptr<DB> reopened;
+  ASSERT_TRUE(DB::Open(options, "/db", &reopened).ok());
+  std::string value;
+  for (int i = 0; i < 100; i++) {
+    EXPECT_TRUE(
+        reopened->Get(ro_, "batch_key" + std::to_string(i), &value).ok())
+        << i;
+  }
+}
+
+TEST_F(SnapshotBatchTest, SnapshotSeesOldValue) {
+  ASSERT_TRUE(db_->Put(wo_, "k", "old").ok());
+  const Snapshot* snap = db_->GetSnapshot();
+  ASSERT_TRUE(db_->Put(wo_, "k", "new").ok());
+  ASSERT_TRUE(db_->Put(wo_, "fresh", "x").ok());
+
+  std::string value;
+  ASSERT_TRUE(db_->Get(ro_, "k", &value).ok());
+  EXPECT_EQ(value, "new");
+
+  ReadOptions snap_ro;
+  snap_ro.snapshot = snap;
+  ASSERT_TRUE(db_->Get(snap_ro, "k", &value).ok());
+  EXPECT_EQ(value, "old");
+  EXPECT_TRUE(db_->Get(snap_ro, "fresh", &value).IsNotFound());
+
+  db_->ReleaseSnapshot(snap);
+}
+
+TEST_F(SnapshotBatchTest, SnapshotSeesDeletedKey) {
+  ASSERT_TRUE(db_->Put(wo_, "doomed", "alive").ok());
+  const Snapshot* snap = db_->GetSnapshot();
+  ASSERT_TRUE(db_->Delete(wo_, "doomed").ok());
+
+  std::string value;
+  EXPECT_TRUE(db_->Get(ro_, "doomed", &value).IsNotFound());
+  ReadOptions snap_ro;
+  snap_ro.snapshot = snap;
+  ASSERT_TRUE(db_->Get(snap_ro, "doomed", &value).ok());
+  EXPECT_EQ(value, "alive");
+  db_->ReleaseSnapshot(snap);
+}
+
+TEST_F(SnapshotBatchTest, SnapshotSurvivesCompactions) {
+  // Pin a snapshot, then overwrite heavily so compactions run many times.
+  // The pinned versions must survive every merge.
+  for (int i = 0; i < 200; i++) {
+    ASSERT_TRUE(
+        db_->Put(wo_, "key" + std::to_string(i), "generation0").ok());
+  }
+  const Snapshot* snap = db_->GetSnapshot();
+
+  Random rng(3);
+  for (int gen = 1; gen <= 20; gen++) {
+    for (int i = 0; i < 200; i++) {
+      ASSERT_TRUE(db_->Put(wo_, "key" + std::to_string(i),
+                           "generation" + std::to_string(gen))
+                      .ok());
+    }
+  }
+  ASSERT_TRUE(db_->Flush().ok());
+  EXPECT_GT(db_->GetStats().merges, 0u);
+
+  ReadOptions snap_ro;
+  snap_ro.snapshot = snap;
+  std::string value;
+  for (int i = 0; i < 200; i += 7) {
+    ASSERT_TRUE(db_->Get(snap_ro, "key" + std::to_string(i), &value).ok())
+        << i;
+    EXPECT_EQ(value, "generation0") << i;
+    ASSERT_TRUE(db_->Get(ro_, "key" + std::to_string(i), &value).ok());
+    EXPECT_EQ(value, "generation20") << i;
+  }
+  db_->ReleaseSnapshot(snap);
+
+  // After release, a full compaction is free to discard the old versions.
+  ASSERT_TRUE(db_->CompactAll().ok());
+  ASSERT_TRUE(db_->Get(ro_, "key7", &value).ok());
+  EXPECT_EQ(value, "generation20");
+  EXPECT_LE(db_->GetStats().total_disk_entries, 220u);
+}
+
+TEST_F(SnapshotBatchTest, SnapshotIteratorIsConsistent) {
+  for (int i = 0; i < 50; i++) {
+    char buf[16];
+    snprintf(buf, sizeof(buf), "key%03d", i);
+    ASSERT_TRUE(db_->Put(wo_, buf, "v0").ok());
+  }
+  const Snapshot* snap = db_->GetSnapshot();
+
+  // Mutate: delete evens, rewrite odds, add new keys.
+  for (int i = 0; i < 50; i++) {
+    char buf[16];
+    snprintf(buf, sizeof(buf), "key%03d", i);
+    if (i % 2 == 0) {
+      ASSERT_TRUE(db_->Delete(wo_, buf).ok());
+    } else {
+      ASSERT_TRUE(db_->Put(wo_, buf, "v1").ok());
+    }
+  }
+  ASSERT_TRUE(db_->Put(wo_, "zzz_new", "x").ok());
+
+  ReadOptions snap_ro;
+  snap_ro.snapshot = snap;
+  auto iter = db_->NewIterator(snap_ro);
+  int count = 0;
+  for (iter->SeekToFirst(); iter->Valid(); iter->Next()) {
+    EXPECT_EQ(iter->value().ToString(), "v0") << iter->key().ToString();
+    EXPECT_NE(iter->key().ToString(), "zzz_new");
+    count++;
+  }
+  EXPECT_EQ(count, 50);
+  db_->ReleaseSnapshot(snap);
+
+  // Latest view: 25 odd keys + the new one.
+  auto latest = db_->NewIterator(ro_);
+  count = 0;
+  for (latest->SeekToFirst(); latest->Valid(); latest->Next()) count++;
+  EXPECT_EQ(count, 26);
+}
+
+TEST_F(SnapshotBatchTest, CompactAllRespectsActiveSnapshot) {
+  ASSERT_TRUE(db_->Put(wo_, "k", "v1").ok());
+  const Snapshot* snap = db_->GetSnapshot();
+  ASSERT_TRUE(db_->Put(wo_, "k", "v2").ok());
+  ASSERT_TRUE(db_->CompactAll().ok());
+
+  ReadOptions snap_ro;
+  snap_ro.snapshot = snap;
+  std::string value;
+  ASSERT_TRUE(db_->Get(snap_ro, "k", &value).ok());
+  EXPECT_EQ(value, "v1");
+  db_->ReleaseSnapshot(snap);
+}
+
+}  // namespace
+}  // namespace monkeydb

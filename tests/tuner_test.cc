@@ -1,0 +1,202 @@
+// Tuner tests: the divide-and-conquer search against exhaustive search
+// across workload mixes, SLA handling, and the memory-allocation rule.
+
+#include "monkey/tuner.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace monkeydb {
+namespace monkey {
+namespace {
+
+Environment DefaultEnv() {
+  Environment env;
+  env.num_entries = 1e8;
+  env.entry_size_bits = 128 * 8;
+  env.page_bits = 4096.0 * 8;
+  env.total_memory_bits = 1e8 * 12.0;  // ~12 bits/entry to divide.
+  env.read_seconds = 10e-3;
+  env.write_read_cost_ratio = 1.0;
+  return env;
+}
+
+Workload MixedWorkload(double lookups) {
+  Workload w;
+  w.zero_result_lookups = lookups;
+  w.updates = 1.0 - lookups;
+  return w;
+}
+
+// Appendix D validation: the O(log^2) search must find (essentially) the
+// same optimum as brute force over all integer size ratios.
+class TunerSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(TunerSweep, DivideAndConquerMatchesExhaustive) {
+  const Environment env = DefaultEnv();
+  const Workload w = MixedWorkload(GetParam());
+  const Tuning fast = AutotuneSizeRatioAndPolicy(env, w);
+  const Tuning exhaustive = ExhaustiveSearch(env, w);
+  ASSERT_TRUE(fast.feasible);
+  ASSERT_TRUE(exhaustive.feasible);
+  // The linearized objective is close to unimodal but not exactly, so allow
+  // the fast search to land within 10% of the true optimum.
+  EXPECT_LE(fast.avg_op_cost, exhaustive.avg_op_cost * 1.10)
+      << "lookup share " << GetParam() << ": fast (policy "
+      << static_cast<int>(fast.policy) << ", T=" << fast.size_ratio
+      << ") vs exhaustive (policy " << static_cast<int>(exhaustive.policy)
+      << ", T=" << exhaustive.size_ratio << ")";
+}
+
+INSTANTIATE_TEST_SUITE_P(LookupShares, TunerSweep,
+                         ::testing::Values(0.01, 0.1, 0.25, 0.5, 0.75, 0.9,
+                                           0.99));
+
+TEST(Tuner, WorkloadExtremesPickTheRightPolicy) {
+  const Environment env = DefaultEnv();
+  // Write-heavy -> tiering (or leveling at T=2, the shared point).
+  const Tuning writes = AutotuneSizeRatioAndPolicy(env, MixedWorkload(0.02));
+  // Read-heavy -> leveling with a large T.
+  const Tuning reads = AutotuneSizeRatioAndPolicy(env, MixedWorkload(0.98));
+
+  EXPECT_TRUE(writes.policy == MergePolicy::kTiering ||
+              writes.size_ratio <= 3.0);
+  EXPECT_EQ(reads.policy, MergePolicy::kLeveling);
+  EXPECT_GT(reads.size_ratio, writes.policy == MergePolicy::kLeveling
+                                  ? writes.size_ratio
+                                  : 2.0);
+  // Read-optimized tuning has cheaper lookups; write-optimized cheaper
+  // updates.
+  EXPECT_LT(reads.lookup_cost, writes.lookup_cost + 1e-12);
+  EXPECT_LT(writes.update_cost, reads.update_cost + 1e-12);
+}
+
+TEST(Tuner, SlaBoundsRestrictTheSearch) {
+  const Environment env = DefaultEnv();
+  const Workload w = MixedWorkload(0.05);  // Write-heavy.
+  const Tuning unconstrained = AutotuneSizeRatioAndPolicy(env, w);
+
+  // Impose a lookup-cost ceiling below the unconstrained optimum's R.
+  SlaBounds sla;
+  sla.max_lookup_cost = unconstrained.lookup_cost * 0.5;
+  const Tuning bounded = AutotuneSizeRatioAndPolicy(env, w, sla);
+  if (bounded.feasible) {
+    EXPECT_LE(bounded.lookup_cost, sla.max_lookup_cost + 1e-9);
+    // Constrained optimum can't beat the unconstrained one.
+    EXPECT_GE(bounded.avg_op_cost, unconstrained.avg_op_cost - 1e-9);
+  }
+
+  // An impossible SLA is reported as infeasible.
+  SlaBounds impossible;
+  impossible.max_lookup_cost = 1e-12;
+  impossible.max_update_cost = 1e-12;
+  const Tuning infeasible = ExhaustiveSearch(env, w, impossible);
+  EXPECT_FALSE(infeasible.feasible);
+}
+
+TEST(Tuner, MemoryAllocationSumsToBudget) {
+  const Environment env = DefaultEnv();
+  for (MergePolicy policy :
+       {MergePolicy::kLeveling, MergePolicy::kTiering}) {
+    for (double t : {2.0, 4.0, 10.0}) {
+      const MemorySplit split = AllocateMainMemory(env, policy, t);
+      EXPECT_NEAR(split.buffer_bits + split.filter_bits,
+                  env.total_memory_bits, 1.0)
+          << "T=" << t;
+      EXPECT_GE(split.buffer_bits, env.page_bits);  // At least one page.
+      EXPECT_GE(split.filter_bits, 0.0);
+    }
+  }
+}
+
+TEST(Tuner, TinyMemoryAllGoesToBuffer) {
+  Environment env = DefaultEnv();
+  env.total_memory_bits = env.page_bits / 2;
+  const MemorySplit split =
+      AllocateMainMemory(env, MergePolicy::kLeveling, 4.0);
+  EXPECT_DOUBLE_EQ(split.filter_bits, 0.0);
+  EXPECT_DOUBLE_EQ(split.buffer_bits, env.total_memory_bits);
+}
+
+TEST(Tuner, HugeMemoryCapsFiltersAtDiminishingReturns) {
+  // Step 3: once R is driven below the target, extra memory should go to
+  // the buffer, not the filters.
+  Environment env = DefaultEnv();
+  env.total_memory_bits = env.num_entries * 1000.0;  // Absurdly large.
+  const MemorySplit split =
+      AllocateMainMemory(env, MergePolicy::kLeveling, 4.0);
+  // Filters bounded by the R-target cap (~tens of bits per entry).
+  EXPECT_LT(split.filter_bits, env.num_entries * 50.0);
+  EXPECT_GT(split.buffer_bits, split.filter_bits);
+
+  const DesignPoint d =
+      MakeDesignPoint(env, MergePolicy::kLeveling, 4.0, split.buffer_bits,
+                      split.filter_bits);
+  EXPECT_LE(ZeroResultLookupCost(d), 1e-3);  // Essentially free lookups.
+}
+
+TEST(Tuner, FlashChangesTheBalance) {
+  // On flash, phi = 2 doubles the write penalty, so a write-heavy workload
+  // should push the tuning at least as far toward write-optimization.
+  Environment disk = DefaultEnv();
+  Environment flash = DefaultEnv();
+  flash.read_seconds = 100e-6;
+  flash.write_read_cost_ratio = 2.0;
+
+  const Workload w = MixedWorkload(0.3);
+  const Tuning disk_tuning = AutotuneSizeRatioAndPolicy(disk, w);
+  const Tuning flash_tuning = AutotuneSizeRatioAndPolicy(flash, w);
+  // Both valid tunings; flash throughput is far higher in absolute terms.
+  EXPECT_GT(flash_tuning.throughput, disk_tuning.throughput * 10);
+}
+
+TEST(Tuner, RangeHeavyWorkloadPrefersFewRuns) {
+  // Range lookups pay one seek per run (Eq. 11), so a scan-heavy workload
+  // should avoid run-heavy designs (tiering with large T).
+  const Environment env = DefaultEnv();
+  Workload scans;
+  scans.range_lookups = 0.8;
+  scans.range_selectivity = 1e-6;
+  scans.updates = 0.2;
+  const Tuning tuning = AutotuneSizeRatioAndPolicy(env, scans);
+  ASSERT_TRUE(tuning.feasible);
+  const DesignPoint d = MakeDesignPoint(env, tuning.policy,
+                                        tuning.size_ratio, tuning.buffer_bits,
+                                        tuning.filter_bits);
+  // The chosen design's run count must be modest: far below a
+  // write-optimized tiering tree's.
+  const DesignPoint tiered = MakeDesignPoint(
+      env, MergePolicy::kTiering, 8.0, tuning.buffer_bits,
+      tuning.filter_bits);
+  EXPECT_LT(MaxRuns(d), MaxRuns(tiered));
+}
+
+TEST(Tuner, NonZeroLookupWorkloadSupported) {
+  const Environment env = DefaultEnv();
+  Workload w;
+  w.nonzero_result_lookups = 0.6;
+  w.updates = 0.4;
+  const Tuning tuning = AutotuneSizeRatioAndPolicy(env, w);
+  ASSERT_TRUE(tuning.feasible);
+  // V >= 1 always, so theta >= 0.6.
+  EXPECT_GE(tuning.avg_op_cost, 0.6 - 1e-9);
+  const Tuning reference = ExhaustiveSearch(env, w);
+  EXPECT_LE(tuning.avg_op_cost, reference.avg_op_cost * 1.10);
+}
+
+TEST(Tuner, ThroughputPredictionConsistent) {
+  const Environment env = DefaultEnv();
+  const Workload w = MixedWorkload(0.5);
+  const Tuning tuning = AutotuneSizeRatioAndPolicy(env, w);
+  const DesignPoint d = MakeDesignPoint(env, tuning.policy,
+                                        tuning.size_ratio, tuning.buffer_bits,
+                                        tuning.filter_bits);
+  EXPECT_NEAR(tuning.avg_op_cost, AverageOperationCost(d, w), 1e-9);
+  EXPECT_NEAR(tuning.throughput,
+              Throughput(d, w, env.read_seconds), 1e-6);
+}
+
+}  // namespace
+}  // namespace monkey
+}  // namespace monkeydb

@@ -1,0 +1,196 @@
+// Tests for Slice, Status, Arena, hashing, RNG, and comparators.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <set>
+
+#include "util/arena.h"
+#include "util/comparator.h"
+#include "util/hash.h"
+#include "util/random.h"
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace monkeydb {
+namespace {
+
+TEST(Slice, BasicOps) {
+  Slice empty;
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(empty.size(), 0u);
+
+  Slice s("hello");
+  EXPECT_EQ(s.size(), 5u);
+  EXPECT_EQ(s[1], 'e');
+  EXPECT_EQ(s.ToString(), "hello");
+
+  Slice t = s;
+  t.remove_prefix(2);
+  EXPECT_EQ(t.ToString(), "llo");
+  EXPECT_EQ(s.ToString(), "hello");  // Unaffected.
+
+  EXPECT_TRUE(s.starts_with("he"));
+  EXPECT_FALSE(s.starts_with("hello!"));
+}
+
+TEST(Slice, CompareOrdering) {
+  EXPECT_LT(Slice("a").compare("b"), 0);
+  EXPECT_GT(Slice("b").compare("a"), 0);
+  EXPECT_EQ(Slice("abc").compare("abc"), 0);
+  // Prefix sorts before its extension.
+  EXPECT_LT(Slice("ab").compare("abc"), 0);
+  // Bytewise: 0xFF sorts after everything printable.
+  EXPECT_GT(Slice("\xff").compare("z"), 0);
+  EXPECT_TRUE(Slice("x") == Slice("x"));
+  EXPECT_TRUE(Slice("x") != Slice("y"));
+}
+
+TEST(Status, CodesAndMessages) {
+  EXPECT_TRUE(Status::OK().ok());
+  EXPECT_EQ(Status::OK().ToString(), "OK");
+
+  Status nf = Status::NotFound("missing key");
+  EXPECT_TRUE(nf.IsNotFound());
+  EXPECT_FALSE(nf.ok());
+  EXPECT_EQ(nf.ToString(), "NotFound: missing key");
+
+  EXPECT_TRUE(Status::Corruption("x").IsCorruption());
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::IoError("x").IsIoError());
+  EXPECT_TRUE(Status::NotSupported("x").IsNotSupported());
+}
+
+TEST(Arena, AllocateAndUsage) {
+  Arena arena;
+  EXPECT_EQ(arena.MemoryUsage(), 0u);
+  char* small = arena.Allocate(10);
+  memset(small, 0xAB, 10);
+  EXPECT_GT(arena.MemoryUsage(), 0u);
+
+  // Large allocations get dedicated blocks.
+  char* big = arena.Allocate(64 << 10);
+  memset(big, 0xCD, 64 << 10);
+  EXPECT_GE(arena.MemoryUsage(), (64u << 10));
+  // The small allocation still holds its bytes.
+  EXPECT_EQ(static_cast<unsigned char>(small[9]), 0xAB);
+}
+
+TEST(Arena, AlignedAllocationIsAligned) {
+  Arena arena;
+  for (int i = 0; i < 100; i++) {
+    arena.Allocate(1 + (i % 7));  // Misalign the bump pointer.
+    char* p = arena.AllocateAligned(24);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(p) % alignof(std::max_align_t), 0u);
+  }
+}
+
+TEST(Hash, XxHashDeterministicAndSeeded) {
+  const uint64_t h1 = XxHash64("monkey", 6);
+  EXPECT_EQ(h1, XxHash64("monkey", 6));
+  EXPECT_NE(h1, XxHash64("monkey", 6, /*seed=*/1));
+  EXPECT_NE(h1, XxHash64("monkez", 6));
+  // Long input exercising the 32-byte stripe loop.
+  std::string long_input(1000, 'a');
+  long_input[500] = 'b';
+  std::string long_input2 = long_input;
+  long_input2[500] = 'c';
+  EXPECT_NE(XxHash64(long_input.data(), long_input.size()),
+            XxHash64(long_input2.data(), long_input2.size()));
+}
+
+TEST(Hash, XxHashAvalanche) {
+  // Flipping one input bit should flip roughly half the output bits.
+  const uint64_t a = XxHash64("abcdefgh", 8);
+  const uint64_t b = XxHash64("abcdefgi", 8);
+  const int flipped = __builtin_popcountll(a ^ b);
+  EXPECT_GT(flipped, 16);
+  EXPECT_LT(flipped, 48);
+}
+
+TEST(Hash, Crc32cKnownVector) {
+  // Standard CRC32C test vector.
+  EXPECT_EQ(Crc32c("123456789", 9), 0xE3069283u);
+  EXPECT_EQ(Crc32c("", 0), 0u);
+}
+
+TEST(Hash, CrcMaskRoundTrip) {
+  const uint32_t crc = Crc32c("some data", 9);
+  EXPECT_NE(MaskCrc(crc), crc);
+  EXPECT_EQ(UnmaskCrc(MaskCrc(crc)), crc);
+}
+
+TEST(Random, DeterministicForSeed) {
+  Random a(123), b(123), c(124);
+  for (int i = 0; i < 100; i++) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+  bool differs = false;
+  Random a2(123);
+  for (int i = 0; i < 100; i++) {
+    if (a2.Next() != c.Next()) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Random, UniformCoversRange) {
+  Random rng(5);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; i++) {
+    uint64_t v = rng.Uniform(10);
+    ASSERT_LT(v, 10u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u);  // All buckets hit in 1000 draws.
+}
+
+TEST(Random, NextDoubleInUnitInterval) {
+  Random rng(9);
+  double sum = 0;
+  for (int i = 0; i < 10000; i++) {
+    double d = rng.NextDouble();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+// Temporal locality (paper Sec. 5): c of the most recent entries receive
+// (1-c) of the lookups.
+TEST(Random, TemporalLocalitySkew) {
+  Random rng(77);
+  const uint64_t n = 1000;
+  const double c = 0.1;  // 10% most-recent entries get 90% of lookups.
+  TemporalLocalityGenerator gen(c, n);
+  uint64_t hot_hits = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; i++) {
+    if (gen.NextRank(&rng) < static_cast<uint64_t>(c * n)) hot_hits++;
+  }
+  EXPECT_NEAR(static_cast<double>(hot_hits) / trials, 1.0 - c, 0.02);
+}
+
+TEST(Random, TemporalLocalityUniformAtHalf) {
+  Random rng(78);
+  const uint64_t n = 10;
+  TemporalLocalityGenerator gen(0.5, n);
+  std::map<uint64_t, int> counts;
+  const int trials = 50000;
+  for (int i = 0; i < trials; i++) counts[gen.NextRank(&rng)]++;
+  for (const auto& [rank, count] : counts) {
+    EXPECT_NEAR(static_cast<double>(count) / trials, 0.1, 0.02) << rank;
+  }
+}
+
+TEST(Comparator, Bytewise) {
+  const Comparator* cmp = BytewiseComparator();
+  EXPECT_LT(cmp->Compare("a", "b"), 0);
+  EXPECT_EQ(cmp->Compare("a", "a"), 0);
+  EXPECT_GT(cmp->Compare("b", "a"), 0);
+  EXPECT_STREQ(cmp->Name(), "monkeydb.BytewiseComparator");
+}
+
+}  // namespace
+}  // namespace monkeydb
