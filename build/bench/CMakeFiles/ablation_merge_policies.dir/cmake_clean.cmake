@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_merge_policies.dir/ablation_merge_policies.cc.o"
+  "CMakeFiles/ablation_merge_policies.dir/ablation_merge_policies.cc.o.d"
+  "ablation_merge_policies"
+  "ablation_merge_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_merge_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

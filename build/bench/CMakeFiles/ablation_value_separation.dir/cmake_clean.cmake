@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_value_separation.dir/ablation_value_separation.cc.o"
+  "CMakeFiles/ablation_value_separation.dir/ablation_value_separation.cc.o.d"
+  "ablation_value_separation"
+  "ablation_value_separation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_value_separation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

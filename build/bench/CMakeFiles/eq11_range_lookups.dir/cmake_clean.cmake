@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eq11_range_lookups.dir/eq11_range_lookups.cc.o"
+  "CMakeFiles/eq11_range_lookups.dir/eq11_range_lookups.cc.o.d"
+  "eq11_range_lookups"
+  "eq11_range_lookups.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eq11_range_lookups.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

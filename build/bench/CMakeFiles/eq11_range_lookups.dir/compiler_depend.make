@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for eq11_range_lookups.
+# This may be replaced when dependencies are built.

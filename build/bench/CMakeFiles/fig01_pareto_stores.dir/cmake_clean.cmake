@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_pareto_stores.dir/fig01_pareto_stores.cc.o"
+  "CMakeFiles/fig01_pareto_stores.dir/fig01_pareto_stores.cc.o.d"
+  "fig01_pareto_stores"
+  "fig01_pareto_stores.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_pareto_stores.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_design_space.dir/fig04_design_space.cc.o"
+  "CMakeFiles/fig04_design_space.dir/fig04_design_space.cc.o.d"
+  "fig04_design_space"
+  "fig04_design_space.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_design_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

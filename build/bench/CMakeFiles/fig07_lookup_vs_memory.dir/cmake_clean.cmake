@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_lookup_vs_memory.dir/fig07_lookup_vs_memory.cc.o"
+  "CMakeFiles/fig07_lookup_vs_memory.dir/fig07_lookup_vs_memory.cc.o.d"
+  "fig07_lookup_vs_memory"
+  "fig07_lookup_vs_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_lookup_vs_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_pareto_navigation.dir/fig08_pareto_navigation.cc.o"
+  "CMakeFiles/fig08_pareto_navigation.dir/fig08_pareto_navigation.cc.o.d"
+  "fig08_pareto_navigation"
+  "fig08_pareto_navigation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_pareto_navigation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_memory_allocation.dir/fig09_memory_allocation.cc.o"
+  "CMakeFiles/fig09_memory_allocation.dir/fig09_memory_allocation.cc.o.d"
+  "fig09_memory_allocation"
+  "fig09_memory_allocation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_memory_allocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_autotune_walk.dir/fig10_autotune_walk.cc.o"
+  "CMakeFiles/fig10_autotune_walk.dir/fig10_autotune_walk.cc.o.d"
+  "fig10_autotune_walk"
+  "fig10_autotune_walk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_autotune_walk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11a_scale_entries.dir/fig11a_scale_entries.cc.o"
+  "CMakeFiles/fig11a_scale_entries.dir/fig11a_scale_entries.cc.o.d"
+  "fig11a_scale_entries"
+  "fig11a_scale_entries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11a_scale_entries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

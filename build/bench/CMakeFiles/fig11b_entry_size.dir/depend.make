@@ -1,0 +1,2 @@
+# Empty dependencies file for fig11b_entry_size.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11c_bits_per_entry.dir/fig11c_bits_per_entry.cc.o"
+  "CMakeFiles/fig11c_bits_per_entry.dir/fig11c_bits_per_entry.cc.o.d"
+  "fig11c_bits_per_entry"
+  "fig11c_bits_per_entry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11c_bits_per_entry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11d_temporal_locality.dir/fig11d_temporal_locality.cc.o"
+  "CMakeFiles/fig11d_temporal_locality.dir/fig11d_temporal_locality.cc.o.d"
+  "fig11d_temporal_locality"
+  "fig11d_temporal_locality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11d_temporal_locality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

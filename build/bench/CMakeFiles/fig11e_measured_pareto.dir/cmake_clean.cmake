@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11e_measured_pareto.dir/fig11e_measured_pareto.cc.o"
+  "CMakeFiles/fig11e_measured_pareto.dir/fig11e_measured_pareto.cc.o.d"
+  "fig11e_measured_pareto"
+  "fig11e_measured_pareto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11e_measured_pareto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig11e_measured_pareto.
+# This may be replaced when dependencies are built.

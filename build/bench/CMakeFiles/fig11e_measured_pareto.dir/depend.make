@@ -1,0 +1,2 @@
+# Empty dependencies file for fig11e_measured_pareto.
+# This may be replaced when dependencies are built.

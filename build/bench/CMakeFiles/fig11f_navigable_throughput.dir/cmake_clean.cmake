@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11f_navigable_throughput.dir/fig11f_navigable_throughput.cc.o"
+  "CMakeFiles/fig11f_navigable_throughput.dir/fig11f_navigable_throughput.cc.o.d"
+  "fig11f_navigable_throughput"
+  "fig11f_navigable_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11f_navigable_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_block_cache.dir/fig12_block_cache.cc.o"
+  "CMakeFiles/fig12_block_cache.dir/fig12_block_cache.cc.o.d"
+  "fig12_block_cache"
+  "fig12_block_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_block_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

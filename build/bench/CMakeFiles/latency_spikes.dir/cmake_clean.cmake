@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/latency_spikes.dir/latency_spikes.cc.o"
+  "CMakeFiles/latency_spikes.dir/latency_spikes.cc.o.d"
+  "latency_spikes"
+  "latency_spikes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/latency_spikes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skewed_updates.dir/skewed_updates.cc.o"
+  "CMakeFiles/skewed_updates.dir/skewed_updates.cc.o.d"
+  "skewed_updates"
+  "skewed_updates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skewed_updates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_asymptotics.dir/table1_asymptotics.cc.o"
+  "CMakeFiles/table1_asymptotics.dir/table1_asymptotics.cc.o.d"
+  "table1_asymptotics"
+  "table1_asymptotics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_asymptotics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whatif_scenarios.dir/whatif_scenarios.cc.o"
+  "CMakeFiles/whatif_scenarios.dir/whatif_scenarios.cc.o.d"
+  "whatif_scenarios"
+  "whatif_scenarios.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whatif_scenarios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monkeydb_cli.dir/monkeydb_cli.cpp.o"
+  "CMakeFiles/monkeydb_cli.dir/monkeydb_cli.cpp.o.d"
+  "monkeydb_cli"
+  "monkeydb_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monkeydb_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monkeydb_dump.dir/monkeydb_dump.cpp.o"
+  "CMakeFiles/monkeydb_dump.dir/monkeydb_dump.cpp.o.d"
+  "monkeydb_dump"
+  "monkeydb_dump.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monkeydb_dump.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ycsb_workloads.dir/ycsb_workloads.cpp.o"
+  "CMakeFiles/ycsb_workloads.dir/ycsb_workloads.cpp.o.d"
+  "ycsb_workloads"
+  "ycsb_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ycsb_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

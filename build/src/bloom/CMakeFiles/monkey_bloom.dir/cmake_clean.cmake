@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monkey_bloom.dir/blocked_bloom_filter.cc.o"
+  "CMakeFiles/monkey_bloom.dir/blocked_bloom_filter.cc.o.d"
+  "CMakeFiles/monkey_bloom.dir/bloom_filter.cc.o"
+  "CMakeFiles/monkey_bloom.dir/bloom_filter.cc.o.d"
+  "libmonkey_bloom.a"
+  "libmonkey_bloom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monkey_bloom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/block_cache.cc" "src/io/CMakeFiles/monkey_io.dir/block_cache.cc.o" "gcc" "src/io/CMakeFiles/monkey_io.dir/block_cache.cc.o.d"
+  "/root/repo/src/io/counting_env.cc" "src/io/CMakeFiles/monkey_io.dir/counting_env.cc.o" "gcc" "src/io/CMakeFiles/monkey_io.dir/counting_env.cc.o.d"
+  "/root/repo/src/io/fault_env.cc" "src/io/CMakeFiles/monkey_io.dir/fault_env.cc.o" "gcc" "src/io/CMakeFiles/monkey_io.dir/fault_env.cc.o.d"
+  "/root/repo/src/io/mem_env.cc" "src/io/CMakeFiles/monkey_io.dir/mem_env.cc.o" "gcc" "src/io/CMakeFiles/monkey_io.dir/mem_env.cc.o.d"
+  "/root/repo/src/io/posix_env.cc" "src/io/CMakeFiles/monkey_io.dir/posix_env.cc.o" "gcc" "src/io/CMakeFiles/monkey_io.dir/posix_env.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/monkey_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monkey_io.dir/block_cache.cc.o"
+  "CMakeFiles/monkey_io.dir/block_cache.cc.o.d"
+  "CMakeFiles/monkey_io.dir/counting_env.cc.o"
+  "CMakeFiles/monkey_io.dir/counting_env.cc.o.d"
+  "CMakeFiles/monkey_io.dir/fault_env.cc.o"
+  "CMakeFiles/monkey_io.dir/fault_env.cc.o.d"
+  "CMakeFiles/monkey_io.dir/mem_env.cc.o"
+  "CMakeFiles/monkey_io.dir/mem_env.cc.o.d"
+  "CMakeFiles/monkey_io.dir/posix_env.cc.o"
+  "CMakeFiles/monkey_io.dir/posix_env.cc.o.d"
+  "libmonkey_io.a"
+  "libmonkey_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monkey_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

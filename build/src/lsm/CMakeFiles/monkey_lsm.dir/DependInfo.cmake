@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lsm/db.cc" "src/lsm/CMakeFiles/monkey_lsm.dir/db.cc.o" "gcc" "src/lsm/CMakeFiles/monkey_lsm.dir/db.cc.o.d"
+  "/root/repo/src/lsm/db_iterator.cc" "src/lsm/CMakeFiles/monkey_lsm.dir/db_iterator.cc.o" "gcc" "src/lsm/CMakeFiles/monkey_lsm.dir/db_iterator.cc.o.d"
+  "/root/repo/src/lsm/fpr_policy.cc" "src/lsm/CMakeFiles/monkey_lsm.dir/fpr_policy.cc.o" "gcc" "src/lsm/CMakeFiles/monkey_lsm.dir/fpr_policy.cc.o.d"
+  "/root/repo/src/lsm/merging_iterator.cc" "src/lsm/CMakeFiles/monkey_lsm.dir/merging_iterator.cc.o" "gcc" "src/lsm/CMakeFiles/monkey_lsm.dir/merging_iterator.cc.o.d"
+  "/root/repo/src/lsm/value_log.cc" "src/lsm/CMakeFiles/monkey_lsm.dir/value_log.cc.o" "gcc" "src/lsm/CMakeFiles/monkey_lsm.dir/value_log.cc.o.d"
+  "/root/repo/src/lsm/version.cc" "src/lsm/CMakeFiles/monkey_lsm.dir/version.cc.o" "gcc" "src/lsm/CMakeFiles/monkey_lsm.dir/version.cc.o.d"
+  "/root/repo/src/lsm/wal.cc" "src/lsm/CMakeFiles/monkey_lsm.dir/wal.cc.o" "gcc" "src/lsm/CMakeFiles/monkey_lsm.dir/wal.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/monkey_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/monkey_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/bloom/CMakeFiles/monkey_bloom.dir/DependInfo.cmake"
+  "/root/repo/build/src/memtable/CMakeFiles/monkey_memtable.dir/DependInfo.cmake"
+  "/root/repo/build/src/sstable/CMakeFiles/monkey_sstable.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monkey_lsm.dir/db.cc.o"
+  "CMakeFiles/monkey_lsm.dir/db.cc.o.d"
+  "CMakeFiles/monkey_lsm.dir/db_iterator.cc.o"
+  "CMakeFiles/monkey_lsm.dir/db_iterator.cc.o.d"
+  "CMakeFiles/monkey_lsm.dir/fpr_policy.cc.o"
+  "CMakeFiles/monkey_lsm.dir/fpr_policy.cc.o.d"
+  "CMakeFiles/monkey_lsm.dir/merging_iterator.cc.o"
+  "CMakeFiles/monkey_lsm.dir/merging_iterator.cc.o.d"
+  "CMakeFiles/monkey_lsm.dir/value_log.cc.o"
+  "CMakeFiles/monkey_lsm.dir/value_log.cc.o.d"
+  "CMakeFiles/monkey_lsm.dir/version.cc.o"
+  "CMakeFiles/monkey_lsm.dir/version.cc.o.d"
+  "CMakeFiles/monkey_lsm.dir/wal.cc.o"
+  "CMakeFiles/monkey_lsm.dir/wal.cc.o.d"
+  "libmonkey_lsm.a"
+  "libmonkey_lsm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monkey_lsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monkey_memtable.dir/memtable.cc.o"
+  "CMakeFiles/monkey_memtable.dir/memtable.cc.o.d"
+  "libmonkey_memtable.a"
+  "libmonkey_memtable.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monkey_memtable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

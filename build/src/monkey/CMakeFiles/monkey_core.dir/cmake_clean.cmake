@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monkey_core.dir/cost_model.cc.o"
+  "CMakeFiles/monkey_core.dir/cost_model.cc.o.d"
+  "CMakeFiles/monkey_core.dir/design_space.cc.o"
+  "CMakeFiles/monkey_core.dir/design_space.cc.o.d"
+  "CMakeFiles/monkey_core.dir/fpr_allocator.cc.o"
+  "CMakeFiles/monkey_core.dir/fpr_allocator.cc.o.d"
+  "CMakeFiles/monkey_core.dir/monkey_db.cc.o"
+  "CMakeFiles/monkey_core.dir/monkey_db.cc.o.d"
+  "CMakeFiles/monkey_core.dir/tuner.cc.o"
+  "CMakeFiles/monkey_core.dir/tuner.cc.o.d"
+  "CMakeFiles/monkey_core.dir/workload_monitor.cc.o"
+  "CMakeFiles/monkey_core.dir/workload_monitor.cc.o.d"
+  "libmonkey_core.a"
+  "libmonkey_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monkey_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sstable/block.cc" "src/sstable/CMakeFiles/monkey_sstable.dir/block.cc.o" "gcc" "src/sstable/CMakeFiles/monkey_sstable.dir/block.cc.o.d"
+  "/root/repo/src/sstable/format.cc" "src/sstable/CMakeFiles/monkey_sstable.dir/format.cc.o" "gcc" "src/sstable/CMakeFiles/monkey_sstable.dir/format.cc.o.d"
+  "/root/repo/src/sstable/table_builder.cc" "src/sstable/CMakeFiles/monkey_sstable.dir/table_builder.cc.o" "gcc" "src/sstable/CMakeFiles/monkey_sstable.dir/table_builder.cc.o.d"
+  "/root/repo/src/sstable/table_reader.cc" "src/sstable/CMakeFiles/monkey_sstable.dir/table_reader.cc.o" "gcc" "src/sstable/CMakeFiles/monkey_sstable.dir/table_reader.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/monkey_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/monkey_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/bloom/CMakeFiles/monkey_bloom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monkey_sstable.dir/block.cc.o"
+  "CMakeFiles/monkey_sstable.dir/block.cc.o.d"
+  "CMakeFiles/monkey_sstable.dir/format.cc.o"
+  "CMakeFiles/monkey_sstable.dir/format.cc.o.d"
+  "CMakeFiles/monkey_sstable.dir/table_builder.cc.o"
+  "CMakeFiles/monkey_sstable.dir/table_builder.cc.o.d"
+  "CMakeFiles/monkey_sstable.dir/table_reader.cc.o"
+  "CMakeFiles/monkey_sstable.dir/table_reader.cc.o.d"
+  "libmonkey_sstable.a"
+  "libmonkey_sstable.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monkey_sstable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monkey_util.dir/arena.cc.o"
+  "CMakeFiles/monkey_util.dir/arena.cc.o.d"
+  "CMakeFiles/monkey_util.dir/coding.cc.o"
+  "CMakeFiles/monkey_util.dir/coding.cc.o.d"
+  "CMakeFiles/monkey_util.dir/comparator.cc.o"
+  "CMakeFiles/monkey_util.dir/comparator.cc.o.d"
+  "CMakeFiles/monkey_util.dir/hash.cc.o"
+  "CMakeFiles/monkey_util.dir/hash.cc.o.d"
+  "CMakeFiles/monkey_util.dir/status.cc.o"
+  "CMakeFiles/monkey_util.dir/status.cc.o.d"
+  "libmonkey_util.a"
+  "libmonkey_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monkey_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmonkey_util.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_features_test.dir/adaptive_features_test.cc.o"
+  "CMakeFiles/adaptive_features_test.dir/adaptive_features_test.cc.o.d"
+  "adaptive_features_test"
+  "adaptive_features_test.pdb"
+  "adaptive_features_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_features_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blocked_bloom_test.dir/blocked_bloom_test.cc.o"
+  "CMakeFiles/blocked_bloom_test.dir/blocked_bloom_test.cc.o.d"
+  "blocked_bloom_test"
+  "blocked_bloom_test.pdb"
+  "blocked_bloom_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blocked_bloom_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpr_allocator_test.dir/fpr_allocator_test.cc.o"
+  "CMakeFiles/fpr_allocator_test.dir/fpr_allocator_test.cc.o.d"
+  "fpr_allocator_test"
+  "fpr_allocator_test.pdb"
+  "fpr_allocator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpr_allocator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

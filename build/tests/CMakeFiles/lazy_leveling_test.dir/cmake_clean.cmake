@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lazy_leveling_test.dir/lazy_leveling_test.cc.o"
+  "CMakeFiles/lazy_leveling_test.dir/lazy_leveling_test.cc.o.d"
+  "lazy_leveling_test"
+  "lazy_leveling_test.pdb"
+  "lazy_leveling_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lazy_leveling_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

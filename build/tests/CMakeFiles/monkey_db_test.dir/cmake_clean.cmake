@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monkey_db_test.dir/monkey_db_test.cc.o"
+  "CMakeFiles/monkey_db_test.dir/monkey_db_test.cc.o.d"
+  "monkey_db_test"
+  "monkey_db_test.pdb"
+  "monkey_db_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monkey_db_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snapshot_batch_test.dir/snapshot_batch_test.cc.o"
+  "CMakeFiles/snapshot_batch_test.dir/snapshot_batch_test.cc.o.d"
+  "snapshot_batch_test"
+  "snapshot_batch_test.pdb"
+  "snapshot_batch_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snapshot_batch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
