@@ -1,0 +1,229 @@
+// Concurrent throughput: does the read path actually scale once it no
+// longer takes the big lock?
+//
+// Compares two regimes over the same data and the same simulated device
+// (LatencyEnv: every data-page read costs fixed wall-clock time, making
+// lookups I/O-bound like on real storage):
+//   serialized  — every operation wrapped in one external mutex, emulating
+//                 the pre-decoupling engine that held mu_ across filter
+//                 probes and block reads;
+//   concurrent  — the lock-free read path (and, for the mixed workload,
+//                 background_compaction=true so flushes/merges run off the
+//                 writer thread).
+// Reports aggregate lookup throughput at 1/2/4/8 reader threads for a
+// read-only and a mixed (1 writer + N readers) workload, and writes
+// BENCH_concurrent.json.
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "harness.h"
+#include "io/latency_env.h"
+
+namespace monkeydb {
+namespace bench {
+namespace {
+
+constexpr int kNumKeys = 20000;
+constexpr int kReadsPerThread = 1200;
+constexpr auto kReadLatency = std::chrono::microseconds(50);
+const int kThreadCounts[] = {1, 2, 4, 8};
+
+struct LatencyDb {
+  std::unique_ptr<Env> base_env;
+  std::unique_ptr<LatencyEnv> env;
+  std::unique_ptr<DB> db;
+};
+
+LatencyDb BuildDb(bool background) {
+  LatencyDb t;
+  t.base_env = NewMemEnv();
+  t.env = std::make_unique<LatencyEnv>(t.base_env.get(), kReadLatency);
+
+  DbOptions options;
+  options.env = t.env.get();
+  options.merge_policy = MergePolicy::kLeveling;
+  options.size_ratio = 4.0;
+  options.buffer_size_bytes = 64 << 10;
+  options.bits_per_entry = 5.0;
+  options.page_size = kPageSize;
+  options.expected_entries = kNumKeys;
+  options.background_compaction = background;
+
+  Status s = DB::Open(options, "/db", &t.db);
+  if (!s.ok()) {
+    fprintf(stderr, "Open failed: %s\n", s.ToString().c_str());
+    abort();
+  }
+  WriteOptions wo;
+  const std::string value(48, 'v');
+  for (int i = 0; i < kNumKeys; i++) {
+    s = t.db->Put(wo, MakeKey(i), value);
+    if (!s.ok()) abort();
+  }
+  if (!t.db->Flush().ok()) abort();
+  return t;
+}
+
+// Aggregate existing-key lookups/sec with `threads` reader threads. When
+// serialize is set, every Get runs under one shared mutex (the old engine's
+// behavior); otherwise Gets run truly concurrently.
+double MeasureReadThroughput(DB* db, int threads, bool serialize,
+                             std::mutex* big_lock,
+                             std::atomic<int>* errors) {
+  std::vector<std::thread> workers;
+  const auto start = std::chrono::steady_clock::now();
+  for (int t = 0; t < threads; t++) {
+    workers.emplace_back([&, t] {
+      Random rng(1000 + t);
+      ReadOptions ro;
+      std::string value;
+      for (int i = 0; i < kReadsPerThread; i++) {
+        const std::string key = MakeKey(rng.Uniform(kNumKeys));
+        Status s;
+        if (serialize) {
+          std::lock_guard<std::mutex> guard(*big_lock);
+          s = db->Get(ro, key, &value);
+        } else {
+          s = db->Get(ro, key, &value);
+        }
+        if (!s.ok()) errors->fetch_add(1);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return static_cast<double>(threads) * kReadsPerThread / secs;
+}
+
+// Same measurement with one churn writer running alongside the readers.
+// The serialized arm routes the writer through the same mutex, so inline
+// flushes/merges stall every reader — exactly what the seed engine did.
+double MeasureMixedThroughput(DB* db, int threads, bool serialize,
+                              std::mutex* big_lock,
+                              std::atomic<int>* errors) {
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    WriteOptions wo;
+    const std::string value(32, 'c');
+    uint64_t i = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      const std::string key = "churn" + std::to_string(i++);
+      Status s;
+      if (serialize) {
+        std::lock_guard<std::mutex> guard(*big_lock);
+        s = db->Put(wo, key, value);
+      } else {
+        s = db->Put(wo, key, value);
+      }
+      if (!s.ok()) {
+        errors->fetch_add(1);
+        break;
+      }
+    }
+  });
+  const double ops_per_sec =
+      MeasureReadThroughput(db, threads, serialize, big_lock, errors);
+  stop.store(true);
+  writer.join();
+  return ops_per_sec;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace monkeydb
+
+int main() {
+  using namespace monkeydb;
+  using namespace monkeydb::bench;
+
+  printf("Concurrent throughput: serialized (one big lock) vs decoupled\n");
+  printf("read path, %d keys, %lld us simulated read latency\n\n", kNumKeys,
+         static_cast<long long>(kReadLatency.count()));
+
+  std::atomic<int> errors{0};
+  std::mutex big_lock;
+
+  // Read-only: the same synchronous DB, with and without the external
+  // serialization — isolates the read-path change.
+  LatencyDb read_db = BuildDb(/*background=*/false);
+  struct Row {
+    int threads;
+    double serialized, concurrent;
+  };
+  std::vector<Row> read_rows, mixed_rows;
+
+  printf("%-22s %8s %14s %14s %9s\n", "workload", "threads", "serialized",
+         "concurrent", "speedup");
+  for (int threads : kThreadCounts) {
+    Row row{threads, 0, 0};
+    row.serialized = MeasureReadThroughput(read_db.db.get(), threads,
+                                           /*serialize=*/true, &big_lock,
+                                           &errors);
+    row.concurrent = MeasureReadThroughput(read_db.db.get(), threads,
+                                           /*serialize=*/false, &big_lock,
+                                           &errors);
+    read_rows.push_back(row);
+    printf("%-22s %8d %12.0f/s %12.0f/s %8.2fx\n", "read-only", threads,
+           row.serialized, row.concurrent, row.concurrent / row.serialized);
+  }
+
+  // Mixed: serialized arm = synchronous DB behind the big lock (writers
+  // compact inline while readers wait); concurrent arm = background
+  // compaction, no external lock.
+  LatencyDb mixed_serialized = BuildDb(/*background=*/false);
+  LatencyDb mixed_concurrent = BuildDb(/*background=*/true);
+  for (int threads : kThreadCounts) {
+    Row row{threads, 0, 0};
+    row.serialized =
+        MeasureMixedThroughput(mixed_serialized.db.get(), threads,
+                               /*serialize=*/true, &big_lock, &errors);
+    row.concurrent =
+        MeasureMixedThroughput(mixed_concurrent.db.get(), threads,
+                               /*serialize=*/false, &big_lock, &errors);
+    mixed_rows.push_back(row);
+    printf("%-22s %8d %12.0f/s %12.0f/s %8.2fx\n", "mixed (1 writer)",
+           threads, row.serialized, row.concurrent,
+           row.concurrent / row.serialized);
+  }
+
+  if (errors.load() != 0) {
+    fprintf(stderr, "\n%d operation(s) failed\n", errors.load());
+    return 1;
+  }
+
+  FILE* json = fopen("BENCH_concurrent.json", "w");
+  if (json != nullptr) {
+    fprintf(json, "{\n");
+    fprintf(json, "  \"num_keys\": %d,\n", kNumKeys);
+    fprintf(json, "  \"read_latency_us\": %lld,\n",
+            static_cast<long long>(kReadLatency.count()));
+    fprintf(json, "  \"reads_per_thread\": %d,\n", kReadsPerThread);
+    auto dump = [&](const char* name, const std::vector<Row>& rows,
+                    bool last) {
+      fprintf(json, "  \"%s\": [\n", name);
+      for (size_t i = 0; i < rows.size(); i++) {
+        fprintf(json,
+                "    {\"threads\": %d, \"serialized_ops_per_sec\": %.1f, "
+                "\"concurrent_ops_per_sec\": %.1f, \"speedup\": %.3f}%s\n",
+                rows[i].threads, rows[i].serialized, rows[i].concurrent,
+                rows[i].concurrent / rows[i].serialized,
+                i + 1 < rows.size() ? "," : "");
+      }
+      fprintf(json, "  ]%s\n", last ? "" : ",");
+    };
+    dump("read_only", read_rows, false);
+    dump("mixed", mixed_rows, true);
+    fprintf(json, "}\n");
+    fclose(json);
+    printf("\nwrote BENCH_concurrent.json\n");
+  }
+  return 0;
+}

@@ -1,0 +1,97 @@
+// LatencyEnv: an Env decorator that charges a fixed wall-clock delay for
+// every random-access read, turning the instantaneous MemEnv into a
+// stand-in for a real storage device.
+//
+// Concurrency benchmarks need this on top of the I/O-counting machinery:
+// with MemEnv alone a point lookup completes in microseconds and any
+// locking scheme looks fine, whereas on a device the read path spends most
+// of its time waiting on I/O. The delay makes lookups I/O-bound, so a
+// benchmark can observe whether the engine overlaps those waits (lock-free
+// read path) or serializes them (one big lock). Only reads through
+// RandomAccessFile — the lookup path's data/filter/index page fetches —
+// are delayed; sequential recovery reads and writes pass through, keeping
+// setup fast.
+
+#ifndef MONKEYDB_IO_LATENCY_ENV_H_
+#define MONKEYDB_IO_LATENCY_ENV_H_
+
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <utility>
+
+#include "io/env.h"
+
+namespace monkeydb {
+
+class LatencyEnv : public Env {
+ public:
+  // Does not take ownership of base, which must outlive this Env.
+  LatencyEnv(Env* base, std::chrono::microseconds read_latency)
+      : base_(base), read_latency_(read_latency) {}
+
+  Status NewSequentialFile(const std::string& fname,
+                           std::unique_ptr<SequentialFile>* result) override {
+    return base_->NewSequentialFile(fname, result);
+  }
+
+  Status NewRandomAccessFile(
+      const std::string& fname,
+      std::unique_ptr<RandomAccessFile>* result) override {
+    std::unique_ptr<RandomAccessFile> file;
+    MONKEYDB_RETURN_IF_ERROR(base_->NewRandomAccessFile(fname, &file));
+    *result = std::make_unique<DelayedFile>(std::move(file), read_latency_);
+    return Status::OK();
+  }
+
+  Status NewWritableFile(const std::string& fname,
+                         std::unique_ptr<WritableFile>* result) override {
+    return base_->NewWritableFile(fname, result);
+  }
+
+  bool FileExists(const std::string& fname) override {
+    return base_->FileExists(fname);
+  }
+  Status GetChildren(const std::string& dir,
+                     std::vector<std::string>* result) override {
+    return base_->GetChildren(dir, result);
+  }
+  Status RemoveFile(const std::string& fname) override {
+    return base_->RemoveFile(fname);
+  }
+  Status CreateDir(const std::string& dirname) override {
+    return base_->CreateDir(dirname);
+  }
+  Status GetFileSize(const std::string& fname, uint64_t* size) override {
+    return base_->GetFileSize(fname, size);
+  }
+  Status RenameFile(const std::string& src,
+                    const std::string& target) override {
+    return base_->RenameFile(src, target);
+  }
+
+ private:
+  class DelayedFile : public RandomAccessFile {
+   public:
+    DelayedFile(std::unique_ptr<RandomAccessFile> base,
+                std::chrono::microseconds latency)
+        : base_(std::move(base)), latency_(latency) {}
+
+    Status Read(uint64_t offset, size_t n, Slice* result,
+                char* scratch) const override {
+      std::this_thread::sleep_for(latency_);
+      return base_->Read(offset, n, result, scratch);
+    }
+
+   private:
+    std::unique_ptr<RandomAccessFile> base_;
+    std::chrono::microseconds latency_;
+  };
+
+  Env* base_;
+  std::chrono::microseconds read_latency_;
+};
+
+}  // namespace monkeydb
+
+#endif  // MONKEYDB_IO_LATENCY_ENV_H_

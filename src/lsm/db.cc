@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <cstdlib>
 #include <cmath>
 #include <set>
+#include <thread>
 
 #include "lsm/merging_iterator.h"
 #include "sstable/table_builder.h"
@@ -37,12 +39,28 @@ DB::DB(const DbOptions& options, std::string name)
       mem_(std::make_shared<MemTable>(internal_comparator_)) {}
 
 DB::~DB() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutting_down_ = true;
+  }
+  bg_work_cv_.notify_all();
+  bg_done_cv_.notify_all();
+  if (bg_thread_.joinable()) bg_thread_.join();
+  // Only after the worker is gone is it safe to tear down wal_/manifest_
+  // (and for the caller to destroy the Env).
   if (wal_ != nullptr) wal_->Close().ok();
   if (manifest_ != nullptr) manifest_->Close().ok();
 }
 
 std::string DB::TableFileName(uint64_t number) const {
   return MakeTableFileName(name_, number);
+}
+
+std::string DB::WalFileName(uint64_t number) const {
+  char buf[32];
+  snprintf(buf, sizeof(buf), "/wal-%06llu.log",
+           static_cast<unsigned long long>(number));
+  return name_ + buf;
 }
 
 Status DB::Open(const DbOptions& options, const std::string& name,
@@ -52,6 +70,9 @@ Status DB::Open(const DbOptions& options, const std::string& name,
   }
   if (options.size_ratio < 2.0) {
     return Status::InvalidArgument("size_ratio must be >= 2");
+  }
+  if (options.max_immutable_memtables < 1) {
+    return Status::InvalidArgument("max_immutable_memtables must be >= 1");
   }
   MONKEYDB_RETURN_IF_ERROR(options.env->CreateDir(name));
 
@@ -121,8 +142,8 @@ Status DB::Recover() {
                     return a->sequence > b->sequence;  // Newest first.
                   });
       }
-      if (edit.last_sequence > last_sequence_) {
-        last_sequence_ = edit.last_sequence;
+      if (edit.last_sequence > last_sequence_.load(std::memory_order_relaxed)) {
+        last_sequence_.store(edit.last_sequence, std::memory_order_relaxed);
       }
       if (edit.next_file_number > next_file_number_) {
         next_file_number_ = edit.next_file_number;
@@ -151,13 +172,34 @@ Status DB::Recover() {
     }
   }
 
-  // Replay the WAL (if any) into the memtable.
-  const std::string wal_path = name_ + "/wal.log";
-  if (options_.env->FileExists(wal_path)) {
-    MONKEYDB_RETURN_IF_ERROR(ReplayWal(wal_path));
+  // Replay WALs into the memtable: the legacy single "wal.log" (pre-rotation
+  // layout) first, then numbered wal-*.log files in creation order.
+  std::vector<std::string> old_wals;
+  const std::string legacy_wal = name_ + "/wal.log";
+  if (options_.env->FileExists(legacy_wal)) {
+    MONKEYDB_RETURN_IF_ERROR(ReplayWal(legacy_wal));
+    old_wals.push_back(legacy_wal);
+  }
+  {
+    std::vector<std::string> children;
+    std::vector<uint64_t> wal_numbers;
+    if (options_.env->GetChildren(name_, &children).ok()) {
+      for (const std::string& child : children) {
+        if (child.rfind("wal-", 0) == 0 && child.size() > 8 &&
+            child.compare(child.size() - 4, 4, ".log") == 0) {
+          wal_numbers.push_back(strtoull(child.c_str() + 4, nullptr, 10));
+        }
+      }
+    }
+    std::sort(wal_numbers.begin(), wal_numbers.end());
+    for (uint64_t number : wal_numbers) {
+      MONKEYDB_RETURN_IF_ERROR(ReplayWal(WalFileName(number)));
+      old_wals.push_back(WalFileName(number));
+      if (number > wal_number_) wal_number_ = number;
+    }
   }
 
-  // Rewrite a fresh manifest snapshot and a fresh WAL.
+  // Rewrite a fresh manifest snapshot.
   {
     std::unique_ptr<WritableFile> mfile;
     MONKEYDB_RETURN_IF_ERROR(
@@ -177,7 +219,7 @@ Status DB::Recover() {
         snapshot.added.push_back(std::move(added));
       }
     }
-    snapshot.last_sequence = last_sequence_;
+    snapshot.last_sequence = last_sequence_.load(std::memory_order_relaxed);
     snapshot.next_file_number = next_file_number_;
     std::string encoded;
     snapshot.EncodeTo(&encoded);
@@ -187,12 +229,22 @@ Status DB::Recover() {
         options_.env->RenameFile(manifest_path + ".tmp", manifest_path));
   }
 
-  // If WAL replay left entries in the memtable, persist them now so the old
-  // WAL can be discarded.
+  // If WAL replay left entries in the memtable, persist them now (before the
+  // replayed logs are discarded).
   if (mem_->num_entries() > 0) {
-    MONKEYDB_RETURN_IF_ERROR(FlushMemTableLocked());
+    MONKEYDB_RETURN_IF_ERROR(FlushMemTable(mem_, /*swap_active=*/true,
+                                           /*io_lock=*/nullptr));
   }
-  return NewWal();
+  for (const std::string& wal : old_wals) {
+    options_.env->RemoveFile(wal).ok();
+  }
+  MONKEYDB_RETURN_IF_ERROR(NewWalLocked());
+
+  PublishViewLocked();
+  if (options_.background_compaction) {
+    bg_thread_ = std::thread(&DB::BackgroundMain, this);
+  }
+  return Status::OK();
 }
 
 Status DB::ReplayWal(const std::string& wal_path) {
@@ -206,19 +258,35 @@ Status DB::ReplayWal(const std::string& wal_path) {
         record, [this](SequenceNumber seq, ValueType type, const Slice& key,
                        const Slice& value) {
           mem_->Add(seq, type, key, value);
-          if (seq > last_sequence_) last_sequence_ = seq;
+          if (seq > last_sequence_.load(std::memory_order_relaxed)) {
+            last_sequence_.store(seq, std::memory_order_relaxed);
+          }
         });
     MONKEYDB_RETURN_IF_ERROR(s);
   }
   return Status::OK();
 }
 
-Status DB::NewWal() {
+Status DB::NewWalLocked() {
+  if (wal_ != nullptr) wal_->Close().ok();
+  wal_number_++;
   std::unique_ptr<WritableFile> file;
   MONKEYDB_RETURN_IF_ERROR(
-      options_.env->NewWritableFile(name_ + "/wal.log", &file));
+      options_.env->NewWritableFile(WalFileName(wal_number_), &file));
   wal_ = std::make_unique<WalWriter>(std::move(file));
   return Status::OK();
+}
+
+// --- Read-view publication ---
+
+void DB::PublishViewLocked() {
+  auto view = std::make_shared<ReadView>();
+  view->mem = mem_;
+  view->imm.reserve(imm_.size());
+  for (const ImmEntry& entry : imm_) view->imm.push_back(entry.mem);
+  view->version = std::make_shared<const Version>(current_);
+  std::lock_guard<std::mutex> view_lock(view_mu_);
+  view_ = std::move(view);
 }
 
 // --- Write path ---
@@ -234,8 +302,10 @@ Status DB::Delete(const WriteOptions& options, const Slice& key) {
 
 Status DB::WriteInternal(const WriteOptions& options, ValueType type,
                          const Slice& key, const Slice& value) {
-  std::lock_guard<std::mutex> lock(mu_);
-  const SequenceNumber seq = last_sequence_ + 1;
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!bg_error_.ok()) return bg_error_;
+  const SequenceNumber seq =
+      last_sequence_.load(std::memory_order_relaxed) + 1;
 
   // Key-value separation: large values go to the value log first (so the
   // WAL record's handle is durable only after the value is), and the tree
@@ -268,19 +338,18 @@ Status DB::WriteInternal(const WriteOptions& options, ValueType type,
       batch.payload(), options.sync || options_.sync_writes));
 
   mem_->Add(seq, type, key, stored_value);
-  last_sequence_ = seq;
+  // Release: a reader that observes seq also observes the skiplist node.
+  last_sequence_.store(seq, std::memory_order_release);
 
-  if (mem_->ApproximateMemoryUsage() >= options_.buffer_size_bytes) {
-    MONKEYDB_RETURN_IF_ERROR(FlushMemTableLocked());
-    MONKEYDB_RETURN_IF_ERROR(NewWal());
-  }
-  return Status::OK();
+  return MaybeCompactBuffer(lock);
 }
 
 Status DB::Write(const WriteOptions& options, const WriteBatch& batch) {
   if (batch.count() == 0) return Status::OK();
-  std::lock_guard<std::mutex> lock(mu_);
-  const SequenceNumber first_seq = last_sequence_ + 1;
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!bg_error_.ok()) return bg_error_;
+  const SequenceNumber first_seq =
+      last_sequence_.load(std::memory_order_relaxed) + 1;
 
   // Resolve key-value separation per op before building the WAL record.
   std::vector<std::pair<ValueType, std::string>> resolved;
@@ -322,19 +391,104 @@ Status DB::Write(const WriteOptions& options, const WriteBatch& batch) {
     mem_->Add(seq++, resolved[i].first, batch.ops()[i].key,
               resolved[i].second);
   }
-  last_sequence_ = seq - 1;
+  // Published once: readers never observe a prefix of the batch (sequence
+  // filtering hides entries above last_sequence_).
+  last_sequence_.store(seq - 1, std::memory_order_release);
 
-  if (mem_->ApproximateMemoryUsage() >= options_.buffer_size_bytes) {
-    MONKEYDB_RETURN_IF_ERROR(FlushMemTableLocked());
-    MONKEYDB_RETURN_IF_ERROR(NewWal());
+  return MaybeCompactBuffer(lock);
+}
+
+Status DB::MaybeCompactBuffer(std::unique_lock<std::mutex>& lock) {
+  if (mem_->ApproximateMemoryUsage() < options_.buffer_size_bytes) {
+    return Status::OK();
   }
+  if (options_.background_compaction) return SwitchMemTable(lock);
+  return FlushActiveMemTableLocked();
+}
+
+Status DB::SwitchMemTable(std::unique_lock<std::mutex>& lock) {
+  // Soft backpressure: one queue slot left — slow this writer down to give
+  // the worker a head start before the hard stall.
+  if (options_.max_immutable_memtables >= 2 &&
+      static_cast<int>(imm_.size()) == options_.max_immutable_memtables - 1) {
+    counters_.write_slowdowns.fetch_add(1, std::memory_order_relaxed);
+    lock.unlock();
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    lock.lock();
+  }
+  while (static_cast<int>(imm_.size()) >= options_.max_immutable_memtables &&
+         bg_error_.ok() && !shutting_down_) {
+    counters_.write_stalls.fetch_add(1, std::memory_order_relaxed);
+    bg_done_cv_.wait(lock);
+  }
+  if (!bg_error_.ok()) return bg_error_;
+  if (shutting_down_) return Status::IoError("shutting down");
+
+  imm_.insert(imm_.begin(), ImmEntry{mem_, wal_number_});
+  MONKEYDB_RETURN_IF_ERROR(NewWalLocked());
+  mem_ = std::make_shared<MemTable>(internal_comparator_);
+  PublishViewLocked();
+  bg_work_cv_.notify_one();
   return Status::OK();
+}
+
+Status DB::FlushActiveMemTableLocked() {
+  if (mem_->num_entries() == 0) return Status::OK();
+  MONKEYDB_RETURN_IF_ERROR(FlushMemTable(mem_, /*swap_active=*/true,
+                                         /*io_lock=*/nullptr));
+  // The flushed entries are durable as a run; retire their WAL.
+  const uint64_t old_wal = wal_number_;
+  MONKEYDB_RETURN_IF_ERROR(NewWalLocked());
+  options_.env->RemoveFile(WalFileName(old_wal)).ok();
+  return Status::OK();
+}
+
+// --- Background worker ---
+
+void DB::BackgroundMain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    bg_work_cv_.wait(lock, [this] {
+      return shutting_down_ || (!imm_.empty() && bg_error_.ok());
+    });
+    // Pending frozen memtables stay durable in their WALs and are replayed
+    // on the next Open.
+    if (shutting_down_) break;
+    worker_busy_ = true;
+    Status s = FlushOldestImmutable(lock);
+    worker_busy_ = false;
+    if (!s.ok() && bg_error_.ok()) bg_error_ = s;
+    bg_done_cv_.notify_all();
+  }
+}
+
+Status DB::FlushOldestImmutable(std::unique_lock<std::mutex>& lock) {
+  ImmEntry entry = imm_.back();
+  MONKEYDB_RETURN_IF_ERROR(FlushMemTable(entry.mem, /*swap_active=*/false,
+                                         &lock));
+  // Retire the frozen memtable and the WAL that kept it durable. The pop
+  // happens after its run is published, so readers always see the entries
+  // in at least one place (briefly in both — duplicates at equal sequence
+  // numbers resolve identically).
+  imm_.pop_back();
+  PublishViewLocked();
+  options_.env->RemoveFile(WalFileName(entry.wal_number)).ok();
+  return Status::OK();
+}
+
+Status DB::WaitForDrain(std::unique_lock<std::mutex>& lock) {
+  while ((!imm_.empty() || worker_busy_) && bg_error_.ok() &&
+         !shutting_down_) {
+    bg_done_cv_.wait(lock);
+  }
+  return bg_error_;
 }
 
 const Snapshot* DB::GetSnapshot() {
   std::lock_guard<std::mutex> lock(mu_);
-  snapshots_.insert(last_sequence_);
-  return new Snapshot(last_sequence_);
+  const SequenceNumber seq = last_sequence_.load(std::memory_order_relaxed);
+  snapshots_.insert(seq);
+  return new Snapshot(seq);
 }
 
 void DB::ReleaseSnapshot(const Snapshot* snapshot) {
@@ -348,21 +502,35 @@ void DB::ReleaseSnapshot(const Snapshot* snapshot) {
 }
 
 SequenceNumber DB::SmallestSnapshotLocked() const {
-  return snapshots_.empty() ? last_sequence_ : *snapshots_.begin();
+  return snapshots_.empty() ? last_sequence_.load(std::memory_order_relaxed)
+                            : *snapshots_.begin();
 }
 
 Status DB::Flush() {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (mem_->num_entries() == 0) return Status::OK();
-  MONKEYDB_RETURN_IF_ERROR(FlushMemTableLocked());
-  return NewWal();
+  std::unique_lock<std::mutex> lock(mu_);
+  if (options_.background_compaction) {
+    if (!bg_error_.ok()) return bg_error_;
+    if (mem_->num_entries() > 0) {
+      MONKEYDB_RETURN_IF_ERROR(SwitchMemTable(lock));
+    }
+    return WaitForDrain(lock);
+  }
+  return FlushActiveMemTableLocked();
 }
 
 Status DB::CompactAll() {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (mem_->num_entries() > 0) {
-    MONKEYDB_RETURN_IF_ERROR(FlushMemTableLocked());
-    MONKEYDB_RETURN_IF_ERROR(NewWal());
+  std::unique_lock<std::mutex> lock(mu_);
+  if (options_.background_compaction) {
+    if (!bg_error_.ok()) return bg_error_;
+    if (mem_->num_entries() > 0) {
+      MONKEYDB_RETURN_IF_ERROR(SwitchMemTable(lock));
+    }
+    MONKEYDB_RETURN_IF_ERROR(WaitForDrain(lock));
+    // The worker is idle and the queue empty; mu_ is held for the rest of
+    // the merge, so the tree is stable (writers block — CompactAll is a
+    // stop-the-world maintenance operation).
+  } else if (mem_->num_entries() > 0) {
+    MONKEYDB_RETURN_IF_ERROR(FlushActiveMemTableLocked());
   }
   const int target = std::max(1, current_.DeepestNonEmptyLevel());
 
@@ -375,7 +543,7 @@ Status DB::CompactAll() {
     }
   }
   if (children.empty()) return Status::OK();
-  stats_.merges++;
+  counters_.merges.fetch_add(1, std::memory_order_relaxed);
 
   std::set<uint64_t> replaced(edit.deleted_files.begin(),
                               edit.deleted_files.end());
@@ -383,7 +551,8 @@ Status DB::CompactAll() {
   RunPtr out;
   MONKEYDB_RETURN_IF_ERROR(BuildRun(merged.get(), target,
                                     /*drop_tombstones=*/true,
-                                    current_.TotalEntries(), replaced, &out));
+                                    current_.TotalEntries(), replaced, &out,
+                                    /*io_lock=*/nullptr));
   if (out != nullptr) {
     VersionEdit::AddedRun added;
     added.level = target;
@@ -406,44 +575,51 @@ Status DB::CompactAll() {
 
 Status DB::Get(const ReadOptions& options, const Slice& key,
                std::string* value) {
-  std::lock_guard<std::mutex> lock(mu_);
-  stats_.gets++;
+  counters_.gets.fetch_add(1, std::memory_order_relaxed);
 
-  // 1. The buffer (Level 0).
-  const SequenceNumber read_seq = options.snapshot != nullptr
-                                      ? options.snapshot->sequence()
-                                      : last_sequence_;
+  // Load the read sequence BEFORE the view: the view loaded afterwards is
+  // at least as new, so every entry at or below the sequence is in it.
+  const SequenceNumber read_seq =
+      options.snapshot != nullptr
+          ? options.snapshot->sequence()
+          : last_sequence_.load(std::memory_order_acquire);
+  const std::shared_ptr<const ReadView> view = CurrentView();
   LookupKey lookup(key, read_seq);
+
+  // 1. The buffer (Level 0): active memtable, then frozen ones newest-first.
   bool found_entry = false;
   ValueType type = ValueType::kValue;
-  Status s = mem_->Get(lookup, value, &found_entry, &type);
-  if (found_entry) {
-    if (s.ok() && type == ValueType::kValueHandle) {
-      return ResolveHandle(value);
+  for (const MemTable* mem : view->MemTables()) {
+    Status s = mem->Get(lookup, value, &found_entry, &type);
+    if (found_entry) {
+      if (s.ok() && type == ValueType::kValueHandle) {
+        return ResolveHandle(value);
+      }
+      return s;
     }
-    return s;
   }
 
   // 2. Disk levels, shallowest to deepest; runs newest to oldest.
-  for (int level = 1; level <= current_.NumLevels(); level++) {
-    for (const RunPtr& run : current_.RunsAt(level)) {
+  const Version& version = *view->version;
+  for (int level = 1; level <= version.NumLevels(); level++) {
+    for (const RunPtr& run : version.RunsAt(level)) {
       TableLookupResult result;
       MONKEYDB_RETURN_IF_ERROR(
           run->table->Get(lookup, value, &result, &type));
       switch (result) {
         case TableLookupResult::kFound:
-          stats_.runs_probed++;
+          counters_.runs_probed.fetch_add(1, std::memory_order_relaxed);
           if (type == ValueType::kValueHandle) return ResolveHandle(value);
           return Status::OK();
         case TableLookupResult::kDeleted:
-          stats_.runs_probed++;
+          counters_.runs_probed.fetch_add(1, std::memory_order_relaxed);
           return Status::NotFound("deleted");
         case TableLookupResult::kNotPresent:
-          stats_.runs_probed++;
-          stats_.false_positives++;
+          counters_.runs_probed.fetch_add(1, std::memory_order_relaxed);
+          counters_.false_positives.fetch_add(1, std::memory_order_relaxed);
           break;
         case TableLookupResult::kFilteredOut:
-          stats_.filter_negatives++;
+          counters_.filter_negatives.fetch_add(1, std::memory_order_relaxed);
           break;
       }
     }
@@ -468,8 +644,9 @@ Status DB::ResolveHandle(std::string* value) const {
 
 uint64_t DB::LevelCapacityEntries(int level) const {
   // Paper Fig. 2: Level i holds up to B·P·T^i entries.
-  const double cap = static_cast<double>(buffer_entries_) *
-                     std::pow(options_.size_ratio, level);
+  const double cap =
+      static_cast<double>(buffer_entries_.load(std::memory_order_relaxed)) *
+      std::pow(options_.size_ratio, level);
   return static_cast<uint64_t>(cap);
 }
 
@@ -480,22 +657,27 @@ bool DB::CanDropTombstones(int output_level) const {
   return true;
 }
 
-Status DB::BuildRun(Iterator* iter, int target_level, bool drop_tombstones,
-                    uint64_t estimated_entries,
-                    const std::set<uint64_t>& replaced_files, RunPtr* out) {
-  out->reset();
-
+DB::CompactionJob DB::PrepareJobLocked(
+    int target_level, bool drop_tombstones, uint64_t estimated_entries,
+    const std::set<uint64_t>& replaced_files) {
   // Size the filter for this run via the allocation policy, handing it the
   // exact post-compaction geometry (each surviving run's entry count plus
   // this run's estimate at the front of its target level).
   const FprAllocationPolicy* policy = options_.fpr_policy != nullptr
                                           ? options_.fpr_policy.get()
                                           : DefaultFprPolicy();
+  uint64_t pending_mem_entries = mem_->num_entries();
+  for (const ImmEntry& entry : imm_) {
+    pending_mem_entries += entry.mem->num_entries();
+  }
+  const uint64_t buffer_entries =
+      buffer_entries_.load(std::memory_order_relaxed);
   LsmShape shape;
-  shape.total_entries = std::max(current_.TotalEntries() + mem_->num_entries(),
-                                 options_.expected_entries);
+  shape.total_entries =
+      std::max(current_.TotalEntries() + pending_mem_entries,
+               options_.expected_entries);
   shape.buffer_entries =
-      buffer_entries_ > 0 ? buffer_entries_ : mem_->num_entries();
+      buffer_entries > 0 ? buffer_entries : mem_->num_entries();
   shape.size_ratio = options_.size_ratio;
   shape.num_levels = std::max(current_.DeepestNonEmptyLevel(), target_level);
   shape.merge_policy = options_.merge_policy;
@@ -518,16 +700,26 @@ Status DB::BuildRun(Iterator* iter, int target_level, bool drop_tombstones,
                                               estimated_entries, 1));
   auto& target_bits = shape.run_filter_bits[target_level - 1];
   target_bits.insert(target_bits.begin(), -1.0);
-  const double fpr = policy->RunFpr(shape, target_level);
 
-  const uint64_t file_number = next_file_number_++;
-  const std::string fname = TableFileName(file_number);
+  CompactionJob job;
+  job.target_level = target_level;
+  job.drop_tombstones = drop_tombstones;
+  job.fpr = policy->RunFpr(shape, target_level);
+  job.file_number = next_file_number_++;
+  job.smallest_snapshot = SmallestSnapshotLocked();
+  job.run_sequence = last_sequence_.load(std::memory_order_relaxed);
+  return job;
+}
+
+Status DB::BuildRunFromJob(Iterator* iter, const CompactionJob& job,
+                           RunPtr* out) {
+  const std::string fname = TableFileName(job.file_number);
   std::unique_ptr<WritableFile> file;
   MONKEYDB_RETURN_IF_ERROR(options_.env->NewWritableFile(fname, &file));
 
   TableBuilderOptions topts;
   topts.block_size = options_.page_size;
-  topts.filter_fpr = fpr;
+  topts.filter_fpr = job.fpr;
   TableBuilder builder(topts, file.get());
 
   // Version retention: internal-key order puts the newest version of each
@@ -535,10 +727,10 @@ Status DB::BuildRun(Iterator* iter, int target_level, bool drop_tombstones,
   // same key with sequence <= the smallest active snapshot has been seen
   // (nothing can observe past it). Tombstones additionally need
   // drop_tombstones (no older data below the output level).
-  const SequenceNumber smallest_snapshot = SmallestSnapshotLocked();
   std::string prev_user_key;
   bool has_prev = false;
   bool hide_older_versions = false;
+  uint64_t entries_compacted = 0;
   for (iter->SeekToFirst(); iter->Valid(); iter->Next()) {
     ParsedInternalKey parsed;
     if (!ParseInternalKey(iter->key(), &parsed)) {
@@ -554,17 +746,19 @@ Status DB::BuildRun(Iterator* iter, int target_level, bool drop_tombstones,
     } else if (hide_older_versions) {
       continue;  // Superseded below every active snapshot.
     }
-    if (parsed.sequence <= smallest_snapshot) {
+    if (parsed.sequence <= job.smallest_snapshot) {
       hide_older_versions = true;  // Everything older is unobservable.
     }
 
-    if (drop_tombstones && parsed.type == ValueType::kDeletion &&
-        parsed.sequence <= smallest_snapshot) {
+    if (job.drop_tombstones && parsed.type == ValueType::kDeletion &&
+        parsed.sequence <= job.smallest_snapshot) {
       continue;  // Nothing older exists: the tombstone has done its job.
     }
     builder.Add(iter->key(), iter->value());
-    stats_.entries_compacted++;
+    entries_compacted++;
   }
+  counters_.entries_compacted.fetch_add(entries_compacted,
+                                        std::memory_order_relaxed);
   MONKEYDB_RETURN_IF_ERROR(iter->status());
   MONKEYDB_RETURN_IF_ERROR(builder.Finish());
   MONKEYDB_RETURN_IF_ERROR(file->Close());
@@ -575,10 +769,10 @@ Status DB::BuildRun(Iterator* iter, int target_level, bool drop_tombstones,
   }
 
   auto run = std::make_shared<RunMetadata>();
-  run->file_number = file_number;
+  run->file_number = job.file_number;
   run->file_size = builder.file_size();
   run->num_entries = builder.num_entries();
-  run->sequence = last_sequence_;
+  run->sequence = job.run_sequence;
   run->smallest = builder.smallest_key().ToString();
   run->largest = builder.largest_key().ToString();
   MONKEYDB_RETURN_IF_ERROR(OpenTable(run));
@@ -586,14 +780,37 @@ Status DB::BuildRun(Iterator* iter, int target_level, bool drop_tombstones,
   return Status::OK();
 }
 
+Status DB::BuildRun(Iterator* iter, int target_level, bool drop_tombstones,
+                    uint64_t estimated_entries,
+                    const std::set<uint64_t>& replaced_files, RunPtr* out,
+                    std::unique_lock<std::mutex>* io_lock) {
+  out->reset();
+  const CompactionJob job = PrepareJobLocked(target_level, drop_tombstones,
+                                             estimated_entries,
+                                             replaced_files);
+  if (io_lock == nullptr) return BuildRunFromJob(iter, job, out);
+  // Background mode: all the I/O happens with mu_ released, so writers and
+  // readers proceed. The tree itself stays stable — only this worker makes
+  // structural changes.
+  io_lock->unlock();
+  Status s = BuildRunFromJob(iter, job, out);
+  io_lock->lock();
+  return s;
+}
+
 Status DB::LogAndApply(const VersionEdit& edit) {
   VersionEdit full = edit;
-  full.last_sequence = last_sequence_;
+  full.last_sequence = last_sequence_.load(std::memory_order_relaxed);
   full.next_file_number = next_file_number_;
   std::string encoded;
   full.EncodeTo(&encoded);
   MONKEYDB_RETURN_IF_ERROR(
       manifest_->AddRecord(encoded, options_.sync_writes));
+
+  // Make the new tree visible before removing replaced files. Views already
+  // taken keep the old files readable through their open TableReaders
+  // (removal only unlinks the name).
+  PublishViewLocked();
 
   // Physical deletion for files not re-added by the same edit.
   std::set<uint64_t> readded;
@@ -609,30 +826,33 @@ Status DB::LogAndApply(const VersionEdit& edit) {
   return Status::OK();
 }
 
-Status DB::FlushMemTableLocked() {
-  if (mem_->num_entries() == 0) return Status::OK();
-  if (buffer_entries_ == 0) buffer_entries_ = mem_->num_entries();
-  stats_.flushes++;
+Status DB::FlushMemTable(std::shared_ptr<MemTable> mem, bool swap_active,
+                         std::unique_lock<std::mutex>* io_lock) {
+  if (mem->num_entries() == 0) return Status::OK();
+  if (buffer_entries_.load(std::memory_order_relaxed) == 0) {
+    buffer_entries_.store(mem->num_entries(), std::memory_order_relaxed);
+  }
+  counters_.flushes.fetch_add(1, std::memory_order_relaxed);
 
   if (options_.merge_policy == MergePolicy::kLeveling) {
     // Flush & merge with the Level-1 run in one pass (paper Fig. 3).
     std::vector<std::unique_ptr<Iterator>> children;
-    children.push_back(mem_->NewIterator());
+    children.push_back(mem->NewIterator());
     VersionEdit edit;
-    const std::vector<RunPtr>& level1 = current_.RunsAt(1);
+    const std::vector<RunPtr> level1 = current_.RunsAt(1);  // Copy.
     for (const RunPtr& run : level1) {
       children.push_back(run->table->NewIterator());
       edit.deleted_files.push_back(run->file_number);
     }
     std::set<uint64_t> replaced(edit.deleted_files.begin(),
                                 edit.deleted_files.end());
-    uint64_t estimate = mem_->num_entries();
+    uint64_t estimate = mem->num_entries();
     for (const RunPtr& run : level1) estimate += run->num_entries;
     auto merged =
         NewMergingIterator(&internal_comparator_, std::move(children));
     RunPtr out;
     MONKEYDB_RETURN_IF_ERROR(BuildRun(merged.get(), 1, CanDropTombstones(1),
-                                      estimate, replaced, &out));
+                                      estimate, replaced, &out, io_lock));
     if (out != nullptr) {
       VersionEdit::AddedRun added;
       added.level = 1;
@@ -649,19 +869,22 @@ Status DB::FlushMemTableLocked() {
     current_.EnsureLevel(1);
     (*levels)[0].clear();
     if (out != nullptr) (*levels)[0].push_back(out);
-    mem_ = std::make_shared<MemTable>(internal_comparator_);
+    if (swap_active) mem_ = std::make_shared<MemTable>(internal_comparator_);
     MONKEYDB_RETURN_IF_ERROR(LogAndApply(edit));
-    return CascadeLeveling(out);
+    return CascadeLeveling(out, io_lock);
   }
 
   // Tiering and lazy leveling: the flushed run lands at Level 1 as-is.
-  auto mem_iter = mem_->NewIterator();
+  auto mem_iter = mem->NewIterator();
   RunPtr out;
   MONKEYDB_RETURN_IF_ERROR(BuildRun(
       mem_iter.get(), 1,
       CanDropTombstones(1) && current_.RunsAt(1).empty(),
-      mem_->num_entries(), {}, &out));
-  mem_ = std::make_shared<MemTable>(internal_comparator_);
+      mem->num_entries(), {}, &out, io_lock));
+  if (swap_active) {
+    mem_ = std::make_shared<MemTable>(internal_comparator_);
+    PublishViewLocked();
+  }
   if (out != nullptr) {
     current_.EnsureLevel(1);
     auto& level1 = (*current_.mutable_levels())[0];
@@ -679,12 +902,13 @@ Status DB::FlushMemTableLocked() {
     MONKEYDB_RETURN_IF_ERROR(LogAndApply(edit));
   }
   if (options_.merge_policy == MergePolicy::kLazyLeveling) {
-    return CascadeLazyLeveling();
+    return CascadeLazyLeveling(io_lock);
   }
-  return CascadeTiering();
+  return CascadeTiering(io_lock);
 }
 
-Status DB::CascadeLeveling(RunPtr incoming) {
+Status DB::CascadeLeveling(RunPtr incoming,
+                           std::unique_lock<std::mutex>* io_lock) {
   // After a merge into level i, if the level exceeds its capacity, its run
   // moves to level i+1 (merging with the resident run, if any).
   int level = 1;
@@ -696,7 +920,7 @@ Status DB::CascadeLeveling(RunPtr incoming) {
 
     const int next_level = level + 1;
     current_.EnsureLevel(next_level);
-    const std::vector<RunPtr>& next_runs = current_.RunsAt(next_level);
+    const std::vector<RunPtr> next_runs = current_.RunsAt(next_level);  // Copy.
     VersionEdit edit;
 
     if (next_runs.empty()) {
@@ -718,7 +942,7 @@ Status DB::CascadeLeveling(RunPtr incoming) {
       (*levels)[next_level - 1].push_back(run);
       MONKEYDB_RETURN_IF_ERROR(LogAndApply(edit));
     } else {
-      stats_.merges++;
+      counters_.merges.fetch_add(1, std::memory_order_relaxed);
       std::vector<std::unique_ptr<Iterator>> children;
       children.push_back(run->table->NewIterator());
       edit.deleted_files.push_back(run->file_number);
@@ -737,7 +961,7 @@ Status DB::CascadeLeveling(RunPtr incoming) {
       RunPtr out;
       MONKEYDB_RETURN_IF_ERROR(BuildRun(merged.get(), next_level,
                                         CanDropTombstones(next_level),
-                                        estimate, replaced, &out));
+                                        estimate, replaced, &out, io_lock));
       if (out != nullptr) {
         VersionEdit::AddedRun added;
         added.level = next_level;
@@ -760,7 +984,7 @@ Status DB::CascadeLeveling(RunPtr incoming) {
   return Status::OK();
 }
 
-Status DB::CascadeTiering() {
+Status DB::CascadeTiering(std::unique_lock<std::mutex>* io_lock) {
   // When the T-th run arrives at a level, merge all of its runs into one
   // run at the next level (paper Fig. 3).
   const int trigger =
@@ -772,7 +996,7 @@ Status DB::CascadeTiering() {
       level++;
       continue;
     }
-    stats_.merges++;
+    counters_.merges.fetch_add(1, std::memory_order_relaxed);
     const int next_level = level + 1;
     current_.EnsureLevel(next_level);
 
@@ -792,7 +1016,7 @@ Status DB::CascadeTiering() {
     const bool drop = CanDropTombstones(next_level) &&
                       current_.RunsAt(next_level).empty();
     MONKEYDB_RETURN_IF_ERROR(BuildRun(merged.get(), next_level, drop,
-                                      estimate, replaced, &out));
+                                      estimate, replaced, &out, io_lock));
     if (out != nullptr) {
       VersionEdit::AddedRun added;
       added.level = next_level;
@@ -824,7 +1048,7 @@ Status DB::CascadeTiering() {
 //  (2) the largest level always collapses to a single run;
 //  (3) when the largest level's run outgrows its capacity it moves down,
 //      founding a new largest level.
-Status DB::CascadeLazyLeveling() {
+Status DB::CascadeLazyLeveling(std::unique_lock<std::mutex>* io_lock) {
   const int trigger =
       std::max(2, static_cast<int>(std::llround(options_.size_ratio)));
   bool changed = true;
@@ -838,7 +1062,7 @@ Status DB::CascadeLazyLeveling() {
       if (level == deepest) {
         if (runs.size() > 1) {
           // Rule (2): collapse the largest level into one run.
-          stats_.merges++;
+          counters_.merges.fetch_add(1, std::memory_order_relaxed);
           VersionEdit edit;
           std::vector<std::unique_ptr<Iterator>> children;
           for (const RunPtr& run : runs) {
@@ -854,7 +1078,8 @@ Status DB::CascadeLazyLeveling() {
           RunPtr out;
           MONKEYDB_RETURN_IF_ERROR(BuildRun(merged.get(), level,
                                             CanDropTombstones(level),
-                                            estimate, replaced, &out));
+                                            estimate, replaced, &out,
+                                            io_lock));
           auto* levels = current_.mutable_levels();
           (*levels)[level - 1].clear();
           if (out != nullptr) {
@@ -904,7 +1129,7 @@ Status DB::CascadeLazyLeveling() {
         // Rule (1): merge this level's runs into the next level. Only the
         // largest level absorbs its resident run (leveled landing);
         // intermediate levels receive the merged run as a new tiered run.
-        stats_.merges++;
+        counters_.merges.fetch_add(1, std::memory_order_relaxed);
         const int next_level = level + 1;
         current_.EnsureLevel(next_level);
         const bool absorb_next = (next_level == deepest);
@@ -931,7 +1156,7 @@ Status DB::CascadeLazyLeveling() {
         const bool drop = CanDropTombstones(next_level) &&
                           (absorb_next || current_.RunsAt(next_level).empty());
         MONKEYDB_RETURN_IF_ERROR(BuildRun(merged.get(), next_level, drop,
-                                          estimate, replaced, &out));
+                                          estimate, replaced, &out, io_lock));
         auto* levels = current_.mutable_levels();
         (*levels)[level - 1].clear();
         if (absorb_next) (*levels)[next_level - 1].clear();
@@ -960,21 +1185,37 @@ Status DB::CascadeLazyLeveling() {
 // --- Stats ---
 
 DbStats DB::GetStats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  DbStats stats = stats_;
-  stats.memtable_entries = mem_->num_entries();
-  stats.total_disk_entries = current_.TotalEntries();
-  stats.total_runs = current_.TotalRuns();
-  stats.deepest_level = current_.DeepestNonEmptyLevel();
-  stats.filter_bits_total = current_.TotalFilterBits();
-  for (int level = 1; level <= current_.NumLevels(); level++) {
+  const std::shared_ptr<const ReadView> view = CurrentView();
+  const Version& version = *view->version;
+
+  DbStats stats;
+  stats.gets = counters_.gets.load(std::memory_order_relaxed);
+  stats.runs_probed = counters_.runs_probed.load(std::memory_order_relaxed);
+  stats.filter_negatives =
+      counters_.filter_negatives.load(std::memory_order_relaxed);
+  stats.false_positives =
+      counters_.false_positives.load(std::memory_order_relaxed);
+  stats.flushes = counters_.flushes.load(std::memory_order_relaxed);
+  stats.merges = counters_.merges.load(std::memory_order_relaxed);
+  stats.entries_compacted =
+      counters_.entries_compacted.load(std::memory_order_relaxed);
+  stats.write_slowdowns =
+      counters_.write_slowdowns.load(std::memory_order_relaxed);
+  stats.write_stalls = counters_.write_stalls.load(std::memory_order_relaxed);
+
+  stats.memtable_entries = view->MemEntries();
+  stats.total_disk_entries = version.TotalEntries();
+  stats.total_runs = version.TotalRuns();
+  stats.deepest_level = version.DeepestNonEmptyLevel();
+  stats.filter_bits_total = version.TotalFilterBits();
+  for (int level = 1; level <= version.NumLevels(); level++) {
     uint64_t entries = 0, bits = 0;
-    for (const RunPtr& run : current_.RunsAt(level)) {
+    for (const RunPtr& run : version.RunsAt(level)) {
       entries += run->num_entries;
       if (run->table != nullptr) bits += run->table->filter_size_bits();
     }
     stats.entries_per_level.push_back(entries);
-    stats.runs_per_level.push_back(current_.RunsAt(level).size());
+    stats.runs_per_level.push_back(version.RunsAt(level).size());
     stats.filter_bits_per_level.push_back(bits);
   }
   return stats;
@@ -1027,13 +1268,14 @@ std::string DB::DebugString() const {
 }
 
 uint64_t DB::ApproximateSize(const Slice& start, const Slice& limit) const {
-  std::lock_guard<std::mutex> lock(mu_);
   if (internal_comparator_.user_comparator()->Compare(start, limit) >= 0) {
     return 0;
   }
+  const std::shared_ptr<const ReadView> view = CurrentView();
+  const Version& version = *view->version;
   uint64_t total = 0;
-  for (int level = 1; level <= current_.NumLevels(); level++) {
-    for (const RunPtr& run : current_.RunsAt(level)) {
+  for (int level = 1; level <= version.NumLevels(); level++) {
+    for (const RunPtr& run : version.RunsAt(level)) {
       const Slice run_smallest = ExtractUserKey(Slice(run->smallest));
       const Slice run_largest = ExtractUserKey(Slice(run->largest));
       const Comparator* cmp = internal_comparator_.user_comparator();
@@ -1080,7 +1322,13 @@ uint64_t DB::ApproximateSize(const Slice& start, const Slice& limit) const {
 }
 
 Status DB::Checkpoint(const std::string& target_dir) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::mutex> lock(mu_);
+  if (options_.background_compaction) {
+    // Drain frozen memtables so the copy includes every buffer that has
+    // left the active memtable (and so the worker cannot swap files
+    // underneath the copy loop).
+    MONKEYDB_RETURN_IF_ERROR(WaitForDrain(lock));
+  }
   MONKEYDB_RETURN_IF_ERROR(options_.env->CreateDir(target_dir));
 
   auto copy_file = [&](const std::string& from,
@@ -1119,7 +1367,7 @@ Status DB::Checkpoint(const std::string& target_dir) {
       snapshot.added.push_back(std::move(added));
     }
   }
-  snapshot.last_sequence = last_sequence_;
+  snapshot.last_sequence = last_sequence_.load(std::memory_order_relaxed);
   snapshot.next_file_number = next_file_number_;
 
   // 2. Copy value-log segments (handles in the runs reference them).
@@ -1133,8 +1381,8 @@ Status DB::Checkpoint(const std::string& target_dir) {
     }
   }
 
-  // 3. Write the manifest snapshot. The memtable is NOT included: the
-  // checkpoint captures everything up to the last flush (call Flush()
+  // 3. Write the manifest snapshot. The active memtable is NOT included:
+  // the checkpoint captures everything up to the last flush (call Flush()
   // first for an up-to-the-write checkpoint).
   std::unique_ptr<WritableFile> mfile;
   MONKEYDB_RETURN_IF_ERROR(
@@ -1147,12 +1395,12 @@ Status DB::Checkpoint(const std::string& target_dir) {
 }
 
 LsmShape DB::CurrentShape() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  const std::shared_ptr<const ReadView> view = CurrentView();
   LsmShape shape;
-  shape.total_entries = current_.TotalEntries() + mem_->num_entries();
-  shape.buffer_entries = buffer_entries_;
+  shape.total_entries = view->version->TotalEntries() + view->MemEntries();
+  shape.buffer_entries = buffer_entries_.load(std::memory_order_relaxed);
   shape.size_ratio = options_.size_ratio;
-  shape.num_levels = std::max(1, current_.DeepestNonEmptyLevel());
+  shape.num_levels = std::max(1, view->version->DeepestNonEmptyLevel());
   shape.merge_policy = options_.merge_policy;
   shape.bits_per_entry_budget = options_.bits_per_entry;
   return shape;

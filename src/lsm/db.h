@@ -1,19 +1,34 @@
 // DB: the public key-value store API over the LSM-tree engine.
 //
-// Single-threaded by design (operations are internally serialized with a
-// mutex): compactions run synchronously inside the writing thread, exactly
-// like the amortized model in the paper. The engine supports both merge
-// policies (leveling/tiering), any size ratio T >= 2, any buffer size, and
-// pluggable Bloom-filter memory allocation (uniform vs Monkey).
+// Threading model (full discussion in DESIGN.md "Threading"):
+//  - The read path (Get, NewIterator, GetStats, DebugString,
+//    ApproximateSize, CurrentShape) never blocks on the writer mutex or on
+//    in-flight compactions: it snapshots an immutable, reference-counted
+//    ReadView (memtable + frozen memtables + runs) — the only shared state
+//    touched is a pointer copy under a dedicated micro-mutex — and performs
+//    every filter probe and block read with no lock held at all.
+//  - Writers serialize behind mu_. With background_compaction=false (the
+//    default), flushes and cascading merges run synchronously inside the
+//    writing thread, exactly like the amortized model in the paper.
+//  - With background_compaction=true, a full memtable is frozen onto an
+//    immutable-memtable queue and flushed (plus cascades) by a background
+//    worker; writers experience slowdown/stall backpressure only when the
+//    queue fills.
+// The engine supports both merge policies (leveling/tiering), any size
+// ratio T >= 2, any buffer size, and pluggable Bloom-filter memory
+// allocation (uniform vs Monkey).
 
 #ifndef MONKEYDB_LSM_DB_H_
 #define MONKEYDB_LSM_DB_H_
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <set>
 #include <mutex>
+#include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "lsm/internal_key.h"
@@ -30,7 +45,7 @@ namespace monkeydb {
 
 // Aggregate statistics for experiments and debugging.
 struct DbStats {
-  uint64_t memtable_entries = 0;
+  uint64_t memtable_entries = 0;  // Active + frozen memtables.
   uint64_t total_disk_entries = 0;
   uint64_t total_runs = 0;
   int deepest_level = 0;
@@ -49,6 +64,10 @@ struct DbStats {
   uint64_t flushes = 0;
   uint64_t merges = 0;
   uint64_t entries_compacted = 0;
+
+  // Writer-backpressure counters since Open (background mode only).
+  uint64_t write_slowdowns = 0;
+  uint64_t write_stalls = 0;
 };
 
 class DB {
@@ -77,15 +96,18 @@ class DB {
   void ReleaseSnapshot(const Snapshot* snapshot);
 
   // Point lookup. Returns NotFound if the key does not exist or was
-  // deleted.
+  // deleted. Never blocks on the writer mutex or in-flight compactions.
   Status Get(const ReadOptions& options, const Slice& key,
              std::string* value);
 
   // Forward iteration over live user keys (newest visible version, no
-  // tombstones). SeekToLast/Prev are not supported.
+  // tombstones). SeekToLast/Prev are not supported. The iterator reads a
+  // pinned snapshot of the tree and never blocks writers or compactions.
   std::unique_ptr<Iterator> NewIterator(const ReadOptions& options);
 
-  // Forces the memtable to disk (flush + cascading merges per policy).
+  // Forces the memtable to disk (flush + cascading merges per policy). In
+  // background mode this drains the whole immutable-memtable queue before
+  // returning.
   Status Flush();
 
   // Full compaction: merges the memtable and every run into a single run at
@@ -104,7 +126,9 @@ class DB {
 
   // Writes a consistent copy of the database (runs + manifest snapshot +
   // value-log segments) into `target_dir` on the same Env. The copy can be
-  // opened as an independent database.
+  // opened as an independent database. In background mode the immutable-
+  // memtable queue is drained first so the copy includes every frozen
+  // buffer.
   Status Checkpoint(const std::string& target_dir);
 
   // The current tree geometry, as fed to the FPR allocation policy.
@@ -115,34 +139,94 @@ class DB {
  private:
   DB(const DbOptions& options, std::string name);
 
+  // A frozen memtable awaiting a background flush, plus the WAL file that
+  // makes it durable until the flush completes.
+  struct ImmEntry {
+    std::shared_ptr<MemTable> mem;
+    uint64_t wal_number = 0;
+  };
+
+  // Everything BuildRunFromJob needs, captured under mu_ so the actual run
+  // construction (all the I/O) can run with mu_ released.
+  struct CompactionJob {
+    int target_level = 1;
+    bool drop_tombstones = false;
+    uint64_t file_number = 0;
+    double fpr = 1.0;
+    SequenceNumber smallest_snapshot = 0;
+    SequenceNumber run_sequence = 0;
+  };
+
   Status Recover();
   Status ReplayWal(const std::string& wal_path);
-  Status NewWal();
+
+  // Rotates to a fresh numbered WAL file. Does not delete the previous one
+  // (its memtable may still be in flight). REQUIRES: mu_ held.
+  Status NewWalLocked();
+  std::string WalFileName(uint64_t number) const;
 
   Status WriteInternal(const WriteOptions& options, ValueType type,
                        const Slice& key, const Slice& value);
 
-  // Flush + cascade, per merge policy. REQUIRES: mu_ held.
-  Status FlushMemTableLocked();
-  Status CascadeLeveling(RunPtr incoming);
-  Status CascadeTiering();
-  Status CascadeLazyLeveling();
+  // Memtable-full handling shared by Put/Delete/Write. Synchronous mode
+  // flushes inline; background mode freezes the memtable (with
+  // backpressure) and wakes the worker. REQUIRES: lock held on mu_; may
+  // release and reacquire it.
+  Status MaybeCompactBuffer(std::unique_lock<std::mutex>& lock);
+
+  // Freezes the active memtable onto the immutable queue, rotating the WAL
+  // and applying slowdown/stall backpressure when the queue is full.
+  // REQUIRES: lock held on mu_; may release and reacquire it.
+  Status SwitchMemTable(std::unique_lock<std::mutex>& lock);
+
+  // Flushes `mem` to Level 1 per the merge policy, then cascades. If
+  // swap_active, the active memtable is replaced with a fresh one once its
+  // Level-1 run is built (synchronous mode); background mode passes the
+  // frozen memtable and manages its queue entry itself. io_lock, when
+  // non-null, is released around every run build (background mode) so
+  // writers and readers proceed during the I/O. mem is taken by value: the
+  // active-memtable caller passes mem_, which this function reassigns.
+  // REQUIRES: mu_ held (via io_lock when non-null).
+  Status FlushMemTable(std::shared_ptr<MemTable> mem, bool swap_active,
+                       std::unique_lock<std::mutex>* io_lock);
+
+  // Synchronous-mode flush of the active memtable + WAL rotation.
+  // REQUIRES: mu_ held.
+  Status FlushActiveMemTableLocked();
+
+  Status CascadeLeveling(RunPtr incoming,
+                         std::unique_lock<std::mutex>* io_lock);
+  Status CascadeTiering(std::unique_lock<std::mutex>* io_lock);
+  Status CascadeLazyLeveling(std::unique_lock<std::mutex>* io_lock);
+
+  // Captures the post-compaction tree geometry, resolves the FPR for the
+  // output run, and allocates its file number. REQUIRES: mu_ held.
+  CompactionJob PrepareJobLocked(int target_level, bool drop_tombstones,
+                                 uint64_t estimated_entries,
+                                 const std::set<uint64_t>& replaced_files);
 
   // Builds a new on-disk run from iter (which yields internal keys in
-  // order), installing its Bloom filter per the FPR policy for
-  // target_level. Drops superseded versions; drops tombstones iff
-  // drop_tombstones. estimated_entries is an upper bound on the output
-  // size and replaced_files lists the runs this compaction consumes; both
-  // feed the FPR policy's view of the post-compaction tree geometry.
+  // order) according to job. Touches no mu_-guarded state: callers may
+  // drop mu_ around it.
+  Status BuildRunFromJob(Iterator* iter, const CompactionJob& job,
+                         RunPtr* out);
+
+  // PrepareJobLocked + BuildRunFromJob. estimated_entries is an upper
+  // bound on the output size and replaced_files lists the runs this
+  // compaction consumes; both feed the FPR policy's view of the
+  // post-compaction tree geometry. When io_lock is non-null, mu_ is
+  // released during the build. REQUIRES: mu_ held.
   Status BuildRun(Iterator* iter, int target_level, bool drop_tombstones,
                   uint64_t estimated_entries,
-                  const std::set<uint64_t>& replaced_files, RunPtr* out);
+                  const std::set<uint64_t>& replaced_files, RunPtr* out,
+                  std::unique_lock<std::mutex>* io_lock);
 
   // True iff nothing older than output_level exists, so tombstones and all
   // superseded entries can be dropped.
   bool CanDropTombstones(int output_level) const;
 
-  // Appends edit to the manifest and applies it to current_.
+  // Appends edit to the manifest, applies it to current_, and publishes a
+  // new ReadView. REQUIRES: mu_ held.
   Status LogAndApply(const VersionEdit& edit);
 
   uint64_t LevelCapacityEntries(int level) const;
@@ -153,6 +237,32 @@ class DB {
   std::string TableFileName(uint64_t number) const;
   Status OpenTable(RunPtr run);
 
+  // --- Read-path snapshot publication ---
+
+  // Rebuilds the published ReadView from mem_/imm_/current_.
+  // REQUIRES: mu_ held.
+  void PublishViewLocked();
+  std::shared_ptr<const ReadView> CurrentView() const {
+    // view_mu_ is held only for this pointer copy (it is NOT mu_ — the
+    // read path still never waits on writers or compactions).
+    // std::atomic<std::shared_ptr> would express this directly, but
+    // libstdc++ 12's _Sp_atomic::load unlocks its spinlock with a relaxed
+    // fetch_sub, which TSan (correctly, per the memory model) flags as a
+    // data race against the next store's pointer write.
+    std::lock_guard<std::mutex> lock(view_mu_);
+    return view_;
+  }
+
+  // --- Background worker ---
+
+  void BackgroundMain();
+  // Flushes the oldest frozen memtable (releasing the lock during I/O),
+  // then retires it and its WAL. REQUIRES: lock held on mu_.
+  Status FlushOldestImmutable(std::unique_lock<std::mutex>& lock);
+  // Blocks until the immutable queue is empty and the worker is idle.
+  // REQUIRES: lock held on mu_.
+  Status WaitForDrain(std::unique_lock<std::mutex>& lock);
+
   const DbOptions options_;
   const std::string name_;
   InternalKeyComparator internal_comparator_;
@@ -162,20 +272,57 @@ class DB {
   // mu_ held.
   SequenceNumber SmallestSnapshotLocked() const;
 
+  // Writer/metadata mutex. Guards mem_/imm_ membership, snapshots_,
+  // next_file_number_, wal_/manifest_ appends, and every structural change
+  // to current_. The read path never takes it.
   mutable std::mutex mu_;
   std::shared_ptr<MemTable> mem_;
+  std::vector<ImmEntry> imm_;  // Newest first.
   std::multiset<SequenceNumber> snapshots_;
-  SequenceNumber last_sequence_ = 0;
+  std::atomic<SequenceNumber> last_sequence_{0};
   uint64_t next_file_number_ = 1;
-  uint64_t buffer_entries_ = 0;  // B·P: set from the first flush.
+  uint64_t wal_number_ = 0;
+  std::atomic<uint64_t> buffer_entries_{0};  // B·P: set from first flush.
 
+  // Master tree state, mutated only under mu_ by the thread performing
+  // structural work (in background mode, only the worker or a drained
+  // maintenance op — so it is stable across the worker's unlock windows).
   Version current_;
+  // Immutable snapshot for the read path; replaced on every structural
+  // change. view_mu_ guards only the pointer swap itself and is never held
+  // across probes, merges, or I/O (see CurrentView for why this is not an
+  // std::atomic<std::shared_ptr>).
+  mutable std::mutex view_mu_;
+  std::shared_ptr<const ReadView> view_;
+
   std::unique_ptr<ValueLog> vlog_;  // Non-null iff separation is enabled.
   std::unique_ptr<WalWriter> wal_;
   std::unique_ptr<WalWriter> manifest_;
 
-  // Mutable pieces of DbStats.
-  mutable DbStats stats_;
+  // Background flush/compaction state (background mode only). Shutdown
+  // ordering: ~DB sets shutting_down_ under mu_, wakes both cvs, joins the
+  // worker, and only then tears members down, so the worker never touches
+  // a dead Env or Version.
+  std::thread bg_thread_;
+  std::condition_variable bg_work_cv_;  // Signals the worker: work/shutdown.
+  std::condition_variable bg_done_cv_;  // Signals writers: progress made.
+  bool worker_busy_ = false;            // REQUIRES mu_.
+  bool shutting_down_ = false;          // REQUIRES mu_.
+  Status bg_error_;                     // Sticky; surfaced on writes.
+
+  // Lock-free operation counters (the mutable pieces of DbStats).
+  struct Counters {
+    std::atomic<uint64_t> gets{0};
+    std::atomic<uint64_t> runs_probed{0};
+    std::atomic<uint64_t> filter_negatives{0};
+    std::atomic<uint64_t> false_positives{0};
+    std::atomic<uint64_t> flushes{0};
+    std::atomic<uint64_t> merges{0};
+    std::atomic<uint64_t> entries_compacted{0};
+    std::atomic<uint64_t> write_slowdowns{0};
+    std::atomic<uint64_t> write_stalls{0};
+  };
+  mutable Counters counters_;
 
   friend class DbIterator;
 };

@@ -13,14 +13,13 @@ class DbIterator : public Iterator {
  public:
   DbIterator(const DB* db, const InternalKeyComparator* comparator,
              std::unique_ptr<Iterator> internal_iter,
-             SequenceNumber sequence, std::shared_ptr<MemTable> pinned_mem,
-             std::vector<RunPtr> pinned_runs)
+             SequenceNumber sequence,
+             std::shared_ptr<const ReadView> pinned_view)
       : db_(db),
         comparator_(comparator),
         iter_(std::move(internal_iter)),
         sequence_(sequence),
-        pinned_mem_(std::move(pinned_mem)),
-        pinned_runs_(std::move(pinned_runs)) {}
+        pinned_view_(std::move(pinned_view)) {}
 
   bool Valid() const override { return valid_; }
 
@@ -110,8 +109,9 @@ class DbIterator : public Iterator {
   std::unique_ptr<Iterator> iter_;
   SequenceNumber sequence_;
   Status status_;
-  std::shared_ptr<MemTable> pinned_mem_;
-  std::vector<RunPtr> pinned_runs_;  // Keep TableReaders alive.
+  // Keeps every memtable and TableReader under iter_ alive, even after
+  // compactions replace the tree.
+  std::shared_ptr<const ReadView> pinned_view_;
 
   bool valid_ = false;
   bool has_skip_ = false;
@@ -121,24 +121,29 @@ class DbIterator : public Iterator {
 };
 
 std::unique_ptr<Iterator> DB::NewIterator(const ReadOptions& options) {
-  std::lock_guard<std::mutex> lock(mu_);
+  // Lock-free: pin a published ReadView; the sequence is loaded first so
+  // the view (at least as new) is guaranteed to contain every entry at or
+  // below it.
+  const SequenceNumber read_seq =
+      options.snapshot != nullptr
+          ? options.snapshot->sequence()
+          : last_sequence_.load(std::memory_order_acquire);
+  std::shared_ptr<const ReadView> view = CurrentView();
   std::vector<std::unique_ptr<Iterator>> children;
-  std::vector<RunPtr> pinned;
-  children.push_back(mem_->NewIterator());
-  for (int level = 1; level <= current_.NumLevels(); level++) {
-    for (const RunPtr& run : current_.RunsAt(level)) {
+  for (const MemTable* mem : view->MemTables()) {
+    children.push_back(mem->NewIterator());
+  }
+  const Version& version = *view->version;
+  for (int level = 1; level <= version.NumLevels(); level++) {
+    for (const RunPtr& run : version.RunsAt(level)) {
       children.push_back(run->table->NewIterator());
-      pinned.push_back(run);
     }
   }
-  const SequenceNumber read_seq = options.snapshot != nullptr
-                                      ? options.snapshot->sequence()
-                                      : last_sequence_;
   auto merged =
       NewMergingIterator(&internal_comparator_, std::move(children));
   return std::make_unique<DbIterator>(this, &internal_comparator_,
-                                      std::move(merged), read_seq, mem_,
-                                      std::move(pinned));
+                                      std::move(merged), read_seq,
+                                      std::move(view));
 }
 
 }  // namespace monkeydb

@@ -62,6 +62,23 @@ struct DbOptions {
   // current fill level — this is how the paper's experiments configure
   // Monkey. 0 = adapt dynamically as the tree grows.
   uint64_t expected_entries = 0;
+
+  // --- Threading (see DESIGN.md "Threading") ---
+
+  // Run flushes and cascading merges on a background worker thread. A full
+  // memtable is frozen into an immutable-memtable queue and the writer
+  // continues into a fresh memtable; writers slow down and then stall only
+  // when the queue reaches max_immutable_memtables. Off by default: the
+  // synchronous mode keeps compactions on the writing thread with a
+  // deterministic per-operation I/O schedule, which the model-validation
+  // tests and figure benches rely on.
+  bool background_compaction = false;
+
+  // Capacity of the immutable-memtable queue (frozen memtables awaiting a
+  // background flush). The writer is briefly slowed once the queue is one
+  // short of full and stalls while it is full. Only used when
+  // background_compaction is true. Must be >= 1.
+  int max_immutable_memtables = 2;
 };
 
 class Snapshot;

@@ -15,6 +15,8 @@
 #include <vector>
 
 #include "io/env.h"
+#include "lsm/internal_key.h"
+#include "memtable/memtable.h"
 #include "sstable/table_reader.h"
 #include "util/status.h"
 
@@ -35,6 +37,11 @@ using RunPtr = std::shared_ptr<RunMetadata>;
 
 // The levels of the tree. levels()[0] corresponds to Level 1 in the paper's
 // numbering (index i holds Level i+1).
+//
+// Concurrency: the engine keeps one master Version that is only mutated
+// under the writer/compaction locks, and publishes immutable copies to
+// readers via ReadView (below). Copying is cheap — levels hold shared_ptrs
+// to immutable runs, so a copy shares every run and TableReader.
 class Version {
  public:
   const std::vector<std::vector<RunPtr>>& levels() const { return levels_; }
@@ -63,6 +70,28 @@ class Version {
 
  private:
   std::vector<std::vector<RunPtr>> levels_;
+};
+
+// A consistent, immutable snapshot of the whole tree as seen by the read
+// path: the active memtable, any frozen (immutable) memtables awaiting a
+// background flush (newest first), and the disk-resident runs. The engine
+// publishes a new ReadView (a pointer swap under a dedicated micro-mutex,
+// never held across I/O) after every structural change;
+// Get/NewIterator/GetStats copy the pointer once and then probe
+// filters and read blocks without holding any lock. Every component is
+// reference-counted, so a view stays valid (and its run files readable —
+// Envs keep removed-but-open files alive, POSIX unlink semantics) even
+// after compactions replace the tree underneath it.
+struct ReadView {
+  std::shared_ptr<MemTable> mem;
+  std::vector<std::shared_ptr<MemTable>> imm;  // Newest first.
+  std::shared_ptr<const Version> version;
+
+  // Entries buffered in memory (active + immutable memtables).
+  uint64_t MemEntries() const;
+
+  // Every memtable in probe order: active first, then frozen newest-first.
+  std::vector<const MemTable*> MemTables() const;
 };
 
 // --- Manifest: a log of version edits for recovery ---

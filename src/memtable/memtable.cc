@@ -63,11 +63,11 @@ void MemTable::Add(SequenceNumber seq, ValueType type, const Slice& key,
 
   assert(p == buf + encoded_len);
   table_.Insert(buf);
-  num_entries_++;
+  num_entries_.fetch_add(1, std::memory_order_relaxed);
 }
 
 Status MemTable::Get(const LookupKey& lookup, std::string* value,
-                     bool* found_entry, ValueType* type) {
+                     bool* found_entry, ValueType* type) const {
   *found_entry = false;
   // Build a seek key in the memtable's encoded format.
   std::string seek_key;

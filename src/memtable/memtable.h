@@ -7,6 +7,7 @@
 #ifndef MONKEYDB_MEMTABLE_MEMTABLE_H_
 #define MONKEYDB_MEMTABLE_MEMTABLE_H_
 
+#include <atomic>
 #include <memory>
 #include <string>
 
@@ -17,6 +18,10 @@
 
 namespace monkeydb {
 
+// Concurrency: Add requires external writer serialization (the engine's
+// writer lock); Get, NewIterator, num_entries, and ApproximateMemoryUsage
+// are safe to call concurrently with one writer and never block (the
+// skiplist publishes nodes with release/acquire links).
 class MemTable {
  public:
   explicit MemTable(const InternalKeyComparator& comparator);
@@ -37,13 +42,15 @@ class MemTable {
   // If type != nullptr, receives the found entry's ValueType (so callers
   // can resolve value-log handles).
   Status Get(const LookupKey& lookup, std::string* value, bool* found_entry,
-             ValueType* type = nullptr);
+             ValueType* type = nullptr) const;
 
   // Bytes of memory used (arena footprint) — the live M_buffer occupancy.
   size_t ApproximateMemoryUsage() const { return arena_.MemoryUsage(); }
 
   // Number of entries added.
-  uint64_t num_entries() const { return num_entries_; }
+  uint64_t num_entries() const {
+    return num_entries_.load(std::memory_order_relaxed);
+  }
 
   // Iterates over internal keys in sorted order. key() returns the internal
   // key; value() the user value (empty for tombstones).
@@ -62,7 +69,7 @@ class MemTable {
   KeyComparator comparator_;
   Arena arena_;
   Table table_;
-  uint64_t num_entries_ = 0;
+  std::atomic<uint64_t> num_entries_{0};
 };
 
 }  // namespace monkeydb

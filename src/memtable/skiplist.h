@@ -1,10 +1,16 @@
 // SkipList: ordered in-memory index backing the memtable (the paper's
 // Level-0 buffer). Single-writer, arena-allocated; nodes are never removed
 // until the whole arena is dropped at flush time.
+//
+// Concurrency: one writer (externally serialized) and any number of
+// readers, with no reader-side locking. Node links are released with
+// store(release) and traversed with load(acquire), so a reader that
+// observes a link observes a fully initialized node (LevelDB's scheme).
 
 #ifndef MONKEYDB_MEMTABLE_SKIPLIST_H_
 #define MONKEYDB_MEMTABLE_SKIPLIST_H_
 
+#include <atomic>
 #include <cassert>
 #include <cstdint>
 
@@ -30,21 +36,27 @@ class SkipList {
   SkipList(const SkipList&) = delete;
   SkipList& operator=(const SkipList&) = delete;
 
-  // Inserts key. REQUIRES: no equal key is already present.
+  // Inserts key. REQUIRES: no equal key is already present, and external
+  // synchronization among writers (the engine's writer lock).
   void Insert(const Key& key) {
     Node* prev[kMaxHeight];
     Node* x = FindGreaterOrEqual(key, prev);
     assert(x == nullptr || compare_(key, x->key) != 0);
 
     const int height = RandomHeight();
-    if (height > max_height_) {
-      for (int i = max_height_; i < height; i++) prev[i] = head_;
-      max_height_ = height;
+    if (height > GetMaxHeight()) {
+      for (int i = GetMaxHeight(); i < height; i++) prev[i] = head_;
+      // Concurrent readers observing the new height before the new node is
+      // linked just fall through head_'s null links at the upper levels.
+      max_height_.store(height, std::memory_order_relaxed);
     }
 
     x = NewNode(key, height);
     for (int i = 0; i < height; i++) {
-      x->SetNext(i, prev[i]->Next(i));
+      // The node is published level by level; NoBarrier is fine for the new
+      // node's own links because the release store in SetNext below
+      // publishes them together with the node's contents.
+      x->NoBarrierSetNext(i, prev[i]->NoBarrierNext(i));
       prev[i]->SetNext(i, x);
     }
   }
@@ -103,21 +115,32 @@ class SkipList {
 
     Node* Next(int n) const {
       assert(n >= 0);
-      return next_[n];
+      return next_[n].load(std::memory_order_acquire);
     }
     void SetNext(int n, Node* x) {
       assert(n >= 0);
-      next_[n] = x;
+      next_[n].store(x, std::memory_order_release);
+    }
+    // Writer-only variants (no fences needed under the writer lock).
+    Node* NoBarrierNext(int n) const {
+      return next_[n].load(std::memory_order_relaxed);
+    }
+    void NoBarrierSetNext(int n, Node* x) {
+      next_[n].store(x, std::memory_order_relaxed);
     }
 
    private:
     // Length of this array equals the node height; allocated inline.
-    Node* next_[1];
+    std::atomic<Node*> next_[1];
   };
 
+  int GetMaxHeight() const {
+    return max_height_.load(std::memory_order_relaxed);
+  }
+
   Node* NewNode(const Key& key, int height) {
-    char* mem = arena_->AllocateAligned(sizeof(Node) +
-                                        sizeof(Node*) * (height - 1));
+    char* mem = arena_->AllocateAligned(
+        sizeof(Node) + sizeof(std::atomic<Node*>) * (height - 1));
     return new (mem) Node(key);
   }
 
@@ -131,7 +154,7 @@ class SkipList {
   // when prev != nullptr.
   Node* FindGreaterOrEqual(const Key& key, Node** prev) const {
     Node* x = head_;
-    int level = max_height_ - 1;
+    int level = GetMaxHeight() - 1;
     while (true) {
       Node* next = x->Next(level);
       if (next != nullptr && compare_(next->key, key) < 0) {
@@ -147,7 +170,7 @@ class SkipList {
   // Returns the last node < key (head_ if none).
   Node* FindLessThan(const Key& key) const {
     Node* x = head_;
-    int level = max_height_ - 1;
+    int level = GetMaxHeight() - 1;
     while (true) {
       Node* next = x->Next(level);
       if (next != nullptr && compare_(next->key, key) < 0) {
@@ -161,7 +184,7 @@ class SkipList {
 
   Node* FindLast() const {
     Node* x = head_;
-    int level = max_height_ - 1;
+    int level = GetMaxHeight() - 1;
     while (true) {
       Node* next = x->Next(level);
       if (next != nullptr) {
@@ -176,7 +199,7 @@ class SkipList {
   Cmp const compare_;
   Arena* const arena_;
   Node* const head_;
-  int max_height_;
+  std::atomic<int> max_height_;
   Random rnd_;
 };
 
