@@ -13,6 +13,16 @@
 // Reports aggregate lookup throughput at 1/2/4/8 reader threads for a
 // read-only and a mixed (1 writer + N readers) workload, and writes
 // BENCH_concurrent.json.
+//
+// A third section measures the write path: 1/2/4/8 writer threads doing
+// Puts over disjoint key ranges, with and without sync, against a device
+// where every WAL append (and fsync) costs wall-clock time. The serialized
+// arm wraps each Put in one external mutex — every write commits alone,
+// like the pre-group-commit engine — while the concurrent arm lets the
+// writer queue coalesce pending batches into one append (and one fsync)
+// per group. Results go to BENCH_write.json.
+//
+// Pass --smoke for a tiny CI-sized run of all three sections.
 
 #include <atomic>
 #include <chrono>
@@ -29,10 +39,18 @@ namespace monkeydb {
 namespace bench {
 namespace {
 
-constexpr int kNumKeys = 20000;
-constexpr int kReadsPerThread = 1200;
 constexpr auto kReadLatency = std::chrono::microseconds(50);
+// Device model for the write section: each WAL append costs 20us of
+// wall-clock time and each fsync 200us, so commit cost — not CPU — is what
+// the write path amortizes.
+constexpr auto kWriteLatency = std::chrono::microseconds(20);
+constexpr auto kSyncLatency = std::chrono::microseconds(200);
 const int kThreadCounts[] = {1, 2, 4, 8};
+
+// Workload sizes; --smoke shrinks them for CI.
+int g_num_keys = 20000;
+int g_reads_per_thread = 1200;
+int g_writes_per_thread = 600;
 
 struct LatencyDb {
   std::unique_ptr<Env> base_env;
@@ -52,7 +70,7 @@ LatencyDb BuildDb(bool background) {
   options.buffer_size_bytes = 64 << 10;
   options.bits_per_entry = 5.0;
   options.page_size = kPageSize;
-  options.expected_entries = kNumKeys;
+  options.expected_entries = g_num_keys;
   options.background_compaction = background;
 
   Status s = DB::Open(options, "/db", &t.db);
@@ -62,7 +80,7 @@ LatencyDb BuildDb(bool background) {
   }
   WriteOptions wo;
   const std::string value(48, 'v');
-  for (int i = 0; i < kNumKeys; i++) {
+  for (int i = 0; i < g_num_keys; i++) {
     s = t.db->Put(wo, MakeKey(i), value);
     if (!s.ok()) abort();
   }
@@ -83,8 +101,8 @@ double MeasureReadThroughput(DB* db, int threads, bool serialize,
       Random rng(1000 + t);
       ReadOptions ro;
       std::string value;
-      for (int i = 0; i < kReadsPerThread; i++) {
-        const std::string key = MakeKey(rng.Uniform(kNumKeys));
+      for (int i = 0; i < g_reads_per_thread; i++) {
+        const std::string key = MakeKey(rng.Uniform(g_num_keys));
         Status s;
         if (serialize) {
           std::lock_guard<std::mutex> guard(*big_lock);
@@ -100,7 +118,7 @@ double MeasureReadThroughput(DB* db, int threads, bool serialize,
   const double secs =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
-  return static_cast<double>(threads) * kReadsPerThread / secs;
+  return static_cast<double>(threads) * g_reads_per_thread / secs;
 }
 
 // Same measurement with one churn writer running alongside the readers.
@@ -136,17 +154,93 @@ double MeasureMixedThroughput(DB* db, int threads, bool serialize,
   return ops_per_sec;
 }
 
+// Empty DB on a device where WAL appends and fsyncs cost wall-clock time.
+// Background compaction keeps flushes/merges off the writer threads, so the
+// measurement isolates the commit path.
+LatencyDb BuildWriteDb() {
+  LatencyDb t;
+  t.base_env = NewMemEnv();
+  t.env = std::make_unique<LatencyEnv>(t.base_env.get(),
+                                       std::chrono::microseconds(0),
+                                       kWriteLatency, kSyncLatency);
+
+  DbOptions options;
+  options.env = t.env.get();
+  options.merge_policy = MergePolicy::kLeveling;
+  options.size_ratio = 4.0;
+  options.buffer_size_bytes = 64 << 10;
+  options.bits_per_entry = 5.0;
+  options.page_size = kPageSize;
+  options.expected_entries = g_num_keys;
+  options.background_compaction = true;
+
+  Status s = DB::Open(options, "/db", &t.db);
+  if (!s.ok()) {
+    fprintf(stderr, "Open failed: %s\n", s.ToString().c_str());
+    abort();
+  }
+  return t;
+}
+
+// Aggregate Puts/sec with `threads` writer threads over disjoint key
+// ranges. The serialized arm holds one external mutex across each Put, so
+// every write pays the full append(+fsync) alone; the concurrent arm lets
+// the group-commit leader batch whatever queued behind it. `round` keeps
+// key ranges distinct across measurements on the same DB.
+double MeasureWriteThroughput(DB* db, int threads, bool serialize, bool sync,
+                              std::mutex* big_lock, std::atomic<int>* errors,
+                              int round) {
+  std::vector<std::thread> workers;
+  const auto start = std::chrono::steady_clock::now();
+  for (int t = 0; t < threads; t++) {
+    workers.emplace_back([&, t] {
+      WriteOptions wo;
+      wo.sync = sync;
+      const std::string value(48, 'w');
+      const std::string prefix =
+          "w" + std::to_string(round) + "_" + std::to_string(t) + "_";
+      for (int i = 0; i < g_writes_per_thread; i++) {
+        const std::string key = prefix + std::to_string(i);
+        Status s;
+        if (serialize) {
+          std::lock_guard<std::mutex> guard(*big_lock);
+          s = db->Put(wo, key, value);
+        } else {
+          s = db->Put(wo, key, value);
+        }
+        if (!s.ok()) {
+          errors->fetch_add(1);
+          break;
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return static_cast<double>(threads) * g_writes_per_thread / secs;
+}
+
 }  // namespace
 }  // namespace bench
 }  // namespace monkeydb
 
-int main() {
+int main(int argc, char** argv) {
   using namespace monkeydb;
   using namespace monkeydb::bench;
 
+  for (int i = 1; i < argc; i++) {
+    if (std::string(argv[i]) == "--smoke") {
+      g_num_keys = 2000;
+      g_reads_per_thread = 120;
+      g_writes_per_thread = 60;
+    }
+  }
+
   printf("Concurrent throughput: serialized (one big lock) vs decoupled\n");
-  printf("read path, %d keys, %lld us simulated read latency\n\n", kNumKeys,
-         static_cast<long long>(kReadLatency.count()));
+  printf("read path, %d keys, %lld us simulated read latency\n\n",
+         g_num_keys, static_cast<long long>(kReadLatency.count()));
 
   std::atomic<int> errors{0};
   std::mutex big_lock;
@@ -194,36 +288,82 @@ int main() {
            row.concurrent / row.serialized);
   }
 
+  // Write scaling: group commit vs one-writer-at-a-time, with and without
+  // per-commit fsync. Each (arm, sync-mode) pair gets its own DB so the
+  // arms never share LSM state.
+  printf("\nWrite path: %lld us/WAL append, %lld us/fsync\n",
+         static_cast<long long>(kWriteLatency.count()),
+         static_cast<long long>(kSyncLatency.count()));
+  std::vector<Row> write_nosync_rows, write_sync_rows;
+  int round = 0;
+  for (bool sync : {false, true}) {
+    LatencyDb serialized_db = BuildWriteDb();
+    LatencyDb concurrent_db = BuildWriteDb();
+    std::vector<Row>& rows = sync ? write_sync_rows : write_nosync_rows;
+    for (int threads : kThreadCounts) {
+      Row row{threads, 0, 0};
+      row.serialized = MeasureWriteThroughput(serialized_db.db.get(),
+                                              threads, /*serialize=*/true,
+                                              sync, &big_lock, &errors,
+                                              round++);
+      row.concurrent = MeasureWriteThroughput(concurrent_db.db.get(),
+                                              threads, /*serialize=*/false,
+                                              sync, &big_lock, &errors,
+                                              round++);
+      rows.push_back(row);
+      printf("%-22s %8d %12.0f/s %12.0f/s %8.2fx\n",
+             sync ? "write (sync)" : "write (no-sync)", threads,
+             row.serialized, row.concurrent,
+             row.concurrent / row.serialized);
+    }
+  }
+
   if (errors.load() != 0) {
     fprintf(stderr, "\n%d operation(s) failed\n", errors.load());
     return 1;
   }
 
+  auto dump_rows = [](FILE* json, const char* name,
+                      const std::vector<Row>& rows, bool last) {
+    fprintf(json, "  \"%s\": [\n", name);
+    for (size_t i = 0; i < rows.size(); i++) {
+      fprintf(json,
+              "    {\"threads\": %d, \"serialized_ops_per_sec\": %.1f, "
+              "\"concurrent_ops_per_sec\": %.1f, \"speedup\": %.3f}%s\n",
+              rows[i].threads, rows[i].serialized, rows[i].concurrent,
+              rows[i].concurrent / rows[i].serialized,
+              i + 1 < rows.size() ? "," : "");
+    }
+    fprintf(json, "  ]%s\n", last ? "" : ",");
+  };
+
   FILE* json = fopen("BENCH_concurrent.json", "w");
   if (json != nullptr) {
     fprintf(json, "{\n");
-    fprintf(json, "  \"num_keys\": %d,\n", kNumKeys);
+    fprintf(json, "  \"num_keys\": %d,\n", g_num_keys);
     fprintf(json, "  \"read_latency_us\": %lld,\n",
             static_cast<long long>(kReadLatency.count()));
-    fprintf(json, "  \"reads_per_thread\": %d,\n", kReadsPerThread);
-    auto dump = [&](const char* name, const std::vector<Row>& rows,
-                    bool last) {
-      fprintf(json, "  \"%s\": [\n", name);
-      for (size_t i = 0; i < rows.size(); i++) {
-        fprintf(json,
-                "    {\"threads\": %d, \"serialized_ops_per_sec\": %.1f, "
-                "\"concurrent_ops_per_sec\": %.1f, \"speedup\": %.3f}%s\n",
-                rows[i].threads, rows[i].serialized, rows[i].concurrent,
-                rows[i].concurrent / rows[i].serialized,
-                i + 1 < rows.size() ? "," : "");
-      }
-      fprintf(json, "  ]%s\n", last ? "" : ",");
-    };
-    dump("read_only", read_rows, false);
-    dump("mixed", mixed_rows, true);
+    fprintf(json, "  \"reads_per_thread\": %d,\n", g_reads_per_thread);
+    dump_rows(json, "read_only", read_rows, false);
+    dump_rows(json, "mixed", mixed_rows, true);
     fprintf(json, "}\n");
     fclose(json);
     printf("\nwrote BENCH_concurrent.json\n");
+  }
+
+  json = fopen("BENCH_write.json", "w");
+  if (json != nullptr) {
+    fprintf(json, "{\n");
+    fprintf(json, "  \"write_latency_us\": %lld,\n",
+            static_cast<long long>(kWriteLatency.count()));
+    fprintf(json, "  \"sync_latency_us\": %lld,\n",
+            static_cast<long long>(kSyncLatency.count()));
+    fprintf(json, "  \"writes_per_thread\": %d,\n", g_writes_per_thread);
+    dump_rows(json, "write_nosync", write_nosync_rows, false);
+    dump_rows(json, "write_sync", write_sync_rows, true);
+    fprintf(json, "}\n");
+    fclose(json);
+    printf("wrote BENCH_write.json\n");
   }
   return 0;
 }

@@ -4,7 +4,10 @@ namespace monkeydb {
 
 BlockCache::BlockCache(size_t capacity_bytes)
     : capacity_(capacity_bytes),
-      per_shard_capacity_(capacity_bytes / kNumShards) {}
+      // Round up: flooring would drop up to kNumShards-1 bytes of budget,
+      // and for capacities below kNumShards it would zero every shard's
+      // allowance, effectively disabling the cache.
+      per_shard_capacity_((capacity_bytes + kNumShards - 1) / kNumShards) {}
 
 std::shared_ptr<const std::string> BlockCache::Lookup(const Key& key) {
   if (capacity_ == 0) return nullptr;

@@ -9,8 +9,13 @@
 // benchmark can observe whether the engine overlaps those waits (lock-free
 // read path) or serializes them (one big lock). Only reads through
 // RandomAccessFile — the lookup path's data/filter/index page fetches —
-// are delayed; sequential recovery reads and writes pass through, keeping
-// setup fast.
+// are delayed; sequential recovery reads pass through, keeping setup fast.
+//
+// An optional write latency (default 0: disabled) charges every
+// WritableFile::Append, and a separate sync latency charges every Sync.
+// Write benchmarks use these to model a device where the WAL append and
+// especially the fsync dominate — the regime where group commit pays off
+// by amortizing one append+fsync over many queued writers.
 
 #ifndef MONKEYDB_IO_LATENCY_ENV_H_
 #define MONKEYDB_IO_LATENCY_ENV_H_
@@ -27,8 +32,15 @@ namespace monkeydb {
 class LatencyEnv : public Env {
  public:
   // Does not take ownership of base, which must outlive this Env.
-  LatencyEnv(Env* base, std::chrono::microseconds read_latency)
-      : base_(base), read_latency_(read_latency) {}
+  LatencyEnv(Env* base, std::chrono::microseconds read_latency,
+             std::chrono::microseconds write_latency =
+                 std::chrono::microseconds(0),
+             std::chrono::microseconds sync_latency =
+                 std::chrono::microseconds(0))
+      : base_(base),
+        read_latency_(read_latency),
+        write_latency_(write_latency),
+        sync_latency_(sync_latency) {}
 
   Status NewSequentialFile(const std::string& fname,
                            std::unique_ptr<SequentialFile>* result) override {
@@ -46,7 +58,15 @@ class LatencyEnv : public Env {
 
   Status NewWritableFile(const std::string& fname,
                          std::unique_ptr<WritableFile>* result) override {
-    return base_->NewWritableFile(fname, result);
+    if (write_latency_.count() == 0 && sync_latency_.count() == 0) {
+      return base_->NewWritableFile(fname, result);
+    }
+    std::unique_ptr<WritableFile> file;
+    MONKEYDB_RETURN_IF_ERROR(base_->NewWritableFile(fname, &file));
+    *result = std::make_unique<DelayedWritableFile>(std::move(file),
+                                                    write_latency_,
+                                                    sync_latency_);
+    return Status::OK();
   }
 
   bool FileExists(const std::string& fname) override {
@@ -88,8 +108,38 @@ class LatencyEnv : public Env {
     std::chrono::microseconds latency_;
   };
 
+  class DelayedWritableFile : public WritableFile {
+   public:
+    DelayedWritableFile(std::unique_ptr<WritableFile> base,
+                        std::chrono::microseconds write_latency,
+                        std::chrono::microseconds sync_latency)
+        : base_(std::move(base)),
+          write_latency_(write_latency),
+          sync_latency_(sync_latency) {}
+
+    Status Append(const Slice& data) override {
+      if (write_latency_.count() > 0)
+        std::this_thread::sleep_for(write_latency_);
+      return base_->Append(data);
+    }
+    Status Flush() override { return base_->Flush(); }
+    Status Sync() override {
+      if (sync_latency_.count() > 0)
+        std::this_thread::sleep_for(sync_latency_);
+      return base_->Sync();
+    }
+    Status Close() override { return base_->Close(); }
+
+   private:
+    std::unique_ptr<WritableFile> base_;
+    std::chrono::microseconds write_latency_;
+    std::chrono::microseconds sync_latency_;
+  };
+
   Env* base_;
   std::chrono::microseconds read_latency_;
+  std::chrono::microseconds write_latency_;
+  std::chrono::microseconds sync_latency_;
 };
 
 }  // namespace monkeydb

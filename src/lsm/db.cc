@@ -74,6 +74,9 @@ Status DB::Open(const DbOptions& options, const std::string& name,
   if (options.max_immutable_memtables < 1) {
     return Status::InvalidArgument("max_immutable_memtables must be >= 1");
   }
+  if (options.compaction_threads < 1) {
+    return Status::InvalidArgument("compaction_threads must be >= 1");
+  }
   MONKEYDB_RETURN_IF_ERROR(options.env->CreateDir(name));
 
   auto db = std::unique_ptr<DB>(new DB(options, name));
@@ -229,11 +232,19 @@ Status DB::Recover() {
         options_.env->RenameFile(manifest_path + ".tmp", manifest_path));
   }
 
+  // Merge threads must exist before the replay flush below so its cascades
+  // can already partition (and so synchronous mode gets parallelism too).
+  if (options_.compaction_threads > 1) {
+    compaction_pool_ =
+        std::make_unique<ThreadPool>(options_.compaction_threads - 1);
+  }
+
   // If WAL replay left entries in the memtable, persist them now (before the
   // replayed logs are discarded).
   if (mem_->num_entries() > 0) {
     MONKEYDB_RETURN_IF_ERROR(FlushMemTable(mem_, /*swap_active=*/true,
                                            /*io_lock=*/nullptr));
+    MONKEYDB_RETURN_IF_ERROR(Cascade(/*io_lock=*/nullptr));
   }
   for (const std::string& wal : old_wals) {
     options_.env->RemoveFile(wal).ok();
@@ -293,109 +304,162 @@ void DB::PublishViewLocked() {
 
 Status DB::Put(const WriteOptions& options, const Slice& key,
                const Slice& value) {
-  return WriteInternal(options, ValueType::kValue, key, value);
+  WriteBatch batch;
+  batch.Put(key, value);
+  return Write(options, batch);
 }
 
 Status DB::Delete(const WriteOptions& options, const Slice& key) {
-  return WriteInternal(options, ValueType::kDeletion, key, Slice());
-}
-
-Status DB::WriteInternal(const WriteOptions& options, ValueType type,
-                         const Slice& key, const Slice& value) {
-  std::unique_lock<std::mutex> lock(mu_);
-  if (!bg_error_.ok()) return bg_error_;
-  const SequenceNumber seq =
-      last_sequence_.load(std::memory_order_relaxed) + 1;
-
-  // Key-value separation: large values go to the value log first (so the
-  // WAL record's handle is durable only after the value is), and the tree
-  // stores the handle.
-  std::string handle_encoding;
-  if (type == ValueType::kValue && vlog_ != nullptr &&
-      value.size() >= options_.value_separation_threshold) {
-    ValueHandle handle;
-    MONKEYDB_RETURN_IF_ERROR(
-        vlog_->Add(value, options.sync || options_.sync_writes, &handle));
-    handle.EncodeTo(&handle_encoding);
-    type = ValueType::kValueHandle;
-  }
-  const Slice stored_value =
-      type == ValueType::kValueHandle ? Slice(handle_encoding) : value;
-
-  WalBatch batch(seq);
-  switch (type) {
-    case ValueType::kValue:
-      batch.Put(key, stored_value);
-      break;
-    case ValueType::kValueHandle:
-      batch.PutHandle(key, stored_value);
-      break;
-    case ValueType::kDeletion:
-      batch.Delete(key);
-      break;
-  }
-  MONKEYDB_RETURN_IF_ERROR(wal_->AddRecord(
-      batch.payload(), options.sync || options_.sync_writes));
-
-  mem_->Add(seq, type, key, stored_value);
-  // Release: a reader that observes seq also observes the skiplist node.
-  last_sequence_.store(seq, std::memory_order_release);
-
-  return MaybeCompactBuffer(lock);
+  WriteBatch batch;
+  batch.Delete(key);
+  return Write(options, batch);
 }
 
 Status DB::Write(const WriteOptions& options, const WriteBatch& batch) {
   if (batch.count() == 0) return Status::OK();
+  Writer w(&batch, options.sync || options_.sync_writes);
   std::unique_lock<std::mutex> lock(mu_);
-  if (!bg_error_.ok()) return bg_error_;
+  writers_.push_back(&w);
+  while (!w.done && &w != writers_.front()) {
+    w.cv.wait(lock);
+  }
+  if (w.done) return w.status;  // A previous leader committed this batch.
+
+  // This thread is the group leader: it commits a prefix of the queue —
+  // every batch that fits under max_write_group_bytes (its own always
+  // does) — in one WAL append, then wakes the followers.
+  std::vector<Writer*> group;
+  size_t group_bytes = 0;
+  for (Writer* writer : writers_) {
+    if (!group.empty() &&
+        group_bytes + writer->batch->approximate_bytes() >
+            options_.max_write_group_bytes) {
+      break;
+    }
+    group.push_back(writer);
+    group_bytes += writer->batch->approximate_bytes();
+  }
+
+  Status status;
+  if (!bg_error_.ok()) {
+    status = bg_error_;
+    for (Writer* writer : group) writer->status = status;
+  } else {
+    status = CommitGroupLocked(group, lock);
+  }
+
+  // Trigger a flush before handing leadership over: MaybeCompactBuffer may
+  // release mu_ (backpressure, synchronous compaction I/O), and keeping
+  // this thread at the queue front for its duration stops a new leader
+  // from committing into a memtable that is being swapped out. The flush
+  // outcome is the leader's alone — the followers' batches are already
+  // durably committed.
+  if (status.ok()) {
+    status = MaybeCompactBuffer(lock);
+  }
+
+  // Pop the group and wake its members with their individual statuses.
+  Writer* last_writer = group.back();
+  while (true) {
+    Writer* ready = writers_.front();
+    writers_.pop_front();
+    if (ready != &w) {
+      ready->done = true;
+      ready->cv.notify_one();
+    }
+    if (ready == last_writer) break;
+  }
+  if (!writers_.empty()) writers_.front()->cv.notify_one();
+  return status;
+}
+
+Status DB::CommitGroupLocked(const std::vector<Writer*>& group,
+                             std::unique_lock<std::mutex>& lock) {
   const SequenceNumber first_seq =
       last_sequence_.load(std::memory_order_relaxed) + 1;
+  // The vlog/WAL appends and memtable inserts run with mu_ released so
+  // enqueueing writers and the background worker proceed. mem_, wal_, and
+  // vlog_ stay stable meanwhile: only the queue front commits, and every
+  // maintenance path that swaps them first waits for commit_in_flight_ to
+  // clear (holding mu_, which also blocks the next leader).
+  commit_in_flight_ = true;
+  lock.unlock();
 
-  // Resolve key-value separation per op before building the WAL record.
-  std::vector<std::pair<ValueType, std::string>> resolved;
-  resolved.reserve(batch.count());
-  for (const WriteBatch::Op& op : batch.ops()) {
-    if (op.type == ValueType::kValue && vlog_ != nullptr &&
-        op.value.size() >= options_.value_separation_threshold) {
-      ValueHandle handle;
-      MONKEYDB_RETURN_IF_ERROR(vlog_->Add(
-          op.value, options.sync || options_.sync_writes, &handle));
-      std::string encoding;
-      handle.EncodeTo(&encoding);
-      resolved.emplace_back(ValueType::kValueHandle, std::move(encoding));
-    } else {
-      resolved.emplace_back(op.type, op.value);
+  // Key-value separation, resolved per member: large values go to the
+  // value log first (so a WAL record's handle is durable only after its
+  // value is). A member whose value-log append fails is excluded from the
+  // group with its own error; the others still commit.
+  std::vector<char> included(group.size(), 1);
+  std::vector<std::vector<std::pair<ValueType, std::string>>> resolved(
+      group.size());
+  for (size_t i = 0; i < group.size(); i++) {
+    Writer* writer = group[i];
+    auto& ops = resolved[i];
+    ops.reserve(writer->batch->count());
+    Status member_status;
+    for (const WriteBatch::Op& op : writer->batch->ops()) {
+      if (op.type == ValueType::kValue && vlog_ != nullptr &&
+          op.value.size() >= options_.value_separation_threshold) {
+        ValueHandle handle;
+        member_status = vlog_->Add(op.value, writer->sync, &handle);
+        if (!member_status.ok()) break;
+        std::string encoding;
+        handle.EncodeTo(&encoding);
+        ops.emplace_back(ValueType::kValueHandle, std::move(encoding));
+      } else {
+        ops.emplace_back(op.type, op.value);
+      }
+    }
+    if (!member_status.ok()) {
+      included[i] = 0;
+      writer->status = member_status;
     }
   }
 
+  // One WAL record for the whole group; one fsync if any member asked.
   WalBatch wal_batch(first_seq);
-  for (size_t i = 0; i < batch.ops().size(); i++) {
-    const WriteBatch::Op& op = batch.ops()[i];
-    switch (resolved[i].first) {
-      case ValueType::kValue:
-        wal_batch.Put(op.key, resolved[i].second);
-        break;
-      case ValueType::kValueHandle:
-        wal_batch.PutHandle(op.key, resolved[i].second);
-        break;
-      case ValueType::kDeletion:
-        wal_batch.Delete(op.key);
-        break;
+  bool group_sync = false;
+  size_t included_ops = 0;
+  for (size_t i = 0; i < group.size(); i++) {
+    if (!included[i]) continue;
+    const auto& ops = group[i]->batch->ops();
+    for (size_t j = 0; j < ops.size(); j++) {
+      wal_batch.Add(resolved[i][j].first, ops[j].key, resolved[i][j].second);
+    }
+    included_ops += ops.size();
+    if (group[i]->sync) group_sync = true;
+  }
+
+  if (included_ops > 0) {
+    const Status append_status =
+        wal_->AddRecord(wal_batch.payload(), group_sync);
+    if (append_status.ok()) {
+      // Apply with contiguous sequence numbers in queue order. Published
+      // once at the end: readers filter by last_sequence_, so no prefix of
+      // the group (or of any batch) ever becomes visible.
+      SequenceNumber seq = first_seq;
+      for (size_t i = 0; i < group.size(); i++) {
+        if (!included[i]) continue;
+        const auto& ops = group[i]->batch->ops();
+        for (size_t j = 0; j < ops.size(); j++) {
+          mem_->Add(seq++, resolved[i][j].first, ops[j].key,
+                    resolved[i][j].second);
+        }
+        group[i]->status = Status::OK();
+      }
+      last_sequence_.store(seq - 1, std::memory_order_release);
+    } else {
+      // Not applied and possibly not durable: every included member fails.
+      for (size_t i = 0; i < group.size(); i++) {
+        if (included[i]) group[i]->status = append_status;
+      }
     }
   }
-  MONKEYDB_RETURN_IF_ERROR(wal_->AddRecord(
-      wal_batch.payload(), options.sync || options_.sync_writes));
 
-  SequenceNumber seq = first_seq;
-  for (size_t i = 0; i < batch.ops().size(); i++) {
-    mem_->Add(seq++, resolved[i].first, batch.ops()[i].key,
-              resolved[i].second);
-  }
-  // Published once: readers never observe a prefix of the batch (sequence
-  // filtering hides entries above last_sequence_).
-  last_sequence_.store(seq - 1, std::memory_order_release);
-
-  return MaybeCompactBuffer(lock);
+  lock.lock();
+  commit_in_flight_ = false;
+  commit_cv_.notify_all();
+  return group[0]->status;
 }
 
 Status DB::MaybeCompactBuffer(std::unique_lock<std::mutex>& lock) {
@@ -403,7 +467,7 @@ Status DB::MaybeCompactBuffer(std::unique_lock<std::mutex>& lock) {
     return Status::OK();
   }
   if (options_.background_compaction) return SwitchMemTable(lock);
-  return FlushActiveMemTableLocked();
+  return FlushActiveMemTableLocked(lock);
 }
 
 Status DB::SwitchMemTable(std::unique_lock<std::mutex>& lock) {
@@ -424,6 +488,11 @@ Status DB::SwitchMemTable(std::unique_lock<std::mutex>& lock) {
   if (!bg_error_.ok()) return bg_error_;
   if (shutting_down_) return Status::IoError("shutting down");
 
+  // Never swap mem_/wal_ out from under a group-commit leader working
+  // outside mu_ (this caller may not be the leader: Flush() and the stall
+  // wait above release mu_, so a commit can be in flight here).
+  commit_cv_.wait(lock, [this] { return !commit_in_flight_; });
+
   imm_.insert(imm_.begin(), ImmEntry{mem_, wal_number_});
   MONKEYDB_RETURN_IF_ERROR(NewWalLocked());
   mem_ = std::make_shared<MemTable>(internal_comparator_);
@@ -432,10 +501,15 @@ Status DB::SwitchMemTable(std::unique_lock<std::mutex>& lock) {
   return Status::OK();
 }
 
-Status DB::FlushActiveMemTableLocked() {
+Status DB::FlushActiveMemTableLocked(std::unique_lock<std::mutex>& lock) {
+  // A group-commit leader may be mid-commit outside mu_ when an external
+  // Flush()/CompactAll() lands here; wait it out before touching mem_/wal_.
+  // (The caller holds mu_ from here on, so no new commit can start.)
+  commit_cv_.wait(lock, [this] { return !commit_in_flight_; });
   if (mem_->num_entries() == 0) return Status::OK();
   MONKEYDB_RETURN_IF_ERROR(FlushMemTable(mem_, /*swap_active=*/true,
                                          /*io_lock=*/nullptr));
+  MONKEYDB_RETURN_IF_ERROR(Cascade(/*io_lock=*/nullptr));
   // The flushed entries are durable as a run; retire their WAL.
   const uint64_t old_wal = wal_number_;
   MONKEYDB_RETURN_IF_ERROR(NewWalLocked());
@@ -449,13 +523,17 @@ void DB::BackgroundMain() {
   std::unique_lock<std::mutex> lock(mu_);
   while (true) {
     bg_work_cv_.wait(lock, [this] {
-      return shutting_down_ || (!imm_.empty() && bg_error_.ok());
+      return shutting_down_ ||
+             (bg_error_.ok() && (!imm_.empty() || CascadePendingLocked()));
     });
     // Pending frozen memtables stay durable in their WALs and are replayed
     // on the next Open.
     if (shutting_down_) break;
     worker_busy_ = true;
-    Status s = FlushOldestImmutable(lock);
+    // Flushes outrank merges: a cascade abandoned mid-way (its early-exit
+    // fires when a frozen memtable arrives) leaves CascadePendingLocked()
+    // true, so the loop comes back to it once the queue is drained.
+    Status s = !imm_.empty() ? FlushOldestImmutable(lock) : Cascade(&lock);
     worker_busy_ = false;
     if (!s.ok() && bg_error_.ok()) bg_error_ = s;
     bg_done_cv_.notify_all();
@@ -469,16 +547,22 @@ Status DB::FlushOldestImmutable(std::unique_lock<std::mutex>& lock) {
   // Retire the frozen memtable and the WAL that kept it durable. The pop
   // happens after its run is published, so readers always see the entries
   // in at least one place (briefly in both — duplicates at equal sequence
-  // numbers resolve identically).
+  // numbers resolve identically). It also happens BEFORE the cascades, so
+  // their flush-priority early-exit only triggers for newly frozen
+  // memtables, not the one whose entries were just persisted.
   imm_.pop_back();
   PublishViewLocked();
   options_.env->RemoveFile(WalFileName(entry.wal_number)).ok();
-  return Status::OK();
+  return Cascade(&lock);
 }
 
 Status DB::WaitForDrain(std::unique_lock<std::mutex>& lock) {
-  while ((!imm_.empty() || worker_busy_) && bg_error_.ok() &&
-         !shutting_down_) {
+  // The worker is awake whenever work exists (it only sleeps at a true
+  // fixpoint), but nudge it anyway in case this caller created work
+  // without a notification.
+  bg_work_cv_.notify_one();
+  while ((!imm_.empty() || worker_busy_ || CascadePendingLocked()) &&
+         bg_error_.ok() && !shutting_down_) {
     bg_done_cv_.wait(lock);
   }
   return bg_error_;
@@ -515,7 +599,7 @@ Status DB::Flush() {
     }
     return WaitForDrain(lock);
   }
-  return FlushActiveMemTableLocked();
+  return FlushActiveMemTableLocked(lock);
 }
 
 Status DB::CompactAll() {
@@ -529,8 +613,8 @@ Status DB::CompactAll() {
     // The worker is idle and the queue empty; mu_ is held for the rest of
     // the merge, so the tree is stable (writers block — CompactAll is a
     // stop-the-world maintenance operation).
-  } else if (mem_->num_entries() > 0) {
-    MONKEYDB_RETURN_IF_ERROR(FlushActiveMemTableLocked());
+  } else {
+    MONKEYDB_RETURN_IF_ERROR(FlushActiveMemTableLocked(lock));
   }
   const int target = std::max(1, current_.DeepestNonEmptyLevel());
 
@@ -731,7 +815,20 @@ Status DB::BuildRunFromJob(Iterator* iter, const CompactionJob& job,
   bool has_prev = false;
   bool hide_older_versions = false;
   uint64_t entries_compacted = 0;
-  for (iter->SeekToFirst(); iter->Valid(); iter->Next()) {
+  // Subcompaction bounds: emit only [start_key, end_key). Both bounds sit
+  // at (user_key, kMaxSequenceNumber), before every real version of that
+  // user key, so the version-dropping state below never straddles a
+  // fragment boundary.
+  if (job.start_key.empty()) {
+    iter->SeekToFirst();
+  } else {
+    iter->Seek(Slice(job.start_key));
+  }
+  for (; iter->Valid(); iter->Next()) {
+    if (!job.end_key.empty() &&
+        internal_comparator_.Compare(iter->key(), Slice(job.end_key)) >= 0) {
+      break;
+    }
     ParsedInternalKey parsed;
     if (!ParseInternalKey(iter->key(), &parsed)) {
       return Status::Corruption("malformed key during compaction");
@@ -798,6 +895,122 @@ Status DB::BuildRun(Iterator* iter, int target_level, bool drop_tombstones,
   return s;
 }
 
+Status DB::BuildMergeOutputs(const std::vector<RunPtr>& inputs,
+                             const std::shared_ptr<MemTable>& mem,
+                             int target_level, bool drop_tombstones,
+                             uint64_t estimated_entries,
+                             const std::set<uint64_t>& replaced_files,
+                             std::vector<RunPtr>* outputs,
+                             std::unique_lock<std::mutex>* io_lock) {
+  auto make_iter = [&]() {
+    std::vector<std::unique_ptr<Iterator>> children;
+    if (mem != nullptr) children.push_back(mem->NewIterator());
+    for (const RunPtr& run : inputs) {
+      children.push_back(run->table->NewIterator());
+    }
+    return NewMergingIterator(&internal_comparator_, std::move(children));
+  };
+
+  // Pick the partitioning. Only leveling merges are split: tiering and
+  // lazy leveling count runs per level, and fragments would distort that
+  // geometry (lazy leveling's single-run-at-the-deepest-level invariant
+  // would even re-fragment forever).
+  int want = 1;
+  if (compaction_pool_ != nullptr &&
+      options_.merge_policy == MergePolicy::kLeveling) {
+    want = compaction_pool_->num_threads() + 1;
+  }
+  std::vector<std::string> boundaries;  // K-1 boundary *user* keys.
+  if (want > 1) {
+    // Candidate split points: the fence-pointer (per-data-block largest)
+    // user keys of every input run — all in memory, no I/O. Splitting at
+    // fences keeps each fragment's input a whole number of pages.
+    std::vector<std::string> candidates;
+    for (const RunPtr& run : inputs) {
+      if (run->table != nullptr) {
+        run->table->AppendBoundaryUserKeys(&candidates);
+      }
+    }
+    const Comparator* ucmp = internal_comparator_.user_comparator();
+    std::sort(candidates.begin(), candidates.end(),
+              [ucmp](const std::string& a, const std::string& b) {
+                return ucmp->Compare(Slice(a), Slice(b)) < 0;
+              });
+    candidates.erase(
+        std::unique(candidates.begin(), candidates.end(),
+                    [ucmp](const std::string& a, const std::string& b) {
+                      return ucmp->Compare(Slice(a), Slice(b)) == 0;
+                    }),
+        candidates.end());
+    if (static_cast<int>(candidates.size()) + 1 < want) {
+      want = static_cast<int>(candidates.size()) + 1;
+    }
+    for (int i = 1; i < want; i++) {
+      boundaries.push_back(candidates[i * candidates.size() / want]);
+    }
+  }
+
+  if (boundaries.empty()) {
+    // Single-threaded path — exactly the original merge (bit-identical
+    // with compaction_threads == 1).
+    auto merged = make_iter();
+    RunPtr out;
+    MONKEYDB_RETURN_IF_ERROR(BuildRun(merged.get(), target_level,
+                                      drop_tombstones, estimated_entries,
+                                      replaced_files, &out, io_lock));
+    if (out != nullptr) outputs->push_back(std::move(out));
+    return Status::OK();
+  }
+
+  // One shared decision (FPR, smallest snapshot, run sequence) for all
+  // fragments — they are pieces of one logical run — then a private file
+  // number and key range per fragment. Boundary internal keys use
+  // (user_key, kMaxSequenceNumber, kValueTypeForSeek), which sorts before
+  // every real version of that user key: no key's versions straddle a
+  // fragment, so a lookup probing one fragment sees all of them.
+  const CompactionJob base = PrepareJobLocked(
+      target_level, drop_tombstones, estimated_entries, replaced_files);
+  const int parts = static_cast<int>(boundaries.size()) + 1;
+  std::vector<CompactionJob> jobs(parts, base);
+  for (int i = 0; i < parts; i++) {
+    if (i > 0) {
+      jobs[i].file_number = next_file_number_++;
+      AppendInternalKey(&jobs[i].start_key, Slice(boundaries[i - 1]),
+                        kMaxSequenceNumber, kValueTypeForSeek);
+    }
+    if (i < parts - 1) {
+      AppendInternalKey(&jobs[i].end_key, Slice(boundaries[i]),
+                        kMaxSequenceNumber, kValueTypeForSeek);
+    }
+  }
+
+  // Merge the fragments in parallel, each through its own merging iterator
+  // over the full input set (the per-fragment Seek skips to its range).
+  // Everything below touches no mu_-guarded state, so in background mode
+  // mu_ is released for the duration.
+  std::vector<RunPtr> outs(parts);
+  std::vector<Status> statuses(parts);
+  if (io_lock != nullptr) io_lock->unlock();
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(parts);
+  for (int i = 0; i < parts; i++) {
+    tasks.push_back([this, &make_iter, &jobs, &outs, &statuses, i] {
+      auto iter = make_iter();
+      statuses[i] = BuildRunFromJob(iter.get(), jobs[i], &outs[i]);
+    });
+  }
+  compaction_pool_->RunBatch(std::move(tasks));
+  if (io_lock != nullptr) io_lock->lock();
+
+  // First failure wins; any orphaned output files from sibling fragments
+  // are swept by the next Recover (they never enter the manifest).
+  for (const Status& s : statuses) MONKEYDB_RETURN_IF_ERROR(s);
+  for (auto& out : outs) {
+    if (out != nullptr) outputs->push_back(std::move(out));
+  }
+  return Status::OK();
+}
+
 Status DB::LogAndApply(const VersionEdit& edit) {
   VersionEdit full = edit;
   full.last_sequence = last_sequence_.load(std::memory_order_relaxed);
@@ -836,24 +1049,21 @@ Status DB::FlushMemTable(std::shared_ptr<MemTable> mem, bool swap_active,
 
   if (options_.merge_policy == MergePolicy::kLeveling) {
     // Flush & merge with the Level-1 run in one pass (paper Fig. 3).
-    std::vector<std::unique_ptr<Iterator>> children;
-    children.push_back(mem->NewIterator());
     VersionEdit edit;
     const std::vector<RunPtr> level1 = current_.RunsAt(1);  // Copy.
     for (const RunPtr& run : level1) {
-      children.push_back(run->table->NewIterator());
       edit.deleted_files.push_back(run->file_number);
     }
     std::set<uint64_t> replaced(edit.deleted_files.begin(),
                                 edit.deleted_files.end());
     uint64_t estimate = mem->num_entries();
     for (const RunPtr& run : level1) estimate += run->num_entries;
-    auto merged =
-        NewMergingIterator(&internal_comparator_, std::move(children));
-    RunPtr out;
-    MONKEYDB_RETURN_IF_ERROR(BuildRun(merged.get(), 1, CanDropTombstones(1),
-                                      estimate, replaced, &out, io_lock));
-    if (out != nullptr) {
+    std::vector<RunPtr> outs;
+    MONKEYDB_RETURN_IF_ERROR(BuildMergeOutputs(level1, mem, 1,
+                                               CanDropTombstones(1),
+                                               estimate, replaced, &outs,
+                                               io_lock));
+    for (const RunPtr& out : outs) {
       VersionEdit::AddedRun added;
       added.level = 1;
       added.file_number = out->file_number;
@@ -867,11 +1077,9 @@ Status DB::FlushMemTable(std::shared_ptr<MemTable> mem, bool swap_active,
     // Apply to the in-memory version.
     auto* levels = current_.mutable_levels();
     current_.EnsureLevel(1);
-    (*levels)[0].clear();
-    if (out != nullptr) (*levels)[0].push_back(out);
+    (*levels)[0] = outs;
     if (swap_active) mem_ = std::make_shared<MemTable>(internal_comparator_);
-    MONKEYDB_RETURN_IF_ERROR(LogAndApply(edit));
-    return CascadeLeveling(out, io_lock);
+    return LogAndApply(edit);
   }
 
   // Tiering and lazy leveling: the flushed run lands at Level 1 as-is.
@@ -901,85 +1109,138 @@ Status DB::FlushMemTable(std::shared_ptr<MemTable> mem, bool swap_active,
     edit.added.push_back(std::move(added));
     MONKEYDB_RETURN_IF_ERROR(LogAndApply(edit));
   }
-  if (options_.merge_policy == MergePolicy::kLazyLeveling) {
-    return CascadeLazyLeveling(io_lock);
-  }
-  return CascadeTiering(io_lock);
+  return Status::OK();
 }
 
-Status DB::CascadeLeveling(RunPtr incoming,
-                           std::unique_lock<std::mutex>* io_lock) {
-  // After a merge into level i, if the level exceeds its capacity, its run
-  // moves to level i+1 (merging with the resident run, if any).
-  int level = 1;
-  while (true) {
-    const std::vector<RunPtr>& runs = current_.RunsAt(level);
-    if (runs.empty()) break;
-    const RunPtr run = runs[0];
-    if (run->num_entries <= LevelCapacityEntries(level)) break;
+Status DB::Cascade(std::unique_lock<std::mutex>* io_lock) {
+  switch (options_.merge_policy) {
+    case MergePolicy::kLeveling:
+      return CascadeLeveling(io_lock);
+    case MergePolicy::kTiering:
+      return CascadeTiering(io_lock);
+    case MergePolicy::kLazyLeveling:
+      return CascadeLazyLeveling(io_lock);
+  }
+  return Status::OK();
+}
 
-    const int next_level = level + 1;
-    current_.EnsureLevel(next_level);
-    const std::vector<RunPtr> next_runs = current_.RunsAt(next_level);  // Copy.
-    VersionEdit edit;
-
-    if (next_runs.empty()) {
-      // Trivial move: metadata-only (keeps the existing filter, like
-      // LevelDB's non-overlapping move; see DESIGN.md).
-      edit.deleted_files.push_back(run->file_number);
-      VersionEdit::AddedRun added;
-      added.level = next_level;
-      added.file_number = run->file_number;
-      added.file_size = run->file_size;
-      added.num_entries = run->num_entries;
-      added.sequence = run->sequence;
-      added.smallest = run->smallest;
-      added.largest = run->largest;
-      edit.added.push_back(std::move(added));
-
-      auto* levels = current_.mutable_levels();
-      (*levels)[level - 1].clear();
-      (*levels)[next_level - 1].push_back(run);
-      MONKEYDB_RETURN_IF_ERROR(LogAndApply(edit));
-    } else {
-      counters_.merges.fetch_add(1, std::memory_order_relaxed);
-      std::vector<std::unique_ptr<Iterator>> children;
-      children.push_back(run->table->NewIterator());
-      edit.deleted_files.push_back(run->file_number);
-      for (const RunPtr& next_run : next_runs) {
-        children.push_back(next_run->table->NewIterator());
-        edit.deleted_files.push_back(next_run->file_number);
+bool DB::CascadePendingLocked() const {
+  // Before the first flush of this incarnation buffer_entries_ is 0, every
+  // level capacity reads as 0, and "pending" would be vacuously true
+  // forever; cascades are only meaningful once B·P is known.
+  if (buffer_entries_.load(std::memory_order_relaxed) == 0) return false;
+  const int trigger =
+      std::max(2, static_cast<int>(std::llround(options_.size_ratio)));
+  switch (options_.merge_policy) {
+    case MergePolicy::kLeveling:
+      for (int level = 1; level <= current_.NumLevels(); level++) {
+        const uint64_t entries = current_.EntriesAt(level);
+        if (entries > 0 && entries > LevelCapacityEntries(level)) return true;
       }
-      std::set<uint64_t> replaced(edit.deleted_files.begin(),
-                                  edit.deleted_files.end());
-      uint64_t estimate = run->num_entries;
-      for (const RunPtr& next_run : next_runs) {
-        estimate += next_run->num_entries;
+      return false;
+    case MergePolicy::kTiering:
+      for (int level = 1; level <= current_.NumLevels(); level++) {
+        if (static_cast<int>(current_.RunsAt(level).size()) >= trigger) {
+          return true;
+        }
       }
-      auto merged =
-          NewMergingIterator(&internal_comparator_, std::move(children));
-      RunPtr out;
-      MONKEYDB_RETURN_IF_ERROR(BuildRun(merged.get(), next_level,
-                                        CanDropTombstones(next_level),
-                                        estimate, replaced, &out, io_lock));
-      if (out != nullptr) {
-        VersionEdit::AddedRun added;
-        added.level = next_level;
-        added.file_number = out->file_number;
-        added.file_size = out->file_size;
-        added.num_entries = out->num_entries;
-        added.sequence = out->sequence;
-        added.smallest = out->smallest;
-        added.largest = out->largest;
-        edit.added.push_back(std::move(added));
+      return false;
+    case MergePolicy::kLazyLeveling: {
+      const int deepest = current_.DeepestNonEmptyLevel();
+      for (int level = 1; level <= current_.NumLevels(); level++) {
+        const std::vector<RunPtr>& runs = current_.RunsAt(level);
+        if (runs.empty()) continue;
+        if (level == deepest) {
+          if (runs.size() > 1) return true;
+          if (runs[0]->num_entries > LevelCapacityEntries(level)) return true;
+        } else if (static_cast<int>(runs.size()) >= trigger) {
+          return true;
+        }
       }
-      auto* levels = current_.mutable_levels();
-      (*levels)[level - 1].clear();
-      (*levels)[next_level - 1].clear();
-      if (out != nullptr) (*levels)[next_level - 1].push_back(out);
-      MONKEYDB_RETURN_IF_ERROR(LogAndApply(edit));
+      return false;
     }
-    level = next_level;
+  }
+  return false;
+}
+
+Status DB::CascadeLeveling(std::unique_lock<std::mutex>* io_lock) {
+  // When a level exceeds its capacity, its run(s) move to the next level
+  // (merging with the resident run, if any). Every level is scanned, not
+  // just a chain from Level 1: a background worker that abandoned a
+  // cascade mid-way to prioritize a flush resumes with the violation at an
+  // arbitrary depth. With the invariant intact (synchronous mode) the scan
+  // performs exactly the seed's chain of merges.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (int level = 1; level <= current_.NumLevels(); level++) {
+      // Flush priority: yield to the worker loop whenever a frozen
+      // memtable is waiting; CascadePendingLocked brings us back.
+      if (io_lock != nullptr && !imm_.empty()) return Status::OK();
+      const std::vector<RunPtr> runs = current_.RunsAt(level);  // Copy.
+      if (runs.empty()) continue;
+      if (current_.EntriesAt(level) <= LevelCapacityEntries(level)) continue;
+
+      const int next_level = level + 1;
+      current_.EnsureLevel(next_level);
+      const std::vector<RunPtr> next_runs =
+          current_.RunsAt(next_level);  // Copy.
+      VersionEdit edit;
+
+      if (next_runs.empty()) {
+        // Trivial move: metadata-only (keeps the existing filters, like
+        // LevelDB's non-overlapping move; see DESIGN.md). Moves every
+        // fragment of the level together.
+        auto* levels = current_.mutable_levels();
+        for (const RunPtr& run : runs) {
+          edit.deleted_files.push_back(run->file_number);
+          VersionEdit::AddedRun added;
+          added.level = next_level;
+          added.file_number = run->file_number;
+          added.file_size = run->file_size;
+          added.num_entries = run->num_entries;
+          added.sequence = run->sequence;
+          added.smallest = run->smallest;
+          added.largest = run->largest;
+          edit.added.push_back(std::move(added));
+          (*levels)[next_level - 1].push_back(run);
+        }
+        (*levels)[level - 1].clear();
+        MONKEYDB_RETURN_IF_ERROR(LogAndApply(edit));
+      } else {
+        counters_.merges.fetch_add(1, std::memory_order_relaxed);
+        std::vector<RunPtr> inputs = runs;
+        inputs.insert(inputs.end(), next_runs.begin(), next_runs.end());
+        uint64_t estimate = 0;
+        for (const RunPtr& run : inputs) {
+          edit.deleted_files.push_back(run->file_number);
+          estimate += run->num_entries;
+        }
+        std::set<uint64_t> replaced(edit.deleted_files.begin(),
+                                    edit.deleted_files.end());
+        std::vector<RunPtr> outs;
+        MONKEYDB_RETURN_IF_ERROR(BuildMergeOutputs(
+            inputs, nullptr, next_level, CanDropTombstones(next_level),
+            estimate, replaced, &outs, io_lock));
+        for (const RunPtr& out : outs) {
+          VersionEdit::AddedRun added;
+          added.level = next_level;
+          added.file_number = out->file_number;
+          added.file_size = out->file_size;
+          added.num_entries = out->num_entries;
+          added.sequence = out->sequence;
+          added.smallest = out->smallest;
+          added.largest = out->largest;
+          edit.added.push_back(std::move(added));
+        }
+        auto* levels = current_.mutable_levels();
+        (*levels)[level - 1].clear();
+        (*levels)[next_level - 1] = outs;
+        MONKEYDB_RETURN_IF_ERROR(LogAndApply(edit));
+      }
+      changed = true;
+      break;  // Restart the scan: the receiving level may now overflow.
+    }
   }
   return Status::OK();
 }
@@ -991,6 +1252,9 @@ Status DB::CascadeTiering(std::unique_lock<std::mutex>* io_lock) {
       std::max(2, static_cast<int>(std::llround(options_.size_ratio)));
   int level = 1;
   while (level <= current_.NumLevels()) {
+    // Flush priority: yield between merge steps when a frozen memtable is
+    // waiting; CascadePendingLocked re-dispatches the cascade afterwards.
+    if (io_lock != nullptr && !imm_.empty()) return Status::OK();
     const std::vector<RunPtr> runs = current_.RunsAt(level);  // Copy.
     if (static_cast<int>(runs.size()) < trigger) {
       level++;
@@ -1054,6 +1318,9 @@ Status DB::CascadeLazyLeveling(std::unique_lock<std::mutex>* io_lock) {
   bool changed = true;
   while (changed) {
     changed = false;
+    // Flush priority: yield between merge steps when a frozen memtable is
+    // waiting; CascadePendingLocked re-dispatches the cascade afterwards.
+    if (io_lock != nullptr && !imm_.empty()) return Status::OK();
     const int deepest = current_.DeepestNonEmptyLevel();
     for (int level = 1; level <= current_.NumLevels(); level++) {
       const std::vector<RunPtr> runs = current_.RunsAt(level);  // Copy.

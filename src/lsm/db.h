@@ -7,13 +7,27 @@
 //    ReadView (memtable + frozen memtables + runs) — the only shared state
 //    touched is a pointer copy under a dedicated micro-mutex — and performs
 //    every filter probe and block read with no lock held at all.
-//  - Writers serialize behind mu_. With background_compaction=false (the
-//    default), flushes and cascading merges run synchronously inside the
-//    writing thread, exactly like the amortized model in the paper.
+//  - Writers commit through a group-commit queue (LevelDB's JoinBatchGroup
+//    scheme): each writer enqueues its batch and waits; the writer at the
+//    front becomes the leader, coalesces the queued batches (up to
+//    DbOptions::max_write_group_bytes) into ONE WAL record with ONE fsync
+//    (when any member asked for sync), applies the merged batch to the
+//    memtable with contiguous sequence numbers, and wakes the followers
+//    with their individual statuses. Concurrent writers therefore pay one
+//    WAL append + fsync per *group*, not per batch.
+//  - With background_compaction=false (the default), flushes and cascading
+//    merges run synchronously inside the writing thread, exactly like the
+//    amortized model in the paper.
 //  - With background_compaction=true, a full memtable is frozen onto an
 //    immutable-memtable queue and flushed (plus cascades) by a background
 //    worker; writers experience slowdown/stall backpressure only when the
-//    queue fills.
+//    queue fills. Flushes take priority over cascading merges: a cascade
+//    in progress yields between merge steps when a frozen memtable is
+//    waiting.
+//  - With compaction_threads > 1, large leveling merges are split at
+//    fence-pointer boundaries into disjoint key ranges and merged in
+//    parallel by a thread pool, producing multiple disjoint output runs
+//    installed atomically as one version edit.
 // The engine supports both merge policies (leveling/tiering), any size
 // ratio T >= 2, any buffer size, and pluggable Bloom-filter memory
 // allocation (uniform vs Monkey).
@@ -24,6 +38,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <set>
@@ -40,6 +55,7 @@
 #include "lsm/write_batch.h"
 #include "memtable/memtable.h"
 #include "util/iterator.h"
+#include "util/thread_pool.h"
 
 namespace monkeydb {
 
@@ -155,6 +171,23 @@ class DB {
     double fpr = 1.0;
     SequenceNumber smallest_snapshot = 0;
     SequenceNumber run_sequence = 0;
+    // Subcompaction bounds (internal keys; empty = unbounded). The merge
+    // emits only entries in [start_key, end_key). Boundaries always sit at
+    // (user_key, kMaxSequenceNumber) so no user key's versions straddle a
+    // split (see BuildMergeOutputs).
+    std::string start_key;
+    std::string end_key;
+  };
+
+  // One queued writer in the group-commit protocol (LevelDB's Writer).
+  // Lives on the caller's stack; the deque holds non-owning pointers.
+  struct Writer {
+    explicit Writer(const WriteBatch* b, bool s) : batch(b), sync(s) {}
+    const WriteBatch* batch;
+    bool sync;
+    bool done = false;   // Set by the leader that committed (or failed) us.
+    Status status;       // Valid once done.
+    std::condition_variable cv;  // Signaled with mu_ held.
   };
 
   Status Recover();
@@ -165,8 +198,17 @@ class DB {
   Status NewWalLocked();
   std::string WalFileName(uint64_t number) const;
 
-  Status WriteInternal(const WriteOptions& options, ValueType type,
-                       const Slice& key, const Slice& value);
+  // Commits `group` (a prefix of writers_) as its leader: resolves
+  // value-log separation per member, builds one merged WAL record, appends
+  // it (one fsync if any member wants sync), and applies it to the
+  // memtable with contiguous sequence numbers. mu_ is released during the
+  // vlog/WAL/memtable work (commit_in_flight_ keeps maintenance ops out)
+  // and reacquired before returning. Each member's individual outcome is
+  // written to its Writer::status: a member whose batch was not applied
+  // never sees ok(). Returns the leader's own status. REQUIRES: lock held
+  // on mu_; group[0] == writers_.front() is the calling thread.
+  Status CommitGroupLocked(const std::vector<Writer*>& group,
+                           std::unique_lock<std::mutex>& lock);
 
   // Memtable-full handling shared by Put/Delete/Write. Synchronous mode
   // flushes inline; background mode freezes the memtable (with
@@ -179,25 +221,43 @@ class DB {
   // REQUIRES: lock held on mu_; may release and reacquire it.
   Status SwitchMemTable(std::unique_lock<std::mutex>& lock);
 
-  // Flushes `mem` to Level 1 per the merge policy, then cascades. If
-  // swap_active, the active memtable is replaced with a fresh one once its
-  // Level-1 run is built (synchronous mode); background mode passes the
-  // frozen memtable and manages its queue entry itself. io_lock, when
-  // non-null, is released around every run build (background mode) so
+  // Flushes `mem` to Level 1 per the merge policy. Callers run Cascade()
+  // afterwards — separately, so the background worker can retire the frozen
+  // memtable from imm_ first and the cascades' flush-priority early-exit
+  // (yield when a frozen memtable is waiting) sees only *other* pending
+  // flushes. If swap_active, the active memtable is replaced with a fresh
+  // one once its Level-1 run is built (synchronous mode); background mode
+  // passes the frozen memtable and manages its queue entry itself. io_lock,
+  // when non-null, is released around every run build (background mode) so
   // writers and readers proceed during the I/O. mem is taken by value: the
   // active-memtable caller passes mem_, which this function reassigns.
   // REQUIRES: mu_ held (via io_lock when non-null).
   Status FlushMemTable(std::shared_ptr<MemTable> mem, bool swap_active,
                        std::unique_lock<std::mutex>* io_lock);
 
-  // Synchronous-mode flush of the active memtable + WAL rotation.
-  // REQUIRES: mu_ held.
-  Status FlushActiveMemTableLocked();
+  // Synchronous-mode flush of the active memtable (with cascades) + WAL
+  // rotation. Waits out any in-flight group commit first. REQUIRES: lock
+  // held on mu_ (kept held through all the I/O — synchronous mode).
+  Status FlushActiveMemTableLocked(std::unique_lock<std::mutex>& lock);
 
-  Status CascadeLeveling(RunPtr incoming,
-                         std::unique_lock<std::mutex>* io_lock);
+  // The cascades restore every level's invariant (scanning all levels, not
+  // just a chain from Level 1 — a background worker may resume a cascade it
+  // abandoned earlier to prioritize a flush). With io_lock non-null they
+  // early-exit between merge steps whenever a frozen memtable is waiting;
+  // BackgroundMain re-dispatches via CascadePendingLocked.
+  Status CascadeLeveling(std::unique_lock<std::mutex>* io_lock);
   Status CascadeTiering(std::unique_lock<std::mutex>* io_lock);
   Status CascadeLazyLeveling(std::unique_lock<std::mutex>* io_lock);
+
+  // Dispatches to the configured policy's cascade. REQUIRES: mu_ held
+  // (released around run builds when io_lock is non-null).
+  Status Cascade(std::unique_lock<std::mutex>* io_lock);
+
+  // True iff some level violates its merge-policy invariant, i.e. the
+  // cascade for the configured policy would do work. Must match the
+  // cascades' stop conditions exactly or the worker would spin (or stall).
+  // REQUIRES: mu_ held.
+  bool CascadePendingLocked() const;
 
   // Captures the post-compaction tree geometry, resolves the FPR for the
   // output run, and allocates its file number. REQUIRES: mu_ held.
@@ -220,6 +280,24 @@ class DB {
                   uint64_t estimated_entries,
                   const std::set<uint64_t>& replaced_files, RunPtr* out,
                   std::unique_lock<std::mutex>* io_lock);
+
+  // Merges `inputs` (plus `mem`, when non-null) into the target level,
+  // possibly as several parallel range-partitioned subcompactions when a
+  // compaction pool exists and the policy is leveling: the key space is
+  // split at fence-pointer boundaries (always between user keys, never
+  // between versions of one key) into disjoint ranges, each merged by its
+  // own thread into its own output run, all sharing one FPR/sequence/
+  // snapshot decision. Appends the non-empty outputs to *outputs in key
+  // order; with compaction_threads == 1 this is byte-identical to the
+  // single BuildRun path. When io_lock is non-null, mu_ is released during
+  // the builds. REQUIRES: mu_ held.
+  Status BuildMergeOutputs(const std::vector<RunPtr>& inputs,
+                           const std::shared_ptr<MemTable>& mem,
+                           int target_level, bool drop_tombstones,
+                           uint64_t estimated_entries,
+                           const std::set<uint64_t>& replaced_files,
+                           std::vector<RunPtr>* outputs,
+                           std::unique_lock<std::mutex>* io_lock);
 
   // True iff nothing older than output_level exists, so tombstones and all
   // superseded entries can be dropped.
@@ -278,6 +356,15 @@ class DB {
   mutable std::mutex mu_;
   std::shared_ptr<MemTable> mem_;
   std::vector<ImmEntry> imm_;  // Newest first.
+
+  // Group-commit writer queue (REQUIRES mu_). front() is the leader; it
+  // commits a prefix of the queue and pops it. commit_in_flight_ is true
+  // while the leader works outside mu_; maintenance operations that swap
+  // mem_ or the WAL (Flush, CompactAll, Checkpoint, GetSnapshot) wait on
+  // commit_cv_ for it to clear so they never observe a half-applied group.
+  std::deque<Writer*> writers_;
+  bool commit_in_flight_ = false;
+  std::condition_variable commit_cv_;
   std::multiset<SequenceNumber> snapshots_;
   std::atomic<SequenceNumber> last_sequence_{0};
   uint64_t next_file_number_ = 1;
@@ -304,6 +391,10 @@ class DB {
   // worker, and only then tears members down, so the worker never touches
   // a dead Env or Version.
   std::thread bg_thread_;
+  // Extra merge threads for range-partitioned subcompactions; non-null iff
+  // compaction_threads > 1 (holds compaction_threads - 1 threads — the
+  // dispatching thread works too). Destroyed after bg_thread_ joins.
+  std::unique_ptr<ThreadPool> compaction_pool_;
   std::condition_variable bg_work_cv_;  // Signals the worker: work/shutdown.
   std::condition_variable bg_done_cv_;  // Signals writers: progress made.
   bool worker_busy_ = false;            // REQUIRES mu_.

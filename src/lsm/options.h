@@ -79,6 +79,28 @@ struct DbOptions {
   // short of full and stalls while it is full. Only used when
   // background_compaction is true. Must be >= 1.
   int max_immutable_memtables = 2;
+
+  // Group commit: concurrent writers enqueue behind a writer queue; the
+  // front writer (the leader) coalesces every pending batch — up to this
+  // many payload bytes — into a single WAL record with one fsync (issued
+  // when any group member asked for sync), applies the merged batch to the
+  // memtable once, and wakes the followers with their individual statuses.
+  // The leader's own batch always commits regardless of this cap. A single
+  // uncontended writer forms a group of one, which is byte- and
+  // I/O-identical to the pre-group-commit write path.
+  size_t max_write_group_bytes = 1 << 20;
+
+  // Number of threads executing merge work. 1 (the default) runs every
+  // flush and merge single-threaded, exactly like the original engine
+  // (bit-identical per-operation I/O schedule). Values > 1 create a pool
+  // of compaction_threads - 1 extra workers and split large leveling
+  // merges into that many disjoint key ranges at fence-pointer boundaries
+  // (range-partitioned subcompactions): the ranges are merged in parallel
+  // into separate output runs with disjoint user-key spans and installed
+  // atomically as one version edit. Only leveling merges are partitioned
+  // (tiering counts runs per level, so fragmenting a run would distort its
+  // geometry); other policies ignore values > 1. Must be >= 1.
+  int compaction_threads = 1;
 };
 
 class Snapshot;

@@ -11,6 +11,12 @@ int Version::DeepestNonEmptyLevel() const {
   return 0;
 }
 
+uint64_t Version::EntriesAt(int level) const {
+  uint64_t total = 0;
+  for (const RunPtr& run : RunsAt(level)) total += run->num_entries;
+  return total;
+}
+
 uint64_t Version::TotalEntries() const {
   uint64_t total = 0;
   for (const auto& level : levels_) {

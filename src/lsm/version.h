@@ -64,6 +64,11 @@ class Version {
   // Deepest level with at least one run (0 if the tree is empty on disk).
   int DeepestNonEmptyLevel() const;
 
+  // Total entries at a 1-based level. A level normally holds whole runs,
+  // but after a range-partitioned subcompaction it may hold several
+  // disjoint fragments of one logical run — capacity checks must sum them.
+  uint64_t EntriesAt(int level) const;
+
   uint64_t TotalEntries() const;
   uint64_t TotalRuns() const;
   uint64_t TotalFilterBits() const;

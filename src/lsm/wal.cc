@@ -71,6 +71,20 @@ void WalBatch::Delete(const Slice& key) {
   EncodeFixed32(rep_.data() + count_offset_, count_);
 }
 
+void WalBatch::Add(ValueType type, const Slice& key, const Slice& value) {
+  switch (type) {
+    case ValueType::kValue:
+      Put(key, value);
+      break;
+    case ValueType::kValueHandle:
+      PutHandle(key, value);
+      break;
+    case ValueType::kDeletion:
+      Delete(key);
+      break;
+  }
+}
+
 Status WalBatch::Iterate(
     const Slice& payload,
     const std::function<void(SequenceNumber, ValueType, const Slice&,

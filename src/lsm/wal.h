@@ -2,7 +2,9 @@
 // memtable, so the buffer's contents survive a crash (paper Sec. 2 buffers
 // all updates in memory; the WAL is the standard durability companion).
 //
-// Record format (one record per write batch):
+// Record format (one record per *write group*: the group-commit leader
+// coalesces every batch in its group into a single record, so a crash
+// preserves whole groups — a superset of per-batch atomicity):
 //   fixed32 masked_crc(payload) | fixed32 payload_length | payload
 // Payload format:
 //   fixed64 first_sequence | varint32 count |
@@ -61,6 +63,9 @@ class WalBatch {
   // Records a key whose value lives in the value log; handle_encoding is
   // the serialized ValueHandle.
   void PutHandle(const Slice& key, const Slice& handle_encoding);
+  // Generic form of the three above (value is ignored for deletions); the
+  // group-commit leader uses it to merge heterogeneous batches.
+  void Add(ValueType type, const Slice& key, const Slice& value);
 
   uint32_t count() const { return count_; }
   Slice payload() const { return Slice(rep_); }

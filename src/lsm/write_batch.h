@@ -19,15 +19,24 @@ class WriteBatch {
 
   void Put(const Slice& key, const Slice& value) {
     ops_.push_back(Op{ValueType::kValue, key.ToString(), value.ToString()});
+    approximate_bytes_ += key.size() + value.size() + kPerOpOverhead;
   }
 
   void Delete(const Slice& key) {
     ops_.push_back(Op{ValueType::kDeletion, key.ToString(), std::string()});
+    approximate_bytes_ += key.size() + kPerOpOverhead;
   }
 
-  void Clear() { ops_.clear(); }
+  void Clear() {
+    ops_.clear();
+    approximate_bytes_ = 0;
+  }
 
   size_t count() const { return ops_.size(); }
+
+  // Rough WAL payload footprint of this batch; the group-commit leader uses
+  // it to cap how many follower batches join one write group.
+  size_t approximate_bytes() const { return approximate_bytes_; }
 
   // Internal: the recorded operations, in order.
   struct Op {
@@ -38,7 +47,11 @@ class WriteBatch {
   const std::vector<Op>& ops() const { return ops_; }
 
  private:
+  // Type byte plus two varint length prefixes, conservatively.
+  static constexpr size_t kPerOpOverhead = 8;
+
   std::vector<Op> ops_;
+  size_t approximate_bytes_ = 0;
 };
 
 }  // namespace monkeydb

@@ -62,6 +62,14 @@ uint64_t TableReader::num_data_blocks() const {
   return n;
 }
 
+void TableReader::AppendBoundaryUserKeys(std::vector<std::string>* out) const {
+  auto it = index_block_->NewIterator(options_.comparator);
+  for (it->SeekToFirst(); it->Valid(); it->Next()) {
+    const Slice user_key = ExtractUserKey(it->key());
+    out->emplace_back(user_key.data(), user_key.size());
+  }
+}
+
 Status TableReader::ReadDataBlock(
     const BlockHandle& handle, std::shared_ptr<const Block>* block) const {
   BlockCache::Key cache_key{options_.cache_file_id, handle.offset};

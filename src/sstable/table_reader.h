@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "io/block_cache.h"
 #include "io/env.h"
@@ -64,6 +65,12 @@ class TableReader {
 
   uint64_t filter_size_bits() const;
   uint64_t num_data_blocks() const;
+
+  // Appends the user key of every fence pointer (the largest key of each
+  // data block) to *out. These are natural split candidates for
+  // range-partitioned subcompactions: all the data below a fence lives in
+  // earlier pages. No I/O — the index block is resident.
+  void AppendBoundaryUserKeys(std::vector<std::string>* out) const;
 
  private:
   TableReader(const TableReaderOptions& options,

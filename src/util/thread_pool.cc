@@ -1,0 +1,92 @@
+#include "util/thread_pool.h"
+
+#include <atomic>
+#include <memory>
+
+namespace monkeydb {
+
+namespace {
+
+// Completion tracking for one RunBatch call. The batch owner waits on cv
+// until every wrapped task has reported in.
+struct BatchState {
+  explicit BatchState(size_t total) : remaining(total) {}
+
+  void TaskDone() {
+    std::lock_guard<std::mutex> lock(mu);
+    if (--remaining == 0) cv.notify_all();
+  }
+
+  std::mutex mu;
+  std::condition_variable cv;
+  size_t remaining;
+};
+
+}  // namespace
+
+ThreadPool::ThreadPool(int num_threads) {
+  threads_.reserve(num_threads > 0 ? num_threads : 0);
+  for (int i = 0; i < num_threads; i++) {
+    threads_.emplace_back(&ThreadPool::WorkerMain, this);
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutting_down_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& thread : threads_) thread.join();
+}
+
+void ThreadPool::WorkerMain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    work_cv_.wait(lock, [this] { return shutting_down_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      if (shutting_down_) return;
+      continue;
+    }
+    std::function<void()> task = std::move(queue_.front());
+    queue_.pop_front();
+    lock.unlock();
+    task();
+    lock.lock();
+  }
+}
+
+void ThreadPool::RunBatch(std::vector<std::function<void()>> tasks) {
+  if (tasks.empty()) return;
+  auto state = std::make_shared<BatchState>(tasks.size());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (std::function<void()>& task : tasks) {
+      queue_.emplace_back([task = std::move(task), state] {
+        task();
+        state->TaskDone();
+      });
+    }
+  }
+  work_cv_.notify_all();
+
+  // Participate: drain queued work (this batch's tasks, in the common
+  // single-scheduler case) until the batch completes, then wait for any
+  // stragglers still running on pool threads.
+  while (true) {
+    std::function<void()> task;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!queue_.empty()) {
+        task = std::move(queue_.front());
+        queue_.pop_front();
+      }
+    }
+    if (!task) break;
+    task();
+  }
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->cv.wait(lock, [&] { return state->remaining == 0; });
+}
+
+}  // namespace monkeydb

@@ -1,0 +1,48 @@
+// ThreadPool: a small fixed pool of worker threads executing batches of
+// tasks. Built for compaction fan-out (range-partitioned subcompactions):
+// the scheduling thread submits one batch, participates in executing it,
+// and returns only when every task in the batch has finished.
+
+#ifndef MONKEYDB_UTIL_THREAD_POOL_H_
+#define MONKEYDB_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace monkeydb {
+
+class ThreadPool {
+ public:
+  // Spawns num_threads workers (0 is allowed: RunBatch then executes every
+  // task on the calling thread).
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Runs every task and returns once all of them have completed. The
+  // calling thread executes tasks too (it is one of the batch's workers),
+  // so a pool of N threads gives N+1-way parallelism to the caller.
+  // Tasks must not themselves call RunBatch on the same pool.
+  void RunBatch(std::vector<std::function<void()>> tasks);
+
+  int num_threads() const { return static_cast<int>(threads_.size()); }
+
+ private:
+  void WorkerMain();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::deque<std::function<void()>> queue_;
+  bool shutting_down_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace monkeydb
+
+#endif  // MONKEYDB_UTIL_THREAD_POOL_H_

@@ -9,6 +9,14 @@ std::shared_ptr<const std::string> MakeBlock(size_t size, char fill) {
   return std::make_shared<const std::string>(size, fill);
 }
 
+// Mirrors BlockCache's internal hash so tests can pick keys that land in a
+// chosen shard (there are 16 shards).
+size_t ShardOf(const BlockCache::Key& k) {
+  uint64_t h = k.file_id * 0x9E3779B97F4A7C15ULL;
+  h ^= k.offset + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+  return static_cast<size_t>(h) % 16;
+}
+
 TEST(BlockCache, InsertLookup) {
   BlockCache cache(1 << 20);
   BlockCache::Key key{1, 0};
@@ -66,6 +74,36 @@ TEST(BlockCache, LruKeepsRecentlyUsed) {
     cache.Insert(BlockCache::Key{100 + i, 0}, MakeBlock(256, 'c'));
     ASSERT_NE(cache.Lookup(hot), nullptr) << "hot key evicted at i=" << i;
   }
+}
+
+// Regression: per-shard capacity must round up, not floor. With 1599 bytes
+// over 16 shards, flooring gives each shard only 99 bytes, so two 50-byte
+// blocks in the same shard (100 bytes) would evict one of them despite the
+// total budget having room; the rounded-up allowance of 100 keeps both.
+TEST(BlockCache, PerShardCapacityRoundsUp) {
+  BlockCache cache(1599);
+  const BlockCache::Key a{1, 0};
+  BlockCache::Key b{1, 0};
+  bool found = false;
+  for (uint64_t off = 1; off < 100000 && !found; off++) {
+    b = BlockCache::Key{1, off};
+    found = (ShardOf(b) == ShardOf(a));
+  }
+  ASSERT_TRUE(found) << "no same-shard sibling key found";
+
+  cache.Insert(a, MakeBlock(50, 'a'));
+  cache.Insert(b, MakeBlock(50, 'b'));
+  EXPECT_NE(cache.Lookup(a), nullptr) << "first block evicted by shard cap";
+  EXPECT_NE(cache.Lookup(b), nullptr);
+  EXPECT_EQ(cache.usage_bytes(), 100u);
+}
+
+// Capacities below the shard count must not zero every shard's allowance.
+TEST(BlockCache, TinyCapacityStillCaches) {
+  BlockCache cache(8);  // Fewer bytes than shards.
+  BlockCache::Key key{3, 0};
+  cache.Insert(key, MakeBlock(1, 'x'));
+  EXPECT_NE(cache.Lookup(key), nullptr);
 }
 
 TEST(BlockCache, EraseFileDropsAllItsBlocks) {

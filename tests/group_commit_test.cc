@@ -1,0 +1,289 @@
+// Group-commit semantics: a sync writer must never be acknowledged before
+// its batch is durable, grouped batches keep per-batch atomicity, failed
+// group members must not report success, and merged WAL records must
+// replay every member's batch on recovery. The concurrent tests are also
+// exercised under TSan/ASan/UBSan in CI.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "io/env.h"
+#include "io/fault_env.h"
+#include "lsm/db.h"
+
+namespace monkeydb {
+namespace {
+
+class GroupCommitTest : public ::testing::Test {
+ protected:
+  GroupCommitTest() : base_env_(NewMemEnv()), env_(base_env_.get()) {}
+
+  DbOptions MakeOptions() {
+    DbOptions options;
+    options.env = &env_;
+    return options;
+  }
+
+  std::unique_ptr<Env> base_env_;
+  FaultInjectionEnv env_;
+  ReadOptions ro_;
+};
+
+// A sync Put issues (at least) WAL header append, payload append, fsync.
+// Failing the fsync must fail the Put: the writer was never durable, so
+// acknowledging it would violate the sync contract. The entry must also
+// not become visible in this process.
+TEST_F(GroupCommitTest, SyncWriterNotAckedBeforeDurable) {
+  std::unique_ptr<DB> db;
+  ASSERT_TRUE(DB::Open(MakeOptions(), "/db", &db).ok());
+
+  WriteOptions sync_wo;
+  sync_wo.sync = true;
+  // Ops 1-2 (the two WAL appends) succeed; op 3 (the Sync) fails.
+  env_.ScheduleWriteFault(2);
+  Status s = db->Put(sync_wo, "durable?", "no");
+  EXPECT_TRUE(s.IsIoError()) << s.ToString();
+
+  std::string value;
+  EXPECT_TRUE(db->Get(ro_, "durable?", &value).IsNotFound());
+
+  // Once the device recovers, the commit path is usable again.
+  env_.ResetFaults();
+  ASSERT_TRUE(db->Put(sync_wo, "after", "v").ok());
+  ASSERT_TRUE(db->Get(ro_, "after", &value).ok());
+  EXPECT_EQ(value, "v");
+}
+
+// Under a mid-run WAL failure with many concurrent writers, every Put that
+// returned ok() must be readable and every Put that failed must not be:
+// a follower whose batch was not applied must never see success, and a
+// leader must not apply batches whose WAL record did not land.
+TEST_F(GroupCommitTest, FailedGroupMembersSeeTheError) {
+  std::unique_ptr<DB> db;
+  ASSERT_TRUE(DB::Open(MakeOptions(), "/db", &db).ok());
+
+  constexpr int kThreads = 8;
+  constexpr int kWritesPerThread = 200;
+  // Each thread records how far it got before the injected failure.
+  std::vector<int> acked(kThreads, 0);
+  std::atomic<int> failures{0};
+
+  env_.ScheduleWriteFault(400);
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; t++) {
+    writers.emplace_back([&, t] {
+      WriteOptions wo;
+      for (int i = 0; i < kWritesPerThread; i++) {
+        const std::string key =
+            "t" + std::to_string(t) + "_" + std::to_string(i);
+        if (!db->Put(wo, key, "v").ok()) {
+          failures.fetch_add(1);
+          break;
+        }
+        acked[t] = i + 1;
+      }
+    });
+  }
+  for (auto& w : writers) w.join();
+  env_.ResetFaults();
+  EXPECT_GT(failures.load(), 0) << "fault never surfaced";
+
+  std::string value;
+  for (int t = 0; t < kThreads; t++) {
+    for (int i = 0; i < acked[t]; i++) {
+      const std::string key =
+          "t" + std::to_string(t) + "_" + std::to_string(i);
+      EXPECT_TRUE(db->Get(ro_, key, &value).ok())
+          << "acked write missing: " << key;
+    }
+    // The first unacked write (if the thread failed) was reported as an
+    // error and must not have been applied.
+    if (acked[t] < kWritesPerThread) {
+      const std::string key =
+          "t" + std::to_string(t) + "_" + std::to_string(acked[t]);
+      EXPECT_TRUE(db->Get(ro_, key, &value).IsNotFound())
+          << "failed write visible: " << key;
+    }
+  }
+}
+
+// Concurrent multi-op batches grouped into shared WAL records must stay
+// atomic: a snapshot reader either sees all four slots of a generation or
+// none of it mixed. Also checks the final state, which would be corrupted
+// if two batches ever received overlapping sequence numbers.
+TEST_F(GroupCommitTest, InterleavedBatchesStayAtomic) {
+  std::unique_ptr<DB> db;
+  ASSERT_TRUE(DB::Open(MakeOptions(), "/db", &db).ok());
+
+  constexpr int kThreads = 4;
+  constexpr int kSlots = 4;
+  constexpr int kGenerations = 120;
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> atomicity_violations{0};
+  std::atomic<int> write_errors{0};
+
+  // Seed generation 0 so readers always find the slots.
+  for (int t = 0; t < kThreads; t++) {
+    WriteBatch batch;
+    for (int k = 0; k < kSlots; k++) {
+      batch.Put("t" + std::to_string(t) + "_slot" + std::to_string(k), "0");
+    }
+    ASSERT_TRUE(db->Write(WriteOptions(), batch).ok());
+  }
+
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; t++) {
+    workers.emplace_back([&, t] {
+      WriteOptions wo;
+      for (int gen = 1; gen <= kGenerations; gen++) {
+        WriteBatch batch;
+        for (int k = 0; k < kSlots; k++) {
+          batch.Put("t" + std::to_string(t) + "_slot" + std::to_string(k),
+                    std::to_string(gen));
+        }
+        if (!db->Write(wo, batch).ok()) {
+          write_errors.fetch_add(1);
+          return;
+        }
+      }
+    });
+  }
+  // Two snapshot readers checking all-or-nothing visibility per batch.
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; r++) {
+    readers.emplace_back([&, r] {
+      while (!stop.load(std::memory_order_acquire)) {
+        const int t = r % kThreads;
+        const Snapshot* snap = db->GetSnapshot();
+        ReadOptions snap_ro;
+        snap_ro.snapshot = snap;
+        std::string first, value;
+        bool ok = true;
+        for (int k = 0; k < kSlots && ok; k++) {
+          const std::string key =
+              "t" + std::to_string(t) + "_slot" + std::to_string(k);
+          ok = db->Get(snap_ro, key, &value).ok();
+          if (k == 0) first = value;
+          if (ok && value != first) atomicity_violations.fetch_add(1);
+        }
+        if (!ok) atomicity_violations.fetch_add(1);
+        db->ReleaseSnapshot(snap);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  stop.store(true, std::memory_order_release);
+  for (auto& r : readers) r.join();
+
+  EXPECT_EQ(write_errors.load(), 0);
+  EXPECT_EQ(atomicity_violations.load(), 0);
+  std::string value;
+  for (int t = 0; t < kThreads; t++) {
+    for (int k = 0; k < kSlots; k++) {
+      ASSERT_TRUE(db->Get(ro_, "t" + std::to_string(t) + "_slot" +
+                                   std::to_string(k),
+                          &value)
+                      .ok());
+      EXPECT_EQ(value, std::to_string(kGenerations));
+    }
+  }
+}
+
+// Merged group records in the WAL must replay every member batch with the
+// right contents after a crash, and writes acknowledged as sync must be
+// there. Mixed sync and non-sync writers share groups.
+TEST_F(GroupCommitTest, GroupedRecordsSurviveReopen) {
+  {
+    std::unique_ptr<DB> db;
+    ASSERT_TRUE(DB::Open(MakeOptions(), "/db", &db).ok());
+    constexpr int kThreads = 6;
+    constexpr int kWritesPerThread = 150;
+    std::atomic<int> write_errors{0};
+    std::vector<std::thread> writers;
+    for (int t = 0; t < kThreads; t++) {
+      writers.emplace_back([&, t] {
+        WriteOptions wo;
+        wo.sync = (t % 2 == 0);  // Mix sync and non-sync group members.
+        for (int i = 0; i < kWritesPerThread; i++) {
+          WriteBatch batch;
+          batch.Put("t" + std::to_string(t) + "_" + std::to_string(i),
+                    "v" + std::to_string(i));
+          batch.Put("t" + std::to_string(t) + "_dup", std::to_string(i));
+          if (!db->Write(wo, batch).ok()) {
+            write_errors.fetch_add(1);
+            return;
+          }
+        }
+      });
+    }
+    for (auto& w : writers) w.join();
+    ASSERT_EQ(write_errors.load(), 0);
+    db.reset();  // "Crash": memtable contents only exist in the WAL.
+  }
+
+  std::unique_ptr<DB> db;
+  ASSERT_TRUE(DB::Open(MakeOptions(), "/db", &db).ok());
+  std::string value;
+  for (int t = 0; t < 6; t++) {
+    for (int i = 0; i < 150; i++) {
+      ASSERT_TRUE(db->Get(ro_, "t" + std::to_string(t) + "_" +
+                                   std::to_string(i),
+                          &value)
+                      .ok())
+          << "t" << t << " i" << i;
+      EXPECT_EQ(value, "v" + std::to_string(i));
+    }
+    ASSERT_TRUE(
+        db->Get(ro_, "t" + std::to_string(t) + "_dup", &value).ok());
+    EXPECT_EQ(value, "149");  // Last write per thread wins.
+  }
+}
+
+// The group byte cap bounds how much one leader commits at once; huge
+// batches still go through (a group always admits its first member).
+TEST_F(GroupCommitTest, ByteCapAdmitsOversizedSingleton) {
+  DbOptions options = MakeOptions();
+  options.max_write_group_bytes = 256;  // Tiny cap.
+  std::unique_ptr<DB> db;
+  ASSERT_TRUE(DB::Open(options, "/db", &db).ok());
+
+  WriteBatch big;
+  for (int i = 0; i < 100; i++) {
+    big.Put("big" + std::to_string(i), std::string(64, 'x'));
+  }
+  ASSERT_TRUE(db->Write(WriteOptions(), big).ok());
+
+  // Concurrent small writers under the tiny cap still all commit.
+  std::vector<std::thread> writers;
+  std::atomic<int> write_errors{0};
+  for (int t = 0; t < 4; t++) {
+    writers.emplace_back([&, t] {
+      WriteOptions wo;
+      for (int i = 0; i < 100; i++) {
+        if (!db->Put(wo, "s" + std::to_string(t) + "_" + std::to_string(i),
+                     "v")
+                 .ok()) {
+          write_errors.fetch_add(1);
+          return;
+        }
+      }
+    });
+  }
+  for (auto& w : writers) w.join();
+  EXPECT_EQ(write_errors.load(), 0);
+
+  std::string value;
+  ASSERT_TRUE(db->Get(ro_, "big99", &value).ok());
+  for (int t = 0; t < 4; t++) {
+    ASSERT_TRUE(
+        db->Get(ro_, "s" + std::to_string(t) + "_99", &value).ok());
+  }
+}
+
+}  // namespace
+}  // namespace monkeydb

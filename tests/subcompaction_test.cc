@@ -1,0 +1,256 @@
+// Range-partitioned subcompactions: a leveling merge split across a worker
+// pool must produce output equivalent to the single-threaded merge — same
+// surviving entries per level, same scans, same point lookups — because the
+// partitions only change where run fragments are cut, never which entries
+// survive. Also covers boundary edge cases (few distinct keys) and the
+// background worker pool under concurrent writers.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "io/env.h"
+#include "lsm/db.h"
+
+namespace monkeydb {
+namespace {
+
+std::string Key(int i) {
+  char buf[16];
+  snprintf(buf, sizeof(buf), "key%05d", i);
+  return buf;
+}
+
+DbOptions SmallTreeOptions(Env* env, int compaction_threads) {
+  DbOptions options;
+  options.env = env;
+  options.merge_policy = MergePolicy::kLeveling;
+  options.size_ratio = 3.0;
+  options.buffer_size_bytes = 8 << 10;  // Small: many flushes and merges.
+  options.compaction_threads = compaction_threads;
+  return options;
+}
+
+// Overwrites and deletes across several generations, so merges must both
+// drop superseded versions and purge tombstones.
+void ApplyWorkload(DB* db, int num_keys, int generations) {
+  WriteOptions wo;
+  for (int gen = 0; gen < generations; gen++) {
+    for (int i = 0; i < num_keys; i++) {
+      ASSERT_TRUE(
+          db->Put(wo, Key(i), "g" + std::to_string(gen) + "_" + Key(i))
+              .ok());
+    }
+    for (int i = gen; i < num_keys; i += 5) {
+      ASSERT_TRUE(db->Delete(wo, Key(i)).ok());
+    }
+  }
+  ASSERT_TRUE(db->Flush().ok());
+}
+
+std::vector<std::pair<std::string, std::string>> FullScan(DB* db) {
+  std::vector<std::pair<std::string, std::string>> out;
+  auto iter = db->NewIterator(ReadOptions());
+  for (iter->SeekToFirst(); iter->Valid(); iter->Next()) {
+    out.emplace_back(iter->key().ToString(), iter->value().ToString());
+  }
+  return out;
+}
+
+TEST(Subcompaction, ParallelMergeMatchesSingleThreaded) {
+  constexpr int kNumKeys = 1500;
+  constexpr int kGenerations = 3;
+
+  auto env1 = NewMemEnv();
+  auto env4 = NewMemEnv();
+  std::unique_ptr<DB> db1, db4;
+  ASSERT_TRUE(DB::Open(SmallTreeOptions(env1.get(), 1), "/db", &db1).ok());
+  ASSERT_TRUE(DB::Open(SmallTreeOptions(env4.get(), 4), "/db", &db4).ok());
+
+  ApplyWorkload(db1.get(), kNumKeys, kGenerations);
+  ApplyWorkload(db4.get(), kNumKeys, kGenerations);
+
+  // Same merge decisions, so the same entries survive at each level; only
+  // the fragmentation into runs may differ.
+  const DbStats s1 = db1->GetStats();
+  const DbStats s4 = db4->GetStats();
+  EXPECT_EQ(s1.total_disk_entries, s4.total_disk_entries);
+  EXPECT_EQ(s1.deepest_level, s4.deepest_level);
+  ASSERT_EQ(s1.entries_per_level.size(), s4.entries_per_level.size());
+  for (size_t i = 0; i < s1.entries_per_level.size(); i++) {
+    EXPECT_EQ(s1.entries_per_level[i], s4.entries_per_level[i])
+        << "level " << i + 1;
+  }
+  EXPECT_GT(s4.merges, 0u);
+
+  EXPECT_EQ(FullScan(db1.get()), FullScan(db4.get()));
+
+  // Spot-check lookups: last generation's deletes hit keys = gen-1 mod 5
+  // onwards; every key deleted in the final generation must be NotFound in
+  // both, survivors must agree.
+  ReadOptions ro;
+  std::string v1, v4;
+  for (int i = 0; i < kNumKeys; i += 7) {
+    const Status g1 = db1->Get(ro, Key(i), &v1);
+    const Status g4 = db4->Get(ro, Key(i), &v4);
+    EXPECT_EQ(g1.ok(), g4.ok()) << Key(i);
+    EXPECT_EQ(g1.IsNotFound(), g4.IsNotFound()) << Key(i);
+    if (g1.ok() && g4.ok()) EXPECT_EQ(v1, v4) << Key(i);
+  }
+}
+
+TEST(Subcompaction, CompactAllMatchesSingleThreaded) {
+  auto env1 = NewMemEnv();
+  auto env4 = NewMemEnv();
+  std::unique_ptr<DB> db1, db4;
+  ASSERT_TRUE(DB::Open(SmallTreeOptions(env1.get(), 1), "/db", &db1).ok());
+  ASSERT_TRUE(DB::Open(SmallTreeOptions(env4.get(), 4), "/db", &db4).ok());
+
+  ApplyWorkload(db1.get(), 1000, 2);
+  ApplyWorkload(db4.get(), 1000, 2);
+  ASSERT_TRUE(db1->CompactAll().ok());
+  ASSERT_TRUE(db4->CompactAll().ok());
+
+  EXPECT_EQ(db1->GetStats().total_disk_entries,
+            db4->GetStats().total_disk_entries);
+  EXPECT_EQ(FullScan(db1.get()), FullScan(db4.get()));
+}
+
+// With only a handful of distinct user keys, there are fewer fence-pointer
+// boundaries than workers. The partitioner must clamp (never split between
+// versions of one user key) and still converge to the right final state.
+TEST(Subcompaction, FewDistinctKeysManyOverwrites) {
+  auto env = NewMemEnv();
+  std::unique_ptr<DB> db;
+  ASSERT_TRUE(DB::Open(SmallTreeOptions(env.get(), 4), "/db", &db).ok());
+
+  WriteOptions wo;
+  constexpr int kDistinct = 5;
+  constexpr int kOverwrites = 2000;
+  for (int i = 0; i < kOverwrites; i++) {
+    for (int k = 0; k < kDistinct; k++) {
+      ASSERT_TRUE(
+          db->Put(wo, "hot" + std::to_string(k),
+                  std::string(48, 'a' + (i + k) % 26) + std::to_string(i))
+              .ok());
+    }
+  }
+  ASSERT_TRUE(db->Flush().ok());
+
+  ReadOptions ro;
+  std::string value;
+  for (int k = 0; k < kDistinct; k++) {
+    ASSERT_TRUE(db->Get(ro, "hot" + std::to_string(k), &value).ok()) << k;
+    EXPECT_EQ(value,
+              std::string(48, 'a' + (kOverwrites - 1 + k) % 26) +
+                  std::to_string(kOverwrites - 1))
+        << k;
+  }
+  EXPECT_EQ(FullScan(db.get()).size(), static_cast<size_t>(kDistinct));
+}
+
+// A single-key database exercises the most degenerate partitioning input.
+TEST(Subcompaction, SingleKeyTree) {
+  auto env = NewMemEnv();
+  std::unique_ptr<DB> db;
+  ASSERT_TRUE(DB::Open(SmallTreeOptions(env.get(), 4), "/db", &db).ok());
+
+  WriteOptions wo;
+  for (int i = 0; i < 5000; i++) {
+    ASSERT_TRUE(db->Put(wo, "only", std::string(40, 'x') + std::to_string(i))
+                    .ok());
+  }
+  ASSERT_TRUE(db->Flush().ok());
+  ASSERT_TRUE(db->CompactAll().ok());
+
+  ReadOptions ro;
+  std::string value;
+  ASSERT_TRUE(db->Get(ro, "only", &value).ok());
+  EXPECT_EQ(value, std::string(40, 'x') + "4999");
+  EXPECT_LE(db->GetStats().total_disk_entries, 2u);
+}
+
+// Worker pool + background mode + concurrent writers: flushes must keep
+// priority over merges and everything must drain cleanly on Flush().
+TEST(Subcompaction, BackgroundPoolStress) {
+  auto env = NewMemEnv();
+  DbOptions options = SmallTreeOptions(env.get(), 4);
+  options.background_compaction = true;
+  std::unique_ptr<DB> db;
+  ASSERT_TRUE(DB::Open(options, "/db", &db).ok());
+
+  constexpr int kThreads = 4;
+  constexpr int kWritesPerThread = 1500;
+  std::atomic<int> write_errors{0};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; t++) {
+    writers.emplace_back([&, t] {
+      WriteOptions wo;
+      for (int i = 0; i < kWritesPerThread; i++) {
+        const std::string key =
+            "t" + std::to_string(t) + "_" + Key(i % 500);
+        if (!db->Put(wo, key, "v" + std::to_string(i)).ok()) {
+          write_errors.fetch_add(1);
+          return;
+        }
+      }
+    });
+  }
+  for (auto& w : writers) w.join();
+  ASSERT_EQ(write_errors.load(), 0);
+  ASSERT_TRUE(db->Flush().ok());
+
+  ReadOptions ro;
+  std::string value;
+  for (int t = 0; t < kThreads; t++) {
+    for (int i = 0; i < 500; i += 13) {
+      const std::string key = "t" + std::to_string(t) + "_" + Key(i);
+      ASSERT_TRUE(db->Get(ro, key, &value).ok()) << key;
+      // Last overwrite of slot i was at iteration i + 500*k for the
+      // largest k with i + 500*k < kWritesPerThread.
+      const int last = i + 500 * ((kWritesPerThread - 1 - i) / 500);
+      EXPECT_EQ(value, "v" + std::to_string(last)) << key;
+    }
+  }
+  EXPECT_EQ(FullScan(db.get()).size(),
+            static_cast<size_t>(kThreads) * 500);
+}
+
+// Snapshots pinned across parallel merges must keep their versions: the
+// shared PrepareJobLocked decision (including the snapshot floor) applies
+// to every fragment.
+TEST(Subcompaction, SnapshotSurvivesParallelMerges) {
+  auto env = NewMemEnv();
+  std::unique_ptr<DB> db;
+  ASSERT_TRUE(DB::Open(SmallTreeOptions(env.get(), 4), "/db", &db).ok());
+
+  WriteOptions wo;
+  for (int i = 0; i < 300; i++) {
+    ASSERT_TRUE(db->Put(wo, Key(i), "old").ok());
+  }
+  const Snapshot* snap = db->GetSnapshot();
+  for (int gen = 0; gen < 10; gen++) {
+    for (int i = 0; i < 300; i++) {
+      ASSERT_TRUE(db->Put(wo, Key(i), "new" + std::to_string(gen)).ok());
+    }
+  }
+  ASSERT_TRUE(db->Flush().ok());
+  EXPECT_GT(db->GetStats().merges, 0u);
+
+  ReadOptions snap_ro;
+  snap_ro.snapshot = snap;
+  std::string value;
+  for (int i = 0; i < 300; i += 11) {
+    ASSERT_TRUE(db->Get(snap_ro, Key(i), &value).ok()) << i;
+    EXPECT_EQ(value, "old") << i;
+  }
+  db->ReleaseSnapshot(snap);
+}
+
+}  // namespace
+}  // namespace monkeydb
