@@ -7,7 +7,8 @@ BlockCache::BlockCache(size_t capacity_bytes)
       // Round up: flooring would drop up to kNumShards-1 bytes of budget,
       // and for capacities below kNumShards it would zero every shard's
       // allowance, effectively disabling the cache.
-      per_shard_capacity_((capacity_bytes + kNumShards - 1) / kNumShards) {}
+      per_shard_capacity_((capacity_bytes + kNumShards - 1) / kNumShards),
+      hot_capacity_((per_shard_capacity_ + 1) / 2) {}
 
 std::shared_ptr<const std::string> BlockCache::Lookup(const Key& key) {
   if (capacity_ == 0) return nullptr;
@@ -19,56 +20,110 @@ std::shared_ptr<const std::string> BlockCache::Lookup(const Key& key) {
     return nullptr;
   }
   shard->hits++;
-  // Move to front (most recently used).
-  shard->lru.splice(shard->lru.begin(), shard->lru, it->second);
-  return it->second->block;
+  Entry& entry = *it->second;
+  if (entry.prefetched) {
+    shard->prefetch_hits++;
+    entry.prefetched = false;
+  }
+  // Promote to the hot front (most recently used); a referenced scan block
+  // graduates from the cold segment here.
+  if (entry.hot) {
+    shard->hot.splice(shard->hot.begin(), shard->hot, it->second);
+  } else {
+    entry.hot = true;
+    shard->hot_usage += entry.block->size();
+    shard->hot.splice(shard->hot.begin(), shard->cold, it->second);
+  }
+  auto block = entry.block;
+  BalanceAndEvictLocked(shard);
+  return block;
 }
 
 void BlockCache::Insert(const Key& key,
-                        std::shared_ptr<const std::string> block) {
+                        std::shared_ptr<const std::string> block,
+                        InsertPriority priority) {
   if (capacity_ == 0 || block == nullptr) return;
   Shard* shard = GetShard(key);
   std::lock_guard<std::mutex> lock(shard->mu);
   auto it = shard->index.find(key);
   if (it != shard->index.end()) {
     shard->usage -= it->second->block->size();
-    shard->lru.erase(it->second);
+    if (it->second->hot) {
+      shard->hot_usage -= it->second->block->size();
+      shard->hot.erase(it->second);
+    } else {
+      shard->cold.erase(it->second);
+    }
     shard->index.erase(it);
   }
   shard->usage += block->size();
-  shard->lru.push_front(Entry{key, std::move(block)});
-  shard->index[key] = shard->lru.begin();
-  EvictLocked(shard);
+  if (priority == InsertPriority::kHigh) {
+    shard->hot_usage += block->size();
+    shard->hot.push_front(Entry{key, std::move(block), true, false});
+    shard->index[key] = shard->hot.begin();
+  } else {
+    // Midpoint insertion: the block sits behind the whole hot segment in
+    // eviction order, so a scan can only displace other cold blocks.
+    shard->scan_inserts++;
+    shard->cold.push_front(Entry{key, std::move(block), false, true});
+    shard->index[key] = shard->cold.begin();
+  }
+  BalanceAndEvictLocked(shard);
+}
+
+bool BlockCache::Contains(const Key& key) const {
+  if (capacity_ == 0) return false;
+  const Shard* shard = GetShard(key);
+  std::lock_guard<std::mutex> lock(shard->mu);
+  return shard->index.count(key) > 0;
 }
 
 void BlockCache::EraseFile(uint64_t file_id) {
   for (auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard.mu);
-    for (auto it = shard.lru.begin(); it != shard.lru.end();) {
-      if (it->key.file_id == file_id) {
-        shard.usage -= it->block->size();
-        shard.index.erase(it->key);
-        it = shard.lru.erase(it);
-      } else {
-        ++it;
+    for (auto* seg : {&shard.hot, &shard.cold}) {
+      for (auto it = seg->begin(); it != seg->end();) {
+        if (it->key.file_id == file_id) {
+          shard.usage -= it->block->size();
+          if (it->hot) shard.hot_usage -= it->block->size();
+          shard.index.erase(it->key);
+          it = seg->erase(it);
+        } else {
+          ++it;
+        }
       }
     }
   }
 }
 
-void BlockCache::EvictLocked(Shard* shard) {
-  while (shard->usage > per_shard_capacity_ && shard->lru.size() > 1) {
-    const Entry& victim = shard->lru.back();
+void BlockCache::BalanceAndEvictLocked(Shard* shard) {
+  // Demote the hot tail to the cold head while the hot segment is over
+  // budget. This is order-preserving (hot.back is adjacent to cold.front
+  // in the concatenated list), so for kHigh-only workloads the cache
+  // behaves exactly like one LRU list.
+  while (shard->hot_usage > hot_capacity_ && shard->hot.size() > 1) {
+    auto last = std::prev(shard->hot.end());
+    last->hot = false;
+    shard->hot_usage -= last->block->size();
+    shard->cold.splice(shard->cold.begin(), shard->hot, last);
+  }
+  // Evict from the global back; a shard may briefly keep one oversized
+  // entry rather than evicting itself empty.
+  while (shard->usage > per_shard_capacity_ &&
+         shard->hot.size() + shard->cold.size() > 1) {
+    std::list<Entry>& seg = shard->cold.empty() ? shard->hot : shard->cold;
+    const Entry& victim = seg.back();
     shard->usage -= victim.block->size();
+    if (victim.hot) shard->hot_usage -= victim.block->size();
     shard->index.erase(victim.key);
-    shard->lru.pop_back();
+    seg.pop_back();
   }
 }
 
 size_t BlockCache::usage_bytes() const {
   size_t total = 0;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(const_cast<std::mutex&>(shard.mu));
+    std::lock_guard<std::mutex> lock(shard.mu);
     total += shard.usage;
   }
   return total;
@@ -77,7 +132,7 @@ size_t BlockCache::usage_bytes() const {
 uint64_t BlockCache::hits() const {
   uint64_t total = 0;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(const_cast<std::mutex&>(shard.mu));
+    std::lock_guard<std::mutex> lock(shard.mu);
     total += shard.hits;
   }
   return total;
@@ -86,8 +141,26 @@ uint64_t BlockCache::hits() const {
 uint64_t BlockCache::misses() const {
   uint64_t total = 0;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(const_cast<std::mutex&>(shard.mu));
+    std::lock_guard<std::mutex> lock(shard.mu);
     total += shard.misses;
+  }
+  return total;
+}
+
+uint64_t BlockCache::prefetch_hits() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.prefetch_hits;
+  }
+  return total;
+}
+
+uint64_t BlockCache::scan_inserts() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.scan_inserts;
   }
   return total;
 }

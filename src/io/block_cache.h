@@ -3,6 +3,19 @@
 // Mirrors LevelDB's block cache used in the paper's Appendix F experiment
 // (Fig. 12): it caches whole data blocks, not key-value pairs, so even fully
 // cached working sets pay block-granularity occupancy.
+//
+// The cache is scan-resistant. Each shard keeps its recency list in two
+// segments, hot (front half) and cold (back half). Point-lookup blocks
+// (InsertPriority::kHigh) enter at the hot front — the classic MRU
+// position — while readahead and scan blocks (InsertPriority::kLow) enter
+// at the cold front, i.e. the list midpoint. A long range scan therefore
+// only churns the cold half and cannot flush the point-lookup working set;
+// a scanned block earns its way into the hot segment only by being
+// referenced again. When only kHigh inserts occur the two segments behave
+// exactly like a single LRU list (demotion moves the hot tail to the cold
+// head, preserving global recency order, and eviction takes the cold tail),
+// so point-lookup-only workloads see byte-identical hit rates to the
+// previous single-list design.
 
 #ifndef MONKEYDB_IO_BLOCK_CACHE_H_
 #define MONKEYDB_IO_BLOCK_CACHE_H_
@@ -26,6 +39,12 @@ class BlockCache {
     }
   };
 
+  // Where an insert enters the recency list. kHigh is the default MRU
+  // insertion for demand-fetched blocks; kLow enters at the list midpoint
+  // so speculative (readahead) and scan blocks age out without displacing
+  // the hot working set.
+  enum class InsertPriority { kHigh, kLow };
+
   // capacity_bytes == 0 disables the cache (all lookups miss).
   explicit BlockCache(size_t capacity_bytes);
 
@@ -33,11 +52,18 @@ class BlockCache {
   BlockCache& operator=(const BlockCache&) = delete;
 
   // Returns the cached block or nullptr. The returned shared_ptr keeps the
-  // data alive even if the entry is evicted concurrently.
+  // data alive even if the entry is evicted concurrently. A hit promotes
+  // the entry to the hot front regardless of how it was inserted.
   std::shared_ptr<const std::string> Lookup(const Key& key);
 
   // Inserts (replacing any existing entry) and evicts LRU entries as needed.
-  void Insert(const Key& key, std::shared_ptr<const std::string> block);
+  void Insert(const Key& key, std::shared_ptr<const std::string> block,
+              InsertPriority priority = InsertPriority::kHigh);
+
+  // True iff the key is currently cached. Unlike Lookup this neither
+  // promotes the entry nor counts a hit/miss; the readahead scheduler uses
+  // it to skip blocks that are already resident.
+  bool Contains(const Key& key) const;
 
   // Drops every cached block for the given file (called when a run is
   // deleted after compaction).
@@ -47,11 +73,18 @@ class BlockCache {
   size_t usage_bytes() const;
   uint64_t hits() const;
   uint64_t misses() const;
+  // Hits on blocks that were inserted at kLow priority and had not been
+  // referenced yet — i.e. readahead that arrived before the reader did.
+  uint64_t prefetch_hits() const;
+  // Number of kLow-priority (readahead/scan) inserts.
+  uint64_t scan_inserts() const;
 
  private:
   struct Entry {
     Key key;
     std::shared_ptr<const std::string> block;
+    bool hot;         // Which segment the entry currently sits in.
+    bool prefetched;  // Inserted at kLow and not yet referenced.
   };
 
   struct KeyHash {
@@ -64,12 +97,20 @@ class BlockCache {
   };
 
   struct Shard {
-    std::mutex mu;
-    std::list<Entry> lru;  // Front = most recently used.
+    mutable std::mutex mu;
+    // Recency order is the concatenation hot ++ cold: hot.front() is the
+    // shard MRU, cold.back() the next eviction victim. std::list::splice
+    // moves nodes between the segments without invalidating the iterators
+    // stored in index.
+    std::list<Entry> hot;
+    std::list<Entry> cold;
     std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> index;
-    size_t usage = 0;
+    size_t usage = 0;      // Bytes across both segments.
+    size_t hot_usage = 0;  // Bytes in the hot segment only.
     uint64_t hits = 0;
     uint64_t misses = 0;
+    uint64_t prefetch_hits = 0;
+    uint64_t scan_inserts = 0;
   };
 
   static constexpr int kNumShards = 16;
@@ -77,11 +118,18 @@ class BlockCache {
   Shard* GetShard(const Key& key) {
     return &shards_[KeyHash()(key) % kNumShards];
   }
+  const Shard* GetShard(const Key& key) const {
+    return &shards_[KeyHash()(key) % kNumShards];
+  }
 
-  void EvictLocked(Shard* shard);
+  // Demotes hot-tail entries to the cold head until the hot segment fits
+  // its budget (half the shard), then evicts from the cold tail until the
+  // shard fits. Both moves preserve the concatenated recency order.
+  void BalanceAndEvictLocked(Shard* shard);
 
   size_t capacity_;
   size_t per_shard_capacity_;
+  size_t hot_capacity_;  // Per-shard budget for the hot segment.
   Shard shards_[kNumShards];
 };
 

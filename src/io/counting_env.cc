@@ -21,6 +21,12 @@ class CountingRandomAccessFile : public RandomAccessFile {
     return s;
   }
 
+  // Hints are free: the eventual Read is charged as usual, so I/O counts
+  // are identical whether or not the caller prefetches.
+  void ReadAhead(uint64_t offset, size_t n) const override {
+    base_->ReadAhead(offset, n);
+  }
+
  private:
   std::unique_ptr<RandomAccessFile> base_;
   IoStats* stats_;

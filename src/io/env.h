@@ -39,6 +39,16 @@ class RandomAccessFile {
   // Reads up to n bytes starting at offset. Thread-safe.
   virtual Status Read(uint64_t offset, size_t n, Slice* result,
                       char* scratch) const = 0;
+
+  // Asynchronous-read hint: [offset, offset + n) will be read soon, so the
+  // device can start the transfer now and overlap it with whatever the
+  // caller does in the meantime (an NVMe queue at depth > 1). Thread-safe,
+  // fire-and-forget, never fails; a subsequent Read of the range returns
+  // the data as usual, just (on devices that honor the hint) with the
+  // already-elapsed transfer time deducted from its latency. Default:
+  // no-op. PosixEnv forwards to posix_fadvise(WILLNEED); LatencyEnv
+  // timestamps the hint and charges only the remaining latency.
+  virtual void ReadAhead(uint64_t offset, size_t n) const {}
 };
 
 // Append-only writable file (SSTable building, WAL, manifest).

@@ -18,6 +18,11 @@ class FaultyRandomAccessFile : public RandomAccessFile {
     return base_->Read(offset, n, result, scratch);
   }
 
+  // Hints cannot fail (fire-and-forget): faults are injected at the Read.
+  void ReadAhead(uint64_t offset, size_t n) const override {
+    base_->ReadAhead(offset, n);
+  }
+
  private:
   std::unique_ptr<RandomAccessFile> base_;
   FaultInjectionEnv* env_;

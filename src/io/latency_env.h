@@ -16,13 +16,24 @@
 // Write benchmarks use these to model a device where the WAL append and
 // especially the fsync dominate — the regime where group commit pays off
 // by amortizing one append+fsync over many queued writers.
+//
+// ReadAhead hints model an NVMe queue at depth > 1: the hint timestamps
+// the moment the transfer was handed to the device, and the eventual Read
+// of that offset charges only the latency that has not already elapsed —
+// a read issued early enough ahead of its use completes "for free". Reads
+// issued concurrently from several threads overlap naturally (each sleeps
+// on its own thread), so the hint machinery matters for the single-
+// threaded pipelined-scan case where the same thread hints block k+1..k+r
+// before sinking its wait into block k.
 
 #ifndef MONKEYDB_IO_LATENCY_ENV_H_
 #define MONKEYDB_IO_LATENCY_ENV_H_
 
 #include <chrono>
 #include <memory>
+#include <mutex>
 #include <thread>
+#include <unordered_map>
 #include <utility>
 
 #include "io/env.h"
@@ -99,13 +110,44 @@ class LatencyEnv : public Env {
 
     Status Read(uint64_t offset, size_t n, Slice* result,
                 char* scratch) const override {
-      std::this_thread::sleep_for(latency_);
+      auto remaining = latency_;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = inflight_.find(offset);
+        if (it != inflight_.end()) {
+          const auto elapsed =
+              std::chrono::duration_cast<std::chrono::microseconds>(
+                  std::chrono::steady_clock::now() - it->second);
+          remaining = elapsed >= latency_ ? std::chrono::microseconds(0)
+                                          : latency_ - elapsed;
+          inflight_.erase(it);
+        }
+      }
+      if (remaining.count() > 0) std::this_thread::sleep_for(remaining);
       return base_->Read(offset, n, result, scratch);
     }
 
+    void ReadAhead(uint64_t offset, size_t n) const override {
+      base_->ReadAhead(offset, n);
+      std::lock_guard<std::mutex> lock(mu_);
+      // Never refresh an existing hint: the transfer started at the FIRST
+      // hint, and moving the timestamp forward would charge the later Read
+      // more, not less. Bound the table so a caller that hints without
+      // ever reading cannot grow it unboundedly.
+      if (inflight_.size() < kMaxTrackedHints) {
+        inflight_.emplace(offset, std::chrono::steady_clock::now());
+      }
+    }
+
    private:
+    static constexpr size_t kMaxTrackedHints = 4096;
+
     std::unique_ptr<RandomAccessFile> base_;
     std::chrono::microseconds latency_;
+    mutable std::mutex mu_;
+    mutable std::unordered_map<uint64_t,
+                               std::chrono::steady_clock::time_point>
+        inflight_;
   };
 
   class DelayedWritableFile : public WritableFile {

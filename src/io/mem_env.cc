@@ -61,6 +61,11 @@ class MemRandomAccessFile : public RandomAccessFile {
     return Status::OK();
   }
 
+  // Memory is instantaneous: there is nothing to overlap, so the hint is
+  // dropped (decorators that model latency intercept it before it gets
+  // here).
+  void ReadAhead(uint64_t offset, size_t n) const override {}
+
  private:
   MemFilePtr file_;
 };

@@ -63,6 +63,16 @@ class PosixRandomAccessFile : public RandomAccessFile {
     return Status::OK();
   }
 
+  void ReadAhead(uint64_t offset, size_t n) const override {
+#ifdef POSIX_FADV_WILLNEED
+    ::posix_fadvise(fd_, static_cast<off_t>(offset),
+                    static_cast<off_t>(n), POSIX_FADV_WILLNEED);
+#else
+    (void)offset;
+    (void)n;
+#endif
+  }
+
  private:
   std::string fname_;
   int fd_;

@@ -5,6 +5,7 @@
 #include <chrono>
 #include <cstdlib>
 #include <cmath>
+#include <map>
 #include <set>
 #include <thread>
 
@@ -77,9 +78,18 @@ Status DB::Open(const DbOptions& options, const std::string& name,
   if (options.compaction_threads < 1) {
     return Status::InvalidArgument("compaction_threads must be >= 1");
   }
+  if (options.scan_readahead_blocks < 0) {
+    return Status::InvalidArgument("scan_readahead_blocks must be >= 0");
+  }
+  if (options.read_io_threads < 0) {
+    return Status::InvalidArgument("read_io_threads must be >= 0");
+  }
   MONKEYDB_RETURN_IF_ERROR(options.env->CreateDir(name));
 
   auto db = std::unique_ptr<DB>(new DB(options, name));
+  if (options.read_io_threads > 0) {
+    db->read_pool_ = std::make_unique<ThreadPool>(options.read_io_threads);
+  }
   MONKEYDB_RETURN_IF_ERROR(db->Recover());
   *dbptr = std::move(db);
   return Status::OK();
@@ -709,6 +719,182 @@ Status DB::Get(const ReadOptions& options, const Slice& key,
     }
   }
   return Status::NotFound();
+}
+
+std::vector<Status> DB::MultiGet(const ReadOptions& options,
+                                 const std::vector<Slice>& keys,
+                                 std::vector<std::string>* values) {
+  counters_.multigets.fetch_add(1, std::memory_order_relaxed);
+  counters_.gets.fetch_add(keys.size(), std::memory_order_relaxed);
+
+  values->assign(keys.size(), std::string());
+  std::vector<Status> statuses(keys.size(), Status::OK());
+  if (keys.empty()) return statuses;
+
+  // One snapshot for the whole batch (sequence before view, as in Get).
+  const SequenceNumber read_seq =
+      options.snapshot != nullptr
+          ? options.snapshot->sequence()
+          : last_sequence_.load(std::memory_order_acquire);
+  const std::shared_ptr<const ReadView> view = CurrentView();
+
+  std::vector<LookupKey> lookups;
+  lookups.reserve(keys.size());
+  for (const Slice& key : keys) lookups.emplace_back(key, read_seq);
+
+  // Stage 1: the buffer (Level 0) — no I/O. Keys resolved here never reach
+  // the disk stages.
+  std::vector<bool> resolved(keys.size(), false);
+  size_t unresolved = 0;
+  for (size_t i = 0; i < keys.size(); i++) {
+    bool found_entry = false;
+    ValueType type = ValueType::kValue;
+    for (const MemTable* mem : view->MemTables()) {
+      Status s = mem->Get(lookups[i], &(*values)[i], &found_entry, &type);
+      if (found_entry) {
+        if (s.ok() && type == ValueType::kValueHandle) {
+          s = ResolveHandle(&(*values)[i]);
+        }
+        statuses[i] = s;
+        resolved[i] = true;
+        break;
+      }
+    }
+    if (!resolved[i]) unresolved++;
+  }
+
+  if (unresolved == 0) return statuses;
+
+  // Stage 2: plan the disk probes — every (key, run) Bloom-filter and
+  // fence-pointer probe up front, still no I/O. Each surviving probe names
+  // exactly one data block.
+  const Version& version = *view->version;
+  struct Probe {
+    const TableReader* table;
+    BlockHandle handle;
+    uint64_t file_number;
+  };
+  // Per key, in run order (shallowest level first, runs newest first) —
+  // the order Get would probe in.
+  std::vector<std::vector<Probe>> probes(keys.size());
+  for (int level = 1; level <= version.NumLevels(); level++) {
+    for (const RunPtr& run : version.RunsAt(level)) {
+      for (size_t i = 0; i < keys.size(); i++) {
+        if (resolved[i]) continue;
+        TableReader::ProbeState state;
+        BlockHandle handle;
+        Status s = run->table->FindBlockHandle(lookups[i], &handle, &state);
+        if (!s.ok()) {
+          statuses[i] = s;
+          resolved[i] = true;
+          continue;
+        }
+        switch (state) {
+          case TableReader::ProbeState::kBlockNeeded:
+            probes[i].push_back(Probe{run->table.get(), handle,
+                                      run->file_number});
+            break;
+          case TableReader::ProbeState::kFilteredOut:
+            counters_.filter_negatives.fetch_add(1,
+                                                 std::memory_order_relaxed);
+            break;
+          case TableReader::ProbeState::kNoBlock:
+            break;
+        }
+      }
+    }
+  }
+
+  // Stage 3: fetch the surviving blocks together. Dedup (several keys can
+  // share a block) and order by (file, offset) — one sorted pass over the
+  // devices. Hints go out for every block before the first read, so the
+  // reads overlap; the pool then fans them out when available.
+  struct BlockFetch {
+    const TableReader* table;
+    BlockHandle handle;
+    Status status;
+    std::shared_ptr<const std::string> contents;
+  };
+  std::map<std::pair<uint64_t, uint64_t>, size_t> fetch_index;
+  std::vector<BlockFetch> fetches;
+  for (size_t i = 0; i < keys.size(); i++) {
+    for (const Probe& probe : probes[i]) {
+      fetch_index.emplace(
+          std::make_pair(probe.file_number, probe.handle.offset),
+          fetch_index.size());
+    }
+  }
+  fetches.resize(fetch_index.size());
+  for (size_t i = 0; i < keys.size(); i++) {
+    for (const Probe& probe : probes[i]) {
+      const size_t fi = fetch_index.at(
+          std::make_pair(probe.file_number, probe.handle.offset));
+      fetches[fi].table = probe.table;
+      fetches[fi].handle = probe.handle;
+    }
+  }
+  // fetch_index iterates in (file, offset) order; issue the hints in that
+  // order too.
+  std::vector<size_t> fetch_order;
+  fetch_order.reserve(fetches.size());
+  for (const auto& [key, fi] : fetch_index) {
+    fetch_order.push_back(fi);
+    fetches[fi].table->HintBlock(fetches[fi].handle);
+  }
+  auto fetch_one = [&fetches](size_t fi) {
+    BlockFetch& f = fetches[fi];
+    f.status = f.table->ReadBlockShared(
+        f.handle, BlockCache::InsertPriority::kHigh, &f.contents);
+  };
+  if (read_pool_ != nullptr && fetches.size() > 1) {
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(fetch_order.size());
+    for (size_t fi : fetch_order) {
+      tasks.push_back([&fetch_one, fi] { fetch_one(fi); });
+    }
+    read_pool_->RunBatch(std::move(tasks));
+  } else {
+    for (size_t fi : fetch_order) fetch_one(fi);
+  }
+
+  // Stage 4: resolve each key against its blocks in run order (newest
+  // first), matching Get's shadowing semantics. Blocks fetched beyond a
+  // key's resolution point are speculative I/O already done; they are not
+  // counted as probes.
+  for (size_t i = 0; i < keys.size(); i++) {
+    if (resolved[i]) continue;
+    statuses[i] = Status::NotFound();
+    for (const Probe& probe : probes[i]) {
+      const BlockFetch& f = fetches[fetch_index.at(
+          std::make_pair(probe.file_number, probe.handle.offset))];
+      if (!f.status.ok()) {
+        statuses[i] = f.status;
+        break;
+      }
+      TableLookupResult result;
+      ValueType type = ValueType::kValue;
+      Status s = probe.table->SearchBlock(f.contents, lookups[i],
+                                          &(*values)[i], &result, &type);
+      if (!s.ok()) {
+        statuses[i] = s;
+        break;
+      }
+      counters_.runs_probed.fetch_add(1, std::memory_order_relaxed);
+      if (result == TableLookupResult::kFound) {
+        statuses[i] = type == ValueType::kValueHandle
+                          ? ResolveHandle(&(*values)[i])
+                          : Status::OK();
+        break;
+      }
+      if (result == TableLookupResult::kDeleted) {
+        statuses[i] = Status::NotFound("deleted");
+        break;
+      }
+      // kNotPresent: Bloom false positive; keep going.
+      counters_.false_positives.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  return statuses;
 }
 
 // Replaces *value (an encoded ValueHandle) with the value it points at.
@@ -1469,6 +1655,13 @@ DbStats DB::GetStats() const {
   stats.write_slowdowns =
       counters_.write_slowdowns.load(std::memory_order_relaxed);
   stats.write_stalls = counters_.write_stalls.load(std::memory_order_relaxed);
+  stats.multigets = counters_.multigets.load(std::memory_order_relaxed);
+  if (options_.block_cache != nullptr) {
+    stats.block_cache_hits = options_.block_cache->hits();
+    stats.block_cache_misses = options_.block_cache->misses();
+    stats.block_cache_prefetch_hits = options_.block_cache->prefetch_hits();
+    stats.block_cache_scan_inserts = options_.block_cache->scan_inserts();
+  }
 
   stats.memtable_entries = view->MemEntries();
   stats.total_disk_entries = version.TotalEntries();

@@ -75,6 +75,16 @@ struct DbStats {
   uint64_t runs_probed = 0;       // Runs whose data page was read.
   uint64_t filter_negatives = 0;  // Probes skipped by a Bloom filter.
   uint64_t false_positives = 0;   // Page reads that found nothing.
+  uint64_t multigets = 0;         // MultiGet batches (not keys).
+
+  // Block cache counters since Open (all zero when no cache is
+  // configured). prefetch_hits are lookups served by a readahead/scan
+  // block before its first demand reference; scan_inserts are the
+  // low-priority (LRU midpoint) inserts those fetches performed.
+  uint64_t block_cache_hits = 0;
+  uint64_t block_cache_misses = 0;
+  uint64_t block_cache_prefetch_hits = 0;
+  uint64_t block_cache_scan_inserts = 0;
 
   // Compaction counters since Open.
   uint64_t flushes = 0;
@@ -115,6 +125,21 @@ class DB {
   // deleted. Never blocks on the writer mutex or in-flight compactions.
   Status Get(const ReadOptions& options, const Slice& key,
              std::string* value);
+
+  // Batched point lookup: resolves every key against ONE consistent
+  // snapshot and pipelines the disk probes. The batch first probes the
+  // memtables and every run's Bloom filter + fence pointers (no I/O),
+  // dedups the surviving data blocks, sorts them by (file, offset), and
+  // fetches them together — hinting all of them to the device up front and
+  // reading through the shared read pool when one exists — before
+  // resolving each key in run order. Results land in (*values)[i] with the
+  // per-key outcome in the returned vector ((*values) is resized; order
+  // matches keys). Unlike N sequential Gets, a run deeper than a key's
+  // resolution may be probed speculatively; the extra reads are bounded by
+  // the Bloom false-positive rate.
+  std::vector<Status> MultiGet(const ReadOptions& options,
+                               const std::vector<Slice>& keys,
+                               std::vector<std::string>* values);
 
   // Forward iteration over live user keys (newest visible version, no
   // tombstones). SeekToLast/Prev are not supported. The iterator reads a
@@ -395,6 +420,11 @@ class DB {
   // compaction_threads > 1 (holds compaction_threads - 1 threads — the
   // dispatching thread works too). Destroyed after bg_thread_ joins.
   std::unique_ptr<ThreadPool> compaction_pool_;
+  // Read-path pool executing scan readahead and MultiGet block fetches;
+  // non-null iff read_io_threads > 0. Idle unless those features are used.
+  // Iterators hand it to TableIterator, so they must not outlive the DB
+  // (already the contract — they hold a raw DB pointer).
+  std::unique_ptr<ThreadPool> read_pool_;
   std::condition_variable bg_work_cv_;  // Signals the worker: work/shutdown.
   std::condition_variable bg_done_cv_;  // Signals writers: progress made.
   bool worker_busy_ = false;            // REQUIRES mu_.
@@ -404,6 +434,7 @@ class DB {
   // Lock-free operation counters (the mutable pieces of DbStats).
   struct Counters {
     std::atomic<uint64_t> gets{0};
+    std::atomic<uint64_t> multigets{0};
     std::atomic<uint64_t> runs_probed{0};
     std::atomic<uint64_t> filter_negatives{0};
     std::atomic<uint64_t> false_positives{0};

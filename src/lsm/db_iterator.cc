@@ -133,10 +133,18 @@ std::unique_ptr<Iterator> DB::NewIterator(const ReadOptions& options) {
   for (const MemTable* mem : view->MemTables()) {
     children.push_back(mem->NewIterator());
   }
+  // Scan pipelining: each table cursor prefetches its own upcoming blocks
+  // (ReadOptions overrides the DB-wide depth; -1 inherits it). With depth 0
+  // this is exactly the classic synchronous scan.
+  TableScanOptions scan;
+  scan.readahead_blocks = options.readahead_blocks >= 0
+                              ? options.readahead_blocks
+                              : options_.scan_readahead_blocks;
+  scan.pool = read_pool_.get();
   const Version& version = *view->version;
   for (int level = 1; level <= version.NumLevels(); level++) {
     for (const RunPtr& run : version.RunsAt(level)) {
-      children.push_back(run->table->NewIterator());
+      children.push_back(run->table->NewIterator(scan));
     }
   }
   auto merged =

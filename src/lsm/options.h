@@ -101,6 +101,25 @@ struct DbOptions {
   // (tiering counts runs per level, so fragmenting a run would distort its
   // geometry); other policies ignore values > 1. Must be >= 1.
   int compaction_threads = 1;
+
+  // --- Read pipelining (see DESIGN.md "Read path") ---
+
+  // Scan readahead depth: while a range scan is consuming data block k of
+  // a run, the iterator keeps the next scan_readahead_blocks blocks of
+  // that run in flight (an async-read hint to the Env plus, when
+  // read_io_threads > 0, a background fetch into the block cache), so
+  // crossing a block boundary does not stall on a cold read. 0 (the
+  // default) disables readahead entirely: scans issue exactly the same
+  // sequence of synchronous reads as the classic engine. Overridable per
+  // iterator via ReadOptions::readahead_blocks.
+  int scan_readahead_blocks = 0;
+
+  // Threads in the shared read-path pool that executes scan readahead and
+  // batched (MultiGet) block fetches. 0 disables the pool: readahead then
+  // degrades to hint-only pipelining and MultiGet fetches its blocks
+  // sequentially (both still correct, just less overlapped). The pool is
+  // idle unless readahead or MultiGet is actually used.
+  int read_io_threads = 4;
 };
 
 class Snapshot;
@@ -110,6 +129,11 @@ struct ReadOptions {
   // Read at this snapshot instead of the latest state. Not owned; must
   // stay unreleased for the duration of the read (nullptr = latest).
   const Snapshot* snapshot = nullptr;
+  // Per-iterator scan readahead depth: -1 (the default) inherits
+  // DbOptions::scan_readahead_blocks, 0 disables readahead for this
+  // iterator, > 0 overrides the depth. Lets one DB serve pipelined and
+  // classic scans side by side (benchmarks sweep this without reopening).
+  int readahead_blocks = -1;
 };
 
 struct WriteOptions {

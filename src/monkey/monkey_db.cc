@@ -28,6 +28,13 @@ Status OpenNavigableMonkey(const Environment& env, const Workload& workload,
   if (chosen != nullptr) *chosen = tuning;
   DbOptions options = base_options;
   ApplyTuning(tuning, env.num_entries, &options);
+  // Scan-heavy workloads get pipelined range lookups out of the box: a
+  // modest readahead depth overlaps the per-block device latency without
+  // changing the I/O count (Eq. 11's s·N/B blocks are read either way).
+  // An explicit depth in base_options is respected.
+  if (options.scan_readahead_blocks == 0 && workload.range_lookups > 0) {
+    options.scan_readahead_blocks = 4;
+  }
   return DB::Open(options, name, db);
 }
 

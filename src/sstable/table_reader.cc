@@ -1,8 +1,12 @@
 #include "sstable/table_reader.h"
 
 #include <cassert>
+#include <condition_variable>
+#include <mutex>
+#include <unordered_map>
 
 #include "bloom/bloom_filter.h"
+#include "util/thread_pool.h"
 
 namespace monkeydb {
 
@@ -70,34 +74,44 @@ void TableReader::AppendBoundaryUserKeys(std::vector<std::string>* out) const {
   }
 }
 
-Status TableReader::ReadDataBlock(
-    const BlockHandle& handle, std::shared_ptr<const Block>* block) const {
+Status TableReader::ReadBlockShared(
+    const BlockHandle& handle, BlockCache::InsertPriority priority,
+    std::shared_ptr<const std::string>* contents) const {
   BlockCache::Key cache_key{options_.cache_file_id, handle.offset};
   if (options_.block_cache != nullptr) {
     auto cached = options_.block_cache->Lookup(cache_key);
     if (cached != nullptr) {
-      *block = std::make_shared<const Block>(std::move(cached));
+      *contents = std::move(cached);
       return Status::OK();
     }
   }
 
-  std::string contents;
-  MONKEYDB_RETURN_IF_ERROR(ReadBlockContents(file_.get(), handle, &contents));
-  auto shared_contents =
-      std::make_shared<const std::string>(std::move(contents));
+  std::string raw;
+  MONKEYDB_RETURN_IF_ERROR(ReadBlockContents(file_.get(), handle, &raw));
+  auto shared_contents = std::make_shared<const std::string>(std::move(raw));
   if (options_.block_cache != nullptr) {
-    options_.block_cache->Insert(cache_key, shared_contents);
+    options_.block_cache->Insert(cache_key, shared_contents, priority);
   }
-  *block = std::make_shared<const Block>(std::move(shared_contents));
+  *contents = std::move(shared_contents);
+  return Status::OK();
+}
+
+Status TableReader::ReadDataBlock(const BlockHandle& handle,
+                                  std::shared_ptr<const Block>* block,
+                                  BlockCache::InsertPriority priority) const {
+  std::shared_ptr<const std::string> contents;
+  MONKEYDB_RETURN_IF_ERROR(ReadBlockShared(handle, priority, &contents));
+  *block = std::make_shared<const Block>(std::move(contents));
   if (!(*block)->ok()) return Status::Corruption("malformed data block");
   return Status::OK();
 }
 
-Status TableReader::Get(const LookupKey& lookup, std::string* value,
-                        TableLookupResult* result, ValueType* type) {
+Status TableReader::FindBlockHandle(const LookupKey& lookup,
+                                    BlockHandle* handle,
+                                    ProbeState* state) const {
   // 1. Bloom filter (in memory, no I/O).
   if (!FilterMayContain(lookup.user_key())) {
-    *result = TableLookupResult::kFilteredOut;
+    *state = ProbeState::kFilteredOut;
     return Status::OK();
   }
 
@@ -106,18 +120,22 @@ Status TableReader::Get(const LookupKey& lookup, std::string* value,
   auto index_iter = index_block_->NewIterator(options_.comparator);
   index_iter->Seek(lookup.internal_key());
   if (!index_iter->Valid()) {
-    *result = TableLookupResult::kNotPresent;
+    *state = ProbeState::kNoBlock;
     return index_iter->status();
   }
 
-  BlockHandle handle;
   Slice handle_value = index_iter->value();
-  MONKEYDB_RETURN_IF_ERROR(handle.DecodeFrom(&handle_value));
+  MONKEYDB_RETURN_IF_ERROR(handle->DecodeFrom(&handle_value));
+  *state = ProbeState::kBlockNeeded;
+  return Status::OK();
+}
 
-  // 3. One data-page I/O.
-  std::shared_ptr<const Block> block;
-  MONKEYDB_RETURN_IF_ERROR(ReadDataBlock(handle, &block));
-
+Status TableReader::SearchBlock(
+    const std::shared_ptr<const std::string>& contents,
+    const LookupKey& lookup, std::string* value, TableLookupResult* result,
+    ValueType* type) const {
+  auto block = std::make_shared<const Block>(contents);
+  if (!block->ok()) return Status::Corruption("malformed data block");
   auto block_iter = block->NewIterator(options_.comparator);
   block_iter->Seek(lookup.internal_key());
   if (!block_iter->Valid()) {
@@ -144,27 +162,89 @@ Status TableReader::Get(const LookupKey& lookup, std::string* value,
   return Status::OK();
 }
 
+void TableReader::HintBlock(const BlockHandle& handle) const {
+  file_->ReadAhead(handle.offset, handle.size + kBlockTrailerSize);
+}
+
+Status TableReader::Get(const LookupKey& lookup, std::string* value,
+                        TableLookupResult* result, ValueType* type) {
+  ProbeState state;
+  BlockHandle handle;
+  MONKEYDB_RETURN_IF_ERROR(FindBlockHandle(lookup, &handle, &state));
+  if (state == ProbeState::kFilteredOut) {
+    *result = TableLookupResult::kFilteredOut;
+    return Status::OK();
+  }
+  if (state == ProbeState::kNoBlock) {
+    *result = TableLookupResult::kNotPresent;
+    return Status::OK();
+  }
+
+  // 3. One data-page I/O.
+  std::shared_ptr<const std::string> contents;
+  MONKEYDB_RETURN_IF_ERROR(ReadBlockShared(
+      handle, BlockCache::InsertPriority::kHigh, &contents));
+  return SearchBlock(contents, lookup, value, result, type);
+}
+
+namespace {
+
+// State shared between a TableIterator and its in-flight background
+// fetches. The iterator holds one live generation at a time; Seek and the
+// destructor retire the generation by setting cancelled and draining reads
+// that have already started. Pool tasks that were queued but never started
+// observe cancelled (or their erased slot) and exit without touching the
+// table, so the table and pool only need to outlive the iterator, not the
+// queue.
+struct PrefetchSet {
+  struct Slot {
+    bool started = false;  // A thread has claimed the read.
+    bool done = false;     // status/contents are filled in.
+    Status status;
+    std::shared_ptr<const std::string> contents;
+  };
+
+  std::mutex mu;
+  std::condition_variable cv;
+  bool cancelled = false;
+  std::unordered_map<uint64_t, Slot> slots;  // Keyed by block offset.
+};
+
+}  // namespace
+
 // Two-level iterator: walks the fence-pointer index and lazily opens data
 // blocks. At namespace scope (not anonymous) so the friend declaration in
 // TableReader applies.
+//
+// With readahead enabled, entering data block k schedules asynchronous
+// fetches of blocks k+1..k+readahead: an async-read hint to the file plus,
+// when a pool is available, a background read into the block cache. The
+// block boundary crossing then consumes the prefetched bytes (waiting for
+// an in-flight read if necessary) instead of stalling on a cold read.
 class TableIterator : public Iterator {
  public:
-  explicit TableIterator(const TableReader* table)
+  TableIterator(const TableReader* table, const TableScanOptions& scan)
       : table_(table),
+        scan_(scan),
         index_iter_(table->index_block_->NewIterator(
             table->options_.comparator)) {}
+
+  ~TableIterator() override { CancelPrefetch(); }
 
   bool Valid() const override {
     return block_iter_ != nullptr && block_iter_->Valid();
   }
 
   void SeekToFirst() override {
+    CancelPrefetch();
     index_iter_->SeekToFirst();
     InitDataBlock(/*seek_to_first=*/true);
     SkipEmptyBlocksForward();
+    ScheduleReadahead();
   }
 
   void SeekToLast() override {
+    CancelPrefetch();
     index_iter_->SeekToLast();
     InitDataBlock(/*seek_to_first=*/false);
     if (block_iter_ != nullptr) block_iter_->SeekToLast();
@@ -172,16 +252,20 @@ class TableIterator : public Iterator {
   }
 
   void Seek(const Slice& target) override {
+    CancelPrefetch();
     index_iter_->Seek(target);
     InitDataBlock(/*seek_to_first=*/false);
     if (block_iter_ != nullptr) block_iter_->Seek(target);
     SkipEmptyBlocksForward();
+    ScheduleReadahead();
   }
 
   void Next() override {
     assert(Valid());
     block_iter_->Next();
+    if (block_iter_->Valid()) return;
     SkipEmptyBlocksForward();
+    ScheduleReadahead();
   }
 
   void Prev() override {
@@ -212,13 +296,140 @@ class TableIterator : public Iterator {
       status_ = s;
       return;
     }
-    s = table_->ReadDataBlock(handle, &block_);
+    // Scan reads enter the cache at low priority once readahead is on, so
+    // a pipelined scan stays out of the point-lookup working set; with
+    // readahead off the behavior is byte-identical to the classic path.
+    const auto priority = scan_.readahead_blocks > 0
+                              ? BlockCache::InsertPriority::kLow
+                              : BlockCache::InsertPriority::kHigh;
+    std::shared_ptr<const std::string> contents;
+    if (TryConsumePrefetch(handle.offset, &contents, &s)) {
+      if (s.ok()) {
+        auto blk = std::make_shared<const Block>(std::move(contents));
+        if (blk->ok()) {
+          block_ = std::move(blk);
+        } else {
+          s = Status::Corruption("malformed data block");
+        }
+      }
+    } else {
+      s = table_->ReadDataBlock(handle, &block_, priority);
+    }
     if (!s.ok()) {
       status_ = s;
       return;
     }
     block_iter_ = block_->NewIterator(table_->options_.comparator);
     if (seek_to_first) block_iter_->SeekToFirst();
+  }
+
+  // Schedules background fetches for the readahead window after the
+  // current block. No-op when readahead is off or the scan is at the end.
+  void ScheduleReadahead() {
+    if (scan_.readahead_blocks <= 0 || !index_iter_->Valid()) return;
+    // Walk a private copy of the (in-memory) fence-pointer index forward
+    // from the current position.
+    auto ahead =
+        table_->index_block_->NewIterator(table_->options_.comparator);
+    ahead->Seek(index_iter_->key());
+    if (!ahead->Valid()) return;
+    if (prefetch_ == nullptr) prefetch_ = std::make_shared<PrefetchSet>();
+    for (int i = 0; i < scan_.readahead_blocks; i++) {
+      ahead->Next();
+      if (!ahead->Valid()) break;
+      BlockHandle handle;
+      Slice handle_value = ahead->value();
+      if (!handle.DecodeFrom(&handle_value).ok()) break;
+      SchedulePrefetch(handle);
+    }
+  }
+
+  void SchedulePrefetch(const BlockHandle& handle) {
+    BlockCache* cache = table_->options_.block_cache;
+    if (cache != nullptr &&
+        cache->Contains({table_->options_.cache_file_id, handle.offset})) {
+      return;  // Already resident; the scan will hit the cache directly.
+    }
+    {
+      std::lock_guard<std::mutex> lock(prefetch_->mu);
+      if (!prefetch_->slots.emplace(handle.offset, PrefetchSet::Slot{})
+               .second) {
+        return;  // Already scheduled or in flight.
+      }
+    }
+    // Hint the device before anything else: a latency-modelling Env starts
+    // the transfer clock at the hint, so the eventual read — from a pool
+    // thread or inline at the boundary crossing — only pays the latency
+    // that has not already elapsed.
+    table_->HintBlock(handle);
+    if (scan_.pool == nullptr) return;
+    auto set = prefetch_;
+    const TableReader* table = table_;
+    const BlockHandle h = handle;
+    scan_.pool->Submit([set, table, h] {
+      {
+        std::lock_guard<std::mutex> lock(set->mu);
+        auto it = set->slots.find(h.offset);
+        if (set->cancelled || it == set->slots.end() || it->second.started) {
+          return;  // Retired generation or claimed by the foreground.
+        }
+        it->second.started = true;
+      }
+      std::shared_ptr<const std::string> contents;
+      Status s = table->ReadBlockShared(
+          h, BlockCache::InsertPriority::kLow, &contents);
+      std::lock_guard<std::mutex> lock(set->mu);
+      auto it = set->slots.find(h.offset);
+      if (it != set->slots.end()) {
+        it->second.status = s;
+        it->second.contents = std::move(contents);
+        it->second.done = true;
+      }
+      set->cv.notify_all();
+    });
+  }
+
+  // Consumes the prefetch slot for offset if one exists: waits for an
+  // in-flight read, or — when no pool thread picked the slot up yet —
+  // erases it and tells the caller to read inline (the hint already fired,
+  // so a latency-modelling Env charges only the remaining latency).
+  bool TryConsumePrefetch(uint64_t offset,
+                          std::shared_ptr<const std::string>* contents,
+                          Status* status) {
+    if (prefetch_ == nullptr) return false;
+    std::unique_lock<std::mutex> lock(prefetch_->mu);
+    auto it = prefetch_->slots.find(offset);
+    if (it == prefetch_->slots.end()) return false;
+    if (!it->second.started) {
+      // Claim it from the queue; a late-starting pool task finds the slot
+      // gone and exits.
+      prefetch_->slots.erase(it);
+      return false;
+    }
+    // Only this thread inserts into slots, so `it` survives the wait.
+    prefetch_->cv.wait(lock, [&] { return it->second.done; });
+    *status = it->second.status;
+    *contents = std::move(it->second.contents);
+    prefetch_->slots.erase(it);
+    return true;
+  }
+
+  // Retires the current prefetch generation: marks it cancelled and drains
+  // reads that already started (they hold a raw table pointer). Queued
+  // tasks that never started exit later through their shared_ptr copy.
+  void CancelPrefetch() {
+    if (prefetch_ == nullptr) return;
+    {
+      std::unique_lock<std::mutex> lock(prefetch_->mu);
+      prefetch_->cancelled = true;
+      prefetch_->cv.wait(lock, [&] {
+        for (const auto& [offset, slot] : prefetch_->slots) {
+          if (slot.started && !slot.done) return false;
+        }
+        return true;
+      });
+    }
+    prefetch_ = nullptr;
   }
 
   void SkipEmptyBlocksForward() {
@@ -247,14 +458,17 @@ class TableIterator : public Iterator {
   }
 
   const TableReader* table_;
+  TableScanOptions scan_;
   std::unique_ptr<Iterator> index_iter_;
   std::shared_ptr<const Block> block_;
   std::unique_ptr<Iterator> block_iter_;
+  std::shared_ptr<PrefetchSet> prefetch_;  // Live readahead generation.
   Status status_;
 };
 
-std::unique_ptr<Iterator> TableReader::NewIterator() const {
-  return std::make_unique<TableIterator>(this);
+std::unique_ptr<Iterator> TableReader::NewIterator(
+    const TableScanOptions& scan) const {
+  return std::make_unique<TableIterator>(this, scan);
 }
 
 }  // namespace monkeydb

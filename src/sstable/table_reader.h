@@ -5,6 +5,15 @@
 // lookup consults the filter, binary-searches the fence pointers, and reads
 // exactly one page-aligned data block from the environment (or the block
 // cache).
+//
+// Scans can pipeline their I/O: NewIterator accepts TableScanOptions with a
+// readahead depth and an optional thread pool. Whenever the iterator enters
+// data block k it schedules asynchronous fetches of blocks k+1..k+readahead
+// (an async-read hint to the file plus, when a pool is given, a background
+// fetch into the block cache), so by the time the scan crosses a block
+// boundary the next block is already resident or in flight. Prefetched
+// blocks enter the cache at low priority (the LRU midpoint) so a long scan
+// cannot evict the point-lookup working set.
 
 #ifndef MONKEYDB_SSTABLE_TABLE_READER_H_
 #define MONKEYDB_SSTABLE_TABLE_READER_H_
@@ -23,11 +32,27 @@
 
 namespace monkeydb {
 
+class ThreadPool;
+
 struct TableReaderOptions {
   const InternalKeyComparator* comparator = nullptr;  // Required.
   BlockCache* block_cache = nullptr;                  // Optional.
   // Identifies this file in the block cache; must be unique per table.
   uint64_t cache_file_id = 0;
+};
+
+// Per-iterator scan configuration. The defaults (no readahead, no pool)
+// reproduce the unpipelined scan exactly: one synchronous block read at
+// each block boundary and high-priority cache inserts.
+struct TableScanOptions {
+  // How many data blocks beyond the current one to keep in flight. 0
+  // disables readahead.
+  int readahead_blocks = 0;
+  // Pool that executes background fetches. With readahead_blocks > 0 but no
+  // pool, the iterator still issues async-read hints to the file (letting a
+  // latency-modelling Env start the "transfer" early) and performs the read
+  // itself on arrival.
+  ThreadPool* pool = nullptr;
 };
 
 // Result of a point lookup within one table.
@@ -56,8 +81,43 @@ class TableReader {
   Status Get(const LookupKey& lookup, std::string* value,
              TableLookupResult* result, ValueType* type = nullptr);
 
-  // Iterates over all entries (internal keys) in the table.
-  std::unique_ptr<Iterator> NewIterator() const;
+  // Outcome of the in-memory half of a point lookup (Bloom filter + fence
+  // pointers — no I/O).
+  enum class ProbeState {
+    kFilteredOut,  // Bloom filter says definitely absent.
+    kNoBlock,      // Past the last fence pointer: not in this table.
+    kBlockNeeded,  // *handle names the one data block that may hold it.
+  };
+
+  // The no-I/O half of Get. The batched read path (DB::MultiGet) calls
+  // this for every (key, run) pair first, then fetches the surviving
+  // blocks together, then resolves each key with SearchBlock.
+  Status FindBlockHandle(const LookupKey& lookup, BlockHandle* handle,
+                         ProbeState* state) const;
+
+  // Resolves a lookup inside raw block contents previously fetched for the
+  // handle FindBlockHandle produced (same semantics as the tail of Get).
+  Status SearchBlock(const std::shared_ptr<const std::string>& contents,
+                     const LookupKey& lookup, std::string* value,
+                     TableLookupResult* result,
+                     ValueType* type = nullptr) const;
+
+  // Reads the raw block payload at handle, consulting the cache first and
+  // inserting on a miss at the given priority. Thread-safe.
+  Status ReadBlockShared(const BlockHandle& handle,
+                         BlockCache::InsertPriority priority,
+                         std::shared_ptr<const std::string>* contents) const;
+
+  // Async-read hint for the block at handle: tells the file's device the
+  // bytes will be read soon so the transfer overlaps with other work.
+  void HintBlock(const BlockHandle& handle) const;
+
+  // Iterates over all entries (internal keys) in the table. With readahead
+  // configured in scan, the iterator pipelines block fetches ahead of the
+  // scan position; the key/value sequence is identical either way. The
+  // returned iterator must not outlive this table or scan.pool.
+  std::unique_ptr<Iterator> NewIterator(
+      const TableScanOptions& scan = TableScanOptions()) const;
 
   // True iff the filter admits the key (or there is no filter). Exposed for
   // instrumentation and tests.
@@ -76,9 +136,13 @@ class TableReader {
   TableReader(const TableReaderOptions& options,
               std::unique_ptr<RandomAccessFile> file);
 
-  // Reads (or fetches from cache) the data block at handle.
+  // Reads (or fetches from cache) the data block at handle. priority is the
+  // cache insert position on a miss: point lookups use kHigh (MRU),
+  // scans/readahead use kLow (midpoint) so they cannot flush the cache.
   Status ReadDataBlock(const BlockHandle& handle,
-                       std::shared_ptr<const Block>* block) const;
+                       std::shared_ptr<const Block>* block,
+                       BlockCache::InsertPriority priority =
+                           BlockCache::InsertPriority::kHigh) const;
 
   TableReaderOptions options_;
   std::unique_ptr<RandomAccessFile> file_;

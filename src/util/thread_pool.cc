@@ -56,6 +56,14 @@ void ThreadPool::WorkerMain() {
   }
 }
 
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.emplace_back(std::move(task));
+  }
+  work_cv_.notify_one();
+}
+
 void ThreadPool::RunBatch(std::vector<std::function<void()>> tasks) {
   if (tasks.empty()) return;
   auto state = std::make_shared<BatchState>(tasks.size());

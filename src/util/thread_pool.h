@@ -2,6 +2,12 @@
 // tasks. Built for compaction fan-out (range-partitioned subcompactions):
 // the scheduling thread submits one batch, participates in executing it,
 // and returns only when every task in the batch has finished.
+//
+// Submit() adds a fire-and-forget mode for the read path's prefetch
+// pipeline: tasks are queued without any completion handshake, so the
+// scheduling thread (a scan iterator crossing into a new block) never
+// waits. Callers that need completion ordering track it themselves (the
+// prefetch pipeline hands every task a shared state object).
 
 #ifndef MONKEYDB_UTIL_THREAD_POOL_H_
 #define MONKEYDB_UTIL_THREAD_POOL_H_
@@ -30,6 +36,12 @@ class ThreadPool {
   // so a pool of N threads gives N+1-way parallelism to the caller.
   // Tasks must not themselves call RunBatch on the same pool.
   void RunBatch(std::vector<std::function<void()>> tasks);
+
+  // Queues one task for asynchronous execution and returns immediately.
+  // The task runs on some pool thread (never the caller); queued tasks are
+  // still drained at shutdown. REQUIRES: num_threads() >= 1 — with no
+  // workers a submitted task would only run at destruction.
+  void Submit(std::function<void()> task);
 
   int num_threads() const { return static_cast<int>(threads_.size()); }
 
