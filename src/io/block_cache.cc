@@ -13,7 +13,7 @@ BlockCache::BlockCache(size_t capacity_bytes)
 std::shared_ptr<const std::string> BlockCache::Lookup(const Key& key) {
   if (capacity_ == 0) return nullptr;
   Shard* shard = GetShard(key);
-  std::lock_guard<std::mutex> lock(shard->mu);
+  MutexLock lock(shard->mu);
   auto it = shard->index.find(key);
   if (it == shard->index.end()) {
     shard->misses++;
@@ -44,7 +44,7 @@ void BlockCache::Insert(const Key& key,
                         InsertPriority priority) {
   if (capacity_ == 0 || block == nullptr) return;
   Shard* shard = GetShard(key);
-  std::lock_guard<std::mutex> lock(shard->mu);
+  MutexLock lock(shard->mu);
   auto it = shard->index.find(key);
   if (it != shard->index.end()) {
     shard->usage -= it->second->block->size();
@@ -74,13 +74,13 @@ void BlockCache::Insert(const Key& key,
 bool BlockCache::Contains(const Key& key) const {
   if (capacity_ == 0) return false;
   const Shard* shard = GetShard(key);
-  std::lock_guard<std::mutex> lock(shard->mu);
+  MutexLock lock(shard->mu);
   return shard->index.count(key) > 0;
 }
 
 void BlockCache::EraseFile(uint64_t file_id) {
   for (auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     for (auto* seg : {&shard.hot, &shard.cold}) {
       for (auto it = seg->begin(); it != seg->end();) {
         if (it->key.file_id == file_id) {
@@ -123,7 +123,7 @@ void BlockCache::BalanceAndEvictLocked(Shard* shard) {
 size_t BlockCache::usage_bytes() const {
   size_t total = 0;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     total += shard.usage;
   }
   return total;
@@ -132,7 +132,7 @@ size_t BlockCache::usage_bytes() const {
 uint64_t BlockCache::hits() const {
   uint64_t total = 0;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     total += shard.hits;
   }
   return total;
@@ -141,7 +141,7 @@ uint64_t BlockCache::hits() const {
 uint64_t BlockCache::misses() const {
   uint64_t total = 0;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     total += shard.misses;
   }
   return total;
@@ -150,7 +150,7 @@ uint64_t BlockCache::misses() const {
 uint64_t BlockCache::prefetch_hits() const {
   uint64_t total = 0;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     total += shard.prefetch_hits;
   }
   return total;
@@ -159,7 +159,7 @@ uint64_t BlockCache::prefetch_hits() const {
 uint64_t BlockCache::scan_inserts() const {
   uint64_t total = 0;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     total += shard.scan_inserts;
   }
   return total;

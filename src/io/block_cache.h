@@ -23,9 +23,11 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace monkeydb {
 
@@ -97,20 +99,21 @@ class BlockCache {
   };
 
   struct Shard {
-    mutable std::mutex mu;
+    mutable Mutex mu;
     // Recency order is the concatenation hot ++ cold: hot.front() is the
     // shard MRU, cold.back() the next eviction victim. std::list::splice
     // moves nodes between the segments without invalidating the iterators
     // stored in index.
-    std::list<Entry> hot;
-    std::list<Entry> cold;
-    std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> index;
-    size_t usage = 0;      // Bytes across both segments.
-    size_t hot_usage = 0;  // Bytes in the hot segment only.
-    uint64_t hits = 0;
-    uint64_t misses = 0;
-    uint64_t prefetch_hits = 0;
-    uint64_t scan_inserts = 0;
+    std::list<Entry> hot GUARDED_BY(mu);
+    std::list<Entry> cold GUARDED_BY(mu);
+    std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> index
+        GUARDED_BY(mu);
+    size_t usage GUARDED_BY(mu) = 0;      // Bytes across both segments.
+    size_t hot_usage GUARDED_BY(mu) = 0;  // Bytes in the hot segment only.
+    uint64_t hits GUARDED_BY(mu) = 0;
+    uint64_t misses GUARDED_BY(mu) = 0;
+    uint64_t prefetch_hits GUARDED_BY(mu) = 0;
+    uint64_t scan_inserts GUARDED_BY(mu) = 0;
   };
 
   static constexpr int kNumShards = 16;
@@ -125,7 +128,7 @@ class BlockCache {
   // Demotes hot-tail entries to the cold head until the hot segment fits
   // its budget (half the shard), then evicts from the cold tail until the
   // shard fits. Both moves preserve the concatenated recency order.
-  void BalanceAndEvictLocked(Shard* shard);
+  void BalanceAndEvictLocked(Shard* shard) REQUIRES(shard->mu);
 
   size_t capacity_;
   size_t per_shard_capacity_;

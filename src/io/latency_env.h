@@ -31,12 +31,13 @@
 
 #include <chrono>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <unordered_map>
 #include <utility>
 
 #include "io/env.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace monkeydb {
 
@@ -112,7 +113,7 @@ class LatencyEnv : public Env {
                 char* scratch) const override {
       auto remaining = latency_;
       {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         auto it = inflight_.find(offset);
         if (it != inflight_.end()) {
           const auto elapsed =
@@ -129,7 +130,7 @@ class LatencyEnv : public Env {
 
     void ReadAhead(uint64_t offset, size_t n) const override {
       base_->ReadAhead(offset, n);
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       // Never refresh an existing hint: the transfer started at the FIRST
       // hint, and moving the timestamp forward would charge the later Read
       // more, not less. Bound the table so a caller that hints without
@@ -144,10 +145,10 @@ class LatencyEnv : public Env {
 
     std::unique_ptr<RandomAccessFile> base_;
     std::chrono::microseconds latency_;
-    mutable std::mutex mu_;
+    mutable Mutex mu_;
     mutable std::unordered_map<uint64_t,
                                std::chrono::steady_clock::time_point>
-        inflight_;
+        inflight_ GUARDED_BY(mu_);
   };
 
   class DelayedWritableFile : public WritableFile {

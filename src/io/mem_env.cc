@@ -1,7 +1,8 @@
 #include <map>
-#include <mutex>
 
 #include "io/env.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace monkeydb {
 
@@ -10,8 +11,8 @@ namespace {
 // Shared, refcounted file contents so readers stay valid if the file is
 // removed (matches POSIX unlink semantics for open descriptors).
 struct MemFile {
-  std::mutex mu;
-  std::string data;
+  Mutex mu;
+  std::string data GUARDED_BY(mu);
 };
 
 using MemFilePtr = std::shared_ptr<MemFile>;
@@ -21,7 +22,7 @@ class MemSequentialFile : public SequentialFile {
   explicit MemSequentialFile(MemFilePtr file) : file_(std::move(file)) {}
 
   Status Read(size_t n, Slice* result, char* scratch) override {
-    std::lock_guard<std::mutex> lock(file_->mu);
+    MutexLock lock(file_->mu);
     if (pos_ >= file_->data.size()) {
       *result = Slice();
       return Status::OK();
@@ -50,7 +51,7 @@ class MemRandomAccessFile : public RandomAccessFile {
 
   Status Read(uint64_t offset, size_t n, Slice* result,
               char* scratch) const override {
-    std::lock_guard<std::mutex> lock(file_->mu);
+    MutexLock lock(file_->mu);
     if (offset > file_->data.size()) {
       return Status::IoError("read past end of file");
     }
@@ -75,7 +76,7 @@ class MemWritableFile : public WritableFile {
   explicit MemWritableFile(MemFilePtr file) : file_(std::move(file)) {}
 
   Status Append(const Slice& data) override {
-    std::lock_guard<std::mutex> lock(file_->mu);
+    MutexLock lock(file_->mu);
     file_->data.append(data.data(), data.size());
     return Status::OK();
   }
@@ -108,7 +109,7 @@ class MemEnv : public Env {
 
   Status NewWritableFile(const std::string& fname,
                          std::unique_ptr<WritableFile>* result) override {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto f = std::make_shared<MemFile>();
     files_[fname] = f;  // Truncates any existing file.
     *result = std::make_unique<MemWritableFile>(std::move(f));
@@ -116,7 +117,7 @@ class MemEnv : public Env {
   }
 
   bool FileExists(const std::string& fname) override {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return files_.count(fname) > 0;
   }
 
@@ -125,7 +126,7 @@ class MemEnv : public Env {
     result->clear();
     std::string prefix = dir;
     if (!prefix.empty() && prefix.back() != '/') prefix += '/';
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     for (const auto& [name, file] : files_) {
       if (name.size() > prefix.size() && name.compare(0, prefix.size(), prefix) == 0) {
         std::string rest = name.substr(prefix.size());
@@ -136,7 +137,7 @@ class MemEnv : public Env {
   }
 
   Status RemoveFile(const std::string& fname) override {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (files_.erase(fname) == 0) {
       return Status::NotFound(fname);
     }
@@ -150,14 +151,14 @@ class MemEnv : public Env {
   Status GetFileSize(const std::string& fname, uint64_t* size) override {
     MemFilePtr f;
     MONKEYDB_RETURN_IF_ERROR(Find(fname, &f));
-    std::lock_guard<std::mutex> lock(f->mu);
+    MutexLock lock(f->mu);
     *size = f->data.size();
     return Status::OK();
   }
 
   Status RenameFile(const std::string& src,
                     const std::string& target) override {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = files_.find(src);
     if (it == files_.end()) return Status::NotFound(src);
     files_[target] = it->second;
@@ -167,15 +168,15 @@ class MemEnv : public Env {
 
  private:
   Status Find(const std::string& fname, MemFilePtr* out) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = files_.find(fname);
     if (it == files_.end()) return Status::NotFound(fname);
     *out = it->second;
     return Status::OK();
   }
 
-  std::mutex mu_;
-  std::map<std::string, MemFilePtr> files_;
+  Mutex mu_;
+  std::map<std::string, MemFilePtr> files_ GUARDED_BY(mu_);
 };
 
 }  // namespace

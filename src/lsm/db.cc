@@ -41,16 +41,18 @@ DB::DB(const DbOptions& options, std::string name)
 
 DB::~DB() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutting_down_ = true;
   }
-  bg_work_cv_.notify_all();
-  bg_done_cv_.notify_all();
+  bg_work_cv_.SignalAll();
+  bg_done_cv_.SignalAll();
   if (bg_thread_.joinable()) bg_thread_.join();
   // Only after the worker is gone is it safe to tear down wal_/manifest_
-  // (and for the caller to destroy the Env).
-  if (wal_ != nullptr) wal_->Close().ok();
-  if (manifest_ != nullptr) manifest_->Close().ok();
+  // (and for the caller to destroy the Env). Uncontended by now, but
+  // holding mu_ keeps the GUARDED_BY contract checkable.
+  MutexLock lock(mu_);
+  if (wal_ != nullptr) wal_->Close().IgnoreError();
+  if (manifest_ != nullptr) manifest_->Close().IgnoreError();
 }
 
 std::string DB::TableFileName(uint64_t number) const {
@@ -111,7 +113,7 @@ Status DB::OpenTable(RunPtr run) {
 }
 
 Status DB::Recover() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const std::string manifest_path = name_ + "/MANIFEST";
 
   if (options_.value_separation_threshold > 0) {
@@ -178,7 +180,7 @@ Status DB::Recover() {
             child.compare(child.size() - 4, 4, ".sst") == 0) {
           const uint64_t fn = strtoull(child.c_str(), nullptr, 10);
           if (live.count(fn) == 0) {
-            options_.env->RemoveFile(name_ + "/" + child).ok();
+            options_.env->RemoveFile(name_ + "/" + child).IgnoreError();
           }
         }
       }
@@ -253,11 +255,11 @@ Status DB::Recover() {
   // replayed logs are discarded).
   if (mem_->num_entries() > 0) {
     MONKEYDB_RETURN_IF_ERROR(FlushMemTable(mem_, /*swap_active=*/true,
-                                           /*io_lock=*/nullptr));
-    MONKEYDB_RETURN_IF_ERROR(Cascade(/*io_lock=*/nullptr));
+                                           /*io_unlock=*/false));
+    MONKEYDB_RETURN_IF_ERROR(Cascade(/*io_unlock=*/false));
   }
   for (const std::string& wal : old_wals) {
-    options_.env->RemoveFile(wal).ok();
+    options_.env->RemoveFile(wal).IgnoreError();
   }
   MONKEYDB_RETURN_IF_ERROR(NewWalLocked());
 
@@ -274,11 +276,14 @@ Status DB::ReplayWal(const std::string& wal_path) {
   WalReader reader(std::move(file));
   std::string scratch;
   Slice record;
+  // The lambda body is analyzed without this function's lock set, so hand
+  // it the memtable pointer directly instead of reading mem_ inside it.
+  MemTable* const mem = mem_.get();
   while (reader.ReadRecord(&scratch, &record)) {
     Status s = WalBatch::Iterate(
-        record, [this](SequenceNumber seq, ValueType type, const Slice& key,
-                       const Slice& value) {
-          mem_->Add(seq, type, key, value);
+        record, [this, mem](SequenceNumber seq, ValueType type,
+                            const Slice& key, const Slice& value) {
+          mem->Add(seq, type, key, value);
           if (seq > last_sequence_.load(std::memory_order_relaxed)) {
             last_sequence_.store(seq, std::memory_order_relaxed);
           }
@@ -289,7 +294,7 @@ Status DB::ReplayWal(const std::string& wal_path) {
 }
 
 Status DB::NewWalLocked() {
-  if (wal_ != nullptr) wal_->Close().ok();
+  if (wal_ != nullptr) wal_->Close().IgnoreError();
   wal_number_++;
   std::unique_ptr<WritableFile> file;
   MONKEYDB_RETURN_IF_ERROR(
@@ -306,7 +311,7 @@ void DB::PublishViewLocked() {
   view->imm.reserve(imm_.size());
   for (const ImmEntry& entry : imm_) view->imm.push_back(entry.mem);
   view->version = std::make_shared<const Version>(current_);
-  std::lock_guard<std::mutex> view_lock(view_mu_);
+  MutexLock view_lock(view_mu_);
   view_ = std::move(view);
 }
 
@@ -327,11 +332,11 @@ Status DB::Delete(const WriteOptions& options, const Slice& key) {
 
 Status DB::Write(const WriteOptions& options, const WriteBatch& batch) {
   if (batch.count() == 0) return Status::OK();
-  Writer w(&batch, options.sync || options_.sync_writes);
-  std::unique_lock<std::mutex> lock(mu_);
+  Writer w(&batch, options.sync || options_.sync_writes, &mu_);
+  MutexLock lock(mu_);
   writers_.push_back(&w);
   while (!w.done && &w != writers_.front()) {
-    w.cv.wait(lock);
+    w.cv.Wait();
   }
   if (w.done) return w.status;  // A previous leader committed this batch.
 
@@ -355,7 +360,7 @@ Status DB::Write(const WriteOptions& options, const WriteBatch& batch) {
     status = bg_error_;
     for (Writer* writer : group) writer->status = status;
   } else {
-    status = CommitGroupLocked(group, lock);
+    status = CommitGroupLocked(group);
   }
 
   // Trigger a flush before handing leadership over: MaybeCompactBuffer may
@@ -365,7 +370,7 @@ Status DB::Write(const WriteOptions& options, const WriteBatch& batch) {
   // outcome is the leader's alone — the followers' batches are already
   // durably committed.
   if (status.ok()) {
-    status = MaybeCompactBuffer(lock);
+    status = MaybeCompactBuffer();
   }
 
   // Pop the group and wake its members with their individual statuses.
@@ -375,16 +380,15 @@ Status DB::Write(const WriteOptions& options, const WriteBatch& batch) {
     writers_.pop_front();
     if (ready != &w) {
       ready->done = true;
-      ready->cv.notify_one();
+      ready->cv.Signal();
     }
     if (ready == last_writer) break;
   }
-  if (!writers_.empty()) writers_.front()->cv.notify_one();
+  if (!writers_.empty()) writers_.front()->cv.Signal();
   return status;
 }
 
-Status DB::CommitGroupLocked(const std::vector<Writer*>& group,
-                             std::unique_lock<std::mutex>& lock) {
+Status DB::CommitGroupLocked(const std::vector<Writer*>& group) {
   const SequenceNumber first_seq =
       last_sequence_.load(std::memory_order_relaxed) + 1;
   // The vlog/WAL appends and memtable inserts run with mu_ released so
@@ -393,107 +397,111 @@ Status DB::CommitGroupLocked(const std::vector<Writer*>& group,
   // maintenance path that swaps them first waits for commit_in_flight_ to
   // clear (holding mu_, which also blocks the next leader).
   commit_in_flight_ = true;
-  lock.unlock();
+  {
+    // The window: mem_/wal_/vlog_ are accessed with mu_ released, covered
+    // by the commit_in_flight_ interlock described above (ScopedUnlock
+    // hides the release from the thread-safety analysis by design).
+    ScopedUnlock window(&mu_);
 
-  // Key-value separation, resolved per member: large values go to the
-  // value log first (so a WAL record's handle is durable only after its
-  // value is). A member whose value-log append fails is excluded from the
-  // group with its own error; the others still commit.
-  std::vector<char> included(group.size(), 1);
-  std::vector<std::vector<std::pair<ValueType, std::string>>> resolved(
-      group.size());
-  for (size_t i = 0; i < group.size(); i++) {
-    Writer* writer = group[i];
-    auto& ops = resolved[i];
-    ops.reserve(writer->batch->count());
-    Status member_status;
-    for (const WriteBatch::Op& op : writer->batch->ops()) {
-      if (op.type == ValueType::kValue && vlog_ != nullptr &&
-          op.value.size() >= options_.value_separation_threshold) {
-        ValueHandle handle;
-        member_status = vlog_->Add(op.value, writer->sync, &handle);
-        if (!member_status.ok()) break;
-        std::string encoding;
-        handle.EncodeTo(&encoding);
-        ops.emplace_back(ValueType::kValueHandle, std::move(encoding));
-      } else {
-        ops.emplace_back(op.type, op.value);
-      }
-    }
-    if (!member_status.ok()) {
-      included[i] = 0;
-      writer->status = member_status;
-    }
-  }
-
-  // One WAL record for the whole group; one fsync if any member asked.
-  WalBatch wal_batch(first_seq);
-  bool group_sync = false;
-  size_t included_ops = 0;
-  for (size_t i = 0; i < group.size(); i++) {
-    if (!included[i]) continue;
-    const auto& ops = group[i]->batch->ops();
-    for (size_t j = 0; j < ops.size(); j++) {
-      wal_batch.Add(resolved[i][j].first, ops[j].key, resolved[i][j].second);
-    }
-    included_ops += ops.size();
-    if (group[i]->sync) group_sync = true;
-  }
-
-  if (included_ops > 0) {
-    const Status append_status =
-        wal_->AddRecord(wal_batch.payload(), group_sync);
-    if (append_status.ok()) {
-      // Apply with contiguous sequence numbers in queue order. Published
-      // once at the end: readers filter by last_sequence_, so no prefix of
-      // the group (or of any batch) ever becomes visible.
-      SequenceNumber seq = first_seq;
-      for (size_t i = 0; i < group.size(); i++) {
-        if (!included[i]) continue;
-        const auto& ops = group[i]->batch->ops();
-        for (size_t j = 0; j < ops.size(); j++) {
-          mem_->Add(seq++, resolved[i][j].first, ops[j].key,
-                    resolved[i][j].second);
+    // Key-value separation, resolved per member: large values go to the
+    // value log first (so a WAL record's handle is durable only after its
+    // value is). A member whose value-log append fails is excluded from the
+    // group with its own error; the others still commit.
+    std::vector<char> included(group.size(), 1);
+    std::vector<std::vector<std::pair<ValueType, std::string>>> resolved(
+        group.size());
+    for (size_t i = 0; i < group.size(); i++) {
+      Writer* writer = group[i];
+      auto& ops = resolved[i];
+      ops.reserve(writer->batch->count());
+      Status member_status;
+      for (const WriteBatch::Op& op : writer->batch->ops()) {
+        if (op.type == ValueType::kValue && vlog_ != nullptr &&
+            op.value.size() >= options_.value_separation_threshold) {
+          ValueHandle handle;
+          member_status = vlog_->Add(op.value, writer->sync, &handle);
+          if (!member_status.ok()) break;
+          std::string encoding;
+          handle.EncodeTo(&encoding);
+          ops.emplace_back(ValueType::kValueHandle, std::move(encoding));
+        } else {
+          ops.emplace_back(op.type, op.value);
         }
-        group[i]->status = Status::OK();
       }
-      last_sequence_.store(seq - 1, std::memory_order_release);
-    } else {
-      // Not applied and possibly not durable: every included member fails.
-      for (size_t i = 0; i < group.size(); i++) {
-        if (included[i]) group[i]->status = append_status;
+      if (!member_status.ok()) {
+        included[i] = 0;
+        writer->status = member_status;
       }
     }
-  }
 
-  lock.lock();
+    // One WAL record for the whole group; one fsync if any member asked.
+    WalBatch wal_batch(first_seq);
+    bool group_sync = false;
+    size_t included_ops = 0;
+    for (size_t i = 0; i < group.size(); i++) {
+      if (!included[i]) continue;
+      const auto& ops = group[i]->batch->ops();
+      for (size_t j = 0; j < ops.size(); j++) {
+        wal_batch.Add(resolved[i][j].first, ops[j].key, resolved[i][j].second);
+      }
+      included_ops += ops.size();
+      if (group[i]->sync) group_sync = true;
+    }
+
+    if (included_ops > 0) {
+      const Status append_status =
+          wal_->AddRecord(wal_batch.payload(), group_sync);
+      if (append_status.ok()) {
+        // Apply with contiguous sequence numbers in queue order. Published
+        // once at the end: readers filter by last_sequence_, so no prefix of
+        // the group (or of any batch) ever becomes visible.
+        SequenceNumber seq = first_seq;
+        for (size_t i = 0; i < group.size(); i++) {
+          if (!included[i]) continue;
+          const auto& ops = group[i]->batch->ops();
+          for (size_t j = 0; j < ops.size(); j++) {
+            mem_->Add(seq++, resolved[i][j].first, ops[j].key,
+                      resolved[i][j].second);
+          }
+          group[i]->status = Status::OK();
+        }
+        last_sequence_.store(seq - 1, std::memory_order_release);
+      } else {
+        // Not applied and possibly not durable: every included member fails.
+        for (size_t i = 0; i < group.size(); i++) {
+          if (included[i]) group[i]->status = append_status;
+        }
+      }
+    }
+
+  }
   commit_in_flight_ = false;
-  commit_cv_.notify_all();
+  commit_cv_.SignalAll();
   return group[0]->status;
 }
 
-Status DB::MaybeCompactBuffer(std::unique_lock<std::mutex>& lock) {
+Status DB::MaybeCompactBuffer() {
   if (mem_->ApproximateMemoryUsage() < options_.buffer_size_bytes) {
     return Status::OK();
   }
-  if (options_.background_compaction) return SwitchMemTable(lock);
-  return FlushActiveMemTableLocked(lock);
+  if (options_.background_compaction) return SwitchMemTable();
+  return FlushActiveMemTableLocked();
 }
 
-Status DB::SwitchMemTable(std::unique_lock<std::mutex>& lock) {
+Status DB::SwitchMemTable() {
   // Soft backpressure: one queue slot left — slow this writer down to give
   // the worker a head start before the hard stall.
   if (options_.max_immutable_memtables >= 2 &&
       static_cast<int>(imm_.size()) == options_.max_immutable_memtables - 1) {
     counters_.write_slowdowns.fetch_add(1, std::memory_order_relaxed);
-    lock.unlock();
+    mu_.Unlock();
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
-    lock.lock();
+    mu_.Lock();
   }
   while (static_cast<int>(imm_.size()) >= options_.max_immutable_memtables &&
          bg_error_.ok() && !shutting_down_) {
     counters_.write_stalls.fetch_add(1, std::memory_order_relaxed);
-    bg_done_cv_.wait(lock);
+    bg_done_cv_.Wait();
   }
   if (!bg_error_.ok()) return bg_error_;
   if (shutting_down_) return Status::IoError("shutting down");
@@ -501,41 +509,41 @@ Status DB::SwitchMemTable(std::unique_lock<std::mutex>& lock) {
   // Never swap mem_/wal_ out from under a group-commit leader working
   // outside mu_ (this caller may not be the leader: Flush() and the stall
   // wait above release mu_, so a commit can be in flight here).
-  commit_cv_.wait(lock, [this] { return !commit_in_flight_; });
+  while (commit_in_flight_) commit_cv_.Wait();
 
   imm_.insert(imm_.begin(), ImmEntry{mem_, wal_number_});
   MONKEYDB_RETURN_IF_ERROR(NewWalLocked());
   mem_ = std::make_shared<MemTable>(internal_comparator_);
   PublishViewLocked();
-  bg_work_cv_.notify_one();
+  bg_work_cv_.Signal();
   return Status::OK();
 }
 
-Status DB::FlushActiveMemTableLocked(std::unique_lock<std::mutex>& lock) {
+Status DB::FlushActiveMemTableLocked() {
   // A group-commit leader may be mid-commit outside mu_ when an external
   // Flush()/CompactAll() lands here; wait it out before touching mem_/wal_.
   // (The caller holds mu_ from here on, so no new commit can start.)
-  commit_cv_.wait(lock, [this] { return !commit_in_flight_; });
+  while (commit_in_flight_) commit_cv_.Wait();
   if (mem_->num_entries() == 0) return Status::OK();
   MONKEYDB_RETURN_IF_ERROR(FlushMemTable(mem_, /*swap_active=*/true,
-                                         /*io_lock=*/nullptr));
-  MONKEYDB_RETURN_IF_ERROR(Cascade(/*io_lock=*/nullptr));
+                                         /*io_unlock=*/false));
+  MONKEYDB_RETURN_IF_ERROR(Cascade(/*io_unlock=*/false));
   // The flushed entries are durable as a run; retire their WAL.
   const uint64_t old_wal = wal_number_;
   MONKEYDB_RETURN_IF_ERROR(NewWalLocked());
-  options_.env->RemoveFile(WalFileName(old_wal)).ok();
+  options_.env->RemoveFile(WalFileName(old_wal)).IgnoreError();
   return Status::OK();
 }
 
 // --- Background worker ---
 
 void DB::BackgroundMain() {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   while (true) {
-    bg_work_cv_.wait(lock, [this] {
-      return shutting_down_ ||
-             (bg_error_.ok() && (!imm_.empty() || CascadePendingLocked()));
-    });
+    while (!(shutting_down_ ||
+             (bg_error_.ok() && (!imm_.empty() || CascadePendingLocked())))) {
+      bg_work_cv_.Wait();
+    }
     // Pending frozen memtables stay durable in their WALs and are replayed
     // on the next Open.
     if (shutting_down_) break;
@@ -543,17 +551,18 @@ void DB::BackgroundMain() {
     // Flushes outrank merges: a cascade abandoned mid-way (its early-exit
     // fires when a frozen memtable arrives) leaves CascadePendingLocked()
     // true, so the loop comes back to it once the queue is drained.
-    Status s = !imm_.empty() ? FlushOldestImmutable(lock) : Cascade(&lock);
+    Status s = !imm_.empty() ? FlushOldestImmutable()
+                             : Cascade(/*io_unlock=*/true);
     worker_busy_ = false;
     if (!s.ok() && bg_error_.ok()) bg_error_ = s;
-    bg_done_cv_.notify_all();
+    bg_done_cv_.SignalAll();
   }
 }
 
-Status DB::FlushOldestImmutable(std::unique_lock<std::mutex>& lock) {
+Status DB::FlushOldestImmutable() {
   ImmEntry entry = imm_.back();
   MONKEYDB_RETURN_IF_ERROR(FlushMemTable(entry.mem, /*swap_active=*/false,
-                                         &lock));
+                                         /*io_unlock=*/true));
   // Retire the frozen memtable and the WAL that kept it durable. The pop
   // happens after its run is published, so readers always see the entries
   // in at least one place (briefly in both — duplicates at equal sequence
@@ -562,24 +571,24 @@ Status DB::FlushOldestImmutable(std::unique_lock<std::mutex>& lock) {
   // memtables, not the one whose entries were just persisted.
   imm_.pop_back();
   PublishViewLocked();
-  options_.env->RemoveFile(WalFileName(entry.wal_number)).ok();
-  return Cascade(&lock);
+  options_.env->RemoveFile(WalFileName(entry.wal_number)).IgnoreError();
+  return Cascade(/*io_unlock=*/true);
 }
 
-Status DB::WaitForDrain(std::unique_lock<std::mutex>& lock) {
+Status DB::WaitForDrain() {
   // The worker is awake whenever work exists (it only sleeps at a true
   // fixpoint), but nudge it anyway in case this caller created work
   // without a notification.
-  bg_work_cv_.notify_one();
+  bg_work_cv_.Signal();
   while ((!imm_.empty() || worker_busy_ || CascadePendingLocked()) &&
          bg_error_.ok() && !shutting_down_) {
-    bg_done_cv_.wait(lock);
+    bg_done_cv_.Wait();
   }
   return bg_error_;
 }
 
 const Snapshot* DB::GetSnapshot() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const SequenceNumber seq = last_sequence_.load(std::memory_order_relaxed);
   snapshots_.insert(seq);
   return new Snapshot(seq);
@@ -588,7 +597,7 @@ const Snapshot* DB::GetSnapshot() {
 void DB::ReleaseSnapshot(const Snapshot* snapshot) {
   if (snapshot == nullptr) return;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = snapshots_.find(snapshot->sequence());
     if (it != snapshots_.end()) snapshots_.erase(it);
   }
@@ -601,30 +610,30 @@ SequenceNumber DB::SmallestSnapshotLocked() const {
 }
 
 Status DB::Flush() {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (options_.background_compaction) {
     if (!bg_error_.ok()) return bg_error_;
     if (mem_->num_entries() > 0) {
-      MONKEYDB_RETURN_IF_ERROR(SwitchMemTable(lock));
+      MONKEYDB_RETURN_IF_ERROR(SwitchMemTable());
     }
-    return WaitForDrain(lock);
+    return WaitForDrain();
   }
-  return FlushActiveMemTableLocked(lock);
+  return FlushActiveMemTableLocked();
 }
 
 Status DB::CompactAll() {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (options_.background_compaction) {
     if (!bg_error_.ok()) return bg_error_;
     if (mem_->num_entries() > 0) {
-      MONKEYDB_RETURN_IF_ERROR(SwitchMemTable(lock));
+      MONKEYDB_RETURN_IF_ERROR(SwitchMemTable());
     }
-    MONKEYDB_RETURN_IF_ERROR(WaitForDrain(lock));
+    MONKEYDB_RETURN_IF_ERROR(WaitForDrain());
     // The worker is idle and the queue empty; mu_ is held for the rest of
     // the merge, so the tree is stable (writers block — CompactAll is a
     // stop-the-world maintenance operation).
   } else {
-    MONKEYDB_RETURN_IF_ERROR(FlushActiveMemTableLocked(lock));
+    MONKEYDB_RETURN_IF_ERROR(FlushActiveMemTableLocked());
   }
   const int target = std::max(1, current_.DeepestNonEmptyLevel());
 
@@ -646,7 +655,7 @@ Status DB::CompactAll() {
   MONKEYDB_RETURN_IF_ERROR(BuildRun(merged.get(), target,
                                     /*drop_tombstones=*/true,
                                     current_.TotalEntries(), replaced, &out,
-                                    /*io_lock=*/nullptr));
+                                    /*io_unlock=*/false));
   if (out != nullptr) {
     VersionEdit::AddedRun added;
     added.level = target;
@@ -1047,7 +1056,7 @@ Status DB::BuildRunFromJob(Iterator* iter, const CompactionJob& job,
   MONKEYDB_RETURN_IF_ERROR(file->Close());
 
   if (builder.num_entries() == 0) {
-    options_.env->RemoveFile(fname).ok();
+    options_.env->RemoveFile(fname).IgnoreError();
     return Status::OK();  // *out stays null: everything was dropped.
   }
 
@@ -1066,19 +1075,17 @@ Status DB::BuildRunFromJob(Iterator* iter, const CompactionJob& job,
 Status DB::BuildRun(Iterator* iter, int target_level, bool drop_tombstones,
                     uint64_t estimated_entries,
                     const std::set<uint64_t>& replaced_files, RunPtr* out,
-                    std::unique_lock<std::mutex>* io_lock) {
+                    bool io_unlock) {
   out->reset();
   const CompactionJob job = PrepareJobLocked(target_level, drop_tombstones,
                                              estimated_entries,
                                              replaced_files);
-  if (io_lock == nullptr) return BuildRunFromJob(iter, job, out);
-  // Background mode: all the I/O happens with mu_ released, so writers and
-  // readers proceed. The tree itself stays stable — only this worker makes
-  // structural changes.
-  io_lock->unlock();
-  Status s = BuildRunFromJob(iter, job, out);
-  io_lock->lock();
-  return s;
+  // Background mode (io_unlock): all the I/O happens with mu_ released, so
+  // writers and readers proceed. The tree itself stays stable — only this
+  // worker makes structural changes, which is the protocol that covers the
+  // window.
+  ScopedUnlock window(&mu_, io_unlock);
+  return BuildRunFromJob(iter, job, out);
 }
 
 Status DB::BuildMergeOutputs(const std::vector<RunPtr>& inputs,
@@ -1087,7 +1094,7 @@ Status DB::BuildMergeOutputs(const std::vector<RunPtr>& inputs,
                              uint64_t estimated_entries,
                              const std::set<uint64_t>& replaced_files,
                              std::vector<RunPtr>* outputs,
-                             std::unique_lock<std::mutex>* io_lock) {
+                             bool io_unlock) {
   auto make_iter = [&]() {
     std::vector<std::unique_ptr<Iterator>> children;
     if (mem != nullptr) children.push_back(mem->NewIterator());
@@ -1143,7 +1150,7 @@ Status DB::BuildMergeOutputs(const std::vector<RunPtr>& inputs,
     RunPtr out;
     MONKEYDB_RETURN_IF_ERROR(BuildRun(merged.get(), target_level,
                                       drop_tombstones, estimated_entries,
-                                      replaced_files, &out, io_lock));
+                                      replaced_files, &out, io_unlock));
     if (out != nullptr) outputs->push_back(std::move(out));
     return Status::OK();
   }
@@ -1176,17 +1183,18 @@ Status DB::BuildMergeOutputs(const std::vector<RunPtr>& inputs,
   // mu_ is released for the duration.
   std::vector<RunPtr> outs(parts);
   std::vector<Status> statuses(parts);
-  if (io_lock != nullptr) io_lock->unlock();
-  std::vector<std::function<void()>> tasks;
-  tasks.reserve(parts);
-  for (int i = 0; i < parts; i++) {
-    tasks.push_back([this, &make_iter, &jobs, &outs, &statuses, i] {
-      auto iter = make_iter();
-      statuses[i] = BuildRunFromJob(iter.get(), jobs[i], &outs[i]);
-    });
+  {
+    ScopedUnlock window(&mu_, io_unlock);
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(parts);
+    for (int i = 0; i < parts; i++) {
+      tasks.push_back([this, &make_iter, &jobs, &outs, &statuses, i] {
+        auto iter = make_iter();
+        statuses[i] = BuildRunFromJob(iter.get(), jobs[i], &outs[i]);
+      });
+    }
+    compaction_pool_->RunBatch(std::move(tasks));
   }
-  compaction_pool_->RunBatch(std::move(tasks));
-  if (io_lock != nullptr) io_lock->lock();
 
   // First failure wins; any orphaned output files from sibling fragments
   // are swept by the next Recover (they never enter the manifest).
@@ -1216,7 +1224,7 @@ Status DB::LogAndApply(const VersionEdit& edit) {
   for (const auto& added : edit.added) readded.insert(added.file_number);
   for (uint64_t fn : edit.deleted_files) {
     if (readded.count(fn) == 0) {
-      options_.env->RemoveFile(TableFileName(fn)).ok();
+      options_.env->RemoveFile(TableFileName(fn)).IgnoreError();
       if (options_.block_cache != nullptr) {
         options_.block_cache->EraseFile(fn);
       }
@@ -1226,7 +1234,7 @@ Status DB::LogAndApply(const VersionEdit& edit) {
 }
 
 Status DB::FlushMemTable(std::shared_ptr<MemTable> mem, bool swap_active,
-                         std::unique_lock<std::mutex>* io_lock) {
+                         bool io_unlock) {
   if (mem->num_entries() == 0) return Status::OK();
   if (buffer_entries_.load(std::memory_order_relaxed) == 0) {
     buffer_entries_.store(mem->num_entries(), std::memory_order_relaxed);
@@ -1248,7 +1256,7 @@ Status DB::FlushMemTable(std::shared_ptr<MemTable> mem, bool swap_active,
     MONKEYDB_RETURN_IF_ERROR(BuildMergeOutputs(level1, mem, 1,
                                                CanDropTombstones(1),
                                                estimate, replaced, &outs,
-                                               io_lock));
+                                               io_unlock));
     for (const RunPtr& out : outs) {
       VersionEdit::AddedRun added;
       added.level = 1;
@@ -1274,7 +1282,7 @@ Status DB::FlushMemTable(std::shared_ptr<MemTable> mem, bool swap_active,
   MONKEYDB_RETURN_IF_ERROR(BuildRun(
       mem_iter.get(), 1,
       CanDropTombstones(1) && current_.RunsAt(1).empty(),
-      mem->num_entries(), {}, &out, io_lock));
+      mem->num_entries(), {}, &out, io_unlock));
   if (swap_active) {
     mem_ = std::make_shared<MemTable>(internal_comparator_);
     PublishViewLocked();
@@ -1298,14 +1306,14 @@ Status DB::FlushMemTable(std::shared_ptr<MemTable> mem, bool swap_active,
   return Status::OK();
 }
 
-Status DB::Cascade(std::unique_lock<std::mutex>* io_lock) {
+Status DB::Cascade(bool io_unlock) {
   switch (options_.merge_policy) {
     case MergePolicy::kLeveling:
-      return CascadeLeveling(io_lock);
+      return CascadeLeveling(io_unlock);
     case MergePolicy::kTiering:
-      return CascadeTiering(io_lock);
+      return CascadeTiering(io_unlock);
     case MergePolicy::kLazyLeveling:
-      return CascadeLazyLeveling(io_lock);
+      return CascadeLazyLeveling(io_unlock);
   }
   return Status::OK();
 }
@@ -1349,7 +1357,7 @@ bool DB::CascadePendingLocked() const {
   return false;
 }
 
-Status DB::CascadeLeveling(std::unique_lock<std::mutex>* io_lock) {
+Status DB::CascadeLeveling(bool io_unlock) {
   // When a level exceeds its capacity, its run(s) move to the next level
   // (merging with the resident run, if any). Every level is scanned, not
   // just a chain from Level 1: a background worker that abandoned a
@@ -1362,7 +1370,7 @@ Status DB::CascadeLeveling(std::unique_lock<std::mutex>* io_lock) {
     for (int level = 1; level <= current_.NumLevels(); level++) {
       // Flush priority: yield to the worker loop whenever a frozen
       // memtable is waiting; CascadePendingLocked brings us back.
-      if (io_lock != nullptr && !imm_.empty()) return Status::OK();
+      if (io_unlock && !imm_.empty()) return Status::OK();
       const std::vector<RunPtr> runs = current_.RunsAt(level);  // Copy.
       if (runs.empty()) continue;
       if (current_.EntriesAt(level) <= LevelCapacityEntries(level)) continue;
@@ -1407,7 +1415,7 @@ Status DB::CascadeLeveling(std::unique_lock<std::mutex>* io_lock) {
         std::vector<RunPtr> outs;
         MONKEYDB_RETURN_IF_ERROR(BuildMergeOutputs(
             inputs, nullptr, next_level, CanDropTombstones(next_level),
-            estimate, replaced, &outs, io_lock));
+            estimate, replaced, &outs, io_unlock));
         for (const RunPtr& out : outs) {
           VersionEdit::AddedRun added;
           added.level = next_level;
@@ -1431,7 +1439,7 @@ Status DB::CascadeLeveling(std::unique_lock<std::mutex>* io_lock) {
   return Status::OK();
 }
 
-Status DB::CascadeTiering(std::unique_lock<std::mutex>* io_lock) {
+Status DB::CascadeTiering(bool io_unlock) {
   // When the T-th run arrives at a level, merge all of its runs into one
   // run at the next level (paper Fig. 3).
   const int trigger =
@@ -1440,7 +1448,7 @@ Status DB::CascadeTiering(std::unique_lock<std::mutex>* io_lock) {
   while (level <= current_.NumLevels()) {
     // Flush priority: yield between merge steps when a frozen memtable is
     // waiting; CascadePendingLocked re-dispatches the cascade afterwards.
-    if (io_lock != nullptr && !imm_.empty()) return Status::OK();
+    if (io_unlock && !imm_.empty()) return Status::OK();
     const std::vector<RunPtr> runs = current_.RunsAt(level);  // Copy.
     if (static_cast<int>(runs.size()) < trigger) {
       level++;
@@ -1466,7 +1474,7 @@ Status DB::CascadeTiering(std::unique_lock<std::mutex>* io_lock) {
     const bool drop = CanDropTombstones(next_level) &&
                       current_.RunsAt(next_level).empty();
     MONKEYDB_RETURN_IF_ERROR(BuildRun(merged.get(), next_level, drop,
-                                      estimate, replaced, &out, io_lock));
+                                      estimate, replaced, &out, io_unlock));
     if (out != nullptr) {
       VersionEdit::AddedRun added;
       added.level = next_level;
@@ -1498,7 +1506,7 @@ Status DB::CascadeTiering(std::unique_lock<std::mutex>* io_lock) {
 //  (2) the largest level always collapses to a single run;
 //  (3) when the largest level's run outgrows its capacity it moves down,
 //      founding a new largest level.
-Status DB::CascadeLazyLeveling(std::unique_lock<std::mutex>* io_lock) {
+Status DB::CascadeLazyLeveling(bool io_unlock) {
   const int trigger =
       std::max(2, static_cast<int>(std::llround(options_.size_ratio)));
   bool changed = true;
@@ -1506,7 +1514,7 @@ Status DB::CascadeLazyLeveling(std::unique_lock<std::mutex>* io_lock) {
     changed = false;
     // Flush priority: yield between merge steps when a frozen memtable is
     // waiting; CascadePendingLocked re-dispatches the cascade afterwards.
-    if (io_lock != nullptr && !imm_.empty()) return Status::OK();
+    if (io_unlock && !imm_.empty()) return Status::OK();
     const int deepest = current_.DeepestNonEmptyLevel();
     for (int level = 1; level <= current_.NumLevels(); level++) {
       const std::vector<RunPtr> runs = current_.RunsAt(level);  // Copy.
@@ -1532,7 +1540,7 @@ Status DB::CascadeLazyLeveling(std::unique_lock<std::mutex>* io_lock) {
           MONKEYDB_RETURN_IF_ERROR(BuildRun(merged.get(), level,
                                             CanDropTombstones(level),
                                             estimate, replaced, &out,
-                                            io_lock));
+                                            io_unlock));
           auto* levels = current_.mutable_levels();
           (*levels)[level - 1].clear();
           if (out != nullptr) {
@@ -1609,7 +1617,8 @@ Status DB::CascadeLazyLeveling(std::unique_lock<std::mutex>* io_lock) {
         const bool drop = CanDropTombstones(next_level) &&
                           (absorb_next || current_.RunsAt(next_level).empty());
         MONKEYDB_RETURN_IF_ERROR(BuildRun(merged.get(), next_level, drop,
-                                          estimate, replaced, &out, io_lock));
+                                          estimate, replaced, &out,
+                                          io_unlock));
         auto* levels = current_.mutable_levels();
         (*levels)[level - 1].clear();
         if (absorb_next) (*levels)[next_level - 1].clear();
@@ -1782,12 +1791,12 @@ uint64_t DB::ApproximateSize(const Slice& start, const Slice& limit) const {
 }
 
 Status DB::Checkpoint(const std::string& target_dir) {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (options_.background_compaction) {
     // Drain frozen memtables so the copy includes every buffer that has
     // left the active memtable (and so the worker cannot swap files
     // underneath the copy loop).
-    MONKEYDB_RETURN_IF_ERROR(WaitForDrain(lock));
+    MONKEYDB_RETURN_IF_ERROR(WaitForDrain());
   }
   MONKEYDB_RETURN_IF_ERROR(options_.env->CreateDir(target_dir));
 

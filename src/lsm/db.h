@@ -36,11 +36,9 @@
 #define MONKEYDB_LSM_DB_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <string>
 #include <thread>
@@ -55,6 +53,8 @@
 #include "lsm/write_batch.h"
 #include "memtable/memtable.h"
 #include "util/iterator.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 
 namespace monkeydb {
@@ -109,17 +109,19 @@ class DB {
   DB& operator=(const DB&) = delete;
 
   Status Put(const WriteOptions& options, const Slice& key,
-             const Slice& value);
-  Status Delete(const WriteOptions& options, const Slice& key);
+             const Slice& value) EXCLUDES(mu_);
+  Status Delete(const WriteOptions& options, const Slice& key)
+      EXCLUDES(mu_);
 
   // Applies every operation in the batch atomically (one WAL record:
   // after a crash, all of them or none of them survive).
-  Status Write(const WriteOptions& options, const WriteBatch& batch);
+  Status Write(const WriteOptions& options, const WriteBatch& batch)
+      EXCLUDES(mu_);
 
   // Pins the current state for consistent reads via
   // ReadOptions::snapshot. Must be released with ReleaseSnapshot.
-  const Snapshot* GetSnapshot();
-  void ReleaseSnapshot(const Snapshot* snapshot);
+  const Snapshot* GetSnapshot() EXCLUDES(mu_);
+  void ReleaseSnapshot(const Snapshot* snapshot) EXCLUDES(mu_);
 
   // Point lookup. Returns NotFound if the key does not exist or was
   // deleted. Never blocks on the writer mutex or in-flight compactions.
@@ -137,9 +139,9 @@ class DB {
   // matches keys). Unlike N sequential Gets, a run deeper than a key's
   // resolution may be probed speculatively; the extra reads are bounded by
   // the Bloom false-positive rate.
-  std::vector<Status> MultiGet(const ReadOptions& options,
-                               const std::vector<Slice>& keys,
-                               std::vector<std::string>* values);
+  [[nodiscard]] std::vector<Status> MultiGet(
+      const ReadOptions& options, const std::vector<Slice>& keys,
+      std::vector<std::string>* values);
 
   // Forward iteration over live user keys (newest visible version, no
   // tombstones). SeekToLast/Prev are not supported. The iterator reads a
@@ -149,11 +151,11 @@ class DB {
   // Forces the memtable to disk (flush + cascading merges per policy). In
   // background mode this drains the whole immutable-memtable queue before
   // returning.
-  Status Flush();
+  Status Flush() EXCLUDES(mu_);
 
   // Full compaction: merges the memtable and every run into a single run at
   // the deepest occupied level, purging tombstones and superseded versions.
-  Status CompactAll();
+  Status CompactAll() EXCLUDES(mu_);
 
   DbStats GetStats() const;
 
@@ -170,7 +172,7 @@ class DB {
   // opened as an independent database. In background mode the immutable-
   // memtable queue is drained first so the copy includes every frozen
   // buffer.
-  Status Checkpoint(const std::string& target_dir);
+  Status Checkpoint(const std::string& target_dir) EXCLUDES(mu_);
 
   // The current tree geometry, as fed to the FPR allocation policy.
   LsmShape CurrentShape() const;
@@ -206,21 +208,27 @@ class DB {
 
   // One queued writer in the group-commit protocol (LevelDB's Writer).
   // Lives on the caller's stack; the deque holds non-owning pointers.
+  // done/status are deliberately NOT GUARDED_BY(mu_): the queue protocol
+  // covers them — `done` is only written by a leader holding mu_ and only
+  // read by the owning thread (under mu_, or after it observed done under
+  // mu_), and `status` is written inside the leader's commit window (mu_
+  // released, commit_in_flight_ set) before `done` publishes it.
   struct Writer {
-    explicit Writer(const WriteBatch* b, bool s) : batch(b), sync(s) {}
+    Writer(const WriteBatch* b, bool s, Mutex* mu)
+        : batch(b), sync(s), cv(mu) {}
     const WriteBatch* batch;
     bool sync;
     bool done = false;   // Set by the leader that committed (or failed) us.
     Status status;       // Valid once done.
-    std::condition_variable cv;  // Signaled with mu_ held.
+    CondVar cv;          // Bound to mu_; signaled with mu_ held.
   };
 
-  Status Recover();
-  Status ReplayWal(const std::string& wal_path);
+  Status Recover() EXCLUDES(mu_);
+  Status ReplayWal(const std::string& wal_path) REQUIRES(mu_);
 
   // Rotates to a fresh numbered WAL file. Does not delete the previous one
-  // (its memtable may still be in flight). REQUIRES: mu_ held.
-  Status NewWalLocked();
+  // (its memtable may still be in flight).
+  Status NewWalLocked() REQUIRES(mu_);
   std::string WalFileName(uint64_t number) const;
 
   // Commits `group` (a prefix of writers_) as its leader: resolves
@@ -230,21 +238,20 @@ class DB {
   // vlog/WAL/memtable work (commit_in_flight_ keeps maintenance ops out)
   // and reacquired before returning. Each member's individual outcome is
   // written to its Writer::status: a member whose batch was not applied
-  // never sees ok(). Returns the leader's own status. REQUIRES: lock held
-  // on mu_; group[0] == writers_.front() is the calling thread.
-  Status CommitGroupLocked(const std::vector<Writer*>& group,
-                           std::unique_lock<std::mutex>& lock);
+  // never sees ok(). Returns the leader's own status. REQUIRES:
+  // group[0] == writers_.front() is the calling thread.
+  Status CommitGroupLocked(const std::vector<Writer*>& group)
+      REQUIRES(mu_);
 
   // Memtable-full handling shared by Put/Delete/Write. Synchronous mode
   // flushes inline; background mode freezes the memtable (with
-  // backpressure) and wakes the worker. REQUIRES: lock held on mu_; may
-  // release and reacquire it.
-  Status MaybeCompactBuffer(std::unique_lock<std::mutex>& lock);
+  // backpressure) and wakes the worker. May release and reacquire mu_.
+  Status MaybeCompactBuffer() REQUIRES(mu_);
 
   // Freezes the active memtable onto the immutable queue, rotating the WAL
-  // and applying slowdown/stall backpressure when the queue is full.
-  // REQUIRES: lock held on mu_; may release and reacquire it.
-  Status SwitchMemTable(std::unique_lock<std::mutex>& lock);
+  // and applying slowdown/stall backpressure when the queue is full. May
+  // release and reacquire mu_.
+  Status SwitchMemTable() REQUIRES(mu_);
 
   // Flushes `mem` to Level 1 per the merge policy. Callers run Cascade()
   // afterwards — separately, so the background worker can retire the frozen
@@ -252,43 +259,42 @@ class DB {
   // (yield when a frozen memtable is waiting) sees only *other* pending
   // flushes. If swap_active, the active memtable is replaced with a fresh
   // one once its Level-1 run is built (synchronous mode); background mode
-  // passes the frozen memtable and manages its queue entry itself. io_lock,
-  // when non-null, is released around every run build (background mode) so
+  // passes the frozen memtable and manages its queue entry itself. With
+  // io_unlock, mu_ is released around every run build (background mode) so
   // writers and readers proceed during the I/O. mem is taken by value: the
   // active-memtable caller passes mem_, which this function reassigns.
-  // REQUIRES: mu_ held (via io_lock when non-null).
   Status FlushMemTable(std::shared_ptr<MemTable> mem, bool swap_active,
-                       std::unique_lock<std::mutex>* io_lock);
+                       bool io_unlock) REQUIRES(mu_);
 
   // Synchronous-mode flush of the active memtable (with cascades) + WAL
-  // rotation. Waits out any in-flight group commit first. REQUIRES: lock
-  // held on mu_ (kept held through all the I/O — synchronous mode).
-  Status FlushActiveMemTableLocked(std::unique_lock<std::mutex>& lock);
+  // rotation. Waits out any in-flight group commit first. mu_ is kept held
+  // through all the I/O — synchronous mode.
+  Status FlushActiveMemTableLocked() REQUIRES(mu_);
 
   // The cascades restore every level's invariant (scanning all levels, not
   // just a chain from Level 1 — a background worker may resume a cascade it
-  // abandoned earlier to prioritize a flush). With io_lock non-null they
+  // abandoned earlier to prioritize a flush). With io_unlock they
   // early-exit between merge steps whenever a frozen memtable is waiting;
   // BackgroundMain re-dispatches via CascadePendingLocked.
-  Status CascadeLeveling(std::unique_lock<std::mutex>* io_lock);
-  Status CascadeTiering(std::unique_lock<std::mutex>* io_lock);
-  Status CascadeLazyLeveling(std::unique_lock<std::mutex>* io_lock);
+  Status CascadeLeveling(bool io_unlock) REQUIRES(mu_);
+  Status CascadeTiering(bool io_unlock) REQUIRES(mu_);
+  Status CascadeLazyLeveling(bool io_unlock) REQUIRES(mu_);
 
-  // Dispatches to the configured policy's cascade. REQUIRES: mu_ held
-  // (released around run builds when io_lock is non-null).
-  Status Cascade(std::unique_lock<std::mutex>* io_lock);
+  // Dispatches to the configured policy's cascade (released around run
+  // builds when io_unlock is set).
+  Status Cascade(bool io_unlock) REQUIRES(mu_);
 
   // True iff some level violates its merge-policy invariant, i.e. the
   // cascade for the configured policy would do work. Must match the
   // cascades' stop conditions exactly or the worker would spin (or stall).
-  // REQUIRES: mu_ held.
-  bool CascadePendingLocked() const;
+  bool CascadePendingLocked() const REQUIRES(mu_);
 
   // Captures the post-compaction tree geometry, resolves the FPR for the
-  // output run, and allocates its file number. REQUIRES: mu_ held.
+  // output run, and allocates its file number.
   CompactionJob PrepareJobLocked(int target_level, bool drop_tombstones,
                                  uint64_t estimated_entries,
-                                 const std::set<uint64_t>& replaced_files);
+                                 const std::set<uint64_t>& replaced_files)
+      REQUIRES(mu_);
 
   // Builds a new on-disk run from iter (which yields internal keys in
   // order) according to job. Touches no mu_-guarded state: callers may
@@ -299,12 +305,12 @@ class DB {
   // PrepareJobLocked + BuildRunFromJob. estimated_entries is an upper
   // bound on the output size and replaced_files lists the runs this
   // compaction consumes; both feed the FPR policy's view of the
-  // post-compaction tree geometry. When io_lock is non-null, mu_ is
-  // released during the build. REQUIRES: mu_ held.
+  // post-compaction tree geometry. With io_unlock, mu_ is released during
+  // the build.
   Status BuildRun(Iterator* iter, int target_level, bool drop_tombstones,
                   uint64_t estimated_entries,
                   const std::set<uint64_t>& replaced_files, RunPtr* out,
-                  std::unique_lock<std::mutex>* io_lock);
+                  bool io_unlock) REQUIRES(mu_);
 
   // Merges `inputs` (plus `mem`, when non-null) into the target level,
   // possibly as several parallel range-partitioned subcompactions when a
@@ -314,23 +320,23 @@ class DB {
   // own thread into its own output run, all sharing one FPR/sequence/
   // snapshot decision. Appends the non-empty outputs to *outputs in key
   // order; with compaction_threads == 1 this is byte-identical to the
-  // single BuildRun path. When io_lock is non-null, mu_ is released during
-  // the builds. REQUIRES: mu_ held.
+  // single BuildRun path. With io_unlock, mu_ is released during the
+  // builds.
   Status BuildMergeOutputs(const std::vector<RunPtr>& inputs,
                            const std::shared_ptr<MemTable>& mem,
                            int target_level, bool drop_tombstones,
                            uint64_t estimated_entries,
                            const std::set<uint64_t>& replaced_files,
                            std::vector<RunPtr>* outputs,
-                           std::unique_lock<std::mutex>* io_lock);
+                           bool io_unlock) REQUIRES(mu_);
 
   // True iff nothing older than output_level exists, so tombstones and all
   // superseded entries can be dropped.
-  bool CanDropTombstones(int output_level) const;
+  bool CanDropTombstones(int output_level) const REQUIRES(mu_);
 
   // Appends edit to the manifest, applies it to current_, and publishes a
-  // new ReadView. REQUIRES: mu_ held.
-  Status LogAndApply(const VersionEdit& edit);
+  // new ReadView.
+  Status LogAndApply(const VersionEdit& edit) REQUIRES(mu_);
 
   uint64_t LevelCapacityEntries(int level) const;
 
@@ -343,73 +349,76 @@ class DB {
   // --- Read-path snapshot publication ---
 
   // Rebuilds the published ReadView from mem_/imm_/current_.
-  // REQUIRES: mu_ held.
-  void PublishViewLocked();
-  std::shared_ptr<const ReadView> CurrentView() const {
+  void PublishViewLocked() REQUIRES(mu_) EXCLUDES(view_mu_);
+  std::shared_ptr<const ReadView> CurrentView() const EXCLUDES(view_mu_) {
     // view_mu_ is held only for this pointer copy (it is NOT mu_ — the
     // read path still never waits on writers or compactions).
     // std::atomic<std::shared_ptr> would express this directly, but
     // libstdc++ 12's _Sp_atomic::load unlocks its spinlock with a relaxed
     // fetch_sub, which TSan (correctly, per the memory model) flags as a
     // data race against the next store's pointer write.
-    std::lock_guard<std::mutex> lock(view_mu_);
+    MutexLock lock(view_mu_);
     return view_;
   }
 
   // --- Background worker ---
 
-  void BackgroundMain();
+  void BackgroundMain() EXCLUDES(mu_);
   // Flushes the oldest frozen memtable (releasing the lock during I/O),
-  // then retires it and its WAL. REQUIRES: lock held on mu_.
-  Status FlushOldestImmutable(std::unique_lock<std::mutex>& lock);
+  // then retires it and its WAL.
+  Status FlushOldestImmutable() REQUIRES(mu_);
   // Blocks until the immutable queue is empty and the worker is idle.
-  // REQUIRES: lock held on mu_.
-  Status WaitForDrain(std::unique_lock<std::mutex>& lock);
+  Status WaitForDrain() REQUIRES(mu_);
 
   const DbOptions options_;
   const std::string name_;
   InternalKeyComparator internal_comparator_;
 
   // Smallest sequence pinned by an active snapshot (or last_sequence_ if
-  // none). Compactions must keep versions visible at this point. REQUIRES:
-  // mu_ held.
-  SequenceNumber SmallestSnapshotLocked() const;
+  // none). Compactions must keep versions visible at this point.
+  SequenceNumber SmallestSnapshotLocked() const REQUIRES(mu_);
 
   // Writer/metadata mutex. Guards mem_/imm_ membership, snapshots_,
   // next_file_number_, wal_/manifest_ appends, and every structural change
   // to current_. The read path never takes it.
-  mutable std::mutex mu_;
-  std::shared_ptr<MemTable> mem_;
-  std::vector<ImmEntry> imm_;  // Newest first.
+  mutable Mutex mu_;
+  // mem_ and wal_ are GUARDED_BY(mu_) for their swaps; the group-commit
+  // leader also accesses them through CommitGroupLocked's ScopedUnlock
+  // window, where the commit_in_flight_ interlock (not mu_) keeps them
+  // stable — see that function.
+  std::shared_ptr<MemTable> mem_ GUARDED_BY(mu_);
+  std::vector<ImmEntry> imm_ GUARDED_BY(mu_);  // Newest first.
 
-  // Group-commit writer queue (REQUIRES mu_). front() is the leader; it
-  // commits a prefix of the queue and pops it. commit_in_flight_ is true
-  // while the leader works outside mu_; maintenance operations that swap
-  // mem_ or the WAL (Flush, CompactAll, Checkpoint, GetSnapshot) wait on
-  // commit_cv_ for it to clear so they never observe a half-applied group.
-  std::deque<Writer*> writers_;
-  bool commit_in_flight_ = false;
-  std::condition_variable commit_cv_;
-  std::multiset<SequenceNumber> snapshots_;
+  // Group-commit writer queue. front() is the leader; it commits a prefix
+  // of the queue and pops it. commit_in_flight_ is true while the leader
+  // works outside mu_; maintenance operations that swap mem_ or the WAL
+  // (Flush, CompactAll, Checkpoint, GetSnapshot) wait on commit_cv_ for it
+  // to clear so they never observe a half-applied group.
+  std::deque<Writer*> writers_ GUARDED_BY(mu_);
+  bool commit_in_flight_ GUARDED_BY(mu_) = false;
+  CondVar commit_cv_{&mu_};
+  std::multiset<SequenceNumber> snapshots_ GUARDED_BY(mu_);
   std::atomic<SequenceNumber> last_sequence_{0};
-  uint64_t next_file_number_ = 1;
-  uint64_t wal_number_ = 0;
+  uint64_t next_file_number_ GUARDED_BY(mu_) = 1;
+  uint64_t wal_number_ GUARDED_BY(mu_) = 0;
   std::atomic<uint64_t> buffer_entries_{0};  // B·P: set from first flush.
 
   // Master tree state, mutated only under mu_ by the thread performing
   // structural work (in background mode, only the worker or a drained
   // maintenance op — so it is stable across the worker's unlock windows).
-  Version current_;
+  Version current_ GUARDED_BY(mu_);
   // Immutable snapshot for the read path; replaced on every structural
   // change. view_mu_ guards only the pointer swap itself and is never held
   // across probes, merges, or I/O (see CurrentView for why this is not an
   // std::atomic<std::shared_ptr>).
-  mutable std::mutex view_mu_;
-  std::shared_ptr<const ReadView> view_;
+  mutable Mutex view_mu_;
+  std::shared_ptr<const ReadView> view_ GUARDED_BY(view_mu_);
 
+  // Set once in Recover (before any concurrency) and internally
+  // synchronized; the read path calls vlog_->Get with no lock held.
   std::unique_ptr<ValueLog> vlog_;  // Non-null iff separation is enabled.
-  std::unique_ptr<WalWriter> wal_;
-  std::unique_ptr<WalWriter> manifest_;
+  std::unique_ptr<WalWriter> wal_ GUARDED_BY(mu_);
+  std::unique_ptr<WalWriter> manifest_ GUARDED_BY(mu_);
 
   // Background flush/compaction state (background mode only). Shutdown
   // ordering: ~DB sets shutting_down_ under mu_, wakes both cvs, joins the
@@ -425,11 +434,11 @@ class DB {
   // Iterators hand it to TableIterator, so they must not outlive the DB
   // (already the contract — they hold a raw DB pointer).
   std::unique_ptr<ThreadPool> read_pool_;
-  std::condition_variable bg_work_cv_;  // Signals the worker: work/shutdown.
-  std::condition_variable bg_done_cv_;  // Signals writers: progress made.
-  bool worker_busy_ = false;            // REQUIRES mu_.
-  bool shutting_down_ = false;          // REQUIRES mu_.
-  Status bg_error_;                     // Sticky; surfaced on writes.
+  CondVar bg_work_cv_{&mu_};  // Signals the worker: work/shutdown.
+  CondVar bg_done_cv_{&mu_};  // Signals writers: progress made.
+  bool worker_busy_ GUARDED_BY(mu_) = false;
+  bool shutting_down_ GUARDED_BY(mu_) = false;
+  Status bg_error_ GUARDED_BY(mu_);  // Sticky; surfaced on writes.
 
   // Lock-free operation counters (the mutable pieces of DbStats).
   struct Counters {

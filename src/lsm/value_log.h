@@ -17,13 +17,14 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "io/env.h"
 #include "util/coding.h"
+#include "util/mutex.h"
 #include "util/slice.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace monkeydb {
 
@@ -61,30 +62,42 @@ class ValueLog {
   ValueLog& operator=(const ValueLog&) = delete;
 
   // Appends value to the active file; on success fills *handle.
-  Status Add(const Slice& value, bool sync, ValueHandle* handle);
+  Status Add(const Slice& value, bool sync, ValueHandle* handle)
+      EXCLUDES(mu_);
 
   // Reads the value a handle points at, verifying its checksum.
-  Status Get(const ValueHandle& handle, std::string* value);
+  Status Get(const ValueHandle& handle, std::string* value) EXCLUDES(mu_);
 
-  uint64_t active_file_number() const { return active_number_; }
-  uint64_t bytes_appended() const { return bytes_appended_; }
+  // Both accessors take mu_: active_number_ and bytes_appended_ are
+  // written by concurrent Add calls, so the previously lock-free reads
+  // were a data race (surfaced by GUARDED_BY when mu_ was annotated).
+  uint64_t active_file_number() const EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return active_number_;
+  }
+  uint64_t bytes_appended() const EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return bytes_appended_;
+  }
 
  private:
   ValueLog(Env* env, std::string dir) : env_(env), dir_(std::move(dir)) {}
 
   std::string FileName(uint64_t number) const;
   Status ReaderFor(uint64_t number,
-                   std::shared_ptr<RandomAccessFile>* reader);
+                   std::shared_ptr<RandomAccessFile>* reader)
+      REQUIRES(mu_);
 
   Env* env_;
   std::string dir_;
 
-  std::mutex mu_;
-  uint64_t active_number_ = 1;
-  uint64_t active_offset_ = 0;
-  uint64_t bytes_appended_ = 0;
-  std::unique_ptr<WritableFile> active_;
-  std::map<uint64_t, std::shared_ptr<RandomAccessFile>> readers_;
+  mutable Mutex mu_;
+  uint64_t active_number_ GUARDED_BY(mu_) = 1;
+  uint64_t active_offset_ GUARDED_BY(mu_) = 0;
+  uint64_t bytes_appended_ GUARDED_BY(mu_) = 0;
+  std::unique_ptr<WritableFile> active_ GUARDED_BY(mu_);
+  std::map<uint64_t, std::shared_ptr<RandomAccessFile>> readers_
+      GUARDED_BY(mu_);
 };
 
 }  // namespace monkeydb

@@ -1,11 +1,11 @@
 #include "sstable/table_reader.h"
 
 #include <cassert>
-#include <condition_variable>
-#include <mutex>
 #include <unordered_map>
 
 #include "bloom/bloom_filter.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 
 namespace monkeydb {
@@ -204,10 +204,11 @@ struct PrefetchSet {
     std::shared_ptr<const std::string> contents;
   };
 
-  std::mutex mu;
-  std::condition_variable cv;
-  bool cancelled = false;
-  std::unordered_map<uint64_t, Slot> slots;  // Keyed by block offset.
+  Mutex mu;
+  CondVar cv{&mu};
+  bool cancelled GUARDED_BY(mu) = false;
+  // Keyed by block offset.
+  std::unordered_map<uint64_t, Slot> slots GUARDED_BY(mu);
 };
 
 }  // namespace
@@ -351,7 +352,7 @@ class TableIterator : public Iterator {
       return;  // Already resident; the scan will hit the cache directly.
     }
     {
-      std::lock_guard<std::mutex> lock(prefetch_->mu);
+      MutexLock lock(prefetch_->mu);
       if (!prefetch_->slots.emplace(handle.offset, PrefetchSet::Slot{})
                .second) {
         return;  // Already scheduled or in flight.
@@ -368,7 +369,7 @@ class TableIterator : public Iterator {
     const BlockHandle h = handle;
     scan_.pool->Submit([set, table, h] {
       {
-        std::lock_guard<std::mutex> lock(set->mu);
+        MutexLock lock(set->mu);
         auto it = set->slots.find(h.offset);
         if (set->cancelled || it == set->slots.end() || it->second.started) {
           return;  // Retired generation or claimed by the foreground.
@@ -378,14 +379,14 @@ class TableIterator : public Iterator {
       std::shared_ptr<const std::string> contents;
       Status s = table->ReadBlockShared(
           h, BlockCache::InsertPriority::kLow, &contents);
-      std::lock_guard<std::mutex> lock(set->mu);
+      MutexLock lock(set->mu);
       auto it = set->slots.find(h.offset);
       if (it != set->slots.end()) {
         it->second.status = s;
         it->second.contents = std::move(contents);
         it->second.done = true;
       }
-      set->cv.notify_all();
+      set->cv.SignalAll();
     });
   }
 
@@ -397,7 +398,7 @@ class TableIterator : public Iterator {
                           std::shared_ptr<const std::string>* contents,
                           Status* status) {
     if (prefetch_ == nullptr) return false;
-    std::unique_lock<std::mutex> lock(prefetch_->mu);
+    MutexLock lock(prefetch_->mu);
     auto it = prefetch_->slots.find(offset);
     if (it == prefetch_->slots.end()) return false;
     if (!it->second.started) {
@@ -407,7 +408,7 @@ class TableIterator : public Iterator {
       return false;
     }
     // Only this thread inserts into slots, so `it` survives the wait.
-    prefetch_->cv.wait(lock, [&] { return it->second.done; });
+    while (!it->second.done) prefetch_->cv.Wait();
     *status = it->second.status;
     *contents = std::move(it->second.contents);
     prefetch_->slots.erase(it);
@@ -420,14 +421,19 @@ class TableIterator : public Iterator {
   void CancelPrefetch() {
     if (prefetch_ == nullptr) return;
     {
-      std::unique_lock<std::mutex> lock(prefetch_->mu);
+      MutexLock lock(prefetch_->mu);
       prefetch_->cancelled = true;
-      prefetch_->cv.wait(lock, [&] {
+      for (;;) {
+        bool in_flight = false;
         for (const auto& [offset, slot] : prefetch_->slots) {
-          if (slot.started && !slot.done) return false;
+          if (slot.started && !slot.done) {
+            in_flight = true;
+            break;
+          }
         }
-        return true;
-      });
+        if (!in_flight) break;
+        prefetch_->cv.Wait();
+      }
     }
     prefetch_ = nullptr;
   }

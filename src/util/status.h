@@ -13,7 +13,11 @@
 
 namespace monkeydb {
 
-class Status {
+// [[nodiscard]]: silently dropping a Status hides I/O and corruption
+// errors, so the compiler rejects it (-Werror=unused-result). Intentional
+// drops must go through IgnoreError(), which names the decision at the
+// call site.
+class [[nodiscard]] Status {
  public:
   enum class Code {
     kOk = 0,
@@ -62,6 +66,12 @@ class Status {
 
   // Human-readable representation, e.g. "Corruption: bad block checksum".
   std::string ToString() const;
+
+  // Explicitly discards this status. The only sanctioned way to drop a
+  // Status on the floor — use it where failure is acceptable by design
+  // (best-effort cleanup, benchmarks priming a cache) and say why in a
+  // comment when it is not obvious.
+  void IgnoreError() const {}
 
  private:
   Status(Code code, std::string_view msg) : code_(code), msg_(msg) {}

@@ -1,0 +1,78 @@
+// Clang Thread Safety Analysis macros (LevelDB/Abseil style).
+//
+// These attach compile-time lock contracts to data and functions:
+//
+//   Mutex mu_;
+//   int counter_ GUARDED_BY(mu_);          // access requires mu_ held
+//   void RehashLocked() REQUIRES(mu_);     // caller must hold mu_
+//   void Poke() EXCLUDES(mu_);             // caller must NOT hold mu_
+//
+// Under Clang with -Wthread-safety (see the MONKEYDB_THREAD_SAFETY_ANALYSIS
+// CMake option) violations are compile errors; under other compilers every
+// macro expands to nothing, so the annotations are zero-cost documentation.
+// Conventions for choosing annotations are documented in DESIGN.md
+// ("Static analysis").
+
+#ifndef MONKEYDB_UTIL_THREAD_ANNOTATIONS_H_
+#define MONKEYDB_UTIL_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__) && defined(__has_attribute)
+#define MONKEYDB_THREAD_ANNOTATION_ATTRIBUTE(x) __attribute__((x))
+#else
+#define MONKEYDB_THREAD_ANNOTATION_ATTRIBUTE(x)  // no-op
+#endif
+
+// Type attribute: the class is a lockable capability ("mutex").
+#define CAPABILITY(x) MONKEYDB_THREAD_ANNOTATION_ATTRIBUTE(capability(x))
+
+// Type attribute: RAII object that acquires a capability at construction
+// and releases it at destruction (annotate the ctor/dtor with
+// ACQUIRE/RELEASE).
+#define SCOPED_CAPABILITY MONKEYDB_THREAD_ANNOTATION_ATTRIBUTE(scoped_lockable)
+
+// Data member: may only be read or written while holding the given
+// capability (e.g. GUARDED_BY(mu_)).
+#define GUARDED_BY(x) MONKEYDB_THREAD_ANNOTATION_ATTRIBUTE(guarded_by(x))
+
+// Pointer data member: the pointer itself is unguarded, but the data it
+// points at may only be accessed while holding the capability.
+#define PT_GUARDED_BY(x) MONKEYDB_THREAD_ANNOTATION_ATTRIBUTE(pt_guarded_by(x))
+
+// Function: the caller must hold the given capability/ies on entry (and
+// still holds them on exit — internal Unlock/Lock pairs are allowed).
+#define REQUIRES(...) \
+  MONKEYDB_THREAD_ANNOTATION_ATTRIBUTE(requires_capability(__VA_ARGS__))
+
+// Function: the caller must hold the capability/ies in shared (reader) mode.
+#define REQUIRES_SHARED(...) \
+  MONKEYDB_THREAD_ANNOTATION_ATTRIBUTE(requires_shared_capability(__VA_ARGS__))
+
+// Function: acquires the capability/ies (held on return, not on entry).
+#define ACQUIRE(...) \
+  MONKEYDB_THREAD_ANNOTATION_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+
+// Function: releases the capability/ies (held on entry, not on return).
+#define RELEASE(...) \
+  MONKEYDB_THREAD_ANNOTATION_ATTRIBUTE(release_capability(__VA_ARGS__))
+
+// Function: the caller must NOT hold the given capability/ies (catches
+// self-deadlock on non-reentrant mutexes).
+#define EXCLUDES(...) \
+  MONKEYDB_THREAD_ANNOTATION_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+
+// Function: tells the analysis the capability is held in contexts it
+// cannot see. Use only on assertion-style helpers.
+#define ASSERT_CAPABILITY(x) \
+  MONKEYDB_THREAD_ANNOTATION_ATTRIBUTE(assert_capability(x))
+
+// Function: returns a reference to the capability guarding the returned or
+// associated data.
+#define RETURN_CAPABILITY(x) MONKEYDB_THREAD_ANNOTATION_ATTRIBUTE(lock_returned(x))
+
+// Function: opt out of analysis for this function body. Every use must
+// carry a comment justifying why the protocol cannot be expressed (see
+// DESIGN.md "Static analysis" for the policy).
+#define NO_THREAD_SAFETY_ANALYSIS \
+  MONKEYDB_THREAD_ANNOTATION_ATTRIBUTE(no_thread_safety_analysis)
+
+#endif  // MONKEYDB_UTIL_THREAD_ANNOTATIONS_H_

@@ -1,6 +1,5 @@
 #include "util/thread_pool.h"
 
-#include <atomic>
 #include <memory>
 
 namespace monkeydb {
@@ -12,14 +11,14 @@ namespace {
 struct BatchState {
   explicit BatchState(size_t total) : remaining(total) {}
 
-  void TaskDone() {
-    std::lock_guard<std::mutex> lock(mu);
-    if (--remaining == 0) cv.notify_all();
+  void TaskDone() EXCLUDES(mu) {
+    MutexLock lock(mu);
+    if (--remaining == 0) cv.SignalAll();
   }
 
-  std::mutex mu;
-  std::condition_variable cv;
-  size_t remaining;
+  Mutex mu;
+  CondVar cv{&mu};
+  size_t remaining GUARDED_BY(mu);
 };
 
 }  // namespace
@@ -33,42 +32,45 @@ ThreadPool::ThreadPool(int num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutting_down_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.SignalAll();
   for (std::thread& thread : threads_) thread.join();
 }
 
 void ThreadPool::WorkerMain() {
-  std::unique_lock<std::mutex> lock(mu_);
+  mu_.Lock();
   while (true) {
-    work_cv_.wait(lock, [this] { return shutting_down_ || !queue_.empty(); });
+    while (!shutting_down_ && queue_.empty()) work_cv_.Wait();
     if (queue_.empty()) {
-      if (shutting_down_) return;
+      if (shutting_down_) {
+        mu_.Unlock();
+        return;
+      }
       continue;
     }
     std::function<void()> task = std::move(queue_.front());
     queue_.pop_front();
-    lock.unlock();
+    mu_.Unlock();
     task();
-    lock.lock();
+    mu_.Lock();
   }
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     queue_.emplace_back(std::move(task));
   }
-  work_cv_.notify_one();
+  work_cv_.Signal();
 }
 
 void ThreadPool::RunBatch(std::vector<std::function<void()>> tasks) {
   if (tasks.empty()) return;
   auto state = std::make_shared<BatchState>(tasks.size());
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     for (std::function<void()>& task : tasks) {
       queue_.emplace_back([task = std::move(task), state] {
         task();
@@ -76,7 +78,7 @@ void ThreadPool::RunBatch(std::vector<std::function<void()>> tasks) {
       });
     }
   }
-  work_cv_.notify_all();
+  work_cv_.SignalAll();
 
   // Participate: drain queued work (this batch's tasks, in the common
   // single-scheduler case) until the batch completes, then wait for any
@@ -84,7 +86,7 @@ void ThreadPool::RunBatch(std::vector<std::function<void()>> tasks) {
   while (true) {
     std::function<void()> task;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (!queue_.empty()) {
         task = std::move(queue_.front());
         queue_.pop_front();
@@ -93,8 +95,8 @@ void ThreadPool::RunBatch(std::vector<std::function<void()>> tasks) {
     if (!task) break;
     task();
   }
-  std::unique_lock<std::mutex> lock(state->mu);
-  state->cv.wait(lock, [&] { return state->remaining == 0; });
+  MutexLock lock(state->mu);
+  while (state->remaining != 0) state->cv.Wait();
 }
 
 }  // namespace monkeydb

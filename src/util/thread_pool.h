@@ -12,12 +12,13 @@
 #ifndef MONKEYDB_UTIL_THREAD_POOL_H_
 #define MONKEYDB_UTIL_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace monkeydb {
 
@@ -35,24 +36,25 @@ class ThreadPool {
   // calling thread executes tasks too (it is one of the batch's workers),
   // so a pool of N threads gives N+1-way parallelism to the caller.
   // Tasks must not themselves call RunBatch on the same pool.
-  void RunBatch(std::vector<std::function<void()>> tasks);
+  void RunBatch(std::vector<std::function<void()>> tasks) EXCLUDES(mu_);
 
   // Queues one task for asynchronous execution and returns immediately.
   // The task runs on some pool thread (never the caller); queued tasks are
   // still drained at shutdown. REQUIRES: num_threads() >= 1 — with no
   // workers a submitted task would only run at destruction.
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) EXCLUDES(mu_);
 
+  // threads_ is immutable after construction, so no lock is needed.
   int num_threads() const { return static_cast<int>(threads_.size()); }
 
  private:
-  void WorkerMain();
+  void WorkerMain() EXCLUDES(mu_);
 
-  std::mutex mu_;
-  std::condition_variable work_cv_;
-  std::deque<std::function<void()>> queue_;
-  bool shutting_down_ = false;
-  std::vector<std::thread> threads_;
+  Mutex mu_;
+  CondVar work_cv_{&mu_};  // Signaled on new work and at shutdown.
+  std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);
+  bool shutting_down_ GUARDED_BY(mu_) = false;
+  std::vector<std::thread> threads_;  // Set in ctor, joined in dtor.
 };
 
 }  // namespace monkeydb

@@ -1,0 +1,28 @@
+// Negative check for the thread-safety try_compile gate: an unannotated
+// (lockless) write to a GUARDED_BY field. This file MUST FAIL to compile
+// under -Wthread-safety -Werror=thread-safety; if it ever builds, the
+// analysis gate is dead and tests/CMakeLists.txt raises a FATAL_ERROR.
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Guarded {
+ public:
+  void BrokenIncrement() {
+    value_++;  // Write without mu_ held: -Wthread-safety rejects this.
+  }
+
+ private:
+  monkeydb::Mutex mu_;
+  int value_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Guarded g;
+  g.BrokenIncrement();
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Positive control for the thread-safety try_compile gate: correctly locked
+// access to a GUARDED_BY field. Must compile under
+// -Wthread-safety -Werror=thread-safety. If this file fails to build, the
+// harness (include paths, flags) is broken — not the analysis.
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Guarded {
+ public:
+  void Increment() EXCLUDES(mu_) {
+    monkeydb::MutexLock lock(mu_);
+    value_++;
+  }
+
+  int value() EXCLUDES(mu_) {
+    monkeydb::MutexLock lock(mu_);
+    return value_;
+  }
+
+ private:
+  monkeydb::Mutex mu_;
+  int value_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Guarded g;
+  g.Increment();
+  return g.value() == 1 ? 0 : 1;
+}

@@ -1,0 +1,145 @@
+// Runtime behavior of the annotated synchronization wrappers
+// (src/util/mutex.h): mutual exclusion, condition-variable handoff with the
+// lock-set-preserving Wait(), and ScopedUnlock's conditional release. The
+// compile-time side (GUARDED_BY violations failing the build) is covered by
+// the try_compile negative check in tests/CMakeLists.txt.
+
+#include "util/mutex.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "util/thread_annotations.h"
+
+namespace monkeydb {
+namespace {
+
+// GUARDED_BY applies to data members, so the shared state under test lives
+// in small structs rather than annotated locals.
+struct GuardedCounter {
+  Mutex mu;
+  int64_t value GUARDED_BY(mu) = 0;
+};
+
+TEST(Mutex, ProvidesMutualExclusion) {
+  GuardedCounter counter;
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 20000;
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; t++) {
+    threads.emplace_back([&counter] {
+      for (int i = 0; i < kIncrements; i++) {
+        MutexLock lock(counter.mu);
+        counter.value++;
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  MutexLock lock(counter.mu);
+  EXPECT_EQ(counter.value, static_cast<int64_t>(kThreads) * kIncrements);
+}
+
+TEST(Mutex, ExplicitLockUnlockPairsWork) {
+  Mutex mu;
+  mu.Lock();
+  mu.AssertHeld();  // Analysis-only; must be callable and free at runtime.
+  mu.Unlock();
+  // Relockable after unlock (non-recursive, but reusable).
+  mu.Lock();
+  mu.Unlock();
+}
+
+struct Handoff {
+  Mutex mu;
+  CondVar cv{&mu};
+  bool ready GUARDED_BY(mu) = false;
+};
+
+TEST(CondVar, WaitReleasesAndReacquiresTheMutex) {
+  Handoff h;
+
+  std::thread signaler([&h] {
+    MutexLock lock(h.mu);
+    h.ready = true;
+    h.cv.Signal();
+  });
+
+  {
+    MutexLock lock(h.mu);
+    // If Wait() failed to release the mutex, the signaler could never set
+    // ready and this would deadlock; if it failed to reacquire, the read
+    // below would race.
+    while (!h.ready) h.cv.Wait();
+    EXPECT_TRUE(h.ready);
+  }
+  signaler.join();
+}
+
+struct Barrier {
+  Mutex mu;
+  CondVar cv{&mu};
+  bool go GUARDED_BY(mu) = false;
+  int awake GUARDED_BY(mu) = 0;
+};
+
+TEST(CondVar, SignalAllWakesEveryWaiter) {
+  Barrier b;
+  constexpr int kWaiters = 4;
+
+  std::vector<std::thread> waiters;
+  waiters.reserve(kWaiters);
+  for (int i = 0; i < kWaiters; i++) {
+    waiters.emplace_back([&b] {
+      MutexLock lock(b.mu);
+      while (!b.go) b.cv.Wait();
+      b.awake++;
+    });
+  }
+  {
+    MutexLock lock(b.mu);
+    b.go = true;
+  }
+  b.cv.SignalAll();
+  for (std::thread& thread : waiters) thread.join();
+
+  MutexLock lock(b.mu);
+  EXPECT_EQ(b.awake, kWaiters);
+}
+
+TEST(ScopedUnlock, ReleasesForItsScope) {
+  Mutex mu;
+  bool observed_unlocked = false;
+  mu.Lock();
+  {
+    ScopedUnlock window(&mu);
+    // Another thread must be able to take the lock inside the window.
+    std::thread prober([&mu, &observed_unlocked] {
+      MutexLock lock(mu);
+      observed_unlocked = true;
+    });
+    prober.join();
+  }
+  // The window relocked mu on exit; unlocking (valid only while held)
+  // completes the pairing.
+  mu.Unlock();
+  EXPECT_TRUE(observed_unlocked);
+}
+
+TEST(ScopedUnlock, ConditionalReleaseIsANoOpWhenDisabled) {
+  Mutex mu;
+  mu.Lock();
+  {
+    ScopedUnlock window(&mu, /*release=*/false);
+    // mu stays held: nothing to verify beyond not deadlocking on exit
+    // (a spurious relock of a held std::mutex would deadlock here).
+  }
+  mu.Unlock();
+}
+
+}  // namespace
+}  // namespace monkeydb
