@@ -51,6 +51,9 @@ const int kThreadCounts[] = {1, 2, 4, 8};
 int g_num_keys = 20000;
 int g_reads_per_thread = 1200;
 int g_writes_per_thread = 600;
+// --json: build every DB with enable_metrics and dump the read-path and
+// mixed-path histogram snapshots to BENCH_obs.json at exit.
+bool g_emit_obs = false;
 
 struct LatencyDb {
   std::unique_ptr<Env> base_env;
@@ -72,6 +75,7 @@ LatencyDb BuildDb(bool background) {
   options.page_size = kPageSize;
   options.expected_entries = g_num_keys;
   options.background_compaction = background;
+  options.enable_metrics = g_emit_obs;
 
   Status s = DB::Open(options, "/db", &t.db);
   if (!s.ok()) {
@@ -173,6 +177,7 @@ LatencyDb BuildWriteDb() {
   options.page_size = kPageSize;
   options.expected_entries = g_num_keys;
   options.background_compaction = true;
+  options.enable_metrics = g_emit_obs;
 
   Status s = DB::Open(options, "/db", &t.db);
   if (!s.ok()) {
@@ -230,6 +235,7 @@ int main(int argc, char** argv) {
   using namespace monkeydb;
   using namespace monkeydb::bench;
 
+  g_emit_obs = ConsumeJsonFlag(&argc, argv);
   for (int i = 1; i < argc; i++) {
     if (std::string(argv[i]) == "--smoke") {
       g_num_keys = 2000;
@@ -364,6 +370,23 @@ int main(int argc, char** argv) {
     fprintf(json, "}\n");
     fclose(json);
     printf("wrote BENCH_write.json\n");
+  }
+
+  // Histogram snapshots from the instrumented DBs: the read-only DB saw
+  // pure Get traffic, the concurrent mixed DB also saw flushes/merges and
+  // (possibly) stalls, so both breakdowns are worth keeping.
+  if (g_emit_obs) {
+    FILE* obs = fopen("BENCH_obs.json", "w");
+    if (obs != nullptr) {
+      const std::string read_json =
+          read_db.db->DumpMetrics(DB::MetricsFormat::kJson);
+      const std::string mixed_json =
+          mixed_concurrent.db->DumpMetrics(DB::MetricsFormat::kJson);
+      fprintf(obs, "{\n\"read_only_db\": %s,\n\"mixed_db\": %s\n}\n",
+              read_json.c_str(), mixed_json.c_str());
+      fclose(obs);
+      printf("wrote BENCH_obs.json\n");
+    }
   }
   return 0;
 }

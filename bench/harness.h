@@ -46,7 +46,39 @@ struct FillSpec {
   double bits_per_entry = 5.0;
   bool monkey_filters = false;
   size_t block_cache_bytes = 0;
+  bool enable_metrics = false;  // Histograms on; costs a clock read per op.
 };
+
+// Strips --json from argv (so benchmark libraries that parse the remaining
+// flags never see it) and reports whether it was present. Binaries that
+// support it dump a metrics snapshot to BENCH_obs.json on exit.
+inline bool ConsumeJsonFlag(int* argc, char** argv) {
+  bool found = false;
+  int out = 1;
+  for (int i = 1; i < *argc; i++) {
+    if (std::string(argv[i]) == "--json") {
+      found = true;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+  return found;
+}
+
+// Writes the DB's JSON metrics snapshot (counters, tree shape, predicted vs
+// measured FPR, histograms) to path. Returns false if the file could not be
+// opened or metrics were never enabled on the DB.
+inline bool WriteObsJson(DB* db, const std::string& path) {
+  if (db->metrics() == nullptr) return false;
+  const std::string json = db->DumpMetrics(DB::MetricsFormat::kJson);
+  FILE* f = fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  fwrite(json.data(), 1, json.size(), f);
+  fputc('\n', f);
+  fclose(f);
+  return true;
+}
 
 inline std::string MakeKey(uint64_t i) {
   char buf[32];
@@ -82,6 +114,7 @@ inline TestDb Fill(const FillSpec& spec) {
   options.page_size = kPageSize;
   options.block_cache = t.cache.get();
   options.expected_entries = spec.num_keys;
+  options.enable_metrics = spec.enable_metrics;
   if (spec.monkey_filters) options.fpr_policy = monkey::NewMonkeyFprPolicy();
 
   Status s = DB::Open(options, "/db", &t.db);

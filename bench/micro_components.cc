@@ -1,7 +1,13 @@
 // Component microbenchmarks (google-benchmark): hashing, Bloom filters,
 // memtable, block, table probe, and the closed-form models/tuner.
+//
+// With --json, additionally runs a small instrumented end-to-end workload
+// (fill + zero-result + existing-key lookups with enable_metrics on) and
+// dumps the engine's histogram snapshot to BENCH_obs.json.
 
 #include <benchmark/benchmark.h>
+
+#include "harness.h"
 
 #include "bloom/blocked_bloom_filter.h"
 #include "bloom/bloom_filter.h"
@@ -192,7 +198,46 @@ void BM_TunerSearch(benchmark::State& state) {
 }
 BENCHMARK(BM_TunerSearch);
 
+// The --json end-to-end pass: every histogram DumpMetrics exports needs
+// traffic, so drive writes, point/batch lookups, and a short scan through an
+// instrumented DB, then snapshot.
+void EmitObsJson() {
+  bench::FillSpec spec;
+  spec.num_keys = 20000;
+  spec.monkey_filters = true;
+  spec.enable_metrics = true;
+  bench::TestDb t = bench::Fill(spec);
+  bench::MeasureZeroResultLookups(&t, 4000);
+  bench::MeasureNonZeroResultLookups(&t, 4000, /*locality_c=*/0.0);
+  {
+    ReadOptions ro;
+    std::vector<std::string> key_storage;
+    for (int i = 0; i < 64; i++) key_storage.push_back(bench::MakeKey(i));
+    std::vector<Slice> keys(key_storage.begin(), key_storage.end());
+    std::vector<std::string> values;
+    (void)t.db->MultiGet(ro, keys, &values);
+    auto it = t.db->NewIterator(ro);
+    int scanned = 0;
+    for (it->SeekToFirst(); it->Valid() && scanned < 1000; it->Next()) {
+      scanned++;
+    }
+  }
+  if (bench::WriteObsJson(t.db.get(), "BENCH_obs.json")) {
+    printf("wrote BENCH_obs.json\n");
+  } else {
+    fprintf(stderr, "failed to write BENCH_obs.json\n");
+  }
+}
+
 }  // namespace
 }  // namespace monkeydb
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const bool emit_json = monkeydb::bench::ConsumeJsonFlag(&argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (emit_json) monkeydb::EmitObsJson();
+  return 0;
+}

@@ -10,7 +10,9 @@ BlockCache::BlockCache(size_t capacity_bytes)
       per_shard_capacity_((capacity_bytes + kNumShards - 1) / kNumShards),
       hot_capacity_((per_shard_capacity_ + 1) / 2) {}
 
-std::shared_ptr<const std::string> BlockCache::Lookup(const Key& key) {
+std::shared_ptr<const std::string> BlockCache::Lookup(const Key& key,
+                                                      bool* was_prefetched) {
+  if (was_prefetched != nullptr) *was_prefetched = false;
   if (capacity_ == 0) return nullptr;
   Shard* shard = GetShard(key);
   MutexLock lock(shard->mu);
@@ -24,6 +26,7 @@ std::shared_ptr<const std::string> BlockCache::Lookup(const Key& key) {
   if (entry.prefetched) {
     shard->prefetch_hits++;
     entry.prefetched = false;
+    if (was_prefetched != nullptr) *was_prefetched = true;
   }
   // Promote to the hot front (most recently used); a referenced scan block
   // graduates from the cold segment here.
@@ -163,6 +166,16 @@ uint64_t BlockCache::scan_inserts() const {
     total += shard.scan_inserts;
   }
   return total;
+}
+
+void BlockCache::ResetCounters() {
+  for (auto& shard : shards_) {
+    MutexLock lock(shard.mu);
+    shard.hits = 0;
+    shard.misses = 0;
+    shard.prefetch_hits = 0;
+    shard.scan_inserts = 0;
+  }
 }
 
 }  // namespace monkeydb

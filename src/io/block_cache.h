@@ -55,8 +55,12 @@ class BlockCache {
 
   // Returns the cached block or nullptr. The returned shared_ptr keeps the
   // data alive even if the entry is evicted concurrently. A hit promotes
-  // the entry to the hot front regardless of how it was inserted.
-  std::shared_ptr<const std::string> Lookup(const Key& key);
+  // the entry to the hot front regardless of how it was inserted. When
+  // was_prefetched is non-null it is set to true iff the hit consumed a
+  // readahead block that had not been referenced yet (the same event the
+  // prefetch_hits counter tracks).
+  std::shared_ptr<const std::string> Lookup(const Key& key,
+                                            bool* was_prefetched = nullptr);
 
   // Inserts (replacing any existing entry) and evicts LRU entries as needed.
   void Insert(const Key& key, std::shared_ptr<const std::string> block,
@@ -80,6 +84,11 @@ class BlockCache {
   uint64_t prefetch_hits() const;
   // Number of kLow-priority (readahead/scan) inserts.
   uint64_t scan_inserts() const;
+
+  // Zeroes hits/misses/prefetch_hits/scan_inserts (cached blocks stay).
+  // Used by DB::ResetStats for per-phase deltas; if the cache is shared
+  // between DBs the counters reset for all of them.
+  void ResetCounters();
 
  private:
   struct Entry {

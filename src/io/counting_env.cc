@@ -1,5 +1,14 @@
 #include "io/counting_env.h"
 
+#include "obs/perf_context.h"
+
+// Besides the engine-wide IoStats (page-granular, always on), the wrappers
+// feed the calling thread's IOStatsContext call/byte counters when the
+// thread opted into perf accounting. Timing is NOT measured here — in the
+// bench stacks a LatencyEnv above or below this one owns the wall time
+// (and MemEnv underneath is instantaneous), so the latency layer feeds the
+// nanos fields instead.
+
 namespace monkeydb {
 
 namespace {
@@ -17,6 +26,11 @@ class CountingRandomAccessFile : public RandomAccessFile {
       const uint64_t first_page = offset / page_size_;
       const uint64_t last_page = (offset + result->size() - 1) / page_size_;
       stats_->AddRead(last_page - first_page + 1, result->size());
+      if (PerfCountsEnabled()) {
+        IOStatsContext* io = GetIOStatsContext();
+        io->read_calls++;
+        io->bytes_read += result->size();
+      }
     }
     return s;
   }
@@ -50,6 +64,11 @@ class CountingWritableFile : public WritableFile {
       stats_->AddWrite(full_pages, full_pages * page_size_);
       pending_bytes_ -= full_pages * page_size_;
     }
+    if (PerfCountsEnabled()) {
+      IOStatsContext* io = GetIOStatsContext();
+      io->write_calls++;
+      io->bytes_written += data.size();
+    }
     return base_->Append(data);
   }
 
@@ -57,6 +76,7 @@ class CountingWritableFile : public WritableFile {
 
   Status Sync() override {
     ChargeTail();
+    if (PerfCountsEnabled()) GetIOStatsContext()->fsync_calls++;
     return base_->Sync();
   }
 

@@ -9,6 +9,12 @@
 #include <cstring>
 
 #include "io/env.h"
+#include "obs/perf_context.h"
+
+// The leaf Env doing real syscalls feeds both halves of the calling
+// thread's IOStatsContext: call/byte counts (perf level >= kCounts) and
+// syscall wall time (>= kCountsAndTime). Don't stack CountingEnv on top of
+// this one — the call counts would double.
 
 namespace monkeydb {
 
@@ -57,9 +63,15 @@ class PosixRandomAccessFile : public RandomAccessFile {
 
   Status Read(uint64_t offset, size_t n, Slice* result,
               char* scratch) const override {
+    PerfTimer timer(&GetIOStatsContext()->read_nanos);
     ssize_t r = ::pread(fd_, scratch, n, static_cast<off_t>(offset));
     if (r < 0) return PosixError(fname_, errno);
     *result = Slice(scratch, static_cast<size_t>(r));
+    if (PerfCountsEnabled()) {
+      IOStatsContext* io = GetIOStatsContext();
+      io->read_calls++;
+      io->bytes_read += static_cast<uint64_t>(r);
+    }
     return Status::OK();
   }
 
@@ -87,6 +99,7 @@ class PosixWritableFile : public WritableFile {
   }
 
   Status Append(const Slice& data) override {
+    PerfTimer timer(&GetIOStatsContext()->write_nanos);
     const char* p = data.data();
     size_t left = data.size();
     while (left > 0) {
@@ -98,12 +111,19 @@ class PosixWritableFile : public WritableFile {
       p += w;
       left -= static_cast<size_t>(w);
     }
+    if (PerfCountsEnabled()) {
+      IOStatsContext* io = GetIOStatsContext();
+      io->write_calls++;
+      io->bytes_written += data.size();
+    }
     return Status::OK();
   }
 
   Status Flush() override { return Status::OK(); }
 
   Status Sync() override {
+    PerfTimer timer(&GetIOStatsContext()->fsync_nanos);
+    if (PerfCountsEnabled()) GetIOStatsContext()->fsync_calls++;
     if (::fsync(fd_) != 0) return PosixError(fname_, errno);
     return Status::OK();
   }

@@ -10,6 +10,8 @@
 #include <thread>
 
 #include "lsm/merging_iterator.h"
+#include "obs/exposition.h"
+#include "obs/perf_context.h"
 #include "sstable/table_builder.h"
 #include "util/coding.h"
 
@@ -29,6 +31,27 @@ std::string MakeTableFileName(const std::string& dbname, uint64_t number) {
   return dbname + buf;
 }
 
+// Wall-clock timer that reads the clock only when enabled — used where a
+// duration feeds both a histogram and an event struct, so the
+// metrics-off/no-listeners path stays free of clock calls.
+class OptionalTimer {
+ public:
+  explicit OptionalTimer(bool enabled) : enabled_(enabled) {
+    if (enabled_) start_ = std::chrono::steady_clock::now();
+  }
+  uint64_t ElapsedMicros() const {
+    if (!enabled_) return 0;
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - start_)
+            .count());
+  }
+
+ private:
+  bool enabled_;
+  std::chrono::steady_clock::time_point start_;
+};
+
 }  // namespace
 
 DB::DB(const DbOptions& options, std::string name)
@@ -37,7 +60,8 @@ DB::DB(const DbOptions& options, std::string name)
       internal_comparator_(options.comparator != nullptr
                                ? options.comparator
                                : BytewiseComparator()),
-      mem_(std::make_shared<MemTable>(internal_comparator_)) {}
+      mem_(std::make_shared<MemTable>(internal_comparator_)),
+      metrics_(options.enable_metrics ? new MetricsRegistry : nullptr) {}
 
 DB::~DB() {
   {
@@ -105,6 +129,7 @@ Status DB::OpenTable(RunPtr run) {
   topts.comparator = &internal_comparator_;
   topts.block_cache = options_.block_cache;
   topts.cache_file_id = run->file_number;
+  topts.metrics = metrics_.get();
   std::unique_ptr<TableReader> table;
   MONKEYDB_RETURN_IF_ERROR(
       TableReader::Open(topts, std::move(file), run->file_size, &table));
@@ -294,12 +319,27 @@ Status DB::ReplayWal(const std::string& wal_path) {
 }
 
 Status DB::NewWalLocked() {
+  const uint64_t retired = wal_ != nullptr ? wal_number_ : 0;
   if (wal_ != nullptr) wal_->Close().IgnoreError();
   wal_number_++;
   std::unique_ptr<WritableFile> file;
   MONKEYDB_RETURN_IF_ERROR(
       options_.env->NewWritableFile(WalFileName(wal_number_), &file));
   wal_ = std::make_unique<WalWriter>(std::move(file));
+  wal_->SetMetrics(metrics_.get());
+  counters_.wal_rotations.fetch_add(1, std::memory_order_relaxed);
+  if (HasObservers()) {
+    WalRotationInfo info;
+    info.retired_file_number = retired;
+    info.new_file_number = wal_number_;
+    if (options_.info_log != nullptr) {
+      options_.info_log->Info("wal rotation: %llu -> %llu",
+                              static_cast<unsigned long long>(retired),
+                              static_cast<unsigned long long>(wal_number_));
+    }
+    NotifyListeners(
+        [&info](EventListener* l) { l->OnWalRotation(info); });
+  }
   return Status::OK();
 }
 
@@ -332,13 +372,27 @@ Status DB::Delete(const WriteOptions& options, const Slice& key) {
 
 Status DB::Write(const WriteOptions& options, const WriteBatch& batch) {
   if (batch.count() == 0) return Status::OK();
+  counters_.writes.fetch_add(1, std::memory_order_relaxed);
+  StopWatch write_watch(metrics_.get(), Hist::kWriteLatency);
+  if (PerfCountsEnabled()) GetPerfContext()->write_count++;
   Writer w(&batch, options.sync || options_.sync_writes, &mu_);
   MutexLock lock(mu_);
   writers_.push_back(&w);
-  while (!w.done && &w != writers_.front()) {
-    w.cv.Wait();
+  {
+    // Queue wait: time parked behind the group-commit queue (zero for an
+    // uncontended writer, which immediately becomes leader).
+    StopWatch queue_watch(metrics_.get(), Hist::kWriteQueueWait);
+    PerfTimer queue_timer(&GetPerfContext()->write_queue_wait_nanos);
+    while (!w.done && &w != writers_.front()) {
+      w.cv.Wait();
+    }
   }
-  if (w.done) return w.status;  // A previous leader committed this batch.
+  if (w.done) {
+    // A previous leader committed this batch.
+    if (PerfCountsEnabled()) GetPerfContext()->write_groups_joined++;
+    return w.status;
+  }
+  if (PerfCountsEnabled()) GetPerfContext()->write_groups_led++;
 
   // This thread is the group leader: it commits a prefix of the queue —
   // every batch that fits under max_write_group_bytes (its own always
@@ -353,6 +407,12 @@ Status DB::Write(const WriteOptions& options, const WriteBatch& batch) {
     }
     group.push_back(writer);
     group_bytes += writer->batch->approximate_bytes();
+  }
+  counters_.write_groups.fetch_add(1, std::memory_order_relaxed);
+  counters_.write_group_batches.fetch_add(group.size(),
+                                          std::memory_order_relaxed);
+  if (metrics_ != nullptr) {
+    metrics_->Record(Hist::kWriteGroupSize, group.size());
   }
 
   Status status;
@@ -421,6 +481,9 @@ Status DB::CommitGroupLocked(const std::vector<Writer*>& group) {
           ValueHandle handle;
           member_status = vlog_->Add(op.value, writer->sync, &handle);
           if (!member_status.ok()) break;
+          counters_.value_log_writes.fetch_add(1, std::memory_order_relaxed);
+          counters_.value_log_bytes.fetch_add(op.value.size(),
+                                              std::memory_order_relaxed);
           std::string encoding;
           handle.EncodeTo(&encoding);
           ops.emplace_back(ValueType::kValueHandle, std::move(encoding));
@@ -449,12 +512,24 @@ Status DB::CommitGroupLocked(const std::vector<Writer*>& group) {
     }
 
     if (included_ops > 0) {
-      const Status append_status =
-          wal_->AddRecord(wal_batch.payload(), group_sync);
+      Status append_status;
+      {
+        // kWalWriteLatency covers the whole AddRecord (the fsync portion
+        // is additionally broken out as kWalSyncLatency inside WalWriter).
+        StopWatch wal_watch(metrics_.get(), Hist::kWalWriteLatency);
+        PerfTimer wal_timer(&GetPerfContext()->wal_write_nanos);
+        append_status = wal_->AddRecord(wal_batch.payload(), group_sync);
+      }
+      counters_.wal_appends.fetch_add(1, std::memory_order_relaxed);
+      if (group_sync) {
+        counters_.wal_syncs.fetch_add(1, std::memory_order_relaxed);
+      }
       if (append_status.ok()) {
         // Apply with contiguous sequence numbers in queue order. Published
         // once at the end: readers filter by last_sequence_, so no prefix of
         // the group (or of any batch) ever becomes visible.
+        StopWatch apply_watch(metrics_.get(), Hist::kMemtableApplyLatency);
+        PerfTimer apply_timer(&GetPerfContext()->memtable_apply_nanos);
         SequenceNumber seq = first_seq;
         for (size_t i = 0; i < group.size(); i++) {
           if (!included[i]) continue;
@@ -494,6 +569,7 @@ Status DB::SwitchMemTable() {
   if (options_.max_immutable_memtables >= 2 &&
       static_cast<int>(imm_.size()) == options_.max_immutable_memtables - 1) {
     counters_.write_slowdowns.fetch_add(1, std::memory_order_relaxed);
+    SetStallCondition(WriteStallInfo::Condition::kSlowdown);
     mu_.Unlock();
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
     mu_.Lock();
@@ -501,8 +577,10 @@ Status DB::SwitchMemTable() {
   while (static_cast<int>(imm_.size()) >= options_.max_immutable_memtables &&
          bg_error_.ok() && !shutting_down_) {
     counters_.write_stalls.fetch_add(1, std::memory_order_relaxed);
+    SetStallCondition(WriteStallInfo::Condition::kStalled);
     bg_done_cv_.Wait();
   }
+  SetStallCondition(WriteStallInfo::Condition::kNormal);
   if (!bg_error_.ok()) return bg_error_;
   if (shutting_down_) return Status::IoError("shutting down");
 
@@ -609,6 +687,67 @@ SequenceNumber DB::SmallestSnapshotLocked() const {
                             : *snapshots_.begin();
 }
 
+// RAII around one merge: bumps the merge counter on entry, fires
+// OnCompactionBegin immediately, and on destruction records
+// Hist::kMergeLatency and fires OnCompactionCompleted — with ok=false
+// unless Completed() ran, so early error returns report the failure.
+class DB::CompactionScope {
+ public:
+  CompactionScope(DB* db, CompactionJobInfo info)
+      : db_(db),
+        info_(info),
+        timer_(db->metrics_ != nullptr || db->HasObservers()) {
+    db_->counters_.merges.fetch_add(1, std::memory_order_relaxed);
+    if (!db_->HasObservers()) return;
+    if (db_->options_.info_log != nullptr) {
+      db_->options_.info_log->Info(
+          "compaction begin: L%d -> L%d (%llu runs, %llu entries)",
+          info_.input_level, info_.output_level,
+          static_cast<unsigned long long>(info_.input_runs),
+          static_cast<unsigned long long>(info_.input_entries));
+    }
+    db_->NotifyListeners(
+        [this](EventListener* l) { l->OnCompactionBegin(info_); });
+  }
+
+  // Success epilogue. subcompactions is the number of output runs the
+  // merge produced in parallel (1 for unpartitioned merges).
+  void Completed(uint64_t output_entries, uint64_t subcompactions) {
+    info_.output_entries = output_entries;
+    info_.subcompactions = subcompactions > 0 ? subcompactions : 1;
+    ok_ = true;
+  }
+
+  ~CompactionScope() {
+    info_.micros = timer_.ElapsedMicros();
+    info_.ok = ok_;
+    if (db_->metrics_ != nullptr) {
+      db_->metrics_->Record(Hist::kMergeLatency, info_.micros);
+    }
+    if (!db_->HasObservers()) return;
+    if (db_->options_.info_log != nullptr) {
+      db_->options_.info_log->Log(
+          ok_ ? LogLevel::kInfo : LogLevel::kError,
+          "compaction end: L%d -> L%d, %llu entries out, %llu us%s",
+          info_.input_level, info_.output_level,
+          static_cast<unsigned long long>(info_.output_entries),
+          static_cast<unsigned long long>(info_.micros),
+          ok_ ? "" : " (failed)");
+    }
+    db_->NotifyListeners(
+        [this](EventListener* l) { l->OnCompactionCompleted(info_); });
+  }
+
+  CompactionScope(const CompactionScope&) = delete;
+  CompactionScope& operator=(const CompactionScope&) = delete;
+
+ private:
+  DB* db_;
+  CompactionJobInfo info_;
+  OptionalTimer timer_;
+  bool ok_ = false;
+};
+
 Status DB::Flush() {
   MutexLock lock(mu_);
   if (options_.background_compaction) {
@@ -646,7 +785,12 @@ Status DB::CompactAll() {
     }
   }
   if (children.empty()) return Status::OK();
-  counters_.merges.fetch_add(1, std::memory_order_relaxed);
+  CompactionJobInfo cinfo;
+  cinfo.input_level = 1;
+  cinfo.output_level = target;
+  cinfo.input_runs = children.size();
+  cinfo.input_entries = current_.TotalEntries();
+  CompactionScope scope(this, cinfo);
 
   std::set<uint64_t> replaced(edit.deleted_files.begin(),
                               edit.deleted_files.end());
@@ -656,6 +800,7 @@ Status DB::CompactAll() {
                                     /*drop_tombstones=*/true,
                                     current_.TotalEntries(), replaced, &out,
                                     /*io_unlock=*/false));
+  scope.Completed(out != nullptr ? out->num_entries : 0, 1);
   if (out != nullptr) {
     VersionEdit::AddedRun added;
     added.level = target;
@@ -679,6 +824,9 @@ Status DB::CompactAll() {
 Status DB::Get(const ReadOptions& options, const Slice& key,
                std::string* value) {
   counters_.gets.fetch_add(1, std::memory_order_relaxed);
+  StopWatch get_watch(metrics_.get(), Hist::kGetLatency);
+  PerfTimer get_timer(&GetPerfContext()->get_nanos);
+  if (PerfCountsEnabled()) GetPerfContext()->get_count++;
 
   // Load the read sequence BEFORE the view: the view loaded afterwards is
   // at least as new, so every entry at or below the sequence is in it.
@@ -690,43 +838,81 @@ Status DB::Get(const ReadOptions& options, const Slice& key,
   LookupKey lookup(key, read_seq);
 
   // 1. The buffer (Level 0): active memtable, then frozen ones newest-first.
-  bool found_entry = false;
-  ValueType type = ValueType::kValue;
-  for (const MemTable* mem : view->MemTables()) {
-    Status s = mem->Get(lookup, value, &found_entry, &type);
-    if (found_entry) {
-      if (s.ok() && type == ValueType::kValueHandle) {
-        return ResolveHandle(value);
+  {
+    PerfTimer mem_timer(&GetPerfContext()->memtable_lookup_nanos);
+    bool found_entry = false;
+    ValueType type = ValueType::kValue;
+    for (const MemTable* mem : view->MemTables()) {
+      Status s = mem->Get(lookup, value, &found_entry, &type);
+      if (found_entry) {
+        if (PerfCountsEnabled()) GetPerfContext()->memtable_hits++;
+        if (s.ok() && type == ValueType::kValueHandle) {
+          return ResolveHandle(value);
+        }
+        return s;
       }
-      return s;
     }
   }
 
   // 2. Disk levels, shallowest to deepest; runs newest to oldest.
   const Version& version = *view->version;
+  const bool perf = PerfCountsEnabled();
   for (int level = 1; level <= version.NumLevels(); level++) {
+    // Stats index the first on-disk level as 0 and clamp at the array end.
+    const int sl = StatLevel(level - 1);
     for (const RunPtr& run : version.RunsAt(level)) {
       TableLookupResult result;
+      ValueType type = ValueType::kValue;
       MONKEYDB_RETURN_IF_ERROR(
           run->table->Get(lookup, value, &result, &type));
       switch (result) {
         case TableLookupResult::kFound:
           counters_.runs_probed.fetch_add(1, std::memory_order_relaxed);
+          counters_.runs_probed_per_level[sl].fetch_add(
+              1, std::memory_order_relaxed);
+          if (perf) {
+            GetPerfContext()->runs_probed++;
+            GetPerfContext()->runs_probed_per_level[sl]++;
+          }
           if (type == ValueType::kValueHandle) return ResolveHandle(value);
           return Status::OK();
         case TableLookupResult::kDeleted:
           counters_.runs_probed.fetch_add(1, std::memory_order_relaxed);
+          counters_.runs_probed_per_level[sl].fetch_add(
+              1, std::memory_order_relaxed);
+          if (perf) {
+            GetPerfContext()->runs_probed++;
+            GetPerfContext()->runs_probed_per_level[sl]++;
+          }
           return Status::NotFound("deleted");
         case TableLookupResult::kNotPresent:
           counters_.runs_probed.fetch_add(1, std::memory_order_relaxed);
+          counters_.runs_probed_per_level[sl].fetch_add(
+              1, std::memory_order_relaxed);
           counters_.false_positives.fetch_add(1, std::memory_order_relaxed);
+          counters_.false_positives_per_level[sl].fetch_add(
+              1, std::memory_order_relaxed);
+          if (perf) {
+            GetPerfContext()->runs_probed++;
+            GetPerfContext()->runs_probed_per_level[sl]++;
+            GetPerfContext()->bloom_false_positives++;
+            GetPerfContext()->false_positives_per_level[sl]++;
+          }
           break;
         case TableLookupResult::kFilteredOut:
           counters_.filter_negatives.fetch_add(1, std::memory_order_relaxed);
+          counters_.filter_negatives_per_level[sl].fetch_add(
+              1, std::memory_order_relaxed);
+          if (perf) {
+            GetPerfContext()->filter_negatives_per_level[sl]++;
+          }
           break;
       }
     }
   }
+  // A bare NotFound is the paper's zero-result lookup: every disk access it
+  // performed was a Bloom false positive (measured R in DumpMetrics).
+  counters_.gets_not_found.fetch_add(1, std::memory_order_relaxed);
   return Status::NotFound();
 }
 
@@ -735,6 +921,7 @@ std::vector<Status> DB::MultiGet(const ReadOptions& options,
                                  std::vector<std::string>* values) {
   counters_.multigets.fetch_add(1, std::memory_order_relaxed);
   counters_.gets.fetch_add(keys.size(), std::memory_order_relaxed);
+  StopWatch batch_watch(metrics_.get(), Hist::kMultiGetLatency);
 
   values->assign(keys.size(), std::string());
   std::vector<Status> statuses(keys.size(), Status::OK());
@@ -782,11 +969,13 @@ std::vector<Status> DB::MultiGet(const ReadOptions& options,
     const TableReader* table;
     BlockHandle handle;
     uint64_t file_number;
+    int stat_level;  // StatLevel(level - 1) of the run that planned it.
   };
   // Per key, in run order (shallowest level first, runs newest first) —
   // the order Get would probe in.
   std::vector<std::vector<Probe>> probes(keys.size());
   for (int level = 1; level <= version.NumLevels(); level++) {
+    const int sl = StatLevel(level - 1);
     for (const RunPtr& run : version.RunsAt(level)) {
       for (size_t i = 0; i < keys.size(); i++) {
         if (resolved[i]) continue;
@@ -801,11 +990,16 @@ std::vector<Status> DB::MultiGet(const ReadOptions& options,
         switch (state) {
           case TableReader::ProbeState::kBlockNeeded:
             probes[i].push_back(Probe{run->table.get(), handle,
-                                      run->file_number});
+                                      run->file_number, sl});
             break;
           case TableReader::ProbeState::kFilteredOut:
             counters_.filter_negatives.fetch_add(1,
                                                  std::memory_order_relaxed);
+            counters_.filter_negatives_per_level[sl].fetch_add(
+                1, std::memory_order_relaxed);
+            if (PerfCountsEnabled()) {
+              GetPerfContext()->filter_negatives_per_level[sl]++;
+            }
             break;
           case TableReader::ProbeState::kNoBlock:
             break;
@@ -873,11 +1067,13 @@ std::vector<Status> DB::MultiGet(const ReadOptions& options,
   for (size_t i = 0; i < keys.size(); i++) {
     if (resolved[i]) continue;
     statuses[i] = Status::NotFound();
+    bool decided = false;
     for (const Probe& probe : probes[i]) {
       const BlockFetch& f = fetches[fetch_index.at(
           std::make_pair(probe.file_number, probe.handle.offset))];
       if (!f.status.ok()) {
         statuses[i] = f.status;
+        decided = true;
         break;
       }
       TableLookupResult result;
@@ -886,21 +1082,40 @@ std::vector<Status> DB::MultiGet(const ReadOptions& options,
                                           &(*values)[i], &result, &type);
       if (!s.ok()) {
         statuses[i] = s;
+        decided = true;
         break;
       }
       counters_.runs_probed.fetch_add(1, std::memory_order_relaxed);
+      counters_.runs_probed_per_level[probe.stat_level].fetch_add(
+          1, std::memory_order_relaxed);
+      if (PerfCountsEnabled()) {
+        GetPerfContext()->runs_probed++;
+        GetPerfContext()->runs_probed_per_level[probe.stat_level]++;
+      }
       if (result == TableLookupResult::kFound) {
         statuses[i] = type == ValueType::kValueHandle
                           ? ResolveHandle(&(*values)[i])
                           : Status::OK();
+        decided = true;
         break;
       }
       if (result == TableLookupResult::kDeleted) {
         statuses[i] = Status::NotFound("deleted");
+        decided = true;
         break;
       }
       // kNotPresent: Bloom false positive; keep going.
       counters_.false_positives.fetch_add(1, std::memory_order_relaxed);
+      counters_.false_positives_per_level[probe.stat_level].fetch_add(
+          1, std::memory_order_relaxed);
+      if (PerfCountsEnabled()) {
+        GetPerfContext()->bloom_false_positives++;
+        GetPerfContext()->false_positives_per_level[probe.stat_level]++;
+      }
+    }
+    if (!decided) {
+      // Ran out of candidate blocks: a zero-result lookup.
+      counters_.gets_not_found.fetch_add(1, std::memory_order_relaxed);
     }
   }
   return statuses;
@@ -916,6 +1131,9 @@ Status DB::ResolveHandle(std::string* value) const {
   if (!handle.DecodeFrom(&input)) {
     return Status::Corruption("malformed value handle");
   }
+  counters_.value_log_reads.fetch_add(1, std::memory_order_relaxed);
+  if (PerfCountsEnabled()) GetPerfContext()->value_log_reads++;
+  PerfTimer timer(&GetPerfContext()->value_log_read_nanos);
   return vlog_->Get(handle, value);
 }
 
@@ -987,6 +1205,29 @@ DB::CompactionJob DB::PrepareJobLocked(
   job.file_number = next_file_number_++;
   job.smallest_snapshot = SmallestSnapshotLocked();
   job.run_sequence = last_sequence_.load(std::memory_order_relaxed);
+
+  // Surface Monkey's per-level allocation decisions: fire whenever the
+  // policy assigns this level a different FPR than the last run built there.
+  const int sl = StatLevel(target_level - 1);
+  const double prev_fpr = last_fpr_per_level_[sl];
+  if (job.fpr != prev_fpr) {
+    last_fpr_per_level_[sl] = job.fpr;
+    if (HasObservers()) {
+      FilterAllocationInfo finfo;
+      finfo.level = target_level;
+      finfo.previous_fpr = prev_fpr;
+      finfo.fpr = job.fpr;
+      finfo.run_entries = std::max<uint64_t>(estimated_entries, 1);
+      if (options_.info_log != nullptr) {
+        options_.info_log->Info(
+            "filter allocation: L%d fpr %.6g -> %.6g (%llu entries)",
+            finfo.level, finfo.previous_fpr, finfo.fpr,
+            static_cast<unsigned long long>(finfo.run_entries));
+      }
+      NotifyListeners(
+          [&finfo](EventListener* l) { l->OnFilterAllocation(finfo); });
+    }
+  }
   return job;
 }
 
@@ -1189,6 +1430,7 @@ Status DB::BuildMergeOutputs(const std::vector<RunPtr>& inputs,
     tasks.reserve(parts);
     for (int i = 0; i < parts; i++) {
       tasks.push_back([this, &make_iter, &jobs, &outs, &statuses, i] {
+        StopWatch watch(metrics_.get(), Hist::kSubcompactionLatency);
         auto iter = make_iter();
         statuses[i] = BuildRunFromJob(iter.get(), jobs[i], &outs[i]);
       });
@@ -1241,6 +1483,41 @@ Status DB::FlushMemTable(std::shared_ptr<MemTable> mem, bool swap_active,
   }
   counters_.flushes.fetch_add(1, std::memory_order_relaxed);
 
+  FlushJobInfo info;
+  info.entries = mem->num_entries();
+  info.triggered_merge = options_.merge_policy == MergePolicy::kLeveling &&
+                         !current_.RunsAt(1).empty();
+  if (HasObservers()) {
+    if (options_.info_log != nullptr) {
+      options_.info_log->Info("flush begin: %llu entries%s",
+                              static_cast<unsigned long long>(info.entries),
+                              info.triggered_merge ? " (merge into L1)" : "");
+    }
+    NotifyListeners([&info](EventListener* l) { l->OnFlushBegin(info); });
+  }
+  OptionalTimer timer(metrics_ != nullptr || HasObservers());
+  Status s = FlushMemTableImpl(std::move(mem), swap_active, io_unlock);
+  info.micros = timer.ElapsedMicros();
+  info.ok = s.ok();
+  if (metrics_ != nullptr) {
+    metrics_->Record(Hist::kFlushLatency, info.micros);
+  }
+  if (HasObservers()) {
+    if (options_.info_log != nullptr) {
+      options_.info_log->Log(
+          s.ok() ? LogLevel::kInfo : LogLevel::kError,
+          "flush end: %llu entries in %llu us%s",
+          static_cast<unsigned long long>(info.entries),
+          static_cast<unsigned long long>(info.micros),
+          s.ok() ? "" : " (failed)");
+    }
+    NotifyListeners([&info](EventListener* l) { l->OnFlushCompleted(info); });
+  }
+  return s;
+}
+
+Status DB::FlushMemTableImpl(std::shared_ptr<MemTable> mem, bool swap_active,
+                             bool io_unlock) {
   if (options_.merge_policy == MergePolicy::kLeveling) {
     // Flush & merge with the Level-1 run in one pass (paper Fig. 3).
     VersionEdit edit;
@@ -1402,7 +1679,6 @@ Status DB::CascadeLeveling(bool io_unlock) {
         (*levels)[level - 1].clear();
         MONKEYDB_RETURN_IF_ERROR(LogAndApply(edit));
       } else {
-        counters_.merges.fetch_add(1, std::memory_order_relaxed);
         std::vector<RunPtr> inputs = runs;
         inputs.insert(inputs.end(), next_runs.begin(), next_runs.end());
         uint64_t estimate = 0;
@@ -1410,12 +1686,19 @@ Status DB::CascadeLeveling(bool io_unlock) {
           edit.deleted_files.push_back(run->file_number);
           estimate += run->num_entries;
         }
+        CompactionJobInfo cinfo;
+        cinfo.input_level = level;
+        cinfo.output_level = next_level;
+        cinfo.input_runs = inputs.size();
+        cinfo.input_entries = estimate;
+        CompactionScope scope(this, cinfo);
         std::set<uint64_t> replaced(edit.deleted_files.begin(),
                                     edit.deleted_files.end());
         std::vector<RunPtr> outs;
         MONKEYDB_RETURN_IF_ERROR(BuildMergeOutputs(
             inputs, nullptr, next_level, CanDropTombstones(next_level),
             estimate, replaced, &outs, io_unlock));
+        uint64_t out_entries = 0;
         for (const RunPtr& out : outs) {
           VersionEdit::AddedRun added;
           added.level = next_level;
@@ -1426,11 +1709,13 @@ Status DB::CascadeLeveling(bool io_unlock) {
           added.smallest = out->smallest;
           added.largest = out->largest;
           edit.added.push_back(std::move(added));
+          out_entries += out->num_entries;
         }
         auto* levels = current_.mutable_levels();
         (*levels)[level - 1].clear();
         (*levels)[next_level - 1] = outs;
         MONKEYDB_RETURN_IF_ERROR(LogAndApply(edit));
+        scope.Completed(out_entries, outs.size());
       }
       changed = true;
       break;  // Restart the scan: the receiving level may now overflow.
@@ -1454,7 +1739,6 @@ Status DB::CascadeTiering(bool io_unlock) {
       level++;
       continue;
     }
-    counters_.merges.fetch_add(1, std::memory_order_relaxed);
     const int next_level = level + 1;
     current_.EnsureLevel(next_level);
 
@@ -1468,6 +1752,12 @@ Status DB::CascadeTiering(bool io_unlock) {
                                 edit.deleted_files.end());
     uint64_t estimate = 0;
     for (const RunPtr& run : runs) estimate += run->num_entries;
+    CompactionJobInfo cinfo;
+    cinfo.input_level = level;
+    cinfo.output_level = next_level;
+    cinfo.input_runs = runs.size();
+    cinfo.input_entries = estimate;
+    CompactionScope scope(this, cinfo);
     auto merged =
         NewMergingIterator(&internal_comparator_, std::move(children));
     RunPtr out;
@@ -1493,6 +1783,7 @@ Status DB::CascadeTiering(bool io_unlock) {
       next_runs.insert(next_runs.begin(), out);
     }
     MONKEYDB_RETURN_IF_ERROR(LogAndApply(edit));
+    scope.Completed(out != nullptr ? out->num_entries : 0, 1);
     level = next_level;  // The push may have filled the next level.
   }
   return Status::OK();
@@ -1523,7 +1814,6 @@ Status DB::CascadeLazyLeveling(bool io_unlock) {
       if (level == deepest) {
         if (runs.size() > 1) {
           // Rule (2): collapse the largest level into one run.
-          counters_.merges.fetch_add(1, std::memory_order_relaxed);
           VersionEdit edit;
           std::vector<std::unique_ptr<Iterator>> children;
           for (const RunPtr& run : runs) {
@@ -1534,6 +1824,12 @@ Status DB::CascadeLazyLeveling(bool io_unlock) {
                                       edit.deleted_files.end());
           uint64_t estimate = 0;
           for (const RunPtr& run : runs) estimate += run->num_entries;
+          CompactionJobInfo cinfo;
+          cinfo.input_level = level;
+          cinfo.output_level = level;
+          cinfo.input_runs = runs.size();
+          cinfo.input_entries = estimate;
+          CompactionScope scope(this, cinfo);
           auto merged = NewMergingIterator(&internal_comparator_,
                                            std::move(children));
           RunPtr out;
@@ -1556,6 +1852,7 @@ Status DB::CascadeLazyLeveling(bool io_unlock) {
             edit.added.push_back(std::move(added));
           }
           MONKEYDB_RETURN_IF_ERROR(LogAndApply(edit));
+          scope.Completed(out != nullptr ? out->num_entries : 0, 1);
           changed = true;
           break;
         }
@@ -1590,7 +1887,6 @@ Status DB::CascadeLazyLeveling(bool io_unlock) {
         // Rule (1): merge this level's runs into the next level. Only the
         // largest level absorbs its resident run (leveled landing);
         // intermediate levels receive the merged run as a new tiered run.
-        counters_.merges.fetch_add(1, std::memory_order_relaxed);
         const int next_level = level + 1;
         current_.EnsureLevel(next_level);
         const bool absorb_next = (next_level == deepest);
@@ -1611,6 +1907,12 @@ Status DB::CascadeLazyLeveling(bool io_unlock) {
         }
         std::set<uint64_t> replaced(edit.deleted_files.begin(),
                                     edit.deleted_files.end());
+        CompactionJobInfo cinfo;
+        cinfo.input_level = level;
+        cinfo.output_level = next_level;
+        cinfo.input_runs = edit.deleted_files.size();
+        cinfo.input_entries = estimate;
+        CompactionScope scope(this, cinfo);
         auto merged = NewMergingIterator(&internal_comparator_,
                                          std::move(children));
         RunPtr out;
@@ -1636,6 +1938,7 @@ Status DB::CascadeLazyLeveling(bool io_unlock) {
           edit.added.push_back(std::move(added));
         }
         MONKEYDB_RETURN_IF_ERROR(LogAndApply(edit));
+        scope.Completed(out != nullptr ? out->num_entries : 0, 1);
         changed = true;
         break;
       }
@@ -1665,6 +1968,46 @@ DbStats DB::GetStats() const {
       counters_.write_slowdowns.load(std::memory_order_relaxed);
   stats.write_stalls = counters_.write_stalls.load(std::memory_order_relaxed);
   stats.multigets = counters_.multigets.load(std::memory_order_relaxed);
+  stats.gets_not_found =
+      counters_.gets_not_found.load(std::memory_order_relaxed);
+  stats.writes = counters_.writes.load(std::memory_order_relaxed);
+  stats.write_groups =
+      counters_.write_groups.load(std::memory_order_relaxed);
+  stats.write_group_batches =
+      counters_.write_group_batches.load(std::memory_order_relaxed);
+  stats.wal_appends = counters_.wal_appends.load(std::memory_order_relaxed);
+  stats.wal_syncs = counters_.wal_syncs.load(std::memory_order_relaxed);
+  stats.wal_rotations =
+      counters_.wal_rotations.load(std::memory_order_relaxed);
+  stats.value_log_writes =
+      counters_.value_log_writes.load(std::memory_order_relaxed);
+  stats.value_log_bytes =
+      counters_.value_log_bytes.load(std::memory_order_relaxed);
+  stats.value_log_reads =
+      counters_.value_log_reads.load(std::memory_order_relaxed);
+  // Per-level probe attribution, truncated at the deepest level that saw
+  // any traffic.
+  int deepest_traffic = 0;
+  for (int l = 0; l < Counters::kMaxLevels; l++) {
+    if (counters_.runs_probed_per_level[l].load(std::memory_order_relaxed) +
+            counters_.filter_negatives_per_level[l].load(
+                std::memory_order_relaxed) +
+            counters_.false_positives_per_level[l].load(
+                std::memory_order_relaxed) >
+        0) {
+      deepest_traffic = l + 1;
+    }
+  }
+  for (int l = 0; l < deepest_traffic; l++) {
+    stats.runs_probed_per_level.push_back(
+        counters_.runs_probed_per_level[l].load(std::memory_order_relaxed));
+    stats.filter_negatives_per_level.push_back(
+        counters_.filter_negatives_per_level[l].load(
+            std::memory_order_relaxed));
+    stats.false_positives_per_level.push_back(
+        counters_.false_positives_per_level[l].load(
+            std::memory_order_relaxed));
+  }
   if (options_.block_cache != nullptr) {
     stats.block_cache_hits = options_.block_cache->hits();
     stats.block_cache_misses = options_.block_cache->misses();
@@ -1734,6 +2077,343 @@ std::string DB::DebugString() const {
            static_cast<unsigned long long>(stats.merges));
   out += line;
   return out;
+}
+
+void DB::ResetStats() {
+  counters_.gets.store(0, std::memory_order_relaxed);
+  counters_.gets_not_found.store(0, std::memory_order_relaxed);
+  counters_.multigets.store(0, std::memory_order_relaxed);
+  counters_.runs_probed.store(0, std::memory_order_relaxed);
+  counters_.filter_negatives.store(0, std::memory_order_relaxed);
+  counters_.false_positives.store(0, std::memory_order_relaxed);
+  counters_.flushes.store(0, std::memory_order_relaxed);
+  counters_.merges.store(0, std::memory_order_relaxed);
+  counters_.entries_compacted.store(0, std::memory_order_relaxed);
+  counters_.write_slowdowns.store(0, std::memory_order_relaxed);
+  counters_.write_stalls.store(0, std::memory_order_relaxed);
+  counters_.writes.store(0, std::memory_order_relaxed);
+  counters_.write_groups.store(0, std::memory_order_relaxed);
+  counters_.write_group_batches.store(0, std::memory_order_relaxed);
+  counters_.wal_appends.store(0, std::memory_order_relaxed);
+  counters_.wal_syncs.store(0, std::memory_order_relaxed);
+  counters_.wal_rotations.store(0, std::memory_order_relaxed);
+  counters_.value_log_writes.store(0, std::memory_order_relaxed);
+  counters_.value_log_bytes.store(0, std::memory_order_relaxed);
+  counters_.value_log_reads.store(0, std::memory_order_relaxed);
+  for (int l = 0; l < Counters::kMaxLevels; l++) {
+    counters_.runs_probed_per_level[l].store(0, std::memory_order_relaxed);
+    counters_.filter_negatives_per_level[l].store(0,
+                                                  std::memory_order_relaxed);
+    counters_.false_positives_per_level[l].store(0,
+                                                 std::memory_order_relaxed);
+  }
+  if (metrics_ != nullptr) metrics_->Reset();
+  if (options_.block_cache != nullptr) options_.block_cache->ResetCounters();
+}
+
+std::string DB::DumpStats() const {
+  const DbStats stats = GetStats();
+  std::string out = DebugString();
+  char line[192];
+  snprintf(line, sizeof(line),
+           "reads: gets %llu (not-found %llu), multigets %llu, "
+           "runs probed %llu, vlog reads %llu\n",
+           static_cast<unsigned long long>(stats.gets),
+           static_cast<unsigned long long>(stats.gets_not_found),
+           static_cast<unsigned long long>(stats.multigets),
+           static_cast<unsigned long long>(stats.runs_probed),
+           static_cast<unsigned long long>(stats.value_log_reads));
+  out += line;
+  for (size_t l = 0; l < stats.runs_probed_per_level.size(); l++) {
+    const uint64_t probes = stats.false_positives_per_level[l] +
+                            stats.filter_negatives_per_level[l];
+    snprintf(line, sizeof(line),
+             "  level %zu probes: %llu data reads, %llu filtered, "
+             "%llu false-positive (fpr %.6f)\n",
+             l + 1,
+             static_cast<unsigned long long>(stats.runs_probed_per_level[l]),
+             static_cast<unsigned long long>(
+                 stats.filter_negatives_per_level[l]),
+             static_cast<unsigned long long>(
+                 stats.false_positives_per_level[l]),
+             probes > 0 ? static_cast<double>(
+                              stats.false_positives_per_level[l]) /
+                              static_cast<double>(probes)
+                        : 0.0);
+    out += line;
+  }
+  snprintf(line, sizeof(line),
+           "writes: %llu in %llu groups (%llu batches) | wal: %llu appends, "
+           "%llu syncs, %llu rotations\n",
+           static_cast<unsigned long long>(stats.writes),
+           static_cast<unsigned long long>(stats.write_groups),
+           static_cast<unsigned long long>(stats.write_group_batches),
+           static_cast<unsigned long long>(stats.wal_appends),
+           static_cast<unsigned long long>(stats.wal_syncs),
+           static_cast<unsigned long long>(stats.wal_rotations));
+  out += line;
+  snprintf(line, sizeof(line),
+           "value log: %llu writes (%llu bytes) | backpressure: %llu "
+           "slowdowns, %llu stalls\n",
+           static_cast<unsigned long long>(stats.value_log_writes),
+           static_cast<unsigned long long>(stats.value_log_bytes),
+           static_cast<unsigned long long>(stats.write_slowdowns),
+           static_cast<unsigned long long>(stats.write_stalls));
+  out += line;
+  snprintf(line, sizeof(line),
+           "compaction: %llu entries rewritten | block cache: %llu hits, "
+           "%llu misses, %llu prefetch hits\n",
+           static_cast<unsigned long long>(stats.entries_compacted),
+           static_cast<unsigned long long>(stats.block_cache_hits),
+           static_cast<unsigned long long>(stats.block_cache_misses),
+           static_cast<unsigned long long>(stats.block_cache_prefetch_hits));
+  out += line;
+  return out;
+}
+
+std::string DB::DumpMetrics(MetricsFormat format) const {
+  const DbStats stats = GetStats();
+  const std::shared_ptr<const ReadView> view = CurrentView();
+  const Version& version = *view->version;
+
+  // The allocator's plan for the current geometry (paper Eqs. 4-8): ask
+  // the configured policy what FPR it assigns each level right now, and
+  // fold per-level run counts into the predicted zero-result lookup cost
+  // R = sum over runs of their FPR (Eq. 3).
+  LsmShape shape;
+  shape.total_entries = version.TotalEntries() + view->MemEntries();
+  shape.buffer_entries = buffer_entries_.load(std::memory_order_relaxed);
+  shape.size_ratio = options_.size_ratio;
+  shape.num_levels = std::max(1, version.DeepestNonEmptyLevel());
+  shape.merge_policy = options_.merge_policy;
+  shape.bits_per_entry_budget = options_.bits_per_entry;
+  const FprAllocationPolicy* policy = options_.fpr_policy != nullptr
+                                          ? options_.fpr_policy.get()
+                                          : DefaultFprPolicy();
+  const int levels = shape.num_levels;
+  std::vector<double> predicted_fpr(levels, 0.0);
+  std::vector<double> measured_fpr(levels, 0.0);
+  std::vector<uint64_t> runs_at(levels, 0);
+  double predicted_r = 0.0;
+  for (int l = 1; l <= levels; l++) {
+    predicted_fpr[l - 1] = policy->RunFpr(shape, l);
+    runs_at[l - 1] =
+        l <= version.NumLevels() ? version.RunsAt(l).size() : 0;
+    predicted_r +=
+        predicted_fpr[l - 1] * static_cast<double>(runs_at[l - 1]);
+  }
+  for (size_t l = 0;
+       l < static_cast<size_t>(levels) &&
+       l < stats.false_positives_per_level.size();
+       l++) {
+    const uint64_t probes = stats.false_positives_per_level[l] +
+                            stats.filter_negatives_per_level[l];
+    if (probes > 0) {
+      measured_fpr[l] =
+          static_cast<double>(stats.false_positives_per_level[l]) /
+          static_cast<double>(probes);
+    }
+  }
+  const double measured_r =
+      stats.gets_not_found > 0
+          ? static_cast<double>(stats.false_positives) /
+                static_cast<double>(stats.gets_not_found)
+          : 0.0;
+
+  if (format == MetricsFormat::kJson) {
+    JsonWriter w;
+    w.BeginObject("counters");
+    w.Field("gets", stats.gets);
+    w.Field("gets_not_found", stats.gets_not_found);
+    w.Field("multigets", stats.multigets);
+    w.Field("runs_probed", stats.runs_probed);
+    w.Field("filter_negatives", stats.filter_negatives);
+    w.Field("false_positives", stats.false_positives);
+    w.Field("flushes", stats.flushes);
+    w.Field("merges", stats.merges);
+    w.Field("entries_compacted", stats.entries_compacted);
+    w.Field("write_slowdowns", stats.write_slowdowns);
+    w.Field("write_stalls", stats.write_stalls);
+    w.Field("writes", stats.writes);
+    w.Field("write_groups", stats.write_groups);
+    w.Field("write_group_batches", stats.write_group_batches);
+    w.Field("wal_appends", stats.wal_appends);
+    w.Field("wal_syncs", stats.wal_syncs);
+    w.Field("wal_rotations", stats.wal_rotations);
+    w.Field("value_log_writes", stats.value_log_writes);
+    w.Field("value_log_bytes", stats.value_log_bytes);
+    w.Field("value_log_reads", stats.value_log_reads);
+    w.Field("block_cache_hits", stats.block_cache_hits);
+    w.Field("block_cache_misses", stats.block_cache_misses);
+    w.Field("block_cache_prefetch_hits", stats.block_cache_prefetch_hits);
+    w.Field("block_cache_scan_inserts", stats.block_cache_scan_inserts);
+    if (metrics_ != nullptr) {
+      for (int t = 0; t < static_cast<int>(Tick::kNumTicks); t++) {
+        w.Field(TickName(static_cast<Tick>(t)),
+                metrics_->TickTotal(static_cast<Tick>(t)));
+      }
+    }
+    w.EndObject();
+    w.BeginObject("tree");
+    w.Field("memtable_entries", stats.memtable_entries);
+    w.Field("disk_entries", stats.total_disk_entries);
+    w.Field("runs", stats.total_runs);
+    w.Field("deepest_level", static_cast<uint64_t>(stats.deepest_level));
+    w.Field("filter_bits", stats.filter_bits_total);
+    w.EndObject();
+    w.BeginObject("fpr");
+    w.Field("predicted_lookup_cost", predicted_r);
+    w.Field("measured_lookup_cost", measured_r);
+    for (int l = 0; l < levels; l++) {
+      char key[32];
+      snprintf(key, sizeof(key), "L%d", l + 1);
+      w.BeginObject(key);
+      w.Field("predicted", predicted_fpr[l]);
+      w.Field("measured", measured_fpr[l]);
+      w.Field("runs", runs_at[l]);
+      w.EndObject();
+    }
+    w.EndObject();
+    if (metrics_ != nullptr) {
+      w.BeginObject("histograms");
+      for (int h = 0; h < static_cast<int>(Hist::kNumHistograms); h++) {
+        w.Histogram(HistName(static_cast<Hist>(h)),
+                    metrics_->SnapshotHistogram(static_cast<Hist>(h)));
+      }
+      w.EndObject();
+    }
+    return w.Finish();
+  }
+
+  PrometheusWriter w;
+  w.Counter("monkeydb_gets_total", "Point lookups",
+            static_cast<double>(stats.gets));
+  w.Counter("monkeydb_gets_not_found_total",
+            "Zero-result lookups (no tombstone hit)",
+            static_cast<double>(stats.gets_not_found));
+  w.Counter("monkeydb_multigets_total", "MultiGet batches",
+            static_cast<double>(stats.multigets));
+  w.Counter("monkeydb_runs_probed_total", "Runs whose data page was read",
+            static_cast<double>(stats.runs_probed));
+  w.Counter("monkeydb_filter_negatives_total",
+            "Probes answered by a Bloom filter",
+            static_cast<double>(stats.filter_negatives));
+  w.Counter("monkeydb_bloom_false_positives_total",
+            "Data page reads that found nothing",
+            static_cast<double>(stats.false_positives));
+  w.Counter("monkeydb_flushes_total", "Memtable flushes",
+            static_cast<double>(stats.flushes));
+  w.Counter("monkeydb_merges_total", "Compaction merges",
+            static_cast<double>(stats.merges));
+  w.Counter("monkeydb_entries_compacted_total",
+            "Entries rewritten by compaction",
+            static_cast<double>(stats.entries_compacted));
+  w.Counter("monkeydb_write_slowdowns_total", "Writer slowdown episodes",
+            static_cast<double>(stats.write_slowdowns));
+  w.Counter("monkeydb_write_stalls_total", "Writer stall episodes",
+            static_cast<double>(stats.write_stalls));
+  w.Counter("monkeydb_writes_total", "Write calls",
+            static_cast<double>(stats.writes));
+  w.Counter("monkeydb_write_groups_total", "Group commits",
+            static_cast<double>(stats.write_groups));
+  w.Counter("monkeydb_write_group_batches_total",
+            "Batches coalesced into commit groups",
+            static_cast<double>(stats.write_group_batches));
+  w.Counter("monkeydb_wal_appends_total", "WAL records written",
+            static_cast<double>(stats.wal_appends));
+  w.Counter("monkeydb_wal_syncs_total", "WAL fsyncs",
+            static_cast<double>(stats.wal_syncs));
+  w.Counter("monkeydb_wal_rotations_total", "WAL file rotations",
+            static_cast<double>(stats.wal_rotations));
+  w.Counter("monkeydb_value_log_writes_total",
+            "Values separated into the value log",
+            static_cast<double>(stats.value_log_writes));
+  w.Counter("monkeydb_value_log_bytes_total",
+            "Payload bytes appended to the value log",
+            static_cast<double>(stats.value_log_bytes));
+  w.Counter("monkeydb_value_log_reads_total",
+            "Value-handle resolutions on the read path",
+            static_cast<double>(stats.value_log_reads));
+  w.Counter("monkeydb_block_cache_hits_total", "Block cache hits",
+            static_cast<double>(stats.block_cache_hits));
+  w.Counter("monkeydb_block_cache_misses_total", "Block cache misses",
+            static_cast<double>(stats.block_cache_misses));
+  w.Counter("monkeydb_block_cache_prefetch_hits_total",
+            "Cache hits served by readahead before first demand reference",
+            static_cast<double>(stats.block_cache_prefetch_hits));
+  w.Gauge("monkeydb_memtable_entries", "Entries buffered in memtables",
+          static_cast<double>(stats.memtable_entries));
+  w.Gauge("monkeydb_disk_entries", "Entries across all on-disk runs",
+          static_cast<double>(stats.total_disk_entries));
+  w.Gauge("monkeydb_runs", "On-disk runs",
+          static_cast<double>(stats.total_runs));
+  w.Gauge("monkeydb_deepest_level", "Deepest non-empty level",
+          static_cast<double>(stats.deepest_level));
+  w.Gauge("monkeydb_filter_bits", "Total Bloom filter bits",
+          static_cast<double>(stats.filter_bits_total));
+
+  w.DeclareGauge("monkey_predicted_fpr",
+                 "Per-level run FPR assigned by the allocation policy for "
+                 "the current geometry");
+  for (int l = 0; l < levels; l++) {
+    char label[16];
+    snprintf(label, sizeof(label), "%d", l + 1);
+    w.LabeledSample("monkey_predicted_fpr", {{"level", label}},
+                    predicted_fpr[l]);
+  }
+  w.DeclareGauge("monkey_measured_fpr",
+                 "Observed per-level false-positive rate: false positives "
+                 "over filter probes that reached the level");
+  for (int l = 0; l < levels; l++) {
+    char label[16];
+    snprintf(label, sizeof(label), "%d", l + 1);
+    w.LabeledSample("monkey_measured_fpr", {{"level", label}},
+                    measured_fpr[l]);
+  }
+  w.Gauge("monkey_predicted_lookup_cost",
+          "Predicted zero-result lookup I/Os R: sum of run FPRs (Eq. 3)",
+          predicted_r);
+  w.Gauge("monkey_measured_lookup_cost",
+          "Measured zero-result lookup I/Os: false positives per "
+          "zero-result lookup",
+          measured_r);
+
+  if (metrics_ != nullptr) {
+    for (int h = 0; h < static_cast<int>(Hist::kNumHistograms); h++) {
+      w.Summary(std::string("monkeydb_") + HistName(static_cast<Hist>(h)),
+                "Latency histogram (microseconds unless the name says "
+                "otherwise)",
+                metrics_->SnapshotHistogram(static_cast<Hist>(h)));
+    }
+    for (int t = 0; t < static_cast<int>(Tick::kNumTicks); t++) {
+      w.Counter(std::string("monkeydb_") + TickName(static_cast<Tick>(t)) +
+                    "_total",
+                "Observability-internal counter",
+                static_cast<double>(
+                    metrics_->TickTotal(static_cast<Tick>(t))));
+    }
+  }
+  return w.str();
+}
+
+void DB::SetStallCondition(WriteStallInfo::Condition next) {
+  if (next == stall_condition_) return;
+  WriteStallInfo info;
+  info.previous = stall_condition_;
+  info.current = next;
+  info.immutable_memtables = imm_.size();
+  stall_condition_ = next;
+  if (!HasObservers()) return;
+  if (options_.info_log != nullptr) {
+    options_.info_log->Log(
+        next == WriteStallInfo::Condition::kNormal ? LogLevel::kInfo
+                                                   : LogLevel::kWarn,
+        "write stall state: %s -> %s (%llu frozen memtables)",
+        ToString(info.previous), ToString(info.current),
+        static_cast<unsigned long long>(info.immutable_memtables));
+  }
+  NotifyListeners(
+      [&info](EventListener* l) { l->OnWriteStallChange(info); });
 }
 
 uint64_t DB::ApproximateSize(const Slice& start, const Slice& limit) const {

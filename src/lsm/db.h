@@ -52,6 +52,8 @@
 #include "lsm/wal.h"
 #include "lsm/write_batch.h"
 #include "memtable/memtable.h"
+#include "obs/event_listener.h"
+#include "obs/metrics.h"
 #include "util/iterator.h"
 #include "util/mutex.h"
 #include "util/thread_annotations.h"
@@ -70,12 +72,21 @@ struct DbStats {
   std::vector<uint64_t> filter_bits_per_level;
   uint64_t filter_bits_total = 0;
 
-  // Lookup-path counters since Open.
+  // Lookup-path counters since Open (or the last ResetStats).
   uint64_t gets = 0;
+  uint64_t gets_not_found = 0;    // Zero-result lookups (no tombstone hit).
   uint64_t runs_probed = 0;       // Runs whose data page was read.
   uint64_t filter_negatives = 0;  // Probes skipped by a Bloom filter.
   uint64_t false_positives = 0;   // Page reads that found nothing.
   uint64_t multigets = 0;         // MultiGet batches (not keys).
+
+  // The same probe events attributed to on-disk levels (index 0 = Level
+  // 1), truncated at the deepest level that saw traffic. measured FPR at
+  // level l = false_positives / (filter_negatives + false_positives) —
+  // DumpMetrics() exports this next to the allocator's predicted FPR.
+  std::vector<uint64_t> runs_probed_per_level;
+  std::vector<uint64_t> filter_negatives_per_level;
+  std::vector<uint64_t> false_positives_per_level;
 
   // Block cache counters since Open (all zero when no cache is
   // configured). prefetch_hits are lookups served by a readahead/scan
@@ -94,6 +105,17 @@ struct DbStats {
   // Writer-backpressure counters since Open (background mode only).
   uint64_t write_slowdowns = 0;
   uint64_t write_stalls = 0;
+
+  // Write-path counters (PR 2/3 machinery that GetStats never surfaced).
+  uint64_t writes = 0;              // Put/Delete/Write calls.
+  uint64_t write_groups = 0;        // Commit groups (leader commits).
+  uint64_t write_group_batches = 0; // Batches coalesced into those groups.
+  uint64_t wal_appends = 0;         // WAL records written.
+  uint64_t wal_syncs = 0;           // WAL fsyncs issued.
+  uint64_t wal_rotations = 0;
+  uint64_t value_log_writes = 0;    // Values separated into the log.
+  uint64_t value_log_bytes = 0;     // Payload bytes appended to the log.
+  uint64_t value_log_reads = 0;     // Handle resolutions on the read path.
 };
 
 class DB {
@@ -159,9 +181,36 @@ class DB {
 
   DbStats GetStats() const;
 
+  // Zeroes every operation counter (DbStats' mutable half), the metrics
+  // registry's histograms, and the block cache's hit/miss counters, so
+  // benches can measure per-phase deltas instead of lifetime totals.
+  // Structural fields (levels, runs, filter bits) are derived from the
+  // tree and are unaffected. If the block cache is shared between DBs its
+  // counters reset for all of them.
+  void ResetStats();
+
   // Human-readable summary of the tree: per-level runs, entries, and
   // realized filter bits/entry (LevelDB's GetProperty-style report).
   std::string DebugString() const;
+
+  // DebugString plus every DbStats counter (read path, write path,
+  // compaction, backpressure), routed through the same GetStats snapshot
+  // the tests assert against.
+  std::string DumpStats() const;
+
+  // Metrics exposition (DESIGN.md "Observability"). Includes the
+  // paper-specific series monkey_predicted_fpr{level} (the allocator's
+  // Eq. 5/6 plan for the current geometry) vs monkey_measured_fpr{level}
+  // (observed false-positive rate), and predicted zero-result lookup cost
+  // R (Eq. 3: sum of per-level run FPRs) vs the measured average.
+  // Histograms appear only when enable_metrics is true; counters and the
+  // FPR gauges are always present.
+  enum class MetricsFormat { kPrometheus, kJson };
+  std::string DumpMetrics(MetricsFormat format) const;
+
+  // The registry behind DumpMetrics (null unless enable_metrics). Exposed
+  // for benches/tests that want HistogramData snapshots directly.
+  MetricsRegistry* metrics() const { return metrics_.get(); }
 
   // Approximate on-disk bytes of entries in [start, limit), estimated from
   // run metadata and fence pointers (no data I/O).
@@ -265,6 +314,15 @@ class DB {
   // active-memtable caller passes mem_, which this function reassigns.
   Status FlushMemTable(std::shared_ptr<MemTable> mem, bool swap_active,
                        bool io_unlock) REQUIRES(mu_);
+  // The pre-observability flush body; FlushMemTable wraps it with the
+  // flush events, log lines, and the kFlushLatency histogram.
+  Status FlushMemTableImpl(std::shared_ptr<MemTable> mem, bool swap_active,
+                           bool io_unlock) REQUIRES(mu_);
+
+  // RAII around one merge (defined in db.cc): bumps the merge counter,
+  // fires OnCompactionBegin/Completed with timing, and records
+  // Hist::kMergeLatency. Reports failure unless Completed() was called.
+  class CompactionScope;
 
   // Synchronous-mode flush of the active memtable (with cascades) + WAL
   // rotation. Waits out any in-flight group commit first. mu_ is kept held
@@ -442,7 +500,12 @@ class DB {
 
   // Lock-free operation counters (the mutable pieces of DbStats).
   struct Counters {
+    // Deep enough for any geometry the benches build; probes on deeper
+    // levels clamp into the last slot.
+    static constexpr int kMaxLevels = 24;
+
     std::atomic<uint64_t> gets{0};
+    std::atomic<uint64_t> gets_not_found{0};
     std::atomic<uint64_t> multigets{0};
     std::atomic<uint64_t> runs_probed{0};
     std::atomic<uint64_t> filter_negatives{0};
@@ -452,8 +515,70 @@ class DB {
     std::atomic<uint64_t> entries_compacted{0};
     std::atomic<uint64_t> write_slowdowns{0};
     std::atomic<uint64_t> write_stalls{0};
+    std::atomic<uint64_t> writes{0};
+    std::atomic<uint64_t> write_groups{0};
+    std::atomic<uint64_t> write_group_batches{0};
+    std::atomic<uint64_t> wal_appends{0};
+    std::atomic<uint64_t> wal_syncs{0};
+    std::atomic<uint64_t> wal_rotations{0};
+    std::atomic<uint64_t> value_log_writes{0};
+    std::atomic<uint64_t> value_log_bytes{0};
+    std::atomic<uint64_t> value_log_reads{0};
+
+    // Per-level probe attribution (index 0 = Level 1); feeds the
+    // measured-FPR gauges in DumpMetrics.
+    std::atomic<uint64_t> runs_probed_per_level[kMaxLevels] = {};
+    std::atomic<uint64_t> filter_negatives_per_level[kMaxLevels] = {};
+    std::atomic<uint64_t> false_positives_per_level[kMaxLevels] = {};
   };
   mutable Counters counters_;
+
+  // Clamps a 0-based on-disk level index into the per-level counter range.
+  static int StatLevel(int level) {
+    return level < 0 ? 0
+                     : (level >= Counters::kMaxLevels
+                            ? Counters::kMaxLevels - 1
+                            : level);
+  }
+
+  // Non-null iff options_.enable_metrics; every StopWatch site takes this
+  // pointer, so the disabled configuration skips even the clock reads.
+  std::unique_ptr<MetricsRegistry> metrics_;
+
+  // Delivers an event to every listener, swallowing (but counting and
+  // logging) exceptions so a faulty listener cannot take down a writer or
+  // the background worker. Several call sites hold mu_ — part of the
+  // listener contract (obs/event_listener.h).
+  template <typename Fn>
+  void NotifyListeners(Fn&& fn) const {
+    for (const auto& listener : options_.listeners) {
+      try {
+        if (metrics_ != nullptr) metrics_->Tick1(Tick::kListenerCallbacks);
+        fn(listener.get());
+      } catch (...) {
+        if (metrics_ != nullptr) metrics_->Tick1(Tick::kListenerFailures);
+        if (options_.info_log != nullptr) {
+          options_.info_log->Warn("event listener threw; ignored");
+        }
+      }
+    }
+  }
+
+  bool HasObservers() const {
+    return !options_.listeners.empty() || options_.info_log != nullptr;
+  }
+
+  // Stall-state edge detection for OnWriteStallChange (writer thread(s),
+  // serialized by mu_ at every transition site).
+  WriteStallInfo::Condition stall_condition_ GUARDED_BY(mu_) =
+      WriteStallInfo::Condition::kNormal;
+  // Publishes a stall-condition transition (no-op if unchanged).
+  void SetStallCondition(WriteStallInfo::Condition next) REQUIRES(mu_);
+
+  // Last FPR the allocator assigned per target level, for
+  // OnFilterAllocation change detection (written under mu_ in
+  // PrepareJobLocked).
+  double last_fpr_per_level_[Counters::kMaxLevels] GUARDED_BY(mu_) = {};
 
   friend class DbIterator;
 };

@@ -24,11 +24,13 @@ class DbIterator : public Iterator {
   bool Valid() const override { return valid_; }
 
   void SeekToFirst() override {
+    StopWatch watch(db_->metrics_.get(), Hist::kIterSeekLatency);
     iter_->SeekToFirst();
     FindNextUserEntry();
   }
 
   void Seek(const Slice& target) override {
+    StopWatch watch(db_->metrics_.get(), Hist::kIterSeekLatency);
     // Seek to the newest version of target visible at the read sequence.
     LookupKey lookup(target, sequence_);
     iter_->Seek(lookup.internal_key());
@@ -37,6 +39,7 @@ class DbIterator : public Iterator {
 
   void Next() override {
     assert(valid_);
+    StopWatch watch(db_->metrics_.get(), Hist::kIterNextLatency);
     iter_->Next();
     FindNextUserEntry();
   }

@@ -8,10 +8,13 @@
 
 #include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "io/block_cache.h"
 #include "io/env.h"
 #include "lsm/fpr_policy.h"
+#include "obs/event_listener.h"
+#include "obs/logger.h"
 #include "util/comparator.h"
 
 namespace monkeydb {
@@ -120,6 +123,29 @@ struct DbOptions {
   // sequentially (both still correct, just less overlapped). The pool is
   // idle unless readahead or MultiGet is actually used.
   int read_io_threads = 4;
+
+  // --- Observability (see DESIGN.md "Observability") ---
+
+  // Maintain the MetricsRegistry: latency histograms (Get, MultiGet,
+  // Write queue-wait/WAL-sync/memtable-apply, iterator Seek/Next, flush,
+  // merge, subcompaction, block-cache lookup, WAL fsync) exported by
+  // DB::DumpMetrics() in Prometheus or JSON form. Off by default: the
+  // disabled path records nothing and never reads the clock, keeping the
+  // figure benches' I/O and output byte-identical to a build without the
+  // metrics layer. (Thread-local PerfContext breakdowns are independent of
+  // this switch — see obs/perf_context.h.)
+  bool enable_metrics = false;
+
+  // Listeners receive flush/compaction/stall/WAL-rotation/filter-
+  // allocation callbacks (contract in obs/event_listener.h). Callbacks may
+  // fire with internal locks held: keep them fast and never call back into
+  // the DB. Exceptions are caught and counted, never propagated.
+  std::vector<std::shared_ptr<EventListener>> listeners;
+
+  // Destination for the engine's info log (LevelDB's LOG file; create one
+  // with NewFileLogger). Null = no logging. Events delivered to listeners
+  // are also logged here.
+  std::shared_ptr<Logger> info_log;
 };
 
 class Snapshot;

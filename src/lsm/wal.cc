@@ -1,5 +1,7 @@
 #include "lsm/wal.h"
 
+#include "obs/metrics.h"
+#include "obs/perf_context.h"
 #include "util/coding.h"
 #include "util/hash.h"
 
@@ -11,7 +13,11 @@ Status WalWriter::AddRecord(const Slice& payload, bool sync) {
   PutFixed32(&header, static_cast<uint32_t>(payload.size()));
   MONKEYDB_RETURN_IF_ERROR(file_->Append(header));
   MONKEYDB_RETURN_IF_ERROR(file_->Append(payload));
-  if (sync) return file_->Sync();
+  if (sync) {
+    StopWatch watch(metrics_, Hist::kWalSyncLatency);
+    PerfTimer timer(&GetPerfContext()->wal_sync_nanos);
+    return file_->Sync();
+  }
   return Status::OK();
 }
 

@@ -25,10 +25,18 @@
 
 namespace monkeydb {
 
+class MetricsRegistry;
+
 class WalWriter {
  public:
   explicit WalWriter(std::unique_ptr<WritableFile> file)
       : file_(std::move(file)) {}
+
+  // Routes the fsync portion of synchronous appends into
+  // Hist::kWalSyncLatency (null = no histogram; the DB only sets this on
+  // the WAL proper, not the manifest, so manifest syncs are not
+  // misattributed).
+  void SetMetrics(MetricsRegistry* metrics) { metrics_ = metrics; }
 
   // Appends one record. If sync, fsyncs after the append.
   Status AddRecord(const Slice& payload, bool sync);
@@ -37,6 +45,7 @@ class WalWriter {
 
  private:
   std::unique_ptr<WritableFile> file_;
+  MetricsRegistry* metrics_ = nullptr;
 };
 
 class WalReader {

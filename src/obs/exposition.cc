@@ -1,0 +1,169 @@
+#include "obs/exposition.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace monkeydb {
+
+namespace {
+
+// Prometheus floats: integral values print without an exponent so counter
+// samples stay exact; everything else uses %g (which also handles the
+// tiny per-level FPRs without padding zeros).
+std::string FormatValue(double value) {
+  char buf[64];
+  if (std::isfinite(value) && value == std::floor(value) &&
+      std::fabs(value) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%.0f", value);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.9g", value);
+  }
+  return buf;
+}
+
+}  // namespace
+
+void PrometheusWriter::Header(const std::string& name, const char* help,
+                              const char* type) {
+  out_.append("# HELP ").append(name).append(" ").append(help).append("\n");
+  out_.append("# TYPE ").append(name).append(" ").append(type).append("\n");
+}
+
+void PrometheusWriter::Sample(const std::string& name,
+                              std::initializer_list<Label> labels,
+                              double value) {
+  out_.append(name);
+  if (labels.size() > 0) {
+    out_.push_back('{');
+    bool first = true;
+    for (const auto& [key, val] : labels) {
+      if (!first) out_.push_back(',');
+      first = false;
+      out_.append(key).append("=\"").append(val).append("\"");
+    }
+    out_.push_back('}');
+  }
+  out_.push_back(' ');
+  out_.append(FormatValue(value));
+  out_.push_back('\n');
+}
+
+void PrometheusWriter::Counter(const std::string& name, const char* help,
+                               double value) {
+  Header(name, help, "counter");
+  Sample(name, {}, value);
+}
+
+void PrometheusWriter::Gauge(const std::string& name, const char* help,
+                             double value) {
+  Header(name, help, "gauge");
+  Sample(name, {}, value);
+}
+
+void PrometheusWriter::DeclareGauge(const std::string& name,
+                                    const char* help) {
+  Header(name, help, "gauge");
+}
+
+void PrometheusWriter::LabeledSample(const std::string& name,
+                                     std::initializer_list<Label> labels,
+                                     double value) {
+  Sample(name, labels, value);
+}
+
+void PrometheusWriter::Summary(const std::string& name, const char* help,
+                               const HistogramData& data) {
+  Header(name, help, "summary");
+  Sample(name, {{"quantile", "0.5"}}, data.p50);
+  Sample(name, {{"quantile", "0.9"}}, data.p90);
+  Sample(name, {{"quantile", "0.99"}}, data.p99);
+  Sample(name, {{"quantile", "0.999"}}, data.p999);
+  Sample(name + "_sum", {}, static_cast<double>(data.sum));
+  Sample(name + "_count", {}, static_cast<double>(data.count));
+}
+
+void JsonWriter::Comma() {
+  if (needs_comma_) out_.push_back(',');
+  needs_comma_ = true;
+}
+
+void JsonWriter::Quoted(const std::string& s) {
+  out_.push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': out_.append("\\\""); break;
+      case '\\': out_.append("\\\\"); break;
+      case '\n': out_.append("\\n"); break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out_.append(buf);
+        } else {
+          out_.push_back(c);
+        }
+    }
+  }
+  out_.push_back('"');
+}
+
+void JsonWriter::BeginObject(const std::string& key) {
+  Comma();
+  Quoted(key);
+  out_.append(":{");
+  needs_comma_ = false;
+}
+
+void JsonWriter::EndObject() {
+  out_.push_back('}');
+  needs_comma_ = true;
+}
+
+void JsonWriter::Field(const std::string& key, double value) {
+  Comma();
+  Quoted(key);
+  out_.push_back(':');
+  if (std::isfinite(value)) {
+    out_.append(FormatValue(value));
+  } else {
+    out_.append("null");
+  }
+}
+
+void JsonWriter::Field(const std::string& key, uint64_t value) {
+  Comma();
+  Quoted(key);
+  out_.push_back(':');
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%llu",
+                static_cast<unsigned long long>(value));
+  out_.append(buf);
+}
+
+void JsonWriter::Field(const std::string& key, const std::string& value) {
+  Comma();
+  Quoted(key);
+  out_.push_back(':');
+  Quoted(value);
+}
+
+void JsonWriter::Histogram(const std::string& key,
+                           const HistogramData& data) {
+  BeginObject(key);
+  Field("count", data.count);
+  Field("sum", data.sum);
+  Field("avg", data.avg);
+  Field("p50", data.p50);
+  Field("p90", data.p90);
+  Field("p99", data.p99);
+  Field("p999", data.p999);
+  Field("max", data.max);
+  EndObject();
+}
+
+std::string JsonWriter::Finish() {
+  out_.push_back('}');
+  return std::move(out_);
+}
+
+}  // namespace monkeydb

@@ -1,0 +1,73 @@
+// Metric exposition: minimal writers for the Prometheus text format and
+// JSON, used by DB::DumpMetrics() and the bench harness's --json dumps.
+//
+// Histograms are exported as Prometheus `summary` metrics (quantile labels
+// 0.5/0.9/0.99/0.999 plus _sum and _count) — the percentiles are already
+// computed from the log-bucketed histogram, and a summary avoids shipping
+// all 256 raw buckets per metric. tools/metrics_lint.py validates the
+// output in CI.
+
+#ifndef MONKEYDB_OBS_EXPOSITION_H_
+#define MONKEYDB_OBS_EXPOSITION_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <utility>
+
+#include "obs/histogram.h"
+
+namespace monkeydb {
+
+class PrometheusWriter {
+ public:
+  using Label = std::pair<const char*, std::string>;
+
+  void Counter(const std::string& name, const char* help, double value);
+  void Gauge(const std::string& name, const char* help, double value);
+  // Emits one sample of an already-declared metric family with labels,
+  // e.g. LabeledSample("monkey_predicted_fpr", {{"level", "3"}}, 0.01).
+  // Declare the family once with DeclareGauge first.
+  void DeclareGauge(const std::string& name, const char* help);
+  void LabeledSample(const std::string& name,
+                     std::initializer_list<Label> labels, double value);
+  void Summary(const std::string& name, const char* help,
+               const HistogramData& data);
+
+  const std::string& str() const { return out_; }
+
+ private:
+  void Header(const std::string& name, const char* help, const char* type);
+  void Sample(const std::string& name,
+              std::initializer_list<Label> labels, double value);
+
+  std::string out_;
+};
+
+// Nested-object JSON writer, just enough structure for BENCH_obs.json and
+// DumpMetrics(kJson). Call order: Begin/End pairs around Key'd objects.
+class JsonWriter {
+ public:
+  JsonWriter() { out_.push_back('{'); }
+
+  void BeginObject(const std::string& key);
+  void EndObject();
+  void Field(const std::string& key, double value);
+  void Field(const std::string& key, uint64_t value);
+  void Field(const std::string& key, const std::string& value);
+  void Histogram(const std::string& key, const HistogramData& data);
+
+  // Closes the root object and returns the document.
+  std::string Finish();
+
+ private:
+  void Comma();
+  void Quoted(const std::string& s);
+
+  std::string out_;
+  bool needs_comma_ = false;
+};
+
+}  // namespace monkeydb
+
+#endif  // MONKEYDB_OBS_EXPOSITION_H_

@@ -1,0 +1,66 @@
+#include "obs/histogram.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace monkeydb {
+
+std::string HistogramData::ToString() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "count=%llu avg=%.1f p50=%.0f p90=%.0f p99=%.0f "
+                "p99.9=%.0f max=%llu",
+                static_cast<unsigned long long>(count), avg, p50, p90, p99,
+                p999, static_cast<unsigned long long>(max));
+  return buf;
+}
+
+void HistogramMerger::Add(const Histogram& h) {
+  for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+    buckets_[i] += h.bucket(i);
+  }
+  count_ += h.count();
+  sum_ += h.sum();
+  max_ = std::max(max_, h.max());
+}
+
+double HistogramMerger::Percentile(double fraction) const {
+  if (count_ == 0) return 0.0;
+  // Rank of the requested percentile, 1-based; clamp into [1, count_].
+  const uint64_t rank = std::min<uint64_t>(
+      count_, std::max<uint64_t>(1, static_cast<uint64_t>(
+                                        fraction * count_ + 0.5)));
+  uint64_t seen = 0;
+  for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+    if (buckets_[i] == 0) continue;
+    if (seen + buckets_[i] >= rank) {
+      // Interpolate linearly inside the bucket. The upper edge of the last
+      // octave would overflow, so cap the width at the lower bound / 4
+      // (exact for every non-degenerate bucket).
+      const uint64_t lo = Histogram::BucketLowerBound(i);
+      const uint64_t width = i < 4 ? 1 : lo / 4;
+      const double within =
+          static_cast<double>(rank - seen) / buckets_[i];
+      return std::min(static_cast<double>(lo) + width * within,
+                      static_cast<double>(max_));
+    }
+    seen += buckets_[i];
+  }
+  return static_cast<double>(max_);
+}
+
+HistogramData HistogramMerger::Snapshot() const {
+  HistogramData d;
+  d.count = count_;
+  d.sum = sum_;
+  d.max = max_;
+  d.avg = count_ == 0 ? 0.0
+                      : static_cast<double>(sum_) / count_;
+  d.p50 = Percentile(0.50);
+  d.p90 = Percentile(0.90);
+  d.p99 = Percentile(0.99);
+  d.p999 = Percentile(0.999);
+  return d;
+}
+
+}  // namespace monkeydb

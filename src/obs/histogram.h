@@ -1,0 +1,113 @@
+// Log-bucketed latency histogram (HdrHistogram-lite).
+//
+// Values are bucketed into 64 octaves x 4 linear sub-buckets = 256 buckets,
+// covering the full uint64 range with a worst-case relative error of 25%
+// per recorded value (a value lands in a bucket whose width is 1/4 of its
+// lower bound). Recording is a single relaxed fetch_add, so a histogram can
+// be hammered from many threads without coordination; MetricsRegistry keeps
+// one histogram per shard and merges them at snapshot time.
+//
+// Snapshots report count / sum / avg / max plus interpolated p50 / p90 /
+// p99 / p99.9, which is what the bench harness and DumpMetrics() export.
+
+#ifndef MONKEYDB_OBS_HISTOGRAM_H_
+#define MONKEYDB_OBS_HISTOGRAM_H_
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <string>
+
+namespace monkeydb {
+
+// Aggregated view of one histogram (merged across shards).
+struct HistogramData {
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  uint64_t max = 0;
+  double avg = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+  double p999 = 0.0;
+
+  // "count=12 avg=3.1us p50=2 p90=6 p99=14 p99.9=14 max=15"
+  std::string ToString() const;
+};
+
+class Histogram {
+ public:
+  static constexpr int kSubBucketBits = 2;                    // 4 per octave
+  static constexpr int kNumBuckets = 64 << kSubBucketBits;    // 256
+
+  // Bucket index for a value: octave from the bit width, sub-bucket from
+  // the two bits below the leading bit. Values 0..3 map to buckets 0..3
+  // exactly (their octave has no sub-bits to spare).
+  static constexpr int BucketFor(uint64_t value) {
+    if (value < 4) return static_cast<int>(value);
+    const int octave = std::bit_width(value) - 1;              // >= 2
+    const int sub =
+        static_cast<int>((value >> (octave - kSubBucketBits)) & 3);
+    return (octave << kSubBucketBits) | sub;
+  }
+
+  // Inclusive lower bound of a bucket (the smallest value mapping to it).
+  static constexpr uint64_t BucketLowerBound(int bucket) {
+    if (bucket < 4) return static_cast<uint64_t>(bucket);
+    const int octave = bucket >> kSubBucketBits;
+    const uint64_t sub = static_cast<uint64_t>(bucket & 3);
+    return (uint64_t{4} + sub) << (octave - kSubBucketBits);
+  }
+
+  void Record(uint64_t value) {
+    buckets_[BucketFor(value)].fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    uint64_t prev = max_.load(std::memory_order_relaxed);
+    while (prev < value &&
+           !max_.compare_exchange_weak(prev, value,
+                                       std::memory_order_relaxed)) {
+    }
+  }
+
+  // Adds this histogram's buckets into *merged (used by the registry to
+  // fold per-thread shards into one HistogramMerger).
+  void Reset() {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+    max_.store(0, std::memory_order_relaxed);
+  }
+
+  uint64_t bucket(int i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  uint64_t max() const { return max_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> buckets_[kNumBuckets] = {};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> max_{0};
+};
+
+// Accumulates one or more Histogram shards and computes percentiles.
+class HistogramMerger {
+ public:
+  void Add(const Histogram& h);
+  HistogramData Snapshot() const;
+
+ private:
+  double Percentile(double fraction) const;
+
+  uint64_t buckets_[Histogram::kNumBuckets] = {};
+  uint64_t count_ = 0;
+  uint64_t sum_ = 0;
+  uint64_t max_ = 0;
+};
+
+}  // namespace monkeydb
+
+#endif  // MONKEYDB_OBS_HISTOGRAM_H_

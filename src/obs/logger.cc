@@ -1,0 +1,146 @@
+#include "obs/logger.h"
+
+#include <cerrno>
+#include <cstring>
+#include <ctime>
+
+#include "obs/metrics.h"
+
+namespace monkeydb {
+
+const char* LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+  }
+  return "UNKNOWN";
+}
+
+namespace {
+
+// "2026-08-06 12:34:56.123456" (UTC, so log lines diff cleanly across
+// machines).
+void FormatTimestamp(char* buf, size_t n) {
+  std::timespec ts;
+  std::timespec_get(&ts, TIME_UTC);
+  std::tm tm_utc;
+  gmtime_r(&ts.tv_sec, &tm_utc);
+  size_t len = std::strftime(buf, n, "%Y-%m-%d %H:%M:%S", &tm_utc);
+  std::snprintf(buf + len, n - len, ".%06ld", ts.tv_nsec / 1000);
+}
+
+void AppendJsonEscaped(std::string* out, const char* s) {
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    switch (c) {
+      case '"': out->append("\\\""); break;
+      case '\\': out->append("\\\\"); break;
+      case '\n': out->append("\\n"); break;
+      case '\t': out->append("\\t"); break;
+      case '\r': out->append("\\r"); break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out->append(buf);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+}
+
+class FileLogger : public Logger {
+ public:
+  FileLogger(std::string path, const LoggerOptions& options, FILE* file,
+             uint64_t initial_bytes, MetricsRegistry* metrics)
+      : path_(std::move(path)),
+        options_(options),
+        metrics_(metrics),
+        file_(file),
+        bytes_(initial_bytes) {}
+
+  ~FileLogger() override {
+    MutexLock lock(mu_);
+    if (file_ != nullptr) std::fclose(file_);
+  }
+
+  void Logv(LogLevel level, const char* format, va_list ap) override
+      EXCLUDES(mu_) {
+    if (level < options_.min_level) return;
+
+    char msg[1024];
+    std::vsnprintf(msg, sizeof(msg), format, ap);
+    char ts[40];
+    FormatTimestamp(ts, sizeof(ts));
+
+    std::string line;
+    if (options_.json) {
+      line.append("{\"ts\":\"");
+      line.append(ts);
+      line.append("\",\"level\":\"");
+      line.append(LogLevelName(level));
+      line.append("\",\"msg\":\"");
+      AppendJsonEscaped(&line, msg);
+      line.append("\"}\n");
+    } else {
+      line.append(ts);
+      line.append(" [");
+      line.append(LogLevelName(level));
+      line.append("] ");
+      line.append(msg);
+      line.push_back('\n');
+    }
+
+    MutexLock lock(mu_);
+    if (file_ == nullptr) return;
+    if (options_.max_file_bytes > 0 &&
+        bytes_ + line.size() > options_.max_file_bytes && bytes_ > 0) {
+      RotateLocked();
+    }
+    std::fwrite(line.data(), 1, line.size(), file_);
+    std::fflush(file_);
+    bytes_ += line.size();
+  }
+
+ private:
+  void RotateLocked() REQUIRES(mu_) {
+    std::fclose(file_);
+    file_ = nullptr;
+    const std::string old = path_ + ".old";
+    std::remove(old.c_str());
+    std::rename(path_.c_str(), old.c_str());
+    file_ = std::fopen(path_.c_str(), "a");
+    bytes_ = 0;
+    if (metrics_ != nullptr) metrics_->Tick1(Tick::kLoggerRotations);
+  }
+
+  const std::string path_;
+  const LoggerOptions options_;
+  MetricsRegistry* const metrics_;
+
+  mutable Mutex mu_;
+  FILE* file_ GUARDED_BY(mu_);
+  uint64_t bytes_ GUARDED_BY(mu_);
+};
+
+}  // namespace
+
+Status NewFileLogger(const std::string& path, const LoggerOptions& options,
+                     MetricsRegistry* metrics,
+                     std::shared_ptr<Logger>* logger) {
+  FILE* file = std::fopen(path.c_str(), "a");
+  if (file == nullptr) {
+    return Status::IoError("cannot open log file " + path + ": " +
+                           std::strerror(errno));
+  }
+  long pos = std::ftell(file);
+  *logger = std::make_shared<FileLogger>(
+      path, options, file, pos > 0 ? static_cast<uint64_t>(pos) : 0,
+      metrics);
+  return Status::OK();
+}
+
+}  // namespace monkeydb

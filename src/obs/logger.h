@@ -1,0 +1,84 @@
+// Leveled info logger (LevelDB's LOG file, with rotation and an optional
+// JSON-lines mode for machine ingestion).
+//
+// The logger writes through cstdio rather than Env: obs/ sits below io/ in
+// the library layering (io's envs feed IOStatsContext), so routing LOG
+// writes through an Env would create a dependency cycle — and would also
+// pollute the I/O accounting the cost model is validated against.
+
+#ifndef MONKEYDB_OBS_LOGGER_H_
+#define MONKEYDB_OBS_LOGGER_H_
+
+#include <cstdarg>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "util/mutex.h"
+#include "util/status.h"
+#include "util/thread_annotations.h"
+
+namespace monkeydb {
+
+class MetricsRegistry;
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+};
+
+const char* LogLevelName(LogLevel level);
+
+class Logger {
+ public:
+  virtual ~Logger() = default;
+
+  virtual void Logv(LogLevel level, const char* format, va_list ap) = 0;
+
+  void Log(LogLevel level, const char* format, ...)
+      __attribute__((format(printf, 3, 4))) {
+    va_list ap;
+    va_start(ap, format);
+    Logv(level, format, ap);
+    va_end(ap);
+  }
+
+  void Info(const char* format, ...)
+      __attribute__((format(printf, 2, 3))) {
+    va_list ap;
+    va_start(ap, format);
+    Logv(LogLevel::kInfo, format, ap);
+    va_end(ap);
+  }
+
+  void Warn(const char* format, ...)
+      __attribute__((format(printf, 2, 3))) {
+    va_list ap;
+    va_start(ap, format);
+    Logv(LogLevel::kWarn, format, ap);
+    va_end(ap);
+  }
+};
+
+struct LoggerOptions {
+  // Rotate LOG -> LOG.old when it exceeds this many bytes (0 disables
+  // rotation).
+  uint64_t max_file_bytes = 16 * 1024 * 1024;
+  // Emit one JSON object per line ({"ts":..,"level":..,"msg":..}) instead
+  // of the human-readable "ts [LEVEL] msg" format.
+  bool json = false;
+  LogLevel min_level = LogLevel::kInfo;
+};
+
+// Creates a logger writing to <path> (appending). Rotation renames the
+// file to <path>.old and reopens. Optional registry counts rotations.
+Status NewFileLogger(const std::string& path, const LoggerOptions& options,
+                     MetricsRegistry* metrics,
+                     std::shared_ptr<Logger>* logger);
+
+}  // namespace monkeydb
+
+#endif  // MONKEYDB_OBS_LOGGER_H_

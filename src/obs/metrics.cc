@@ -1,0 +1,65 @@
+#include "obs/metrics.h"
+
+namespace monkeydb {
+
+const char* HistName(Hist h) {
+  switch (h) {
+    case Hist::kGetLatency: return "get_latency_us";
+    case Hist::kMultiGetLatency: return "multiget_latency_us";
+    case Hist::kWriteLatency: return "write_latency_us";
+    case Hist::kWriteQueueWait: return "write_queue_wait_us";
+    case Hist::kWalWriteLatency: return "wal_write_latency_us";
+    case Hist::kWalSyncLatency: return "wal_sync_latency_us";
+    case Hist::kMemtableApplyLatency: return "memtable_apply_latency_us";
+    case Hist::kIterSeekLatency: return "iter_seek_latency_us";
+    case Hist::kIterNextLatency: return "iter_next_latency_us";
+    case Hist::kFlushLatency: return "flush_latency_us";
+    case Hist::kMergeLatency: return "merge_latency_us";
+    case Hist::kSubcompactionLatency: return "subcompaction_latency_us";
+    case Hist::kBlockCacheLookupLatency:
+      return "block_cache_lookup_latency_us";
+    case Hist::kBlockReadLatency: return "block_read_latency_us";
+    case Hist::kWriteGroupSize: return "write_group_size";
+    case Hist::kNumHistograms: break;
+  }
+  return "unknown";
+}
+
+const char* TickName(Tick t) {
+  switch (t) {
+    case Tick::kListenerCallbacks: return "listener_callbacks";
+    case Tick::kListenerFailures: return "listener_failures";
+    case Tick::kLoggerRotations: return "logger_rotations";
+    case Tick::kNumTicks: break;
+  }
+  return "unknown";
+}
+
+MetricsRegistry::MetricsRegistry()
+    : shards_(new ShardData[kNumShards]) {}
+
+HistogramData MetricsRegistry::SnapshotHistogram(Hist h) const {
+  HistogramMerger merger;
+  for (int s = 0; s < kNumShards; ++s) {
+    merger.Add(shards_[s].hists[static_cast<int>(h)]);
+  }
+  return merger.Snapshot();
+}
+
+uint64_t MetricsRegistry::TickTotal(Tick t) const {
+  uint64_t total = 0;
+  for (int s = 0; s < kNumShards; ++s) {
+    total += shards_[s].ticks[static_cast<int>(t)].load(
+        std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void MetricsRegistry::Reset() {
+  for (int s = 0; s < kNumShards; ++s) {
+    for (auto& h : shards_[s].hists) h.Reset();
+    for (auto& t : shards_[s].ticks) t.store(0, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace monkeydb

@@ -1,0 +1,132 @@
+#include "obs/perf_context.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace monkeydb {
+
+namespace {
+
+thread_local PerfLevel tls_perf_level = PerfLevel::kDisabled;
+thread_local PerfContext tls_perf_context;
+thread_local IOStatsContext tls_iostats_context;
+
+void AppendField(std::string* out, const char* name, uint64_t value,
+                 bool skip_zero) {
+  if (skip_zero && value == 0) return;
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "%s%s=%" PRIu64,
+                out->empty() ? "" : " ", name, value);
+  out->append(buf);
+}
+
+void AppendJsonField(std::string* out, const char* name, uint64_t value) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "%s\"%s\":%" PRIu64,
+                out->size() > 1 ? "," : "", name, value);
+  out->append(buf);
+}
+
+}  // namespace
+
+void SetPerfLevel(PerfLevel level) { tls_perf_level = level; }
+PerfLevel GetPerfLevel() { return tls_perf_level; }
+
+PerfContext* GetPerfContext() { return &tls_perf_context; }
+IOStatsContext* GetIOStatsContext() { return &tls_iostats_context; }
+
+#define MONKEYDB_PERF_FIELDS(V)        \
+  V(get_count)                         \
+  V(memtable_hits)                     \
+  V(runs_probed)                       \
+  V(filter_probes)                     \
+  V(filter_negatives)                  \
+  V(bloom_false_positives)             \
+  V(fence_seeks)                       \
+  V(blocks_read_from_cache)            \
+  V(blocks_read_from_disk)             \
+  V(blocks_read_from_prefetch)         \
+  V(block_bytes_read)                  \
+  V(value_log_reads)                   \
+  V(write_count)                       \
+  V(write_groups_led)                  \
+  V(write_groups_joined)               \
+  V(get_nanos)                         \
+  V(memtable_lookup_nanos)             \
+  V(filter_probe_nanos)                \
+  V(block_read_nanos)                  \
+  V(value_log_read_nanos)              \
+  V(write_queue_wait_nanos)            \
+  V(wal_write_nanos)                   \
+  V(wal_sync_nanos)                    \
+  V(memtable_apply_nanos)
+
+std::string PerfContext::ToString() const {
+  std::string out;
+#define V(field) AppendField(&out, #field, field, /*skip_zero=*/true);
+  MONKEYDB_PERF_FIELDS(V)
+#undef V
+  for (int l = 0; l < kMaxLevels; ++l) {
+    if (runs_probed_per_level[l] == 0 &&
+        filter_negatives_per_level[l] == 0 &&
+        false_positives_per_level[l] == 0) {
+      continue;
+    }
+    char buf[128];
+    std::snprintf(buf, sizeof(buf),
+                  "%sL%d{runs=%" PRIu64 " neg=%" PRIu64 " fp=%" PRIu64 "}",
+                  out.empty() ? "" : " ", l, runs_probed_per_level[l],
+                  filter_negatives_per_level[l],
+                  false_positives_per_level[l]);
+    out.append(buf);
+  }
+  return out;
+}
+
+std::string PerfContext::ToJson() const {
+  std::string out = "{";
+#define V(field) AppendJsonField(&out, #field, field);
+  MONKEYDB_PERF_FIELDS(V)
+#undef V
+  out.append(",\"levels\":[");
+  // Trailing all-zero levels are elided so the array length tracks the
+  // deepest level this operation actually touched.
+  int last = -1;
+  for (int l = 0; l < kMaxLevels; ++l) {
+    if (runs_probed_per_level[l] != 0 ||
+        filter_negatives_per_level[l] != 0 ||
+        false_positives_per_level[l] != 0) {
+      last = l;
+    }
+  }
+  for (int l = 0; l <= last; ++l) {
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "%s{\"level\":%d,\"runs_probed\":%" PRIu64
+                  ",\"filter_negatives\":%" PRIu64
+                  ",\"false_positives\":%" PRIu64 "}",
+                  l == 0 ? "" : ",", l, runs_probed_per_level[l],
+                  filter_negatives_per_level[l],
+                  false_positives_per_level[l]);
+    out.append(buf);
+  }
+  out.append("]}");
+  return out;
+}
+
+#undef MONKEYDB_PERF_FIELDS
+
+std::string IOStatsContext::ToString() const {
+  std::string out;
+  AppendField(&out, "bytes_read", bytes_read, false);
+  AppendField(&out, "bytes_written", bytes_written, false);
+  AppendField(&out, "read_calls", read_calls, false);
+  AppendField(&out, "write_calls", write_calls, false);
+  AppendField(&out, "fsync_calls", fsync_calls, false);
+  AppendField(&out, "read_nanos", read_nanos, false);
+  AppendField(&out, "write_nanos", write_nanos, false);
+  AppendField(&out, "fsync_nanos", fsync_nanos, false);
+  return out;
+}
+
+}  // namespace monkeydb

@@ -1,0 +1,144 @@
+// Thread-local per-operation breakdowns (RocksDB's perf_context /
+// iostats_context, sized for this engine).
+//
+// Usage:
+//   SetPerfLevel(PerfLevel::kCountsAndTime);
+//   GetPerfContext()->Reset();
+//   db->Get(ReadOptions(), key, &value);
+//   std::string breakdown = GetPerfContext()->ToString();
+//
+// The perf level is a thread_local: it gates both the counter updates and
+// (at kCountsAndTime) the clock reads, so a thread that never opts in pays
+// only one thread-local branch per instrumented site. The contexts are
+// plain structs — they are only ever touched by their owning thread.
+//
+// PerfContext itemizes the read path the way the paper's Eq. 3 accounts
+// for it: every run probed either answers from its Bloom filter
+// (filter_negatives), passes the filter and finds no block (fence
+// pruning), or costs a block access that is a true hit or a false
+// positive. perf_context_test.cc checks that these sum up exactly.
+
+#ifndef MONKEYDB_OBS_PERF_CONTEXT_H_
+#define MONKEYDB_OBS_PERF_CONTEXT_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace monkeydb {
+
+enum class PerfLevel : int {
+  kDisabled = 0,       // No per-op accounting at all (default).
+  kCounts = 1,         // Count events, never read the clock.
+  kCountsAndTime = 2,  // Counts plus per-stage wall time.
+};
+
+void SetPerfLevel(PerfLevel level);
+PerfLevel GetPerfLevel();
+
+struct PerfContext {
+  // Enough for any shape the benches build (L = ceil(log_T(N/B)) stays
+  // far below this for every configuration in the paper's figures).
+  static constexpr int kMaxLevels = 24;
+
+  // --- Read-path counts -------------------------------------------------
+  uint64_t get_count = 0;
+  uint64_t memtable_hits = 0;        // Found (or deleted) in mem/imm.
+  uint64_t runs_probed = 0;          // Runs consulted across all levels.
+  uint64_t filter_probes = 0;        // Bloom filter membership tests.
+  uint64_t filter_negatives = 0;     // Probes answered "definitely absent".
+  uint64_t bloom_false_positives = 0;  // Block fetched, key absent.
+  uint64_t fence_seeks = 0;          // Fence-pointer binary searches.
+  uint64_t blocks_read_from_cache = 0;
+  uint64_t blocks_read_from_disk = 0;
+  uint64_t blocks_read_from_prefetch = 0;  // Readahead satisfied it.
+  uint64_t block_bytes_read = 0;
+  uint64_t value_log_reads = 0;
+
+  // Per-level attribution of the same probe events (level index clamps at
+  // kMaxLevels - 1; level 0 is the first on-disk level).
+  uint64_t runs_probed_per_level[kMaxLevels] = {};
+  uint64_t filter_negatives_per_level[kMaxLevels] = {};
+  uint64_t false_positives_per_level[kMaxLevels] = {};
+
+  // --- Write-path counts ------------------------------------------------
+  uint64_t write_count = 0;
+  uint64_t write_groups_led = 0;     // Times this thread was group leader.
+  uint64_t write_groups_joined = 0;  // Times a leader committed for us.
+
+  // --- Stage timings, only at kCountsAndTime (nanoseconds) --------------
+  uint64_t get_nanos = 0;
+  uint64_t memtable_lookup_nanos = 0;
+  uint64_t filter_probe_nanos = 0;
+  uint64_t block_read_nanos = 0;     // Cache lookup + any disk fetch.
+  uint64_t value_log_read_nanos = 0;
+  uint64_t write_queue_wait_nanos = 0;
+  uint64_t wal_write_nanos = 0;
+  uint64_t wal_sync_nanos = 0;
+  uint64_t memtable_apply_nanos = 0;
+
+  void Reset() { *this = PerfContext(); }
+  std::string ToString() const;   // Skips zero fields.
+  std::string ToJson() const;     // Every field, one JSON object.
+};
+
+struct IOStatsContext {
+  uint64_t bytes_read = 0;
+  uint64_t bytes_written = 0;
+  uint64_t read_calls = 0;
+  uint64_t write_calls = 0;
+  uint64_t fsync_calls = 0;
+  uint64_t read_nanos = 0;
+  uint64_t write_nanos = 0;
+  uint64_t fsync_nanos = 0;
+
+  void Reset() { *this = IOStatsContext(); }
+  std::string ToString() const;
+};
+
+// Accessors return the calling thread's contexts; pointers stay valid for
+// the thread's lifetime.
+PerfContext* GetPerfContext();
+IOStatsContext* GetIOStatsContext();
+
+// Convenience gates for instrumentation sites.
+inline bool PerfCountsEnabled() {
+  return GetPerfLevel() >= PerfLevel::kCounts;
+}
+inline bool PerfTimingEnabled() {
+  return GetPerfLevel() >= PerfLevel::kCountsAndTime;
+}
+
+// Accumulates wall time into a PerfContext/IOStatsContext nanos field, but
+// only when the thread opted into timing — otherwise it never touches the
+// clock. Bind the field at construction:
+//   PerfTimer timer(&GetPerfContext()->wal_sync_nanos);
+class PerfTimer {
+ public:
+  explicit PerfTimer(uint64_t* field)
+      : field_(PerfTimingEnabled() ? field : nullptr) {
+    if (field_ != nullptr) {
+      start_ = std::chrono::steady_clock::now();
+    }
+  }
+
+  ~PerfTimer() {
+    if (field_ != nullptr) {
+      *field_ += static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - start_)
+              .count());
+    }
+  }
+
+  PerfTimer(const PerfTimer&) = delete;
+  PerfTimer& operator=(const PerfTimer&) = delete;
+
+ private:
+  uint64_t* field_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace monkeydb
+
+#endif  // MONKEYDB_OBS_PERF_CONTEXT_H_

@@ -4,6 +4,7 @@
 #include <unordered_map>
 
 #include "bloom/bloom_filter.h"
+#include "obs/perf_context.h"
 #include "util/mutex.h"
 #include "util/thread_annotations.h"
 #include "util/thread_pool.h"
@@ -77,17 +78,38 @@ void TableReader::AppendBoundaryUserKeys(std::vector<std::string>* out) const {
 Status TableReader::ReadBlockShared(
     const BlockHandle& handle, BlockCache::InsertPriority priority,
     std::shared_ptr<const std::string>* contents) const {
+  // block_read_nanos spans the whole fetch: cache lookup + any disk read.
+  PerfTimer read_timer(&GetPerfContext()->block_read_nanos);
   BlockCache::Key cache_key{options_.cache_file_id, handle.offset};
   if (options_.block_cache != nullptr) {
-    auto cached = options_.block_cache->Lookup(cache_key);
+    bool was_prefetched = false;
+    std::shared_ptr<const std::string> cached;
+    {
+      StopWatch watch(options_.metrics, Hist::kBlockCacheLookupLatency);
+      cached = options_.block_cache->Lookup(cache_key, &was_prefetched);
+    }
     if (cached != nullptr) {
+      if (PerfCountsEnabled()) {
+        PerfContext* perf = GetPerfContext();
+        perf->blocks_read_from_cache++;
+        if (was_prefetched) perf->blocks_read_from_prefetch++;
+        perf->block_bytes_read += cached->size();
+      }
       *contents = std::move(cached);
       return Status::OK();
     }
   }
 
   std::string raw;
-  MONKEYDB_RETURN_IF_ERROR(ReadBlockContents(file_.get(), handle, &raw));
+  {
+    StopWatch watch(options_.metrics, Hist::kBlockReadLatency);
+    MONKEYDB_RETURN_IF_ERROR(ReadBlockContents(file_.get(), handle, &raw));
+  }
+  if (PerfCountsEnabled()) {
+    PerfContext* perf = GetPerfContext();
+    perf->blocks_read_from_disk++;
+    perf->block_bytes_read += raw.size();
+  }
   auto shared_contents = std::make_shared<const std::string>(std::move(raw));
   if (options_.block_cache != nullptr) {
     options_.block_cache->Insert(cache_key, shared_contents, priority);
@@ -109,14 +131,23 @@ Status TableReader::ReadDataBlock(const BlockHandle& handle,
 Status TableReader::FindBlockHandle(const LookupKey& lookup,
                                     BlockHandle* handle,
                                     ProbeState* state) const {
+  const bool perf = PerfCountsEnabled();
   // 1. Bloom filter (in memory, no I/O).
-  if (!FilterMayContain(lookup.user_key())) {
+  if (perf) GetPerfContext()->filter_probes++;
+  bool may_contain;
+  {
+    PerfTimer timer(&GetPerfContext()->filter_probe_nanos);
+    may_contain = FilterMayContain(lookup.user_key());
+  }
+  if (!may_contain) {
+    if (perf) GetPerfContext()->filter_negatives++;
     *state = ProbeState::kFilteredOut;
     return Status::OK();
   }
 
   // 2. Fence pointers (in memory): find the first page whose largest key is
   // >= the lookup internal key.
+  if (perf) GetPerfContext()->fence_seeks++;
   auto index_iter = index_block_->NewIterator(options_.comparator);
   index_iter->Seek(lookup.internal_key());
   if (!index_iter->Valid()) {

@@ -26,6 +26,7 @@
 #include "io/block_cache.h"
 #include "io/env.h"
 #include "lsm/internal_key.h"
+#include "obs/metrics.h"
 #include "sstable/block.h"
 #include "sstable/format.h"
 #include "util/iterator.h"
@@ -39,6 +40,9 @@ struct TableReaderOptions {
   BlockCache* block_cache = nullptr;                  // Optional.
   // Identifies this file in the block cache; must be unique per table.
   uint64_t cache_file_id = 0;
+  // Histogram sink for cache-lookup/block-read latencies (null = no
+  // recording, not even a clock read).
+  MetricsRegistry* metrics = nullptr;
 };
 
 // Per-iterator scan configuration. The defaults (no readahead, no pool)

@@ -1,0 +1,401 @@
+// EventListener contract: flush/compaction callbacks bracket their jobs in
+// order, WAL rotations and filter allocations are announced, write
+// backpressure reports its transitions, and a listener that throws is
+// contained — counted, logged, and harmless to the background worker.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "io/env.h"
+#include "lsm/db.h"
+#include "monkey/monkey_db.h"
+#include "obs/event_listener.h"
+#include "obs/metrics.h"
+#include "util/mutex.h"
+
+namespace monkeydb {
+namespace {
+
+// Thread-safe event log: callbacks arrive from the writer and the
+// background worker.
+class RecordingListener : public EventListener {
+ public:
+  void OnFlushBegin(const FlushJobInfo& info) override {
+    Add("flush_begin");
+    MutexLock lock(mu_);
+    flush_begins_.push_back(info);
+  }
+  void OnFlushCompleted(const FlushJobInfo& info) override {
+    Add("flush_end");
+    MutexLock lock(mu_);
+    flush_ends_.push_back(info);
+  }
+  void OnCompactionBegin(const CompactionJobInfo& info) override {
+    Add("compaction_begin");
+    MutexLock lock(mu_);
+    compaction_begins_.push_back(info);
+  }
+  void OnCompactionCompleted(const CompactionJobInfo& info) override {
+    Add("compaction_end");
+    MutexLock lock(mu_);
+    compaction_ends_.push_back(info);
+  }
+  void OnWriteStallChange(const WriteStallInfo& info) override {
+    Add(std::string("stall:") + ToString(info.previous) + "->" +
+        ToString(info.current));
+    MutexLock lock(mu_);
+    stalls_.push_back(info);
+  }
+  void OnWalRotation(const WalRotationInfo& info) override {
+    Add("wal_rotation");
+    MutexLock lock(mu_);
+    rotations_.push_back(info);
+  }
+  void OnFilterAllocation(const FilterAllocationInfo& info) override {
+    Add("filter_allocation");
+    MutexLock lock(mu_);
+    allocations_.push_back(info);
+  }
+
+  std::vector<std::string> names() const {
+    MutexLock lock(mu_);
+    return names_;
+  }
+  std::vector<FlushJobInfo> flush_begins() const {
+    MutexLock lock(mu_);
+    return flush_begins_;
+  }
+  std::vector<FlushJobInfo> flush_ends() const {
+    MutexLock lock(mu_);
+    return flush_ends_;
+  }
+  std::vector<CompactionJobInfo> compaction_begins() const {
+    MutexLock lock(mu_);
+    return compaction_begins_;
+  }
+  std::vector<CompactionJobInfo> compaction_ends() const {
+    MutexLock lock(mu_);
+    return compaction_ends_;
+  }
+  std::vector<WriteStallInfo> stalls() const {
+    MutexLock lock(mu_);
+    return stalls_;
+  }
+  std::vector<WalRotationInfo> rotations() const {
+    MutexLock lock(mu_);
+    return rotations_;
+  }
+  std::vector<FilterAllocationInfo> allocations() const {
+    MutexLock lock(mu_);
+    return allocations_;
+  }
+
+ private:
+  void Add(std::string name) {
+    MutexLock lock(mu_);
+    names_.push_back(std::move(name));
+  }
+
+  mutable Mutex mu_;
+  std::vector<std::string> names_ GUARDED_BY(mu_);
+  std::vector<FlushJobInfo> flush_begins_ GUARDED_BY(mu_);
+  std::vector<FlushJobInfo> flush_ends_ GUARDED_BY(mu_);
+  std::vector<CompactionJobInfo> compaction_begins_ GUARDED_BY(mu_);
+  std::vector<CompactionJobInfo> compaction_ends_ GUARDED_BY(mu_);
+  std::vector<WriteStallInfo> stalls_ GUARDED_BY(mu_);
+  std::vector<WalRotationInfo> rotations_ GUARDED_BY(mu_);
+  std::vector<FilterAllocationInfo> allocations_ GUARDED_BY(mu_);
+};
+
+class ThrowingListener : public EventListener {
+ public:
+  void OnFlushBegin(const FlushJobInfo&) override { Boom(); }
+  void OnFlushCompleted(const FlushJobInfo&) override { Boom(); }
+  void OnCompactionBegin(const CompactionJobInfo&) override { Boom(); }
+  void OnCompactionCompleted(const CompactionJobInfo&) override { Boom(); }
+  void OnWriteStallChange(const WriteStallInfo&) override { Boom(); }
+  void OnWalRotation(const WalRotationInfo&) override { Boom(); }
+  void OnFilterAllocation(const FilterAllocationInfo&) override { Boom(); }
+
+ private:
+  static void Boom() { throw std::runtime_error("listener bug"); }
+};
+
+// Delays every SST append so flushes cannot keep up with the writer —
+// the deterministic way to drive the immutable-memtable queue into
+// slowdown and stall. WAL and manifest writes stay fast.
+class SlowSstEnv : public Env {
+ public:
+  explicit SlowSstEnv(Env* base) : base_(base) {}
+
+  Status NewSequentialFile(const std::string& fname,
+                           std::unique_ptr<SequentialFile>* result) override {
+    return base_->NewSequentialFile(fname, result);
+  }
+  Status NewRandomAccessFile(
+      const std::string& fname,
+      std::unique_ptr<RandomAccessFile>* result) override {
+    return base_->NewRandomAccessFile(fname, result);
+  }
+  Status NewWritableFile(const std::string& fname,
+                         std::unique_ptr<WritableFile>* result) override {
+    std::unique_ptr<WritableFile> file;
+    MONKEYDB_RETURN_IF_ERROR(base_->NewWritableFile(fname, &file));
+    const bool is_sst = fname.size() >= 4 &&
+                        fname.compare(fname.size() - 4, 4, ".sst") == 0;
+    if (is_sst) {
+      *result = std::make_unique<SlowFile>(std::move(file));
+    } else {
+      *result = std::move(file);
+    }
+    return Status::OK();
+  }
+  bool FileExists(const std::string& fname) override {
+    return base_->FileExists(fname);
+  }
+  Status GetChildren(const std::string& dir,
+                     std::vector<std::string>* result) override {
+    return base_->GetChildren(dir, result);
+  }
+  Status RemoveFile(const std::string& fname) override {
+    return base_->RemoveFile(fname);
+  }
+  Status CreateDir(const std::string& dirname) override {
+    return base_->CreateDir(dirname);
+  }
+  Status GetFileSize(const std::string& fname, uint64_t* size) override {
+    return base_->GetFileSize(fname, size);
+  }
+  Status RenameFile(const std::string& src,
+                    const std::string& target) override {
+    return base_->RenameFile(src, target);
+  }
+
+ private:
+  class SlowFile : public WritableFile {
+   public:
+    explicit SlowFile(std::unique_ptr<WritableFile> base)
+        : base_(std::move(base)) {}
+    Status Append(const Slice& data) override {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      return base_->Append(data);
+    }
+    Status Flush() override { return base_->Flush(); }
+    Status Sync() override { return base_->Sync(); }
+    Status Close() override { return base_->Close(); }
+
+   private:
+    std::unique_ptr<WritableFile> base_;
+  };
+
+  Env* base_;
+};
+
+class EventListenerTest : public ::testing::Test {
+ protected:
+  EventListenerTest() : env_(NewMemEnv()) {}
+
+  DbOptions MakeOptions() {
+    DbOptions options;
+    options.env = env_.get();
+    options.buffer_size_bytes = 16 << 10;
+    options.size_ratio = 2.0;
+    options.listeners.push_back(listener_);
+    return options;
+  }
+
+  static std::string Key(int i) {
+    char buf[24];
+    snprintf(buf, sizeof(buf), "key%08d", i);
+    return buf;
+  }
+
+  std::unique_ptr<Env> env_;
+  std::shared_ptr<RecordingListener> listener_ =
+      std::make_shared<RecordingListener>();
+};
+
+TEST_F(EventListenerTest, FlushEventsBracketEachJob) {
+  std::unique_ptr<DB> db;
+  ASSERT_TRUE(DB::Open(MakeOptions(), "/db", &db).ok());
+  WriteOptions wo;
+  ASSERT_TRUE(db->Put(wo, "a", "1").ok());
+  ASSERT_TRUE(db->Put(wo, "b", "2").ok());
+  ASSERT_TRUE(db->Flush().ok());
+
+  const auto begins = listener_->flush_begins();
+  const auto ends = listener_->flush_ends();
+  ASSERT_EQ(begins.size(), 1u);
+  ASSERT_EQ(ends.size(), 1u);
+  EXPECT_EQ(begins[0].entries, 2u);
+  EXPECT_EQ(ends[0].entries, 2u);
+  EXPECT_TRUE(ends[0].ok);
+  // Synchronous mode: begin strictly precedes end in the event log.
+  const auto names = listener_->names();
+  const auto begin_at =
+      std::find(names.begin(), names.end(), "flush_begin");
+  const auto end_at = std::find(names.begin(), names.end(), "flush_end");
+  ASSERT_NE(begin_at, names.end());
+  ASSERT_NE(end_at, names.end());
+  EXPECT_LT(begin_at - names.begin(), end_at - names.begin());
+
+  // An empty memtable flush is a no-op and announces nothing.
+  ASSERT_TRUE(db->Flush().ok());
+  EXPECT_EQ(listener_->flush_begins().size(), 1u);
+}
+
+TEST_F(EventListenerTest, CompactionEventsCarryLevelStats) {
+  std::unique_ptr<DB> db;
+  ASSERT_TRUE(DB::Open(MakeOptions(), "/db", &db).ok());
+  WriteOptions wo;
+  const std::string value(48, 'v');
+  for (int i = 0; i < 2000; i++) {
+    ASSERT_TRUE(db->Put(wo, Key(i), value).ok());
+  }
+  ASSERT_TRUE(db->Flush().ok());
+
+  const auto begins = listener_->compaction_begins();
+  const auto ends = listener_->compaction_ends();
+  ASSERT_GT(begins.size(), 0u);
+  ASSERT_EQ(begins.size(), ends.size());
+  for (const CompactionJobInfo& info : begins) {
+    EXPECT_GE(info.input_level, 1);
+    EXPECT_GE(info.output_level, info.input_level);
+    EXPECT_GE(info.input_runs, 1u);
+  }
+  for (const CompactionJobInfo& info : ends) {
+    EXPECT_TRUE(info.ok);
+    EXPECT_GT(info.output_entries, 0u);
+    EXPECT_GE(info.subcompactions, 1u);
+  }
+  // Every merge the listener saw is in the engine's own ledger.
+  EXPECT_EQ(db->GetStats().merges, ends.size());
+}
+
+TEST_F(EventListenerTest, WalRotationAnnouncedWithFileNumbers) {
+  std::unique_ptr<DB> db;
+  ASSERT_TRUE(DB::Open(MakeOptions(), "/db", &db).ok());
+  // Opening a fresh DB creates the first WAL (retired number 0).
+  auto rotations = listener_->rotations();
+  ASSERT_GE(rotations.size(), 1u);
+  EXPECT_EQ(rotations[0].retired_file_number, 0u);
+  EXPECT_GT(rotations[0].new_file_number, 0u);
+
+  WriteOptions wo;
+  ASSERT_TRUE(db->Put(wo, "a", "1").ok());
+  ASSERT_TRUE(db->Flush().ok());
+  rotations = listener_->rotations();
+  ASSERT_GE(rotations.size(), 2u);
+  // Rotation hands off from the previous WAL to a strictly newer file.
+  EXPECT_EQ(rotations[1].retired_file_number, rotations[0].new_file_number);
+  EXPECT_GT(rotations[1].new_file_number, rotations[1].retired_file_number);
+}
+
+TEST_F(EventListenerTest, FilterAllocationsReportDrift) {
+  DbOptions options = MakeOptions();
+  options.fpr_policy = monkey::NewMonkeyFprPolicy();
+  options.expected_entries = 2000;
+  std::unique_ptr<DB> db;
+  ASSERT_TRUE(DB::Open(options, "/db", &db).ok());
+  WriteOptions wo;
+  const std::string value(48, 'v');
+  for (int i = 0; i < 2000; i++) {
+    ASSERT_TRUE(db->Put(wo, Key(i), value).ok());
+  }
+  ASSERT_TRUE(db->Flush().ok());
+
+  const auto allocations = listener_->allocations();
+  ASSERT_GT(allocations.size(), 0u);
+  bool saw_first_allocation = false;
+  for (const FilterAllocationInfo& info : allocations) {
+    EXPECT_GE(info.level, 1);
+    EXPECT_GT(info.fpr, 0.0);
+    EXPECT_LE(info.fpr, 1.0);
+    EXPECT_GT(info.run_entries, 0u);
+    EXPECT_NE(info.fpr, info.previous_fpr);
+    if (info.previous_fpr == 0.0) saw_first_allocation = true;
+  }
+  EXPECT_TRUE(saw_first_allocation);
+}
+
+TEST_F(EventListenerTest, BackpressureTransitionsAreAnnounced) {
+  SlowSstEnv slow_env(env_.get());
+  DbOptions options = MakeOptions();
+  options.env = &slow_env;
+  options.background_compaction = true;
+  options.max_immutable_memtables = 2;
+  std::unique_ptr<DB> db;
+  ASSERT_TRUE(DB::Open(options, "/db", &db).ok());
+
+  WriteOptions wo;
+  const std::string value(64, 'v');
+  bool saw_slowdown = false, saw_stall = false;
+  for (int i = 0; i < 20000 && !(saw_slowdown && saw_stall); i++) {
+    ASSERT_TRUE(db->Put(wo, Key(i), value).ok());
+    for (const WriteStallInfo& info : listener_->stalls()) {
+      if (info.current == WriteStallInfo::Condition::kSlowdown) {
+        saw_slowdown = true;
+      }
+      if (info.current == WriteStallInfo::Condition::kStalled) {
+        saw_stall = true;
+      }
+    }
+  }
+  EXPECT_TRUE(saw_slowdown);
+  EXPECT_TRUE(saw_stall);
+  // Transitions are real state changes with the queue depth attached.
+  for (const WriteStallInfo& info : listener_->stalls()) {
+    EXPECT_NE(info.previous, info.current);
+    if (info.current == WriteStallInfo::Condition::kStalled) {
+      EXPECT_GE(info.immutable_memtables, 2u);
+    }
+  }
+  const DbStats stats = db->GetStats();
+  EXPECT_GT(stats.write_slowdowns, 0u);
+  EXPECT_GT(stats.write_stalls, 0u);
+}
+
+TEST_F(EventListenerTest, ThrowingListenerIsContained) {
+  DbOptions options = MakeOptions();
+  // The thrower runs FIRST; the recorder after it must still hear
+  // everything, and the engine must keep working.
+  options.listeners.insert(options.listeners.begin(),
+                           std::make_shared<ThrowingListener>());
+  options.background_compaction = true;
+  options.enable_metrics = true;
+  std::unique_ptr<DB> db;
+  ASSERT_TRUE(DB::Open(options, "/db", &db).ok());
+
+  WriteOptions wo;
+  const std::string value(48, 'v');
+  for (int i = 0; i < 1000; i++) {
+    ASSERT_TRUE(db->Put(wo, Key(i), value).ok());
+  }
+  ASSERT_TRUE(db->Flush().ok());
+
+  // The background worker survived every throw: reads see the data.
+  ReadOptions ro;
+  std::string out;
+  ASSERT_TRUE(db->Get(ro, Key(1), &out).ok());
+  EXPECT_EQ(out, value);
+
+  // Failures were counted, and the recorder behind the thrower still got
+  // its callbacks.
+  ASSERT_NE(db->metrics(), nullptr);
+  EXPECT_GT(db->metrics()->TickTotal(Tick::kListenerFailures), 0u);
+  EXPECT_GT(db->metrics()->TickTotal(Tick::kListenerCallbacks),
+            db->metrics()->TickTotal(Tick::kListenerFailures));
+  EXPECT_GT(listener_->flush_begins().size(), 0u);
+  EXPECT_EQ(listener_->flush_begins().size(),
+            listener_->flush_ends().size());
+}
+
+}  // namespace
+}  // namespace monkeydb

@@ -1,0 +1,254 @@
+// Thread-local PerfContext / IOStatsContext: the per-operation breakdown
+// must reconcile exactly with the engine-wide DbStats counters, and a
+// zero-result Get's probe accounting must sum the way the paper's Eq. 3
+// says it does — every run consulted either answers from its Bloom filter
+// or costs one block access that turns out to be a false positive.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "io/counting_env.h"
+#include "io/env.h"
+#include "lsm/db.h"
+#include "obs/perf_context.h"
+
+namespace monkeydb {
+namespace {
+
+class PerfContextTest : public ::testing::Test {
+ protected:
+  PerfContextTest()
+      : base_env_(NewMemEnv()),
+        env_(base_env_.get(), &io_stats_, kPageSize) {}
+
+  ~PerfContextTest() override {
+    // The perf level is sticky per thread; never leak it into other tests.
+    SetPerfLevel(PerfLevel::kDisabled);
+  }
+
+  void OpenAndFill() {
+    DbOptions options;
+    options.env = &env_;
+    options.buffer_size_bytes = 16 << 10;
+    options.bits_per_entry = 5.0;
+    options.page_size = kPageSize;
+    options.expected_entries = kNumKeys;
+    ASSERT_TRUE(DB::Open(options, "/db", &db_).ok());
+    WriteOptions wo;
+    const std::string value(48, 'v');
+    for (int i = 0; i < kNumKeys; i++) {
+      ASSERT_TRUE(db_->Put(wo, Key(i), value).ok());
+    }
+    // Empty the buffer so lookups exercise only the disk levels.
+    ASSERT_TRUE(db_->Flush().ok());
+  }
+
+  static std::string Key(int i) {
+    char buf[24];
+    snprintf(buf, sizeof(buf), "key%08d", i);
+    return buf;
+  }
+  // Absent but inside the key range, so only Bloom filters can prune.
+  static std::string MissingKey(int i) { return Key(i) + "x"; }
+
+  static constexpr int kNumKeys = 4000;
+  static constexpr size_t kPageSize = 4096;
+
+  std::unique_ptr<Env> base_env_;
+  IoStats io_stats_;
+  CountingEnv env_;
+  std::unique_ptr<DB> db_;
+};
+
+TEST_F(PerfContextTest, DisabledLevelCountsNothing) {
+  OpenAndFill();
+  ASSERT_EQ(GetPerfLevel(), PerfLevel::kDisabled);
+  GetPerfContext()->Reset();
+  GetIOStatsContext()->Reset();
+  ReadOptions ro;
+  std::string value;
+  for (int i = 0; i < 50; i++) {
+    EXPECT_TRUE(db_->Get(ro, MissingKey(i), &value).IsNotFound());
+  }
+  const PerfContext* pc = GetPerfContext();
+  EXPECT_EQ(pc->get_count, 0u);
+  EXPECT_EQ(pc->filter_probes, 0u);
+  EXPECT_EQ(pc->runs_probed, 0u);
+  EXPECT_EQ(GetIOStatsContext()->read_calls, 0u);
+}
+
+TEST_F(PerfContextTest, ZeroResultGetSumsToEq3Accounting) {
+  OpenAndFill();
+  const DbStats before = db_->GetStats();
+  ASSERT_GT(before.total_runs, 1u);
+
+  SetPerfLevel(PerfLevel::kCounts);
+  GetPerfContext()->Reset();
+  constexpr int kLookups = 300;
+  ReadOptions ro;
+  std::string value;
+  for (int i = 0; i < kLookups; i++) {
+    EXPECT_TRUE(db_->Get(ro, MissingKey(i * 7), &value).IsNotFound());
+  }
+  const PerfContext* pc = GetPerfContext();
+  const DbStats after = db_->GetStats();
+
+  EXPECT_EQ(pc->get_count, static_cast<uint64_t>(kLookups));
+  EXPECT_EQ(pc->memtable_hits, 0u);
+
+  // Eq. 3: a zero-result lookup consults every run in the tree; each
+  // consultation is a Bloom probe that either answers "absent" or lets a
+  // block access through that finds nothing (a false positive).
+  EXPECT_EQ(pc->filter_probes,
+            static_cast<uint64_t>(kLookups) * before.total_runs);
+  EXPECT_EQ(pc->filter_probes,
+            pc->filter_negatives + pc->bloom_false_positives);
+  // Every probed run (= block actually accessed) was a false positive,
+  // and it cost exactly one fence-pointer search and one data block.
+  EXPECT_EQ(pc->runs_probed, pc->bloom_false_positives);
+  EXPECT_EQ(pc->fence_seeks, pc->bloom_false_positives);
+  EXPECT_EQ(pc->blocks_read_from_cache + pc->blocks_read_from_disk,
+            pc->bloom_false_positives);
+  // With bits_per_entry = 5 the tree-wide FPR is far from 0 and from 1:
+  // both sides of the split must actually occur.
+  EXPECT_GT(pc->filter_negatives, 0u);
+  EXPECT_GT(pc->bloom_false_positives, 0u);
+
+  // Per-level attribution folds back to the totals.
+  uint64_t fp_sum = 0, neg_sum = 0, probed_sum = 0;
+  for (int l = 0; l < PerfContext::kMaxLevels; l++) {
+    fp_sum += pc->false_positives_per_level[l];
+    neg_sum += pc->filter_negatives_per_level[l];
+    probed_sum += pc->runs_probed_per_level[l];
+  }
+  EXPECT_EQ(fp_sum, pc->bloom_false_positives);
+  EXPECT_EQ(neg_sum, pc->filter_negatives);
+  EXPECT_EQ(probed_sum, pc->runs_probed);
+
+  // The thread-local breakdown and the engine-wide counters tell one
+  // story: this thread was the only traffic source.
+  EXPECT_EQ(after.gets - before.gets, static_cast<uint64_t>(kLookups));
+  EXPECT_EQ(after.gets_not_found - before.gets_not_found,
+            static_cast<uint64_t>(kLookups));
+  EXPECT_EQ(after.runs_probed - before.runs_probed, pc->runs_probed);
+  EXPECT_EQ(after.filter_negatives - before.filter_negatives,
+            pc->filter_negatives);
+  EXPECT_EQ(after.false_positives - before.false_positives,
+            pc->bloom_false_positives);
+}
+
+TEST_F(PerfContextTest, ExistingKeyGetStopsAtResolution) {
+  OpenAndFill();
+  SetPerfLevel(PerfLevel::kCounts);
+  GetPerfContext()->Reset();
+  ReadOptions ro;
+  std::string value;
+  constexpr int kLookups = 200;
+  for (int i = 0; i < kLookups; i++) {
+    ASSERT_TRUE(db_->Get(ro, Key((i * 13) % kNumKeys), &value).ok());
+  }
+  const PerfContext* pc = GetPerfContext();
+  // Each hit ends at the run holding the key: exactly one probed run
+  // terminates the lookup, plus false positives along the way.
+  EXPECT_EQ(pc->runs_probed,
+            static_cast<uint64_t>(kLookups) + pc->bloom_false_positives);
+  EXPECT_GE(pc->filter_probes, pc->runs_probed);
+  EXPECT_GT(pc->block_bytes_read, 0u);
+}
+
+TEST_F(PerfContextTest, CountsLevelNeverReadsTheClock) {
+  OpenAndFill();
+  SetPerfLevel(PerfLevel::kCounts);
+  GetPerfContext()->Reset();
+  GetIOStatsContext()->Reset();
+  ReadOptions ro;
+  std::string value;
+  ASSERT_TRUE(db_->Get(ro, Key(1), &value).ok());
+  const PerfContext* pc = GetPerfContext();
+  EXPECT_GT(pc->get_count, 0u);
+  EXPECT_EQ(pc->get_nanos, 0u);
+  EXPECT_EQ(pc->memtable_lookup_nanos, 0u);
+  EXPECT_EQ(pc->filter_probe_nanos, 0u);
+  EXPECT_EQ(pc->block_read_nanos, 0u);
+  EXPECT_EQ(GetIOStatsContext()->read_nanos, 0u);
+}
+
+TEST_F(PerfContextTest, TimingLevelAttributesStages) {
+  OpenAndFill();
+  SetPerfLevel(PerfLevel::kCountsAndTime);
+  GetPerfContext()->Reset();
+  ReadOptions ro;
+  std::string value;
+  for (int i = 0; i < 100; i++) {
+    ASSERT_TRUE(db_->Get(ro, Key(i), &value).ok());
+  }
+  const PerfContext* pc = GetPerfContext();
+  EXPECT_GT(pc->get_nanos, 0u);
+  // Stage timers nest inside the whole-Get timer.
+  EXPECT_LE(pc->memtable_lookup_nanos, pc->get_nanos);
+  EXPECT_LE(pc->filter_probe_nanos, pc->get_nanos);
+  EXPECT_LE(pc->block_read_nanos, pc->get_nanos);
+}
+
+TEST_F(PerfContextTest, WritePathCountsGroupsAndIoStats) {
+  OpenAndFill();
+  SetPerfLevel(PerfLevel::kCounts);
+  GetPerfContext()->Reset();
+  GetIOStatsContext()->Reset();
+  WriteOptions wo;
+  constexpr int kWrites = 50;
+  for (int i = 0; i < kWrites; i++) {
+    ASSERT_TRUE(db_->Put(wo, "new" + std::to_string(i), "v").ok());
+  }
+  const PerfContext* pc = GetPerfContext();
+  EXPECT_EQ(pc->write_count, static_cast<uint64_t>(kWrites));
+  // Single-threaded: this thread always leads its own commit group.
+  EXPECT_EQ(pc->write_groups_led, static_cast<uint64_t>(kWrites));
+  EXPECT_EQ(pc->write_groups_joined, 0u);
+  // Each commit appended (at least) its WAL record through the env.
+  EXPECT_GE(GetIOStatsContext()->write_calls,
+            static_cast<uint64_t>(kWrites));
+  EXPECT_GT(GetIOStatsContext()->bytes_written, 0u);
+}
+
+TEST_F(PerfContextTest, ContextsAreThreadLocal) {
+  OpenAndFill();
+  SetPerfLevel(PerfLevel::kCounts);
+  GetPerfContext()->Reset();
+  std::thread other([this] {
+    // A thread that never opted in counts nothing, even while this one is
+    // counting.
+    ASSERT_EQ(GetPerfLevel(), PerfLevel::kDisabled);
+    ReadOptions ro;
+    std::string value;
+    EXPECT_TRUE(db_->Get(ro, MissingKey(1), &value).IsNotFound());
+    EXPECT_EQ(GetPerfContext()->get_count, 0u);
+  });
+  other.join();
+  EXPECT_EQ(GetPerfContext()->get_count, 0u);
+  ReadOptions ro;
+  std::string value;
+  EXPECT_TRUE(db_->Get(ro, MissingKey(2), &value).IsNotFound());
+  EXPECT_EQ(GetPerfContext()->get_count, 1u);
+}
+
+TEST_F(PerfContextTest, ToStringAndJsonRenderNonZeroFields) {
+  OpenAndFill();
+  SetPerfLevel(PerfLevel::kCounts);
+  GetPerfContext()->Reset();
+  ReadOptions ro;
+  std::string value;
+  EXPECT_TRUE(db_->Get(ro, MissingKey(3), &value).IsNotFound());
+  const std::string text = GetPerfContext()->ToString();
+  EXPECT_NE(text.find("get_count"), std::string::npos) << text;
+  const std::string json = GetPerfContext()->ToJson();
+  EXPECT_NE(json.find("\"filter_probes\""), std::string::npos) << json;
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+}
+
+}  // namespace
+}  // namespace monkeydb
