@@ -22,7 +22,13 @@
 // writer queue coalesce pending batches into one append (and one fsync)
 // per group. Results go to BENCH_write.json.
 //
-// Pass --smoke for a tiny CI-sized run of all three sections.
+// A fourth section opens the same workload on a real filesystem through
+// the backend chosen by --io-backend={posix,uring} and measures concurrent
+// MultiGet(16) throughput at 1/2/4/8 threads, with per-batch latency
+// percentiles and syscalls per lookup from the counting env. Results go to
+// BENCH_io_concurrent.json.
+//
+// Pass --smoke for a tiny CI-sized run of all sections.
 
 #include <atomic>
 #include <chrono>
@@ -34,6 +40,7 @@
 
 #include "harness.h"
 #include "io/latency_env.h"
+#include "obs/histogram.h"
 
 namespace monkeydb {
 namespace bench {
@@ -51,6 +58,9 @@ const int kThreadCounts[] = {1, 2, 4, 8};
 int g_num_keys = 20000;
 int g_reads_per_thread = 1200;
 int g_writes_per_thread = 600;
+int g_io_num_keys = 20000;
+int g_io_batches_per_thread = 150;
+constexpr int kIoMultiGetBatch = 16;
 // --json: build every DB with enable_metrics and dump the read-path and
 // mixed-path histogram snapshots to BENCH_obs.json at exit.
 bool g_emit_obs = false;
@@ -227,6 +237,75 @@ double MeasureWriteThroughput(DB* db, int threads, bool serialize, bool sync,
   return static_cast<double>(threads) * g_writes_per_thread / secs;
 }
 
+// --- Section 4: concurrent MultiGet on a real filesystem backend ---------
+
+struct IoConcurrentRow {
+  int threads = 0;
+  double lookups_per_sec = 0;
+  double syscalls_per_lookup = 0;
+  double batched_per_syscall = 0;
+  HistogramData batch_latency_us;
+};
+
+// `threads` threads each issue g_io_batches_per_thread MultiGet(16)
+// batches of existing keys; per-batch latency lands in one shared
+// (lock-free) histogram and syscalls come from the stats delta.
+IoConcurrentRow MeasureIoConcurrent(IoBackendDb* db, int threads) {
+  Histogram hist;
+  std::atomic<int> errors{0};
+  const auto before = db->stats->Snapshot();
+  std::vector<std::thread> workers;
+  const auto start = std::chrono::steady_clock::now();
+  for (int t = 0; t < threads; t++) {
+    workers.emplace_back([&, t] {
+      Random rng(7000 + 131 * threads + t);
+      ReadOptions ro;
+      for (int b = 0; b < g_io_batches_per_thread; b++) {
+        std::vector<std::string> key_storage;
+        key_storage.reserve(kIoMultiGetBatch);
+        for (int i = 0; i < kIoMultiGetBatch; i++) {
+          key_storage.push_back(MakeKey(rng.Uniform(g_io_num_keys)));
+        }
+        std::vector<Slice> keys(key_storage.begin(), key_storage.end());
+        std::vector<std::string> values;
+        const auto batch_start = std::chrono::steady_clock::now();
+        for (const Status& s : db->db->MultiGet(ro, keys, &values)) {
+          if (!s.ok()) errors.fetch_add(1);
+        }
+        hist.Record(static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - batch_start)
+                .count()));
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  if (errors.load() != 0) {
+    fprintf(stderr, "%d MultiGet lookup(s) failed\n", errors.load());
+    abort();
+  }
+  const auto delta = db->stats->Snapshot() - before;
+  const double lookups = static_cast<double>(threads) *
+                         g_io_batches_per_thread * kIoMultiGetBatch;
+
+  IoConcurrentRow row;
+  row.threads = threads;
+  row.lookups_per_sec = lookups / secs;
+  row.syscalls_per_lookup = static_cast<double>(delta.read_calls) / lookups;
+  row.batched_per_syscall =
+      delta.batch_reads == 0
+          ? 0.0
+          : static_cast<double>(delta.batch_read_requests) /
+                static_cast<double>(delta.batch_reads);
+  HistogramMerger merger;
+  merger.Add(hist);
+  row.batch_latency_us = merger.Snapshot();
+  return row;
+}
+
 }  // namespace
 }  // namespace bench
 }  // namespace monkeydb
@@ -236,11 +315,14 @@ int main(int argc, char** argv) {
   using namespace monkeydb::bench;
 
   g_emit_obs = ConsumeJsonFlag(&argc, argv);
+  const std::string io_backend = ConsumeIoBackendFlag(&argc, argv);
   for (int i = 1; i < argc; i++) {
     if (std::string(argv[i]) == "--smoke") {
       g_num_keys = 2000;
       g_reads_per_thread = 120;
       g_writes_per_thread = 60;
+      g_io_num_keys = 5000;
+      g_io_batches_per_thread = 25;
     }
   }
 
@@ -355,6 +437,68 @@ int main(int argc, char** argv) {
     fprintf(json, "}\n");
     fclose(json);
     printf("\nwrote BENCH_concurrent.json\n");
+  }
+
+  // Concurrent MultiGet on a real filesystem through the chosen backend.
+  {
+    printf("\nReal-filesystem concurrent MultiGet(%d), --io-backend=%s "
+           "(%d keys, %d batches/thread):\n\n",
+           kIoMultiGetBatch, io_backend.c_str(), g_io_num_keys,
+           g_io_batches_per_thread);
+    printf("%8s %14s %14s %12s %10s %10s\n", "threads", "lookups/sec",
+           "syscalls/op", "reqs/batch", "p99 (us)", "p99.9 (us)");
+
+    FillSpec io_spec;
+    io_spec.num_keys = g_io_num_keys;
+    io_spec.block_cache_bytes = 64 << 10;
+    const std::string dir =
+        "/tmp/monkeydb_bench_io_concurrent." +
+        std::to_string(static_cast<long long>(getpid()));
+    IoBackendDb io_db = OpenIoBackendDb(io_backend, dir, io_spec);
+
+    std::vector<IoConcurrentRow> io_rows;
+    for (int threads : kThreadCounts) {
+      io_rows.push_back(MeasureIoConcurrent(&io_db, threads));
+      const IoConcurrentRow& row = io_rows.back();
+      printf("%8d %12.0f/s %14.2f %12.2f %10.0f %10.0f\n", row.threads,
+             row.lookups_per_sec, row.syscalls_per_lookup,
+             row.batched_per_syscall, row.batch_latency_us.p99,
+             row.batch_latency_us.p999);
+    }
+    const std::string actual_backend = io_db.actual;
+    DestroyIoBackendDb(&io_db);
+
+    json = fopen("BENCH_io_concurrent.json", "w");
+    if (json != nullptr) {
+      fprintf(json, "{\n");
+      fprintf(json, "  \"requested_backend\": \"%s\",\n",
+              io_backend.c_str());
+      fprintf(json, "  \"backend\": \"%s\",\n", actual_backend.c_str());
+      fprintf(json, "  \"num_keys\": %d,\n", g_io_num_keys);
+      fprintf(json, "  \"multiget_batch\": %d,\n", kIoMultiGetBatch);
+      fprintf(json, "  \"batches_per_thread\": %d,\n",
+              g_io_batches_per_thread);
+      fprintf(json, "  \"rows\": [\n");
+      for (size_t i = 0; i < io_rows.size(); i++) {
+        const IoConcurrentRow& row = io_rows[i];
+        fprintf(json,
+                "    {\"threads\": %d, \"lookups_per_sec\": %.1f, "
+                "\"syscalls_per_lookup\": %.3f, "
+                "\"batched_per_syscall\": %.3f, "
+                "\"batch_latency_us\": {\"avg\": %.1f, \"p50\": %.1f, "
+                "\"p99\": %.1f, \"p999\": %.1f, \"max\": %llu}}%s\n",
+                row.threads, row.lookups_per_sec, row.syscalls_per_lookup,
+                row.batched_per_syscall, row.batch_latency_us.avg,
+                row.batch_latency_us.p50, row.batch_latency_us.p99,
+                row.batch_latency_us.p999,
+                static_cast<unsigned long long>(row.batch_latency_us.max),
+                i + 1 < io_rows.size() ? "," : "");
+      }
+      fprintf(json, "  ]\n");
+      fprintf(json, "}\n");
+      fclose(json);
+      printf("\nwrote BENCH_io_concurrent.json\n");
+    }
   }
 
   json = fopen("BENCH_write.json", "w");

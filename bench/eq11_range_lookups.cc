@@ -13,6 +13,14 @@
 // same equation. Section 3 does the same for batched point lookups:
 // DB::MultiGet versus an equivalent loop of Gets.
 //
+// Section 4 leaves the simulated devices: it opens the same workload on a
+// real filesystem through the backend chosen by --io-backend={posix,uring}
+// and measures the syscall cost of batched point lookups — MultiGet(16)
+// versus a loop of Gets — plus per-batch latency percentiles. With the
+// uring backend the whole fetch plan of a MultiGet goes to the kernel as
+// one io_uring_enter, so syscalls per batch collapse; the posix baseline
+// is always measured alongside for the ratio. Results go to BENCH_io.json.
+//
 // Results go to BENCH_range.json. Pass --smoke for a tiny CI-sized run.
 
 #include <chrono>
@@ -23,6 +31,7 @@
 #include "harness.h"
 #include "io/latency_env.h"
 #include "monkey/cost_model.h"
+#include "obs/histogram.h"
 
 using namespace monkeydb;
 using namespace monkeydb::bench;
@@ -51,6 +60,10 @@ int g_wall_scans = 40;
 int g_wall_scan_len = 1000;
 int g_multiget_batches = 25;
 constexpr int kMultiGetBatch = 16;
+
+// Section 4 (real filesystem) sizes.
+int g_io_num_keys = 20000;
+int g_io_batches = 300;
 
 struct LatencyDb {
   std::unique_ptr<Env> base_env;
@@ -149,9 +162,115 @@ double MeasureBatchedLookups(DB* db, bool use_multiget, int round) {
   return static_cast<double>(lookups) / secs;
 }
 
+// --- Section 4: syscalls per batched lookup on a real filesystem ---------
+
+struct IoBackendResult {
+  std::string requested;
+  std::string actual;
+  double multiget_syscalls_per_batch = 0;   // read_calls per MultiGet(16).
+  double getloop_syscalls_per_batch = 0;    // read_calls per 16-Get loop.
+  double batched_per_syscall = 0;           // Requests per ReadBatch submit.
+  HistogramData multiget_latency_us;
+  HistogramData get_latency_us;
+  bool have_uring = false;
+  UringStatsSnapshot uring;
+};
+
+IoBackendResult MeasureIoBackend(const std::string& backend) {
+  FillSpec spec;
+  spec.num_keys = g_io_num_keys;
+  spec.block_cache_bytes = 64 << 10;  // Tiny: lookups must reach the device.
+  const std::string dir = "/tmp/monkeydb_bench_io_" + backend + "." +
+                          std::to_string(static_cast<long long>(getpid()));
+  IoBackendDb db = OpenIoBackendDb(backend, dir, spec);
+
+  IoBackendResult r;
+  r.requested = db.requested;
+  r.actual = db.actual;
+
+  // Same key sequence for both arms so they fetch the same blocks.
+  auto batch_keys = [&](int b) {
+    Random rng(606 + b);
+    std::vector<std::string> keys;
+    keys.reserve(kMultiGetBatch);
+    for (int i = 0; i < kMultiGetBatch; i++) {
+      keys.push_back(MakeKey(rng.Uniform(g_io_num_keys)));
+    }
+    return keys;
+  };
+
+  Histogram mg_hist;
+  ReadOptions ro;
+  auto before = db.stats->Snapshot();
+  for (int b = 0; b < g_io_batches; b++) {
+    const std::vector<std::string> key_storage = batch_keys(b);
+    std::vector<Slice> keys(key_storage.begin(), key_storage.end());
+    std::vector<std::string> values;
+    const auto start = std::chrono::steady_clock::now();
+    for (const Status& s : db.db->MultiGet(ro, keys, &values)) {
+      if (!s.ok()) {
+        fprintf(stderr, "MultiGet failed: %s\n", s.ToString().c_str());
+        abort();
+      }
+    }
+    mg_hist.Record(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count()));
+  }
+  auto delta = db.stats->Snapshot() - before;
+  r.multiget_syscalls_per_batch =
+      static_cast<double>(delta.read_calls) / g_io_batches;
+  r.batched_per_syscall =
+      delta.batch_reads == 0
+          ? 0.0
+          : static_cast<double>(delta.batch_read_requests) /
+                static_cast<double>(delta.batch_reads);
+
+  Histogram get_hist;
+  before = db.stats->Snapshot();
+  for (int b = 0; b < g_io_batches; b++) {
+    std::string value;
+    for (const std::string& key : batch_keys(b)) {
+      const auto start = std::chrono::steady_clock::now();
+      if (!db.db->Get(ro, key, &value).ok()) abort();
+      get_hist.Record(static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - start)
+              .count()));
+    }
+  }
+  delta = db.stats->Snapshot() - before;
+  r.getloop_syscalls_per_batch =
+      static_cast<double>(delta.read_calls) / g_io_batches;
+
+  HistogramMerger mg_merge, get_merge;
+  mg_merge.Add(mg_hist);
+  get_merge.Add(get_hist);
+  r.multiget_latency_us = mg_merge.Snapshot();
+  r.get_latency_us = get_merge.Snapshot();
+
+  if (db.uring != nullptr) {
+    r.have_uring = true;
+    r.uring = db.uring->Stats();
+  }
+  DestroyIoBackendDb(&db);
+  return r;
+}
+
+void PrintLatencyJson(FILE* json, const char* name, const HistogramData& h,
+                      const char* trailer) {
+  fprintf(json,
+          "      \"%s\": {\"count\": %llu, \"avg\": %.1f, \"p50\": %.1f, "
+          "\"p99\": %.1f, \"p999\": %.1f, \"max\": %llu}%s\n",
+          name, static_cast<unsigned long long>(h.count), h.avg, h.p50,
+          h.p99, h.p999, static_cast<unsigned long long>(h.max), trailer);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  const std::string io_backend = ConsumeIoBackendFlag(&argc, argv);
   bool smoke = false;
   for (int i = 1; i < argc; i++) {
     if (std::string(argv[i]) == "--smoke") smoke = true;
@@ -164,6 +283,8 @@ int main(int argc, char** argv) {
     g_wall_scans = 6;
     g_wall_scan_len = 800;
     g_multiget_batches = 5;
+    g_io_num_keys = 6000;
+    g_io_batches = 50;
   }
 
   const int n = smoke ? 8000 : 80000;
@@ -317,6 +438,86 @@ int main(int argc, char** argv) {
     fprintf(json, "}\n");
     fclose(json);
     printf("\nwrote BENCH_range.json\n");
+  }
+
+  // --- Section 4: syscalls per batched lookup on a real filesystem -------
+  // The posix baseline always runs; --io-backend=uring adds the ring arm
+  // so one run carries the collapse ratio.
+
+  printf("\nReal-filesystem batched lookups, --io-backend=%s "
+         "(%d keys, %d MultiGet(%d) batches):\n\n",
+         io_backend.c_str(), g_io_num_keys, g_io_batches, kMultiGetBatch);
+  printf("%-8s %18s %18s %18s\n", "backend", "syscalls/multiget",
+         "syscalls/get-loop", "reqs/batched-sys");
+
+  std::vector<IoBackendResult> io_results;
+  io_results.push_back(MeasureIoBackend("posix"));
+  if (io_backend == "uring") {
+    io_results.push_back(MeasureIoBackend("uring"));
+  }
+  for (const IoBackendResult& r : io_results) {
+    printf("%-8s %18.2f %18.2f %18.2f\n", r.actual.c_str(),
+           r.multiget_syscalls_per_batch, r.getloop_syscalls_per_batch,
+           r.batched_per_syscall);
+  }
+  if (io_results.size() == 2 && io_results[1].actual == "uring") {
+    printf("\nMultiGet(%d) syscall collapse (posix/uring): %.2fx\n",
+           kMultiGetBatch,
+           io_results[0].multiget_syscalls_per_batch /
+               io_results[1].multiget_syscalls_per_batch);
+  }
+
+  json = fopen("BENCH_io.json", "w");
+  if (json != nullptr) {
+    fprintf(json, "{\n");
+    fprintf(json, "  \"requested_backend\": \"%s\",\n", io_backend.c_str());
+    fprintf(json, "  \"num_keys\": %d,\n", g_io_num_keys);
+    fprintf(json, "  \"multiget_batch\": %d,\n", kMultiGetBatch);
+    fprintf(json, "  \"batches\": %d,\n", g_io_batches);
+    fprintf(json, "  \"backends\": [\n");
+    for (size_t i = 0; i < io_results.size(); i++) {
+      const IoBackendResult& r = io_results[i];
+      fprintf(json, "    {\n");
+      fprintf(json, "      \"backend\": \"%s\",\n", r.actual.c_str());
+      fprintf(json, "      \"requested\": \"%s\",\n", r.requested.c_str());
+      fprintf(json, "      \"syscalls_per_multiget\": %.3f,\n",
+              r.multiget_syscalls_per_batch);
+      fprintf(json, "      \"syscalls_per_get_loop\": %.3f,\n",
+              r.getloop_syscalls_per_batch);
+      fprintf(json, "      \"batched_per_syscall\": %.3f,\n",
+              r.batched_per_syscall);
+      PrintLatencyJson(json, "multiget_latency_us", r.multiget_latency_us,
+                       ",");
+      PrintLatencyJson(json, "get_latency_us", r.get_latency_us,
+                       r.have_uring ? "," : "");
+      if (r.have_uring) {
+        fprintf(json,
+                "      \"uring\": {\"sqes_submitted\": %llu, "
+                "\"batch_submits\": %llu, \"batched_requests\": %llu, "
+                "\"short_read_retries\": %llu, \"fixed_file_reads\": %llu, "
+                "\"direct_io_fallbacks\": %llu}\n",
+                static_cast<unsigned long long>(r.uring.sqes_submitted),
+                static_cast<unsigned long long>(r.uring.batch_submits),
+                static_cast<unsigned long long>(r.uring.batched_requests),
+                static_cast<unsigned long long>(r.uring.short_read_retries),
+                static_cast<unsigned long long>(r.uring.fixed_file_reads),
+                static_cast<unsigned long long>(
+                    r.uring.direct_io_fallbacks));
+      }
+      fprintf(json, "    }%s\n", i + 1 < io_results.size() ? "," : "");
+    }
+    fprintf(json, "  ]");
+    if (io_results.size() == 2 && io_results[1].actual == "uring" &&
+        io_results[1].multiget_syscalls_per_batch > 0) {
+      fprintf(json, ",\n  \"syscall_collapse_multiget\": %.3f\n",
+              io_results[0].multiget_syscalls_per_batch /
+                  io_results[1].multiget_syscalls_per_batch);
+    } else {
+      fprintf(json, "\n");
+    }
+    fprintf(json, "}\n");
+    fclose(json);
+    printf("wrote BENCH_io.json\n");
   }
   return 0;
 }

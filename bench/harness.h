@@ -8,7 +8,10 @@
 #ifndef MONKEYDB_BENCH_HARNESS_H_
 #define MONKEYDB_BENCH_HARNESS_H_
 
+#include <unistd.h>
+
 #include <cstdio>
+#include <cstring>
 #include <numeric>
 #include <vector>
 #include <memory>
@@ -16,6 +19,7 @@
 
 #include "io/counting_env.h"
 #include "io/env.h"
+#include "io/uring_env.h"
 #include "lsm/db.h"
 #include "monkey/monkey_db.h"
 #include "util/random.h"
@@ -147,6 +151,131 @@ inline TestDb Fill(const FillSpec& spec) {
   s = t.db->Flush();
   if (!s.ok()) abort();
   return t;
+}
+
+// --- Real-filesystem I/O-backend harness (--io-backend flag) -------------
+//
+// The figure benches run on MemEnv / LatencyEnv so their I/O counts are
+// device-independent; the io-backend sections instead open a DB on a real
+// filesystem through the selected backend (PosixEnv or UringEnv), still
+// wrapped in CountingEnv so syscalls per operation stay observable:
+// CountingEnv charges a batched submission as ONE read_call, so
+// read_calls/op is the syscall-collapse the ring delivers.
+
+// Strips --io-backend=posix|uring from argv and returns the requested
+// backend name ("posix" when absent).
+inline std::string ConsumeIoBackendFlag(int* argc, char** argv) {
+  std::string backend = "posix";
+  int out = 1;
+  for (int i = 1; i < *argc; i++) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--io-backend=", 0) == 0) {
+      backend = arg.substr(strlen("--io-backend="));
+      if (backend != "posix" && backend != "uring") {
+        fprintf(stderr, "unknown --io-backend=%s (want posix|uring)\n",
+                backend.c_str());
+        abort();
+      }
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+  return backend;
+}
+
+struct IoBackendDb {
+  std::string requested;  // What the flag asked for.
+  std::string actual;     // What we got after any fallback.
+  std::string dir;
+  std::unique_ptr<Env> backend;
+  UringEnv* uring = nullptr;  // Non-null iff actual == "uring".
+  std::unique_ptr<IoStats> stats;
+  std::unique_ptr<CountingEnv> env;
+  std::unique_ptr<BlockCache> cache;
+  std::unique_ptr<DB> db;
+  int num_keys = 0;
+};
+
+// Opens and fills a DB under `dir` on the real filesystem through the
+// requested backend, falling back to posix (with a note on stderr) when
+// io_uring is unavailable.
+inline IoBackendDb OpenIoBackendDb(const std::string& requested,
+                                   const std::string& dir,
+                                   const FillSpec& spec) {
+  IoBackendDb t;
+  t.requested = requested;
+  t.dir = dir;
+  t.num_keys = spec.num_keys;
+  if (requested == "uring") {
+    Status probe;
+    std::unique_ptr<UringEnv> uring = NewUringEnv(UringEnvOptions{}, &probe);
+    if (uring != nullptr) {
+      t.uring = uring.get();
+      t.backend = std::move(uring);
+      t.actual = "uring";
+    } else {
+      fprintf(stderr, "io-backend=uring unavailable (%s); using posix\n",
+              probe.ToString().c_str());
+    }
+  }
+  if (t.backend == nullptr) {
+    t.backend = NewPosixEnv(EnvOptions{});
+    t.actual = "posix";
+  }
+  t.stats = std::make_unique<IoStats>();
+  t.env = std::make_unique<CountingEnv>(t.backend.get(), t.stats.get(),
+                                        kPageSize);
+  if (spec.block_cache_bytes > 0) {
+    t.cache = std::make_unique<BlockCache>(spec.block_cache_bytes);
+  }
+
+  DbOptions options;
+  options.env = t.env.get();
+  options.merge_policy = spec.policy;
+  options.size_ratio = spec.size_ratio;
+  options.buffer_size_bytes = spec.buffer_bytes;
+  options.bits_per_entry = spec.bits_per_entry;
+  options.page_size = kPageSize;
+  options.block_cache = t.cache.get();
+  options.expected_entries = spec.num_keys;
+  if (spec.monkey_filters) options.fpr_policy = monkey::NewMonkeyFprPolicy();
+
+  Status s = DB::Open(options, dir, &t.db);
+  if (!s.ok()) {
+    fprintf(stderr, "Open(%s) failed: %s\n", dir.c_str(),
+            s.ToString().c_str());
+    abort();
+  }
+  WriteOptions wo;
+  Random rng(20170514);
+  const std::string value(spec.value_size, 'v');
+  uint64_t step = 0;
+  do {
+    step = 1 + rng.Uniform(spec.num_keys - 1);
+  } while (std::gcd<uint64_t, uint64_t>(step, spec.num_keys) != 1);
+  uint64_t pos = rng.Uniform(spec.num_keys);
+  for (int i = 0; i < spec.num_keys; i++) {
+    pos = (pos + step) % spec.num_keys;
+    if (!t.db->Put(wo, MakeKey(pos), value).ok()) abort();
+  }
+  if (!t.db->Flush().ok()) abort();
+  return t;
+}
+
+// Closes the DB and removes its on-disk files (the bench owns `dir`).
+inline void DestroyIoBackendDb(IoBackendDb* t) {
+  t->db.reset();
+  std::vector<std::string> children;
+  if (t->backend->GetChildren(t->dir, &children).ok()) {
+    for (const std::string& child : children) {
+      t->backend->RemoveFile(t->dir + "/" + child).ok();
+    }
+  }
+  ::rmdir(t->dir.c_str());
+  t->env.reset();
+  t->uring = nullptr;
+  t->backend.reset();
 }
 
 struct LookupResult {

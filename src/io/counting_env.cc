@@ -35,6 +35,42 @@ class CountingRandomAccessFile : public RandomAccessFile {
     return s;
   }
 
+  // When the base can submit the span as one unit, the batch is charged as
+  // ONE device access (read_calls += 1) carrying the per-request page
+  // counts — that is the syscall collapse BENCH_io.json measures. A
+  // loop-only base goes through our own counted Read instead, so counts
+  // stay identical to issuing the reads one by one.
+  Status ReadBatch(ReadRequest* reqs, size_t count) const override {
+    if (!base_->SupportsReadBatch()) {
+      return RandomAccessFile::ReadBatch(reqs, count);
+    }
+    Status s = base_->ReadBatch(reqs, count);
+    if (!s.ok()) return s;
+    uint64_t pages = 0;
+    uint64_t bytes = 0;
+    for (size_t i = 0; i < count; i++) {
+      if (!reqs[i].status.ok() || reqs[i].result.empty()) continue;
+      const uint64_t first_page = reqs[i].offset / page_size_;
+      const uint64_t last_page =
+          (reqs[i].offset + reqs[i].result.size() - 1) / page_size_;
+      pages += last_page - first_page + 1;
+      bytes += reqs[i].result.size();
+    }
+    stats_->AddBatchRead(count, pages, bytes);
+    if (PerfCountsEnabled()) {
+      IOStatsContext* io = GetIOStatsContext();
+      io->read_calls += count;
+      io->bytes_read += bytes;
+      io->batch_reads++;
+      io->batch_read_requests += count;
+    }
+    return Status::OK();
+  }
+
+  bool SupportsReadBatch() const override {
+    return base_->SupportsReadBatch();
+  }
+
   // Hints are free: the eventual Read is charged as usual, so I/O counts
   // are identical whether or not the caller prefetches.
   void ReadAhead(uint64_t offset, size_t n) const override {

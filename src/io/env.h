@@ -31,6 +31,18 @@ class SequentialFile {
   virtual Status Skip(uint64_t n) = 0;
 };
 
+// One element of a batched random-access read. The caller owns scratch
+// (which must have room for n bytes); on completion result points into
+// scratch and status holds the per-request outcome. Short results indicate
+// EOF, exactly as with RandomAccessFile::Read.
+struct ReadRequest {
+  uint64_t offset = 0;
+  size_t n = 0;
+  char* scratch = nullptr;
+  Slice result;
+  Status status;
+};
+
 // Random-access read-only file (SSTables).
 class RandomAccessFile {
  public:
@@ -40,13 +52,36 @@ class RandomAccessFile {
   virtual Status Read(uint64_t offset, size_t n, Slice* result,
                       char* scratch) const = 0;
 
+  // Batched read: completes every request before returning, filling each
+  // request's result and status. The default implementation is a loop of
+  // Read() calls — one syscall (or simulated device access) per request —
+  // so every file supports the interface; backends that can hand the whole
+  // batch to the device at once (UringEnv: one io_uring_enter for the
+  // entire span) override it and return true from SupportsReadBatch().
+  // Thread-safe; requests may target overlapping ranges.
+  virtual Status ReadBatch(ReadRequest* reqs, size_t count) const {
+    for (size_t i = 0; i < count; i++) {
+      reqs[i].status =
+          Read(reqs[i].offset, reqs[i].n, &reqs[i].result, reqs[i].scratch);
+    }
+    return Status::OK();
+  }
+
+  // True iff ReadBatch submits the batch as one unit (amortizing one
+  // syscall over the span) rather than looping over Read. Callers use this
+  // to decide between the batched fetch plan and per-block fan-out, and
+  // instrumentation layers (CountingEnv) use it to count syscalls
+  // faithfully.
+  virtual bool SupportsReadBatch() const { return false; }
+
   // Asynchronous-read hint: [offset, offset + n) will be read soon, so the
   // device can start the transfer now and overlap it with whatever the
   // caller does in the meantime (an NVMe queue at depth > 1). Thread-safe,
   // fire-and-forget, never fails; a subsequent Read of the range returns
   // the data as usual, just (on devices that honor the hint) with the
   // already-elapsed transfer time deducted from its latency. Default:
-  // no-op. PosixEnv forwards to posix_fadvise(WILLNEED); LatencyEnv
+  // no-op. PosixEnv forwards to posix_fadvise(WILLNEED) — clamped to the
+  // file size and deduplicated against already-hinted windows; LatencyEnv
   // timestamps the hint and charges only the remaining latency.
   virtual void ReadAhead(uint64_t offset, size_t n) const {}
 };
@@ -85,8 +120,25 @@ class Env {
                             const std::string& target) = 0;
 };
 
+// Which real-filesystem I/O backend a DB opened without an explicit Env
+// uses (DbOptions::io_backend). kUring falls back to kPosix automatically
+// when io_uring is unavailable at runtime.
+enum class IoBackend { kPosix, kUring };
+
+// Backend construction knobs shared by PosixEnv and UringEnv factories.
+struct EnvOptions {
+  // Open SSTable (random-access) files with O_DIRECT and perform aligned
+  // reads, bypassing the OS page cache so the BlockCache is the cache
+  // being measured. Filesystems that reject O_DIRECT (tmpfs) fall back to
+  // buffered reads per file, counted in the backend's stats.
+  bool use_direct_io = false;
+};
+
 // Process-wide POSIX environment singleton. Do not delete.
 Env* GetPosixEnv();
+
+// A PosixEnv with non-default options (use_direct_io). The caller owns it.
+std::unique_ptr<Env> NewPosixEnv(const EnvOptions& options);
 
 // Creates a fresh, empty in-memory environment. Deterministic and fast;
 // the default substrate for tests and I/O-count experiments.

@@ -20,7 +20,9 @@ struct IoStatsSnapshot {
   uint64_t write_ios = 0;      // Page-granular writes (appends).
   uint64_t bytes_read = 0;
   uint64_t bytes_written = 0;
-  uint64_t read_calls = 0;     // Number of Read() invocations.
+  uint64_t read_calls = 0;     // Device accesses (one per batched submit).
+  uint64_t batch_reads = 0;          // Batched submissions (ReadBatch).
+  uint64_t batch_read_requests = 0;  // Requests carried by those batches.
 
   IoStatsSnapshot operator-(const IoStatsSnapshot& rhs) const {
     IoStatsSnapshot d;
@@ -29,6 +31,8 @@ struct IoStatsSnapshot {
     d.bytes_read = bytes_read - rhs.bytes_read;
     d.bytes_written = bytes_written - rhs.bytes_written;
     d.read_calls = read_calls - rhs.read_calls;
+    d.batch_reads = batch_reads - rhs.batch_reads;
+    d.batch_read_requests = batch_read_requests - rhs.batch_read_requests;
     return d;
   }
 };
@@ -46,6 +50,17 @@ class IoStats {
     bytes_written_.fetch_add(bytes, std::memory_order_relaxed);
   }
 
+  // A batched submission of `requests` reads totaling `pages`/`bytes`,
+  // handed to the device as ONE access (so read_calls grows by 1, not by
+  // `requests` — that collapse is what the batch path is measured on).
+  void AddBatchRead(uint64_t requests, uint64_t pages, uint64_t bytes) {
+    read_ios_.fetch_add(pages, std::memory_order_relaxed);
+    bytes_read_.fetch_add(bytes, std::memory_order_relaxed);
+    read_calls_.fetch_add(1, std::memory_order_relaxed);
+    batch_reads_.fetch_add(1, std::memory_order_relaxed);
+    batch_read_requests_.fetch_add(requests, std::memory_order_relaxed);
+  }
+
   IoStatsSnapshot Snapshot() const {
     IoStatsSnapshot s;
     s.read_ios = read_ios_.load(std::memory_order_relaxed);
@@ -53,6 +68,9 @@ class IoStats {
     s.bytes_read = bytes_read_.load(std::memory_order_relaxed);
     s.bytes_written = bytes_written_.load(std::memory_order_relaxed);
     s.read_calls = read_calls_.load(std::memory_order_relaxed);
+    s.batch_reads = batch_reads_.load(std::memory_order_relaxed);
+    s.batch_read_requests =
+        batch_read_requests_.load(std::memory_order_relaxed);
     return s;
   }
 
@@ -62,6 +80,8 @@ class IoStats {
     bytes_read_.store(0);
     bytes_written_.store(0);
     read_calls_.store(0);
+    batch_reads_.store(0);
+    batch_read_requests_.store(0);
   }
 
  private:
@@ -70,6 +90,8 @@ class IoStats {
   std::atomic<uint64_t> bytes_read_{0};
   std::atomic<uint64_t> bytes_written_{0};
   std::atomic<uint64_t> read_calls_{0};
+  std::atomic<uint64_t> batch_reads_{0};
+  std::atomic<uint64_t> batch_read_requests_{0};
 };
 
 // Converts I/O counts into simulated seconds.

@@ -132,6 +132,37 @@ class LatencyEnv : public Env {
       return base_->Read(offset, n, result, scratch);
     }
 
+    // A batched submission overlaps at the simulated device: all requests
+    // are in flight together, so the caller waits once for the slowest
+    // remaining transfer instead of summing per-request latencies. That
+    // models exactly what an io_uring batch buys on hardware with queue
+    // depth > 1.
+    Status ReadBatch(ReadRequest* reqs, size_t count) const override {
+      PerfTimer timer(&GetIOStatsContext()->read_nanos);
+      auto max_remaining = std::chrono::microseconds(0);
+      {
+        MutexLock lock(mu_);
+        for (size_t i = 0; i < count; i++) {
+          auto remaining = latency_;
+          auto it = inflight_.find(reqs[i].offset);
+          if (it != inflight_.end()) {
+            const auto elapsed =
+                std::chrono::duration_cast<std::chrono::microseconds>(
+                    std::chrono::steady_clock::now() - it->second);
+            remaining = elapsed >= latency_ ? std::chrono::microseconds(0)
+                                            : latency_ - elapsed;
+            inflight_.erase(it);
+          }
+          if (remaining > max_remaining) max_remaining = remaining;
+        }
+      }
+      if (max_remaining.count() > 0)
+        std::this_thread::sleep_for(max_remaining);
+      return base_->ReadBatch(reqs, count);
+    }
+
+    bool SupportsReadBatch() const override { return true; }
+
     void ReadAhead(uint64_t offset, size_t n) const override {
       base_->ReadAhead(offset, n);
       MutexLock lock(mu_);

@@ -7,9 +7,13 @@
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
+#include <map>
 
+#include "io/aligned_read.h"
 #include "io/env.h"
 #include "obs/perf_context.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 // The leaf Env doing real syscalls feeds both halves of the calling
 // thread's IOStatsContext: call/byte counts (perf level >= kCounts) and
@@ -57,28 +61,63 @@ class PosixSequentialFile : public SequentialFile {
 
 class PosixRandomAccessFile : public RandomAccessFile {
  public:
-  PosixRandomAccessFile(std::string fname, int fd)
-      : fname_(std::move(fname)), fd_(fd) {}
+  PosixRandomAccessFile(std::string fname, int fd, uint64_t file_size,
+                        bool direct)
+      : fname_(std::move(fname)),
+        fd_(fd),
+        file_size_(file_size),
+        direct_(direct) {}
   ~PosixRandomAccessFile() override { ::close(fd_); }
 
   Status Read(uint64_t offset, size_t n, Slice* result,
               char* scratch) const override {
     PerfTimer timer(&GetIOStatsContext()->read_nanos);
-    ssize_t r = ::pread(fd_, scratch, n, static_cast<off_t>(offset));
-    if (r < 0) return PosixError(fname_, errno);
-    *result = Slice(scratch, static_cast<size_t>(r));
-    if (PerfCountsEnabled()) {
+    Status s = direct_ ? DirectRead(offset, n, result, scratch)
+                       : BufferedRead(offset, n, result, scratch);
+    if (s.ok() && PerfCountsEnabled()) {
       IOStatsContext* io = GetIOStatsContext();
       io->read_calls++;
-      io->bytes_read += static_cast<uint64_t>(r);
+      io->bytes_read += result->size();
     }
-    return Status::OK();
+    return s;
   }
 
+  // WILLNEED hints are advisory, so issuing one twice only wastes a
+  // syscall — but deep scan readahead re-hints the same window on every
+  // slot refill, and past EOF the kernel just ignores the range. Clamp to
+  // the file size and skip windows already fully covered by a prior hint.
   void ReadAhead(uint64_t offset, size_t n) const override {
+    // Direct mode bypasses the page cache; there is nothing to stage.
+    if (direct_) return;
 #ifdef POSIX_FADV_WILLNEED
-    ::posix_fadvise(fd_, static_cast<off_t>(offset),
-                    static_cast<off_t>(n), POSIX_FADV_WILLNEED);
+    if (offset >= file_size_ || n == 0) return;
+    const uint64_t avail = file_size_ - offset;
+    uint64_t start = offset;
+    uint64_t end = offset + (n < avail ? n : avail);
+    {
+      MutexLock lock(hint_mu_);
+      // Merge with every hinted window touching [start, end); if one of
+      // them already contains it, the hint is a duplicate.
+      auto it = hinted_.upper_bound(start);
+      if (it != hinted_.begin()) {
+        auto prev = std::prev(it);
+        if (prev->second >= end) return;  // Fully covered.
+        if (prev->second >= start) {
+          start = prev->first;
+          it = hinted_.erase(prev);
+        }
+      }
+      while (it != hinted_.end() && it->first <= end) {
+        if (it->second > end) end = it->second;
+        it = hinted_.erase(it);
+      }
+      // Unbounded scans would otherwise grow the window map for the life
+      // of the file; resetting just allows an occasional re-hint.
+      if (hinted_.size() >= kMaxHintWindows) hinted_.clear();
+      hinted_.emplace(start, end);
+    }
+    ::posix_fadvise(fd_, static_cast<off_t>(start),
+                    static_cast<off_t>(end - start), POSIX_FADV_WILLNEED);
 #else
     (void)offset;
     (void)n;
@@ -86,8 +125,60 @@ class PosixRandomAccessFile : public RandomAccessFile {
   }
 
  private:
+  static constexpr size_t kMaxHintWindows = 1024;
+
+  Status BufferedRead(uint64_t offset, size_t n, Slice* result,
+                      char* scratch) const {
+    ssize_t r = ::pread(fd_, scratch, n, static_cast<off_t>(offset));
+    if (r < 0) return PosixError(fname_, errno);
+    *result = Slice(scratch, static_cast<size_t>(r));
+    return Status::OK();
+  }
+
+  // O_DIRECT read: fetch the smallest aligned window enclosing the range
+  // into a bounce buffer, then copy the range out. Result is byte-identical
+  // to a buffered read, including short reads at the tail.
+  Status DirectRead(uint64_t offset, size_t n, Slice* result,
+                    char* scratch) const {
+    if (offset >= file_size_ || n == 0) {
+      *result = Slice(scratch, 0);
+      return Status::OK();
+    }
+    const uint64_t astart = AlignDown(offset);
+    uint64_t window = AlignUp(offset + n) - astart;
+    if (astart + window > AlignUp(file_size_)) {
+      window = AlignUp(file_size_) - astart;
+    }
+    AlignedBufferPtr buf = AllocAligned(static_cast<size_t>(window));
+    if (buf == nullptr) {
+      return Status::IoError("out of memory for aligned read");
+    }
+    size_t filled = 0;
+    while (filled < window) {
+      ssize_t r = ::pread(fd_, buf.get() + filled, window - filled,
+                          static_cast<off_t>(astart + filled));
+      if (r < 0) {
+        if (errno == EINTR) continue;
+        return PosixError(fname_, errno);
+      }
+      if (r == 0) break;  // EOF.
+      filled += static_cast<size_t>(r);
+    }
+    const uint64_t lead = offset - astart;
+    const size_t avail = filled > lead ? filled - lead : 0;
+    const size_t to_copy = n < avail ? n : avail;
+    memcpy(scratch, buf.get() + lead, to_copy);
+    *result = Slice(scratch, to_copy);
+    return Status::OK();
+  }
+
   std::string fname_;
   int fd_;
+  uint64_t file_size_;
+  bool direct_;
+  // Coalesced [start, end) windows already hinted via posix_fadvise.
+  mutable Mutex hint_mu_;
+  mutable std::map<uint64_t, uint64_t> hinted_ GUARDED_BY(hint_mu_);
 };
 
 class PosixWritableFile : public WritableFile {
@@ -144,6 +235,9 @@ class PosixWritableFile : public WritableFile {
 
 class PosixEnv : public Env {
  public:
+  PosixEnv() = default;
+  explicit PosixEnv(const EnvOptions& options) : options_(options) {}
+
   Status NewSequentialFile(const std::string& fname,
                            std::unique_ptr<SequentialFile>* result) override {
     int fd = ::open(fname.c_str(), O_RDONLY);
@@ -155,9 +249,31 @@ class PosixEnv : public Env {
   Status NewRandomAccessFile(
       const std::string& fname,
       std::unique_ptr<RandomAccessFile>* result) override {
-    int fd = ::open(fname.c_str(), O_RDONLY);
+    bool direct = options_.use_direct_io;
+    int flags = O_RDONLY;
+#ifdef O_DIRECT
+    if (direct) flags |= O_DIRECT;
+#else
+    direct = false;
+#endif
+    int fd = ::open(fname.c_str(), flags);
+#ifdef O_DIRECT
+    if (fd < 0 && direct && (errno == EINVAL || errno == EOPNOTSUPP)) {
+      // Filesystem without O_DIRECT support (tmpfs and friends): degrade
+      // to buffered reads for this file.
+      direct = false;
+      fd = ::open(fname.c_str(), O_RDONLY);
+    }
+#endif
     if (fd < 0) return PosixError(fname, errno);
-    *result = std::make_unique<PosixRandomAccessFile>(fname, fd);
+    struct stat st;
+    if (::fstat(fd, &st) != 0) {
+      const int err = errno;
+      ::close(fd);
+      return PosixError(fname, err);
+    }
+    *result = std::make_unique<PosixRandomAccessFile>(
+        fname, fd, static_cast<uint64_t>(st.st_size), direct);
     return Status::OK();
   }
 
@@ -213,6 +329,9 @@ class PosixEnv : public Env {
     }
     return Status::OK();
   }
+
+ private:
+  EnvOptions options_;
 };
 
 }  // namespace
@@ -220,6 +339,10 @@ class PosixEnv : public Env {
 Env* GetPosixEnv() {
   static PosixEnv* env = new PosixEnv;
   return env;
+}
+
+std::unique_ptr<Env> NewPosixEnv(const EnvOptions& options) {
+  return std::make_unique<PosixEnv>(options);
 }
 
 }  // namespace monkeydb

@@ -1,0 +1,762 @@
+#include "io/uring_env.h"
+
+#include <fcntl.h>
+#include <linux/io_uring.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <vector>
+
+#include "io/aligned_read.h"
+#include "obs/perf_context.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+// Raw-syscall io_uring backend: the container toolchain has the kernel UAPI
+// header but no liburing, so the ring (setup, mmaps, SQE/CQE traffic,
+// registration) is managed here directly. That also keeps the probe honest:
+// a seccomp filter that blocks the syscalls fails the probe and the engine
+// falls back to PosixEnv instead of crashing mid-read.
+//
+// Like posix_env.cc, this is a leaf Env doing real syscalls: it feeds the
+// calling thread's IOStatsContext. Don't stack CountingEnv's per-thread
+// accounting expectations on top (the page-granular IoStats is fine).
+
+namespace monkeydb {
+
+namespace {
+
+Status PosixError(const std::string& context, int err) {
+  if (err == ENOENT) return Status::NotFound(context);
+  return Status::IoError(context + ": " + strerror(err));
+}
+
+int SysIoUringSetup(unsigned entries, io_uring_params* p) {
+  return static_cast<int>(syscall(__NR_io_uring_setup, entries, p));
+}
+
+int SysIoUringEnter(int fd, unsigned to_submit, unsigned min_complete,
+                    unsigned flags) {
+  return static_cast<int>(syscall(__NR_io_uring_enter, fd, to_submit,
+                                  min_complete, flags, nullptr, 0));
+}
+
+int SysIoUringRegister(int fd, unsigned opcode, const void* arg,
+                       unsigned nr_args) {
+  return static_cast<int>(syscall(__NR_io_uring_register, fd, opcode, arg,
+                                  nr_args));
+}
+
+// Ring indices live in kernel-shared memory; access them with explicit
+// atomic builtins (the kernel is the other side of the synchronization).
+inline unsigned LoadAcquire(const unsigned* p) {
+  return __atomic_load_n(p, __ATOMIC_ACQUIRE);
+}
+inline void StoreRelease(unsigned* p, unsigned v) {
+  __atomic_store_n(p, v, __ATOMIC_RELEASE);
+}
+
+std::atomic<bool> g_force_unsupported{false};
+std::atomic<uint64_t> g_fallback_events{0};
+
+struct UringStats {
+  std::atomic<uint64_t> sqes_submitted{0};
+  std::atomic<uint64_t> batch_submits{0};
+  std::atomic<uint64_t> batched_requests{0};
+  std::atomic<uint64_t> short_read_retries{0};
+  std::atomic<uint64_t> fixed_file_reads{0};
+  std::atomic<uint64_t> fixed_buffer_reads{0};
+  std::atomic<uint64_t> direct_io_fallbacks{0};
+  std::atomic<uint64_t> bounce_copies{0};
+};
+
+// One read operation as the ring sees it. In direct mode buf/len/offset
+// describe the aligned window, not the caller's range.
+struct RingOp {
+  int fd = -1;
+  int fixed_file = -1;  // Registered-file slot, or -1 for a raw fd.
+  int buf_index = -1;   // Registered-buffer index (READ_FIXED), or -1.
+  uint64_t offset = 0;
+  char* buf = nullptr;
+  unsigned len = 0;
+  ssize_t res = 0;  // Completion result (bytes or -errno).
+};
+
+// The shared ring: SQ/CQ mmaps, fixed-file table, registered buffer pool.
+// Batch submission is serialized by mu_ — the syscall itself dominates, and
+// one enter per batch is the entire point.
+class Ring {
+ public:
+  ~Ring() {
+    if (buffer_mem_ != nullptr) {
+      // Buffers are unregistered implicitly when the ring fd closes.
+      buffer_mem_.reset();
+    }
+    if (sqes_ != nullptr) munmap(sqes_, sqes_size_);
+    if (cq_ptr_ != nullptr && cq_ptr_ != sq_ptr_) munmap(cq_ptr_, cq_size_);
+    if (sq_ptr_ != nullptr) munmap(sq_ptr_, sq_size_);
+    if (ring_fd_ >= 0) ::close(ring_fd_);
+  }
+
+  Status Init(const UringEnvOptions& options, UringStats* stats) {
+    stats_ = stats;
+    io_uring_params p;
+    memset(&p, 0, sizeof(p));
+    ring_fd_ = SysIoUringSetup(options.ring_entries, &p);
+    if (ring_fd_ < 0) {
+      return Status::NotSupported(std::string("io_uring_setup: ") +
+                                  strerror(errno));
+    }
+    sq_entries_ = p.sq_entries;
+
+    sq_size_ = p.sq_off.array + p.sq_entries * sizeof(unsigned);
+    cq_size_ = p.cq_off.cqes + p.cq_entries * sizeof(io_uring_cqe);
+    const bool single_mmap = (p.features & IORING_FEAT_SINGLE_MMAP) != 0;
+    if (single_mmap) {
+      sq_size_ = cq_size_ = sq_size_ > cq_size_ ? sq_size_ : cq_size_;
+    }
+    sq_ptr_ = mmap(nullptr, sq_size_, PROT_READ | PROT_WRITE,
+                   MAP_SHARED | MAP_POPULATE, ring_fd_, IORING_OFF_SQ_RING);
+    if (sq_ptr_ == MAP_FAILED) {
+      sq_ptr_ = nullptr;
+      return Status::NotSupported("io_uring sq mmap failed");
+    }
+    if (single_mmap) {
+      cq_ptr_ = sq_ptr_;
+    } else {
+      cq_ptr_ = mmap(nullptr, cq_size_, PROT_READ | PROT_WRITE,
+                     MAP_SHARED | MAP_POPULATE, ring_fd_,
+                     IORING_OFF_CQ_RING);
+      if (cq_ptr_ == MAP_FAILED) {
+        cq_ptr_ = nullptr;
+        return Status::NotSupported("io_uring cq mmap failed");
+      }
+    }
+    sqes_size_ = p.sq_entries * sizeof(io_uring_sqe);
+    sqes_ = static_cast<io_uring_sqe*>(
+        mmap(nullptr, sqes_size_, PROT_READ | PROT_WRITE,
+             MAP_SHARED | MAP_POPULATE, ring_fd_, IORING_OFF_SQES));
+    if (sqes_ == MAP_FAILED) {
+      sqes_ = nullptr;
+      return Status::NotSupported("io_uring sqe mmap failed");
+    }
+
+    char* sq = static_cast<char*>(sq_ptr_);
+    char* cq = static_cast<char*>(cq_ptr_);
+    sq_head_ = reinterpret_cast<unsigned*>(sq + p.sq_off.head);
+    sq_tail_ = reinterpret_cast<unsigned*>(sq + p.sq_off.tail);
+    sq_mask_ = *reinterpret_cast<unsigned*>(sq + p.sq_off.ring_mask);
+    sq_array_ = reinterpret_cast<unsigned*>(sq + p.sq_off.array);
+    cq_head_ = reinterpret_cast<unsigned*>(cq + p.cq_off.head);
+    cq_tail_ = reinterpret_cast<unsigned*>(cq + p.cq_off.tail);
+    cq_mask_ = *reinterpret_cast<unsigned*>(cq + p.cq_off.ring_mask);
+    cqes_ = reinterpret_cast<io_uring_cqe*>(cq + p.cq_off.cqes);
+
+    // Fixed-file table: sparse registration, slots filled per open file.
+    if (options.fixed_file_slots > 0) {
+      std::vector<int> fds(options.fixed_file_slots, -1);
+      if (SysIoUringRegister(ring_fd_, IORING_REGISTER_FILES, fds.data(),
+                             options.fixed_file_slots) == 0) {
+        MutexLock lock(mu_);
+        files_registered_ = true;
+        free_file_slots_.reserve(options.fixed_file_slots);
+        for (unsigned i = 0; i < options.fixed_file_slots; i++) {
+          free_file_slots_.push_back(static_cast<int>(i));
+        }
+      }
+    }
+
+    // Registered bounce buffers for the O_DIRECT path: READ_FIXED lands in
+    // pre-pinned, alignment-correct memory, skipping the per-read pin.
+    if (options.use_direct_io) {
+      buffer_size_ = kFixedBufferBytes;
+      buffer_mem_ = AllocAligned(kNumFixedBuffers * buffer_size_);
+      if (buffer_mem_ != nullptr) {
+        std::vector<iovec> iovecs(kNumFixedBuffers);
+        for (unsigned i = 0; i < kNumFixedBuffers; i++) {
+          iovecs[i].iov_base = buffer_mem_.get() + i * buffer_size_;
+          iovecs[i].iov_len = buffer_size_;
+        }
+        if (SysIoUringRegister(ring_fd_, IORING_REGISTER_BUFFERS,
+                               iovecs.data(), kNumFixedBuffers) == 0) {
+          MutexLock lock(mu_);
+          buffers_registered_ = true;
+          free_buffers_.reserve(kNumFixedBuffers);
+          for (unsigned i = 0; i < kNumFixedBuffers; i++) {
+            free_buffers_.push_back(static_cast<int>(i));
+          }
+        } else {
+          buffer_mem_.reset();
+        }
+      }
+    }
+    return Status::OK();
+  }
+
+  // Submits all ops and waits for every completion; op.res holds each
+  // outcome. Chunks batches larger than the SQ.
+  Status SubmitAndWait(RingOp* ops, size_t count) EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    size_t done = 0;
+    uint64_t enters = 0;
+    while (done < count) {
+      const unsigned chunk = static_cast<unsigned>(
+          count - done < sq_entries_ ? count - done : sq_entries_);
+      unsigned tail = LoadAcquire(sq_tail_);
+      for (unsigned i = 0; i < chunk; i++) {
+        const unsigned idx = (tail + i) & sq_mask_;
+        io_uring_sqe* sqe = &sqes_[idx];
+        memset(sqe, 0, sizeof(*sqe));
+        const RingOp& op = ops[done + i];
+        sqe->opcode = op.buf_index >= 0
+                          ? static_cast<uint8_t>(IORING_OP_READ_FIXED)
+                          : static_cast<uint8_t>(IORING_OP_READ);
+        if (op.fixed_file >= 0) {
+          sqe->fd = op.fixed_file;
+          sqe->flags |= IOSQE_FIXED_FILE;
+          stats_->fixed_file_reads.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          sqe->fd = op.fd;
+        }
+        sqe->addr = reinterpret_cast<uint64_t>(op.buf);
+        sqe->len = op.len;
+        sqe->off = op.offset;
+        if (op.buf_index >= 0) {
+          sqe->buf_index = static_cast<uint16_t>(op.buf_index);
+          stats_->fixed_buffer_reads.fetch_add(1, std::memory_order_relaxed);
+        }
+        sqe->user_data = done + i;
+        sq_array_[idx] = idx;
+      }
+      StoreRelease(sq_tail_, tail + chunk);
+
+      unsigned submitted = 0;
+      unsigned completed = 0;
+      while (submitted < chunk || completed < chunk) {
+        const unsigned to_submit = chunk - submitted;
+        const int ret = SysIoUringEnter(ring_fd_, to_submit,
+                                        chunk - completed,
+                                        IORING_ENTER_GETEVENTS);
+        enters++;
+        if (ret < 0) {
+          if (errno != EINTR && errno != EAGAIN && errno != EBUSY) {
+            return Status::IoError(std::string("io_uring_enter: ") +
+                                   strerror(errno));
+          }
+        } else {
+          submitted += static_cast<unsigned>(ret);
+        }
+        unsigned head = LoadAcquire(cq_head_);
+        const unsigned cq_tail = LoadAcquire(cq_tail_);
+        while (head != cq_tail && completed < chunk) {
+          const io_uring_cqe* cqe = &cqes_[head & cq_mask_];
+          ops[cqe->user_data].res = cqe->res;
+          head++;
+          completed++;
+        }
+        StoreRelease(cq_head_, head);
+      }
+      done += chunk;
+    }
+    stats_->sqes_submitted.fetch_add(count, std::memory_order_relaxed);
+    stats_->batch_submits.fetch_add(enters, std::memory_order_relaxed);
+    return Status::OK();
+  }
+
+  // Registered-file slots. -1 = table full/unavailable (use the raw fd).
+  int RegisterFile(int fd) EXCLUDES(mu_) {
+    int slot;
+    {
+      MutexLock lock(mu_);
+      if (!files_registered_ || free_file_slots_.empty()) return -1;
+      slot = free_file_slots_.back();
+      free_file_slots_.pop_back();
+    }
+    if (!UpdateFileSlot(slot, fd)) {
+      MutexLock lock(mu_);
+      free_file_slots_.push_back(slot);
+      return -1;
+    }
+    return slot;
+  }
+
+  void UnregisterFile(int slot) EXCLUDES(mu_) {
+    if (slot < 0) return;
+    UpdateFileSlot(slot, -1);
+    MutexLock lock(mu_);
+    free_file_slots_.push_back(slot);
+  }
+
+  // Registered bounce buffers. -1 = pool exhausted (fall back to an ad hoc
+  // aligned allocation and a plain READ).
+  int AcquireBuffer() EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    if (!buffers_registered_ || free_buffers_.empty()) return -1;
+    const int idx = free_buffers_.back();
+    free_buffers_.pop_back();
+    return idx;
+  }
+
+  void ReleaseBuffer(int idx) EXCLUDES(mu_) {
+    if (idx < 0) return;
+    MutexLock lock(mu_);
+    free_buffers_.push_back(idx);
+  }
+
+  char* BufferData(int idx) { return buffer_mem_.get() + idx * buffer_size_; }
+  size_t buffer_size() const { return buffer_size_; }
+
+ private:
+  static constexpr unsigned kNumFixedBuffers = 64;
+  // Covers the aligned window of any page-sized data block with room to
+  // spare; larger reads (index/filter blocks at Open) take the ad hoc path.
+  static constexpr size_t kFixedBufferBytes = 64 * 1024;
+
+  bool UpdateFileSlot(int slot, int fd) {
+    int fds[1] = {fd};
+    io_uring_files_update update;
+    memset(&update, 0, sizeof(update));
+    update.offset = static_cast<uint32_t>(slot);
+    update.fds = reinterpret_cast<uint64_t>(fds);
+    return SysIoUringRegister(ring_fd_, IORING_REGISTER_FILES_UPDATE,
+                              &update, 1) == 1;
+  }
+
+  int ring_fd_ = -1;
+  unsigned sq_entries_ = 0;
+  void* sq_ptr_ = nullptr;
+  void* cq_ptr_ = nullptr;
+  size_t sq_size_ = 0;
+  size_t cq_size_ = 0;
+  io_uring_sqe* sqes_ = nullptr;
+  size_t sqes_size_ = 0;
+  unsigned* sq_head_ = nullptr;
+  unsigned* sq_tail_ = nullptr;
+  unsigned sq_mask_ = 0;
+  unsigned* sq_array_ = nullptr;
+  unsigned* cq_head_ = nullptr;
+  unsigned* cq_tail_ = nullptr;
+  unsigned cq_mask_ = 0;
+  io_uring_cqe* cqes_ = nullptr;
+  UringStats* stats_ = nullptr;
+
+  Mutex mu_;
+  bool files_registered_ GUARDED_BY(mu_) = false;
+  std::vector<int> free_file_slots_ GUARDED_BY(mu_);
+  bool buffers_registered_ GUARDED_BY(mu_) = false;
+  std::vector<int> free_buffers_ GUARDED_BY(mu_);
+  AlignedBufferPtr buffer_mem_;
+  size_t buffer_size_ = 0;
+};
+
+// Random-access file on the ring. Single reads use pread (queue depth 1
+// gains nothing from a ring); ReadBatch is the batched path.
+class UringRandomAccessFile : public RandomAccessFile {
+ public:
+  UringRandomAccessFile(std::string fname, int fd, uint64_t file_size,
+                        bool direct, std::shared_ptr<Ring> ring,
+                        UringStats* stats)
+      : fname_(std::move(fname)),
+        fd_(fd),
+        file_size_(file_size),
+        direct_(direct),
+        ring_(std::move(ring)),
+        stats_(stats),
+        fixed_slot_(ring_->RegisterFile(fd)) {}
+
+  ~UringRandomAccessFile() override {
+    ring_->UnregisterFile(fixed_slot_);
+    ::close(fd_);
+  }
+
+  Status Read(uint64_t offset, size_t n, Slice* result,
+              char* scratch) const override {
+    PerfTimer timer(&GetIOStatsContext()->read_nanos);
+    Status s = direct_ ? DirectPread(offset, n, result, scratch)
+                       : BufferedPread(offset, n, result, scratch);
+    if (s.ok() && PerfCountsEnabled()) {
+      IOStatsContext* io = GetIOStatsContext();
+      io->read_calls++;
+      io->bytes_read += result->size();
+    }
+    return s;
+  }
+
+  Status ReadBatch(ReadRequest* reqs, size_t count) const override {
+    PerfTimer timer(&GetIOStatsContext()->read_nanos);
+    if (count == 0) return Status::OK();
+
+    // Per-request completion state. In direct mode the ring op reads the
+    // aligned enclosing window into a registered (or ad hoc aligned)
+    // buffer; the caller's range is copied out at the end.
+    struct OpState {
+      RingOp op;
+      uint64_t window_start = 0;  // == request offset in buffered mode.
+      size_t want = 0;            // Window (direct) or request (buffered).
+      size_t filled = 0;
+      int pool_buffer = -1;
+      AlignedBufferPtr owned;
+      bool finished = false;
+    };
+    std::vector<OpState> states(count);
+    std::vector<size_t> pending;
+    pending.reserve(count);
+
+    for (size_t i = 0; i < count; i++) {
+      ReadRequest& req = reqs[i];
+      OpState& st = states[i];
+      req.status = Status::OK();
+      // Random-access files are immutable SSTables: clamping at the open
+      // file size turns tail reads into exact transfers instead of a
+      // zero-byte retry round.
+      if (req.offset >= file_size_ || req.n == 0) {
+        req.result = Slice(req.scratch, 0);
+        st.finished = true;
+        continue;
+      }
+      if (direct_) {
+        const uint64_t astart = AlignDown(req.offset);
+        const uint64_t aend = AlignUp(req.offset + req.n) < file_size_
+                                  ? AlignUp(req.offset + req.n)
+                                  : AlignUp(file_size_);
+        uint64_t window = aend - astart;
+        // The window never needs to extend past EOF: the device stops
+        // there anyway, and a short aligned read is valid under O_DIRECT.
+        if (astart + window > AlignUp(file_size_)) {
+          window = AlignUp(file_size_) - astart;
+        }
+        st.window_start = astart;
+        st.want = static_cast<size_t>(window);
+        st.pool_buffer =
+            st.want <= ring_->buffer_size() ? ring_->AcquireBuffer() : -1;
+        if (st.pool_buffer >= 0) {
+          st.op.buf = ring_->BufferData(st.pool_buffer);
+          st.op.buf_index = st.pool_buffer;
+        } else {
+          st.owned = AllocAligned(st.want);
+          if (st.owned == nullptr) {
+            req.status = Status::IoError("out of memory for aligned read");
+            st.finished = true;
+            continue;
+          }
+          st.op.buf = st.owned.get();
+        }
+        st.op.offset = astart;
+        st.op.len = static_cast<unsigned>(st.want);
+      } else {
+        st.window_start = req.offset;
+        const uint64_t avail = file_size_ - req.offset;
+        st.want = req.n < avail ? req.n : static_cast<size_t>(avail);
+        st.op.buf = req.scratch;
+        st.op.offset = req.offset;
+        st.op.len = static_cast<unsigned>(st.want);
+      }
+      st.op.fd = fd_;
+      st.op.fixed_file = fixed_slot_;
+      pending.push_back(i);
+    }
+
+    // Submit, then re-submit remainders until every op is settled: a
+    // result short of the clamped length is a transient short read (or
+    // EAGAIN/EINTR), never EOF, so it retries with advanced offset/buffer.
+    Status ring_status = Status::OK();
+    while (!pending.empty() && ring_status.ok()) {
+      std::vector<RingOp> round(pending.size());
+      for (size_t r = 0; r < pending.size(); r++) {
+        round[r] = states[pending[r]].op;
+      }
+      ring_status = ring_->SubmitAndWait(round.data(), round.size());
+      if (!ring_status.ok()) break;
+      std::vector<size_t> next;
+      for (size_t r = 0; r < round.size(); r++) {
+        const size_t i = pending[r];
+        OpState& st = states[i];
+        const ssize_t res = round[r].res;
+        if (res == -EAGAIN || res == -EINTR) {
+          stats_->short_read_retries.fetch_add(1, std::memory_order_relaxed);
+          next.push_back(i);
+          continue;
+        }
+        if (res < 0) {
+          reqs[i].status = PosixError(fname_, static_cast<int>(-res));
+          st.finished = true;
+          continue;
+        }
+        st.filled += static_cast<size_t>(res);
+        if (res > 0 && st.filled < st.want) {
+          stats_->short_read_retries.fetch_add(1, std::memory_order_relaxed);
+          st.op.buf += res;
+          st.op.offset += static_cast<uint64_t>(res);
+          st.op.len = static_cast<unsigned>(st.want - st.filled);
+          next.push_back(i);
+          continue;
+        }
+        st.finished = true;  // Fully filled, or EOF (res == 0).
+      }
+      pending = std::move(next);
+    }
+    if (!ring_status.ok()) {
+      for (size_t i : pending) reqs[i].status = ring_status;
+    }
+
+    uint64_t bytes = 0;
+    for (size_t i = 0; i < count; i++) {
+      ReadRequest& req = reqs[i];
+      OpState& st = states[i];
+      if (direct_ && req.status.ok() && st.op.buf != nullptr &&
+          !(req.offset >= file_size_ || req.n == 0)) {
+        const uint64_t lead = req.offset - st.window_start;
+        const size_t avail =
+            st.filled > lead ? static_cast<size_t>(st.filled - lead) : 0;
+        const size_t to_copy = req.n < avail ? req.n : avail;
+        const char* src = (st.pool_buffer >= 0
+                               ? ring_->BufferData(st.pool_buffer)
+                               : st.owned.get()) +
+                          lead;
+        memcpy(req.scratch, src, to_copy);
+        req.result = Slice(req.scratch, to_copy);
+        stats_->bounce_copies.fetch_add(1, std::memory_order_relaxed);
+      } else if (!direct_ && req.status.ok() &&
+                 !(req.offset >= file_size_ || req.n == 0)) {
+        req.result = Slice(req.scratch, st.filled < req.n ? st.filled
+                                                          : req.n);
+      }
+      ring_->ReleaseBuffer(st.pool_buffer);
+      if (req.status.ok()) bytes += req.result.size();
+    }
+
+    stats_->batched_requests.fetch_add(count, std::memory_order_relaxed);
+    if (PerfCountsEnabled()) {
+      IOStatsContext* io = GetIOStatsContext();
+      io->read_calls += count;
+      io->bytes_read += bytes;
+      io->batch_reads++;
+      io->batch_read_requests += count;
+    }
+    return Status::OK();
+  }
+
+  bool SupportsReadBatch() const override { return true; }
+
+  void ReadAhead(uint64_t offset, size_t n) const override {
+    // Direct mode bypasses the page cache, so there is nothing for the
+    // kernel to stage; batched submission is the overlap mechanism.
+    if (direct_) return;
+#ifdef POSIX_FADV_WILLNEED
+    if (offset >= file_size_) return;
+    const uint64_t avail = file_size_ - offset;
+    ::posix_fadvise(fd_, static_cast<off_t>(offset),
+                    static_cast<off_t>(n < avail ? n : avail),
+                    POSIX_FADV_WILLNEED);
+#else
+    (void)offset;
+    (void)n;
+#endif
+  }
+
+ private:
+  Status BufferedPread(uint64_t offset, size_t n, Slice* result,
+                       char* scratch) const {
+    while (true) {
+      const ssize_t r = ::pread(fd_, scratch, n, static_cast<off_t>(offset));
+      if (r < 0) {
+        if (errno == EINTR) continue;
+        return PosixError(fname_, errno);
+      }
+      *result = Slice(scratch, static_cast<size_t>(r));
+      return Status::OK();
+    }
+  }
+
+  Status DirectPread(uint64_t offset, size_t n, Slice* result,
+                     char* scratch) const {
+    if (offset >= file_size_ || n == 0) {
+      *result = Slice(scratch, 0);
+      return Status::OK();
+    }
+    const uint64_t astart = AlignDown(offset);
+    uint64_t window = AlignUp(offset + n) - astart;
+    if (astart + window > AlignUp(file_size_)) {
+      window = AlignUp(file_size_) - astart;
+    }
+    AlignedBufferPtr buf = AllocAligned(static_cast<size_t>(window));
+    if (buf == nullptr) {
+      return Status::IoError("out of memory for aligned read");
+    }
+    size_t filled = 0;
+    while (filled < window) {
+      const ssize_t r = ::pread(fd_, buf.get() + filled, window - filled,
+                                static_cast<off_t>(astart + filled));
+      if (r < 0) {
+        if (errno == EINTR) continue;
+        return PosixError(fname_, errno);
+      }
+      if (r == 0) break;  // EOF.
+      filled += static_cast<size_t>(r);
+    }
+    const uint64_t lead = offset - astart;
+    const size_t avail = filled > lead ? filled - lead : 0;
+    const size_t to_copy = n < avail ? n : avail;
+    memcpy(scratch, buf.get() + lead, to_copy);
+    *result = Slice(scratch, to_copy);
+    stats_->bounce_copies.fetch_add(1, std::memory_order_relaxed);
+    return Status::OK();
+  }
+
+  std::string fname_;
+  int fd_;
+  uint64_t file_size_;
+  bool direct_;
+  std::shared_ptr<Ring> ring_;
+  UringStats* stats_;
+  int fixed_slot_;
+};
+
+}  // namespace
+
+class UringEnv::Impl {
+ public:
+  UringEnvOptions options;
+  std::shared_ptr<Ring> ring;
+  UringStats stats;
+  Env* posix = GetPosixEnv();
+};
+
+UringEnv::UringEnv(std::unique_ptr<Impl> impl) : impl_(std::move(impl)) {}
+
+UringEnv::~UringEnv() = default;
+
+Status UringEnv::NewSequentialFile(const std::string& fname,
+                                   std::unique_ptr<SequentialFile>* result) {
+  return impl_->posix->NewSequentialFile(fname, result);
+}
+
+Status UringEnv::NewRandomAccessFile(
+    const std::string& fname, std::unique_ptr<RandomAccessFile>* result) {
+  int flags = O_RDONLY;
+  bool direct = impl_->options.use_direct_io;
+#ifdef O_DIRECT
+  if (direct) flags |= O_DIRECT;
+#else
+  direct = false;
+#endif
+  int fd = ::open(fname.c_str(), flags);
+#ifdef O_DIRECT
+  if (fd < 0 && direct && (errno == EINVAL || errno == EOPNOTSUPP)) {
+    // Filesystem without O_DIRECT (tmpfs and friends): buffered reads are
+    // the correct degradation, counted so benches can tell.
+    direct = false;
+    fd = ::open(fname.c_str(), O_RDONLY);
+    impl_->stats.direct_io_fallbacks.fetch_add(1, std::memory_order_relaxed);
+  }
+#endif
+  if (fd < 0) return PosixError(fname, errno);
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return PosixError(fname, err);
+  }
+  *result = std::make_unique<UringRandomAccessFile>(
+      fname, fd, static_cast<uint64_t>(st.st_size), direct, impl_->ring,
+      &impl_->stats);
+  return Status::OK();
+}
+
+Status UringEnv::NewWritableFile(const std::string& fname,
+                                 std::unique_ptr<WritableFile>* result) {
+  return impl_->posix->NewWritableFile(fname, result);
+}
+
+bool UringEnv::FileExists(const std::string& fname) {
+  return impl_->posix->FileExists(fname);
+}
+Status UringEnv::GetChildren(const std::string& dir,
+                             std::vector<std::string>* result) {
+  return impl_->posix->GetChildren(dir, result);
+}
+Status UringEnv::RemoveFile(const std::string& fname) {
+  return impl_->posix->RemoveFile(fname);
+}
+Status UringEnv::CreateDir(const std::string& dirname) {
+  return impl_->posix->CreateDir(dirname);
+}
+Status UringEnv::GetFileSize(const std::string& fname, uint64_t* size) {
+  return impl_->posix->GetFileSize(fname, size);
+}
+Status UringEnv::RenameFile(const std::string& src,
+                            const std::string& target) {
+  return impl_->posix->RenameFile(src, target);
+}
+
+UringStatsSnapshot UringEnv::Stats() const {
+  const UringStats& s = impl_->stats;
+  UringStatsSnapshot out;
+  out.sqes_submitted = s.sqes_submitted.load(std::memory_order_relaxed);
+  out.batch_submits = s.batch_submits.load(std::memory_order_relaxed);
+  out.batched_requests = s.batched_requests.load(std::memory_order_relaxed);
+  out.short_read_retries =
+      s.short_read_retries.load(std::memory_order_relaxed);
+  out.fixed_file_reads = s.fixed_file_reads.load(std::memory_order_relaxed);
+  out.fixed_buffer_reads =
+      s.fixed_buffer_reads.load(std::memory_order_relaxed);
+  out.direct_io_fallbacks =
+      s.direct_io_fallbacks.load(std::memory_order_relaxed);
+  out.bounce_copies = s.bounce_copies.load(std::memory_order_relaxed);
+  return out;
+}
+
+const UringEnvOptions& UringEnv::options() const { return impl_->options; }
+
+std::unique_ptr<UringEnv> NewUringEnv(const UringEnvOptions& options,
+                                      Status* status) {
+  if (g_force_unsupported.load(std::memory_order_relaxed)) {
+    if (status != nullptr) {
+      *status = Status::NotSupported("io_uring disabled for testing");
+    }
+    return nullptr;
+  }
+  auto impl = std::make_unique<UringEnv::Impl>();
+  impl->options = options;
+  if (impl->options.ring_entries == 0) impl->options.ring_entries = 256;
+  impl->ring = std::make_shared<Ring>();
+  Status s = impl->ring->Init(impl->options, &impl->stats);
+  if (!s.ok()) {
+    if (status != nullptr) *status = s;
+    return nullptr;
+  }
+  if (status != nullptr) *status = Status::OK();
+  return std::unique_ptr<UringEnv>(new UringEnv(std::move(impl)));
+}
+
+bool IoUringSupported() {
+  if (g_force_unsupported.load(std::memory_order_relaxed)) return false;
+  static const bool supported = [] {
+    io_uring_params p;
+    memset(&p, 0, sizeof(p));
+    const int fd = SysIoUringSetup(4, &p);
+    if (fd < 0) return false;
+    ::close(fd);
+    return true;
+  }();
+  return supported;
+}
+
+void ForceUringUnsupportedForTesting(bool forced) {
+  g_force_unsupported.store(forced, std::memory_order_relaxed);
+}
+
+uint64_t UringFallbackEvents() {
+  return g_fallback_events.load(std::memory_order_relaxed);
+}
+
+void RecordUringFallbackEvent() {
+  g_fallback_events.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace monkeydb

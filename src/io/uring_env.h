@@ -1,0 +1,114 @@
+// UringEnv: a batched io_uring I/O backend behind the Env abstraction.
+//
+// Random-access reads (the SSTable lookup path) go through a shared
+// io_uring: RandomAccessFile::ReadBatch fills one SQE per request and hands
+// the entire span to the kernel with a single io_uring_enter, completions
+// harvested in the same call. Files register themselves into the ring's
+// fixed-file table (IOSQE_FIXED_FILE) when a slot is free, and the
+// O_DIRECT mode reads through registered, alignment-correct buffers
+// (IORING_OP_READ_FIXED). Everything else — writable files, sequential
+// recovery reads, directory ops — delegates to PosixEnv: the write path is
+// append+fsync-bound and gains nothing from a ring.
+//
+// The backend is built on raw syscalls (io_uring_setup/enter/register), so
+// it probes for kernel support at construction and the caller falls back
+// to PosixEnv when the probe fails (old kernels, seccomp-filtered
+// containers). DB::Open performs that fallback automatically for
+// DbOptions::io_backend = kUring and logs it.
+
+#ifndef MONKEYDB_IO_URING_ENV_H_
+#define MONKEYDB_IO_URING_ENV_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "io/env.h"
+
+namespace monkeydb {
+
+// Lifetime counters of one UringEnv (relaxed atomics underneath; a
+// snapshot is not a consistent cut but every field is monotone).
+struct UringStatsSnapshot {
+  uint64_t sqes_submitted = 0;      // Read SQEs pushed into the ring.
+  uint64_t batch_submits = 0;       // io_uring_enter calls (batched reads).
+  uint64_t batched_requests = 0;    // Requests carried by those calls.
+  uint64_t short_read_retries = 0;  // Re-submitted partial/EAGAIN reads.
+  uint64_t fixed_file_reads = 0;    // SQEs that used a registered file slot.
+  uint64_t fixed_buffer_reads = 0;  // SQEs that used a registered buffer.
+  uint64_t direct_io_fallbacks = 0; // O_DIRECT opens the fs rejected.
+  uint64_t bounce_copies = 0;       // Aligned-window copies (direct mode).
+
+  // Mean requests per batched syscall — the amortization the backend
+  // exists to deliver.
+  double BatchedPerSyscall() const {
+    return batch_submits == 0
+               ? 0.0
+               : static_cast<double>(batched_requests) /
+                     static_cast<double>(batch_submits);
+  }
+};
+
+class UringEnv;
+
+struct UringEnvOptions : EnvOptions {
+  // Submission-queue depth. Batches larger than this are chunked across
+  // multiple io_uring_enter calls.
+  unsigned ring_entries = 256;
+  // Size of the fixed-file registration table (0 disables registration).
+  unsigned fixed_file_slots = 128;
+};
+
+// Creates an io_uring-backed Env, probing for kernel support. Returns null
+// with *status describing the failure when io_uring is unavailable; the
+// caller is expected to fall back to PosixEnv.
+std::unique_ptr<UringEnv> NewUringEnv(const UringEnvOptions& options,
+                                      Status* status);
+
+// One cached process-wide probe: can this kernel/container set up a ring?
+bool IoUringSupported();
+
+// Testing hook: force every subsequent probe (and NewUringEnv call) to
+// report io_uring as unsupported, exercising the automatic PosixEnv
+// fallback on kernels that do support it. Pass false to restore reality.
+void ForceUringUnsupportedForTesting(bool forced);
+
+// Process-wide count of kUring -> kPosix fallbacks (DB::Open increments it
+// whenever the probe fails; tests and the CI fallback leg assert on it).
+uint64_t UringFallbackEvents();
+void RecordUringFallbackEvent();
+
+class UringEnv : public Env {
+ public:
+  ~UringEnv() override;
+
+  Status NewSequentialFile(const std::string& fname,
+                           std::unique_ptr<SequentialFile>* result) override;
+  Status NewRandomAccessFile(
+      const std::string& fname,
+      std::unique_ptr<RandomAccessFile>* result) override;
+  Status NewWritableFile(const std::string& fname,
+                         std::unique_ptr<WritableFile>* result) override;
+
+  bool FileExists(const std::string& fname) override;
+  Status GetChildren(const std::string& dir,
+                     std::vector<std::string>* result) override;
+  Status RemoveFile(const std::string& fname) override;
+  Status CreateDir(const std::string& dirname) override;
+  Status GetFileSize(const std::string& fname, uint64_t* size) override;
+  Status RenameFile(const std::string& src,
+                    const std::string& target) override;
+
+  UringStatsSnapshot Stats() const;
+  const UringEnvOptions& options() const;
+
+ private:
+  friend std::unique_ptr<UringEnv> NewUringEnv(const UringEnvOptions&,
+                                               Status*);
+  class Impl;
+  explicit UringEnv(std::unique_ptr<Impl> impl);
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace monkeydb
+
+#endif  // MONKEYDB_IO_URING_ENV_H_

@@ -4,11 +4,13 @@
 #include <cassert>
 #include <chrono>
 #include <cstdlib>
+#include <cstring>
 #include <cmath>
 #include <map>
 #include <set>
 #include <thread>
 
+#include "io/uring_env.h"
 #include "lsm/merging_iterator.h"
 #include "obs/exposition.h"
 #include "obs/perf_context.h"
@@ -92,29 +94,72 @@ std::string DB::WalFileName(uint64_t number) const {
 
 Status DB::Open(const DbOptions& options, const std::string& name,
                 std::unique_ptr<DB>* dbptr) {
-  if (options.env == nullptr) {
-    return Status::InvalidArgument("DbOptions::env is required");
+  // No explicit Env: construct (and own) the real-filesystem backend named
+  // by io_backend/use_direct_io. kUring probes at runtime and falls back
+  // to the posix backend automatically, with a log line and a fallback-
+  // counter bump, so the same binary runs on kernels without io_uring.
+  DbOptions resolved = options;
+  std::unique_ptr<Env> owned_env;
+  UringEnv* uring_env = nullptr;
+  if (resolved.env == nullptr) {
+    IoBackend backend = resolved.io_backend;
+    if (const char* override_name = getenv("MONKEYDB_IO_BACKEND")) {
+      if (strcmp(override_name, "uring") == 0) {
+        backend = IoBackend::kUring;
+      } else if (strcmp(override_name, "posix") == 0) {
+        backend = IoBackend::kPosix;
+      }
+    }
+    if (backend == IoBackend::kUring) {
+      UringEnvOptions uring_options;
+      uring_options.use_direct_io = resolved.use_direct_io;
+      Status uring_status;
+      auto env = NewUringEnv(uring_options, &uring_status);
+      if (env != nullptr) {
+        uring_env = env.get();
+        owned_env = std::move(env);
+        if (resolved.info_log != nullptr) {
+          resolved.info_log->Info("io backend: uring (direct_io=%d)",
+                                  resolved.use_direct_io ? 1 : 0);
+        }
+      } else {
+        RecordUringFallbackEvent();
+        if (resolved.info_log != nullptr) {
+          resolved.info_log->Warn(
+              "io_uring unavailable (%s); falling back to posix backend",
+              uring_status.ToString().c_str());
+        }
+      }
+    }
+    if (owned_env == nullptr) {
+      EnvOptions env_options;
+      env_options.use_direct_io = resolved.use_direct_io;
+      owned_env = NewPosixEnv(env_options);
+    }
+    resolved.env = owned_env.get();
   }
-  if (options.size_ratio < 2.0) {
+  if (resolved.size_ratio < 2.0) {
     return Status::InvalidArgument("size_ratio must be >= 2");
   }
-  if (options.max_immutable_memtables < 1) {
+  if (resolved.max_immutable_memtables < 1) {
     return Status::InvalidArgument("max_immutable_memtables must be >= 1");
   }
-  if (options.compaction_threads < 1) {
+  if (resolved.compaction_threads < 1) {
     return Status::InvalidArgument("compaction_threads must be >= 1");
   }
-  if (options.scan_readahead_blocks < 0) {
+  if (resolved.scan_readahead_blocks < 0) {
     return Status::InvalidArgument("scan_readahead_blocks must be >= 0");
   }
-  if (options.read_io_threads < 0) {
+  if (resolved.read_io_threads < 0) {
     return Status::InvalidArgument("read_io_threads must be >= 0");
   }
-  MONKEYDB_RETURN_IF_ERROR(options.env->CreateDir(name));
+  MONKEYDB_RETURN_IF_ERROR(resolved.env->CreateDir(name));
 
-  auto db = std::unique_ptr<DB>(new DB(options, name));
-  if (options.read_io_threads > 0) {
-    db->read_pool_ = std::make_unique<ThreadPool>(options.read_io_threads);
+  auto db = std::unique_ptr<DB>(new DB(resolved, name));
+  db->owned_env_ = std::move(owned_env);
+  db->uring_env_ = uring_env;
+  if (resolved.read_io_threads > 0) {
+    db->read_pool_ = std::make_unique<ThreadPool>(resolved.read_io_threads);
   }
   MONKEYDB_RETURN_IF_ERROR(db->Recover());
   *dbptr = std::move(db);
@@ -1036,12 +1081,42 @@ std::vector<Status> DB::MultiGet(const ReadOptions& options,
       fetches[fi].handle = probe.handle;
     }
   }
-  // fetch_index iterates in (file, offset) order; issue the hints in that
-  // order too.
+  // fetch_index iterates in (file, offset) order.
   std::vector<size_t> fetch_order;
   fetch_order.reserve(fetches.size());
-  for (const auto& [key, fi] : fetch_index) {
-    fetch_order.push_back(fi);
+  for (const auto& [key, fi] : fetch_index) fetch_order.push_back(fi);
+
+  // Partition the (sorted, hence per-table contiguous) plan: multi-block
+  // groups on batch-capable tables are submitted to the device as ONE
+  // ReadBatch each — the whole per-table fetch plan in one io_uring_enter
+  // on the uring backend. Everything else keeps the classic path: an
+  // async-read hint per block, then per-block fan-out.
+  struct BatchGroup {
+    const TableReader* table;
+    std::vector<size_t> fis;
+  };
+  std::vector<BatchGroup> groups;
+  std::vector<size_t> singles;
+  for (size_t pos = 0; pos < fetch_order.size();) {
+    const TableReader* table = fetches[fetch_order[pos]].table;
+    size_t end = pos;
+    while (end < fetch_order.size() &&
+           fetches[fetch_order[end]].table == table) {
+      end++;
+    }
+    if (table->SupportsBatchReads() && end - pos > 1) {
+      groups.push_back(BatchGroup{
+          table, std::vector<size_t>(fetch_order.begin() + pos,
+                                     fetch_order.begin() + end)});
+    } else {
+      for (size_t k = pos; k < end; k++) singles.push_back(fetch_order[k]);
+    }
+    pos = end;
+  }
+  // Hints go out for every classic-path block before the first read, so
+  // those reads overlap. Batched groups need no hints: the single
+  // submission is the overlap mechanism.
+  for (size_t fi : singles) {
     fetches[fi].table->HintBlock(fetches[fi].handle);
   }
   auto fetch_one = [&fetches](size_t fi) {
@@ -1049,15 +1124,36 @@ std::vector<Status> DB::MultiGet(const ReadOptions& options,
     f.status = f.table->ReadBlockShared(
         f.handle, BlockCache::InsertPriority::kHigh, &f.contents);
   };
-  if (read_pool_ != nullptr && fetches.size() > 1) {
+  auto fetch_group = [&fetches](const BatchGroup& g) {
+    std::vector<BlockHandle> handles(g.fis.size());
+    std::vector<std::shared_ptr<const std::string>> contents(g.fis.size());
+    std::vector<Status> statuses(g.fis.size());
+    for (size_t k = 0; k < g.fis.size(); k++) {
+      handles[k] = fetches[g.fis[k]].handle;
+    }
+    Status batch = g.table->ReadBlocksShared(
+        handles.data(), handles.size(), BlockCache::InsertPriority::kHigh,
+        contents.data(), statuses.data());
+    for (size_t k = 0; k < g.fis.size(); k++) {
+      BlockFetch& f = fetches[g.fis[k]];
+      f.status = batch.ok() ? statuses[k] : batch;
+      f.contents = std::move(contents[k]);
+    }
+  };
+  const size_t num_tasks = singles.size() + groups.size();
+  if (read_pool_ != nullptr && num_tasks > 1) {
     std::vector<std::function<void()>> tasks;
-    tasks.reserve(fetch_order.size());
-    for (size_t fi : fetch_order) {
+    tasks.reserve(num_tasks);
+    for (size_t fi : singles) {
       tasks.push_back([&fetch_one, fi] { fetch_one(fi); });
+    }
+    for (const BatchGroup& g : groups) {
+      tasks.push_back([&fetch_group, &g] { fetch_group(g); });
     }
     read_pool_->RunBatch(std::move(tasks));
   } else {
-    for (size_t fi : fetch_order) fetch_one(fi);
+    for (size_t fi : singles) fetch_one(fi);
+    for (const BatchGroup& g : groups) fetch_group(g);
   }
 
   // Stage 4: resolve each key against its blocks in run order (newest
@@ -2261,6 +2357,21 @@ std::string DB::DumpMetrics(MetricsFormat format) const {
     w.Field("deepest_level", static_cast<uint64_t>(stats.deepest_level));
     w.Field("filter_bits", stats.filter_bits_total);
     w.EndObject();
+    if (uring_env_ != nullptr) {
+      const UringStatsSnapshot io = uring_env_->Stats();
+      w.BeginObject("io_uring");
+      w.Field("sqes_submitted", io.sqes_submitted);
+      w.Field("batch_submits", io.batch_submits);
+      w.Field("batched_requests", io.batched_requests);
+      w.Field("batched_per_syscall", io.BatchedPerSyscall());
+      w.Field("short_read_retries", io.short_read_retries);
+      w.Field("fixed_file_reads", io.fixed_file_reads);
+      w.Field("fixed_buffer_reads", io.fixed_buffer_reads);
+      w.Field("direct_io_fallbacks", io.direct_io_fallbacks);
+      w.Field("bounce_copies", io.bounce_copies);
+      w.Field("probe_fallback_events", UringFallbackEvents());
+      w.EndObject();
+    }
     w.BeginObject("fpr");
     w.Field("predicted_lookup_cost", predicted_r);
     w.Field("measured_lookup_cost", measured_r);
@@ -2351,6 +2462,30 @@ std::string DB::DumpMetrics(MetricsFormat format) const {
           static_cast<double>(stats.deepest_level));
   w.Gauge("monkeydb_filter_bits", "Total Bloom filter bits",
           static_cast<double>(stats.filter_bits_total));
+  if (uring_env_ != nullptr) {
+    const UringStatsSnapshot io = uring_env_->Stats();
+    w.Counter("monkeydb_uring_sqes_submitted_total",
+              "Read SQEs pushed into the io_uring",
+              static_cast<double>(io.sqes_submitted));
+    w.Counter("monkeydb_uring_batch_submits_total",
+              "io_uring_enter calls for batched reads",
+              static_cast<double>(io.batch_submits));
+    w.Counter("monkeydb_uring_batched_requests_total",
+              "Read requests carried by batched submissions",
+              static_cast<double>(io.batched_requests));
+    w.Gauge("monkeydb_uring_batched_per_syscall",
+            "Mean read requests per batched io_uring_enter",
+            io.BatchedPerSyscall());
+    w.Counter("monkeydb_uring_short_read_retries_total",
+              "Re-submitted partial/EAGAIN reads",
+              static_cast<double>(io.short_read_retries));
+    w.Counter("monkeydb_uring_direct_io_fallbacks_total",
+              "O_DIRECT opens rejected by the filesystem",
+              static_cast<double>(io.direct_io_fallbacks));
+    w.Counter("monkeydb_uring_probe_fallbacks_total",
+              "kUring -> kPosix fallbacks (probe failed)",
+              static_cast<double>(UringFallbackEvents()));
+  }
 
   w.DeclareGauge("monkey_predicted_fpr",
                  "Per-level run FPR assigned by the allocation policy for "

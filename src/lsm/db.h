@@ -61,6 +61,8 @@
 
 namespace monkeydb {
 
+class UringEnv;
+
 // Aggregate statistics for experiments and debugging.
 struct DbStats {
   uint64_t memtable_entries = 0;  // Active + frozen memtables.
@@ -427,6 +429,14 @@ class DB {
   Status FlushOldestImmutable() REQUIRES(mu_);
   // Blocks until the immutable queue is empty and the worker is idle.
   Status WaitForDrain() REQUIRES(mu_);
+
+  // Backend Env constructed by Open when DbOptions::env was null. Declared
+  // first so it is destroyed last — every table file, WAL, and manifest
+  // below was created by it.
+  std::unique_ptr<Env> owned_env_;
+  // Non-null iff owned_env_ is the io_uring backend; exposes its counters
+  // (sqes submitted, batched-per-syscall ratio, retries) to DumpMetrics.
+  UringEnv* uring_env_ = nullptr;
 
   const DbOptions options_;
   const std::string name_;

@@ -20,9 +20,29 @@
 namespace monkeydb {
 
 struct DbOptions {
-  // Storage environment. Required (use NewMemEnv() or GetPosixEnv(),
-  // optionally wrapped in a CountingEnv).
+  // Storage environment (use NewMemEnv() or GetPosixEnv(), optionally
+  // wrapped in a CountingEnv). Null = the DB constructs and owns a
+  // real-filesystem backend chosen by io_backend/use_direct_io below.
   Env* env = nullptr;
+
+  // --- I/O substrate (consulted only when env == nullptr; see DESIGN.md
+  // §12 "I/O substrate") ---
+
+  // Which real-filesystem backend to build. kUring submits the batched
+  // read plans (MultiGet stage 3, scan readahead windows) to the kernel as
+  // one io_uring_enter each; it probes for io_uring at Open and falls back
+  // to kPosix automatically — with a log line and a fallback-counter bump
+  // — on kernels/containers without it. The MONKEYDB_IO_BACKEND
+  // environment variable ("posix"/"uring") overrides this knob, so CI can
+  // sweep backends without rebuilding.
+  IoBackend io_backend = IoBackend::kPosix;
+
+  // Open SSTables with O_DIRECT and read via aligned windows, bypassing
+  // the OS page cache so block_cache is the only cache in the experiment.
+  // Filesystems that reject O_DIRECT (tmpfs) degrade to buffered reads per
+  // file. Adds exactly one aligned bounce copy per block read; the default
+  // buffered path reads straight into the block's final storage.
+  bool use_direct_io = false;
 
   const Comparator* comparator = nullptr;  // Defaults to bytewise.
 

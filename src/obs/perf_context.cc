@@ -123,6 +123,8 @@ std::string IOStatsContext::ToString() const {
   AppendField(&out, "read_calls", read_calls, false);
   AppendField(&out, "write_calls", write_calls, false);
   AppendField(&out, "fsync_calls", fsync_calls, false);
+  AppendField(&out, "batch_reads", batch_reads, false);
+  AppendField(&out, "batch_read_requests", batch_read_requests, false);
   AppendField(&out, "read_nanos", read_nanos, false);
   AppendField(&out, "write_nanos", write_nanos, false);
   AppendField(&out, "fsync_nanos", fsync_nanos, false);

@@ -88,6 +88,12 @@ struct IOStatsContext {
   uint64_t read_calls = 0;
   uint64_t write_calls = 0;
   uint64_t fsync_calls = 0;
+  // Batched random reads (RandomAccessFile::ReadBatch on a batch-capable
+  // backend): submissions and the requests they carried. read_calls above
+  // still counts every request, so requests-per-submission is
+  // batch_read_requests / batch_reads.
+  uint64_t batch_reads = 0;
+  uint64_t batch_read_requests = 0;
   uint64_t read_nanos = 0;
   uint64_t write_nanos = 0;
   uint64_t fsync_nanos = 0;

@@ -27,16 +27,12 @@ Status Footer::DecodeFrom(Slice input) {
   return index_handle.DecodeFrom(&handles);
 }
 
-Status ReadBlockContents(RandomAccessFile* file, const BlockHandle& handle,
-                         std::string* contents) {
-  const size_t n = handle.size + kBlockTrailerSize;
-  auto buf = std::make_unique<char[]>(n);
-  Slice result;
-  MONKEYDB_RETURN_IF_ERROR(file->Read(handle.offset, n, &result, buf.get()));
-  if (result.size() != n) {
+Status VerifyAndStripBlockTrailer(const BlockHandle& handle,
+                                  std::string* raw) {
+  if (raw->size() != handle.size + kBlockTrailerSize) {
     return Status::Corruption("truncated block read");
   }
-  const char* data = result.data();
+  const char* data = raw->data();
   const uint32_t expected = UnmaskCrc(DecodeFixed32(data + handle.size + 1));
   const uint32_t actual = Crc32c(data, handle.size + 1);
   if (expected != actual) {
@@ -45,8 +41,30 @@ Status ReadBlockContents(RandomAccessFile* file, const BlockHandle& handle,
   if (data[handle.size] != kNoCompression) {
     return Status::Corruption("unknown block type");
   }
-  contents->assign(data, handle.size);
+  raw->resize(handle.size);
   return Status::OK();
+}
+
+Status ReadBlockContents(RandomAccessFile* file, const BlockHandle& handle,
+                         std::string* contents) {
+  // Read straight into the destination string: the buffer handed to the
+  // cache is the buffer the device filled, so the buffered path has zero
+  // intermediate copies (O_DIRECT backends bounce once internally through
+  // an aligned window — see io/aligned_read.h).
+  const size_t n = handle.size + kBlockTrailerSize;
+  contents->resize(n);
+  Slice result;
+  MONKEYDB_RETURN_IF_ERROR(
+      file->Read(handle.offset, n, &result, contents->data()));
+  if (result.size() != n) {
+    return Status::Corruption("truncated block read");
+  }
+  // An env may return a slice into its own storage instead of scratch
+  // (MemEnv does); fold it back into the destination in that case.
+  if (result.data() != contents->data()) {
+    contents->assign(result.data(), result.size());
+  }
+  return VerifyAndStripBlockTrailer(handle, contents);
 }
 
 }  // namespace monkeydb

@@ -62,9 +62,18 @@ inline constexpr size_t kBlockTrailerSize = 5;
 inline constexpr char kNoCompression = 0x0;
 
 // Reads the block whose payload is described by handle, verifying the CRC.
-// On success *contents holds the payload bytes.
+// On success *contents holds the payload bytes. The read lands directly in
+// *contents' storage — no intermediate buffer or copy on the buffered path.
 Status ReadBlockContents(RandomAccessFile* file, const BlockHandle& handle,
                          std::string* contents);
+
+// Verifies the CRC + type tag of a raw block read (*raw holds payload +
+// 5-byte trailer, exactly handle.size + kBlockTrailerSize bytes) and strips
+// the trailer, leaving the payload in place. Shared by ReadBlockContents
+// and the batched fetch path, which reads many raw blocks in one
+// submission and verifies each afterwards.
+Status VerifyAndStripBlockTrailer(const BlockHandle& handle,
+                                  std::string* raw);
 
 }  // namespace monkeydb
 

@@ -112,6 +112,23 @@ class TableReader {
                          BlockCache::InsertPriority priority,
                          std::shared_ptr<const std::string>* contents) const;
 
+  // Batched ReadBlockShared: resolves `count` handles at once. Cache hits
+  // are served in place; all misses are submitted to the file as ONE
+  // ReadBatch (one device access on batch-capable backends), verified, and
+  // inserted into the cache. contents[i]/statuses[i] hold each block's
+  // outcome; the return value reports only whole-batch failures.
+  // Thread-safe. Falls back to a loop of ReadBlockShared when the file
+  // cannot batch.
+  Status ReadBlocksShared(const BlockHandle* handles, size_t count,
+                          BlockCache::InsertPriority priority,
+                          std::shared_ptr<const std::string>* contents,
+                          Status* statuses) const;
+
+  // True iff the underlying file turns ReadBlocksShared misses into one
+  // batched submission. Callers use it to pick between the batched fetch
+  // plan and per-block fan-out across read_io_threads.
+  bool SupportsBatchReads() const;
+
   // Async-read hint for the block at handle: tells the file's device the
   // bytes will be read soon so the transfer overlaps with other work.
   void HintBlock(const BlockHandle& handle) const;

@@ -2,6 +2,10 @@
 
 #include <cstring>
 
+#if defined(__aarch64__) && defined(__linux__)
+#include <sys/auxv.h>
+#endif
+
 namespace monkeydb {
 
 namespace {
@@ -99,32 +103,150 @@ uint64_t XxHash64(const void* data, size_t len, uint64_t seed) {
   return h;
 }
 
+// --- CRC32C ----------------------------------------------------------------
+//
+// One runtime dispatch per process: Crc32c() resolves to the hardware
+// CRC32C instructions (SSE4.2 crc32q / ARMv8 crc32cx) when the CPU
+// supports them and to portable slicing-by-8 otherwise. The hardware
+// instructions implement the same reflected Castagnoli polynomial, so
+// every implementation here is bit-identical on all inputs (checked by
+// hash_test and the micro bench).
+
 namespace {
 
-// Lazily built CRC32C (Castagnoli, reflected polynomial 0x82F63B78) table.
-struct Crc32cTable {
-  uint32_t t[256];
-  Crc32cTable() {
+// Lazily built slicing-by-8 tables: t[0] is the classic byte-at-a-time
+// table; t[k][b] advances byte b through k additional zero bytes, letting
+// the loop fold 8 input bytes per iteration with 8 independent loads.
+struct Crc32cTables {
+  uint32_t t[8][256];
+  Crc32cTables() {
     for (uint32_t i = 0; i < 256; i++) {
       uint32_t crc = i;
       for (int j = 0; j < 8; j++) {
         crc = (crc >> 1) ^ ((crc & 1) ? 0x82F63B78u : 0);
       }
-      t[i] = crc;
+      t[0][i] = crc;
+    }
+    for (int k = 1; k < 8; k++) {
+      for (uint32_t i = 0; i < 256; i++) {
+        t[k][i] = t[0][t[k - 1][i] & 0xFF] ^ (t[k - 1][i] >> 8);
+      }
     }
   }
 };
 
-}  // namespace
-
-uint32_t Crc32c(const void* data, size_t len) {
-  static const Crc32cTable table;
+uint32_t Crc32cSlicing8(const void* data, size_t len) {
+  static const Crc32cTables tables;
+  const auto* t = tables.t;
   const unsigned char* p = static_cast<const unsigned char*>(data);
   uint32_t crc = 0xFFFFFFFFu;
-  for (size_t i = 0; i < len; i++) {
-    crc = table.t[(crc ^ p[i]) & 0xFF] ^ (crc >> 8);
+  while (len >= 8) {
+    uint64_t chunk;
+    memcpy(&chunk, p, 8);
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_BIG_ENDIAN__
+    chunk = __builtin_bswap64(chunk);
+#endif
+    chunk ^= crc;
+    crc = t[7][chunk & 0xFF] ^ t[6][(chunk >> 8) & 0xFF] ^
+          t[5][(chunk >> 16) & 0xFF] ^ t[4][(chunk >> 24) & 0xFF] ^
+          t[3][(chunk >> 32) & 0xFF] ^ t[2][(chunk >> 40) & 0xFF] ^
+          t[1][(chunk >> 48) & 0xFF] ^ t[0][(chunk >> 56) & 0xFF];
+    p += 8;
+    len -= 8;
+  }
+  while (len-- > 0) {
+    crc = t[0][(crc ^ *p++) & 0xFF] ^ (crc >> 8);
   }
   return crc ^ 0xFFFFFFFFu;
 }
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define MONKEYDB_CRC32C_X86 1
+
+__attribute__((target("sse4.2"))) uint32_t Crc32cHardware(const void* data,
+                                                          size_t len) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  uint64_t crc = 0xFFFFFFFFu;
+  while (len >= 8) {
+    uint64_t chunk;
+    memcpy(&chunk, p, 8);
+    crc = __builtin_ia32_crc32di(crc, chunk);
+    p += 8;
+    len -= 8;
+  }
+  uint32_t crc32 = static_cast<uint32_t>(crc);
+  while (len-- > 0) {
+    crc32 = __builtin_ia32_crc32qi(crc32, *p++);
+  }
+  return crc32 ^ 0xFFFFFFFFu;
+}
+
+bool Crc32cHardwareSupported() { return __builtin_cpu_supports("sse4.2"); }
+const char* kCrc32cHardwareName = "sse4.2";
+
+#elif defined(__aarch64__) && (defined(__GNUC__) || defined(__clang__))
+#define MONKEYDB_CRC32C_ARM 1
+
+__attribute__((target("+crc"))) uint32_t Crc32cHardware(const void* data,
+                                                        size_t len) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  uint32_t crc = 0xFFFFFFFFu;
+  while (len >= 8) {
+    uint64_t chunk;
+    memcpy(&chunk, p, 8);
+    crc = __builtin_aarch64_crc32cx(crc, chunk);
+    p += 8;
+    len -= 8;
+  }
+  while (len-- > 0) {
+    crc = __builtin_aarch64_crc32cb(crc, *p++);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+bool Crc32cHardwareSupported() {
+#if defined(__linux__)
+  // HWCAP_CRC32 == (1 << 7) on aarch64 Linux.
+  return (getauxval(AT_HWCAP) & (1ul << 7)) != 0;
+#else
+  return false;
+#endif
+}
+const char* kCrc32cHardwareName = "armv8-crc";
+
+#endif
+
+using Crc32cFn = uint32_t (*)(const void*, size_t);
+
+struct Crc32cDispatch {
+  Crc32cFn fn;
+  const char* name;
+};
+
+Crc32cDispatch ResolveCrc32c() {
+#if defined(MONKEYDB_CRC32C_X86) || defined(MONKEYDB_CRC32C_ARM)
+  if (Crc32cHardwareSupported()) {
+    return {&Crc32cHardware, kCrc32cHardwareName};
+  }
+#endif
+  return {&Crc32cSlicing8, "portable-slicing8"};
+}
+
+const Crc32cDispatch& GetCrc32cDispatch() {
+  static const Crc32cDispatch dispatch = ResolveCrc32c();
+  return dispatch;
+}
+
+}  // namespace
+
+uint32_t Crc32c(const void* data, size_t len) {
+  return GetCrc32cDispatch().fn(data, len);
+}
+
+uint32_t Crc32cPortable(const void* data, size_t len) {
+  return Crc32cSlicing8(data, len);
+}
+
+const char* Crc32cImplName() { return GetCrc32cDispatch().name; }
 
 }  // namespace monkeydb

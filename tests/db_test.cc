@@ -246,8 +246,14 @@ INSTANTIATE_TEST_SUITE_P(
 
 TEST(DbBasics, RejectsBadOptions) {
   std::unique_ptr<DB> db;
+  // A null env is no longer an error: Open constructs the real-filesystem
+  // backend named by io_backend. An unwritable path surfaces as the
+  // backend's I/O error instead.
   DbOptions no_env;
-  EXPECT_TRUE(DB::Open(no_env, "/db", &db).IsInvalidArgument());
+  const Status no_env_status =
+      DB::Open(no_env, "/proc/monkeydb-cannot-create", &db);
+  EXPECT_FALSE(no_env_status.ok());
+  EXPECT_FALSE(no_env_status.IsInvalidArgument());
 
   auto env = NewMemEnv();
   DbOptions bad_ratio;

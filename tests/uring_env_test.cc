@@ -1,0 +1,381 @@
+// Tests for UringEnv: batched reads must be byte-identical to PosixEnv
+// (across block boundaries, short tails, EOF clamps), the forced-probe
+// failure must drive the automatic PosixEnv fallback in DB::Open, and the
+// O_DIRECT path must survive unaligned requests and partial tail blocks.
+//
+// Every test is skipped (not failed) when the kernel/container cannot set
+// up a ring — the CI fallback leg runs exactly that configuration.
+
+#include "io/uring_env.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "io/aligned_read.h"
+#include "lsm/db.h"
+#include "util/random.h"
+
+namespace monkeydb {
+namespace {
+
+std::string TestDir(const char* name) {
+  const std::string dir = std::filesystem::temp_directory_path() /
+                          (std::string("monkeydb_uring_test_") + name + "." +
+                           std::to_string(::getpid()));
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+// Writes `size` pseudo-random bytes to fname through env and returns them.
+std::string WriteRandomFile(Env* env, const std::string& fname, size_t size,
+                            uint32_t seed) {
+  Random rng(seed);
+  std::string data;
+  data.reserve(size);
+  for (size_t i = 0; i < size; i++) {
+    data.push_back(static_cast<char>(rng.Uniform(256)));
+  }
+  std::unique_ptr<WritableFile> file;
+  EXPECT_TRUE(env->NewWritableFile(fname, &file).ok());
+  EXPECT_TRUE(file->Append(data).ok());
+  EXPECT_TRUE(file->Close().ok());
+  return data;
+}
+
+// Opens a UringEnv with the given options, or GTEST_SKIPs the test when
+// the kernel/container cannot set up a ring.
+#define OPEN_URING_OR_SKIP(env_var, options)                               \
+  Status probe_status;                                                     \
+  auto env_var = NewUringEnv(options, &probe_status);                      \
+  if (env_var == nullptr) {                                                \
+    GTEST_SKIP() << "io_uring unavailable: " << probe_status.ToString();   \
+  }
+
+// Issues one ReadBatch over the given (offset, n) spans on both backends
+// and asserts byte-identical results and statuses.
+void CompareBatch(Env* posix, UringEnv* uring, const std::string& fname,
+                  const std::vector<std::pair<uint64_t, size_t>>& spans) {
+  std::unique_ptr<RandomAccessFile> pfile, ufile;
+  ASSERT_TRUE(posix->NewRandomAccessFile(fname, &pfile).ok());
+  ASSERT_TRUE(uring->NewRandomAccessFile(fname, &ufile).ok());
+  ASSERT_TRUE(ufile->SupportsReadBatch());
+
+  std::vector<std::string> pbufs(spans.size()), ubufs(spans.size());
+  std::vector<ReadRequest> preqs(spans.size()), ureqs(spans.size());
+  for (size_t i = 0; i < spans.size(); i++) {
+    pbufs[i].resize(spans[i].second + 1);
+    ubufs[i].resize(spans[i].second + 1);
+    preqs[i].offset = ureqs[i].offset = spans[i].first;
+    preqs[i].n = ureqs[i].n = spans[i].second;
+    preqs[i].scratch = pbufs[i].data();
+    ureqs[i].scratch = ubufs[i].data();
+  }
+  // PosixEnv has no batch primitive: the default ReadBatch loops over
+  // Read, which is the semantic baseline the ring must match.
+  ASSERT_TRUE(pfile->ReadBatch(preqs.data(), preqs.size()).ok());
+  ASSERT_TRUE(ufile->ReadBatch(ureqs.data(), ureqs.size()).ok());
+  for (size_t i = 0; i < spans.size(); i++) {
+    EXPECT_EQ(preqs[i].status.ok(), ureqs[i].status.ok())
+        << "span " << i << ": posix=" << preqs[i].status.ToString()
+        << " uring=" << ureqs[i].status.ToString();
+    if (!preqs[i].status.ok()) continue;
+    EXPECT_EQ(preqs[i].result.ToString(), ureqs[i].result.ToString())
+        << "span " << i << " offset=" << spans[i].first
+        << " n=" << spans[i].second;
+  }
+}
+
+TEST(UringEnv, BatchReadsByteIdenticalToPosix) {
+  OPEN_URING_OR_SKIP(uring, UringEnvOptions());
+  Env* posix = GetPosixEnv();
+  const std::string dir = TestDir("identical");
+  ASSERT_TRUE(posix->CreateDir(dir).ok());
+  const std::string fname = dir + "/blob";
+  // ~3.3 blocks of 4 KiB so spans can straddle boundaries and the tail.
+  const size_t kSize = 3 * 4096 + 1234;
+  WriteRandomFile(posix, fname, kSize, 42);
+
+  CompareBatch(posix, uring.get(), fname,
+               {
+                   {0, 100},                 // Head.
+                   {4096 - 50, 100},         // Straddles block 0/1 boundary.
+                   {2 * 4096 - 1, 4098},     // Straddles two boundaries.
+                   {kSize - 10, 10},         // Exact tail.
+                   {kSize - 10, 100},        // Clamped past EOF.
+                   {kSize + 5, 10},          // Entirely past EOF.
+                   {500, 0},                 // Empty request.
+                   {0, kSize},               // Whole file in one request.
+               });
+  std::filesystem::remove_all(dir);
+}
+
+TEST(UringEnv, LargeBatchExceedingRingDepth) {
+  // More requests than SQ entries: SubmitAndWait must chunk.
+  UringEnvOptions tiny_ring;
+  tiny_ring.ring_entries = 4;
+  OPEN_URING_OR_SKIP(uring, tiny_ring);
+  Env* posix = GetPosixEnv();
+  const std::string dir = TestDir("chunked");
+  ASSERT_TRUE(posix->CreateDir(dir).ok());
+  const std::string fname = dir + "/blob";
+  const size_t kSize = 64 * 1024;
+  WriteRandomFile(posix, fname, kSize, 43);
+
+  std::vector<std::pair<uint64_t, size_t>> spans;
+  Random rng(7);
+  for (int i = 0; i < 33; i++) {
+    const uint64_t off = rng.Uniform(kSize);
+    spans.emplace_back(off, 1 + rng.Uniform(2000));
+  }
+  CompareBatch(posix, uring.get(), fname, spans);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(UringEnv, SingleReadsMatchPosix) {
+  OPEN_URING_OR_SKIP(uring, UringEnvOptions());
+  Env* posix = GetPosixEnv();
+  const std::string dir = TestDir("single");
+  ASSERT_TRUE(posix->CreateDir(dir).ok());
+  const std::string fname = dir + "/blob";
+  const std::string data = WriteRandomFile(posix, fname, 10000, 44);
+
+  std::unique_ptr<RandomAccessFile> file;
+  ASSERT_TRUE(uring->NewRandomAccessFile(fname, &file).ok());
+  std::string scratch(5000, '\0');
+  Slice result;
+  ASSERT_TRUE(file->Read(100, 200, &result, scratch.data()).ok());
+  EXPECT_EQ(result.ToString(), data.substr(100, 200));
+  // Short read at EOF.
+  ASSERT_TRUE(file->Read(9990, 100, &result, scratch.data()).ok());
+  EXPECT_EQ(result.ToString(), data.substr(9990));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(UringEnv, BatchCountersAdvance) {
+  OPEN_URING_OR_SKIP(uring, UringEnvOptions());
+  Env* posix = GetPosixEnv();
+  const std::string dir = TestDir("counters");
+  ASSERT_TRUE(posix->CreateDir(dir).ok());
+  const std::string fname = dir + "/blob";
+  WriteRandomFile(posix, fname, 32 * 1024, 45);
+
+  std::unique_ptr<RandomAccessFile> file;
+  ASSERT_TRUE(uring->NewRandomAccessFile(fname, &file).ok());
+  const UringStatsSnapshot before = uring->Stats();
+
+  std::vector<std::string> bufs(8);
+  std::vector<ReadRequest> reqs(8);
+  for (size_t i = 0; i < reqs.size(); i++) {
+    bufs[i].resize(512);
+    reqs[i].offset = i * 4096;
+    reqs[i].n = 512;
+    reqs[i].scratch = bufs[i].data();
+  }
+  ASSERT_TRUE(file->ReadBatch(reqs.data(), reqs.size()).ok());
+
+  const UringStatsSnapshot after = uring->Stats();
+  EXPECT_EQ(after.sqes_submitted - before.sqes_submitted, 8u);
+  EXPECT_EQ(after.batched_requests - before.batched_requests, 8u);
+  EXPECT_GE(after.batch_submits - before.batch_submits, 1u);
+  // 8 requests through >= 1 enter: the amortization the ring exists for.
+  EXPECT_GE(after.BatchedPerSyscall(), 1.0);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(UringEnv, CancellationMidBatch) {
+  // A batch where some requests fail (span a hole past EOF) must still
+  // complete the others and report per-request statuses, not abandon the
+  // ring mid-flight.
+  OPEN_URING_OR_SKIP(uring, UringEnvOptions());
+  Env* posix = GetPosixEnv();
+  const std::string dir = TestDir("cancel");
+  ASSERT_TRUE(posix->CreateDir(dir).ok());
+  const std::string fname = dir + "/blob";
+  const std::string data = WriteRandomFile(posix, fname, 8192, 46);
+
+  std::unique_ptr<RandomAccessFile> file;
+  ASSERT_TRUE(uring->NewRandomAccessFile(fname, &file).ok());
+
+  std::vector<std::string> bufs(4);
+  std::vector<ReadRequest> reqs(4);
+  const std::pair<uint64_t, size_t> spans[4] = {
+      {0, 1000}, {100000, 100}, {4000, 1000}, {8191, 1}};
+  for (size_t i = 0; i < 4; i++) {
+    bufs[i].resize(spans[i].second);
+    reqs[i].offset = spans[i].first;
+    reqs[i].n = spans[i].second;
+    reqs[i].scratch = bufs[i].data();
+  }
+  ASSERT_TRUE(file->ReadBatch(reqs.data(), 4).ok());
+  ASSERT_TRUE(reqs[0].status.ok());
+  EXPECT_EQ(reqs[0].result.ToString(), data.substr(0, 1000));
+  ASSERT_TRUE(reqs[1].status.ok());  // Past EOF: empty result, not error.
+  EXPECT_EQ(reqs[1].result.size(), 0u);
+  ASSERT_TRUE(reqs[2].status.ok());
+  EXPECT_EQ(reqs[2].result.ToString(), data.substr(4000, 1000));
+  ASSERT_TRUE(reqs[3].status.ok());
+  EXPECT_EQ(reqs[3].result.ToString(), data.substr(8191, 1));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(UringEnv, ForcedProbeFailureFallsBackInDbOpen) {
+  // Force the probe down, open a DB with io_backend=kUring, and confirm it
+  // comes up on posix with a recorded fallback event.
+  ForceUringUnsupportedForTesting(true);
+  EXPECT_FALSE(IoUringSupported());
+  Status status;
+  EXPECT_EQ(NewUringEnv(UringEnvOptions(), &status), nullptr);
+  EXPECT_FALSE(status.ok());
+
+  const std::string dir = TestDir("fallback");
+  const uint64_t fallbacks_before = UringFallbackEvents();
+  DbOptions options;
+  options.io_backend = IoBackend::kUring;
+  options.expected_entries = 1000;
+  std::unique_ptr<DB> db;
+  ASSERT_TRUE(DB::Open(options, dir, &db).ok());
+  EXPECT_GT(UringFallbackEvents(), fallbacks_before);
+
+  WriteOptions wo;
+  ASSERT_TRUE(db->Put(wo, "k", "v").ok());
+  ASSERT_TRUE(db->Flush().ok());
+  std::string value;
+  ASSERT_TRUE(db->Get(ReadOptions(), "k", &value).ok());
+  EXPECT_EQ(value, "v");
+  db.reset();
+
+  ForceUringUnsupportedForTesting(false);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(UringEnv, DbOpenOnUringBackend) {
+  {
+    OPEN_URING_OR_SKIP(probe, UringEnvOptions());
+  }
+  const std::string dir = TestDir("db");
+  DbOptions options;
+  options.io_backend = IoBackend::kUring;
+  options.buffer_size_bytes = 16 << 10;
+  options.expected_entries = 5000;
+  std::unique_ptr<DB> db;
+  ASSERT_TRUE(DB::Open(options, dir, &db).ok());
+
+  WriteOptions wo;
+  const std::string value(100, 'v');
+  for (int i = 0; i < 5000; i++) {
+    char key[32];
+    snprintf(key, sizeof(key), "key%06d", i);
+    ASSERT_TRUE(db->Put(wo, key, value).ok());
+  }
+  ASSERT_TRUE(db->Flush().ok());
+
+  // Point reads and MultiGet (the batched stage-3 path) both verify.
+  std::string got;
+  std::vector<std::string> key_storage;
+  for (int i = 0; i < 5000; i += 7) {
+    char key[32];
+    snprintf(key, sizeof(key), "key%06d", i);
+    ASSERT_TRUE(db->Get(ReadOptions(), key, &got).ok()) << key;
+    ASSERT_EQ(got, value);
+    if (key_storage.size() < 16) key_storage.push_back(key);
+  }
+  std::vector<Slice> keys(key_storage.begin(), key_storage.end());
+  std::vector<std::string> values;
+  for (const Status& s : db->MultiGet(ReadOptions(), keys, &values)) {
+    ASSERT_TRUE(s.ok()) << s.ToString();
+  }
+  for (const std::string& v : values) EXPECT_EQ(v, value);
+  db.reset();
+  std::filesystem::remove_all(dir);
+}
+
+TEST(UringEnv, DirectIoAlignmentEdgeCases) {
+  UringEnvOptions direct_options;
+  direct_options.use_direct_io = true;
+  Status probe_status;
+  auto uring = NewUringEnv(direct_options, &probe_status);
+  if (uring == nullptr) {
+    GTEST_SKIP() << "io_uring unavailable: " << probe_status.ToString();
+  }
+  Env* posix = GetPosixEnv();
+  const std::string dir = TestDir("direct");
+  ASSERT_TRUE(posix->CreateDir(dir).ok());
+  const std::string fname = dir + "/blob";
+  // Deliberately NOT a multiple of the 4 KiB alignment: the last block is
+  // a partial tail, the edge O_DIRECT handles worst.
+  const size_t kSize = 2 * kDirectIoAlignment + 777;
+  const std::string data = WriteRandomFile(posix, fname, kSize, 47);
+
+  std::unique_ptr<RandomAccessFile> file;
+  ASSERT_TRUE(uring->NewRandomAccessFile(fname, &file).ok());
+
+  const std::pair<uint64_t, size_t> spans[] = {
+      {0, 10},                          // Aligned start, tiny.
+      {1, 10},                          // Unaligned start.
+      {kDirectIoAlignment - 5, 10},     // Straddles an alignment boundary.
+      {kSize - 777, 777},               // Exactly the partial tail block.
+      {kSize - 10, 50},                 // Clamped read into the tail.
+      {kSize - 1, 1},                   // Last byte.
+      {0, kSize},                       // Whole file.
+  };
+  for (const auto& span : spans) {
+    std::string scratch(span.second + 1, '\0');
+    Slice result;
+    ASSERT_TRUE(
+        file->Read(span.first, span.second, &result, scratch.data()).ok())
+        << "offset=" << span.first << " n=" << span.second;
+    const size_t expect_len =
+        span.first + span.second <= kSize ? span.second : kSize - span.first;
+    EXPECT_EQ(result.ToString(), data.substr(span.first, expect_len))
+        << "offset=" << span.first << " n=" << span.second;
+  }
+
+  // The same spans through one batch.
+  std::vector<std::string> bufs(std::size(spans));
+  std::vector<ReadRequest> reqs(std::size(spans));
+  for (size_t i = 0; i < std::size(spans); i++) {
+    bufs[i].resize(spans[i].second + 1);
+    reqs[i].offset = spans[i].first;
+    reqs[i].n = spans[i].second;
+    reqs[i].scratch = bufs[i].data();
+  }
+  ASSERT_TRUE(file->ReadBatch(reqs.data(), reqs.size()).ok());
+  for (size_t i = 0; i < std::size(spans); i++) {
+    ASSERT_TRUE(reqs[i].status.ok()) << i << ": "
+                                     << reqs[i].status.ToString();
+    const size_t expect_len = spans[i].first + spans[i].second <= kSize
+                                  ? spans[i].second
+                                  : kSize - spans[i].first;
+    EXPECT_EQ(reqs[i].result.ToString(),
+              data.substr(spans[i].first, expect_len))
+        << "batch span " << i;
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(UringEnv, ReadAheadClampsAtEof) {
+  OPEN_URING_OR_SKIP(uring, UringEnvOptions());
+  Env* posix = GetPosixEnv();
+  const std::string dir = TestDir("readahead");
+  ASSERT_TRUE(posix->CreateDir(dir).ok());
+  const std::string fname = dir + "/blob";
+  WriteRandomFile(posix, fname, 4096, 48);
+
+  std::unique_ptr<RandomAccessFile> file;
+  ASSERT_TRUE(uring->NewRandomAccessFile(fname, &file).ok());
+  // Hints past EOF and over-long hints must be no-ops, not UB.
+  file->ReadAhead(0, 1 << 20);
+  file->ReadAhead(100000, 4096);
+  char scratch[16];
+  Slice result;
+  ASSERT_TRUE(file->Read(0, 16, &result, scratch).ok());
+  EXPECT_EQ(result.size(), 16u);
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace monkeydb

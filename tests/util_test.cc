@@ -113,6 +113,28 @@ TEST(Hash, Crc32cKnownVector) {
   // Standard CRC32C test vector.
   EXPECT_EQ(Crc32c("123456789", 9), 0xE3069283u);
   EXPECT_EQ(Crc32c("", 0), 0u);
+  EXPECT_EQ(Crc32cPortable("123456789", 9), 0xE3069283u);
+}
+
+TEST(Hash, Crc32cDispatchMatchesPortable) {
+  // The dispatched implementation (possibly hardware CRC32C) must be
+  // bit-identical to the portable one at every length and alignment —
+  // on-disk checksums written by one must verify under the other.
+  Random rng(17);
+  std::string data;
+  for (int i = 0; i < 1024; i++) {
+    data.push_back(static_cast<char>(rng.Uniform(256)));
+  }
+  for (size_t len : {0u, 1u, 3u, 7u, 8u, 9u, 15u, 16u, 63u, 64u, 255u,
+                     511u, 512u, 1000u}) {
+    for (size_t off : {0u, 1u, 3u, 7u}) {
+      ASSERT_LE(off + len, data.size());
+      EXPECT_EQ(Crc32c(data.data() + off, len),
+                Crc32cPortable(data.data() + off, len))
+          << "len=" << len << " off=" << off
+          << " impl=" << Crc32cImplName();
+    }
+  }
 }
 
 TEST(Hash, CrcMaskRoundTrip) {

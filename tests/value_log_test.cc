@@ -98,12 +98,17 @@ TEST(ValueLog, AccessorsRaceFreeAgainstConcurrentAdds) {
   ASSERT_TRUE(ValueLog::Open(env.get(), "/db", &log).ok());
 
   std::atomic<bool> stop{false};
+  std::atomic<bool> reader_ran{false};
   std::thread reader([&] {
     uint64_t sink = 0;
-    while (!stop.load(std::memory_order_relaxed)) {
+    // Guarantee at least one read concurrent with the writes below; a
+    // fast writer could otherwise set `stop` before this thread is even
+    // scheduled, leaving sink == 0.
+    do {
       sink += log->active_file_number();
       sink += log->bytes_appended();
-    }
+      reader_ran.store(true, std::memory_order_relaxed);
+    } while (!stop.load(std::memory_order_relaxed));
     EXPECT_GT(sink, 0u);  // active_file_number() >= 1 from the first read.
   });
   const std::string value(512, 'v');
@@ -112,6 +117,9 @@ TEST(ValueLog, AccessorsRaceFreeAgainstConcurrentAdds) {
     ValueHandle handle;
     ASSERT_TRUE(log->Add(value, false, &handle).ok());
     expected += 8 + value.size();  // Header (crc + size) plus payload.
+  }
+  while (!reader_ran.load(std::memory_order_relaxed)) {
+    std::this_thread::yield();
   }
   stop.store(true, std::memory_order_relaxed);
   reader.join();
