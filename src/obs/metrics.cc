@@ -20,6 +20,7 @@ const char* HistName(Hist h) {
       return "block_cache_lookup_latency_us";
     case Hist::kBlockReadLatency: return "block_read_latency_us";
     case Hist::kWriteGroupSize: return "write_group_size";
+    case Hist::kParallelApplyFanout: return "parallel_apply_fanout";
     case Hist::kNumHistograms: break;
   }
   return "unknown";

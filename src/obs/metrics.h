@@ -44,6 +44,7 @@ enum class Hist : int {
   kBlockCacheLookupLatency,
   kBlockReadLatency,        // Block fetches that miss the cache.
   kWriteGroupSize,          // Unit: writers per commit group, not time.
+  kParallelApplyFanout,     // Unit: writers applying a group in parallel.
   kNumHistograms,
 };
 

@@ -1,0 +1,37 @@
+// Allocator: the abstract bump-allocation contract shared by Arena
+// (single-threaded, the classic memtable/table-build allocator) and
+// ConcurrentArena (sharded CAS bump pointers over hugepage-backed blocks,
+// for the concurrent memtable write path). All memory lives until the
+// allocator is destroyed; there is no per-allocation free.
+
+#ifndef MONKEYDB_UTIL_ALLOCATOR_H_
+#define MONKEYDB_UTIL_ALLOCATOR_H_
+
+#include <cstddef>
+
+namespace monkeydb {
+
+class Allocator {
+ public:
+  virtual ~Allocator() = default;
+
+  // Returns a pointer to `bytes` bytes of memory (bytes > 0).
+  virtual char* Allocate(size_t bytes) = 0;
+
+  // Like Allocate but aligned to `align` bytes (a power of two, at most
+  // kMaxAlign). align = 0 means "any object alignment"
+  // (alignof(std::max_align_t)); the skiplist passes kCacheLineSize so a
+  // node's hot links and inline key share as few cache lines as possible.
+  virtual char* AllocateAligned(size_t bytes, size_t align = 0) = 0;
+
+  // Total memory footprint (used for the memtable's M_buffer accounting).
+  // Safe to call concurrently with allocations.
+  virtual size_t MemoryUsage() const = 0;
+
+  static constexpr size_t kCacheLineSize = 64;
+  static constexpr size_t kMaxAlign = 4096;
+};
+
+}  // namespace monkeydb
+
+#endif  // MONKEYDB_UTIL_ALLOCATOR_H_

@@ -3,14 +3,14 @@
 namespace monkeydb {
 
 char* Arena::AllocateFallback(size_t bytes) {
-  if (bytes > kBlockSize / 4) {
+  if (bytes > block_size_ / 4) {
     // Large objects get their own block so we don't waste the remainder of
     // the current block.
     return AllocateNewBlock(bytes);
   }
 
-  alloc_ptr_ = AllocateNewBlock(kBlockSize);
-  alloc_bytes_remaining_ = kBlockSize;
+  alloc_ptr_ = AllocateNewBlock(block_size_);
+  alloc_bytes_remaining_ = block_size_;
 
   char* result = alloc_ptr_;
   alloc_ptr_ += bytes;
@@ -18,22 +18,28 @@ char* Arena::AllocateFallback(size_t bytes) {
   return result;
 }
 
-char* Arena::AllocateAligned(size_t bytes) {
-  constexpr size_t kAlign = alignof(std::max_align_t);
-  static_assert((kAlign & (kAlign - 1)) == 0, "alignment must be power of 2");
-  size_t current_mod = reinterpret_cast<uintptr_t>(alloc_ptr_) & (kAlign - 1);
-  size_t slop = (current_mod == 0 ? 0 : kAlign - current_mod);
+char* Arena::AllocateAligned(size_t bytes, size_t align) {
+  if (align == 0) align = alignof(std::max_align_t);
+  assert((align & (align - 1)) == 0 && align <= kMaxAlign);
+  size_t current_mod = reinterpret_cast<uintptr_t>(alloc_ptr_) & (align - 1);
+  size_t slop = (current_mod == 0 ? 0 : align - current_mod);
   size_t needed = bytes + slop;
   char* result;
   if (needed <= alloc_bytes_remaining_) {
     result = alloc_ptr_ + slop;
     alloc_ptr_ += needed;
     alloc_bytes_remaining_ -= needed;
-  } else {
+  } else if (align <= alignof(std::max_align_t)) {
     // AllocateFallback always returns max-aligned memory (fresh block).
     result = AllocateFallback(bytes);
+  } else {
+    // A fresh block from operator new[] is aligned for max_align_t only;
+    // larger alignments may need slop at the block head too.
+    result = AllocateFallback(bytes + align - 1);
+    uintptr_t mod = reinterpret_cast<uintptr_t>(result) & (align - 1);
+    if (mod != 0) result += align - mod;
   }
-  assert((reinterpret_cast<uintptr_t>(result) & (kAlign - 1)) == 0);
+  assert((reinterpret_cast<uintptr_t>(result) & (align - 1)) == 0);
   return result;
 }
 

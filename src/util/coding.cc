@@ -25,6 +25,16 @@ void PutVarint32(std::string* dst, uint32_t v) {
   dst->append(reinterpret_cast<char*>(buf), n);
 }
 
+char* EncodeVarint32(char* dst, uint32_t v) {
+  unsigned char* p = reinterpret_cast<unsigned char*>(dst);
+  while (v >= 0x80) {
+    *p++ = static_cast<unsigned char>(v) | 0x80;
+    v >>= 7;
+  }
+  *p++ = static_cast<unsigned char>(v);
+  return reinterpret_cast<char*>(p);
+}
+
 void PutVarint64(std::string* dst, uint64_t v) {
   unsigned char buf[10];
   int n = 0;

@@ -43,6 +43,11 @@ void PutFixed64(std::string* dst, uint64_t value);
 void PutVarint32(std::string* dst, uint32_t value);
 void PutVarint64(std::string* dst, uint64_t value);
 
+// Raw-buffer variant: writes into dst (which must hold at least 5 bytes,
+// or exactly VarintLength(value)) and returns a pointer just past the
+// encoded bytes. The allocation-free form the memtable hot path uses.
+char* EncodeVarint32(char* dst, uint32_t value);
+
 // Appends varint32(s.size()) followed by the bytes of s.
 void PutLengthPrefixedSlice(std::string* dst, const Slice& s);
 

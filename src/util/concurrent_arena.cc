@@ -1,0 +1,289 @@
+#include "util/concurrent_arena.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+#ifdef __linux__
+#include <sys/mman.h>
+#include <unistd.h>
+#endif
+
+namespace monkeydb {
+
+namespace {
+
+constexpr size_t kHugePage = ConcurrentArena::kHugePageSize;
+
+size_t RoundUp(size_t x, size_t align) {
+  return (x + align - 1) & ~(align - 1);
+}
+
+// Reads the MONKEYDB_ARENA_HUGEPAGE override ("auto" / "thp" / "never");
+// anything else (including unset) keeps the configured mode.
+ConcurrentArena::HugepageMode ApplyEnvOverride(
+    ConcurrentArena::HugepageMode mode) {
+  const char* env = getenv("MONKEYDB_ARENA_HUGEPAGE");
+  if (env == nullptr) return mode;
+  if (strcmp(env, "auto") == 0) return ConcurrentArena::HugepageMode::kAuto;
+  if (strcmp(env, "thp") == 0) {
+    return ConcurrentArena::HugepageMode::kTransparentOnly;
+  }
+  if (strcmp(env, "never") == 0) {
+    return ConcurrentArena::HugepageMode::kNever;
+  }
+  return mode;
+}
+
+int ResolveShardCount(int requested) {
+  int n = requested;
+  if (n <= 0) {
+    unsigned hw = std::thread::hardware_concurrency();
+    n = static_cast<int>(hw == 0 ? 4 : hw);
+    if (n > 16) n = 16;
+  }
+  // Round up to a power of two so the thread-id hash is a mask.
+  int pow2 = 1;
+  while (pow2 < n) pow2 <<= 1;
+  return pow2;
+}
+
+}  // namespace
+
+const char* ConcurrentArena::BackingName(Backing b) {
+  switch (b) {
+    case Backing::kNone:
+      return "none";
+    case Backing::kHugeTlb:
+      return "hugetlb";
+    case Backing::kTransparentHugePage:
+      return "thp";
+    case Backing::kPlain:
+      return "plain";
+  }
+  return "unknown";
+}
+
+ConcurrentArena::ConcurrentArena(const Options& options)
+    : block_size_(options.block_size < (64 << 10) ? (64 << 10)
+                                                  : options.block_size),
+      chunk_size_(options.chunk_size < 4096 ? 4096
+                  : options.chunk_size > block_size_
+                      ? block_size_
+                      : options.chunk_size),
+      hugepage_mode_(ApplyEnvOverride(options.hugepage_mode)),
+      shard_count_(ResolveShardCount(options.shards)),
+      shards_(static_cast<size_t>(shard_count_)) {}
+
+ConcurrentArena::~ConcurrentArena() {
+  MutexLock lock(mutex_);
+  for (const Block& block : blocks_) {
+#ifdef __linux__
+    if (block.mapped != 0) {
+      munmap(block.base, block.mapped);
+      continue;
+    }
+#endif
+    delete[] block.base;
+  }
+}
+
+ConcurrentArena::Shard& ConcurrentArena::ShardForThread() {
+  // A cheap per-thread shard id: hash the thread id once and cache it.
+  // Collisions just mean two threads share a CAS bump pointer (correct,
+  // slightly more retries).
+  static std::atomic<uint32_t> next_id{0};
+  thread_local uint32_t id =
+      next_id.fetch_add(0x9E3779B9u, std::memory_order_relaxed);
+  return shards_[(id >> 8) & static_cast<uint32_t>(shard_count_ - 1)];
+}
+
+char* ConcurrentArena::AllocateAligned(size_t bytes, size_t align) {
+  assert(bytes > 0);
+  if (align == 0) align = alignof(std::max_align_t);
+  assert((align & (align - 1)) == 0 && align <= kMaxAlign);
+
+  Shard& shard = ShardForThread();
+  for (;;) {
+    char* p = shard.ptr.load(std::memory_order_acquire);
+    if (p == nullptr) break;  // Parked: no chunk, or refill in progress.
+    char* e = shard.end.load(std::memory_order_acquire);
+    const size_t slop =
+        static_cast<size_t>(-reinterpret_cast<intptr_t>(p)) & (align - 1);
+    if (bytes + slop > static_cast<size_t>(e - p)) break;  // Doesn't fit.
+    // The chunk never moves and chunk memory is never reused, so if this
+    // CAS succeeds, (p, e) was a consistent pair (refills park ptr first).
+    if (shard.ptr.compare_exchange_weak(p, p + slop + bytes,
+                                        std::memory_order_acq_rel,
+                                        std::memory_order_acquire)) {
+      shard.allocated.fetch_add(slop + bytes, std::memory_order_relaxed);
+      return p + slop;
+    }
+    shard.cas_retries.fetch_add(1, std::memory_order_relaxed);
+  }
+  return AllocateSlow(shard, bytes, align);
+}
+
+char* ConcurrentArena::AllocateSlow(Shard& shard, size_t bytes,
+                                    size_t align) {
+  slow_allocs_.fetch_add(1, std::memory_order_relaxed);
+  MutexLock lock(mutex_);
+
+  // Another thread may have refilled this shard while we waited for the
+  // mutex; retry the fast path a few times before discarding its chunk.
+  for (int attempt = 0; attempt < 4; attempt++) {
+    char* p = shard.ptr.load(std::memory_order_acquire);
+    if (p == nullptr) break;
+    char* e = shard.end.load(std::memory_order_acquire);
+    const size_t slop =
+        static_cast<size_t>(-reinterpret_cast<intptr_t>(p)) & (align - 1);
+    if (bytes + slop > static_cast<size_t>(e - p)) break;
+    if (shard.ptr.compare_exchange_weak(p, p + slop + bytes,
+                                        std::memory_order_acq_rel,
+                                        std::memory_order_acquire)) {
+      shard.allocated.fetch_add(slop + bytes, std::memory_order_relaxed);
+      return p + slop;
+    }
+    shard.cas_retries.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // Allocations that would burn most of a chunk get their own carve and
+  // leave the shard's chunk alone.
+  if (bytes + align > chunk_size_ / 2) {
+    char* result = CarveLocked(bytes, align);
+    if (result != nullptr) {
+      shard.allocated.fetch_add(bytes, std::memory_order_relaxed);
+    }
+    return result;
+  }
+
+  // Refill protocol: park the bump pointer BEFORE touching end, so a fast-
+  // path CAS racing with this refill can only succeed against the old
+  // consistent (ptr, end) pair. The remainder of the old chunk is
+  // abandoned (it stays in MappedBytes but never enters MemoryUsage —
+  // only bytes handed out count toward the flush threshold).
+  shard.ptr.exchange(nullptr, std::memory_order_acq_rel);
+  char* base = CarveLocked(chunk_size_, align);
+  const size_t slop =
+      static_cast<size_t>(-reinterpret_cast<intptr_t>(base)) & (align - 1);
+  char* result = base + slop;
+  shard.end.store(base + chunk_size_, std::memory_order_release);
+  shard.ptr.store(result + bytes, std::memory_order_release);
+  shard.allocated.fetch_add(slop + bytes, std::memory_order_relaxed);
+  shard_refills_.fetch_add(1, std::memory_order_relaxed);
+  return result;
+}
+
+char* ConcurrentArena::CarveLocked(size_t bytes, size_t align) {
+  size_t slop =
+      static_cast<size_t>(-reinterpret_cast<intptr_t>(block_ptr_)) &
+      (align - 1);
+  if (bytes + slop > block_remaining_) {
+    char* base = NewBlockLocked(bytes + align);
+    if (base == nullptr) return nullptr;
+    slop = static_cast<size_t>(-reinterpret_cast<intptr_t>(block_ptr_)) &
+           (align - 1);
+  }
+  char* result = block_ptr_ + slop;
+  block_ptr_ += slop + bytes;
+  block_remaining_ -= slop + bytes;
+  return result;
+}
+
+char* ConcurrentArena::NewBlockLocked(size_t min_bytes) {
+  size_t want = block_size_ < min_bytes ? min_bytes : block_size_;
+
+  Block block;
+#ifdef __linux__
+  // Tier 1: explicit hugepages. Length must be hugepage-aligned; fails
+  // cleanly (ENOMEM) unless vm.nr_hugepages has free reservations.
+  if (hugepage_mode_ == HugepageMode::kAuto) {
+    const size_t len = RoundUp(want, kHugePage);
+    void* mem = mmap(nullptr, len, PROT_READ | PROT_WRITE,
+                     MAP_PRIVATE | MAP_ANONYMOUS | MAP_HUGETLB, -1, 0);
+    if (mem != MAP_FAILED) {
+      block.base = static_cast<char*>(mem);
+      block.mapped = len;
+      block.backing = Backing::kHugeTlb;
+    }
+  }
+  // Tier 2: transparent hugepages. Over-map by one hugepage and trim so
+  // the kept region is 2 MiB-aligned — THP only backs aligned extents.
+  if (block.base == nullptr && hugepage_mode_ != HugepageMode::kNever) {
+    const size_t len = RoundUp(want, kHugePage);
+    const size_t over = len + kHugePage;
+    void* mem = mmap(nullptr, over, PROT_READ | PROT_WRITE,
+                     MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+    if (mem != MAP_FAILED) {
+      char* raw = static_cast<char*>(mem);
+      char* aligned = reinterpret_cast<char*>(
+          RoundUp(reinterpret_cast<uintptr_t>(raw), kHugePage));
+      const size_t head = static_cast<size_t>(aligned - raw);
+      if (head != 0) munmap(raw, head);
+      const size_t tail = kHugePage - head;
+      if (tail != 0) munmap(aligned + len, tail);
+      block.base = aligned;
+      block.mapped = len;
+      block.backing = madvise(aligned, len, MADV_HUGEPAGE) == 0
+                          ? Backing::kTransparentHugePage
+                          : Backing::kPlain;
+    }
+  }
+  // Tier 3: plain pages.
+  if (block.base == nullptr) {
+    const size_t len = RoundUp(want, 4096);
+    void* mem = mmap(nullptr, len, PROT_READ | PROT_WRITE,
+                     MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+    if (mem != MAP_FAILED) {
+      block.base = static_cast<char*>(mem);
+      block.mapped = len;
+      block.backing = Backing::kPlain;
+    }
+  }
+#endif
+  if (block.base == nullptr) {
+    // Off-Linux (or mmap exhausted): heap block, plain pages.
+    block.base = new char[want];
+    block.mapped = 0;
+    block.backing = Backing::kPlain;
+  }
+
+  const size_t usable = block.mapped != 0 ? block.mapped : want;
+  block_ptr_ = block.base;
+  block_remaining_ = usable;
+  memory_usage_.fetch_add(usable + sizeof(Block),
+                          std::memory_order_relaxed);
+  blocks_count_.fetch_add(1, std::memory_order_relaxed);
+  switch (block.backing) {
+    case Backing::kHugeTlb:
+      hugetlb_blocks_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case Backing::kTransparentHugePage:
+      thp_blocks_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    default:
+      plain_blocks_.fetch_add(1, std::memory_order_relaxed);
+      break;
+  }
+  backing_.store(static_cast<int>(block.backing),
+                 std::memory_order_relaxed);
+  blocks_.push_back(block);
+  return block.base;
+}
+
+ConcurrentArena::StatsSnapshot ConcurrentArena::Stats() const {
+  StatsSnapshot s;
+  s.blocks = blocks_count_.load(std::memory_order_relaxed);
+  s.hugetlb_blocks = hugetlb_blocks_.load(std::memory_order_relaxed);
+  s.thp_blocks = thp_blocks_.load(std::memory_order_relaxed);
+  s.plain_blocks = plain_blocks_.load(std::memory_order_relaxed);
+  s.slow_allocs = slow_allocs_.load(std::memory_order_relaxed);
+  s.shard_refills = shard_refills_.load(std::memory_order_relaxed);
+  for (const Shard& shard : shards_) {
+    s.cas_retries += shard.cas_retries.load(std::memory_order_relaxed);
+  }
+  s.backing = backing();
+  return s;
+}
+
+}  // namespace monkeydb

@@ -1,0 +1,170 @@
+// ConcurrentArena: a thread-safe bump allocator for the concurrent
+// memtable write path (DbOptions::allow_concurrent_memtable_write).
+//
+// Layout: memory is acquired in large blocks (default 2 MiB) backed by
+// hugepages when the platform cooperates — the allocator tries, in order,
+//   1. mmap(MAP_HUGETLB)            — explicit 2 MiB hugepages (needs
+//                                     vm.nr_hugepages reservations),
+//   2. mmap + madvise(MADV_HUGEPAGE) — transparent hugepages, no
+//                                     privileges required,
+//   3. plain anonymous mmap (or operator new off-Linux),
+// and records which tier actually backs each block (Stats().backing, also
+// surfaced as DbStats::arena_backing). Large memtables on 4 KiB pages
+// thrash the TLB during skiplist descents; 2 MiB pages cover a 64 MiB
+// buffer with 32 TLB entries instead of 16384.
+//
+// Concurrency: each of N cache-line-padded shards owns a chunk carved from
+// the current block and hands out memory with a CAS bump pointer, so
+// concurrent group-commit writers allocating skiplist nodes touch disjoint
+// cache lines and never take a lock on the fast path. A shard's chunk is
+// refilled under the arena mutex; the refill protocol parks the shard's
+// bump pointer (nullptr) before replacing the chunk, and chunk memory is
+// never reused, so a successful CAS proves the (ptr, end) pair the caller
+// read was consistent. CAS failures and slow-path entries are counted
+// (DbStats::arena_cas_retries / arena_slow_allocs) — they are the direct
+// measure of allocator contention under multi-threaded inserts.
+
+#ifndef MONKEYDB_UTIL_CONCURRENT_ARENA_H_
+#define MONKEYDB_UTIL_CONCURRENT_ARENA_H_
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/allocator.h"
+#include "util/mutex.h"
+
+namespace monkeydb {
+
+class ConcurrentArena : public Allocator {
+ public:
+  static constexpr size_t kHugePageSize = 2 << 20;
+
+  // Which page-backing tier a block ended up on.
+  enum class Backing : int {
+    kNone = 0,              // No block allocated yet.
+    kHugeTlb = 1,           // mmap(MAP_HUGETLB): explicit hugepages.
+    kTransparentHugePage = 2,  // madvise(MADV_HUGEPAGE) accepted.
+    kPlain = 3,             // Plain pages (mmap or operator new).
+  };
+
+  // Cap on how aggressively hugepages are acquired. The
+  // MONKEYDB_ARENA_HUGEPAGE environment variable ("auto" / "thp" /
+  // "never") overrides the constructor's choice, so CI can force the
+  // plain-pages fallback without a rebuild.
+  enum class HugepageMode : int {
+    kAuto = 0,             // MAP_HUGETLB, then THP, then plain.
+    kTransparentOnly = 1,  // Skip MAP_HUGETLB (no reservations needed).
+    kNever = 2,            // Plain pages only.
+  };
+
+  struct Options {
+    // Size of each backing block. Rounded up to 2 MiB when a hugepage tier
+    // is in play (MAP_HUGETLB requires it; THP needs aligned extents).
+    size_t block_size = kHugePageSize;
+    HugepageMode hugepage_mode = HugepageMode::kAuto;
+    // Number of allocation shards; 0 = min(hardware_concurrency, 16)
+    // rounded up to a power of two.
+    int shards = 0;
+    // Granularity of the per-shard chunks carved from a block.
+    size_t chunk_size = 64 << 10;
+  };
+
+  struct StatsSnapshot {
+    uint64_t blocks = 0;          // Backing blocks allocated, total...
+    uint64_t hugetlb_blocks = 0;  // ...on explicit hugepages,
+    uint64_t thp_blocks = 0;      // ...on madvised (transparent) pages,
+    uint64_t plain_blocks = 0;    // ...on plain pages.
+    uint64_t cas_retries = 0;     // Failed fast-path bump CASes.
+    uint64_t slow_allocs = 0;     // Allocations that took the mutex.
+    uint64_t shard_refills = 0;   // Chunk refills (subset of slow_allocs).
+    Backing backing = Backing::kNone;  // Tier of the newest block.
+  };
+
+  ConcurrentArena() : ConcurrentArena(Options()) {}
+  explicit ConcurrentArena(const Options& options);
+  ~ConcurrentArena() override;
+
+  ConcurrentArena(const ConcurrentArena&) = delete;
+  ConcurrentArena& operator=(const ConcurrentArena&) = delete;
+
+  char* Allocate(size_t bytes) override { return AllocateAligned(bytes, 1); }
+  char* AllocateAligned(size_t bytes, size_t align = 0) override;
+
+  // Bytes handed out to callers (summed over the per-shard counters), NOT
+  // the mapped footprint: blocks are mapped in 2 MiB granules and chunked
+  // across shards ahead of use, so counting mappings would trip the
+  // engine's flush threshold long before the buffer holds that much data.
+  // MappedBytes() reports the actual reservation.
+  size_t MemoryUsage() const override {
+    size_t total = 0;
+    for (const Shard& shard : shards_) {
+      total += shard.allocated.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  size_t MappedBytes() const {
+    return memory_usage_.load(std::memory_order_relaxed);
+  }
+
+  StatsSnapshot Stats() const;
+  Backing backing() const {
+    return static_cast<Backing>(backing_.load(std::memory_order_relaxed));
+  }
+
+  static const char* BackingName(Backing b);
+
+ private:
+  // One allocation shard. ptr == nullptr means parked: either the shard
+  // has no chunk yet or a refill is in progress; allocators fall through
+  // to the slow path. end is only written during a refill, after ptr has
+  // been parked, so the fast path's CAS on ptr validates the pair.
+  struct alignas(Allocator::kCacheLineSize) Shard {
+    std::atomic<char*> ptr{nullptr};
+    std::atomic<char*> end{nullptr};
+    std::atomic<uint64_t> cas_retries{0};
+    // Bytes handed out through this shard (fast and slow path); almost
+    // always bumped by the shard's own thread, so the relaxed fetch_add
+    // stays on this cache line.
+    std::atomic<size_t> allocated{0};
+  };
+
+  Shard& ShardForThread();
+  char* AllocateSlow(Shard& shard, size_t bytes, size_t align);
+  // Carves `bytes` from the current block, mapping a new one if needed.
+  char* CarveLocked(size_t bytes, size_t align) REQUIRES(mutex_);
+  char* NewBlockLocked(size_t min_bytes) REQUIRES(mutex_);
+
+  struct Block {
+    char* base = nullptr;
+    size_t mapped = 0;    // munmap length; 0 = operator new[] block.
+    Backing backing = Backing::kPlain;
+  };
+
+  const size_t block_size_;
+  const size_t chunk_size_;
+  const HugepageMode hugepage_mode_;
+  int shard_count_;  // Power of two.
+  std::vector<Shard> shards_;
+
+  Mutex mutex_;
+  std::vector<Block> blocks_ GUARDED_BY(mutex_);
+  char* block_ptr_ GUARDED_BY(mutex_) = nullptr;  // Bump cursor in the
+  size_t block_remaining_ GUARDED_BY(mutex_) = 0;  // current block.
+
+  std::atomic<size_t> memory_usage_{0};
+  std::atomic<int> backing_{static_cast<int>(Backing::kNone)};
+  std::atomic<uint64_t> blocks_count_{0};
+  std::atomic<uint64_t> hugetlb_blocks_{0};
+  std::atomic<uint64_t> thp_blocks_{0};
+  std::atomic<uint64_t> plain_blocks_{0};
+  std::atomic<uint64_t> slow_allocs_{0};
+  std::atomic<uint64_t> shard_refills_{0};
+};
+
+}  // namespace monkeydb
+
+#endif  // MONKEYDB_UTIL_CONCURRENT_ARENA_H_

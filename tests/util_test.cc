@@ -86,6 +86,31 @@ TEST(Arena, AlignedAllocationIsAligned) {
   }
 }
 
+TEST(Arena, ExplicitBlockSizeIsHonored) {
+  // A custom block size changes the mapping granularity but not the
+  // handed-out accounting: one small allocation from a 64 KiB-block arena
+  // still reports only what the caller consumed (plus block overhead),
+  // and a second small allocation reuses the same block.
+  Arena arena(64 << 10);
+  char* a = arena.Allocate(100);
+  memset(a, 0x11, 100);
+  const size_t after_first = arena.MemoryUsage();
+  EXPECT_GE(after_first, (64u << 10));  // One block mapped.
+  char* b = arena.Allocate(100);
+  memset(b, 0x22, 100);
+  EXPECT_EQ(arena.MemoryUsage(), after_first);  // Same block reused.
+}
+
+TEST(Arena, CacheLineAlignedAllocation) {
+  Arena arena;
+  for (int i = 0; i < 100; i++) {
+    arena.Allocate(1 + (i % 7));  // Misalign the bump pointer.
+    char* p = arena.AllocateAligned(24, Allocator::kCacheLineSize);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(p) % Allocator::kCacheLineSize,
+              0u);
+  }
+}
+
 TEST(Hash, XxHashDeterministicAndSeeded) {
   const uint64_t h1 = XxHash64("monkey", 6);
   EXPECT_EQ(h1, XxHash64("monkey", 6));
