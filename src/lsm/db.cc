@@ -2491,6 +2491,12 @@ std::string DB::DumpStats() const {
   return out;
 }
 
+bool DB::GetUringStats(UringStatsSnapshot* out) const {
+  if (uring_env_ == nullptr) return false;
+  *out = uring_env_->Stats();
+  return true;
+}
+
 std::string DB::DumpMetrics(MetricsFormat format) const {
   const DbStats stats = GetStats();
   const std::shared_ptr<const ReadView> view = CurrentView();

@@ -63,6 +63,7 @@
 namespace monkeydb {
 
 class UringEnv;
+struct UringStatsSnapshot;
 
 // Aggregate statistics for experiments and debugging.
 struct DbStats {
@@ -228,6 +229,13 @@ class DB {
   // FPR gauges are always present.
   enum class MetricsFormat { kPrometheus, kJson };
   std::string DumpMetrics(MetricsFormat format) const;
+
+  // io_uring backend counters, when this DB owns a UringEnv (env == null
+  // and io_backend resolved to kUring). Returns false — leaving *out
+  // untouched — on every other backend. Lets out-of-process surfaces (the
+  // RESP server's INFO reply) report the I/O substrate without parsing
+  // DumpMetrics.
+  bool GetUringStats(UringStatsSnapshot* out) const;
 
   // The registry behind DumpMetrics (null unless enable_metrics). Exposed
   // for benches/tests that want HistogramData snapshots directly.

@@ -210,6 +210,73 @@ struct WriteOptions {
   bool sync = false;
 };
 
+// ServerOptions: knobs of the RESP serving layer (src/server; DESIGN.md
+// §14 "Serving layer"). The server is a separate binary (monkey_server)
+// layered strictly on top of the DB API — none of these knobs affects an
+// embedded DB, and DbOptions defaults are untouched.
+struct ServerOptions {
+  // Address/port the listener set binds. Port 0 binds an ephemeral port
+  // (MonkeyServer::port() reports the one actually bound — tests use it).
+  std::string server_bind = "127.0.0.1";
+  int server_port = 6380;
+
+  // Number of independent DB instances the keyspace is hash-partitioned
+  // across. Each shard owns its own event-loop thread and its own
+  // SO_REUSEPORT listener on server_port (the kernel spreads incoming
+  // connections across them), so shards share no engine state at all:
+  // separate memtables, WALs, compaction workers, block caches. Commands
+  // route per key (XxHash64 % shards); MGET/MSET/DEL spanning shards are
+  // split per shard and reassembled in request order. Must be >= 1.
+  int server_shards = 1;
+
+  // listen(2) backlog per shard listener.
+  int server_backlog = 511;
+
+  // Disable Nagle on accepted sockets; pipelined request/response traffic
+  // wants its replies on the wire immediately.
+  bool server_tcp_nodelay = true;
+
+  // Pipelining cap: at most this many parsed-but-unanswered commands are
+  // coalesced per connection per event-loop tick. Commands beyond the cap
+  // stay buffered and feed the next tick. Bounds the per-tick batch fed
+  // into MultiGet/the group-commit writer and the reply burst a single
+  // connection can generate.
+  int server_max_pipeline = 1024;
+
+  // Slow-client backpressure (bounded output queue). When a connection's
+  // unflushed reply bytes exceed the soft limit the server stops reading
+  // from it (EPOLLIN dropped) until the backlog drains below half the
+  // limit; past the hard limit the connection is closed outright. A
+  // pipelined reply burst can overshoot the soft limit by at most one
+  // tick's replies; the hard limit is the true bound.
+  size_t server_output_soft_limit_bytes = 8u << 20;
+  size_t server_output_hard_limit_bytes = 64u << 20;
+
+  // Protocol limits, RESP frames violating them get an -ERR "Protocol
+  // error" reply and the connection is closed (never a crash): max bytes
+  // of one bulk argument, max elements of one multibulk command, and max
+  // bytes of one inline command line.
+  size_t server_max_bulk_bytes = 64u << 20;
+  size_t server_max_multibulk = 1u << 20;
+  size_t server_max_inline_bytes = 64u << 10;
+
+  // Maintain the server's own MetricsRegistry: per-command latency
+  // summaries (server_get/set/del/mget/mset/scan_latency_us), the
+  // pipeline-depth histogram, and connection/protocol/backpressure
+  // counters. Independent of db_options.enable_metrics (the per-shard
+  // engine registries). On by default — observability is the point of a
+  // server; turn it off to shave the clock reads.
+  bool server_enable_metrics = true;
+
+  // Template DbOptions every shard DB is opened with (shard i lives in
+  // <data_dir>/shard-<i>). env must be null or a thread-safe Env shared
+  // by all shards (tests pass one MemEnv); when null each shard builds
+  // and owns its own backend per io_backend/use_direct_io, so io_uring
+  // rings are per shard. enable_metrics here governs the engine
+  // histograms that /metrics exports per shard.
+  DbOptions db_options;
+};
+
 }  // namespace monkeydb
 
 #endif  // MONKEYDB_LSM_OPTIONS_H_

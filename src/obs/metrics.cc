@@ -21,6 +21,14 @@ const char* HistName(Hist h) {
     case Hist::kBlockReadLatency: return "block_read_latency_us";
     case Hist::kWriteGroupSize: return "write_group_size";
     case Hist::kParallelApplyFanout: return "parallel_apply_fanout";
+    case Hist::kServerGetLatency: return "server_get_latency_us";
+    case Hist::kServerSetLatency: return "server_set_latency_us";
+    case Hist::kServerDelLatency: return "server_del_latency_us";
+    case Hist::kServerMGetLatency: return "server_mget_latency_us";
+    case Hist::kServerMSetLatency: return "server_mset_latency_us";
+    case Hist::kServerScanLatency: return "server_scan_latency_us";
+    case Hist::kServerOtherLatency: return "server_other_latency_us";
+    case Hist::kServerPipelineDepth: return "server_pipeline_depth";
     case Hist::kNumHistograms: break;
   }
   return "unknown";
@@ -31,6 +39,15 @@ const char* TickName(Tick t) {
     case Tick::kListenerCallbacks: return "listener_callbacks";
     case Tick::kListenerFailures: return "listener_failures";
     case Tick::kLoggerRotations: return "logger_rotations";
+    case Tick::kServerConnectionsAccepted:
+      return "server_connections_accepted";
+    case Tick::kServerConnectionsClosed: return "server_connections_closed";
+    case Tick::kServerCommands: return "server_commands";
+    case Tick::kServerProtocolErrors: return "server_protocol_errors";
+    case Tick::kServerBackpressurePauses:
+      return "server_backpressure_pauses";
+    case Tick::kServerOverlimitCloses: return "server_overlimit_closes";
+    case Tick::kServerHttpRequests: return "server_http_requests";
     case Tick::kNumTicks: break;
   }
   return "unknown";

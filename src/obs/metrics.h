@@ -45,6 +45,21 @@ enum class Hist : int {
   kBlockReadLatency,        // Block fetches that miss the cache.
   kWriteGroupSize,          // Unit: writers per commit group, not time.
   kParallelApplyFanout,     // Unit: writers applying a group in parallel.
+
+  // RESP serving layer (src/server; recorded on the server's own
+  // registry, so an embedded DB's histograms stay untouched). The
+  // latency histograms measure command dispatch -> reply bytes
+  // buffered, i.e. the engine batch the command rode in on; pipelined
+  // commands coalesced into one engine call therefore share one
+  // measurement each.
+  kServerGetLatency,
+  kServerSetLatency,
+  kServerDelLatency,
+  kServerMGetLatency,
+  kServerMSetLatency,
+  kServerScanLatency,
+  kServerOtherLatency,      // PING/INFO/CONFIG/... (admin commands).
+  kServerPipelineDepth,     // Unit: parsed commands coalesced per tick.
   kNumHistograms,
 };
 
@@ -54,6 +69,15 @@ enum class Tick : int {
   kListenerCallbacks = 0,
   kListenerFailures,        // Listener callbacks that threw.
   kLoggerRotations,
+
+  // RESP serving layer (server registry only; see Hist above).
+  kServerConnectionsAccepted,
+  kServerConnectionsClosed,
+  kServerCommands,           // Commands answered (pipelined ones included).
+  kServerProtocolErrors,     // Malformed frames (connection closed after).
+  kServerBackpressurePauses, // Reads paused: output backlog > soft limit.
+  kServerOverlimitCloses,    // Connections dropped: backlog > hard limit.
+  kServerHttpRequests,       // HTTP requests served (/metrics etc).
   kNumTicks,
 };
 

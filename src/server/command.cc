@@ -1,0 +1,67 @@
+#include "server/command.h"
+
+#include <cstring>
+
+namespace monkeydb {
+
+namespace {
+
+constexpr CommandSpec kCommands[] = {
+    {CommandId::kGet, "get", CommandClass::kRead, 2, 2, 1},
+    {CommandId::kMGet, "mget", CommandClass::kRead, 2, -1, 1},
+    {CommandId::kExists, "exists", CommandClass::kRead, 2, -1, 1},
+    {CommandId::kSet, "set", CommandClass::kWrite, 3, 3, 1},
+    {CommandId::kMSet, "mset", CommandClass::kWrite, 3, -1, 2},
+    {CommandId::kDel, "del", CommandClass::kWrite, 2, -1, 1},
+    {CommandId::kScan, "scan", CommandClass::kAdmin, 2, 6, 1},
+    {CommandId::kPing, "ping", CommandClass::kAdmin, 1, 2, 1},
+    {CommandId::kEcho, "echo", CommandClass::kAdmin, 2, 2, 1},
+    {CommandId::kInfo, "info", CommandClass::kAdmin, 1, 2, 1},
+    {CommandId::kConfig, "config", CommandClass::kAdmin, 2, 3, 1},
+    {CommandId::kCommand, "command", CommandClass::kAdmin, 1, -1, 1},
+    {CommandId::kSelect, "select", CommandClass::kAdmin, 2, 2, 1},
+    {CommandId::kDbSize, "dbsize", CommandClass::kAdmin, 1, 1, 1},
+    {CommandId::kQuit, "quit", CommandClass::kAdmin, 1, 1, 1},
+    {CommandId::kShutdown, "shutdown", CommandClass::kAdmin, 1, 2, 1},
+};
+
+// Per-spec arity complaints, built once (the reply borrows the storage).
+struct ArityMessages {
+  std::string messages[sizeof(kCommands) / sizeof(kCommands[0])];
+  ArityMessages() {
+    for (size_t i = 0; i < sizeof(kCommands) / sizeof(kCommands[0]); ++i) {
+      messages[i] = std::string("ERR wrong number of arguments for '") +
+                    kCommands[i].name + "' command";
+    }
+  }
+};
+
+}  // namespace
+
+const CommandSpec* LookupCommand(const Slice& name) {
+  for (const CommandSpec& spec : kCommands) {
+    const size_t n = strlen(spec.name);
+    if (name.size() != n) continue;
+    size_t i = 0;
+    for (; i < n; ++i) {
+      char c = name[i];
+      if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+      if (c != spec.name[i]) break;
+    }
+    if (i == n) return &spec;
+  }
+  return nullptr;
+}
+
+const char* CheckArity(const CommandSpec& spec, size_t nargs) {
+  static const ArityMessages kMessages;
+  const int n = static_cast<int>(nargs);
+  const bool ok =
+      n >= spec.min_args &&
+      (spec.max_args < 0 || n <= spec.max_args) &&
+      (spec.step <= 1 || (n - spec.min_args) % spec.step == 0);
+  if (ok) return nullptr;
+  return kMessages.messages[&spec - kCommands].c_str();
+}
+
+}  // namespace monkeydb

@@ -1,0 +1,197 @@
+#include "server/resp.h"
+
+#include <cstdio>
+
+namespace monkeydb {
+
+namespace {
+
+// Finds "\r\n" starting at data[pos], returning the index of '\r' or
+// SIZE_MAX if the terminator has not arrived yet.
+size_t FindCrlf(const char* data, size_t len, size_t pos) {
+  if (len < 1) return SIZE_MAX;
+  for (size_t i = pos; i + 1 < len; ++i) {
+    if (data[i] == '\r' && data[i + 1] == '\n') return i;
+  }
+  return SIZE_MAX;
+}
+
+// Strict decimal parse of [begin, end); no sign, no blanks. Returns false
+// on empty input, a non-digit, or overflow past max.
+bool ParseUint(const char* begin, const char* end, uint64_t max,
+               uint64_t* out) {
+  if (begin == end) return false;
+  uint64_t v = 0;
+  for (const char* p = begin; p != end; ++p) {
+    if (*p < '0' || *p > '9') return false;
+    const uint64_t digit = static_cast<uint64_t>(*p - '0');
+    if (v > (max - digit) / 10) return false;
+    v = v * 10 + digit;
+  }
+  *out = v;
+  return true;
+}
+
+std::string PrintableByte(char c) {
+  if (c >= 0x20 && c < 0x7f) return std::string(1, c);
+  char buf[8];
+  snprintf(buf, sizeof(buf), "\\x%02x", static_cast<unsigned char>(c));
+  return buf;
+}
+
+}  // namespace
+
+RespParser::Result RespParser::ParseOne(const char* data, size_t len,
+                                        size_t* pos,
+                                        std::vector<Slice>* args) {
+  // Loop so empty frames (blank inline lines, *0 arrays) are skipped
+  // without bouncing back to the caller with zero-argument commands.
+  while (true) {
+    if (*pos >= len) return Result::kNeedMore;
+    const Result r = data[*pos] == '*'
+                         ? ParseMultibulk(data, len, pos, args)
+                         : ParseInline(data, len, pos, args);
+    if (r != Result::kCommand) return r;
+    if (!args->empty()) return Result::kCommand;
+  }
+}
+
+RespParser::Result RespParser::ParseMultibulk(const char* data, size_t len,
+                                              size_t* pos,
+                                              std::vector<Slice>* args) {
+  args->clear();
+  size_t cur = *pos;  // cur sits on '*'.
+  size_t eol = FindCrlf(data, len, cur);
+  if (eol == SIZE_MAX) {
+    if (len - cur > 32) return Fail("invalid multibulk length");
+    return Result::kNeedMore;
+  }
+  uint64_t count = 0;
+  // "*-1\r\n" (null array) is tolerated as an empty frame, like Redis.
+  if (eol > cur + 1 && data[cur + 1] == '-') {
+    uint64_t ignored;
+    if (!ParseUint(data + cur + 2, data + eol, UINT64_MAX, &ignored)) {
+      return Fail("invalid multibulk length");
+    }
+    *pos = eol + 2;
+    return Result::kCommand;  // args empty; ParseOne keeps scanning.
+  }
+  if (!ParseUint(data + cur + 1, data + eol, limits_.max_multibulk,
+                 &count)) {
+    return Fail("invalid multibulk length");
+  }
+  cur = eol + 2;
+  args->reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    if (cur >= len) return Result::kNeedMore;
+    if (data[cur] != '$') {
+      return Fail("expected '$', got '" + PrintableByte(data[cur]) + "'");
+    }
+    eol = FindCrlf(data, len, cur);
+    if (eol == SIZE_MAX) {
+      if (len - cur > 32) return Fail("invalid bulk length");
+      return Result::kNeedMore;
+    }
+    uint64_t blen = 0;
+    if (!ParseUint(data + cur + 1, data + eol, limits_.max_bulk_bytes,
+                   &blen)) {
+      return Fail("invalid bulk length");
+    }
+    const size_t payload = eol + 2;
+    if (payload + blen + 2 > len) return Result::kNeedMore;
+    if (data[payload + blen] != '\r' || data[payload + blen + 1] != '\n') {
+      return Fail("bulk payload not terminated by CRLF");
+    }
+    args->emplace_back(data + payload, blen);
+    cur = payload + blen + 2;
+  }
+  *pos = cur;
+  return Result::kCommand;
+}
+
+RespParser::Result RespParser::ParseInline(const char* data, size_t len,
+                                           size_t* pos,
+                                           std::vector<Slice>* args) {
+  args->clear();
+  const size_t eol = FindCrlf(data, len, *pos);
+  if (eol == SIZE_MAX) {
+    if (len - *pos > limits_.max_inline_bytes) {
+      return Fail("too big inline request");
+    }
+    return Result::kNeedMore;
+  }
+  if (eol - *pos > limits_.max_inline_bytes) {
+    return Fail("too big inline request");
+  }
+  size_t i = *pos;
+  while (i < eol) {
+    while (i < eol && (data[i] == ' ' || data[i] == '\t')) ++i;
+    const size_t start = i;
+    while (i < eol && data[i] != ' ' && data[i] != '\t') ++i;
+    if (i > start) args->emplace_back(data + start, i - start);
+  }
+  *pos = eol + 2;
+  return Result::kCommand;  // May be empty (blank line): caller skips.
+}
+
+namespace resp {
+
+void AppendSimpleString(std::string* out, const Slice& s) {
+  out->push_back('+');
+  out->append(s.data(), s.size());
+  out->append("\r\n");
+}
+
+void AppendError(std::string* out, const Slice& msg) {
+  out->push_back('-');
+  out->append(msg.data(), msg.size());
+  out->append("\r\n");
+}
+
+void AppendInteger(std::string* out, long long v) {
+  char buf[32];
+  const int n = snprintf(buf, sizeof(buf), ":%lld\r\n", v);
+  out->append(buf, static_cast<size_t>(n));
+}
+
+void AppendBulk(std::string* out, const Slice& s) {
+  char buf[32];
+  const int n = snprintf(buf, sizeof(buf), "$%zu\r\n", s.size());
+  out->append(buf, static_cast<size_t>(n));
+  out->append(s.data(), s.size());
+  out->append("\r\n");
+}
+
+void AppendNull(std::string* out) { out->append("$-1\r\n"); }
+
+void AppendArrayHeader(std::string* out, size_t n) {
+  char buf[32];
+  const int len = snprintf(buf, sizeof(buf), "*%zu\r\n", n);
+  out->append(buf, static_cast<size_t>(len));
+}
+
+}  // namespace resp
+
+bool GlobMatch(const Slice& pattern, const Slice& str) {
+  size_t p = 0, s = 0;
+  size_t star_p = SIZE_MAX, star_s = 0;
+  while (s < str.size()) {
+    if (p < pattern.size() &&
+        (pattern[p] == '?' || pattern[p] == str[s])) {
+      ++p;
+      ++s;
+    } else if (p < pattern.size() && pattern[p] == '*') {
+      star_p = p++;
+      star_s = s;
+    } else if (star_p != SIZE_MAX) {
+      p = star_p + 1;
+      s = ++star_s;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '*') ++p;
+  return p == pattern.size();
+}
+
+}  // namespace monkeydb

@@ -1,0 +1,218 @@
+#include "server/resp_client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+namespace monkeydb {
+
+std::string RespReply::ToString() const {
+  switch (type) {
+    case Type::kSimple:
+      return str;
+    case Type::kError:
+      return "(error) " + str;
+    case Type::kInteger:
+      return "(integer) " + std::to_string(integer);
+    case Type::kBulk:
+      return "\"" + str + "\"";
+    case Type::kNull:
+      return "(nil)";
+    case Type::kArray: {
+      std::string out;
+      for (size_t i = 0; i < elements.size(); ++i) {
+        out += std::to_string(i + 1) + ") " + elements[i].ToString();
+        if (i + 1 < elements.size()) out += "\n";
+      }
+      return elements.empty() ? "(empty array)" : out;
+    }
+  }
+  return "";
+}
+
+RespClient::~RespClient() { Close(); }
+
+void RespClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buf_.clear();
+  pos_ = 0;
+}
+
+Status RespClient::Connect(const std::string& host, int port) {
+  Close();
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    return Status::IoError(std::string("socket: ") + strerror(errno));
+  }
+  struct sockaddr_in addr;
+  memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad host address: " + host);
+  }
+  if (::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                sizeof(addr)) < 0) {
+    const std::string err = strerror(errno);
+    ::close(fd);
+    return Status::IoError("connect(" + host + ":" +
+                           std::to_string(port) + "): " + err);
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  fd_ = fd;
+  return Status::OK();
+}
+
+void RespClient::EncodeCommand(const std::vector<std::string>& args,
+                               std::string* out) {
+  out->push_back('*');
+  out->append(std::to_string(args.size()));
+  out->append("\r\n");
+  for (const std::string& arg : args) {
+    out->push_back('$');
+    out->append(std::to_string(arg.size()));
+    out->append("\r\n");
+    out->append(arg);
+    out->append("\r\n");
+  }
+}
+
+Status RespClient::SendRaw(const std::string& bytes) {
+  if (fd_ < 0) return Status::IoError("not connected");
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string("send: ") + strerror(errno));
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status RespClient::SendCommand(const std::vector<std::string>& args) {
+  std::string encoded;
+  EncodeCommand(args, &encoded);
+  return SendRaw(encoded);
+}
+
+Status RespClient::FillBuffer() {
+  // Drop the consumed prefix before growing the buffer.
+  if (pos_ > 0 && pos_ == buf_.size()) {
+    buf_.clear();
+    pos_ = 0;
+  } else if (pos_ > (1u << 16)) {
+    buf_.erase(0, pos_);
+    pos_ = 0;
+  }
+  char chunk[16384];
+  while (true) {
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      buf_.append(chunk, static_cast<size_t>(n));
+      return Status::OK();
+    }
+    if (n == 0) return Status::IoError("connection closed by server");
+    if (errno == EINTR) continue;
+    return Status::IoError(std::string("recv: ") + strerror(errno));
+  }
+}
+
+Status RespClient::ReadLine(std::string* line) {
+  while (true) {
+    const size_t eol = buf_.find("\r\n", pos_);
+    if (eol != std::string::npos) {
+      *line = buf_.substr(pos_, eol - pos_);
+      pos_ = eol + 2;
+      return Status::OK();
+    }
+    Status s = FillBuffer();
+    if (!s.ok()) return s;
+  }
+}
+
+Status RespClient::ParseReply(RespReply* reply) {
+  std::string line;
+  Status s = ReadLine(&line);
+  if (!s.ok()) return s;
+  if (line.empty()) {
+    return Status::IoError("empty reply line");
+  }
+  const char type = line[0];
+  const std::string rest = line.substr(1);
+  switch (type) {
+    case '+':
+      reply->type = RespReply::Type::kSimple;
+      reply->str = rest;
+      return Status::OK();
+    case '-':
+      reply->type = RespReply::Type::kError;
+      reply->str = rest;
+      return Status::OK();
+    case ':':
+      reply->type = RespReply::Type::kInteger;
+      reply->integer = atoll(rest.c_str());
+      return Status::OK();
+    case '$': {
+      const long long len = atoll(rest.c_str());
+      if (len < 0) {
+        reply->type = RespReply::Type::kNull;
+        return Status::OK();
+      }
+      // Payload + trailing CRLF.
+      while (buf_.size() - pos_ < static_cast<size_t>(len) + 2) {
+        s = FillBuffer();
+        if (!s.ok()) return s;
+      }
+      reply->type = RespReply::Type::kBulk;
+      reply->str = buf_.substr(pos_, static_cast<size_t>(len));
+      pos_ += static_cast<size_t>(len) + 2;
+      return Status::OK();
+    }
+    case '*': {
+      const long long n = atoll(rest.c_str());
+      if (n < 0) {
+        reply->type = RespReply::Type::kNull;
+        return Status::OK();
+      }
+      reply->type = RespReply::Type::kArray;
+      reply->elements.resize(static_cast<size_t>(n));
+      for (long long i = 0; i < n; ++i) {
+        s = ParseReply(&reply->elements[static_cast<size_t>(i)]);
+        if (!s.ok()) return s;
+      }
+      return Status::OK();
+    }
+    default:
+      return Status::IoError(std::string("unexpected reply type '") +
+                             type + "'");
+  }
+}
+
+Status RespClient::ReadReply(RespReply* reply) {
+  if (fd_ < 0) return Status::IoError("not connected");
+  *reply = RespReply();
+  return ParseReply(reply);
+}
+
+Status RespClient::Command(const std::vector<std::string>& args,
+                           RespReply* reply) {
+  Status s = SendCommand(args);
+  if (!s.ok()) return s;
+  return ReadReply(reply);
+}
+
+}  // namespace monkeydb

@@ -1,0 +1,68 @@
+// RespClient: a small blocking RESP2 client — connect, send framed
+// commands (optionally batched for pipelining), read replies. Shared by
+// tools/monkey_cli, the server tests, and bench/server_throughput; it is
+// deliberately synchronous (the server owns all the async machinery).
+
+#ifndef MONKEYDB_SERVER_RESP_CLIENT_H_
+#define MONKEYDB_SERVER_RESP_CLIENT_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace monkeydb {
+
+// One decoded RESP reply. Arrays nest.
+struct RespReply {
+  enum class Type { kSimple, kError, kInteger, kBulk, kNull, kArray };
+  Type type = Type::kNull;
+  std::string str;    // kSimple / kError / kBulk payload.
+  long long integer = 0;
+  std::vector<RespReply> elements;  // kArray.
+
+  // redis-cli-style rendering (tests and the CLI print this).
+  std::string ToString() const;
+};
+
+class RespClient {
+ public:
+  RespClient() = default;
+  ~RespClient();
+
+  RespClient(const RespClient&) = delete;
+  RespClient& operator=(const RespClient&) = delete;
+
+  Status Connect(const std::string& host, int port);
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  // Encodes args as one framed multibulk command onto *out. Batch several
+  // and SendRaw the lot to pipeline.
+  static void EncodeCommand(const std::vector<std::string>& args,
+                            std::string* out);
+
+  Status SendRaw(const std::string& bytes);
+  Status SendCommand(const std::vector<std::string>& args);
+
+  // Blocks until one complete reply arrives (recursively for arrays).
+  Status ReadReply(RespReply* reply);
+
+  // SendCommand + ReadReply.
+  Status Command(const std::vector<std::string>& args, RespReply* reply);
+
+ private:
+  // Reads one "...\r\n" line starting at buf_[pos_], refilling as needed.
+  Status ReadLine(std::string* line);
+  Status FillBuffer();
+  Status ParseReply(RespReply* reply);
+
+  int fd_ = -1;
+  std::string buf_;
+  size_t pos_ = 0;
+};
+
+}  // namespace monkeydb
+
+#endif  // MONKEYDB_SERVER_RESP_CLIENT_H_

@@ -1,0 +1,37 @@
+// Keyspace sharding: a stable hash-partition of user keys across the
+// server's independent DB instances. Every key lives on exactly one shard
+// for the lifetime of the deployment (the hash has no dependence on shard
+// count ordering beyond the modulus), so GET/SET/DEL route point-wise and
+// MGET/MSET split per shard and reassemble in request order.
+
+#ifndef MONKEYDB_SERVER_SHARD_ROUTER_H_
+#define MONKEYDB_SERVER_SHARD_ROUTER_H_
+
+#include "util/hash.h"
+#include "util/slice.h"
+
+namespace monkeydb {
+
+class ShardRouter {
+ public:
+  explicit ShardRouter(int shards) : shards_(shards < 1 ? 1 : shards) {}
+
+  int shards() const { return shards_; }
+
+  int ShardOf(const Slice& key) const {
+    if (shards_ == 1) return 0;
+    return static_cast<int>(XxHash64(key, kSeed) %
+                            static_cast<uint64_t>(shards_));
+  }
+
+ private:
+  // Fixed seed: the partition must be identical across restarts or keys
+  // written before a restart would become unreachable.
+  static constexpr uint64_t kSeed = 0x6d6f6e6b65794b56ull;  // "monkeyKV"
+
+  int shards_;
+};
+
+}  // namespace monkeydb
+
+#endif  // MONKEYDB_SERVER_SHARD_ROUTER_H_

@@ -1,0 +1,83 @@
+// monkey_cli: a minimal RESP client for poking monkey_server.
+//
+//   monkey_cli [--host H] [--port P] SET k v        one command
+//   monkey_cli --pipeline 100 SET k v               same command, pipelined
+//   monkey_cli PING                                 liveness check
+//
+// With --pipeline N the command is encoded N times, sent as one write,
+// and the N replies are read back (only the last is printed) — a direct
+// probe of the server's per-tick coalescing.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "server/resp_client.h"
+
+int main(int argc, char** argv) {
+  using monkeydb::RespClient;
+  using monkeydb::RespReply;
+  using monkeydb::Status;
+
+  std::string host = "127.0.0.1";
+  int port = 6380;
+  int pipeline = 1;
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        fprintf(stderr, "%s requires a value\n", flag);
+        exit(2);
+      }
+      return argv[++i];
+    };
+    if (args.empty() && arg == "--host") {
+      host = next("--host");
+    } else if (args.empty() && arg == "--port") {
+      port = atoi(next("--port"));
+    } else if (args.empty() && arg == "--pipeline") {
+      pipeline = atoi(next("--pipeline"));
+      if (pipeline < 1) {
+        fprintf(stderr, "--pipeline must be >= 1\n");
+        return 2;
+      }
+    } else {
+      args.push_back(arg);
+    }
+  }
+  if (args.empty()) {
+    fprintf(stderr,
+            "usage: monkey_cli [--host H] [--port P] [--pipeline N] "
+            "COMMAND [ARG...]\n");
+    return 2;
+  }
+
+  RespClient client;
+  Status s = client.Connect(host, port);
+  if (!s.ok()) {
+    fprintf(stderr, "monkey_cli: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::string batch;
+  for (int i = 0; i < pipeline; ++i) {
+    RespClient::EncodeCommand(args, &batch);
+  }
+  s = client.SendRaw(batch);
+  if (!s.ok()) {
+    fprintf(stderr, "monkey_cli: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  RespReply reply;
+  for (int i = 0; i < pipeline; ++i) {
+    s = client.ReadReply(&reply);
+    if (!s.ok()) {
+      fprintf(stderr, "monkey_cli: %s\n", s.ToString().c_str());
+      return 1;
+    }
+  }
+  printf("%s\n", reply.ToString().c_str());
+  return reply.type == RespReply::Type::kError ? 1 : 0;
+}
