@@ -106,7 +106,8 @@ LatencyDb BuildDb(bool background) {
   WriteOptions wo;
   const std::string value(48, 'v');
   for (int i = 0; i < g_num_keys; i++) {
-    s = t.db->Put(wo, MakeKey(i), value);
+    const std::string key = MakeKey(i);
+    s = t.db->Put(wo, key, value);
     if (!s.ok()) abort();
   }
   if (!t.db->Flush().ok()) abort();
@@ -303,8 +304,8 @@ MemtableArm MeasureMemtableWrites(DB* db, int threads,
     prebuilt[t].resize(g_memtable_batches_per_thread);
     for (int b = 0; b < g_memtable_batches_per_thread; b++) {
       for (int i = 0; i < kOpsPerBatch; i++) {
-        prebuilt[t][b].Put(prefix + std::to_string(b * kOpsPerBatch + i),
-                           value);
+        const std::string key = prefix + std::to_string(b * kOpsPerBatch + i);
+        prebuilt[t][b].Put(key, value);
       }
     }
   }

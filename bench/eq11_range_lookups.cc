@@ -98,7 +98,8 @@ LatencyDb BuildLatencyDb(MergePolicy policy) {
   WriteOptions wo;
   const std::string value(48, 'v');
   for (int i = 0; i < g_wall_num_keys; i++) {
-    if (!t.db->Put(wo, MakeKey(i), value).ok()) abort();
+    const std::string key = MakeKey(i);
+    if (!t.db->Put(wo, key, value).ok()) abort();
   }
   if (!t.db->Flush().ok()) abort();
   return t;
@@ -117,8 +118,8 @@ double MeasureScanThroughput(DB* db, int readahead, int round) {
   for (int i = 0; i < g_wall_scans; i++) {
     auto iter = db->NewIterator(ro);
     int remaining = g_wall_scan_len;
-    for (iter->Seek(MakeKey(rng.Uniform(
-             g_wall_num_keys - static_cast<uint64_t>(g_wall_scan_len))));
+    const std::string key = MakeKey(rng.Uniform( g_wall_num_keys - static_cast<uint64_t>(g_wall_scan_len)));
+    for (iter->Seek(key);
          iter->Valid() && remaining > 0; iter->Next(), remaining--) {
       entries++;
     }
@@ -323,8 +324,8 @@ int main(int argc, char** argv) {
       for (int i = 0; i < scans; i++) {
         auto iter = db.db->NewIterator(ReadOptions());
         int remaining = range_len;
-        for (iter->Seek(MakeKey(
-                 rng.Uniform(n - static_cast<uint64_t>(range_len))));
+        const std::string key = MakeKey( rng.Uniform(n - static_cast<uint64_t>(range_len)));
+        for (iter->Seek(key);
              iter->Valid() && remaining > 0; iter->Next(), remaining--) {
         }
       }

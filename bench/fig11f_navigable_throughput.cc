@@ -34,9 +34,11 @@ double MeasureThroughput(const FillSpec& spec, double lookup_share) {
   uint64_t next_key = spec.num_keys;
   for (int i = 0; i < kOps; i++) {
     if (rng.Bernoulli(lookup_share)) {
-      t.db->Get(ro, MakeMissingKey(rng.Uniform(spec.num_keys)), &out).ok();
+      const std::string missing_key = MakeMissingKey(rng.Uniform(spec.num_keys));
+      t.db->Get(ro, missing_key, &out).ok();
     } else {
-      if (!t.db->Put(wo, MakeKey(next_key++), value).ok()) abort();
+      const std::string key = MakeKey(next_key++);
+      if (!t.db->Put(wo, key, value).ok()) abort();
     }
   }
   const auto delta = t.stats->Snapshot() - before;

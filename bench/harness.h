@@ -142,7 +142,8 @@ inline TestDb Fill(const FillSpec& spec) {
   for (int i = 0; i < spec.num_keys; i++) {
     pos = (pos + step) % spec.num_keys;
     t.insertion_order.push_back(pos);
-    s = t.db->Put(wo, MakeKey(pos), value);
+    const std::string key = MakeKey(pos);
+    s = t.db->Put(wo, key, value);
     if (!s.ok()) {
       fprintf(stderr, "Put failed: %s\n", s.ToString().c_str());
       abort();
@@ -257,7 +258,8 @@ inline IoBackendDb OpenIoBackendDb(const std::string& requested,
   uint64_t pos = rng.Uniform(spec.num_keys);
   for (int i = 0; i < spec.num_keys; i++) {
     pos = (pos + step) % spec.num_keys;
-    if (!t.db->Put(wo, MakeKey(pos), value).ok()) abort();
+    const std::string key = MakeKey(pos);
+    if (!t.db->Put(wo, key, value).ok()) abort();
   }
   if (!t.db->Flush().ok()) abort();
   return t;
@@ -292,7 +294,8 @@ inline LookupResult MeasureZeroResultLookups(TestDb* t, int lookups,
   std::string value;
   const auto before = t->stats->Snapshot();
   for (int i = 0; i < lookups; i++) {
-    t->db->Get(ro, MakeMissingKey(rng.Uniform(t->num_keys)), &value).ok();
+    const std::string missing_key = MakeMissingKey(rng.Uniform(t->num_keys));
+    t->db->Get(ro, missing_key, &value).ok();
   }
   const auto delta = t->stats->Snapshot() - before;
   LookupResult r;
@@ -319,7 +322,8 @@ inline LookupResult MeasureNonZeroResultLookups(TestDb* t, int lookups,
     const uint64_t rank = gen.NextRank(&rng);
     const uint64_t key_index =
         t->insertion_order[t->num_keys - 1 - rank];
-    Status s = t->db->Get(ro, MakeKey(key_index), &value);
+    const std::string key = MakeKey(key_index);
+    Status s = t->db->Get(ro, key, &value);
     if (!s.ok()) {
       fprintf(stderr, "lookup of existing key failed\n");
       abort();

@@ -59,7 +59,8 @@ int main() {
     for (int i = 0; i < n; i++) {
       char key[24];
       snprintf(key, sizeof(key), "user%012d", i);
-      if (!db->Put(wo, key, std::string(48, 'v')).ok()) abort();
+      const std::string payload = std::string(48, 'v');
+      if (!db->Put(wo, key, payload).ok()) abort();
       const uint64_t now = stats.Snapshot().write_ios;
       per_put.push_back(now - prev);
       prev = now;

@@ -63,7 +63,8 @@ void BM_BloomBuild(benchmark::State& state) {
   for (auto _ : state) {
     BloomFilterBuilder builder;
     for (int i = 0; i < n; i++) {
-      builder.AddKey("key" + std::to_string(i));
+      const std::string key = "key" + std::to_string(i);
+      builder.AddKey(key);
     }
     benchmark::DoNotOptimize(builder.Finish(10.0));
   }
@@ -74,7 +75,8 @@ BENCHMARK(BM_BloomBuild)->Arg(10000);
 void BM_BloomQuery(benchmark::State& state) {
   BloomFilterBuilder builder;
   for (int i = 0; i < 100000; i++) {
-    builder.AddKey("key" + std::to_string(i));
+    const std::string key = "key" + std::to_string(i);
+    builder.AddKey(key);
   }
   const std::string filter = builder.Finish(10.0);
   Random rng(1);
@@ -89,7 +91,8 @@ BENCHMARK(BM_BloomQuery);
 void BM_BlockedBloomQuery(benchmark::State& state) {
   BlockedBloomFilterBuilder builder;
   for (int i = 0; i < 100000; i++) {
-    builder.AddKey("key" + std::to_string(i));
+    const std::string key = "key" + std::to_string(i);
+    builder.AddKey(key);
   }
   const std::string filter = builder.Finish(10.0);
   Random rng(1);
@@ -109,7 +112,8 @@ void BM_MemTableInsert(benchmark::State& state) {
   Random rng(2);
   const std::string value(64, 'v');
   for (auto _ : state) {
-    mem->Add(++seq, ValueType::kValue, "key" + std::to_string(rng.Next()),
+    const std::string key = "key" + std::to_string(rng.Next());
+    mem->Add(++seq, ValueType::kValue, key,
              value);
     if (mem->ApproximateMemoryUsage() > (64 << 20)) {
       state.PauseTiming();
@@ -125,12 +129,14 @@ void BM_MemTableGet(benchmark::State& state) {
   InternalKeyComparator cmp(BytewiseComparator());
   MemTable mem(cmp);
   for (int i = 0; i < 100000; i++) {
-    mem.Add(i + 1, ValueType::kValue, "key" + std::to_string(i), "value");
+    const std::string key = "key" + std::to_string(i);
+    mem.Add(i + 1, ValueType::kValue, key, "value");
   }
   Random rng(3);
   std::string value;
   for (auto _ : state) {
-    LookupKey lookup("key" + std::to_string(rng.Uniform(100000)),
+    const std::string key = "key" + std::to_string(rng.Uniform(100000));
+    LookupKey lookup(key,
                      kMaxSequenceNumber);
     bool found;
     benchmark::DoNotOptimize(mem.Get(lookup, &value, &found));
@@ -152,7 +158,8 @@ void BM_TableProbe(benchmark::State& state) {
     snprintf(buf, sizeof(buf), "key%09d", i);
     std::string ikey;
     AppendInternalKey(&ikey, buf, 1, ValueType::kValue);
-    builder.Add(ikey, std::string(32, 'v'));
+    const std::string payload = std::string(32, 'v');
+    builder.Add(ikey, payload);
   }
   builder.Finish().ok();
   file->Close().ok();

@@ -39,7 +39,8 @@ double MeasureWritePerPut(double zipf_theta, int ops, int key_space) {
     const uint64_t id = zipf_theta > 0
                             ? zipf.Next(&rng)
                             : rng.Uniform(key_space);
-    if (!db->Put(wo, MakeKey(id), value).ok()) abort();
+    const std::string key = MakeKey(id);
+    if (!db->Put(wo, key, value).ok()) abort();
   }
   db->Flush().ok();
   return static_cast<double>(stats.Snapshot().write_ios) / ops;

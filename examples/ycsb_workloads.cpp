@@ -59,7 +59,8 @@ Instance Load(bool monkey_filters) {
   WriteOptions wo;
   const std::string value(100, 'y');  // YCSB default: ~100 B fields.
   for (int i = 0; i < g_records; i++) {
-    if (!inst.db->Put(wo, Key(i), value).ok()) abort();
+    const std::string key = Key(i);
+    if (!inst.db->Put(wo, key, value).ok()) abort();
   }
   if (!inst.db->Flush().ok()) abort();
   return inst;
@@ -126,7 +127,8 @@ int main(int argc, char** argv) {
     ZipfianGenerator zipf(g_records);
     std::string out;
     for (int i = 0; i < g_operations; i++) {
-      db->Get(ReadOptions(), Key(zipf.Next(rng)), &out).ok();
+      const std::string key = Key(zipf.Next(rng));
+      db->Get(ReadOptions(), key, &out).ok();
     }
   });
 
@@ -135,11 +137,13 @@ int main(int argc, char** argv) {
     uint64_t next = g_records;
     for (int i = 0; i < g_operations; i++) {
       if (rng->Bernoulli(0.05)) {
-        db->Put(WriteOptions(), Key(next++), value).ok();
+        const std::string key = Key(next++);
+        db->Put(WriteOptions(), key, value).ok();
       } else {
         // Read near the most recently inserted keys.
         const uint64_t back = rng->Uniform(1000) + 1;
-        db->Get(ReadOptions(), Key(next > back ? next - back : 0), &out)
+        const std::string key = Key(next > back ? next - back : 0);
+        db->Get(ReadOptions(), key, &out)
             .ok();
       }
     }
@@ -149,11 +153,13 @@ int main(int argc, char** argv) {
     uint64_t next = g_records;
     for (int i = 0; i < g_operations; i++) {
       if (rng->Bernoulli(0.05)) {
-        db->Put(WriteOptions(), Key(next++), value).ok();
+        const std::string key = Key(next++);
+        db->Put(WriteOptions(), key, value).ok();
       } else {
         auto iter = db->NewIterator(ReadOptions());
         int len = 1 + static_cast<int>(rng->Uniform(100));
-        for (iter->Seek(Key(rng->Uniform(g_records)));
+        const std::string key = Key(rng->Uniform(g_records));
+        for (iter->Seek(key);
              iter->Valid() && len > 0; iter->Next(), len--) {
         }
       }

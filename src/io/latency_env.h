@@ -110,6 +110,9 @@ class LatencyEnv : public Env {
                 std::chrono::microseconds latency)
         : base_(std::move(base)), latency_(latency) {}
 
+    // monkey-lint: io-under-mutex(fn) — simulated-latency bookkeeping:
+    // the clock read under the hint-tracker mutex IS the latency model
+    // (it measures how much of the simulated transfer already elapsed).
     Status Read(uint64_t offset, size_t n, Slice* result,
                 char* scratch) const override {
       // The sleep below IS the device time in this model; charge it (plus
@@ -137,6 +140,8 @@ class LatencyEnv : public Env {
     // remaining transfer instead of summing per-request latencies. That
     // models exactly what an io_uring batch buys on hardware with queue
     // depth > 1.
+    // monkey-lint: io-under-mutex(fn) — simulated-latency bookkeeping,
+    // as in Read above.
     Status ReadBatch(ReadRequest* reqs, size_t count) const override {
       PerfTimer timer(&GetIOStatsContext()->read_nanos);
       auto max_remaining = std::chrono::microseconds(0);
@@ -163,6 +168,8 @@ class LatencyEnv : public Env {
 
     bool SupportsReadBatch() const override { return true; }
 
+    // monkey-lint: io-under-mutex(fn) — simulated-latency bookkeeping,
+    // as in Read above (here: stamping the transfer start).
     void ReadAhead(uint64_t offset, size_t n) const override {
       base_->ReadAhead(offset, n);
       MutexLock lock(mu_);

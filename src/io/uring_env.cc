@@ -239,6 +239,10 @@ class Ring {
       unsigned completed = 0;
       while (submitted < chunk || completed < chunk) {
         const unsigned to_submit = chunk - submitted;
+        // monkey-lint: io-under-mutex — mu_ is the ring's SQ/CQ
+        // serialization: one submitter owns the queues for the whole
+        // batch, so the enter syscall under it is the submission design,
+        // not an accident.
         const int ret = SysIoUringEnter(ring_fd_, to_submit,
                                         chunk - completed,
                                         IORING_ENTER_GETEVENTS);

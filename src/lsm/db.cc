@@ -43,9 +43,12 @@ class OptionalTimer {
   }
   uint64_t ElapsedMicros() const {
     if (!enabled_) return 0;
+    // monkey-lint: io-under-mutex — metrics clock read: a vDSO call with
+    // no syscall or blocking, deliberately charged to the covered
+    // operation wherever it ends, including under mu_.
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
     return static_cast<uint64_t>(
-        std::chrono::duration_cast<std::chrono::microseconds>(
-            std::chrono::steady_clock::now() - start_)
+        std::chrono::duration_cast<std::chrono::microseconds>(elapsed)
             .count());
   }
 
@@ -98,6 +101,10 @@ DB::~DB() {
   // (and for the caller to destroy the Env). Uncontended by now, but
   // holding mu_ keeps the GUARDED_BY contract checkable.
   MutexLock lock(mu_);
+  DrainObsoleteFilesLocked();
+  // monkey-lint: io-under-mutex, status-sink — shutdown path: the worker
+  // is joined and mu_ uncontended; a failed close loses nothing the WAL
+  // protocol has not already made durable.
   if (wal_ != nullptr) wal_->Close().IgnoreError();
   if (manifest_ != nullptr) manifest_->Close().IgnoreError();
 }
@@ -212,6 +219,9 @@ Status DB::OpenTable(RunPtr run) {
   return Status::OK();
 }
 
+// monkey-lint: io-under-mutex(fn) — recovery runs before the DB is
+// published: no reader or writer exists yet, so mu_ is uncontended and
+// held only to keep the GUARDED_BY contracts checkable.
 Status DB::Recover() {
   MutexLock lock(mu_);
   const std::string manifest_path = name_ + "/MANIFEST";
@@ -280,6 +290,8 @@ Status DB::Recover() {
             child.compare(child.size() - 4, 4, ".sst") == 0) {
           const uint64_t fn = strtoull(child.c_str(), nullptr, 10);
           if (live.count(fn) == 0) {
+            // monkey-lint: status-sink — best-effort orphan sweep; a file
+            // that survives is retried on the next Recover.
             options_.env->RemoveFile(name_ + "/" + child).IgnoreError();
           }
         }
@@ -359,9 +371,12 @@ Status DB::Recover() {
     MONKEYDB_RETURN_IF_ERROR(Cascade(/*io_unlock=*/false));
   }
   for (const std::string& wal : old_wals) {
+    // monkey-lint: status-sink — best-effort retirement of replayed WALs;
+    // a leftover is replayed again (idempotent) and re-retired next Open.
     options_.env->RemoveFile(wal).IgnoreError();
   }
   MONKEYDB_RETURN_IF_ERROR(NewWalLocked());
+  DrainObsoleteFilesLocked();
 
   PublishViewLocked();
   if (options_.background_compaction) {
@@ -370,6 +385,8 @@ Status DB::Recover() {
   return Status::OK();
 }
 
+// monkey-lint: io-under-mutex(fn) — recovery-only: called from Recover
+// before the DB is published, where mu_ is uncontended (see Recover).
 Status DB::ReplayWal(const std::string& wal_path) {
   std::unique_ptr<SequentialFile> file;
   MONKEYDB_RETURN_IF_ERROR(options_.env->NewSequentialFile(wal_path, &file));
@@ -393,8 +410,15 @@ Status DB::ReplayWal(const std::string& wal_path) {
   return Status::OK();
 }
 
+// monkey-lint: io-under-mutex(fn) — WAL rotation must be atomic with the
+// memtable swap it accompanies: a commit between the swap and the new WAL
+// would write into a log already slated for retirement. The close is a
+// buffered-file teardown and the open a single create; both are the
+// LevelDB-lineage rotation cost, paid under mu_ by design.
 Status DB::NewWalLocked() {
   const uint64_t retired = wal_ != nullptr ? wal_number_ : 0;
+  // monkey-lint: status-sink — the WAL being closed is already fully
+  // synced by every committed group; close failure loses nothing.
   if (wal_ != nullptr) wal_->Close().IgnoreError();
   wal_number_++;
   std::unique_ptr<WritableFile> file;
@@ -775,7 +799,9 @@ Status DB::MaybeCompactBuffer() {
     return Status::OK();
   }
   if (options_.background_compaction) return SwitchMemTable();
-  return FlushActiveMemTableLocked();
+  Status s = FlushActiveMemTableLocked();
+  DrainObsoleteFilesLocked();
+  return s;
 }
 
 Status DB::SwitchMemTable() {
@@ -825,10 +851,11 @@ Status DB::FlushActiveMemTableLocked() {
   MONKEYDB_RETURN_IF_ERROR(FlushMemTable(mem_, /*swap_active=*/true,
                                          /*io_unlock=*/false));
   MONKEYDB_RETURN_IF_ERROR(Cascade(/*io_unlock=*/false));
-  // The flushed entries are durable as a run; retire their WAL.
+  // The flushed entries are durable as a run; retire their WAL. The
+  // unlink is queued — every caller drains right after this returns.
   const uint64_t old_wal = wal_number_;
   MONKEYDB_RETURN_IF_ERROR(NewWalLocked());
-  options_.env->RemoveFile(WalFileName(old_wal)).IgnoreError();
+  obsolete_files_.push_back(WalFileName(old_wal));
   return Status::OK();
 }
 
@@ -850,6 +877,10 @@ void DB::BackgroundMain() {
     // true, so the loop comes back to it once the queue is drained.
     Status s = !imm_.empty() ? FlushOldestImmutable()
                              : Cascade(/*io_unlock=*/true);
+    // Unlink retired files before clearing worker_busy_: WaitForDrain
+    // returns once the worker idles, and "drained" includes the disk
+    // reflecting the new tree.
+    DrainObsoleteFilesLocked();
     worker_busy_ = false;
     if (!s.ok() && bg_error_.ok()) bg_error_ = s;
     bg_done_cv_.SignalAll();
@@ -868,7 +899,7 @@ Status DB::FlushOldestImmutable() {
   // memtables, not the one whose entries were just persisted.
   imm_.pop_back();
   PublishViewLocked();
-  options_.env->RemoveFile(WalFileName(entry.wal_number)).IgnoreError();
+  obsolete_files_.push_back(WalFileName(entry.wal_number));
   return Cascade(/*io_unlock=*/true);
 }
 
@@ -976,7 +1007,9 @@ Status DB::Flush() {
     }
     return WaitForDrain();
   }
-  return FlushActiveMemTableLocked();
+  Status s = FlushActiveMemTableLocked();
+  DrainObsoleteFilesLocked();
+  return s;
 }
 
 Status DB::CompactAll() {
@@ -1035,7 +1068,11 @@ Status DB::CompactAll() {
   if (out != nullptr) {
     (*current_.mutable_levels())[target - 1].push_back(out);
   }
-  return LogAndApply(edit);
+  Status s = LogAndApply(edit);
+  // The merge is published; the stop-the-world window can end, so the
+  // unlinks run with writers admitted again.
+  DrainObsoleteFilesLocked();
+  return s;
 }
 
 // --- Read path ---
@@ -1567,6 +1604,9 @@ Status DB::BuildRunFromJob(Iterator* iter, const CompactionJob& job,
   MONKEYDB_RETURN_IF_ERROR(file->Close());
 
   if (builder.num_entries() == 0) {
+    // monkey-lint: status-sink — best-effort cleanup of an output every
+    // entry of which was dropped; it never entered the manifest, so a
+    // leftover is swept by the next Recover.
     options_.env->RemoveFile(fname).IgnoreError();
     return Status::OK();  // *out stays null: everything was dropped.
   }
@@ -1723,6 +1763,10 @@ Status DB::LogAndApply(const VersionEdit& edit) {
   full.next_file_number = next_file_number_;
   std::string encoded;
   full.EncodeTo(&encoded);
+  // monkey-lint: io-under-mutex — the manifest append IS the version
+  // commit point: mu_ serializes version edits, and releasing it between
+  // the append and PublishViewLocked would let a second edit commit
+  // against a tree the manifest no longer describes.
   MONKEYDB_RETURN_IF_ERROR(
       manifest_->AddRecord(encoded, options_.sync_writes));
 
@@ -1731,18 +1775,38 @@ Status DB::LogAndApply(const VersionEdit& edit) {
   // (removal only unlinks the name).
   PublishViewLocked();
 
-  // Physical deletion for files not re-added by the same edit.
+  // Queue physical deletion for files not re-added by the same edit. The
+  // unlink itself is deferred to DrainObsoleteFilesLocked: this function
+  // runs under mu_, and an unlink is a metadata-write syscall that would
+  // stall every writer and reader behind it. Cache eviction stays here —
+  // it is pure memory work and must not outlive the file's retirement.
   std::set<uint64_t> readded;
   for (const auto& added : edit.added) readded.insert(added.file_number);
   for (uint64_t fn : edit.deleted_files) {
     if (readded.count(fn) == 0) {
-      options_.env->RemoveFile(TableFileName(fn)).IgnoreError();
+      obsolete_files_.push_back(TableFileName(fn));
       if (options_.block_cache != nullptr) {
         options_.block_cache->EraseFile(fn);
       }
     }
   }
   return Status::OK();
+}
+
+void DB::DrainObsoleteFilesLocked() {
+  while (!obsolete_files_.empty()) {
+    std::vector<std::string> doomed;
+    doomed.swap(obsolete_files_);
+    // The names left every published view when they were queued; open
+    // TableReaders keep the data readable past the unlink, so no protocol
+    // beyond the swap above is needed for the window.
+    ScopedUnlock window(&mu_);
+    for (const std::string& name : doomed) {
+      // monkey-lint: status-sink — best-effort unlink; an orphan is swept
+      // by the next Recover.
+      options_.env->RemoveFile(name).IgnoreError();
+    }
+  }
 }
 
 Status DB::FlushMemTable(std::shared_ptr<MemTable> mem, bool swap_active,
@@ -2835,6 +2899,10 @@ uint64_t DB::ApproximateSize(const Slice& start, const Slice& limit) const {
   return total;
 }
 
+// monkey-lint: io-under-mutex(fn) — Checkpoint is a stop-the-world admin
+// operation: the copied manifest, runs, and WAL must describe one
+// consistent tree, so mu_ stays held across the whole copy by design.
+// Writers stall for its duration; that is the documented cost.
 Status DB::Checkpoint(const std::string& target_dir) {
   MutexLock lock(mu_);
   if (options_.background_compaction) {

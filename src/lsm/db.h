@@ -461,8 +461,17 @@ class DB {
   bool CanDropTombstones(int output_level) const REQUIRES(mu_);
 
   // Appends edit to the manifest, applies it to current_, and publishes a
-  // new ReadView.
+  // new ReadView. Files the edit retires are queued on obsolete_files_ for
+  // DrainObsoleteFilesLocked — never unlinked here, where mu_ is held.
   Status LogAndApply(const VersionEdit& edit) REQUIRES(mu_);
+
+  // Unlinks everything queued on obsolete_files_ with mu_ released (the
+  // names left every published view when they were queued, so nothing can
+  // reach them). Re-checks the queue after re-acquiring in case more files
+  // were retired during the window. Called from the background worker
+  // after each work item and from the synchronous flush/compaction paths
+  // before they return.
+  void DrainObsoleteFilesLocked() REQUIRES(mu_);
 
   uint64_t LevelCapacityEntries(int level) const;
 
@@ -535,6 +544,8 @@ class DB {
   std::atomic<SequenceNumber> last_sequence_{0};
   uint64_t next_file_number_ GUARDED_BY(mu_) = 1;
   uint64_t wal_number_ GUARDED_BY(mu_) = 0;
+  // Files retired from every published view, awaiting unlink outside mu_.
+  std::vector<std::string> obsolete_files_ GUARDED_BY(mu_);
   std::atomic<uint64_t> buffer_entries_{0};  // B·P: set from first flush.
 
   // Master tree state, mutated only under mu_ by the thread performing

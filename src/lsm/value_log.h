@@ -84,9 +84,12 @@ class ValueLog {
   ValueLog(Env* env, std::string dir) : env_(env), dir_(std::move(dir)) {}
 
   std::string FileName(uint64_t number) const;
+  // Looks up (or opens and caches) the reader for log file `number`. The
+  // open itself runs with mu_ released so reads never serialize behind an
+  // Add's append/fsync; racing cache misses are reconciled on re-acquire.
   Status ReaderFor(uint64_t number,
                    std::shared_ptr<RandomAccessFile>* reader)
-      REQUIRES(mu_);
+      EXCLUDES(mu_);
 
   Env* env_;
   std::string dir_;

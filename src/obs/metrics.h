@@ -141,9 +141,11 @@ class StopWatch {
   }
 
   uint64_t ElapsedMicros() const {
+    // monkey-lint: io-under-mutex — metrics clock read: a vDSO call with
+    // no syscall or blocking; safe wherever the watch stops.
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
     return static_cast<uint64_t>(
-        std::chrono::duration_cast<std::chrono::microseconds>(
-            std::chrono::steady_clock::now() - start_)
+        std::chrono::duration_cast<std::chrono::microseconds>(elapsed)
             .count());
   }
 

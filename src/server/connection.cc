@@ -109,7 +109,11 @@ bool Connection::ProcessInput() {
         if (metrics() != nullptr) {
           metrics()->Tick1(Tick::kServerProtocolErrors);
         }
-        resp::AppendError(&out_, "ERR " + parser_.error());
+        // Named local: Slice's deleted rvalue-string overload rejects
+        // binding a temporary, even in argument position where it would
+        // be safe.
+        const std::string protocol_error = "ERR " + parser_.error();
+        resp::AppendError(&out_, protocol_error);
         close_after_flush_ = true;
         break;
       }

@@ -131,6 +131,8 @@ Status MonkeyServer::Start(const ServerOptions& options,
   Env* dir_env = options.db_options.env != nullptr ? options.db_options.env
                                                    : GetPosixEnv();
   // Parent directory for the shard trees; fails harmlessly when present.
+  // monkey-lint: status-sink — an already-existing directory is the
+  // common case; a real create failure surfaces on the shard Open below.
   dir_env->CreateDir(data_dir).IgnoreError();
   for (int i = 0; i < options.server_shards; ++i) {
     std::unique_ptr<DB> db;
@@ -348,7 +350,8 @@ void MonkeyServer::ExecuteReadRun(Connection* c,
         } else if (s.IsNotFound()) {
           resp::AppendNull(out);
         } else {
-          resp::AppendError(out, "ERR " + s.ToString());
+          const std::string msg = "ERR " + s.ToString();
+          resp::AppendError(out, msg);
         }
         ++n_get;
         break;
@@ -485,7 +488,8 @@ void MonkeyServer::ExecuteWriteRun(Connection* c,
       }
     }
     if (failed != nullptr) {
-      resp::AppendError(out, "ERR " + failed->ToString());
+      const std::string msg = "ERR " + failed->ToString();
+      resp::AppendError(out, msg);
       continue;
     }
     switch (cmd.spec->id) {
@@ -524,7 +528,8 @@ void MonkeyServer::ExecuteAdmin(Connection* c, const ParsedCommand& cmd) {
   if (cmd.spec == nullptr) {
     std::string name = cmd.args[0].ToString();
     if (name.size() > 64) name.resize(64);
-    resp::AppendError(out, "ERR unknown command '" + name + "'");
+    const std::string msg = "ERR unknown command '" + name + "'";
+    resp::AppendError(out, msg);
     return;
   }
   const char* arity_error = CheckArity(*cmd.spec, cmd.args.size());
@@ -682,7 +687,8 @@ void MonkeyServer::DoScan(Connection* c, const ParsedCommand& cmd) {
       iter->Next();
     }
     if (!iter->status().ok()) {
-      resp::AppendError(out, "ERR " + iter->status().ToString());
+      const std::string msg = "ERR " + iter->status().ToString();
+      resp::AppendError(out, msg);
       return;
     }
     if (iter->Valid()) break;  // Count or budget reached mid-shard.
@@ -755,7 +761,8 @@ void MonkeyServer::DoConfig(Connection* c, const ParsedCommand& cmd) {
 }
 
 void MonkeyServer::DoInfo(Connection* c) {
-  resp::AppendBulk(c->out(), InfoText());
+  const std::string info = InfoText();
+  resp::AppendBulk(c->out(), info);
 }
 
 std::string MonkeyServer::InfoText() const {

@@ -67,6 +67,9 @@ uint64_t TableReader::num_data_blocks() const {
   return n;
 }
 
+// monkey-lint: io-under-mutex(fn) — walks the resident index block only;
+// the iterator here is Block::Iter (pure memory), which the lint's
+// simple-name resolution cannot tell apart from I/O-capable iterators.
 void TableReader::AppendBoundaryUserKeys(std::vector<std::string>* out) const {
   auto it = index_block_->NewIterator(options_.comparator);
   for (it->SeekToFirst(); it->Valid(); it->Next()) {

@@ -75,6 +75,9 @@ ConcurrentArena::ConcurrentArena(const Options& options)
       shard_count_(ResolveShardCount(options.shards)),
       shards_(static_cast<size_t>(shard_count_)) {}
 
+// monkey-lint: io-under-mutex(fn) — teardown: no allocation can be in
+// flight when the arena dies, so mutex_ is uncontended; the unmaps are
+// the arena's own memory being returned.
 ConcurrentArena::~ConcurrentArena() {
   MutexLock lock(mutex_);
   for (const Block& block : blocks_) {
@@ -190,6 +193,10 @@ char* ConcurrentArena::CarveLocked(size_t bytes, size_t align) {
   return result;
 }
 
+// monkey-lint: io-under-mutex(fn) — park-before-refill by design: every
+// thread that reaches the shared slow path needs bytes from the block
+// being mapped, so waiting on mutex_ for the mmap IS the useful work.
+// The fast path (TLS shard carve) never takes this lock.
 char* ConcurrentArena::NewBlockLocked(size_t min_bytes) {
   size_t want = block_size_ < min_bytes ? min_bytes : block_size_;
 

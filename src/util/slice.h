@@ -21,6 +21,17 @@ class Slice {
   Slice(const std::string& s) : data_(s.data()), size_(s.size()) {}  // NOLINT
   Slice(std::string_view s) : data_(s.data()), size_(s.size()) {}    // NOLINT
   Slice(const char* s) : data_(s), size_(strlen(s)) {}               // NOLINT
+  // A Slice over an rvalue std::string is a dangling view the moment the
+  // full expression ends: `Slice s = key.ToString();` would read freed
+  // memory on first use. Deleting the overload turns that typo into a
+  // compile error; bind the string to a named local first. (Passing a
+  // temporary as a Slice *argument* stays legal — it goes through the
+  // const& overload and lives to the end of the call expression. The
+  // string_view overload is not deleted for rvalues: a string_view is
+  // itself a view, so there is no owner dying at expression end that this
+  // signature could detect; monkey-lint's slice-dangling-source rule
+  // covers what overload resolution cannot.)
+  Slice(std::string&&) = delete;
 
   const char* data() const { return data_; }
   size_t size() const { return size_; }

@@ -33,7 +33,8 @@ TEST_F(AdaptiveFeaturesTest, ApproximateSizeScalesWithRange) {
   for (int i = 0; i < 20000; i++) {
     char key[16];
     snprintf(key, sizeof(key), "key%06d", i);
-    ASSERT_TRUE(db->Put(wo, key, std::string(64, 'v')).ok());
+    const std::string payload = std::string(64, 'v');
+    ASSERT_TRUE(db->Put(wo, key, payload).ok());
   }
   ASSERT_TRUE(db->Flush().ok());
 
@@ -55,8 +56,10 @@ TEST_F(AdaptiveFeaturesTest, CheckpointOpensAsIndependentDb) {
   ASSERT_TRUE(DB::Open(MakeOptions(), "/db", &db).ok());
   WriteOptions wo;
   for (int i = 0; i < 5000; i++) {
+    const std::string key = "key" + std::to_string(i);
+    const std::string val = "v" + std::to_string(i);
     ASSERT_TRUE(
-        db->Put(wo, "key" + std::to_string(i), "v" + std::to_string(i))
+        db->Put(wo, key, val)
             .ok());
   }
   ASSERT_TRUE(db->Flush().ok());  // Checkpoint captures flushed state.
@@ -85,8 +88,10 @@ TEST_F(AdaptiveFeaturesTest, CheckpointIncludesValueLog) {
   ASSERT_TRUE(DB::Open(options, "/db", &db).ok());
   WriteOptions wo;
   for (int i = 0; i < 300; i++) {
-    ASSERT_TRUE(db->Put(wo, "big" + std::to_string(i),
-                        std::string(500, 'B'))
+    const std::string key = "big" + std::to_string(i);
+    const std::string payload = std::string(500, 'B');
+    ASSERT_TRUE(db->Put(wo, key,
+                        payload)
                     .ok());
   }
   ASSERT_TRUE(db->Flush().ok());

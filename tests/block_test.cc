@@ -67,22 +67,26 @@ TEST_P(BlockTest, SeekFindsFirstGreaterOrEqual) {
   auto iter = block->NewIterator(&comparator_);
 
   // Seek to a present key.
-  iter->Seek(IKey("key0042"));
+  const std::string present = IKey("key0042");
+  iter->Seek(present);
   ASSERT_TRUE(iter->Valid());
   EXPECT_EQ(iter->value().ToString(), "42");
 
   // Seek to an absent (odd) key lands on the next even key.
-  iter->Seek(IKey("key0041"));
+  const std::string absent = IKey("key0041");
+  iter->Seek(absent);
   ASSERT_TRUE(iter->Valid());
   EXPECT_EQ(iter->value().ToString(), "42");
 
   // Seek before the first.
-  iter->Seek(IKey("aaa"));
+  const std::string before_first = IKey("aaa");
+  iter->Seek(before_first);
   ASSERT_TRUE(iter->Valid());
   EXPECT_EQ(iter->value().ToString(), "0");
 
   // Seek past the last.
-  iter->Seek(IKey("zzz"));
+  const std::string past_last = IKey("zzz");
+  iter->Seek(past_last);
   EXPECT_FALSE(iter->Valid());
 }
 
@@ -116,7 +120,8 @@ TEST_P(BlockTest, EmptyBlock) {
   auto iter = block->NewIterator(&comparator_);
   iter->SeekToFirst();
   EXPECT_FALSE(iter->Valid());
-  iter->Seek(IKey("x"));
+  const std::string ikey = IKey("x");
+  iter->Seek(ikey);
   EXPECT_FALSE(iter->Valid());
 }
 

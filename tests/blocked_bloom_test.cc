@@ -16,16 +16,23 @@ std::string Key(int i) { return "bkey_" + std::to_string(i); }
 TEST(BlockedBloom, NoFalseNegatives) {
   BlockedBloomFilterBuilder builder;
   const int n = 20000;
-  for (int i = 0; i < n; i++) builder.AddKey(Key(i));
+  for (int i = 0; i < n; i++) {
+    const std::string key = Key(i);
+    builder.AddKey(key);
+  }
   const std::string filter = builder.Finish(10.0);
   for (int i = 0; i < n; i++) {
-    EXPECT_TRUE(BlockedBloomFilterReader::MayContain(filter, Key(i))) << i;
+    const std::string key = Key(i);
+    EXPECT_TRUE(BlockedBloomFilterReader::MayContain(filter, key)) << i;
   }
 }
 
 TEST(BlockedBloom, EmptyFilterAlwaysPositive) {
   BlockedBloomFilterBuilder builder;
-  for (int i = 0; i < 10; i++) builder.AddKey(Key(i));
+  for (int i = 0; i < 10; i++) {
+    const std::string key = Key(i);
+    builder.AddKey(key);
+  }
   const std::string filter = builder.Finish(0.0);
   EXPECT_TRUE(filter.empty());
   EXPECT_TRUE(BlockedBloomFilterReader::MayContain(filter, "anything"));
@@ -37,13 +44,17 @@ TEST_P(BlockedBloomFprSweep, FprNearTheoryWithBlockingPenalty) {
   const double bits_per_key = GetParam();
   BlockedBloomFilterBuilder builder;
   const int n = 30000;
-  for (int i = 0; i < n; i++) builder.AddKey(Key(i));
+  for (int i = 0; i < n; i++) {
+    const std::string key = Key(i);
+    builder.AddKey(key);
+  }
   const std::string filter = builder.Finish(bits_per_key);
 
   int fp = 0;
   const int probes = 30000;
   for (int i = 0; i < probes; i++) {
-    if (BlockedBloomFilterReader::MayContain(filter, Key(n + i))) fp++;
+    const std::string key = Key(n + i);
+    if (BlockedBloomFilterReader::MayContain(filter, key)) fp++;
   }
   const double empirical = static_cast<double>(fp) / probes;
   const double ideal = bloom::FalsePositiveRate(bits_per_key);
@@ -62,24 +73,28 @@ TEST(BlockedBloom, FormatsAreDistinguished) {
   BloomFilterBuilder standard;
   BlockedBloomFilterBuilder blocked;
   for (int i = 0; i < 1000; i++) {
-    standard.AddKey(Key(i));
-    blocked.AddKey(Key(i));
+    const std::string key = Key(i);
+    standard.AddKey(key);
+    blocked.AddKey(key);
   }
   const std::string standard_filter = standard.Finish(10.0);
   const std::string blocked_filter = blocked.Finish(10.0);
 
   // Cross-reading never yields a false negative for present keys.
   for (int i = 0; i < 1000; i += 111) {
-    EXPECT_TRUE(
-        BlockedBloomFilterReader::MayContain(standard_filter, Key(i)));
-    EXPECT_TRUE(BloomFilterReader::MayContain(blocked_filter, Key(i)));
+    const std::string key = Key(i);
+    EXPECT_TRUE(BlockedBloomFilterReader::MayContain(standard_filter, key));
+    EXPECT_TRUE(BloomFilterReader::MayContain(blocked_filter, key));
   }
 }
 
 TEST(BlockedBloom, SizeTracksBudget) {
   BlockedBloomFilterBuilder builder;
   const int n = 10000;
-  for (int i = 0; i < n; i++) builder.AddKey(Key(i));
+  for (int i = 0; i < n; i++) {
+    const std::string key = Key(i);
+    builder.AddKey(key);
+  }
   const std::string filter = builder.Finish(10.0);
   // Rounded up to whole cache lines.
   EXPECT_GE(BlockedBloomFilterReader::SizeBits(filter), 10.0 * n * 0.99);

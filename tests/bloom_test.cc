@@ -41,16 +41,23 @@ TEST(BloomMath, OptimalProbes) {
 TEST(BloomFilter, NoFalseNegatives) {
   BloomFilterBuilder builder;
   const int n = 10000;
-  for (int i = 0; i < n; i++) builder.AddKey(Key(i));
+  for (int i = 0; i < n; i++) {
+    const std::string key = Key(i);
+    builder.AddKey(key);
+  }
   const std::string filter = builder.Finish(8.0);
   for (int i = 0; i < n; i++) {
-    EXPECT_TRUE(BloomFilterReader::MayContain(filter, Key(i))) << i;
+    const std::string key = Key(i);
+    EXPECT_TRUE(BloomFilterReader::MayContain(filter, key)) << i;
   }
 }
 
 TEST(BloomFilter, EmptyFilterAlwaysPositive) {
   BloomFilterBuilder builder;
-  for (int i = 0; i < 100; i++) builder.AddKey(Key(i));
+  for (int i = 0; i < 100; i++) {
+    const std::string key = Key(i);
+    builder.AddKey(key);
+  }
   const std::string filter = builder.Finish(0.0);
   EXPECT_TRUE(filter.empty());
   EXPECT_TRUE(BloomFilterReader::MayContain(filter, "anything"));
@@ -66,7 +73,10 @@ TEST(BloomFilter, NoKeysProducesEmptyFilter) {
 TEST(BloomFilter, SizeMatchesBudget) {
   BloomFilterBuilder builder;
   const int n = 4096;
-  for (int i = 0; i < n; i++) builder.AddKey(Key(i));
+  for (int i = 0; i < n; i++) {
+    const std::string key = Key(i);
+    builder.AddKey(key);
+  }
   const std::string filter = builder.Finish(10.0);
   const uint64_t bits = BloomFilterReader::SizeBits(filter);
   EXPECT_NEAR(static_cast<double>(bits), 10.0 * n, 8.0);  // Byte rounding.
@@ -80,13 +90,17 @@ TEST_P(BloomFprSweep, EmpiricalFprMatchesTheory) {
   const double bits_per_key = GetParam();
   BloomFilterBuilder builder;
   const int n = 20000;
-  for (int i = 0; i < n; i++) builder.AddKey(Key(i));
+  for (int i = 0; i < n; i++) {
+    const std::string key = Key(i);
+    builder.AddKey(key);
+  }
   const std::string filter = builder.Finish(bits_per_key);
 
   int false_positives = 0;
   const int probes = 20000;
   for (int i = 0; i < probes; i++) {
-    if (BloomFilterReader::MayContain(filter, Key(n + i))) false_positives++;
+    const std::string key = Key(n + i);
+    if (BloomFilterReader::MayContain(filter, key)) false_positives++;
   }
   const double empirical = static_cast<double>(false_positives) / probes;
   const double theoretical = bloom::FalsePositiveRate(bits_per_key);
@@ -105,13 +119,17 @@ TEST(BloomFilter, FinishForFprHitsTarget) {
   for (double target : {0.5, 0.1, 0.01}) {
     BloomFilterBuilder builder;
     const int n = 20000;
-    for (int i = 0; i < n; i++) builder.AddKey(Key(i));
+    for (int i = 0; i < n; i++) {
+      const std::string key = Key(i);
+      builder.AddKey(key);
+    }
     const std::string filter = builder.FinishForFpr(target);
 
     int fp = 0;
     const int probes = 20000;
     for (int i = 0; i < probes; i++) {
-      if (BloomFilterReader::MayContain(filter, Key(n + i))) fp++;
+      const std::string key = Key(n + i);
+      if (BloomFilterReader::MayContain(filter, key)) fp++;
     }
     const double empirical = static_cast<double>(fp) / probes;
     EXPECT_LE(std::abs(empirical - target), 0.4 * target + 0.004)
@@ -121,7 +139,10 @@ TEST(BloomFilter, FinishForFprHitsTarget) {
 
 TEST(BloomFilter, FprOneMeansNoFilter) {
   BloomFilterBuilder builder;
-  for (int i = 0; i < 100; i++) builder.AddKey(Key(i));
+  for (int i = 0; i < 100; i++) {
+    const std::string key = Key(i);
+    builder.AddKey(key);
+  }
   EXPECT_TRUE(builder.FinishForFpr(1.0).empty());
 }
 

@@ -102,7 +102,8 @@ TEST(Coding, LengthPrefixedSlice) {
   std::string s;
   PutLengthPrefixedSlice(&s, "hello");
   PutLengthPrefixedSlice(&s, "");
-  PutLengthPrefixedSlice(&s, std::string(300, 'x'));
+  const std::string payload = std::string(300, 'x');
+  PutLengthPrefixedSlice(&s, payload);
 
   Slice input(s);
   Slice out;

@@ -36,7 +36,8 @@ TEST(Concurrency, ParallelWritersDistinctKeyRanges) {
       for (int i = 0; i < kPerThread; i++) {
         const std::string key =
             "t" + std::to_string(t) + "_" + std::to_string(i);
-        if (!db->Put(wo, key, "v" + std::to_string(i)).ok()) {
+        const std::string val = "v" + std::to_string(i);
+        if (!db->Put(wo, key, val).ok()) {
           failures.fetch_add(1);
         }
       }
@@ -69,7 +70,8 @@ TEST(Concurrency, ReadersConcurrentWithWriter) {
 
   WriteOptions wo;
   for (int i = 0; i < 5000; i++) {
-    ASSERT_TRUE(db->Put(wo, "stable" + std::to_string(i), "sv").ok());
+    const std::string key = "stable" + std::to_string(i);
+    ASSERT_TRUE(db->Put(wo, key, "sv").ok());
   }
 
   std::atomic<bool> stop{false};
@@ -92,8 +94,10 @@ TEST(Concurrency, ReadersConcurrentWithWriter) {
   // Writer churns new keys, forcing flushes and compactions while the
   // readers run.
   for (int i = 0; i < 20000; i++) {
+    const std::string key = "churn" + std::to_string(i);
+    const std::string payload = std::string(32, 'c');
     ASSERT_TRUE(
-        db->Put(wo, "churn" + std::to_string(i), std::string(32, 'c')).ok());
+        db->Put(wo, key, payload).ok());
   }
   stop.store(true);
   for (auto& reader : readers) reader.join();
@@ -115,7 +119,8 @@ TEST(Concurrency, ReadersUnderBackgroundCompactionChurn) {
 
   WriteOptions wo;
   for (int i = 0; i < 5000; i++) {
-    ASSERT_TRUE(db->Put(wo, "stable" + std::to_string(i), "sv").ok());
+    const std::string key = "stable" + std::to_string(i);
+    ASSERT_TRUE(db->Put(wo, key, "sv").ok());
   }
 
   std::atomic<bool> stop{false};
@@ -136,8 +141,10 @@ TEST(Concurrency, ReadersUnderBackgroundCompactionChurn) {
   }
 
   for (int i = 0; i < 20000; i++) {
+    const std::string key = "churn" + std::to_string(i);
+    const std::string payload = std::string(32, 'c');
     ASSERT_TRUE(
-        db->Put(wo, "churn" + std::to_string(i), std::string(32, 'c')).ok());
+        db->Put(wo, key, payload).ok());
   }
   stop.store(true);
   for (auto& reader : readers) reader.join();
@@ -159,7 +166,8 @@ TEST(Concurrency, SnapshotReadersDuringChurn) {
   ASSERT_TRUE(DB::Open(options, "/db", &db).ok());
   WriteOptions wo;
   for (int i = 0; i < 500; i++) {
-    ASSERT_TRUE(db->Put(wo, "k" + std::to_string(i), "gen0").ok());
+    const std::string key = "k" + std::to_string(i);
+    ASSERT_TRUE(db->Put(wo, key, "gen0").ok());
   }
   const Snapshot* snap = db->GetSnapshot();
 
@@ -170,14 +178,17 @@ TEST(Concurrency, SnapshotReadersDuringChurn) {
     Random rng(9);
     std::string value;
     for (int i = 0; i < 3000; i++) {
-      Status s = db->Get(ro, "k" + std::to_string(rng.Uniform(500)), &value);
+      const std::string key = "k" + std::to_string(rng.Uniform(500));
+      Status s = db->Get(ro, key, &value);
       if (!s.ok() || value != "gen0") errors.fetch_add(1);
     }
   });
   for (int gen = 1; gen <= 10; gen++) {
     for (int i = 0; i < 500; i++) {
-      ASSERT_TRUE(db->Put(wo, "k" + std::to_string(i),
-                          "gen" + std::to_string(gen))
+      const std::string key = "k" + std::to_string(i);
+      const std::string val = "gen" + std::to_string(gen);
+      ASSERT_TRUE(db->Put(wo, key,
+                          val)
                       .ok());
     }
   }

@@ -220,7 +220,8 @@ TEST(ConcurrentMemTable, MultiThreadedInsertFuzz) {
       last_usage = usage;
       std::string value;
       bool found = false;
-      LookupKey lookup(FuzzKey(0, 0), kMaxSequenceNumber);
+      const std::string key = FuzzKey(0, 0);
+      LookupKey lookup(key, kMaxSequenceNumber);
       mem.Get(lookup, &value, &found).IgnoreError();
     }
   });
@@ -232,10 +233,13 @@ TEST(ConcurrentMemTable, MultiThreadedInsertFuzz) {
         const uint64_t seq =
             next_seq.fetch_add(1, std::memory_order_relaxed);
         if (i % 97 == 13) {
-          mem.Add(seq, ValueType::kDeletion, FuzzKey(t, i), "");
+          const std::string key = FuzzKey(t, i);
+          mem.Add(seq, ValueType::kDeletion, key, "");
         } else {
-          mem.Add(seq, ValueType::kValue, FuzzKey(t, i),
-                  "v" + std::to_string(t) + "_" + std::to_string(i));
+          const std::string key = FuzzKey(t, i);
+          const std::string val =
+              "v" + std::to_string(t) + "_" + std::to_string(i);
+          mem.Add(seq, ValueType::kValue, key, val);
         }
       }
     });
@@ -252,7 +256,8 @@ TEST(ConcurrentMemTable, MultiThreadedInsertFuzz) {
     for (int i = 0; i < kPerThread; i++) {
       std::string value;
       bool found = false;
-      LookupKey lookup(FuzzKey(t, i), kMaxSequenceNumber);
+      const std::string key = FuzzKey(t, i);
+      LookupKey lookup(key, kMaxSequenceNumber);
       Status s = mem.Get(lookup, &value, &found);
       ASSERT_TRUE(found) << "missing " << FuzzKey(t, i);
       if (i % 97 == 13) {
@@ -311,9 +316,11 @@ TEST(ConcurrentWritePath, ParallelGroupsApplyEveryBatch) {
         WriteOptions wo;
         for (int i = 0; i < kPerThread; i++) {
           WriteBatch batch;
-          batch.Put(FuzzKey(t, i),
-                    "v" + std::to_string(t * kPerThread + i));
-          batch.Put("shared_" + FuzzKey(t, i), "s");
+          const std::string key = FuzzKey(t, i);
+          const std::string val = "v" + std::to_string(t * kPerThread + i);
+          batch.Put(key, val);
+          const std::string shared_key = "shared_" + FuzzKey(t, i);
+          batch.Put(shared_key, "s");
           ASSERT_TRUE(db->Write(wo, batch).ok());
         }
       });
@@ -326,10 +333,11 @@ TEST(ConcurrentWritePath, ParallelGroupsApplyEveryBatch) {
   std::string value;
   for (int t = 0; t < kThreads; t++) {
     for (int i = 0; i < kPerThread; i++) {
-      ASSERT_TRUE(db->Get(ro, FuzzKey(t, i), &value).ok())
-          << "missing " << FuzzKey(t, i);
+      const std::string key = FuzzKey(t, i);
+      ASSERT_TRUE(db->Get(ro, key, &value).ok()) << "missing " << key;
       EXPECT_EQ(value, "v" + std::to_string(t * kPerThread + i));
-      ASSERT_TRUE(db->Get(ro, "shared_" + FuzzKey(t, i), &value).ok());
+      const std::string shared_key = "shared_" + FuzzKey(t, i);
+      ASSERT_TRUE(db->Get(ro, shared_key, &value).ok());
     }
   }
 
@@ -364,8 +372,8 @@ TEST(ConcurrentWritePath, BatchesStayAtomicUnderSnapshots) {
       if (db->Get(snap_ro, "slot_0", &first).ok()) {
         for (int s = 1; s < kSlots; s++) {
           std::string v;
-          ASSERT_TRUE(db->Get(snap_ro, "slot_" + std::to_string(s), &v)
-                          .ok());
+          const std::string key = "slot_" + std::to_string(s);
+          ASSERT_TRUE(db->Get(snap_ro, key, &v).ok());
           ASSERT_EQ(v, first) << "torn batch at slot " << s;
         }
       }
@@ -382,7 +390,8 @@ TEST(ConcurrentWritePath, BatchesStayAtomicUnderSnapshots) {
         const std::string gen =
             "g" + std::to_string(t) + "_" + std::to_string(g);
         for (int s = 0; s < kSlots; s++) {
-          batch.Put("slot_" + std::to_string(s), gen);
+          const std::string key = "slot_" + std::to_string(s);
+          batch.Put(key, gen);
         }
         ASSERT_TRUE(db->Write(wo, batch).ok());
       }
@@ -398,7 +407,8 @@ TEST(ConcurrentWritePath, BatchesStayAtomicUnderSnapshots) {
   ASSERT_TRUE(db->Get(ro, "slot_0", &first).ok());
   for (int s = 1; s < kSlots; s++) {
     std::string v;
-    ASSERT_TRUE(db->Get(ro, "slot_" + std::to_string(s), &v).ok());
+    const std::string key = "slot_" + std::to_string(s);
+    ASSERT_TRUE(db->Get(ro, key, &v).ok());
     EXPECT_EQ(v, first);
   }
 }
@@ -437,7 +447,8 @@ TEST(ConcurrentWritePath, FlushedSstBytesIdenticalOnVsOff) {
       if (i % 31 == 5) {
         ASSERT_TRUE(db->Delete(wo, key).ok());
       } else {
-        ASSERT_TRUE(db->Put(wo, key, "value_" + std::to_string(i)).ok());
+        const std::string val = "value_" + std::to_string(i);
+        ASSERT_TRUE(db->Put(wo, key, val).ok());
       }
     }
     ASSERT_TRUE(db->Flush().ok());
@@ -502,8 +513,10 @@ TEST(ConcurrentWritePath, RecoversFromWalAfterParallelWrites) {
       threads.emplace_back([&, t] {
         WriteOptions wo;
         for (int i = 0; i < 200; i++) {
+          const std::string key = FuzzKey(t, i);
+          const std::string val = "r" + std::to_string(i);
           ASSERT_TRUE(
-              db->Put(wo, FuzzKey(t, i), "r" + std::to_string(i)).ok());
+              db->Put(wo, key, val).ok());
         }
       });
     }
@@ -515,8 +528,10 @@ TEST(ConcurrentWritePath, RecoversFromWalAfterParallelWrites) {
   std::string value;
   for (int t = 0; t < 4; t++) {
     for (int i = 0; i < 200; i++) {
-      ASSERT_TRUE(db->Get(ro, FuzzKey(t, i), &value).ok())
-          << "lost after reopen: " << FuzzKey(t, i);
+      const std::string key = FuzzKey(t, i);
+      const std::string val = FuzzKey(t, i);
+      ASSERT_TRUE(db->Get(ro, key, &value).ok())
+          << "lost after reopen: " << val;
       EXPECT_EQ(value, "r" + std::to_string(i));
     }
   }

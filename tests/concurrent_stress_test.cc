@@ -92,11 +92,10 @@ TEST(ConcurrentStress, AtomicBatchesStayConsistentUnderChurn) {
     batch.Put("pair_b", value);
     ASSERT_TRUE(db->Write(wo, batch).ok());
     for (int i = 0; i < 20; i++) {
-      ASSERT_TRUE(db->Put(wo,
-                          "fill" + std::to_string(gen) + "_" +
-                              std::to_string(i),
-                          std::string(64, 'f'))
-                      .ok());
+      const std::string key =
+          "fill" + std::to_string(gen) + "_" + std::to_string(i);
+      const std::string payload(64, 'f');
+      ASSERT_TRUE(db->Put(wo, key, payload).ok());
     }
   }
   stop.store(true);
@@ -123,7 +122,8 @@ TEST(ConcurrentStress, NoLostAckedWritesUnderBackgroundFlushes) {
       for (int i = 0; i < kPerThread; i++) {
         const std::string key =
             "w" + std::to_string(t) + "_" + std::to_string(i);
-        if (!db->Put(wo, key, "v" + std::to_string(i)).ok()) {
+        const std::string val = "v" + std::to_string(i);
+        if (!db->Put(wo, key, val).ok()) {
           failures.fetch_add(1);
         }
       }
@@ -163,7 +163,8 @@ TEST(ConcurrentStress, OpenCloseUnderLoadLosesNothing) {
     for (int i = 0; i < kPerRound; i++) {
       const std::string key =
           "r" + std::to_string(round) + "_" + std::to_string(i);
-      ASSERT_TRUE(db->Put(wo, key, std::string(40, 'a' + round)).ok());
+      const std::string payload = std::string(40, 'a' + round);
+      ASSERT_TRUE(db->Put(wo, key, payload).ok());
     }
     db.reset();  // No drain: the worker may be holding frozen memtables.
   }
@@ -191,7 +192,8 @@ TEST(ConcurrentStress, MaintenanceOpsDrainTheWorker) {
 
   WriteOptions wo;
   for (int i = 0; i < 5000; i++) {
-    ASSERT_TRUE(db->Put(wo, "k" + std::to_string(i), "v").ok());
+    const std::string key = "k" + std::to_string(i);
+    ASSERT_TRUE(db->Put(wo, key, "v").ok());
   }
   ASSERT_TRUE(db->Flush().ok());
   EXPECT_EQ(db->GetStats().memtable_entries, 0u);
@@ -207,7 +209,8 @@ TEST(ConcurrentStress, MaintenanceOpsDrainTheWorker) {
     WriteOptions wo2;
     uint64_t i = 0;
     while (!stop.load(std::memory_order_relaxed)) {
-      db->Put(wo2, "extra" + std::to_string(i++), "x").ok();
+      const std::string key = "extra" + std::to_string(i++);
+      db->Put(wo2, key, "x").ok();
     }
   });
   ASSERT_TRUE(db->Checkpoint("/ckpt").ok());

@@ -85,7 +85,8 @@ TEST(TableIterator, BackwardScanAcrossBlocks) {
     snprintf(buf, sizeof(buf), "key%05d", i);
     std::string ikey;
     AppendInternalKey(&ikey, buf, 1, ValueType::kValue);
-    builder.Add(ikey, "value" + std::to_string(i));
+    const std::string key = "value" + std::to_string(i);
+    builder.Add(ikey, key);
   }
   ASSERT_TRUE(builder.Finish().ok());
   ASSERT_TRUE(file->Close().ok());
@@ -157,7 +158,8 @@ TEST(ExpectedEntries, PlansForFinalGeometry) {
   ASSERT_TRUE(DB::Open(options, "/db", &db).ok());
   WriteOptions wo;
   for (int i = 0; i < 2000; i++) {
-    ASSERT_TRUE(db->Put(wo, "k" + std::to_string(i), "v").ok());
+    const std::string key = "k" + std::to_string(i);
+    ASSERT_TRUE(db->Put(wo, key, "v").ok());
   }
   ASSERT_TRUE(db->Flush().ok());
   const DbStats stats = db->GetStats();
@@ -177,8 +179,10 @@ TEST(CompactAll, SurvivesReopen) {
   ASSERT_TRUE(DB::Open(options, "/db", &db).ok());
   WriteOptions wo;
   for (int i = 0; i < 5000; i++) {
+    const std::string key = "key" + std::to_string(i % 500);
+    const std::string val = "v" + std::to_string(i);
     ASSERT_TRUE(
-        db->Put(wo, "key" + std::to_string(i % 500), "v" + std::to_string(i))
+        db->Put(wo, key, val)
             .ok());
   }
   ASSERT_TRUE(db->CompactAll().ok());
@@ -206,7 +210,8 @@ TEST(DebugString, SummarizesTheTree) {
   ASSERT_TRUE(DB::Open(options, "/db", &db).ok());
   WriteOptions wo;
   for (int i = 0; i < 4000; i++) {
-    ASSERT_TRUE(db->Put(wo, "k" + std::to_string(i), "v").ok());
+    const std::string key = "k" + std::to_string(i);
+    ASSERT_TRUE(db->Put(wo, key, "v").ok());
   }
   std::string value;
   db->Get(ReadOptions(), "absent", &value).ok();
@@ -228,7 +233,8 @@ TEST(CurrentShape, ReflectsOptions) {
   ASSERT_TRUE(DB::Open(options, "/db", &db).ok());
   WriteOptions wo;
   for (int i = 0; i < 3000; i++) {
-    ASSERT_TRUE(db->Put(wo, "k" + std::to_string(i), "v").ok());
+    const std::string key = "k" + std::to_string(i);
+    ASSERT_TRUE(db->Put(wo, key, "v").ok());
   }
   const LsmShape shape = db->CurrentShape();
   EXPECT_EQ(shape.merge_policy, MergePolicy::kTiering);

@@ -8,6 +8,7 @@
 
 #include <map>
 #include <optional>
+#include <set>
 
 #include "io/env.h"
 #include "monkey/monkey_db.h"
@@ -115,8 +116,10 @@ TEST_P(DbTest, StructuralInvariants) {
   WriteOptions wo;
   Random rng(5);
   for (int i = 0; i < 20000; i++) {
-    ASSERT_TRUE(db->Put(wo, "k" + std::to_string(rng.Next()),
-                        std::string(32, 'v'))
+    const std::string key = "k" + std::to_string(rng.Next());
+    const std::string payload = std::string(32, 'v');
+    ASSERT_TRUE(db->Put(wo, key,
+                        payload)
                     .ok());
   }
   const DbStats stats = db->GetStats();
@@ -271,7 +274,8 @@ TEST(DbBasics, OverwriteSameKeyManyTimes) {
   ASSERT_TRUE(DB::Open(options, "/db", &db).ok());
   WriteOptions wo;
   for (int i = 0; i < 5000; i++) {
-    ASSERT_TRUE(db->Put(wo, "hot_key", "v" + std::to_string(i)).ok());
+    const std::string key = "v" + std::to_string(i);
+    ASSERT_TRUE(db->Put(wo, "hot_key", key).ok());
   }
   std::string value;
   ASSERT_TRUE(db->Get(ReadOptions(), "hot_key", &value).ok());
@@ -306,8 +310,10 @@ TEST(DbBasics, LargeValuesSpanBlocks) {
   WriteOptions wo;
   // Values near the page size each get their own data block.
   for (int i = 0; i < 100; i++) {
-    ASSERT_TRUE(db->Put(wo, "key" + std::to_string(i),
-                        std::string(3500, 'a' + (i % 26)))
+    const std::string key = "key" + std::to_string(i);
+    const std::string payload = std::string(3500, 'a' + (i % 26));
+    ASSERT_TRUE(db->Put(wo, key,
+                        payload)
                     .ok());
   }
   ASSERT_TRUE(db->Flush().ok());
@@ -325,10 +331,12 @@ TEST(DbBasics, TombstonesPurgedAtBottomLevel) {
   ASSERT_TRUE(DB::Open(options, "/db", &db).ok());
   WriteOptions wo;
   for (int i = 0; i < 1000; i++) {
-    ASSERT_TRUE(db->Put(wo, "k" + std::to_string(i), "v").ok());
+    const std::string key = "k" + std::to_string(i);
+    ASSERT_TRUE(db->Put(wo, key, "v").ok());
   }
   for (int i = 0; i < 1000; i++) {
-    ASSERT_TRUE(db->Delete(wo, "k" + std::to_string(i)).ok());
+    const std::string key = "k" + std::to_string(i);
+    ASSERT_TRUE(db->Delete(wo, key).ok());
   }
   // Deletes do not eagerly reach the bottom; a full compaction purges
   // every tombstone and superseded version.
@@ -348,14 +356,17 @@ TEST(DbBasics, StatsCountersAdvance) {
   ASSERT_TRUE(DB::Open(options, "/db", &db).ok());
   WriteOptions wo;
   for (int i = 0; i < 4000; i++) {
+    const std::string key = "key" + std::to_string(i);
+    const std::string payload = std::string(24, 'x');
     ASSERT_TRUE(
-        db->Put(wo, "key" + std::to_string(i), std::string(24, 'x')).ok());
+        db->Put(wo, key, payload).ok());
   }
   ASSERT_TRUE(db->Flush().ok());
   std::string value;
   for (int i = 0; i < 200; i++) {
     // NotFound is the point of the probe; only the counters matter here.
-    db->Get(ReadOptions(), "absent" + std::to_string(i), &value)
+    const std::string key = "absent" + std::to_string(i);
+    db->Get(ReadOptions(), key, &value)
         .IgnoreError();
   }
   const DbStats stats = db->GetStats();
@@ -364,6 +375,97 @@ TEST(DbBasics, StatsCountersAdvance) {
   EXPECT_GT(stats.filter_negatives, 0u);
   EXPECT_GT(stats.flushes, 0u);
   EXPECT_GT(stats.filter_bits_total, 0u);
+}
+
+std::set<std::string> WalFilesOnDisk(Env* env) {
+  std::vector<std::string> children;
+  EXPECT_TRUE(env->GetChildren("/db", &children).ok());
+  std::set<std::string> out;
+  for (const std::string& child : children) {
+    if (child.rfind("wal-", 0) == 0) out.insert(child);
+  }
+  return out;
+}
+
+std::set<std::string> SstFilesOnDisk(Env* env) {
+  std::vector<std::string> children;
+  EXPECT_TRUE(env->GetChildren("/db", &children).ok());
+  std::set<std::string> out;
+  for (const std::string& child : children) {
+    if (child.size() > 4 &&
+        child.compare(child.size() - 4, 4, ".sst") == 0) {
+      out.insert(child);
+    }
+  }
+  return out;
+}
+
+// Regression: flush and compaction queue retired files on obsolete_files_
+// instead of unlinking under mu_ — but the queue must actually drain
+// before the operation returns. A retired WAL or compaction input still
+// on disk afterwards means the deferral leaked the file.
+TEST(DbBasics, DeferredObsoleteFilesAreUnlinked) {
+  auto env = NewMemEnv();
+  DbOptions options;
+  options.env = env.get();
+  options.buffer_size_bytes = 4 << 10;
+  std::unique_ptr<DB> db;
+  ASSERT_TRUE(DB::Open(options, "/db", &db).ok());
+  WriteOptions wo;
+  for (int i = 0; i < 512; i++) {
+    const std::string key = "a" + std::to_string(i);
+    const std::string value = "v" + std::to_string(i);
+    ASSERT_TRUE(db->Put(wo, key, value).ok());
+  }
+  ASSERT_TRUE(db->Flush().ok());
+  // The WAL retired by the flush is unlinked by the time Flush returns,
+  // leaving only the fresh active log.
+  EXPECT_EQ(WalFilesOnDisk(env.get()).size(), 1u);
+
+  const std::set<std::string> before = SstFilesOnDisk(env.get());
+  ASSERT_FALSE(before.empty());
+  for (int i = 0; i < 512; i++) {
+    const std::string key = "a" + std::to_string(i);
+    const std::string value = "w" + std::to_string(i);
+    ASSERT_TRUE(db->Put(wo, key, value).ok());
+  }
+  ASSERT_TRUE(db->Flush().ok());
+  ASSERT_TRUE(db->CompactAll().ok());
+  const std::set<std::string> after = SstFilesOnDisk(env.get());
+  ASSERT_FALSE(after.empty());
+  // Every pre-compaction run fed the full merge: its file must be gone
+  // from the disk, not just from the manifest.
+  for (const std::string& name : before) {
+    EXPECT_EQ(after.count(name), 0u) << name << " still on disk";
+  }
+  // And the merged data survived its inputs' deletion.
+  std::string value;
+  ASSERT_TRUE(db->Get(ReadOptions(), "a1", &value).ok());
+  EXPECT_EQ(value, "w1");
+}
+
+// Same contract on the background path: WaitForDrain means the disk
+// reflects the new tree, so the worker unlinks retired files before it
+// reports idle.
+TEST(DbBasics, BackgroundWorkerDrainsObsoleteFiles) {
+  auto env = NewMemEnv();
+  DbOptions options;
+  options.env = env.get();
+  options.buffer_size_bytes = 4 << 10;
+  options.background_compaction = true;
+  std::unique_ptr<DB> db;
+  ASSERT_TRUE(DB::Open(options, "/db", &db).ok());
+  WriteOptions wo;
+  for (int i = 0; i < 2048; i++) {
+    const std::string key = "b" + std::to_string(i);
+    const std::string value = "v" + std::to_string(i);
+    ASSERT_TRUE(db->Put(wo, key, value).ok());
+  }
+  ASSERT_TRUE(db->Flush().ok());  // Switch + WaitForDrain.
+  EXPECT_EQ(WalFilesOnDisk(env.get()).size(), 1u);
+  std::string value;
+  ASSERT_TRUE(db->Get(ReadOptions(), "b2047", &value).ok());
+  EXPECT_EQ(value, "v2047");
 }
 
 }  // namespace

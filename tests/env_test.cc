@@ -111,7 +111,8 @@ TEST(CountingEnv, ChargesReadsByPagesTouched) {
   {
     std::unique_ptr<WritableFile> file;
     ASSERT_TRUE(env.NewWritableFile("/f", &file).ok());
-    ASSERT_TRUE(file->Append(std::string(1000, 'x')).ok());
+    const std::string payload = std::string(1000, 'x');
+    ASSERT_TRUE(file->Append(payload).ok());
     ASSERT_TRUE(file->Close().ok());
   }
   // 1000 bytes at 100-byte pages = exactly 10 write I/Os.
@@ -149,7 +150,8 @@ TEST(CountingEnv, ChargesPartialPageOnClose) {
   CountingEnv env(base.get(), &stats, 100);
   std::unique_ptr<WritableFile> file;
   ASSERT_TRUE(env.NewWritableFile("/f", &file).ok());
-  ASSERT_TRUE(file->Append(std::string(150, 'x')).ok());
+  const std::string payload = std::string(150, 'x');
+  ASSERT_TRUE(file->Append(payload).ok());
   EXPECT_EQ(stats.Snapshot().write_ios, 1u);  // One full page so far.
   ASSERT_TRUE(file->Close().ok());
   EXPECT_EQ(stats.Snapshot().write_ios, 2u);  // Tail charged at close.

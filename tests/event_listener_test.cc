@@ -257,7 +257,8 @@ TEST_F(EventListenerTest, CompactionEventsCarryLevelStats) {
   WriteOptions wo;
   const std::string value(48, 'v');
   for (int i = 0; i < 2000; i++) {
-    ASSERT_TRUE(db->Put(wo, Key(i), value).ok());
+    const std::string key = Key(i);
+    ASSERT_TRUE(db->Put(wo, key, value).ok());
   }
   ASSERT_TRUE(db->Flush().ok());
 
@@ -307,7 +308,8 @@ TEST_F(EventListenerTest, FilterAllocationsReportDrift) {
   WriteOptions wo;
   const std::string value(48, 'v');
   for (int i = 0; i < 2000; i++) {
-    ASSERT_TRUE(db->Put(wo, Key(i), value).ok());
+    const std::string key = Key(i);
+    ASSERT_TRUE(db->Put(wo, key, value).ok());
   }
   ASSERT_TRUE(db->Flush().ok());
 
@@ -338,7 +340,8 @@ TEST_F(EventListenerTest, BackpressureTransitionsAreAnnounced) {
   const std::string value(64, 'v');
   bool saw_slowdown = false, saw_stall = false;
   for (int i = 0; i < 20000 && !(saw_slowdown && saw_stall); i++) {
-    ASSERT_TRUE(db->Put(wo, Key(i), value).ok());
+    const std::string key = Key(i);
+    ASSERT_TRUE(db->Put(wo, key, value).ok());
     for (const WriteStallInfo& info : listener_->stalls()) {
       if (info.current == WriteStallInfo::Condition::kSlowdown) {
         saw_slowdown = true;
@@ -376,14 +379,16 @@ TEST_F(EventListenerTest, ThrowingListenerIsContained) {
   WriteOptions wo;
   const std::string value(48, 'v');
   for (int i = 0; i < 1000; i++) {
-    ASSERT_TRUE(db->Put(wo, Key(i), value).ok());
+    const std::string key = Key(i);
+    ASSERT_TRUE(db->Put(wo, key, value).ok());
   }
   ASSERT_TRUE(db->Flush().ok());
 
   // The background worker survived every throw: reads see the data.
   ReadOptions ro;
   std::string out;
-  ASSERT_TRUE(db->Get(ro, Key(1), &out).ok());
+  const std::string key = Key(1);
+  ASSERT_TRUE(db->Get(ro, key, &out).ok());
   EXPECT_EQ(out, value);
 
   // Failures were counted, and the recorder behind the thrower still got

@@ -50,7 +50,9 @@ TEST_F(FaultInjectionTest, WriteFaultSurfacesDuringFlush) {
   Status s;
   int i = 0;
   for (; i < 20000; i++) {
-    s = db->Put(wo, "key" + std::to_string(i), std::string(64, 'v'));
+    const std::string key = "key" + std::to_string(i);
+    const std::string payload = std::string(64, 'v');
+    s = db->Put(wo, key, payload);
     if (!s.ok()) break;
   }
   EXPECT_TRUE(s.IsIoError()) << "fault never surfaced after " << i << " puts";
@@ -64,15 +66,18 @@ TEST_F(FaultInjectionTest, CommittedDataSurvivesFaultAndReopen) {
     ASSERT_TRUE(DB::Open(MakeOptions(), "/db", &db).ok());
     WriteOptions wo;
     for (int i = 0; i < 1000; i++) {
+      const std::string key = "stable" + std::to_string(i);
       ASSERT_TRUE(
-          db->Put(wo, "stable" + std::to_string(i), "v").ok());
+          db->Put(wo, key, "v").ok());
     }
     ASSERT_TRUE(db->Flush().ok());
 
     env_.ScheduleWriteFault(50);
     Status s;
     for (int i = 0; i < 20000 && s.ok(); i++) {
-      s = db->Put(wo, "risky" + std::to_string(i), std::string(64, 'v'));
+      const std::string key = "risky" + std::to_string(i);
+      const std::string payload = std::string(64, 'v');
+      s = db->Put(wo, key, payload);
     }
     EXPECT_FALSE(s.ok());
     env_.ResetFaults();
@@ -83,7 +88,8 @@ TEST_F(FaultInjectionTest, CommittedDataSurvivesFaultAndReopen) {
   ReadOptions ro;
   std::string value;
   for (int i = 0; i < 1000; i += 37) {
-    EXPECT_TRUE(db->Get(ro, "stable" + std::to_string(i), &value).ok())
+    const std::string key = "stable" + std::to_string(i);
+    EXPECT_TRUE(db->Get(ro, key, &value).ok())
         << i;
   }
 }
@@ -94,7 +100,8 @@ TEST_F(FaultInjectionTest, ReadFaultSurfacesOnLookup) {
   WriteOptions wo;
   // No filters so every lookup must touch disk.
   for (int i = 0; i < 2000; i++) {
-    ASSERT_TRUE(db->Put(wo, "key" + std::to_string(i), "v").ok());
+    const std::string key = "key" + std::to_string(i);
+    ASSERT_TRUE(db->Put(wo, key, "v").ok());
   }
   ASSERT_TRUE(db->Flush().ok());
 
@@ -114,7 +121,9 @@ TEST_F(FaultInjectionTest, DbRemainsUsableAfterTransientFault) {
   env_.ScheduleWriteFault(100);
   Status s;
   for (int i = 0; i < 20000 && s.ok(); i++) {
-    s = db->Put(wo, "k" + std::to_string(i), std::string(32, 'v'));
+    const std::string key = "k" + std::to_string(i);
+    const std::string payload = std::string(32, 'v');
+    s = db->Put(wo, key, payload);
   }
   ASSERT_FALSE(s.ok());
   env_.ResetFaults();

@@ -131,7 +131,9 @@ TEST_F(GroupCommitTest, InterleavedBatchesStayAtomic) {
   for (int t = 0; t < kThreads; t++) {
     WriteBatch batch;
     for (int k = 0; k < kSlots; k++) {
-      batch.Put("t" + std::to_string(t) + "_slot" + std::to_string(k), "0");
+      const std::string key =
+          "t" + std::to_string(t) + "_slot" + std::to_string(k);
+      batch.Put(key, "0");
     }
     ASSERT_TRUE(db->Write(WriteOptions(), batch).ok());
   }
@@ -143,8 +145,10 @@ TEST_F(GroupCommitTest, InterleavedBatchesStayAtomic) {
       for (int gen = 1; gen <= kGenerations; gen++) {
         WriteBatch batch;
         for (int k = 0; k < kSlots; k++) {
-          batch.Put("t" + std::to_string(t) + "_slot" + std::to_string(k),
-                    std::to_string(gen));
+          const std::string key =
+              "t" + std::to_string(t) + "_slot" + std::to_string(k);
+          const std::string val = std::to_string(gen);
+          batch.Put(key, val);
         }
         if (!db->Write(wo, batch).ok()) {
           write_errors.fetch_add(1);
@@ -185,10 +189,9 @@ TEST_F(GroupCommitTest, InterleavedBatchesStayAtomic) {
   std::string value;
   for (int t = 0; t < kThreads; t++) {
     for (int k = 0; k < kSlots; k++) {
-      ASSERT_TRUE(db->Get(ro_, "t" + std::to_string(t) + "_slot" +
-                                   std::to_string(k),
-                          &value)
-                      .ok());
+      const std::string key =
+          "t" + std::to_string(t) + "_slot" + std::to_string(k);
+      ASSERT_TRUE(db->Get(ro_, key, &value).ok());
       EXPECT_EQ(value, std::to_string(kGenerations));
     }
   }
@@ -211,9 +214,13 @@ TEST_F(GroupCommitTest, GroupedRecordsSurviveReopen) {
         wo.sync = (t % 2 == 0);  // Mix sync and non-sync group members.
         for (int i = 0; i < kWritesPerThread; i++) {
           WriteBatch batch;
-          batch.Put("t" + std::to_string(t) + "_" + std::to_string(i),
-                    "v" + std::to_string(i));
-          batch.Put("t" + std::to_string(t) + "_dup", std::to_string(i));
+          const std::string key =
+              "t" + std::to_string(t) + "_" + std::to_string(i);
+          const std::string val = "v" + std::to_string(i);
+          batch.Put(key, val);
+          const std::string dup_key = "t" + std::to_string(t) + "_dup";
+          const std::string dup_val = std::to_string(i);
+          batch.Put(dup_key, dup_val);
           if (!db->Write(wo, batch).ok()) {
             write_errors.fetch_add(1);
             return;
@@ -231,15 +238,13 @@ TEST_F(GroupCommitTest, GroupedRecordsSurviveReopen) {
   std::string value;
   for (int t = 0; t < 6; t++) {
     for (int i = 0; i < 150; i++) {
-      ASSERT_TRUE(db->Get(ro_, "t" + std::to_string(t) + "_" +
-                                   std::to_string(i),
-                          &value)
-                      .ok())
-          << "t" << t << " i" << i;
+      const std::string key =
+          "t" + std::to_string(t) + "_" + std::to_string(i);
+      ASSERT_TRUE(db->Get(ro_, key, &value).ok()) << "t" << t << " i" << i;
       EXPECT_EQ(value, "v" + std::to_string(i));
     }
-    ASSERT_TRUE(
-        db->Get(ro_, "t" + std::to_string(t) + "_dup", &value).ok());
+    const std::string dup_key = "t" + std::to_string(t) + "_dup";
+    ASSERT_TRUE(db->Get(ro_, dup_key, &value).ok());
     EXPECT_EQ(value, "149");  // Last write per thread wins.
   }
 }
@@ -254,7 +259,9 @@ TEST_F(GroupCommitTest, ByteCapAdmitsOversizedSingleton) {
 
   WriteBatch big;
   for (int i = 0; i < 100; i++) {
-    big.Put("big" + std::to_string(i), std::string(64, 'x'));
+    const std::string key = "big" + std::to_string(i);
+    const std::string val(64, 'x');
+    big.Put(key, val);
   }
   ASSERT_TRUE(db->Write(WriteOptions(), big).ok());
 
@@ -265,9 +272,9 @@ TEST_F(GroupCommitTest, ByteCapAdmitsOversizedSingleton) {
     writers.emplace_back([&, t] {
       WriteOptions wo;
       for (int i = 0; i < 100; i++) {
-        if (!db->Put(wo, "s" + std::to_string(t) + "_" + std::to_string(i),
-                     "v")
-                 .ok()) {
+        const std::string key =
+            "s" + std::to_string(t) + "_" + std::to_string(i);
+        if (!db->Put(wo, key, "v").ok()) {
           write_errors.fetch_add(1);
           return;
         }
@@ -280,8 +287,8 @@ TEST_F(GroupCommitTest, ByteCapAdmitsOversizedSingleton) {
   std::string value;
   ASSERT_TRUE(db->Get(ro_, "big99", &value).ok());
   for (int t = 0; t < 4; t++) {
-    ASSERT_TRUE(
-        db->Get(ro_, "s" + std::to_string(t) + "_99", &value).ok());
+    const std::string key = "s" + std::to_string(t) + "_99";
+    ASSERT_TRUE(db->Get(ro_, key, &value).ok());
   }
 }
 

@@ -51,7 +51,8 @@ FilledDb Fill(int n, double bits_per_entry, bool monkey_filters,
   for (int i = 0; i < n; i++) {
     char key[24];
     snprintf(key, sizeof(key), "user%012d", i);
-    EXPECT_TRUE(f.db->Put(wo, key, std::string(48, 'v')).ok());
+    const std::string payload = std::string(48, 'v');
+    EXPECT_TRUE(f.db->Put(wo, key, payload).ok());
   }
   EXPECT_TRUE(f.db->Flush().ok());
   return f;

@@ -37,8 +37,10 @@ TEST(LazyLeveling, StructuralInvariant) {
   WriteOptions wo;
   Random rng(1);
   for (int i = 0; i < 30000; i++) {
+    const std::string key = "k" + std::to_string(rng.Next());
+    const std::string payload = std::string(32, 'v');
     ASSERT_TRUE(
-        db->Put(wo, "k" + std::to_string(rng.Next()), std::string(32, 'v'))
+        db->Put(wo, key, payload)
             .ok());
   }
   const DbStats stats = db->GetStats();
@@ -113,7 +115,8 @@ TEST(LazyLeveling, WritesCheaperThanLevelingLookupsCheaperThanTiering) {
     for (int i = 0; i < 40000; i++) {
       char key[24];
       snprintf(key, sizeof(key), "user%012d", i);
-      EXPECT_TRUE(db->Put(wo, key, std::string(48, 'v')).ok());
+      const std::string payload = std::string(48, 'v');
+      EXPECT_TRUE(db->Put(wo, key, payload).ok());
     }
     EXPECT_TRUE(db->Flush().ok());
     const double write_ios = static_cast<double>(

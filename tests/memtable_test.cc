@@ -144,8 +144,10 @@ TEST_F(MemTableTest, IteratorYieldsInternalOrder) {
 TEST_F(MemTableTest, MemoryUsageGrows) {
   const size_t before = mem_.ApproximateMemoryUsage();
   for (int i = 0; i < 1000; i++) {
-    mem_.Add(i + 1, ValueType::kValue, "key" + std::to_string(i),
-             std::string(100, 'v'));
+    const std::string key = "key" + std::to_string(i);
+    const std::string payload = std::string(100, 'v');
+    mem_.Add(i + 1, ValueType::kValue, key,
+             payload);
   }
   EXPECT_GT(mem_.ApproximateMemoryUsage(), before + 100 * 1000);
   EXPECT_EQ(mem_.num_entries(), 1000u);

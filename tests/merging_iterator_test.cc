@@ -105,7 +105,8 @@ TEST_F(MergingIteratorTest, SeekPositionsAcrossChildren) {
           {IKey("c", 1), "3"}, {IKey("g", 1), "4"}}));
 
   auto merged = NewMergingIterator(&comparator_, std::move(children));
-  merged->Seek(IKey("b", kMaxSequenceNumber));
+  const std::string ikey = IKey("b", kMaxSequenceNumber);
+  merged->Seek(ikey);
   ASSERT_TRUE(merged->Valid());
   EXPECT_EQ(ExtractUserKey(merged->key()).ToString(), "c");
   merged->Next();

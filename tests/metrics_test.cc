@@ -151,13 +151,15 @@ class MetricsDbTest : public ::testing::Test {
     WriteOptions wo;
     const std::string value(64, 'v');
     for (int i = 0; i < kNumKeys; i++) {
-      ASSERT_TRUE(db->Put(wo, Key(i), value).ok());
+      const std::string key = Key(i);
+      ASSERT_TRUE(db->Put(wo, key, value).ok());
     }
     ASSERT_TRUE(db->Flush().ok());
     ReadOptions ro;
     std::string out;
     for (int i = 0; i < 500; i++) {
-      EXPECT_TRUE(db->Get(ro, Key(i) + "x", &out).IsNotFound());
+      const std::string key = Key(i) + "x";
+      EXPECT_TRUE(db->Get(ro, key, &out).IsNotFound());
     }
   }
 
@@ -281,7 +283,8 @@ TEST_F(MetricsDbTest, ResetStatsZeroesCountersAndHistograms) {
   ReadOptions ro;
   std::string out;
   for (int i = 0; i < 25; i++) {
-    EXPECT_TRUE(db->Get(ro, Key(i) + "x", &out).IsNotFound());
+    const std::string key = Key(i) + "x";
+    EXPECT_TRUE(db->Get(ro, key, &out).IsNotFound());
   }
   stats = db->GetStats();
   EXPECT_EQ(stats.gets, 25u);

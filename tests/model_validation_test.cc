@@ -53,7 +53,8 @@ Outcome RunConfig(const Config& config) {
     for (int i = 0; i < config.num_keys; i++) {
       char key[24];
       snprintf(key, sizeof(key), "user%012d", i);
-      EXPECT_TRUE(db->Put(wo, key, std::string(48, 'v')).ok());
+      const std::string payload = std::string(48, 'v');
+      EXPECT_TRUE(db->Put(wo, key, payload).ok());
     }
     EXPECT_TRUE(db->Flush().ok());
     outcome.deepest_level = db->GetStats().deepest_level;

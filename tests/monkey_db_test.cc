@@ -61,7 +61,8 @@ TEST(OpenNavigableMonkey, TunesAndOpens) {
   // The opened DB works end to end.
   WriteOptions wo;
   for (int i = 0; i < 3000; i++) {
-    ASSERT_TRUE(db->Put(wo, "k" + std::to_string(i), "v").ok());
+    const std::string key = "k" + std::to_string(i);
+    ASSERT_TRUE(db->Put(wo, key, "v").ok());
   }
   std::string value;
   ASSERT_TRUE(db->Get(ReadOptions(), "k1500", &value).ok());

@@ -40,7 +40,8 @@ class PerfContextTest : public ::testing::Test {
     WriteOptions wo;
     const std::string value(48, 'v');
     for (int i = 0; i < kNumKeys; i++) {
-      ASSERT_TRUE(db_->Put(wo, Key(i), value).ok());
+      const std::string key = Key(i);
+      ASSERT_TRUE(db_->Put(wo, key, value).ok());
     }
     // Empty the buffer so lookups exercise only the disk levels.
     ASSERT_TRUE(db_->Flush().ok());
@@ -71,7 +72,8 @@ TEST_F(PerfContextTest, DisabledLevelCountsNothing) {
   ReadOptions ro;
   std::string value;
   for (int i = 0; i < 50; i++) {
-    EXPECT_TRUE(db_->Get(ro, MissingKey(i), &value).IsNotFound());
+    const std::string missing_key = MissingKey(i);
+    EXPECT_TRUE(db_->Get(ro, missing_key, &value).IsNotFound());
   }
   const PerfContext* pc = GetPerfContext();
   EXPECT_EQ(pc->get_count, 0u);
@@ -91,7 +93,8 @@ TEST_F(PerfContextTest, ZeroResultGetSumsToEq3Accounting) {
   ReadOptions ro;
   std::string value;
   for (int i = 0; i < kLookups; i++) {
-    EXPECT_TRUE(db_->Get(ro, MissingKey(i * 7), &value).IsNotFound());
+    const std::string missing_key = MissingKey(i * 7);
+    EXPECT_TRUE(db_->Get(ro, missing_key, &value).IsNotFound());
   }
   const PerfContext* pc = GetPerfContext();
   const DbStats after = db_->GetStats();
@@ -148,7 +151,8 @@ TEST_F(PerfContextTest, ExistingKeyGetStopsAtResolution) {
   std::string value;
   constexpr int kLookups = 200;
   for (int i = 0; i < kLookups; i++) {
-    ASSERT_TRUE(db_->Get(ro, Key((i * 13) % kNumKeys), &value).ok());
+    const std::string key = Key((i * 13) % kNumKeys);
+    ASSERT_TRUE(db_->Get(ro, key, &value).ok());
   }
   const PerfContext* pc = GetPerfContext();
   // Each hit ends at the run holding the key: exactly one probed run
@@ -166,7 +170,8 @@ TEST_F(PerfContextTest, CountsLevelNeverReadsTheClock) {
   GetIOStatsContext()->Reset();
   ReadOptions ro;
   std::string value;
-  ASSERT_TRUE(db_->Get(ro, Key(1), &value).ok());
+  const std::string key = Key(1);
+  ASSERT_TRUE(db_->Get(ro, key, &value).ok());
   const PerfContext* pc = GetPerfContext();
   EXPECT_GT(pc->get_count, 0u);
   EXPECT_EQ(pc->get_nanos, 0u);
@@ -183,7 +188,8 @@ TEST_F(PerfContextTest, TimingLevelAttributesStages) {
   ReadOptions ro;
   std::string value;
   for (int i = 0; i < 100; i++) {
-    ASSERT_TRUE(db_->Get(ro, Key(i), &value).ok());
+    const std::string key = Key(i);
+    ASSERT_TRUE(db_->Get(ro, key, &value).ok());
   }
   const PerfContext* pc = GetPerfContext();
   EXPECT_GT(pc->get_nanos, 0u);
@@ -201,7 +207,8 @@ TEST_F(PerfContextTest, WritePathCountsGroupsAndIoStats) {
   WriteOptions wo;
   constexpr int kWrites = 50;
   for (int i = 0; i < kWrites; i++) {
-    ASSERT_TRUE(db_->Put(wo, "new" + std::to_string(i), "v").ok());
+    const std::string key = "new" + std::to_string(i);
+    ASSERT_TRUE(db_->Put(wo, key, "v").ok());
   }
   const PerfContext* pc = GetPerfContext();
   EXPECT_EQ(pc->write_count, static_cast<uint64_t>(kWrites));
@@ -224,14 +231,16 @@ TEST_F(PerfContextTest, ContextsAreThreadLocal) {
     ASSERT_EQ(GetPerfLevel(), PerfLevel::kDisabled);
     ReadOptions ro;
     std::string value;
-    EXPECT_TRUE(db_->Get(ro, MissingKey(1), &value).IsNotFound());
+    const std::string missing_key_s = MissingKey(1);
+    EXPECT_TRUE(db_->Get(ro, missing_key_s, &value).IsNotFound());
     EXPECT_EQ(GetPerfContext()->get_count, 0u);
   });
   other.join();
   EXPECT_EQ(GetPerfContext()->get_count, 0u);
   ReadOptions ro;
   std::string value;
-  EXPECT_TRUE(db_->Get(ro, MissingKey(2), &value).IsNotFound());
+  const std::string missing_key = MissingKey(2);
+  EXPECT_TRUE(db_->Get(ro, missing_key, &value).IsNotFound());
   EXPECT_EQ(GetPerfContext()->get_count, 1u);
 }
 
@@ -241,7 +250,8 @@ TEST_F(PerfContextTest, ToStringAndJsonRenderNonZeroFields) {
   GetPerfContext()->Reset();
   ReadOptions ro;
   std::string value;
-  EXPECT_TRUE(db_->Get(ro, MissingKey(3), &value).IsNotFound());
+  const std::string missing_key = MissingKey(3);
+  EXPECT_TRUE(db_->Get(ro, missing_key, &value).IsNotFound());
   const std::string text = GetPerfContext()->ToString();
   EXPECT_NE(text.find("get_count"), std::string::npos) << text;
   const std::string json = GetPerfContext()->ToJson();

@@ -47,8 +47,10 @@ class TablePrefetchTest : public ::testing::Test {
     TableBuilder builder(opts, file.get());
     for (int i = 0; i < n; i++) {
       std::string key;
-      AppendInternalKey(&key, UserKey(i), 100, ValueType::kValue);
-      builder.Add(key, Value(i));
+      const std::string user_key = UserKey(i);
+      AppendInternalKey(&key, user_key, 100, ValueType::kValue);
+      const std::string val = Value(i);
+      builder.Add(key, val);
     }
     EXPECT_TRUE(builder.Finish().ok());
     EXPECT_TRUE(file->Close().ok());
@@ -159,7 +161,8 @@ TEST_F(TablePrefetchTest, DestructionMidPipeline) {
     scan.pool = &pool_;
     auto iter = table->NewIterator(scan);
     std::string internal;
-    AppendInternalKey(&internal, UserKey(static_cast<int>(rng.Uniform(5000))),
+    const std::string user_key = UserKey(static_cast<int>(rng.Uniform(5000)));
+    AppendInternalKey(&internal, user_key,
                       kMaxSequenceNumber, ValueType::kValue);
     iter->Seek(internal);
     for (int i = 0; i < static_cast<int>(rng.Uniform(3)); i++) {
@@ -223,7 +226,8 @@ TestDb OpenDb(MergePolicy policy, int num_keys,
   for (int i = 0; i < num_keys; i++) {
     char buf[16];
     snprintf(buf, sizeof(buf), "key%06d", i);
-    EXPECT_TRUE(t.db->Put(wo, buf, "v" + std::to_string(i)).ok());
+    const std::string key = "v" + std::to_string(i);
+    EXPECT_TRUE(t.db->Put(wo, buf, key).ok());
   }
   // A few deletes so scans also cross tombstones.
   for (int i = 0; i < num_keys; i += 97) {

@@ -24,7 +24,8 @@ TEST(Smoke, PutGetFlushReopen) {
   ReadOptions ro;
   for (int i = 0; i < 2000; i++) {
     const std::string key = "key" + std::to_string(i);
-    ASSERT_TRUE(db->Put(wo, key, "value" + std::to_string(i)).ok());
+    const std::string val = "value" + std::to_string(i);
+    ASSERT_TRUE(db->Put(wo, key, val).ok());
   }
   std::string value;
   ASSERT_TRUE(db->Get(ro, "key1234", &value).ok());

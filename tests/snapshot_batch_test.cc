@@ -52,7 +52,8 @@ TEST_F(SnapshotBatchTest, EmptyBatchIsNoOp) {
 TEST_F(SnapshotBatchTest, BatchSurvivesCrashAtomically) {
   WriteBatch batch;
   for (int i = 0; i < 100; i++) {
-    batch.Put("batch_key" + std::to_string(i), "v");
+    const std::string key = "batch_key" + std::to_string(i);
+    batch.Put(key, "v");
   }
   ASSERT_TRUE(db_->Write(wo_, batch).ok());
   db_.reset();  // "Crash" (WAL not flushed into a run).
@@ -63,8 +64,9 @@ TEST_F(SnapshotBatchTest, BatchSurvivesCrashAtomically) {
   ASSERT_TRUE(DB::Open(options, "/db", &reopened).ok());
   std::string value;
   for (int i = 0; i < 100; i++) {
+    const std::string key = "batch_key" + std::to_string(i);
     EXPECT_TRUE(
-        reopened->Get(ro_, "batch_key" + std::to_string(i), &value).ok())
+        reopened->Get(ro_, key, &value).ok())
         << i;
   }
 }
@@ -106,16 +108,19 @@ TEST_F(SnapshotBatchTest, SnapshotSurvivesCompactions) {
   // Pin a snapshot, then overwrite heavily so compactions run many times.
   // The pinned versions must survive every merge.
   for (int i = 0; i < 200; i++) {
+    const std::string key = "key" + std::to_string(i);
     ASSERT_TRUE(
-        db_->Put(wo_, "key" + std::to_string(i), "generation0").ok());
+        db_->Put(wo_, key, "generation0").ok());
   }
   const Snapshot* snap = db_->GetSnapshot();
 
   Random rng(3);
   for (int gen = 1; gen <= 20; gen++) {
     for (int i = 0; i < 200; i++) {
-      ASSERT_TRUE(db_->Put(wo_, "key" + std::to_string(i),
-                           "generation" + std::to_string(gen))
+      const std::string key = "key" + std::to_string(i);
+      const std::string val = "generation" + std::to_string(gen);
+      ASSERT_TRUE(db_->Put(wo_, key,
+                           val)
                       .ok());
     }
   }
@@ -126,10 +131,12 @@ TEST_F(SnapshotBatchTest, SnapshotSurvivesCompactions) {
   snap_ro.snapshot = snap;
   std::string value;
   for (int i = 0; i < 200; i += 7) {
-    ASSERT_TRUE(db_->Get(snap_ro, "key" + std::to_string(i), &value).ok())
+    const std::string key3 = "key" + std::to_string(i);
+    ASSERT_TRUE(db_->Get(snap_ro, key3, &value).ok())
         << i;
     EXPECT_EQ(value, "generation0") << i;
-    ASSERT_TRUE(db_->Get(ro_, "key" + std::to_string(i), &value).ok());
+    const std::string key = "key" + std::to_string(i);
+    ASSERT_TRUE(db_->Get(ro_, key, &value).ok());
     EXPECT_EQ(value, "generation20") << i;
   }
   db_->ReleaseSnapshot(snap);

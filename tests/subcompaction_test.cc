@@ -42,12 +42,13 @@ void ApplyWorkload(DB* db, int num_keys, int generations) {
   WriteOptions wo;
   for (int gen = 0; gen < generations; gen++) {
     for (int i = 0; i < num_keys; i++) {
-      ASSERT_TRUE(
-          db->Put(wo, Key(i), "g" + std::to_string(gen) + "_" + Key(i))
-              .ok());
+      const std::string key = Key(i);
+      const std::string val = "g" + std::to_string(gen) + "_" + key;
+      ASSERT_TRUE(db->Put(wo, key, val).ok());
     }
     for (int i = gen; i < num_keys; i += 5) {
-      ASSERT_TRUE(db->Delete(wo, Key(i)).ok());
+      const std::string key = Key(i);
+      ASSERT_TRUE(db->Delete(wo, key).ok());
     }
   }
   ASSERT_TRUE(db->Flush().ok());
@@ -96,11 +97,14 @@ TEST(Subcompaction, ParallelMergeMatchesSingleThreaded) {
   ReadOptions ro;
   std::string v1, v4;
   for (int i = 0; i < kNumKeys; i += 7) {
-    const Status g1 = db1->Get(ro, Key(i), &v1);
-    const Status g4 = db4->Get(ro, Key(i), &v4);
-    EXPECT_EQ(g1.ok(), g4.ok()) << Key(i);
-    EXPECT_EQ(g1.IsNotFound(), g4.IsNotFound()) << Key(i);
-    if (g1.ok() && g4.ok()) EXPECT_EQ(v1, v4) << Key(i);
+    const std::string key = Key(i);
+    const Status g1 = db1->Get(ro, key, &v1);
+    const Status g4 = db4->Get(ro, key, &v4);
+    EXPECT_EQ(g1.ok(), g4.ok()) << key;
+    EXPECT_EQ(g1.IsNotFound(), g4.IsNotFound()) << key;
+    if (g1.ok() && g4.ok()) {
+      EXPECT_EQ(v1, v4) << key;
+    }
   }
 }
 
@@ -134,9 +138,11 @@ TEST(Subcompaction, FewDistinctKeysManyOverwrites) {
   constexpr int kOverwrites = 2000;
   for (int i = 0; i < kOverwrites; i++) {
     for (int k = 0; k < kDistinct; k++) {
+      const std::string key = "hot" + std::to_string(k);
+      const std::string payload = std::string(48, 'a' + (i + k) % 26) + std::to_string(i);
       ASSERT_TRUE(
-          db->Put(wo, "hot" + std::to_string(k),
-                  std::string(48, 'a' + (i + k) % 26) + std::to_string(i))
+          db->Put(wo, key,
+                  payload)
               .ok());
     }
   }
@@ -145,7 +151,8 @@ TEST(Subcompaction, FewDistinctKeysManyOverwrites) {
   ReadOptions ro;
   std::string value;
   for (int k = 0; k < kDistinct; k++) {
-    ASSERT_TRUE(db->Get(ro, "hot" + std::to_string(k), &value).ok()) << k;
+    const std::string key = "hot" + std::to_string(k);
+    ASSERT_TRUE(db->Get(ro, key, &value).ok()) << k;
     EXPECT_EQ(value,
               std::string(48, 'a' + (kOverwrites - 1 + k) % 26) +
                   std::to_string(kOverwrites - 1))
@@ -162,7 +169,8 @@ TEST(Subcompaction, SingleKeyTree) {
 
   WriteOptions wo;
   for (int i = 0; i < 5000; i++) {
-    ASSERT_TRUE(db->Put(wo, "only", std::string(40, 'x') + std::to_string(i))
+    const std::string payload = std::string(40, 'x') + std::to_string(i);
+    ASSERT_TRUE(db->Put(wo, "only", payload)
                     .ok());
   }
   ASSERT_TRUE(db->Flush().ok());
@@ -194,7 +202,8 @@ TEST(Subcompaction, BackgroundPoolStress) {
       for (int i = 0; i < kWritesPerThread; i++) {
         const std::string key =
             "t" + std::to_string(t) + "_" + Key(i % 500);
-        if (!db->Put(wo, key, "v" + std::to_string(i)).ok()) {
+        const std::string val = "v" + std::to_string(i);
+        if (!db->Put(wo, key, val).ok()) {
           write_errors.fetch_add(1);
           return;
         }
@@ -231,12 +240,15 @@ TEST(Subcompaction, SnapshotSurvivesParallelMerges) {
 
   WriteOptions wo;
   for (int i = 0; i < 300; i++) {
-    ASSERT_TRUE(db->Put(wo, Key(i), "old").ok());
+    const std::string key = Key(i);
+    ASSERT_TRUE(db->Put(wo, key, "old").ok());
   }
   const Snapshot* snap = db->GetSnapshot();
   for (int gen = 0; gen < 10; gen++) {
     for (int i = 0; i < 300; i++) {
-      ASSERT_TRUE(db->Put(wo, Key(i), "new" + std::to_string(gen)).ok());
+      const std::string key = Key(i);
+      const std::string val = "new" + std::to_string(gen);
+      ASSERT_TRUE(db->Put(wo, key, val).ok());
     }
   }
   ASSERT_TRUE(db->Flush().ok());
@@ -246,7 +258,8 @@ TEST(Subcompaction, SnapshotSurvivesParallelMerges) {
   snap_ro.snapshot = snap;
   std::string value;
   for (int i = 0; i < 300; i += 11) {
-    ASSERT_TRUE(db->Get(snap_ro, Key(i), &value).ok()) << i;
+    const std::string key = Key(i);
+    ASSERT_TRUE(db->Get(snap_ro, key, &value).ok()) << i;
     EXPECT_EQ(value, "old") << i;
   }
   db->ReleaseSnapshot(snap);

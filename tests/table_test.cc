@@ -36,8 +36,10 @@ class TableTest : public ::testing::Test {
     TableBuilder builder(opts, file.get());
     for (int i = 0; i < n; i++) {
       std::string key;
-      AppendInternalKey(&key, UserKey(i), 100, ValueType::kValue);
-      builder.Add(key, std::string(value_size, 'v'));
+      const std::string user_key = UserKey(i);
+      AppendInternalKey(&key, user_key, 100, ValueType::kValue);
+      const std::string payload = std::string(value_size, 'v');
+      builder.Add(key, payload);
     }
     EXPECT_TRUE(builder.Finish().ok());
     EXPECT_TRUE(file->Close().ok());
@@ -86,7 +88,8 @@ TEST_F(TableTest, GetFoundAndAbsent) {
   std::string value;
   TableLookupResult result;
 
-  LookupKey present(UserKey(1234), kMaxSequenceNumber);
+  const std::string user_key = UserKey(1234);
+  LookupKey present(user_key, kMaxSequenceNumber);
   ASSERT_TRUE(table->Get(present, &value, &result).ok());
   EXPECT_EQ(result, TableLookupResult::kFound);
   EXPECT_EQ(value.size(), 64u);
@@ -110,7 +113,8 @@ TEST_F(TableTest, PointProbeCostsExactlyOnePageRead) {
   Random rng(1);
   for (int trial = 0; trial < 50; trial++) {
     const int target = static_cast<int>(rng.Uniform(20000));
-    LookupKey lookup(UserKey(target), kMaxSequenceNumber);
+    const std::string user_key = UserKey(target);
+    LookupKey lookup(user_key, kMaxSequenceNumber);
     std::string value;
     TableLookupResult result;
     const auto before = stats_.Snapshot();
@@ -127,7 +131,8 @@ TEST_F(TableTest, FilteredProbeCostsZeroIo) {
   int zero_io_lookups = 0;
   const int trials = 200;
   for (int i = 0; i < trials; i++) {
-    LookupKey lookup("absent" + std::to_string(i), kMaxSequenceNumber);
+    const std::string key = "absent" + std::to_string(i);
+    LookupKey lookup(key, kMaxSequenceNumber);
     std::string value;
     TableLookupResult result;
     const auto before = stats_.Snapshot();
@@ -179,7 +184,8 @@ TEST_F(TableTest, SeekWithinIterator) {
   auto table = BuildTable(10000, 0.01);
   auto iter = table->NewIterator();
   std::string seek_key;
-  AppendInternalKey(&seek_key, UserKey(7777), kMaxSequenceNumber,
+  const std::string user_key = UserKey(7777);
+  AppendInternalKey(&seek_key, user_key, kMaxSequenceNumber,
                     kValueTypeForSeek);
   iter->Seek(seek_key);
   ASSERT_TRUE(iter->Valid());

@@ -8,6 +8,7 @@
 #include <atomic>
 #include <map>
 #include <thread>
+#include <vector>
 
 #include "io/counting_env.h"
 #include "io/env.h"
@@ -26,7 +27,8 @@ TEST(ValueLog, AddGetRoundTrip) {
 
   ValueHandle h1, h2, h3;
   ASSERT_TRUE(log->Add("first value", false, &h1).ok());
-  ASSERT_TRUE(log->Add(std::string(10000, 'x'), false, &h2).ok());
+  const std::string payload = std::string(10000, 'x');
+  ASSERT_TRUE(log->Add(payload, false, &h2).ok());
   ASSERT_TRUE(log->Add("", false, &h3).ok());
 
   std::string value;
@@ -126,6 +128,50 @@ TEST(ValueLog, AccessorsRaceFreeAgainstConcurrentAdds) {
   EXPECT_EQ(log->bytes_appended(), expected);
 }
 
+// Regression: ReaderFor opens cold-cache files with mu_ released, so
+// concurrent first reads race to open and cache the same log file. The
+// losers must adopt the winner's cached reader and every Get must still
+// return the right bytes (the old REQUIRES(mu_) version serialized all
+// reads behind Add's append+fsync; the rewrite must not trade that for a
+// torn cache).
+TEST(ValueLog, ConcurrentColdCacheGets) {
+  auto env = NewMemEnv();
+  ASSERT_TRUE(env->CreateDir("/db").ok());
+  constexpr int kValues = 16;
+  std::vector<ValueHandle> handles(kValues);
+  {
+    std::unique_ptr<ValueLog> writer;
+    ASSERT_TRUE(ValueLog::Open(env.get(), "/db", &writer).ok());
+    for (int i = 0; i < kValues; i++) {
+      const std::string value = "payload-" + std::to_string(i);
+      ASSERT_TRUE(writer->Add(value, false, &handles[i]).ok());
+    }
+  }
+  // Reopen: the reader cache is cold, so every thread's first Get is a
+  // cache miss and the opens all race on the same file number.
+  std::unique_ptr<ValueLog> log;
+  ASSERT_TRUE(ValueLog::Open(env.get(), "/db", &log).ok());
+  constexpr int kThreads = 8;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; t++) {
+    threads.emplace_back([&] {
+      for (int round = 0; round < 4; round++) {
+        for (int i = 0; i < kValues; i++) {
+          std::string value;
+          const std::string want = "payload-" + std::to_string(i);
+          if (!log->Get(handles[i], &value).ok() || value != want) {
+            mismatches++;
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
 // --- Engine integration ---
 
 class SeparatedDbTest : public ::testing::Test {
@@ -172,8 +218,10 @@ TEST_F(SeparatedDbTest, SurvivesRecovery) {
     ASSERT_TRUE(DB::Open(MakeOptions(), "/db", &db).ok());
     WriteOptions wo;
     for (int i = 0; i < 500; i++) {
-      ASSERT_TRUE(db->Put(wo, "big" + std::to_string(i),
-                          std::string(400, 'B'))
+      const std::string key = "big" + std::to_string(i);
+      const std::string payload = std::string(400, 'B');
+      ASSERT_TRUE(db->Put(wo, key,
+                          payload)
                       .ok());
     }
     // No explicit flush: recovery must replay handle records from the WAL.
@@ -182,7 +230,8 @@ TEST_F(SeparatedDbTest, SurvivesRecovery) {
   ASSERT_TRUE(DB::Open(MakeOptions(), "/db", &db).ok());
   std::string value;
   for (int i = 0; i < 500; i += 17) {
-    ASSERT_TRUE(db->Get(ReadOptions(), "big" + std::to_string(i), &value)
+    const std::string key = "big" + std::to_string(i);
+    ASSERT_TRUE(db->Get(ReadOptions(), key, &value)
                     .ok())
         << i;
     EXPECT_EQ(value, std::string(400, 'B'));
@@ -196,8 +245,9 @@ TEST_F(SeparatedDbTest, IteratorResolvesHandles) {
   for (int i = 0; i < 100; i++) {
     char buf[16];
     snprintf(buf, sizeof(buf), "key%03d", i);
+    const std::string payload = std::string(200 + i, 'v');
     ASSERT_TRUE(
-        db->Put(wo, buf, std::string(200 + i, 'v')).ok());
+        db->Put(wo, buf, payload).ok());
   }
   ASSERT_TRUE(db->Flush().ok());
   auto iter = db->NewIterator(ReadOptions());
@@ -213,8 +263,10 @@ TEST_F(SeparatedDbTest, DeletesAndOverwritesWork) {
   std::unique_ptr<DB> db;
   ASSERT_TRUE(DB::Open(MakeOptions(), "/db", &db).ok());
   WriteOptions wo;
-  ASSERT_TRUE(db->Put(wo, "k", std::string(300, 'a')).ok());
-  ASSERT_TRUE(db->Put(wo, "k", std::string(300, 'b')).ok());
+  const std::string payload_s = std::string(300, 'a');
+  ASSERT_TRUE(db->Put(wo, "k", payload_s).ok());
+  const std::string payload = std::string(300, 'b');
+  ASSERT_TRUE(db->Put(wo, "k", payload).ok());
   std::string value;
   ASSERT_TRUE(db->Get(ReadOptions(), "k", &value).ok());
   EXPECT_EQ(value, std::string(300, 'b'));
@@ -229,7 +281,8 @@ TEST_F(SeparatedDbTest, WriteBatchWithLargeValues) {
   ASSERT_TRUE(DB::Open(MakeOptions(), "/db", &db).ok());
   WriteBatch batch;
   batch.Put("small", "s");
-  batch.Put("large", std::string(1000, 'L'));
+  const std::string payload = std::string(1000, 'L');
+  batch.Put("large", payload);
   batch.Delete("small");
   ASSERT_TRUE(db->Write(WriteOptions(), batch).ok());
   std::string value;

@@ -103,7 +103,8 @@ TEST(WalBatch, PutDeleteRoundTrip) {
   WalBatch batch(/*first_sequence=*/42);
   batch.Put("k1", "v1");
   batch.Delete("k2");
-  batch.Put("k3", std::string(1000, 'z'));
+  const std::string payload_s = std::string(1000, 'z');
+  batch.Put("k3", payload_s);
   EXPECT_EQ(batch.count(), 3u);
 
   std::vector<std::tuple<SequenceNumber, ValueType, std::string, std::string>>

@@ -55,7 +55,8 @@ int main(int argc, char** argv) {
   WriteOptions wo;
   const std::string value(48, 'v');
   for (int i = 0; i < 4000; i++) {
-    s = db->Put(wo, Key(i), value);
+    const std::string key = Key(i);
+    s = db->Put(wo, key, value);
     if (!s.ok()) {
       fprintf(stderr, "Put failed: %s\n", s.ToString().c_str());
       return 1;
@@ -66,8 +67,10 @@ int main(int argc, char** argv) {
   ReadOptions ro;
   std::string out;
   for (int i = 0; i < 500; i++) {
-    (void)db->Get(ro, Key((i * 13) % 4000), &out);          // Hits.
-    (void)db->Get(ro, Key((i * 7) % 4000) + "x", &out);     // Zero-result.
+    const std::string key = Key((i * 13) % 4000);
+    (void)db->Get(ro, key, &out);          // Hits.
+    const std::string missing = Key((i * 7) % 4000) + "x";
+    (void)db->Get(ro, missing, &out);  // Zero-result.
   }
   std::vector<std::string> key_storage;
   for (int i = 0; i < 32; i++) key_storage.push_back(Key(i));

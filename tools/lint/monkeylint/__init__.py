@@ -1,0 +1,42 @@
+"""monkey-lint: project-specific static analysis for MonkeyDB.
+
+Four checks encode the engine invariants that neither the compiler nor
+Clang's -Wthread-safety can express (see DESIGN.md "Static analysis"):
+
+  slice-dangling-source  Slice bound to a temporary std::string or to a
+                         local that dies before the Slice.
+  io-under-mutex         a call path reaching Env / file I/O, fsync,
+                         ReadBatch, clock reads, or ThreadPool waits while
+                         an annotated mutex is held (transitive over the
+                         call graph, minus ScopedUnlock windows).
+  lock-order             cycles in the static lock acquisition-order graph
+                         (MutexLock nesting + REQUIRES/ACQUIRE contracts).
+  status-sink            IgnoreError() / (void)-cast Status without an
+                         adjacent justification annotation.
+
+Findings are suppressible only via an inline
+
+    // monkey-lint: <rule> -- <reason>
+
+annotation (em dash, double dash, or colon before the reason all work), so
+every exception in the tree is self-documenting. A suppression without a
+reason is itself reported.
+
+The analysis engine is a dependency-free C++ lexer/parser driven by the
+file list of an exported compile_commands.json (plus the headers under
+src/). It deliberately avoids libclang: the CI and container images this
+gate must run in do not ship libclang or its Python bindings, and a
+hermetic stdlib-only tool cannot rot when the toolchain image changes.
+The trade-off (documented per check) is lexical rather than semantic type
+resolution; the checks are tuned on the self-test corpus under
+tools/lint/testdata/ so each rule provably fires and stays quiet.
+"""
+
+__version__ = "1.0"
+
+RULES = (
+    "slice-dangling-source",
+    "io-under-mutex",
+    "lock-order",
+    "status-sink",
+)

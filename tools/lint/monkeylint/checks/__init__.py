@@ -1,0 +1,11 @@
+from . import io_under_mutex
+from . import lock_order
+from . import slice_dangling
+from . import status_sink
+
+ALL_CHECKS = {
+    "slice-dangling-source": slice_dangling.run,
+    "io-under-mutex": io_under_mutex.run,
+    "lock-order": lock_order.run,
+    "status-sink": status_sink.run,
+}

@@ -1,0 +1,219 @@
+"""io-under-mutex: no call path may reach blocking I/O, clock reads, or
+thread-pool waits while an annotated mutex is held.
+
+This is the design rule of PRs 1-3 ("apply outside mu_") that Clang's
+-Wthread-safety cannot express: the analysis knows *which* lock guards
+what, but not that a WAL fsync under mu_ stalls every reader. The check
+computes lock-held regions per function (REQUIRES/ACQUIRE contracts,
+MutexLock scopes, manual Lock/Unlock, AssertHeld), subtracts ScopedUnlock
+windows — the engine's sanctioned I/O idiom, each of which must document
+its covering protocol — and walks the call graph transitively: a call
+under a held mutex that can reach an I/O sink anywhere downstream is a
+finding, with the full chain in the message.
+
+Sinks:
+  * file/Env methods (receiver call):  Read ReadBatch ReadAhead Skip
+    Append Sync Flush Close NewSequentialFile NewRandomAccessFile
+    NewWritableFile GetChildren RemoveFile CreateDir GetFileSize
+    RenameFile FileExists
+  * bare/namespaced syscalls + clocks: pread pwrite fsync fdatasync
+    syscall mmap munmap madvise posix_fadvise NowMicros now sleep_for
+    sleep_until usleep nanosleep
+  * thread-pool / thread waits (receiver call): RunBatch join
+
+CondVar::Wait is deliberately NOT a sink: it releases the mutex while
+sleeping — waiting under the lock is the one blocking call the design
+permits.
+
+Propagation trusts ScopedUnlock: I/O performed inside a window does not
+mark the enclosing function as I/O-reaching for its callers, because the
+window's contract is precisely "this function drops the caller's lock
+around the I/O". The residual risk (a second, different mutex still held
+across someone else's window) is the documented limit of the check.
+"""
+
+from ..model import extract_calls
+from ..project import Finding
+from ..regions import LockRegions
+
+# Sinks that must be invoked as a member call (x.Read(...) / f->Sync()).
+METHOD_SINKS = {
+    "Read": "file read", "ReadBatch": "batched file read",
+    "ReadAhead": "readahead hint", "Skip": "sequential-file skip",
+    "Append": "file append", "Sync": "file sync / fsync",
+    "Flush": "file flush", "Close": "file close",
+    "NewSequentialFile": "file open", "NewRandomAccessFile": "file open",
+    "NewWritableFile": "file open", "GetChildren": "directory listing",
+    "RemoveFile": "file removal", "CreateDir": "mkdir",
+    "GetFileSize": "file stat", "RenameFile": "rename",
+    "FileExists": "file stat", "RunBatch": "thread-pool wait",
+    "join": "thread join", "NowMicros": "clock read",
+}
+# Sinks that appear bare or namespace-qualified (::pread, clock::now()).
+FREE_SINKS = {
+    "pread": "pread syscall", "pwrite": "pwrite syscall",
+    "fsync": "fsync syscall", "fdatasync": "fdatasync syscall",
+    "syscall": "raw syscall", "mmap": "mmap syscall",
+    "munmap": "munmap syscall", "madvise": "madvise syscall",
+    "posix_fadvise": "posix_fadvise syscall", "now": "clock read",
+    "sleep_for": "sleep", "sleep_until": "sleep",
+    "usleep": "sleep", "nanosleep": "sleep",
+}
+
+RULE = "io-under-mutex"
+
+
+def _call_is_sink(source, name, idx):
+    toks = source.tokens
+    prev = toks[idx - 1].text if idx > 0 else ""
+    if name in METHOD_SINKS and prev in (".", "->"):
+        return METHOD_SINKS[name]
+    if name in FREE_SINKS and (prev in ("::",) or prev not in (".", "->")):
+        return FREE_SINKS[name]
+    return None
+
+
+class Analysis:
+    """Project-wide fixpoint: which functions can reach an I/O sink
+    through calls made outside ScopedUnlock windows."""
+
+    def __init__(self, project):
+        self.project = project
+        self.regions = {}      # id(fn) -> LockRegions
+        self.calls = {}        # id(fn) -> [(name, line, idx, windowed)]
+        self.reaches = {}      # id(fn) -> (call_name, why) witness or None
+        self._prepare()
+        self._fixpoint()
+        self._mark_suppressions_used()
+
+    def _prepare(self):
+        for sf in self.project.files:
+            for fn in sf.functions:
+                reg = LockRegions(sf, fn)
+                self.regions[id(fn)] = reg
+                windows = [iv for iv in reg.intervals if not iv.held]
+                out = []
+                for (name, line, idx) in extract_calls(
+                        sf.tokens, fn.body_start + 1, fn.body_end):
+                    windowed = any(w.lo <= idx < w.hi for w in windows)
+                    suppressed = sf.suppression_for(RULE, line) is not None
+                    out.append((name, line, idx, windowed, suppressed, sf))
+                self.calls[id(fn)] = out
+
+    def _fixpoint(self):
+        # Seed: direct sink calls outside windows. A sink call carrying an
+        # io-under-mutex suppression is vouched-for at the source: it
+        # neither fires nor marks its function as I/O-reaching, so one
+        # annotation covers the whole class of chains through it (e.g. a
+        # metrics clock read annotated once in the timer helper).
+        for sf in self.project.files:
+            for fn in sf.functions:
+                for (name, line, idx, windowed, suppressed, src) in \
+                        self.calls[id(fn)]:
+                    if windowed:
+                        continue
+                    why = _call_is_sink(src, name, idx)
+                    if why:
+                        if suppressed:
+                            src.suppression_for(RULE, line).used = True
+                            continue
+                        self.reaches[id(fn)] = (name, why, None)
+                        break
+        changed = True
+        while changed:
+            changed = False
+            for sf in self.project.files:
+                for fn in sf.functions:
+                    if id(fn) in self.reaches:
+                        continue
+                    for (name, line, idx, windowed, suppressed, _s) in \
+                            self.calls[id(fn)]:
+                        if windowed or suppressed:
+                            continue
+                        for target in self.project.resolve(name):
+                            if target is fn:
+                                continue
+                            if id(target) in self.reaches:
+                                self.reaches[id(fn)] = (name, None, target)
+                                changed = True
+                                break
+                        if id(fn) in self.reaches:
+                            break
+
+    def _mark_suppressions_used(self):
+        """A suppression earns its keep by stopping propagation, not only
+        by silencing a finding: credit any suppressed call that is a sink
+        or resolves to an I/O-reaching function, so the unused-suppression
+        warning stays quiet for annotations doing real work."""
+        for sf in self.project.files:
+            for fn in sf.functions:
+                for (name, line, idx, _w, suppressed, src) in \
+                        self.calls[id(fn)]:
+                    if not suppressed:
+                        continue
+                    blocked = _call_is_sink(src, name, idx) or any(
+                        id(t) in self.reaches
+                        for t in self.project.resolve(name) if t is not fn)
+                    if blocked:
+                        s = src.suppression_for(RULE, line)
+                        if s is not None:
+                            s.used = True
+
+    def chain(self, fn, limit=8):
+        """Human-readable witness chain fn -> ... -> sink."""
+        parts = [fn.qualname]
+        cur = fn
+        for _ in range(limit):
+            w = self.reaches.get(id(cur))
+            if w is None:
+                break
+            name, why, target = w
+            if target is None:
+                parts.append(f"{name} [{why}]")
+                break
+            parts.append(target.qualname)
+            cur = target
+        return " -> ".join(parts)
+
+    def sink_reason(self, name, idx, source):
+        return _call_is_sink(source, name, idx)
+
+
+def run(project):
+    analysis = Analysis(project)
+    findings = []
+    for sf in project.files:
+        for fn in sf.functions:
+            reg = analysis.regions[id(fn)]
+            if not reg.intervals:
+                continue
+            for (name, line, idx, windowed, _sup, src) in \
+                    analysis.calls[id(fn)]:
+                held = reg.held_at(idx)
+                if not held:
+                    continue
+                why = _call_is_sink(src, name, idx)
+                target_chain = None
+                if why is None:
+                    for target in project.resolve(name):
+                        if target is fn:
+                            continue
+                        if id(target) in analysis.reaches:
+                            target_chain = analysis.chain(target)
+                            break
+                    if target_chain is None:
+                        continue
+                mus = ", ".join(
+                    f"'{mu}' (held since line {ln})"
+                    for mu, (ln, _kind) in sorted(held.items()))
+                if why is not None:
+                    detail = f"direct I/O sink [{why}]"
+                else:
+                    detail = f"reaches I/O via {target_chain}"
+                findings.append(Finding(
+                    RULE, sf.path, line,
+                    f"in {fn.qualname}: call to '{name}' while holding "
+                    f"{mus} — {detail}. Move the I/O outside the critical "
+                    f"section or open a ScopedUnlock window with its "
+                    f"covering protocol documented."))
+    return findings

@@ -1,0 +1,206 @@
+"""slice-dangling-source: a Slice must never outlive its backing bytes.
+
+Slice's implicit conversions from std::string (src/util/slice.h) make
+dangling one typo away: `Slice s = key.ToString();` compiles, points into
+a temporary destroyed at the end of the full expression, and reads freed
+memory on first use. The type-level guard (`Slice(std::string&&) =
+delete`) stops plain temporaries; this check covers what overload
+resolution cannot see:
+
+  * a named Slice (local, member, or returned) initialized or assigned
+    from an expression producing a *temporary* std::string — .ToString(),
+    .substr(), .str(), std::to_string(), an explicit std::string(...)
+    temporary, string concatenation with `+`, or a call to a project
+    function whose declared return type is std::string by value;
+  * a function returning Slice built from (or implicitly converting) a
+    local std::string that dies at function exit.
+
+Binding a Slice *argument* to a temporary is fine — the temporary lives
+until the end of the full expression, which is the LevelDB calling
+convention — so only bindings that outlive the expression are flagged:
+declarations with initializers, assignments, and returns.
+"""
+
+from ..lexer import match_paren
+from ..project import Finding
+
+RULE = "slice-dangling-source"
+
+_TEMP_METHODS = {"ToString", "substr", "str"}
+_TEMP_FREE = {"to_string"}
+
+
+def _normalized_return(fn):
+    return fn.return_type.replace(" ", "")
+
+
+def _returns_string_by_value(project, name):
+    defs = project.resolve(name)
+    if not defs:
+        return False
+    rets = {_normalized_return(d) for d in defs}
+    return rets == {"std::string"} or rets == {"string"}
+
+
+def _producer(project, tokens, lo, hi):
+    """Why tokens[lo:hi] produces a temporary std::string, or None."""
+    depth = 0
+    for k in range(lo, hi):
+        t = tokens[k]
+        if t.text in ("(", "[", "{"):
+            depth += 1
+            continue
+        if t.text in (")", "]", "}"):
+            depth -= 1
+            continue
+        if t.kind != "ident":
+            # Top-level concatenation with a string-literal operand.
+            if t.text == "+" and depth == 0:
+                for m in range(lo, hi):
+                    if tokens[m].kind == "str":
+                        return "std::string concatenation with '+'"
+            continue
+        nxt = tokens[k + 1].text if k + 1 < hi else ""
+        prev = tokens[k - 1].text if k > lo else ""
+        if nxt != "(":
+            continue
+        if t.text in _TEMP_METHODS and prev in (".", "->"):
+            return f".{t.text}() temporary"
+        if t.text in _TEMP_FREE:
+            return f"std::{t.text}() temporary"
+        if t.text == "string" and prev == "::":
+            return "explicit std::string(...) temporary"
+        if prev not in (".", "->", "::") and _returns_string_by_value(
+                project, t.text):
+            return f"call to {t.text}() which returns std::string by value"
+    return None
+
+
+def _statements(tokens, lo, hi):
+    """Yield (start, end) token ranges of statements in tokens[lo:hi],
+    descending into nested blocks."""
+    k = lo
+    start = lo
+    while k < hi:
+        t = tokens[k].text
+        if t == "{":
+            close = match_paren(tokens, k)
+            yield from _statements(tokens, k + 1, close)
+            k = close + 1
+            start = k
+            continue
+        if t == "(":
+            k = match_paren(tokens, k) + 1
+            continue
+        if t == ";":
+            if k > start:
+                yield (start, k)
+            k += 1
+            start = k
+            continue
+        k += 1
+    if hi > start:
+        yield (start, hi)
+
+
+def _locals_of(tokens, lo, hi):
+    """Textual local declarations: name -> type ('std::string' | 'Slice').
+    References, pointers, and parameters are excluded."""
+    out = {}
+    for (s, e) in _statements(tokens, lo, hi):
+        texts = [t.text for t in tokens[s:e]]
+        if len(texts) >= 4 and texts[0] == "std" and texts[1] == "::" and \
+                texts[2] == "string":
+            k = 3
+            if k < len(texts) and texts[k] in ("&", "*"):
+                continue
+            if k < len(texts) and tokens[s + k].kind == "ident":
+                out[texts[k]] = ("std::string", tokens[s + k].line)
+        elif len(texts) >= 2 and texts[0] == "Slice":
+            if tokens[s + 1].kind == "ident":
+                out[texts[1]] = ("Slice", tokens[s + 1].line)
+    return out
+
+
+def run(project):
+    findings = []
+    for sf in project.files:
+        toks = sf.tokens
+        for fn in sf.functions:
+            lo, hi = fn.body_start + 1, fn.body_end
+            local_vars = _locals_of(toks, lo, hi)
+            string_locals = {n for n, (t, _l) in local_vars.items()
+                             if t == "std::string"}
+            slice_locals = {n for n, (t, _l) in local_vars.items()
+                            if t == "Slice"}
+            returns_slice = _normalized_return(fn) == "Slice"
+            for (s, e) in _statements(toks, lo, hi):
+                texts = [t.text for t in toks[s:e]]
+                line = toks[s].line
+                # --- Slice declaration with initializer -----------------
+                if texts and texts[0] == "Slice" and len(texts) > 2 and \
+                        toks[s + 1].kind == "ident":
+                    name = texts[1]
+                    init_lo = None
+                    if texts[2] == "=":
+                        init_lo = s + 3
+                    elif texts[2] in ("(", "{"):
+                        init_lo = s + 3
+                        e = match_paren(toks, s + 2)
+                    if init_lo is not None:
+                        why = _producer(project, toks, init_lo, e)
+                        if why:
+                            findings.append(Finding(
+                                RULE, sf.path, line,
+                                f"in {fn.qualname}: Slice '{name}' is "
+                                f"bound to a temporary std::string "
+                                f"({why}); the bytes are destroyed at the "
+                                f"end of this statement. Materialize the "
+                                f"string in a named local that outlives "
+                                f"the Slice."))
+                # --- assignment to a Slice local or member --------------
+                if len(texts) > 2 and toks[s].kind == "ident" and \
+                        texts[1] == "=":
+                    name = texts[0]
+                    target = None
+                    if name in slice_locals:
+                        target = f"Slice local '{name}'"
+                    else:
+                        cls = fn.class_name
+                        mtype = project.members.get(f"{cls}::{name}", "")
+                        if mtype == "Slice":
+                            target = f"Slice member '{cls}::{name}'"
+                    if target:
+                        why = _producer(project, toks, s + 2, e)
+                        if why:
+                            findings.append(Finding(
+                                RULE, sf.path, line,
+                                f"in {fn.qualname}: {target} is assigned "
+                                f"a temporary std::string ({why}); the "
+                                f"bytes are destroyed at the end of this "
+                                f"statement."))
+                # --- return of a dangling Slice -------------------------
+                if returns_slice and texts and texts[0] == "return" and \
+                        len(texts) > 1:
+                    why = _producer(project, toks, s + 1, e)
+                    if why:
+                        findings.append(Finding(
+                            RULE, sf.path, line,
+                            f"in {fn.qualname}: returning a Slice over a "
+                            f"temporary std::string ({why}); the backing "
+                            f"bytes die before the caller can look at "
+                            f"them."))
+                    elif len(texts) == 2 and texts[1] in string_locals:
+                        findings.append(Finding(
+                            RULE, sf.path, line,
+                            f"in {fn.qualname}: returning a Slice viewing "
+                            f"local std::string '{texts[1]}', which is "
+                            f"destroyed at function exit."))
+                    elif (len(texts) >= 4 and texts[1] == "Slice"
+                          and texts[2] == "(" and texts[3] in string_locals):
+                        findings.append(Finding(
+                            RULE, sf.path, line,
+                            f"in {fn.qualname}: returning Slice("
+                            f"{texts[3]}) over a local std::string that "
+                            f"is destroyed at function exit."))
+    return findings

@@ -1,0 +1,65 @@
+"""status-sink: silently dropped Status values must justify themselves.
+
+The engine makes Status [[nodiscard]] and builds with
+-Werror=unused-result (PR 4), so a dropped Status is always an explicit
+act: `.IgnoreError()` or a `(void)` cast. Outside tests, every such drop
+is one I/O error away from silent data loss, so each must carry an
+adjacent `// monkey-lint: status-sink — <reason>` annotation naming why
+ignoring is safe (best-effort cleanup, shutdown path, ...). The check
+flags:
+
+  * any `x.IgnoreError()` / `x->IgnoreError()` call;
+  * any `(void)` cast of a call to a project function whose declared
+    return type is Status.
+
+The suppression machinery is the justification contract: an annotated
+site is compliant, an unannotated one fails the gate.
+"""
+
+from ..project import Finding
+
+RULE = "status-sink"
+
+
+def _returns_status(project, name):
+    defs = project.resolve(name)
+    return bool(defs) and all(
+        d.return_type.replace(" ", "") == "Status" for d in defs)
+
+
+def run(project):
+    findings = []
+    for sf in project.files:
+        toks = sf.tokens
+        n = len(toks)
+        for k, t in enumerate(toks):
+            if (t.kind == "ident" and t.text == "IgnoreError"
+                    and k > 0 and toks[k - 1].text in (".", "->")
+                    and k + 1 < n and toks[k + 1].text == "("):
+                findings.append(Finding(
+                    RULE, sf.path, t.line,
+                    "Status dropped via IgnoreError() with no "
+                    "justification — annotate the drop with "
+                    "`// monkey-lint: status-sink — <why ignoring is "
+                    "safe>` or handle the error."))
+                continue
+            if (t.text == "(" and k + 2 < n and toks[k + 1].text == "void"
+                    and toks[k + 2].text == ")"):
+                # (void) cast: find the first call in the cast expression.
+                m = k + 3
+                call_name = None
+                while m + 1 < n and toks[m].text != ";":
+                    if (toks[m].kind == "ident"
+                            and toks[m + 1].text == "("):
+                        call_name = toks[m].text
+                        break
+                    m += 1
+                if call_name and _returns_status(project, call_name):
+                    findings.append(Finding(
+                        RULE, sf.path, t.line,
+                        f"Status returned by '{call_name}' dropped via "
+                        f"(void) cast with no justification — annotate "
+                        f"with `// monkey-lint: status-sink — <why>` or "
+                        f"handle the error (prefer IgnoreError(): it "
+                        f"names the decision)."))
+    return findings

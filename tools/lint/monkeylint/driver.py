@@ -1,0 +1,154 @@
+"""Driver: file discovery, check execution, suppression filtering,
+reporting, exit code."""
+
+import argparse
+import glob
+import json
+import os
+import sys
+
+from . import RULES
+from .checks import ALL_CHECKS
+from .project import Finding, Project
+
+
+def discover_files(compile_commands, root, subdir="src"):
+    """Translation units under <root>/<subdir> from compile_commands.json,
+    plus every header there (headers are parsed as standalone TUs — the
+    lexer needs no includes)."""
+    prefix = os.path.abspath(os.path.join(root, subdir)) + os.sep
+    files = set()
+    if compile_commands:
+        with open(compile_commands, "r", encoding="utf-8") as f:
+            for entry in json.load(f):
+                p = entry["file"]
+                if not os.path.isabs(p):
+                    p = os.path.join(entry.get("directory", root), p)
+                p = os.path.abspath(p)
+                if p.startswith(prefix) and os.path.exists(p):
+                    files.add(p)
+        if not files:
+            raise SystemExit(
+                f"monkey_lint: no translation units under {prefix} in "
+                f"{compile_commands} — is the build configured?")
+    for h in glob.glob(os.path.join(root, subdir, "**", "*.h"),
+                       recursive=True):
+        files.add(os.path.abspath(h))
+    return sorted(files)
+
+
+def apply_suppressions(project, findings):
+    """Split findings into (active, suppressed) and add meta-findings for
+    suppressions that carry no reason. Returns (active, suppressed,
+    warnings)."""
+    active = []
+    suppressed = []
+    for f in findings:
+        sf = project.source(f.file)
+        s = sf.suppression_for(f.rule, f.line) if sf else None
+        if s is None:
+            active.append(f)
+            continue
+        s.used = True
+        if not s.reason:
+            active.append(Finding(
+                "bad-suppression", f.file, s.line,
+                f"suppression for '{f.rule}' has no reason — the contract "
+                f"is `// monkey-lint: {f.rule} — <reason>`; an exception "
+                f"that cannot explain itself is not an exception. "
+                f"(suppressed finding: {f.message})"))
+        else:
+            suppressed.append((f, s))
+    warnings = []
+    for sf in project.files:
+        for s in sf.suppressions:
+            if not s.used:
+                rules = ",".join(s.rules)
+                warnings.append(
+                    f"{sf.path}:{s.line}: unused suppression "
+                    f"[{rules}] — the finding it silenced is gone; "
+                    f"remove the annotation.")
+    return active, suppressed, warnings
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(
+        prog="monkey_lint",
+        description="MonkeyDB project-specific static analysis "
+                    "(concurrency + lifetime invariants). "
+                    "Rules: " + ", ".join(RULES))
+    ap.add_argument("--compile-commands", metavar="JSON",
+                    help="compile_commands.json exported by CMake; its "
+                         "src/ translation units plus src/ headers form "
+                         "the file set")
+    ap.add_argument("--root", default=".",
+                    help="repository root (default: cwd)")
+    ap.add_argument("--rule", action="append", choices=RULES,
+                    help="run only this rule (repeatable; default: all)")
+    ap.add_argument("--report", metavar="OUT.json",
+                    help="write a JSON findings report")
+    ap.add_argument("--list-files", action="store_true",
+                    help="print the analyzed file set and exit")
+    ap.add_argument("files", nargs="*",
+                    help="explicit files to analyze (overrides discovery)")
+    args = ap.parse_args(argv)
+
+    if args.files:
+        files = [os.path.abspath(f) for f in args.files]
+    else:
+        cc = args.compile_commands
+        if not cc:
+            for cand in ("build/compile_commands.json",
+                         "compile_commands.json"):
+                p = os.path.join(args.root, cand)
+                if os.path.exists(p):
+                    cc = p
+                    break
+        files = discover_files(cc, args.root)
+    if args.list_files:
+        print("\n".join(files))
+        return 0
+
+    project = Project(files)
+    rules = args.rule or list(RULES)
+    findings = []
+    for rule in rules:
+        findings.extend(ALL_CHECKS[rule](project))
+    findings.sort(key=lambda f: (f.file, f.line, f.rule))
+
+    active, suppressed, warnings = apply_suppressions(project, findings)
+
+    rel = os.path.abspath(args.root)
+
+    def short(p):
+        return os.path.relpath(p, rel) if p.startswith(rel + os.sep) else p
+
+    for f in active:
+        print(f"{short(f.file)}:{f.line}: [{f.rule}] {f.message}")
+    for w in warnings:
+        print(f"warning: {w}", file=sys.stderr)
+
+    if args.report:
+        report = {
+            "files_analyzed": len(files),
+            "rules": rules,
+            "findings": [dict(f.as_dict(), file=short(f.file))
+                         for f in active],
+            "suppressed": [
+                {"rule": f.rule, "file": short(f.file), "line": f.line,
+                 "reason": s.reason}
+                for (f, s) in suppressed],
+            "unused_suppressions": warnings,
+        }
+        with open(args.report, "w", encoding="utf-8") as out:
+            json.dump(report, out, indent=2)
+
+    n_supp = len(suppressed)
+    print(f"monkey_lint: {len(files)} files, {len(active)} finding(s), "
+          f"{n_supp} documented suppression(s).",
+          file=sys.stderr)
+    return 1 if active else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

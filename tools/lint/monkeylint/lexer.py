@@ -1,0 +1,206 @@
+"""A small C++ lexer: good enough to be exact about what is code.
+
+Produces a token stream with line numbers, with comments and preprocessor
+directives captured separately (comments carry suppression annotations;
+the token stream itself is pure code). Handles line comments, block
+comments, string/char literals with escapes, raw strings R"delim(...)delim",
+digraph-free modern C++, and preprocessor lines with backslash
+continuations. It does not expand macros: the project's annotation macros
+(REQUIRES, GUARDED_BY, ACQUIRE, ...) are exactly what the checks want to
+see unexpanded.
+"""
+
+from dataclasses import dataclass
+import re
+
+# Multi-char operators we want kept whole (longest first).
+_PUNCT3 = ("<<=", ">>=", "...", "->*")
+_PUNCT2 = ("::", "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=",
+           "&&", "||", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=")
+
+_IDENT_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+_NUM_RE = re.compile(r"\.?[0-9](?:[0-9a-zA-Z_.']|[eEpP][+-])*")
+
+
+@dataclass
+class Token:
+    text: str
+    line: int
+    kind: str  # "ident", "num", "str", "char", "punct"
+
+    def __repr__(self):
+        return f"{self.text!r}@{self.line}"
+
+
+@dataclass
+class Comment:
+    text: str  # Without the // or /* */ markers, stripped.
+    line: int  # Line the comment starts on.
+    end_line: int
+    own_line: bool  # True if nothing but whitespace precedes it on its line.
+
+
+class LexedFile:
+    def __init__(self, path, tokens, comments):
+        self.path = path
+        self.tokens = tokens
+        self.comments = comments
+
+
+def lex(path, text=None):
+    if text is None:
+        with open(path, "r", encoding="utf-8", errors="replace") as f:
+            text = f.read()
+    tokens = []
+    comments = []
+    i = 0
+    n = len(text)
+    line = 1
+    line_start = 0  # Offset of the current line's first character.
+    at_line_start = True  # Only whitespace seen since the last newline.
+
+    def advance_lines(s):
+        nonlocal line
+        line += s.count("\n")
+
+    while i < n:
+        c = text[i]
+        if c == "\n":
+            line += 1
+            line_start = i + 1
+            at_line_start = True
+            i += 1
+            continue
+        if c in " \t\r\f\v":
+            i += 1
+            continue
+        # Preprocessor directive: swallow the whole logical line.
+        if c == "#" and at_line_start:
+            j = i
+            while j < n:
+                if text[j] == "\n":
+                    if j > 0 and text[j - 1] == "\\":
+                        advance_lines("\n")
+                        j += 1
+                        continue
+                    break
+                j += 1
+            i = j
+            continue
+        if c == "/" and i + 1 < n:
+            if text[i + 1] == "/":
+                j = text.find("\n", i)
+                if j == -1:
+                    j = n
+                comments.append(Comment(text[i + 2:j].strip(), line, line,
+                                        at_line_start))
+                i = j
+                continue
+            if text[i + 1] == "*":
+                j = text.find("*/", i + 2)
+                if j == -1:
+                    j = n
+                body = text[i + 2:j]
+                start = line
+                advance_lines(body)
+                comments.append(Comment(body.strip(), start, line,
+                                        at_line_start))
+                i = j + 2
+                continue
+        at_line_start = False
+        # Raw string literal.
+        if c == "R" and i + 1 < n and text[i + 1] == '"':
+            m = re.match(r'R"([^()\\ \t\n]*)\(', text[i:])
+            if m:
+                delim = m.group(1)
+                close = ")" + delim + '"'
+                j = text.find(close, i + m.end())
+                if j == -1:
+                    j = n - len(close)
+                lit = text[i:j + len(close)]
+                tokens.append(Token(lit, line, "str"))
+                advance_lines(lit)
+                i = j + len(close)
+                continue
+        if c == '"' or c == "'":
+            # Possibly prefixed literal was handled for R""; u8"" etc. land
+            # here via the ident branch emitting the prefix — acceptable.
+            j = i + 1
+            while j < n:
+                if text[j] == "\\":
+                    j += 2
+                    continue
+                if text[j] == c or text[j] == "\n":
+                    break
+                j += 1
+            lit = text[i:j + 1] if j < n else text[i:]
+            tokens.append(Token(lit, line, "str" if c == '"' else "char"))
+            advance_lines(lit)
+            i = i + len(lit)
+            continue
+        m = _IDENT_RE.match(text, i)
+        if m:
+            tokens.append(Token(m.group(0), line, "ident"))
+            i = m.end()
+            continue
+        if c.isdigit() or (c == "." and i + 1 < n and text[i + 1].isdigit()):
+            m = _NUM_RE.match(text, i)
+            tokens.append(Token(m.group(0), line, "num"))
+            i = m.end()
+            continue
+        matched = False
+        for p in _PUNCT3:
+            if text.startswith(p, i):
+                tokens.append(Token(p, line, "punct"))
+                i += len(p)
+                matched = True
+                break
+        if matched:
+            continue
+        for p in _PUNCT2:
+            if text.startswith(p, i):
+                tokens.append(Token(p, line, "punct"))
+                i += len(p)
+                matched = True
+                break
+        if matched:
+            continue
+        tokens.append(Token(c, line, "punct"))
+        i += 1
+
+    return LexedFile(path, tokens, _merge_comment_blocks(comments))
+
+
+def _merge_comment_blocks(comments):
+    """Merge runs of own-line `//` comments on consecutive lines into one
+    Comment block (line = first, end_line = last), so an annotation
+    written as a multi-line comment covers the statement below the whole
+    block. Trailing comments (code before them on the line) never merge."""
+    merged = []
+    for c in comments:
+        prev = merged[-1] if merged else None
+        if (prev is not None and prev.own_line and c.own_line
+                and c.line == prev.end_line + 1):
+            prev.text += "\n" + c.text
+            prev.end_line = c.end_line
+        else:
+            merged.append(c)
+    return merged
+
+
+def match_paren(tokens, i):
+    """tokens[i] must be an opener; returns index of its matching closer
+    (or len(tokens)-1 if unbalanced)."""
+    pairs = {"(": ")", "[": "]", "{": "}"}
+    opener = tokens[i].text
+    closer = pairs[opener]
+    depth = 0
+    for j in range(i, len(tokens)):
+        t = tokens[j].text
+        if t == opener:
+            depth += 1
+        elif t == closer:
+            depth -= 1
+            if depth == 0:
+                return j
+    return len(tokens) - 1

@@ -1,0 +1,592 @@
+"""Source model: functions, annotations, calls, suppressions.
+
+Built on the lexer's token stream. Extraction is scope-aware (namespaces,
+classes, nested blocks) but deliberately macro-unexpanded: the thread-
+safety annotation macros (REQUIRES, ACQUIRE, EXCLUDES, GUARDED_BY, ...)
+are read as written, which is exactly the contract surface the checks
+reason about.
+"""
+
+from dataclasses import dataclass, field
+import re
+
+from .lexer import lex, match_paren
+
+_CONTROL_KEYWORDS = {
+    "if", "for", "while", "switch", "catch", "return", "do", "else", "try",
+}
+_NOT_A_CALL = {
+    "if", "for", "while", "switch", "catch", "return", "sizeof", "alignof",
+    "new", "delete", "throw", "assert", "decltype", "defined", "alignas",
+    "static_assert", "noexcept", "operator",
+}
+_CLASS_KEYWORDS = {"class", "struct", "union", "enum"}
+
+# Thread-safety annotation macros (util/thread_annotations.h) whose
+# arguments name capabilities (mutexes).
+_LOCK_ANNOTATIONS = {
+    "REQUIRES", "REQUIRES_SHARED", "ACQUIRE", "ACQUIRE_SHARED",
+    "RELEASE", "RELEASE_SHARED", "RELEASE_GENERIC", "TRY_ACQUIRE",
+    "TRY_ACQUIRE_SHARED", "EXCLUDES", "ASSERT_CAPABILITY",
+    "ASSERT_SHARED_CAPABILITY", "GUARDED_BY", "PT_GUARDED_BY",
+    "ACQUIRED_BEFORE", "ACQUIRED_AFTER",
+}
+_BARE_ANNOTATIONS = {"NO_THREAD_SAFETY_ANALYSIS", "SCOPED_CAPABILITY"}
+
+
+@dataclass
+class FunctionDef:
+    name: str               # Unqualified: "Get"
+    qualname: str           # "DB::Get" (innermost class only) or "Get"
+    class_name: str         # "" for free functions
+    file: str
+    line: int
+    head_start: int         # Token index of the declaration head start.
+    body_start: int         # Token index of the opening '{'.
+    body_end: int           # Token index of the matching '}'.
+    requires: list = field(default_factory=list)   # Normalized mutex exprs.
+    acquires: list = field(default_factory=list)
+    excludes: list = field(default_factory=list)
+    no_tsa: bool = False
+    calls: list = field(default_factory=list)      # [(name, line, idx)].
+    return_type: str = ""   # Head tokens before the qualified name, joined.
+    params: list = field(default_factory=list)     # Parameter names.
+
+
+@dataclass
+class Suppression:
+    rules: list
+    reason: str
+    line: int       # Line of the annotation comment itself.
+    end_line: int   # Last line the suppression covers (comment block end).
+    used: bool = False
+    fn_scope: bool = False   # `rule(fn)`: covers the whole function below.
+    cover_lo: int = 0        # Line range covered when fn_scope is bound.
+    cover_hi: int = 0
+
+
+class SourceFile:
+    def __init__(self, path, text=None):
+        self.path = path
+        self.lexed = lex(path, text)
+        self.tokens = self.lexed.tokens
+        self.functions = []
+        self.suppressions = []
+        self.class_spans = []       # [(open_idx, close_idx, name)]
+        self.decl_annotations = {}  # qualname -> {"requires": [...], ...}
+        self.members = {}           # "Class::field" -> type string
+        self._extract_suppressions()
+        self._extract_functions()
+        self._bind_fn_suppressions()
+        self._extract_decl_annotations()
+        self._extract_members()
+
+    # ---- suppressions -------------------------------------------------
+
+    _SUPP_RE = re.compile(
+        r"monkey-lint:\s*([a-z0-9-]+(?:\(fn\))?"
+        r"(?:\s*,\s*[a-z0-9-]+(?:\(fn\))?)*)\s*"
+        r"(?:—|–|--|:)?\s*(.*)", re.S)
+
+    def _extract_suppressions(self):
+        for c in self.lexed.comments:
+            m = self._SUPP_RE.search(c.text)
+            if not m:
+                continue
+            rules = [r.strip() for r in m.group(1).split(",")]
+            fn_scope = any(r.endswith("(fn)") for r in rules)
+            rules = [r[:-4] if r.endswith("(fn)") else r for r in rules]
+            reason = m.group(2).strip()
+            self.suppressions.append(
+                Suppression(rules, reason, c.line, c.end_line,
+                            fn_scope=fn_scope))
+
+    def _bind_fn_suppressions(self):
+        """`// monkey-lint: rule(fn) — reason` directly above a function
+        definition covers that function's whole body."""
+        for s in self.suppressions:
+            if not s.fn_scope:
+                continue
+            best = None
+            for fn in self.functions:
+                if fn.body_start < 0:
+                    continue
+                head_line = self.tokens[fn.head_start].line
+                if 0 <= head_line - s.end_line <= 2:
+                    if best is None or head_line < \
+                            self.tokens[best.head_start].line:
+                        best = fn
+            if best is not None:
+                s.cover_lo = self.tokens[best.head_start].line
+                s.cover_hi = self.tokens[best.body_end].line
+
+    def suppression_for(self, rule, line):
+        """A finding on `line` is suppressed by an annotation on the same
+        line, on a comment block whose last line is one of the two lines
+        directly above (annotation-above-statement style), or by a
+        function-scope annotation (`rule(fn)`) whose function covers the
+        line."""
+        for s in self.suppressions:
+            if rule not in s.rules and "all" not in s.rules:
+                continue
+            if s.fn_scope:
+                if s.cover_lo <= line <= s.cover_hi:
+                    return s
+                continue
+            if s.line <= line <= s.end_line or 1 <= line - s.end_line <= 2:
+                return s
+        return None
+
+    # ---- function extraction ------------------------------------------
+
+    def _statement_start(self, brace_idx):
+        """Walk back from tokens[brace_idx] == '{' to the start of the
+        statement head (token after the nearest ';' '{' '}' at paren
+        depth 0)."""
+        toks = self.tokens
+        depth = 0
+        j = brace_idx - 1
+        while j >= 0:
+            t = toks[j].text
+            if t in (")", "]", ">"):
+                if t != ">":
+                    depth += 1
+            elif t in ("(", "["):
+                depth -= 1
+                if depth < 0:
+                    return j + 1
+            elif depth == 0 and t in (";", "{", "}"):
+                return j + 1
+            j -= 1
+        return 0
+
+    def _head_info(self, start, brace_idx):
+        """Classify the head tokens[start:brace_idx]. Returns one of:
+        ("namespace",), ("class", name), ("func", FunctionDef),
+        ("block",), ("init",)."""
+        toks = self.tokens[start:brace_idx]
+        if not toks:
+            return ("block",)
+        texts = [t.text for t in toks]
+        # Strip leading template<...> clause.
+        if texts[0] == "template":
+            d = 0
+            for k, t in enumerate(texts):
+                if t == "<":
+                    d += 1
+                elif t == ">":
+                    d -= 1
+                    if d == 0:
+                        toks = toks[k + 1:]
+                        texts = texts[k + 1:]
+                        break
+            if not texts:
+                return ("block",)
+        if texts[0] == "namespace":
+            return ("namespace",)
+        if texts[0] in ("export", "extern"):
+            return ("block",)
+        if texts[0] == "[":
+            return ("block",)  # Lambda introducer.
+        kw = [i for i, t in enumerate(texts) if t in _CLASS_KEYWORDS]
+        if kw and "(" not in texts[:kw[0]] and "=" not in texts:
+            # `class X : public Y {`, `enum class E {`; but not
+            # `Foo f = Bar{...}` (ruled out by '=') nor a function whose
+            # return type mentions no class keyword before '('.
+            if "(" not in texts:
+                i = kw[-1] + 1
+                while i < len(texts) and texts[i] in ("class", "struct"):
+                    i += 1
+                name = ""
+                while i < len(texts) and toks[i].kind == "ident":
+                    # Skip attribute-like macros: CAPABILITY("mutex") etc.
+                    name = texts[i]
+                    i += 1
+                    if i < len(texts) and texts[i] == "(":
+                        # Macro call in the head (CAPABILITY(...)): its
+                        # argument is not the class name; keep scanning.
+                        d = 0
+                        while i < len(texts):
+                            if texts[i] == "(":
+                                d += 1
+                            elif texts[i] == ")":
+                                d -= 1
+                                if d == 0:
+                                    break
+                            i += 1
+                        i += 1
+                        name = ""
+                        continue
+                    if i < len(texts) and texts[i] in (":", "final"):
+                        break
+                return ("class", name)
+            return ("block",)
+        # Find first top-level '(' in the head.
+        d_angle = 0
+        paren = -1
+        for k, t in enumerate(texts):
+            if t == "<":
+                d_angle += 1
+            elif t == ">":
+                d_angle = max(0, d_angle - 1)
+            elif t == "(" and d_angle == 0:
+                paren = k
+                break
+        if paren <= 0:
+            if texts[-1] in ("do", "else", "try") or texts[0] in (
+                    "do", "else", "try"):
+                return ("block",)
+            if "=" in texts or texts[-1] in (",", "(", "return") or (
+                    toks and toks[-1].kind == "punct"):
+                return ("init",)
+            return ("block",)
+        name_tok = toks[paren - 1]
+        if name_tok.text in _CONTROL_KEYWORDS:
+            return ("block",)
+        if name_tok.kind != "ident":
+            # `](...)` lambda, `)(`, operator(), etc.
+            return ("block",)
+        # Match the paren group.
+        close = -1
+        d = 0
+        for k in range(paren, len(texts)):
+            if texts[k] == "(":
+                d += 1
+            elif texts[k] == ")":
+                d -= 1
+                if d == 0:
+                    close = k
+                    break
+        if close == -1:
+            return ("block",)
+        # Trailer after params: qualifiers, annotations, ctor init list.
+        trailer = texts[close + 1:]
+        fn = self._make_function(toks, paren, close, start)
+        if fn is None:
+            return ("block",)
+        k = 0
+        while k < len(trailer):
+            t = trailer[k]
+            if t in ("const", "noexcept", "override", "final", "mutable",
+                     "constexpr", "inline", "&", "&&", "throw"):
+                k += 1
+                continue
+            if t in _BARE_ANNOTATIONS:
+                if t == "NO_THREAD_SAFETY_ANALYSIS":
+                    fn.no_tsa = True
+                k += 1
+                continue
+            if t in _LOCK_ANNOTATIONS:
+                args, k = self._annotation_args(trailer, k + 1)
+                if t in ("REQUIRES", "REQUIRES_SHARED"):
+                    fn.requires.extend(args)
+                elif t in ("ACQUIRE", "ACQUIRE_SHARED", "TRY_ACQUIRE",
+                           "TRY_ACQUIRE_SHARED", "ASSERT_CAPABILITY",
+                           "ASSERT_SHARED_CAPABILITY"):
+                    fn.acquires.extend(args)
+                elif t == "EXCLUDES":
+                    fn.excludes.extend(args)
+                continue
+            if t == ":":
+                break  # Constructor member-init list.
+            if t == "->":
+                # Trailing return type: skip to end or next annotation.
+                k += 1
+                continue
+            if re.fullmatch(r"[A-Za-z_][A-Za-z0-9_]*", t):
+                k += 1  # Part of a trailing return type or macro.
+                continue
+            if t in ("::", "<", ">", "*", "&"):
+                k += 1  # Trailing-return-type punctuation.
+                continue
+            # Anything else (',', ']', '=', literals, ...) means this head
+            # is an expression — a lambda capture, a call argument list —
+            # not a function definition.
+            return ("block",)
+        return ("func", fn)
+
+    def _annotation_args(self, texts, k):
+        """texts[k] should be '('; returns (normalized_args, next_index)."""
+        if k >= len(texts) or texts[k] != "(":
+            return [], k
+        d = 0
+        parts, cur = [], []
+        while k < len(texts):
+            t = texts[k]
+            if t == "(":
+                d += 1
+                if d > 1:
+                    cur.append(t)
+            elif t == ")":
+                d -= 1
+                if d == 0:
+                    if cur:
+                        parts.append(normalize_lock_expr("".join(cur)))
+                    return parts, k + 1
+                cur.append(t)
+            elif t == "," and d == 1:
+                if cur:
+                    parts.append(normalize_lock_expr("".join(cur)))
+                cur = []
+            else:
+                cur.append(t)
+            k += 1
+        return parts, k
+
+    def _make_function(self, toks, paren, close, abs_start):
+        name = toks[paren - 1].text
+        cls = ""
+        j = paren - 2
+        if j >= 0 and toks[j].text == "~":  # Destructor.
+            name = "~" + name
+            j -= 1
+        # Gather A::B qualifiers (innermost class kept) and reject
+        # declarations that are really calls (preceded by '.', '->', etc.)
+        quals = []
+        while j >= 1 and toks[j].text == "::" and toks[j - 1].kind == "ident":
+            quals.append(toks[j - 1].text)
+            j -= 2
+        if quals:
+            cls = quals[0]
+        if name in ("operator",):
+            return None
+        if "std" in quals or cls in ("std", "chrono", "this_thread"):
+            return None  # Never treat std:: entities as our definitions.
+        qual = f"{cls}::{name}" if cls else name
+        ret = " ".join(
+            t.text for t in toks[:max(0, j + 1)]
+            if t.text not in ("static", "inline", "virtual", "constexpr",
+                              "extern", "explicit"))
+        params = []
+        k = paren + 1
+        depth = 1
+        prev = None
+        frozen = False  # Inside a default-argument expression.
+        while k <= close and k < len(toks):
+            t = toks[k].text
+            if t == "(":
+                depth += 1
+            elif t == ")":
+                depth -= 1
+                if depth == 0:
+                    if prev is not None:
+                        params.append(prev)
+                    break
+            elif depth == 1 and t == ",":
+                if prev is not None:
+                    params.append(prev)
+                prev = None
+                frozen = False
+            elif depth == 1 and t == "=":
+                frozen = True
+            if toks[k].kind == "ident" and not frozen:
+                prev = toks[k].text
+            k += 1
+        return FunctionDef(
+            name=name, qualname=qual, class_name=cls,
+            file=self.path, line=toks[paren - 1].line,
+            head_start=abs_start, body_start=-1, body_end=-1,
+            return_type=ret, params=params)
+
+    def _extract_functions(self):
+        toks = self.tokens
+        # Scope stack entries: (kind, class_name_or_empty, close_idx).
+        stack = []
+        i = 0
+        n = len(toks)
+        while i < n:
+            t = toks[i]
+            while stack and i >= stack[-1][2]:
+                stack.pop()
+            if t.text != "{":
+                i += 1
+                continue
+            close = match_paren(toks, i)
+            start = self._statement_start(i)
+            info = self._head_info(start, i)
+            kind = info[0]
+            if kind == "func":
+                fn = info[1]
+                if not fn.class_name:
+                    # Inherit class from the enclosing class scope (methods
+                    # defined inline in the class body).
+                    for k, cname, _ in reversed(stack):
+                        if k == "class" and cname:
+                            fn.class_name = cname
+                            fn.qualname = f"{cname}::{fn.name}"
+                            break
+                fn.body_start = i
+                fn.body_end = close
+                fn.calls = extract_calls(toks, i + 1, close)
+                self.functions.append(fn)
+                stack.append(("func", "", close))
+            elif kind == "class":
+                self.class_spans.append((i, close, info[1]))
+                stack.append(("class", info[1], close))
+            elif kind == "namespace":
+                stack.append(("namespace", "", close))
+            else:
+                stack.append((kind, "", close))
+            i += 1
+
+    def enclosing_class(self, idx):
+        best = ""
+        best_span = None
+        for (o, c, name) in self.class_spans:
+            if o < idx < c and name:
+                if best_span is None or (c - o) < best_span:
+                    best, best_span = name, c - o
+        return best
+
+    def _inside_function_body(self, idx):
+        return any(f.body_start < idx < f.body_end for f in self.functions)
+
+    def _extract_decl_annotations(self):
+        """REQUIRES/ACQUIRE/EXCLUDES on *declarations* (headers): walk back
+        from each annotation macro to the declared function's name and
+        record the contract under Class::name."""
+        toks = self.tokens
+        for k, t in enumerate(toks):
+            if t.kind != "ident" or t.text not in _LOCK_ANNOTATIONS:
+                continue
+            if t.text in ("GUARDED_BY", "PT_GUARDED_BY"):
+                continue  # Field annotations, handled by _extract_members.
+            if k + 1 >= len(toks) or toks[k + 1].text != "(":
+                continue
+            if self._inside_function_body(k):
+                continue  # Definition annotations are handled in heads.
+            # Walk back over qualifiers / other annotation groups to the
+            # parameter list's ')' and then its function name.
+            j = k - 1
+            name = None
+            while j > 0:
+                tx = toks[j].text
+                if tx in ("const", "noexcept", "override", "final"):
+                    j -= 1
+                    continue
+                if tx == ")":
+                    # Match backwards to its '('.
+                    d = 0
+                    while j >= 0:
+                        if toks[j].text == ")":
+                            d += 1
+                        elif toks[j].text == "(":
+                            d -= 1
+                            if d == 0:
+                                break
+                        j -= 1
+                    j -= 1
+                    if j >= 0 and toks[j].kind == "ident":
+                        if toks[j].text in _LOCK_ANNOTATIONS:
+                            j -= 1  # Another annotation; keep walking.
+                            continue
+                        name = toks[j].text
+                    break
+                break
+            if not name:
+                continue
+            cls = self.enclosing_class(k)
+            qual = f"{cls}::{name}" if cls else name
+            args, _ = self._annotation_args(
+                [x.text for x in toks[k + 1:k + 64]], 0)
+            entry = self.decl_annotations.setdefault(
+                qual, {"requires": [], "acquires": [], "excludes": []})
+            if t.text in ("REQUIRES", "REQUIRES_SHARED"):
+                entry["requires"].extend(args)
+            elif t.text == "EXCLUDES":
+                entry["excludes"].extend(args)
+            else:
+                entry["acquires"].extend(args)
+
+    def _extract_members(self):
+        """Class data members and their (textual) types: `Slice key_;`,
+        `std::string name_;`, `Mutex mu_;` — keyed as Class::field."""
+        toks = self.tokens
+        for (o, c, cls) in self.class_spans:
+            k = o + 1
+            stmt_start = k
+            while k < c:
+                t = toks[k].text
+                if t == "{":
+                    k = match_paren(toks, k) + 1
+                    stmt_start = k
+                    continue
+                if t == "(":
+                    k = match_paren(toks, k) + 1
+                    continue
+                if t == ";":
+                    span = toks[stmt_start:k]
+                    self._record_member(cls, span)
+                    k += 1
+                    stmt_start = k
+                    continue
+                k += 1
+
+    def _record_member(self, cls, span):
+        texts = [t.text for t in span]
+        if not texts or "(" in texts:
+            return  # Method declaration, not a field.
+        # Field name: last identifier before '=' / '{' / GUARDED_BY / end.
+        stop = len(texts)
+        for marker in ("=", "GUARDED_BY", "PT_GUARDED_BY"):
+            if marker in texts:
+                stop = min(stop, texts.index(marker))
+        name_idx = None
+        for k in range(stop - 1, -1, -1):
+            if span[k].kind == "ident":
+                name_idx = k
+                break
+        if name_idx is None or name_idx == 0:
+            return
+        name = texts[name_idx]
+        typ = " ".join(t for t in texts[:name_idx]
+                       if t not in ("mutable", "static", "constexpr"))
+        if typ:
+            self.members[f"{cls}::{name}"] = typ
+
+
+def normalize_lock_expr(expr):
+    """Normalize a capability expression to a stable node name:
+    '&mu_' -> 'mu_', 'this->mu_' -> 'mu_', '!mu_' -> 'mu_',
+    'shard->mu' -> 'shard->mu'."""
+    e = expr.strip()
+    for pre in ("&", "!", "*"):
+        while e.startswith(pre):
+            e = e[len(pre):]
+    if e.startswith("this->"):
+        e = e[len("this->"):]
+    if e.startswith("this."):
+        e = e[len("this."):]
+    return e
+
+
+def extract_calls(tokens, lo, hi):
+    """All `ident (` pairs in tokens[lo:hi] that look like calls or
+    constructor invocations of named types. Returns [(name, line, idx)]."""
+    calls = []
+    for k in range(lo, hi):
+        t = tokens[k]
+        if t.kind != "ident" or t.text in _NOT_A_CALL:
+            continue
+        if k + 1 >= hi:
+            break
+        nxt = tokens[k + 1].text
+        if nxt == "(":
+            calls.append((t.text, t.line, k))
+        elif nxt == "<":
+            # Possible templated call: name<...>(...). Find the matching
+            # '>' within a short window.
+            d = 0
+            for m in range(k + 1, min(k + 24, hi)):
+                x = tokens[m].text
+                if x == "<":
+                    d += 1
+                elif x == ">":
+                    d -= 1
+                    if d == 0:
+                        if m + 1 < hi and tokens[m + 1].text == "(":
+                            calls.append((t.text, t.line, k))
+                        break
+                elif x in (";", "{", "}"):
+                    break
+    return calls

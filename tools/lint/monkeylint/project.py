@@ -1,0 +1,63 @@
+"""Project: all parsed files plus the cross-file registries the checks
+share — functions by simple name, declaration annotations merged into
+definitions, member types, and textual return types."""
+
+import re
+
+from .model import SourceFile
+
+
+class Finding:
+    def __init__(self, rule, file, line, message):
+        self.rule = rule
+        self.file = file
+        self.line = line
+        self.message = message
+
+    def as_dict(self):
+        return {"rule": self.rule, "file": self.file, "line": self.line,
+                "message": self.message}
+
+    def __str__(self):
+        return f"{self.file}:{self.line}: [{self.rule}] {self.message}"
+
+
+class Project:
+    def __init__(self, paths):
+        self.files = []
+        for p in sorted(set(paths)):
+            self.files.append(SourceFile(p))
+        self.by_name = {}        # simple name -> [FunctionDef]
+        self.by_qualname = {}    # "Class::name" -> [FunctionDef]
+        self.members = {}        # "Class::field" -> type text
+        for sf in self.files:
+            self.members.update(sf.members)
+            for fn in sf.functions:
+                self.by_name.setdefault(fn.name, []).append(fn)
+                self.by_qualname.setdefault(fn.qualname, []).append(fn)
+        # Merge header-declaration annotations into the definitions.
+        for sf in self.files:
+            for qual, ann in sf.decl_annotations.items():
+                for fn in self.by_qualname.get(qual, []):
+                    for x in ann["requires"]:
+                        if x not in fn.requires:
+                            fn.requires.append(x)
+                    for x in ann["acquires"]:
+                        if x not in fn.acquires:
+                            fn.acquires.append(x)
+                    for x in ann["excludes"]:
+                        if x not in fn.excludes:
+                            fn.excludes.append(x)
+
+    def source(self, path):
+        for sf in self.files:
+            if sf.path == path:
+                return sf
+        return None
+
+    def returns_type(self, fn, pattern):
+        return re.search(pattern, fn.return_type) is not None
+
+    def resolve(self, name):
+        """All project definitions a simple-name call might reach."""
+        return self.by_name.get(name, [])

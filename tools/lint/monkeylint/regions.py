@@ -1,0 +1,205 @@
+"""Lock-region analysis for one function body.
+
+Computes, for every token index in the body, which mutexes are held:
+
+  * REQUIRES(mu) / ACQUIRE(mu) annotations    -> held for the whole body
+  * MutexLock l(mu_); / MutexLock l(&mu_);    -> held to end of its scope
+  * mu_.Lock() ... mu_.Unlock()               -> held between the calls
+  * mu_.AssertHeld();                         -> held to end of its scope
+                                                 (an assertion, not an
+                                                 acquisition: it feeds
+                                                 held-state but never a
+                                                 lock-order edge)
+  * ScopedUnlock w(&mu_);                     -> UNHELD window to end of
+                                                 its scope (the engine's
+                                                 sanctioned I/O idiom).
+                                                 A conditional release
+                                                 (second arg) is treated
+                                                 as released — that can
+                                                 only lose findings,
+                                                 never invent them.
+"""
+
+from .lexer import match_paren
+from .model import normalize_lock_expr
+
+
+class Interval:
+    __slots__ = ("lo", "hi", "mutex", "held", "line", "kind")
+
+    def __init__(self, lo, hi, mutex, held, line, kind):
+        self.lo = lo
+        self.hi = hi
+        self.mutex = mutex
+        self.held = held
+        self.line = line
+        self.kind = kind  # "req" | "lock" | "assert" | "window"
+
+
+class LockRegions:
+    def __init__(self, source, fn):
+        self.source = source
+        self.fn = fn
+        self.intervals = []
+        self._compute()
+
+    def _expr_text(self, lo, hi):
+        return "".join(t.text for t in self.source.tokens[lo:hi])
+
+    def _first_arg(self, open_paren):
+        """Normalized text of the first argument of the paren group at
+        open_paren; returns (expr, close_idx)."""
+        toks = self.source.tokens
+        close = match_paren(toks, open_paren)
+        depth = 0
+        out = []
+        for k in range(open_paren, close + 1):
+            t = toks[k].text
+            if t == "(":
+                depth += 1
+                if depth > 1:
+                    out.append(t)
+            elif t == ")":
+                depth -= 1
+                if depth >= 1:
+                    out.append(t)
+            elif t == "," and depth == 1:
+                break
+            else:
+                out.append(t)
+        return normalize_lock_expr("".join(out)), close
+
+    def _scope_end(self, idx):
+        """Index of the '}' closing the innermost scope containing idx."""
+        toks = self.source.tokens
+        depth = 0
+        for k in range(idx, self.fn.body_end):
+            t = toks[k].text
+            if t == "{":
+                depth += 1
+            elif t == "}":
+                if depth == 0:
+                    return k
+                depth -= 1
+        return self.fn.body_end
+
+    def _receiver(self, dot_idx):
+        """Reconstruct the receiver expression ending at tokens[dot_idx]
+        ('.' or '->')."""
+        toks = self.source.tokens
+        lo = self.fn.body_start + 1
+        r = dot_idx
+        depth = 0
+        while r - 1 >= lo:
+            tx = toks[r - 1].text
+            if tx in (")", "]"):
+                depth += 1
+            elif tx in ("(", "["):
+                if depth == 0:
+                    break
+                depth -= 1
+            elif depth == 0 and toks[r - 1].kind != "ident" and tx not in (
+                    ".", "->", "::"):
+                break
+            r -= 1
+        return normalize_lock_expr(self._expr_text(r, dot_idx))
+
+    def _compute(self):
+        fn = self.fn
+        toks = self.source.tokens
+        lo, hi = fn.body_start + 1, fn.body_end
+        for mu in fn.requires + fn.acquires:
+            if mu in ("", "this"):
+                continue
+            self.intervals.append(Interval(lo, hi, mu, True, fn.line, "req"))
+        k = lo
+        while k < hi:
+            t = toks[k]
+            if t.kind == "ident" and t.text in ("MutexLock", "ScopedUnlock"):
+                j = k + 1
+                if j < hi and toks[j].kind == "ident":
+                    j += 1
+                if j < hi and toks[j].text in ("(", "{"):
+                    if toks[j].text == "(":
+                        mu, close = self._first_arg(j)
+                    else:
+                        close = match_paren(toks, j)
+                        mu = normalize_lock_expr(
+                            self._expr_text(j + 1, close))
+                    end = self._scope_end(close)
+                    if mu:
+                        if t.text == "MutexLock":
+                            self.intervals.append(
+                                Interval(close, end, mu, True, t.line,
+                                         "lock"))
+                        else:
+                            self.intervals.append(
+                                Interval(close, end, mu, False, t.line,
+                                         "window"))
+                    k = close + 1
+                    continue
+            if (t.kind == "ident"
+                    and t.text in ("Lock", "AssertHeld", "Unlock")
+                    and k + 1 < hi and toks[k + 1].text == "("
+                    and k >= 1 and toks[k - 1].text in (".", "->")):
+                mu = self._receiver(k - 1)
+                if mu:
+                    if t.text == "Unlock":
+                        if not self._close_manual(mu, k):
+                            # Unlock of a lock held by contract (REQUIRES)
+                            # or by an enclosing MutexLock: open an unheld
+                            # window until the matching re-Lock (or body
+                            # end). This is the manual unlock/relock idiom
+                            # (e.g. backpressure sleeps).
+                            self.intervals.append(Interval(
+                                k, self._find_relock(mu, k, hi), mu, False,
+                                t.line, "window"))
+                    elif t.text == "Lock":
+                        self.intervals.append(
+                            Interval(k, hi, mu, True, t.line, "lock"))
+                    else:
+                        self.intervals.append(
+                            Interval(k, self._scope_end(k), mu, True,
+                                     t.line, "assert"))
+            k += 1
+
+    def _close_manual(self, mu, at):
+        closed = False
+        for iv in self.intervals:
+            if (iv.kind == "lock" and iv.mutex == mu and iv.lo < at < iv.hi):
+                iv.hi = at
+                closed = True
+        return closed
+
+    def _find_relock(self, mu, at, hi):
+        """First `mu.Lock()` after token `at`, or `hi` if none."""
+        toks = self.source.tokens
+        for k in range(at + 1, hi):
+            if (toks[k].kind == "ident" and toks[k].text == "Lock"
+                    and k + 1 < hi and toks[k + 1].text == "("
+                    and k >= 1 and toks[k - 1].text in (".", "->")
+                    and self._receiver(k - 1) == mu):
+                return k
+        return hi
+
+    def held_at(self, idx):
+        """Dict mutex -> (line, kind) for every mutex held at token index
+        idx. Windows override enclosing acquisitions of the same mutex
+        when opened later."""
+        held = {}
+        events = [iv for iv in self.intervals if iv.lo <= idx < iv.hi]
+        events.sort(key=lambda iv: iv.lo)
+        for iv in events:
+            if iv.held:
+                held[iv.mutex] = (iv.line, iv.kind)
+            else:
+                held.pop(iv.mutex, None)
+        return held
+
+    def acquisitions(self):
+        """[(idx, mutex, line)] for every genuine in-body acquisition
+        (MutexLock construction or manual Lock()), in source order."""
+        out = [(iv.lo, iv.mutex, iv.line) for iv in self.intervals
+               if iv.kind == "lock"]
+        out.sort()
+        return out

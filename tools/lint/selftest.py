@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""monkey-lint self-test: run every checker over the marker-annotated
+corpus in testdata/ and require exact agreement.
+
+Each corpus file is analyzed as an isolated one-file project. Inline
+markers state the expected outcome (see testdata/README.md):
+
+    ^finding: <rule> [@+N|@-N]     active finding on this (offset) line
+    ^suppressed: <rule> [@+N|@-N]  finding silenced by an annotation
+    ^warn-unused [@+N|@-N]         unused-suppression warning
+
+The comparison is an exact multiset match per file: extra findings,
+missing findings, stray warnings, and surprise bad-suppression
+meta-findings all fail. Files named *_clean.cc must carry no ^finding
+markers at all — they are the non-firing half of each rule. As a guard
+against marker rot, every rule in RULES must fire (actively or
+suppressed) somewhere in the corpus.
+"""
+
+import os
+import re
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from monkeylint import RULES
+from monkeylint.checks import ALL_CHECKS
+from monkeylint.driver import apply_suppressions
+from monkeylint.project import Project
+
+TESTDATA = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                        "testdata")
+
+MARKER_RE = re.compile(
+    r"\^(finding|suppressed):\s*([a-z-]+)(?:\s*@([+-]\d+))?")
+UNUSED_RE = re.compile(r"\^warn-unused(?:\s*@([+-]\d+))?")
+WARN_LINE_RE = re.compile(r":(\d+): unused suppression")
+
+
+def expectations(path):
+    """Parse inline markers -> (findings, suppressed, unused) where the
+    first two are sorted (line, rule) lists and the last is line numbers."""
+    findings, suppressed, unused = [], [], []
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            for kind, rule, off in MARKER_RE.findall(line):
+                entry = (lineno + int(off or 0), rule)
+                (findings if kind == "finding" else suppressed).append(entry)
+            for off in UNUSED_RE.findall(line):
+                unused.append(lineno + int(off or 0))
+    return sorted(findings), sorted(suppressed), sorted(unused)
+
+
+def analyze(path):
+    """Run all checks + suppression filtering on one isolated file."""
+    project = Project([path])
+    raw = []
+    for rule in RULES:
+        raw.extend(ALL_CHECKS[rule](project))
+    active, suppressed, warnings = apply_suppressions(project, raw)
+    got_active = sorted((f.line, f.rule) for f in active)
+    got_supp = sorted((f.line, f.rule) for (f, _s) in suppressed)
+    got_unused = sorted(int(m.group(1)) for m in
+                        (WARN_LINE_RE.search(w) for w in warnings) if m)
+    return got_active, got_supp, got_unused
+
+
+def diff(label, want, got):
+    msgs = []
+    for item in sorted(set(want) - set(got)):
+        msgs.append(f"  missing {label}: {item}")
+    for item in sorted(set(got) - set(want)):
+        msgs.append(f"  unexpected {label}: {item}")
+    # Multiset mismatch with equal sets (duplicate counts differ).
+    if not msgs and want != got:
+        msgs.append(f"  {label} multiplicity mismatch: want {want}, "
+                    f"got {got}")
+    return msgs
+
+
+def main():
+    files = sorted(f for f in os.listdir(TESTDATA) if f.endswith(".cc"))
+    if not files:
+        print("selftest: no corpus files found", file=sys.stderr)
+        return 1
+
+    failures = 0
+    cases = 0
+    fired_rules = set()
+    for name in files:
+        path = os.path.join(TESTDATA, name)
+        want_f, want_s, want_u = expectations(path)
+        if name.endswith("_clean.cc") and want_f:
+            print(f"{name}: FAIL — _clean.cc files must not carry "
+                  f"^finding markers: {want_f}")
+            failures += 1
+            continue
+        got_f, got_s, got_u = analyze(path)
+        fired_rules.update(r for (_l, r) in got_f + got_s)
+        cases += len(want_f) + len(want_s) + len(want_u)
+
+        msgs = (diff("finding", want_f, got_f)
+                + diff("suppressed", want_s, got_s)
+                + diff("unused-warning", [(l, "") for l in want_u],
+                       [(l, "") for l in got_u]))
+        if msgs:
+            print(f"{name}: FAIL")
+            print("\n".join(msgs))
+            failures += 1
+        else:
+            print(f"{name}: ok ({len(want_f)} finding(s), "
+                  f"{len(want_s)} suppressed, {len(want_u)} warning(s))")
+
+    missing_rules = set(RULES) - fired_rules
+    if missing_rules:
+        print(f"corpus: FAIL — no corpus case exercises: "
+              f"{', '.join(sorted(missing_rules))}")
+        failures += 1
+
+    print(f"selftest: {len(files)} corpus files, {cases} expectations, "
+          f"{failures} failure(s)")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,50 @@
+// io-under-mutex: non-firing look-alikes. The engine's sanctioned idioms
+// for mixing locks and I/O — each would fire if written slightly worse.
+
+#include "util/mutex.h"
+
+namespace monkeydb {
+
+class WalWriter {
+ public:
+  // The sanctioned idiom: drop the lock around the I/O with a
+  // ScopedUnlock window. The sink runs, but not while mu_ is held.
+  void FlushPending() {
+    MutexLock lock(&mu_);
+    std::string batch = pending_;
+    pending_.clear();
+    {
+      ScopedUnlock window(&mu_);
+      log_->Append(batch);
+      log_->Sync();
+    }
+    synced_sequence_ = batch_sequence_;
+  }
+
+  // CondVar::Wait releases the mutex while sleeping — waiting under the
+  // lock is the one blocking call the design permits.
+  void WaitForSpace() REQUIRES(mu_) {
+    while (queue_full_) {
+      space_available_.Wait();
+    }
+  }
+
+  // I/O with no lock held at all: ordinary unlocked read path.
+  Status ReadRecord(uint64_t offset) {
+    char scratch[64];
+    return log_file_->Read(offset, sizeof(scratch), scratch);
+  }
+
+  // Pure in-memory work under the lock: no sink, no call that reaches
+  // one.
+  void Enqueue(const std::string& rec) {
+    MutexLock lock(&mu_);
+    pending_.append(rec);
+    batch_sequence_++;
+  }
+
+ private:
+  Mutex mu_;
+};
+
+}  // namespace monkeydb

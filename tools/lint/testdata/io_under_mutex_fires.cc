@@ -1,0 +1,43 @@
+// io-under-mutex: firing cases. Blocking I/O, clock reads, and
+// thread-pool waits must not run while an annotated mutex is held.
+
+#include "util/mutex.h"
+
+namespace monkeydb {
+
+class TableCache {
+ public:
+  // Direct sink under a REQUIRES contract: the file read runs with mu_
+  // held for the whole body.
+  Status LoadIndexBlock() REQUIRES(mu_) {
+    char scratch[64];
+    return file_->Read(0, sizeof(scratch), scratch);  // ^finding: io-under-mutex
+  }
+
+  // Direct sink inside a MutexLock scope: a clock read is a vDSO call,
+  // still a stall source under contention.
+  void StampAccess() {
+    MutexLock lock(&mu_);
+    last_access_ = std::chrono::steady_clock::now();  // ^finding: io-under-mutex
+  }
+
+  // Transitive: the call itself looks innocent, but the callee reaches
+  // an fsync.
+  void Publish() {
+    MutexLock lock(&mu_);
+    AppendManifestRecord();  // ^finding: io-under-mutex
+    published_ = true;
+  }
+
+  // Not a finding here: no lock held. This is the I/O-reaching leaf the
+  // transitive case walks into.
+  void AppendManifestRecord() {
+    manifest_->Append("record");
+    manifest_->Sync();
+  }
+
+ private:
+  Mutex mu_;
+};
+
+}  // namespace monkeydb

@@ -1,0 +1,76 @@
+// lock-order: firing cases. Opposite-order acquisition of the same pair
+// of mutexes, and a double-acquire of a non-reentrant std::mutex.
+
+#include "util/mutex.h"
+
+namespace monkeydb {
+
+// AB/BA cycle, both edges direct. The cycle witness is rooted at the
+// alphabetically-first node (Router::routes_mu_), so the finding lands
+// on the stats_mu_ acquisition inside RecordRoute.
+class Router {
+ public:
+  // Writer path: route table lock, then stats lock.
+  void RecordRoute(int shard) {
+    MutexLock table_lock(&routes_mu_);
+    table_size_ += shard;
+    MutexLock stats_lock(&stats_mu_);  // ^finding: lock-order
+    stats_writes_++;
+  }
+
+  // Reporting path: stats lock, then route table lock — opposite order.
+  int SnapshotLoad() {
+    MutexLock stats_lock(&stats_mu_);
+    int w = stats_writes_;
+    MutexLock table_lock(&routes_mu_);
+    return w + table_size_;
+  }
+
+ private:
+  Mutex routes_mu_;
+  Mutex stats_mu_;
+};
+
+// Same cycle, but one edge is interprocedural: EvictOne holds lru_mu_
+// and calls into a helper that takes shard_mu_.
+class Cache {
+ public:
+  void EvictOne() {
+    MutexLock lru_lock(&lru_mu_);
+    lru_bytes_ -= 1;
+    TrimShard();  // ^finding: lock-order
+  }
+
+  void TrimShard() {
+    MutexLock shard_lock(&shard_mu_);
+    shard_entries_--;
+  }
+
+  void PinShardEntry() {
+    MutexLock shard_lock(&shard_mu_);
+    MutexLock lru_lock(&lru_mu_);
+    lru_bytes_ += 1;
+  }
+
+ private:
+  Mutex lru_mu_;
+  Mutex shard_mu_;
+};
+
+// Self-edge: re-acquiring a plain (non-recursive) mutex that is already
+// held deadlocks immediately.
+class FlushScheduler {
+ public:
+  void Drain() {
+    MutexLock lock(&mu_);
+    pending_ = 0;
+    // Inlined from a helper that still takes the lock itself.
+    MutexLock again(&mu_);  // ^finding: lock-order
+    drained_ = true;
+  }
+
+ private:
+  Mutex mu_;
+};
+
+}  // namespace monkeydb

@@ -1,0 +1,36 @@
+// slice-dangling-source: non-firing look-alikes. Each of these is one
+// edit away from a firing case; a sloppier matcher would flag them.
+
+#include "util/slice.h"
+
+namespace monkeydb {
+
+std::string RenderKey(int id) { return "key-" + std::to_string(id); }
+
+// The sanctioned pattern: materialize the string in a named local that
+// outlives the Slice, then view it.
+void SeekToOwned(const Slice& internal_key) {
+  std::string owned = internal_key.ToString();
+  Slice target = owned;
+  Use(target);
+}
+
+// A temporary in argument position is fine — it lives until the end of
+// the full expression, which is the LevelDB calling convention.
+void PassTemporaries() {
+  Consume(std::to_string(42));
+  Consume(RenderKey(7) + "/suffix");
+}
+
+// Returning a Slice over a parameter reference: the caller owns the
+// bytes, they outlive this frame.
+Slice ViewOf(const std::string& stable) { return stable; }
+
+// A std::string local assigned from a temporary is a copy, not a view.
+void CopyIntoString(const Slice& key) {
+  std::string copy;
+  copy = key.ToString();
+  Consume(copy);
+}
+
+}  // namespace monkeydb

@@ -1,0 +1,38 @@
+// slice-dangling-source: firing cases. A Slice bound to a temporary or
+// dying std::string is a read of freed memory waiting to happen.
+
+#include "util/slice.h"
+
+namespace monkeydb {
+
+std::string DescribeEntry(int id) { return "entry-" + std::to_string(id); }
+
+// A Slice local initialized from a .ToString() temporary: the string dies
+// at the semicolon, the Slice lives on.
+void SeekToCopy(const Slice& internal_key) {
+  Slice target = internal_key.ToString();  // ^finding: slice-dangling-source
+  Use(target);
+}
+
+// Assignment (not just initialization) to an existing Slice local from a
+// concatenation temporary.
+void RebindToConcat(const std::string& prefix) {
+  Slice bound;
+  bound = prefix + "/current";  // ^finding: slice-dangling-source
+  Use(bound);
+}
+
+// Returning a Slice over a function-local std::string: the bytes die at
+// function exit, before the caller can look at them.
+Slice NameOfLevel(int level) {
+  std::string name = "L" + std::to_string(level);
+  return name;  // ^finding: slice-dangling-source
+}
+
+// Returning a Slice over a temporary produced by a project function whose
+// declared return type is std::string by value.
+Slice CurrentDescription() {
+  return DescribeEntry(7);  // ^finding: slice-dangling-source
+}
+
+}  // namespace monkeydb

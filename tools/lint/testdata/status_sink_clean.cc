@@ -1,0 +1,32 @@
+// status-sink: non-firing look-alikes. Checked statuses and (void) casts
+// of non-Status values are all fine.
+
+#include "util/status.h"
+
+namespace monkeydb {
+
+Status SyncDir(const std::string& dir) { return Status(); }
+int PendingCount() { return 42; }
+
+// The compliant path: check and propagate.
+Status SyncAll(const std::string& dir) {
+  Status s = SyncDir(dir);
+  if (!s.ok()) {
+    return s;
+  }
+  return Status();
+}
+
+// (void)-cast of a project function returning int: silencing a
+// [[nodiscard]] counter is not a dropped Status.
+void DropCount() {
+  (void)PendingCount();
+}
+
+// (void)-cast of an external function the project cannot resolve: its
+// return type is unknown, so the check stays quiet.
+void DropExternal(int fd) {
+  (void)posix_fadvise(fd, 0, 0, 0);
+}
+
+}  // namespace monkeydb

@@ -1,0 +1,27 @@
+// status-sink: firing cases. Every dropped Status must carry an
+// adjacent justification annotation; these carry none.
+
+#include "util/status.h"
+
+namespace monkeydb {
+
+Status SyncDir(const std::string& dir) { return Status(); }
+
+// Drop on a named local.
+void BestEffortSync(const std::string& dir) {
+  Status s = SyncDir(dir);
+  s.IgnoreError();  // ^finding: status-sink
+}
+
+// Chained drop on a temporary returned by a member call.
+void DropChained(Env* env, const std::string& path) {
+  env->RemoveFile(path).IgnoreError();  // ^finding: status-sink
+}
+
+// (void)-cast of a project function whose declared return type is Status
+// — same drop, different spelling.
+void VoidCast(const std::string& dir) {
+  (void)SyncDir(dir);  // ^finding: status-sink
+}
+
+}  // namespace monkeydb

@@ -1,0 +1,16 @@
+// Suppression machinery: an annotation with no reason is itself a
+// finding. The drop below is silenced, but the bad-suppression
+// meta-finding replaces it — an exception that cannot explain itself is
+// not an exception.
+
+#include "util/status.h"
+
+namespace monkeydb {
+
+void RemoveTempFile(Env* env, const std::string& tmp) {
+  env->RemoveFile(tmp).IgnoreError();  // monkey-lint: status-sink
+
+  // ^finding: bad-suppression @-2
+}
+
+}  // namespace monkeydb

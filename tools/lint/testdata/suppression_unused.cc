@@ -1,0 +1,25 @@
+// Suppression machinery: an annotation whose finding is gone must be
+// removed — stale suppressions are reported as warnings so they cannot
+// mask a future regression at the same site.
+
+#include "util/mutex.h"
+
+namespace monkeydb {
+
+class LogCleaner {
+ public:
+  // monkey-lint: io-under-mutex — kept from before the flush moved to
+  // the background thread; nothing here blocks any more.  ^warn-unused @-1
+  void ResetCounters() {
+    bytes_flushed_ = 0;
+  }
+
+  void Touch() {
+    epoch_++;  // monkey-lint: status-sink — legacy annotation ^warn-unused
+  }
+
+ private:
+  Mutex mu_;
+};
+
+}  // namespace monkeydb
