@@ -519,32 +519,30 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  auto dump_rows = [](FILE* json, const char* name,
-                      const std::vector<Row>& rows, bool last) {
-    fprintf(json, "  \"%s\": [\n", name);
-    for (size_t i = 0; i < rows.size(); i++) {
-      fprintf(json,
-              "    {\"threads\": %d, \"serialized_ops_per_sec\": %.1f, "
-              "\"concurrent_ops_per_sec\": %.1f, \"speedup\": %.3f}%s\n",
-              rows[i].threads, rows[i].serialized, rows[i].concurrent,
-              rows[i].concurrent / rows[i].serialized,
-              i + 1 < rows.size() ? "," : "");
+  auto dump_rows = [](BenchJsonWriter* w, const char* name,
+                      const std::vector<Row>& rows) {
+    w->BeginArray(name);
+    for (const Row& row : rows) {
+      w->BeginObject();
+      w->Field("threads", row.threads);
+      w->Field("serialized_ops_per_sec", row.serialized);
+      w->Field("concurrent_ops_per_sec", row.concurrent);
+      w->Field("speedup", row.concurrent / row.serialized);
+      w->EndObject();
     }
-    fprintf(json, "  ]%s\n", last ? "" : ",");
+    w->EndArray();
   };
 
-  FILE* json = fopen("BENCH_concurrent.json", "w");
-  if (json != nullptr) {
-    fprintf(json, "{\n");
-    fprintf(json, "  \"num_keys\": %d,\n", g_num_keys);
-    fprintf(json, "  \"read_latency_us\": %lld,\n",
-            static_cast<long long>(kReadLatency.count()));
-    fprintf(json, "  \"reads_per_thread\": %d,\n", g_reads_per_thread);
-    dump_rows(json, "read_only", read_rows, false);
-    dump_rows(json, "mixed", mixed_rows, true);
-    fprintf(json, "}\n");
-    fclose(json);
-    printf("\nwrote BENCH_concurrent.json\n");
+  {
+    BenchJsonWriter w("concurrent_throughput");
+    w.Config("num_keys", g_num_keys);
+    w.Config("read_latency_us",
+             static_cast<long long>(kReadLatency.count()));
+    w.Config("reads_per_thread", g_reads_per_thread);
+    dump_rows(&w, "read_only", read_rows);
+    dump_rows(&w, "mixed", mixed_rows);
+    printf("\n");
+    w.WriteFile("BENCH_concurrent.json");
   }
 
   // Concurrent MultiGet on a real filesystem through the chosen backend.
@@ -576,37 +574,25 @@ int main(int argc, char** argv) {
     const std::string actual_backend = io_db.actual;
     DestroyIoBackendDb(&io_db);
 
-    json = fopen("BENCH_io_concurrent.json", "w");
-    if (json != nullptr) {
-      fprintf(json, "{\n");
-      fprintf(json, "  \"requested_backend\": \"%s\",\n",
-              io_backend.c_str());
-      fprintf(json, "  \"backend\": \"%s\",\n", actual_backend.c_str());
-      fprintf(json, "  \"num_keys\": %d,\n", g_io_num_keys);
-      fprintf(json, "  \"multiget_batch\": %d,\n", kIoMultiGetBatch);
-      fprintf(json, "  \"batches_per_thread\": %d,\n",
-              g_io_batches_per_thread);
-      fprintf(json, "  \"rows\": [\n");
-      for (size_t i = 0; i < io_rows.size(); i++) {
-        const IoConcurrentRow& row = io_rows[i];
-        fprintf(json,
-                "    {\"threads\": %d, \"lookups_per_sec\": %.1f, "
-                "\"syscalls_per_lookup\": %.3f, "
-                "\"batched_per_syscall\": %.3f, "
-                "\"batch_latency_us\": {\"avg\": %.1f, \"p50\": %.1f, "
-                "\"p99\": %.1f, \"p999\": %.1f, \"max\": %llu}}%s\n",
-                row.threads, row.lookups_per_sec, row.syscalls_per_lookup,
-                row.batched_per_syscall, row.batch_latency_us.avg,
-                row.batch_latency_us.p50, row.batch_latency_us.p99,
-                row.batch_latency_us.p999,
-                static_cast<unsigned long long>(row.batch_latency_us.max),
-                i + 1 < io_rows.size() ? "," : "");
-      }
-      fprintf(json, "  ]\n");
-      fprintf(json, "}\n");
-      fclose(json);
-      printf("\nwrote BENCH_io_concurrent.json\n");
+    BenchJsonWriter w("concurrent_throughput");
+    w.Config("requested_backend", io_backend);
+    w.Config("backend", actual_backend);
+    w.Config("num_keys", g_io_num_keys);
+    w.Config("multiget_batch", kIoMultiGetBatch);
+    w.Config("batches_per_thread", g_io_batches_per_thread);
+    w.BeginArray("rows");
+    for (const IoConcurrentRow& row : io_rows) {
+      w.BeginObject();
+      w.Field("threads", row.threads);
+      w.Field("lookups_per_sec", row.lookups_per_sec);
+      w.Field("syscalls_per_lookup", row.syscalls_per_lookup);
+      w.Field("batched_per_syscall", row.batched_per_syscall);
+      w.Histogram("batch_latency_us", row.batch_latency_us);
+      w.EndObject();
     }
+    w.EndArray();
+    printf("\n");
+    w.WriteFile("BENCH_io_concurrent.json");
   }
 
   // Memtable write scaling: serial vs parallel write-group application.
@@ -659,84 +645,64 @@ int main(int argc, char** argv) {
            static_cast<unsigned long long>(cstats.arena_cas_retries),
            static_cast<unsigned long long>(cstats.skiplist_cas_retries));
 
-    json = fopen("BENCH_memtable.json", "w");
-    if (json != nullptr) {
-      fprintf(json, "{\n");
-      fprintf(json, "  \"hardware_threads\": %u,\n", hw_threads);
-      fprintf(json, "  \"ops_per_batch\": 16,\n");
-      fprintf(json, "  \"value_bytes\": 100,\n");
-      fprintf(json, "  \"batches_per_thread\": %d,\n",
-              g_memtable_batches_per_thread);
-      fprintf(json, "  \"arena\": {\"backing\": \"%s\", "
-              "\"hugetlb_blocks\": %llu, \"thp_blocks\": %llu, "
-              "\"plain_blocks\": %llu, \"cas_retries\": %llu, "
-              "\"skiplist_cas_retries\": %llu, "
-              "\"parallel_groups\": %llu, \"parallel_batches\": %llu},\n",
-              cstats.arena_backing.c_str(),
-              static_cast<unsigned long long>(cstats.arena_hugetlb_blocks),
-              static_cast<unsigned long long>(cstats.arena_thp_blocks),
-              static_cast<unsigned long long>(cstats.arena_plain_blocks),
-              static_cast<unsigned long long>(cstats.arena_cas_retries),
-              static_cast<unsigned long long>(cstats.skiplist_cas_retries),
-              static_cast<unsigned long long>(
-                  cstats.memtable_parallel_groups),
-              static_cast<unsigned long long>(
-                  cstats.memtable_parallel_batches));
-      fprintf(json, "  \"rows\": [\n");
-      for (size_t i = 0; i < memtable_rows.size(); i++) {
-        const MemtableRow& row = memtable_rows[i];
-        fprintf(json,
-                "    {\"threads\": %d, \"serial_ops_per_sec\": %.1f, "
-                "\"concurrent_ops_per_sec\": %.1f, \"speedup\": %.3f, "
-                "\"serial_batch_us\": {\"p50\": %.2f, \"p99\": %.2f}, "
-                "\"concurrent_batch_us\": {\"p50\": %.2f, \"p99\": "
-                "%.2f}}%s\n",
-                row.threads, row.serial.ops_per_sec,
-                row.concurrent.ops_per_sec,
-                row.concurrent.ops_per_sec / row.serial.ops_per_sec,
-                row.serial.batch_latency_ns.p50 / 1000.0,
-                row.serial.batch_latency_ns.p99 / 1000.0,
-                row.concurrent.batch_latency_ns.p50 / 1000.0,
-                row.concurrent.batch_latency_ns.p99 / 1000.0,
-                i + 1 < memtable_rows.size() ? "," : "");
-      }
-      fprintf(json, "  ]\n");
-      fprintf(json, "}\n");
-      fclose(json);
-      printf("wrote BENCH_memtable.json\n");
+    BenchJsonWriter w("concurrent_throughput");
+    w.Config("ops_per_batch", 16);
+    w.Config("value_bytes", 100);
+    w.Config("batches_per_thread", g_memtable_batches_per_thread);
+    w.BeginObject("arena");
+    w.Field("backing", cstats.arena_backing);
+    w.Field("hugetlb_blocks", cstats.arena_hugetlb_blocks);
+    w.Field("thp_blocks", cstats.arena_thp_blocks);
+    w.Field("plain_blocks", cstats.arena_plain_blocks);
+    w.Field("cas_retries", cstats.arena_cas_retries);
+    w.Field("skiplist_cas_retries", cstats.skiplist_cas_retries);
+    w.Field("parallel_groups", cstats.memtable_parallel_groups);
+    w.Field("parallel_batches", cstats.memtable_parallel_batches);
+    w.EndObject();
+    w.BeginArray("rows");
+    for (const MemtableRow& row : memtable_rows) {
+      w.BeginObject();
+      w.Field("threads", row.threads);
+      w.Field("serial_ops_per_sec", row.serial.ops_per_sec);
+      w.Field("concurrent_ops_per_sec", row.concurrent.ops_per_sec);
+      w.Field("speedup",
+              row.concurrent.ops_per_sec / row.serial.ops_per_sec);
+      w.BeginObject("serial_batch_us");
+      w.Field("p50", row.serial.batch_latency_ns.p50 / 1000.0);
+      w.Field("p99", row.serial.batch_latency_ns.p99 / 1000.0);
+      w.EndObject();
+      w.BeginObject("concurrent_batch_us");
+      w.Field("p50", row.concurrent.batch_latency_ns.p50 / 1000.0);
+      w.Field("p99", row.concurrent.batch_latency_ns.p99 / 1000.0);
+      w.EndObject();
+      w.EndObject();
     }
+    w.EndArray();
+    w.WriteFile("BENCH_memtable.json");
   }
 
-  json = fopen("BENCH_write.json", "w");
-  if (json != nullptr) {
-    fprintf(json, "{\n");
-    fprintf(json, "  \"write_latency_us\": %lld,\n",
-            static_cast<long long>(kWriteLatency.count()));
-    fprintf(json, "  \"sync_latency_us\": %lld,\n",
-            static_cast<long long>(kSyncLatency.count()));
-    fprintf(json, "  \"writes_per_thread\": %d,\n", g_writes_per_thread);
-    dump_rows(json, "write_nosync", write_nosync_rows, false);
-    dump_rows(json, "write_sync", write_sync_rows, true);
-    fprintf(json, "}\n");
-    fclose(json);
-    printf("wrote BENCH_write.json\n");
+  {
+    BenchJsonWriter w("concurrent_throughput");
+    w.Config("write_latency_us",
+             static_cast<long long>(kWriteLatency.count()));
+    w.Config("sync_latency_us",
+             static_cast<long long>(kSyncLatency.count()));
+    w.Config("writes_per_thread", g_writes_per_thread);
+    dump_rows(&w, "write_nosync", write_nosync_rows);
+    dump_rows(&w, "write_sync", write_sync_rows);
+    w.WriteFile("BENCH_write.json");
   }
 
   // Histogram snapshots from the instrumented DBs: the read-only DB saw
   // pure Get traffic, the concurrent mixed DB also saw flushes/merges and
   // (possibly) stalls, so both breakdowns are worth keeping.
   if (g_emit_obs) {
-    FILE* obs = fopen("BENCH_obs.json", "w");
-    if (obs != nullptr) {
-      const std::string read_json =
-          read_db.db->DumpMetrics(DB::MetricsFormat::kJson);
-      const std::string mixed_json =
-          mixed_concurrent.db->DumpMetrics(DB::MetricsFormat::kJson);
-      fprintf(obs, "{\n\"read_only_db\": %s,\n\"mixed_db\": %s\n}\n",
-              read_json.c_str(), mixed_json.c_str());
-      fclose(obs);
-      printf("wrote BENCH_obs.json\n");
-    }
+    BenchJsonWriter w("concurrent_throughput");
+    w.RawField("read_only_db",
+               read_db.db->DumpMetrics(DB::MetricsFormat::kJson));
+    w.RawField("mixed_db",
+               mixed_concurrent.db->DumpMetrics(DB::MetricsFormat::kJson));
+    w.WriteFile("BENCH_obs.json");
   }
   return 0;
 }

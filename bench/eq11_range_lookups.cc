@@ -259,15 +259,6 @@ IoBackendResult MeasureIoBackend(const std::string& backend) {
   return r;
 }
 
-void PrintLatencyJson(FILE* json, const char* name, const HistogramData& h,
-                      const char* trailer) {
-  fprintf(json,
-          "      \"%s\": {\"count\": %llu, \"avg\": %.1f, \"p50\": %.1f, "
-          "\"p99\": %.1f, \"p999\": %.1f, \"max\": %llu}%s\n",
-          name, static_cast<unsigned long long>(h.count), h.avg, h.p50,
-          h.p99, h.p999, static_cast<unsigned long long>(h.max), trailer);
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -406,39 +397,35 @@ int main(int argc, char** argv) {
            row.multiget_per_sec / row.sequential_per_sec);
   }
 
-  FILE* json = fopen("BENCH_range.json", "w");
-  if (json != nullptr) {
-    fprintf(json, "{\n");
-    fprintf(json, "  \"num_keys\": %d,\n", g_wall_num_keys);
-    fprintf(json, "  \"read_latency_us\": %lld,\n",
-            static_cast<long long>(kReadLatency.count()));
-    fprintf(json, "  \"scan_len\": %d,\n", g_wall_scan_len);
-    fprintf(json, "  \"range_scan\": [\n");
-    for (size_t i = 0; i < scan_rows.size(); i++) {
-      fprintf(json,
-              "    {\"policy\": \"%s\", \"readahead\": %d, "
-              "\"entries_per_sec\": %.1f, \"speedup_vs_no_readahead\": "
-              "%.3f}%s\n",
-              scan_rows[i].policy, scan_rows[i].readahead,
-              scan_rows[i].entries_per_sec, scan_rows[i].speedup,
-              i + 1 < scan_rows.size() ? "," : "");
+  {
+    BenchJsonWriter w("eq11_range_lookups");
+    w.Config("num_keys", g_wall_num_keys);
+    w.Config("read_latency_us",
+             static_cast<long long>(kReadLatency.count()));
+    w.Config("scan_len", g_wall_scan_len);
+    w.Config("multiget_batch", kMultiGetBatch);
+    w.BeginArray("range_scan");
+    for (const ScanRow& row : scan_rows) {
+      w.BeginObject();
+      w.Field("policy", row.policy);
+      w.Field("readahead", row.readahead);
+      w.Field("entries_per_sec", row.entries_per_sec);
+      w.Field("speedup_vs_no_readahead", row.speedup);
+      w.EndObject();
     }
-    fprintf(json, "  ],\n");
-    fprintf(json, "  \"multiget_batch\": %d,\n", kMultiGetBatch);
-    fprintf(json, "  \"multiget\": [\n");
-    for (size_t i = 0; i < mg_rows.size(); i++) {
-      fprintf(json,
-              "    {\"policy\": \"%s\", \"get_loop_per_sec\": %.1f, "
-              "\"multiget_per_sec\": %.1f, \"speedup\": %.3f}%s\n",
-              mg_rows[i].policy, mg_rows[i].sequential_per_sec,
-              mg_rows[i].multiget_per_sec,
-              mg_rows[i].multiget_per_sec / mg_rows[i].sequential_per_sec,
-              i + 1 < mg_rows.size() ? "," : "");
+    w.EndArray();
+    w.BeginArray("multiget");
+    for (const MgRow& row : mg_rows) {
+      w.BeginObject();
+      w.Field("policy", row.policy);
+      w.Field("get_loop_per_sec", row.sequential_per_sec);
+      w.Field("multiget_per_sec", row.multiget_per_sec);
+      w.Field("speedup", row.multiget_per_sec / row.sequential_per_sec);
+      w.EndObject();
     }
-    fprintf(json, "  ]\n");
-    fprintf(json, "}\n");
-    fclose(json);
-    printf("\nwrote BENCH_range.json\n");
+    w.EndArray();
+    printf("\n");
+    w.WriteFile("BENCH_range.json");
   }
 
   // --- Section 4: syscalls per batched lookup on a real filesystem -------
@@ -468,57 +455,42 @@ int main(int argc, char** argv) {
                io_results[1].multiget_syscalls_per_batch);
   }
 
-  json = fopen("BENCH_io.json", "w");
-  if (json != nullptr) {
-    fprintf(json, "{\n");
-    fprintf(json, "  \"requested_backend\": \"%s\",\n", io_backend.c_str());
-    fprintf(json, "  \"num_keys\": %d,\n", g_io_num_keys);
-    fprintf(json, "  \"multiget_batch\": %d,\n", kMultiGetBatch);
-    fprintf(json, "  \"batches\": %d,\n", g_io_batches);
-    fprintf(json, "  \"backends\": [\n");
-    for (size_t i = 0; i < io_results.size(); i++) {
-      const IoBackendResult& r = io_results[i];
-      fprintf(json, "    {\n");
-      fprintf(json, "      \"backend\": \"%s\",\n", r.actual.c_str());
-      fprintf(json, "      \"requested\": \"%s\",\n", r.requested.c_str());
-      fprintf(json, "      \"syscalls_per_multiget\": %.3f,\n",
-              r.multiget_syscalls_per_batch);
-      fprintf(json, "      \"syscalls_per_get_loop\": %.3f,\n",
-              r.getloop_syscalls_per_batch);
-      fprintf(json, "      \"batched_per_syscall\": %.3f,\n",
-              r.batched_per_syscall);
-      PrintLatencyJson(json, "multiget_latency_us", r.multiget_latency_us,
-                       ",");
-      PrintLatencyJson(json, "get_latency_us", r.get_latency_us,
-                       r.have_uring ? "," : "");
+  {
+    BenchJsonWriter w("eq11_range_lookups");
+    w.Config("requested_backend", io_backend);
+    w.Config("num_keys", g_io_num_keys);
+    w.Config("multiget_batch", kMultiGetBatch);
+    w.Config("batches", g_io_batches);
+    w.BeginArray("backends");
+    for (const IoBackendResult& r : io_results) {
+      w.BeginObject();
+      w.Field("backend", r.actual);
+      w.Field("requested", r.requested);
+      w.Field("syscalls_per_multiget", r.multiget_syscalls_per_batch);
+      w.Field("syscalls_per_get_loop", r.getloop_syscalls_per_batch);
+      w.Field("batched_per_syscall", r.batched_per_syscall);
+      w.Histogram("multiget_latency_us", r.multiget_latency_us);
+      w.Histogram("get_latency_us", r.get_latency_us);
       if (r.have_uring) {
-        fprintf(json,
-                "      \"uring\": {\"sqes_submitted\": %llu, "
-                "\"batch_submits\": %llu, \"batched_requests\": %llu, "
-                "\"short_read_retries\": %llu, \"fixed_file_reads\": %llu, "
-                "\"direct_io_fallbacks\": %llu}\n",
-                static_cast<unsigned long long>(r.uring.sqes_submitted),
-                static_cast<unsigned long long>(r.uring.batch_submits),
-                static_cast<unsigned long long>(r.uring.batched_requests),
-                static_cast<unsigned long long>(r.uring.short_read_retries),
-                static_cast<unsigned long long>(r.uring.fixed_file_reads),
-                static_cast<unsigned long long>(
-                    r.uring.direct_io_fallbacks));
+        w.BeginObject("uring");
+        w.Field("sqes_submitted", r.uring.sqes_submitted);
+        w.Field("batch_submits", r.uring.batch_submits);
+        w.Field("batched_requests", r.uring.batched_requests);
+        w.Field("short_read_retries", r.uring.short_read_retries);
+        w.Field("fixed_file_reads", r.uring.fixed_file_reads);
+        w.Field("direct_io_fallbacks", r.uring.direct_io_fallbacks);
+        w.EndObject();
       }
-      fprintf(json, "    }%s\n", i + 1 < io_results.size() ? "," : "");
+      w.EndObject();
     }
-    fprintf(json, "  ]");
+    w.EndArray();
     if (io_results.size() == 2 && io_results[1].actual == "uring" &&
         io_results[1].multiget_syscalls_per_batch > 0) {
-      fprintf(json, ",\n  \"syscall_collapse_multiget\": %.3f\n",
+      w.Field("syscall_collapse_multiget",
               io_results[0].multiget_syscalls_per_batch /
                   io_results[1].multiget_syscalls_per_batch);
-    } else {
-      fprintf(json, "\n");
     }
-    fprintf(json, "}\n");
-    fclose(json);
-    printf("wrote BENCH_io.json\n");
+    w.WriteFile("BENCH_io.json");
   }
   return 0;
 }

@@ -13,6 +13,7 @@
 #include <cstdio>
 #include <cstring>
 #include <numeric>
+#include <thread>
 #include <vector>
 #include <memory>
 #include <string>
@@ -22,6 +23,7 @@
 #include "io/uring_env.h"
 #include "lsm/db.h"
 #include "monkey/monkey_db.h"
+#include "obs/histogram.h"
 #include "util/random.h"
 
 namespace monkeydb {
@@ -70,19 +72,135 @@ inline bool ConsumeJsonFlag(int* argc, char** argv) {
   return found;
 }
 
-// Writes the DB's JSON metrics snapshot (counters, tree shape, predicted vs
-// measured FPR, histograms) to path. Returns false if the file could not be
-// opened or metrics were never enabled on the DB.
-inline bool WriteObsJson(DB* db, const std::string& path) {
-  if (db->metrics() == nullptr) return false;
-  const std::string json = db->DumpMetrics(DB::MetricsFormat::kJson);
-  FILE* f = fopen(path.c_str(), "w");
-  if (f == nullptr) return false;
-  fwrite(json.data(), 1, json.size(), f);
-  fputc('\n', f);
-  fclose(f);
-  return true;
-}
+// --- Uniform --json emission ------------------------------------------
+//
+// Every bench file is written through this writer so the BENCH_*.json
+// artifacts share one top-level envelope:
+//
+//   {"bench": "<binary>", "hardware_threads": N,
+//    "config": {<flat knobs>}, "results": {<bench-specific shape>}}
+//
+// CI archives every BENCH_*.json uniformly; the fixed envelope keeps
+// downstream loaders free of per-bench special cases (the schema used to
+// drift — some files had "bench"/"hardware_threads" at top level, most
+// did not). Config takes flat scalars; results nest freely.
+class BenchJsonWriter {
+ public:
+  explicit BenchJsonWriter(const char* bench) : bench_(bench) {}
+
+  void Config(const char* key, long long v) { AddConfig(key, Int(v)); }
+  void Config(const char* key, int v) { AddConfig(key, Int(v)); }
+  void Config(const char* key, unsigned v) { AddConfig(key, Int(v)); }
+  void Config(const char* key, uint64_t v) {
+    AddConfig(key, Int(static_cast<long long>(v)));
+  }
+  void Config(const char* key, double v) { AddConfig(key, Num(v)); }
+  void Config(const char* key, bool v) {
+    AddConfig(key, v ? "true" : "false");
+  }
+  void Config(const char* key, const std::string& v) {
+    AddConfig(key, Quote(v));
+  }
+  void Config(const char* key, const char* v) { AddConfig(key, Quote(v)); }
+
+  // The results tree. Pass a key inside objects; nullptr inside arrays.
+  void BeginObject(const char* key = nullptr) { Open(key, '{'); }
+  void EndObject() { Close('}'); }
+  void BeginArray(const char* key = nullptr) { Open(key, '['); }
+  void EndArray() { Close(']'); }
+  void Field(const char* key, double v) { Add(key, Num(v)); }
+  void Field(const char* key, long long v) { Add(key, Int(v)); }
+  void Field(const char* key, int v) { Add(key, Int(v)); }
+  void Field(const char* key, unsigned v) { Add(key, Int(v)); }
+  void Field(const char* key, uint64_t v) {
+    Add(key, Int(static_cast<long long>(v)));
+  }
+  void Field(const char* key, bool v) { Add(key, v ? "true" : "false"); }
+  void Field(const char* key, const std::string& v) { Add(key, Quote(v)); }
+  void Field(const char* key, const char* v) { Add(key, Quote(v)); }
+  // Embeds pre-serialized JSON (a DB::DumpMetrics(kJson) blob).
+  void RawField(const char* key, const std::string& json) {
+    Add(key, json);
+  }
+  // The one latency-summary shape every bench exports.
+  void Histogram(const char* key, const HistogramData& h) {
+    BeginObject(key);
+    Field("count", h.count);
+    Field("avg", h.avg);
+    Field("p50", h.p50);
+    Field("p99", h.p99);
+    Field("p999", h.p999);
+    Field("max", h.max);
+    EndObject();
+  }
+
+  // Assembles the envelope and writes it; logs "wrote <path>" on success.
+  bool WriteFile(const char* path) {
+    if (!stack_.empty()) {
+      fprintf(stderr, "%s: unbalanced BenchJsonWriter nesting\n", path);
+      return false;
+    }
+    FILE* f = fopen(path, "w");
+    if (f == nullptr) {
+      fprintf(stderr, "failed to write %s\n", path);
+      return false;
+    }
+    fprintf(f, "{\n\"bench\": %s,\n\"hardware_threads\": %u,\n",
+            Quote(bench_).c_str(), std::thread::hardware_concurrency());
+    fprintf(f, "\"config\": {%s},\n", config_.c_str());
+    fprintf(f, "\"results\": {%s}\n}\n", results_.c_str());
+    fclose(f);
+    printf("wrote %s\n", path);
+    return true;
+  }
+
+ private:
+  static std::string Int(long long v) { return std::to_string(v); }
+  static std::string Num(double v) {
+    char buf[32];
+    snprintf(buf, sizeof(buf), "%.6g", v);
+    return buf;
+  }
+  static std::string Quote(const std::string& v) {
+    std::string out = "\"";
+    for (char c : v) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    out += '"';
+    return out;
+  }
+  void AddConfig(const char* key, const std::string& value) {
+    if (!config_.empty()) config_ += ", ";
+    config_ += Quote(key) + ": " + value;
+  }
+  void Sep() {
+    char* need = stack_.empty() ? &root_comma_ : &stack_.back();
+    if (*need != 0) results_ += ", ";
+    *need = 1;
+  }
+  void Add(const char* key, const std::string& value) {
+    Sep();
+    if (key != nullptr) results_ += Quote(key) + ": ";
+    results_ += value;
+  }
+  void Open(const char* key, char bracket) {
+    Sep();
+    if (key != nullptr) results_ += Quote(key) + ": ";
+    results_ += bracket;
+    stack_.push_back(0);
+  }
+  void Close(char bracket) {
+    if (!stack_.empty()) stack_.pop_back();
+    results_ += bracket;
+  }
+
+  std::string bench_;
+  std::string config_;
+  std::string results_;
+  std::vector<char> stack_;  // Need-comma flag per open scope.
+  char root_comma_ = 0;
+};
 
 inline std::string MakeKey(uint64_t i) {
   char buf[32];

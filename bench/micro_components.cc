@@ -3,9 +3,14 @@
 //
 // With --json, additionally runs a small instrumented end-to-end workload
 // (fill + zero-result + existing-key lookups with enable_metrics on) and
-// dumps the engine's histogram snapshot to BENCH_obs.json.
+// dumps the engine's histogram snapshot — plus the request-tracing
+// overhead smoke (sampling off vs sampling enabled-but-unsampled; CI
+// asserts the ratio stays within 3%) — to BENCH_obs.json.
 
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
 
 #include "harness.h"
 
@@ -16,6 +21,7 @@
 #include "memtable/memtable.h"
 #include "monkey/fpr_allocator.h"
 #include "monkey/tuner.h"
+#include "obs/trace.h"
 #include "sstable/table_builder.h"
 #include "sstable/table_reader.h"
 #include "util/hash.h"
@@ -221,6 +227,50 @@ void BM_TunerSearch(benchmark::State& state) {
 }
 BENCHMARK(BM_TunerSearch);
 
+// Tracing overhead smoke: ns per zero-result Get with head sampling off
+// (threshold 0 — disarmed spans cost one relaxed load, no RNG) vs with
+// sampling enabled at a vanishing rate (the per-request RNG draw runs but
+// ~never arms). CI's release leg asserts the ratio stays <= 1.03.
+// Interleaved min-of-rounds so frequency drift hits both arms equally.
+struct TraceOverhead {
+  double baseline_ns_per_get = 0;
+  double traced_unsampled_ns_per_get = 0;
+};
+
+TraceOverhead MeasureTraceOverhead(bench::TestDb* t) {
+  ReadOptions ro;
+  std::string value;
+  Random rng(31337);
+  auto measure = [&](int lookups) {
+    const auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < lookups; i++) {
+      const std::string key =
+          bench::MakeMissingKey(rng.Uniform(t->num_keys));
+      t->db->Get(ro, key, &value).ok();
+    }
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    return static_cast<double>(
+               std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+                   .count()) /
+           lookups;
+  };
+  constexpr int kLookups = 3000;
+  measure(kLookups);  // Warm caches before either arm is timed.
+  TraceOverhead r;
+  double base = 1e300;
+  double traced = 1e300;
+  for (int round = 0; round < 5; ++round) {
+    SetTraceSampleRate(0.0);
+    base = std::min(base, measure(kLookups));
+    SetTraceSampleRate(1e-9);
+    traced = std::min(traced, measure(kLookups));
+  }
+  SetTraceSampleRate(0.0);
+  r.baseline_ns_per_get = base;
+  r.traced_unsampled_ns_per_get = traced;
+  return r;
+}
+
 // The --json end-to-end pass: every histogram DumpMetrics exports needs
 // traffic, so drive writes, point/batch lookups, and a short scan through an
 // instrumented DB, then snapshot.
@@ -245,11 +295,22 @@ void EmitObsJson() {
       scanned++;
     }
   }
-  if (bench::WriteObsJson(t.db.get(), "BENCH_obs.json")) {
-    printf("wrote BENCH_obs.json\n");
-  } else {
-    fprintf(stderr, "failed to write BENCH_obs.json\n");
-  }
+  const TraceOverhead overhead = MeasureTraceOverhead(&t);
+
+  bench::BenchJsonWriter w("micro_components");
+  w.Config("num_keys", spec.num_keys);
+  w.Config("lookups", 4000);
+  w.RawField("metrics", t.db->DumpMetrics(DB::MetricsFormat::kJson));
+  w.BeginObject("trace_overhead");
+  w.Field("baseline_ns_per_get", overhead.baseline_ns_per_get);
+  w.Field("traced_unsampled_ns_per_get",
+          overhead.traced_unsampled_ns_per_get);
+  w.Field("ratio", overhead.baseline_ns_per_get > 0
+                       ? overhead.traced_unsampled_ns_per_get /
+                             overhead.baseline_ns_per_get
+                       : 0.0);
+  w.EndObject();
+  w.WriteFile("BENCH_obs.json");
 }
 
 }  // namespace

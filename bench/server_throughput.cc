@@ -24,6 +24,7 @@
 #include <thread>
 #include <vector>
 
+#include "harness.h"
 #include "io/env.h"
 #include "obs/histogram.h"
 #include "server/resp_client.h"
@@ -347,48 +348,42 @@ int main(int argc, char** argv) {
          open.get_latency.p99, open.get_latency.p999,
          open.pipeline_depth.avg);
 
-  FILE* json = fopen("BENCH_server.json", "w");
-  if (json != nullptr) {
-    fprintf(json, "{\n");
-    fprintf(json, "  \"bench\": \"server_throughput\",\n");
-    fprintf(json, "  \"smoke\": %s,\n", smoke ? "true" : "false");
-    fprintf(json, "  \"hardware_threads\": %u,\n", hw_threads);
-    fprintf(json, "  \"closed_loop\": [\n");
-    for (size_t i = 0; i < closed.size(); ++i) {
-      const RunResult& r = closed[i];
-      fprintf(json,
-              "    {\"workload\": \"%s\", \"shards\": %d, "
-              "\"connections\": %d, \"depth\": %d, "
-              "\"ops_per_sec\": %.1f, \"commands\": %llu, "
-              "\"engine_calls\": %llu, "
-              "\"engine_calls_per_command\": %.5f}%s\n",
-              WorkloadName(r.workload), r.shards, r.connections, r.depth,
-              r.ops_per_sec, static_cast<unsigned long long>(r.commands),
-              static_cast<unsigned long long>(r.engine_calls),
-              r.engine_calls_per_command,
-              i + 1 < closed.size() ? "," : "");
+  {
+    bench::BenchJsonWriter w("server_throughput");
+    w.Config("smoke", smoke);
+    w.BeginArray("closed_loop");
+    for (const RunResult& r : closed) {
+      w.BeginObject();
+      w.Field("workload", WorkloadName(r.workload));
+      w.Field("shards", r.shards);
+      w.Field("connections", r.connections);
+      w.Field("depth", r.depth);
+      w.Field("ops_per_sec", r.ops_per_sec);
+      w.Field("commands", r.commands);
+      w.Field("engine_calls", r.engine_calls);
+      w.Field("engine_calls_per_command", r.engine_calls_per_command);
+      w.EndObject();
     }
-    fprintf(json, "  ],\n");
-    fprintf(json,
-            "  \"pipelining\": {\"depth16_engine_calls_per_command\": "
-            "%.5f, \"bound\": 0.2, \"pass\": %s},\n",
-            depth16_calls_per_cmd,
-            depth16_calls_per_cmd <= 0.2 ? "true" : "false");
-    fprintf(json,
-            "  \"shard_scaling\": {\"speedup_4v1_depth16\": %.3f, "
-            "\"hardware_threads\": %u, \"target_on_4_cores\": 2.5},\n",
-            shard1_ops > 0 ? shard4_ops / shard1_ops : 0, hw_threads);
-    fprintf(json,
-            "  \"open_loop\": {\"offered_rate\": %.1f, "
-            "\"achieved_rate\": %.1f, \"get_p50_us\": %.1f, "
-            "\"get_p99_us\": %.1f, \"get_p999_us\": %.1f, "
-            "\"pipeline_depth_avg\": %.2f}\n",
-            open.offered_rate, open.achieved_rate, open.get_latency.p50,
-            open.get_latency.p99, open.get_latency.p999,
-            open.pipeline_depth.avg);
-    fprintf(json, "}\n");
-    fclose(json);
-    printf("wrote BENCH_server.json\n");
+    w.EndArray();
+    w.BeginObject("pipelining");
+    w.Field("depth16_engine_calls_per_command", depth16_calls_per_cmd);
+    w.Field("bound", 0.2);
+    w.Field("pass", depth16_calls_per_cmd <= 0.2);
+    w.EndObject();
+    w.BeginObject("shard_scaling");
+    w.Field("speedup_4v1_depth16",
+            shard1_ops > 0 ? shard4_ops / shard1_ops : 0.0);
+    w.Field("target_on_4_cores", 2.5);
+    w.EndObject();
+    w.BeginObject("open_loop");
+    w.Field("offered_rate", open.offered_rate);
+    w.Field("achieved_rate", open.achieved_rate);
+    w.Field("get_p50_us", open.get_latency.p50);
+    w.Field("get_p99_us", open.get_latency.p99);
+    w.Field("get_p999_us", open.get_latency.p999);
+    w.Field("pipeline_depth_avg", open.pipeline_depth.avg);
+    w.EndObject();
+    w.WriteFile("BENCH_server.json");
   }
 
   if (depth16_calls_per_cmd > 0.2) {

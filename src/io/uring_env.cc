@@ -14,6 +14,7 @@
 
 #include "io/aligned_read.h"
 #include "obs/perf_context.h"
+#include "obs/trace.h"
 #include "util/mutex.h"
 #include "util/thread_annotations.h"
 
@@ -468,8 +469,12 @@ class UringRandomAccessFile : public RandomAccessFile {
     // Submit, then re-submit remainders until every op is settled: a
     // result short of the clamped length is a transient short read (or
     // EAGAIN/EINTR), never EOF, so it retries with advanced offset/buffer.
+    TraceSpan submit_span(TraceName::kUringSubmitBatch,
+                          static_cast<int64_t>(pending.size()));
+    int64_t rounds = 0;
     Status ring_status = Status::OK();
     while (!pending.empty() && ring_status.ok()) {
+      rounds++;
       std::vector<RingOp> round(pending.size());
       for (size_t r = 0; r < pending.size(); r++) {
         round[r] = states[pending[r]].op;
@@ -483,6 +488,7 @@ class UringRandomAccessFile : public RandomAccessFile {
         const ssize_t res = round[r].res;
         if (res == -EAGAIN || res == -EINTR) {
           stats_->short_read_retries.fetch_add(1, std::memory_order_relaxed);
+          TraceInstant(TraceName::kUringRetry, static_cast<int64_t>(i));
           next.push_back(i);
           continue;
         }
@@ -494,6 +500,7 @@ class UringRandomAccessFile : public RandomAccessFile {
         st.filled += static_cast<size_t>(res);
         if (res > 0 && st.filled < st.want) {
           stats_->short_read_retries.fetch_add(1, std::memory_order_relaxed);
+          TraceInstant(TraceName::kUringRetry, static_cast<int64_t>(i));
           st.op.buf += res;
           st.op.offset += static_cast<uint64_t>(res);
           st.op.len = static_cast<unsigned>(st.want - st.filled);
@@ -501,8 +508,13 @@ class UringRandomAccessFile : public RandomAccessFile {
           continue;
         }
         st.finished = true;  // Fully filled, or EOF (res == 0).
+        TraceInstant(TraceName::kUringComplete, static_cast<int64_t>(i),
+                     static_cast<int64_t>(st.filled));
       }
       pending = std::move(next);
+    }
+    if (submit_span.armed()) {
+      submit_span.set_args(static_cast<int64_t>(count), rounds);
     }
     if (!ring_status.ok()) {
       for (size_t i : pending) reqs[i].status = ring_status;

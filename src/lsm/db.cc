@@ -14,6 +14,7 @@
 #include "lsm/merging_iterator.h"
 #include "obs/exposition.h"
 #include "obs/perf_context.h"
+#include "obs/trace.h"
 #include "sstable/table_builder.h"
 #include "util/coding.h"
 
@@ -78,6 +79,16 @@ MemTableOptions MemTableOptionsFromDb(const DbOptions& options) {
 }
 
 }  // namespace
+
+// Windowed (ring-of-epochs) views advanced once per DumpMetrics scrape;
+// the fpr window tracks the three per-level probe counters the measured-FPR
+// gauges are derived from, laid out [runs_probed | filter_negatives |
+// false_positives] x kMaxLevels.
+struct DB::WindowState {
+  WindowState() : fpr(3 * Counters::kMaxLevels) {}
+  EpochWindow fpr;
+  WindowedHistogram get_latency;
+};
 
 DB::DB(const DbOptions& options, std::string name)
     : options_(options),
@@ -474,6 +485,9 @@ Status DB::Write(const WriteOptions& options, const WriteBatch& batch) {
   counters_.writes.fetch_add(1, std::memory_order_relaxed);
   StopWatch write_watch(metrics_.get(), Hist::kWriteLatency);
   if (PerfCountsEnabled()) GetPerfContext()->write_count++;
+  TraceArmer trace_armer(options.trace || TraceSampleHead());
+  TraceSpan write_span(TraceName::kDbWrite,
+                       static_cast<int64_t>(batch.approximate_bytes()));
   Writer w(&batch, options.sync || options_.sync_writes, &mu_);
   MutexLock lock(mu_);
   writers_.push_back(&w);
@@ -482,6 +496,7 @@ Status DB::Write(const WriteOptions& options, const WriteBatch& batch) {
     // uncontended writer, which immediately becomes leader).
     StopWatch queue_watch(metrics_.get(), Hist::kWriteQueueWait);
     PerfTimer queue_timer(&GetPerfContext()->write_queue_wait_nanos);
+    TraceSpan queue_span(TraceName::kWriteQueueWait);
     while (!w.done && &w != writers_.front()) {
       if (w.apply_assigned) {
         // Parallel group apply: the leader made this batch durable in the
@@ -493,6 +508,7 @@ Status DB::Write(const WriteOptions& options, const WriteBatch& batch) {
       }
       w.cv.Wait();
     }
+    if (queue_span.armed()) queue_span.set_args(w.done ? 0 : 1);
   }
   if (w.done) {
     // A previous leader committed this batch.
@@ -633,6 +649,10 @@ Status DB::CommitGroupLocked(const std::vector<Writer*>& group) {
         // is additionally broken out as kWalSyncLatency inside WalWriter).
         StopWatch wal_watch(metrics_.get(), Hist::kWalWriteLatency);
         PerfTimer wal_timer(&GetPerfContext()->wal_write_nanos);
+        TraceSpan wal_span(
+            TraceName::kWalAppend,
+            static_cast<int64_t>(wal_batch.payload().size()),
+            group_sync ? 1 : 0);
         append_status = wal_->AddRecord(wal_batch.payload(), group_sync);
       }
       counters_.wal_appends.fetch_add(1, std::memory_order_relaxed);
@@ -652,6 +672,8 @@ Status DB::CommitGroupLocked(const std::vector<Writer*>& group) {
         // the group (or of any batch) ever becomes visible.
         StopWatch apply_watch(metrics_.get(), Hist::kMemtableApplyLatency);
         PerfTimer apply_timer(&GetPerfContext()->memtable_apply_nanos);
+        TraceSpan apply_span(TraceName::kMemtableApply,
+                             static_cast<int64_t>(included_members));
         SequenceNumber seq = first_seq;
         for (size_t i = 0; i < group.size(); i++) {
           if (!included[i]) continue;
@@ -714,6 +736,8 @@ Status DB::CommitGroupLocked(const std::vector<Writer*>& group) {
       ScopedUnlock window(&mu_);
       StopWatch apply_watch(metrics_.get(), Hist::kMemtableApplyLatency);
       PerfTimer apply_timer(&GetPerfContext()->memtable_apply_nanos);
+      TraceSpan apply_span(TraceName::kMemtableApply,
+                           static_cast<int64_t>(included_members));
       if (leader_included) {
         const auto& ops = group[0]->batch->ops();
         SequenceNumber s = leader_seq;
@@ -1083,6 +1107,8 @@ Status DB::Get(const ReadOptions& options, const Slice& key,
   StopWatch get_watch(metrics_.get(), Hist::kGetLatency);
   PerfTimer get_timer(&GetPerfContext()->get_nanos);
   if (PerfCountsEnabled()) GetPerfContext()->get_count++;
+  TraceArmer trace_armer(options.trace || TraceSampleHead());
+  TraceSpan get_span(TraceName::kDbGet);
 
   // Load the read sequence BEFORE the view: the view loaded afterwards is
   // at least as new, so every entry at or below the sequence is in it.
@@ -1096,31 +1122,55 @@ Status DB::Get(const ReadOptions& options, const Slice& key,
   // 1. The buffer (Level 0): active memtable, then frozen ones newest-first.
   {
     PerfTimer mem_timer(&GetPerfContext()->memtable_lookup_nanos);
+    TraceSpan mem_span(TraceName::kMemtableProbe);
     bool found_entry = false;
     ValueType type = ValueType::kValue;
+    int memtables_probed = 0;
     for (const MemTable* mem : view->MemTables()) {
+      memtables_probed++;
       Status s = mem->Get(lookup, value, &found_entry, &type);
       if (found_entry) {
         if (PerfCountsEnabled()) GetPerfContext()->memtable_hits++;
+        if (mem_span.armed()) mem_span.set_args(memtables_probed, 1);
+        if (get_span.armed()) get_span.set_args(1);
         if (s.ok() && type == ValueType::kValueHandle) {
           return ResolveHandle(value);
         }
         return s;
       }
     }
+    if (mem_span.armed()) mem_span.set_args(memtables_probed, 0);
   }
 
   // 2. Disk levels, shallowest to deepest; runs newest to oldest.
   const Version& version = *view->version;
   const bool perf = PerfCountsEnabled();
+  // Predicted per-level FPR for kRunProbe annotations (the allocator's
+  // Eq. 5/6 plan, in parts-per-billion so the arg stays integral).
+  // Computed once, and only for armed requests.
+  const bool traced = get_span.armed();
+  LsmShape trace_shape;
+  const FprAllocationPolicy* trace_policy = nullptr;
+  if (traced) {
+    trace_shape = CurrentShape();
+    trace_policy = options_.fpr_policy != nullptr ? options_.fpr_policy.get()
+                                                  : DefaultFprPolicy();
+  }
   for (int level = 1; level <= version.NumLevels(); level++) {
     // Stats index the first on-disk level as 0 and clamp at the array end.
     const int sl = StatLevel(level - 1);
     for (const RunPtr& run : version.RunsAt(level)) {
       TableLookupResult result;
       ValueType type = ValueType::kValue;
+      TraceSpan run_span(TraceName::kRunProbe, level);
       MONKEYDB_RETURN_IF_ERROR(
           run->table->Get(lookup, value, &result, &type));
+      if (run_span.armed()) {
+        run_span.set_args(
+            level, static_cast<int64_t>(result),
+            static_cast<int64_t>(trace_policy->RunFpr(trace_shape, level) *
+                                 1e9));
+      }
       switch (result) {
         case TableLookupResult::kFound:
           counters_.runs_probed.fetch_add(1, std::memory_order_relaxed);
@@ -1130,6 +1180,7 @@ Status DB::Get(const ReadOptions& options, const Slice& key,
             GetPerfContext()->runs_probed++;
             GetPerfContext()->runs_probed_per_level[sl]++;
           }
+          if (get_span.armed()) get_span.set_args(1);
           if (type == ValueType::kValueHandle) return ResolveHandle(value);
           return Status::OK();
         case TableLookupResult::kDeleted:
@@ -1178,6 +1229,9 @@ std::vector<Status> DB::MultiGet(const ReadOptions& options,
   counters_.multigets.fetch_add(1, std::memory_order_relaxed);
   counters_.gets.fetch_add(keys.size(), std::memory_order_relaxed);
   StopWatch batch_watch(metrics_.get(), Hist::kMultiGetLatency);
+  TraceArmer trace_armer(options.trace || TraceSampleHead());
+  TraceSpan batch_span(TraceName::kDbMultiGet,
+                       static_cast<int64_t>(keys.size()));
 
   values->assign(keys.size(), std::string());
   std::vector<Status> statuses(keys.size(), Status::OK());
@@ -2561,6 +2615,8 @@ bool DB::GetUringStats(UringStatsSnapshot* out) const {
   return true;
 }
 
+std::string DB::DumpTrace() const { return DumpTraceJson(0); }
+
 std::string DB::DumpMetrics(MetricsFormat format) const {
   const DbStats stats = GetStats();
   const std::shared_ptr<const ReadView> view = CurrentView();
@@ -2609,6 +2665,57 @@ std::string DB::DumpMetrics(MetricsFormat format) const {
           ? static_cast<double>(stats.false_positives) /
                 static_cast<double>(stats.gets_not_found)
           : 0.0;
+
+  // Windowed view: advance the epoch ring with this scrape's cumulative
+  // counters, then report the per-level measured FPR over (roughly) the
+  // last minute — the drift signal an online tuner consumes. A histogram
+  // window of Get latency rides along when metrics are enabled.
+  constexpr uint64_t kWindowSecs = 60;
+  std::vector<double> measured_fpr_1m(levels, 0.0);
+  uint64_t fpr_window_secs = 0;
+  HistogramData get_latency_1m;
+  bool have_get_latency_1m = false;
+  {
+    const uint64_t now_secs = TraceNowNanos() / 1000000000ull;
+    const size_t n = Counters::kMaxLevels;
+    std::vector<uint64_t> cum(3 * n, 0);
+    for (size_t l = 0; l < n; l++) {
+      if (l < stats.runs_probed_per_level.size()) {
+        cum[l] = stats.runs_probed_per_level[l];
+      }
+      if (l < stats.filter_negatives_per_level.size()) {
+        cum[n + l] = stats.filter_negatives_per_level[l];
+      }
+      if (l < stats.false_positives_per_level.size()) {
+        cum[2 * n + l] = stats.false_positives_per_level[l];
+      }
+    }
+    // Merge the sharded histogram before taking window_mu_: the merge
+    // walks every registry shard and needs no window state.
+    HistogramMerger merged;
+    if (metrics_ != nullptr) {
+      metrics_->MergeHistogram(Hist::kGetLatency, &merged);
+    }
+    MutexLock window_lock(window_mu_);
+    if (window_ == nullptr) window_ = std::make_unique<WindowState>();
+    window_->fpr.Advance(now_secs, cum);
+    std::vector<uint64_t> delta;
+    if (window_->fpr.Delta(kWindowSecs, &delta, &fpr_window_secs)) {
+      for (int l = 0; l < levels && l < static_cast<int>(n); l++) {
+        const uint64_t fp = delta[2 * n + l];
+        const uint64_t probes = fp + delta[n + l];
+        if (probes > 0) {
+          measured_fpr_1m[l] =
+              static_cast<double>(fp) / static_cast<double>(probes);
+        }
+      }
+    }
+    if (metrics_ != nullptr) {
+      window_->get_latency.Advance(now_secs, merged);
+      have_get_latency_1m =
+          window_->get_latency.SnapshotWindow(kWindowSecs, &get_latency_1m);
+    }
+  }
 
   if (format == MetricsFormat::kJson) {
     JsonWriter w;
@@ -2669,12 +2776,14 @@ std::string DB::DumpMetrics(MetricsFormat format) const {
     w.BeginObject("fpr");
     w.Field("predicted_lookup_cost", predicted_r);
     w.Field("measured_lookup_cost", measured_r);
+    w.Field("window_secs", fpr_window_secs);
     for (int l = 0; l < levels; l++) {
       char key[32];
       snprintf(key, sizeof(key), "L%d", l + 1);
       w.BeginObject(key);
       w.Field("predicted", predicted_fpr[l]);
       w.Field("measured", measured_fpr[l]);
+      w.Field("measured_1m", measured_fpr_1m[l]);
       w.Field("runs", runs_at[l]);
       w.EndObject();
     }
@@ -2684,6 +2793,9 @@ std::string DB::DumpMetrics(MetricsFormat format) const {
       for (int h = 0; h < static_cast<int>(Hist::kNumHistograms); h++) {
         w.Histogram(HistName(static_cast<Hist>(h)),
                     metrics_->SnapshotHistogram(static_cast<Hist>(h)));
+      }
+      if (have_get_latency_1m) {
+        w.Histogram("get_latency_us_1m", get_latency_1m);
       }
       w.EndObject();
     }
@@ -2799,6 +2911,18 @@ std::string DB::DumpMetrics(MetricsFormat format) const {
     w.LabeledSample("monkey_measured_fpr", {{"level", label}},
                     measured_fpr[l]);
   }
+  w.DeclareGauge("monkey_measured_fpr_1m",
+                 "Windowed per-level false-positive rate over roughly the "
+                 "last minute of scrapes (0 until two scrapes exist)");
+  for (int l = 0; l < levels; l++) {
+    char label[16];
+    snprintf(label, sizeof(label), "%d", l + 1);
+    w.LabeledSample("monkey_measured_fpr_1m", {{"level", label}},
+                    measured_fpr_1m[l]);
+  }
+  w.Gauge("monkey_fpr_window_secs",
+          "Span actually covered by the windowed FPR gauges",
+          static_cast<double>(fpr_window_secs));
   w.Gauge("monkey_predicted_lookup_cost",
           "Predicted zero-result lookup I/Os R: sum of run FPRs (Eq. 3)",
           predicted_r);
@@ -2813,6 +2937,11 @@ std::string DB::DumpMetrics(MetricsFormat format) const {
                 "Latency histogram (microseconds unless the name says "
                 "otherwise)",
                 metrics_->SnapshotHistogram(static_cast<Hist>(h)));
+    }
+    if (have_get_latency_1m) {
+      w.Summary("monkeydb_get_latency_us_1m",
+                "Get latency over roughly the last minute of scrapes",
+                get_latency_1m);
     }
     for (int t = 0; t < static_cast<int>(Tick::kNumTicks); t++) {
       w.Counter(std::string("monkeydb_") + TickName(static_cast<Tick>(t)) +

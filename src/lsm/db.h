@@ -230,6 +230,14 @@ class DB {
   enum class MetricsFormat { kPrometheus, kJson };
   std::string DumpMetrics(MetricsFormat format) const;
 
+  // Chrome/Perfetto trace-event JSON of every span retained in the
+  // process-wide flight recorder (obs/trace.h; DESIGN.md §16). Spans are
+  // recorded only for armed requests — ReadOptions/WriteOptions::trace or
+  // head sampling — so with tracing off this returns an empty event list.
+  // Load the output in https://ui.perfetto.dev, or pretty-print it with
+  // tools/trace_view.py.
+  std::string DumpTrace() const;
+
   // io_uring backend counters, when this DB owns a UringEnv (env == null
   // and io_backend resolved to kUring). Returns false — leaving *out
   // untouched — on every other backend. Lets out-of-process surfaces (the
@@ -644,6 +652,16 @@ class DB {
   // Non-null iff options_.enable_metrics; every StopWatch site takes this
   // pointer, so the disabled configuration skips even the clock reads.
   std::unique_ptr<MetricsRegistry> metrics_;
+
+  // Windowed (ring-of-epochs) views advanced on each DumpMetrics() scrape:
+  // per-level {runs_probed, filter_negatives, false_positives} deltas feed
+  // the monkey_measured_fpr_1m{level} gauges, and a windowed get-latency
+  // histogram rides along when metrics are enabled. Scrape-driven: the
+  // request path never touches them. Guarded by window_mu_ (scrapes can
+  // race each other; nothing else contends).
+  struct WindowState;
+  mutable Mutex window_mu_;
+  mutable std::unique_ptr<WindowState> window_ GUARDED_BY(window_mu_);
 
   // Delivers an event to every listener, swallowing (but counting and
   // logging) exceptions so a faulty listener cannot take down a writer or

@@ -204,10 +204,17 @@ struct ReadOptions {
   // iterator, > 0 overrides the depth. Lets one DB serve pipelined and
   // classic scans side by side (benchmarks sweep this without reopening).
   int readahead_blocks = -1;
+  // Force-arm request tracing for this read regardless of the global
+  // sample rate: the call records a span tree (obs/trace.h) into the
+  // flight recorder, retrievable via DB::DumpTrace(). Default off — a
+  // non-traced read never touches the trace clock.
+  bool trace = false;
 };
 
 struct WriteOptions {
   bool sync = false;
+  // Force-arm request tracing for this write (see ReadOptions::trace).
+  bool trace = false;
 };
 
 // ServerOptions: knobs of the RESP serving layer (src/server; DESIGN.md
@@ -259,6 +266,24 @@ struct ServerOptions {
   size_t server_max_bulk_bytes = 64u << 20;
   size_t server_max_multibulk = 1u << 20;
   size_t server_max_inline_bytes = 64u << 10;
+
+  // Tracing / SLOWLOG (DESIGN.md §16). trace_sample_rate head-samples
+  // incoming commands into the flight recorder: each command run is armed
+  // with this probability and its spans land in the per-thread trace
+  // rings, served back via `TRACE`, `SLOWLOG GET`, and HTTP /trace. The
+  // MONKEYDB_TRACE_SAMPLE environment variable, when set, overrides this
+  // knob (same contract as MONKEYDB_IO_BACKEND). 0.0 (the default) keeps
+  // the request path free of clock reads entirely.
+  double trace_sample_rate = 0.0;
+
+  // Tail capture: a command run slower than this threshold is recorded in
+  // the server's SLOWLOG ring together with its span tree (runs are
+  // always armed for tracing while the threshold is active, so the tree
+  // exists even for un-sampled requests). 0 (the default) disables the
+  // slowlog and its per-run clock reads. slowlog_max_len bounds the ring;
+  // oldest entries fall off.
+  uint64_t slowlog_threshold_us = 0;
+  size_t slowlog_max_len = 128;
 
   // Maintain the server's own MetricsRegistry: per-command latency
   // summaries (server_get/set/del/mget/mset/scan_latency_us), the

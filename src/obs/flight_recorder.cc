@@ -1,0 +1,206 @@
+#include "obs/flight_recorder.h"
+
+#include <algorithm>
+
+namespace monkeydb {
+
+namespace {
+
+// Payload packing: six 64-bit words per event. Word 5 folds the small
+// fields so a slot stays seven atomics (one cache line + 8 bytes).
+uint64_t PackMeta(const TraceEvent& e) {
+  return (static_cast<uint64_t>(e.tid) << 32) |
+         (static_cast<uint64_t>(static_cast<uint16_t>(e.name)) << 16) |
+         (static_cast<uint64_t>(e.phase) << 8) |
+         static_cast<uint64_t>(e.depth);
+}
+
+void UnpackMeta(uint64_t meta, TraceEvent* e) {
+  e->tid = static_cast<uint32_t>(meta >> 32);
+  e->name = static_cast<TraceName>(static_cast<uint16_t>(meta >> 16));
+  e->phase = static_cast<uint8_t>(meta >> 8);
+  e->depth = static_cast<uint8_t>(meta);
+}
+
+}  // namespace
+
+// Single-writer seqlock ring. The owning thread publishes each slot by
+// bracketing the payload stores with sequence stores (odd = in progress,
+// even = position pos published as 2 * (pos + 1)); snapshot readers verify
+// the sequence on both sides of their copy and skip slots caught
+// mid-overwrite. All accesses are atomics, so there is no data race for
+// TSan to find and no word-level tearing.
+class FlightRecorder::Ring {
+ public:
+  Ring(size_t capacity, uint32_t tid)
+      : mask_(capacity - 1),
+        tid_(tid),
+        slots_(std::make_unique<Slot[]>(capacity)) {}
+
+  size_t capacity() const { return mask_ + 1; }
+  uint32_t tid() const { return tid_; }
+
+  void Push(const TraceEvent& e) {
+    const uint64_t pos = head_.load(std::memory_order_relaxed);
+    Slot& s = slots_[pos & mask_];
+    s.seq.store(2 * pos + 1, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_release);
+    s.w[0].store(e.ts_nanos, std::memory_order_relaxed);
+    s.w[1].store(e.request_id, std::memory_order_relaxed);
+    s.w[2].store(static_cast<uint64_t>(e.args[0]),
+                 std::memory_order_relaxed);
+    s.w[3].store(static_cast<uint64_t>(e.args[1]),
+                 std::memory_order_relaxed);
+    s.w[4].store(static_cast<uint64_t>(e.args[2]),
+                 std::memory_order_relaxed);
+    s.w[5].store(PackMeta(e), std::memory_order_relaxed);
+    s.seq.store(2 * (pos + 1), std::memory_order_release);
+    head_.store(pos + 1, std::memory_order_release);
+  }
+
+  void CollectInto(uint64_t min_ts_nanos,
+                   std::vector<TraceEvent>* out) const {
+    const uint64_t head = head_.load(std::memory_order_acquire);
+    const uint64_t start = head > capacity() ? head - capacity() : 0;
+    for (uint64_t pos = start; pos < head; pos++) {
+      const Slot& s = slots_[pos & mask_];
+      const uint64_t seq1 = s.seq.load(std::memory_order_acquire);
+      if (seq1 != 2 * (pos + 1)) continue;  // Overwritten or in progress.
+      TraceEvent e;
+      e.ts_nanos = s.w[0].load(std::memory_order_relaxed);
+      e.request_id = s.w[1].load(std::memory_order_relaxed);
+      e.args[0] = static_cast<int64_t>(
+          s.w[2].load(std::memory_order_relaxed));
+      e.args[1] = static_cast<int64_t>(
+          s.w[3].load(std::memory_order_relaxed));
+      e.args[2] = static_cast<int64_t>(
+          s.w[4].load(std::memory_order_relaxed));
+      UnpackMeta(s.w[5].load(std::memory_order_relaxed), &e);
+      std::atomic_thread_fence(std::memory_order_acquire);
+      if (s.seq.load(std::memory_order_relaxed) != seq1) continue;
+      if (e.ts_nanos >= min_ts_nanos) out->push_back(e);
+    }
+  }
+
+ private:
+  struct Slot {
+    std::atomic<uint64_t> seq{0};
+    std::atomic<uint64_t> w[6] = {};
+  };
+
+  const uint64_t mask_;
+  const uint32_t tid_;
+  std::atomic<uint64_t> head_{0};
+  std::unique_ptr<Slot[]> slots_;
+};
+
+// Per-thread cache of (recorder, ring) bindings; returns rings to their
+// recorder's free pool at thread exit. Almost always a single entry — the
+// list form only matters for tests that build private recorders. A private
+// recorder must outlive every thread that recorded into it.
+struct FlightRecorder::ThreadSlot {
+  struct Entry {
+    FlightRecorder* owner;
+    Ring* ring;
+    Entry* next;
+  };
+  Entry* head = nullptr;
+
+  Ring* Find(FlightRecorder* owner) const {
+    for (Entry* e = head; e != nullptr; e = e->next) {
+      if (e->owner == owner) return e->ring;
+    }
+    return nullptr;
+  }
+
+  void Remember(FlightRecorder* owner, Ring* ring) {
+    head = new Entry{owner, ring, head};
+  }
+
+  ~ThreadSlot() {
+    while (head != nullptr) {
+      Entry* e = head;
+      head = e->next;
+      e->owner->ReleaseRing(e->ring);
+      delete e;
+    }
+  }
+};
+
+FlightRecorder::FlightRecorder() = default;
+
+FlightRecorder* FlightRecorder::Global() {
+  static FlightRecorder* recorder = new FlightRecorder();
+  return recorder;
+}
+
+FlightRecorder::Ring* FlightRecorder::RingForThisThread() {
+  MutexLock lock(mu_);
+  const size_t capacity = ring_capacity_.load(std::memory_order_relaxed);
+  while (!free_rings_.empty()) {
+    Ring* ring = free_rings_.back();
+    free_rings_.pop_back();
+    if (ring->capacity() == capacity) return ring;
+    // Stale capacity (SetRingCapacityForTest since it was freed): retire.
+    for (size_t i = 0; i < rings_.size(); i++) {
+      if (rings_[i].get() == ring) {
+        rings_.erase(rings_.begin() + static_cast<ptrdiff_t>(i));
+        break;
+      }
+    }
+  }
+  auto ring = std::make_shared<Ring>(
+      capacity, static_cast<uint32_t>(rings_.size() + 1));
+  rings_.push_back(ring);
+  return ring.get();
+}
+
+void FlightRecorder::ReleaseRing(Ring* ring) {
+  MutexLock lock(mu_);
+  free_rings_.push_back(ring);
+}
+
+void FlightRecorder::Record(const TraceEvent& event) {
+  thread_local ThreadSlot slot;
+  Ring* ring = slot.Find(this);
+  if (ring == nullptr) {
+    ring = RingForThisThread();
+    slot.Remember(this, ring);
+  }
+  TraceEvent e = event;
+  e.tid = ring->tid();
+  ring->Push(e);
+}
+
+std::vector<TraceEvent> FlightRecorder::Snapshot(
+    uint64_t min_ts_nanos) const {
+  const uint64_t watermark = min_visible_ts_.load(std::memory_order_relaxed);
+  if (watermark > min_ts_nanos) min_ts_nanos = watermark;
+  std::vector<std::shared_ptr<Ring>> rings;
+  {
+    MutexLock lock(mu_);
+    rings = rings_;
+  }
+  std::vector<TraceEvent> out;
+  for (const auto& ring : rings) ring->CollectInto(min_ts_nanos, &out);
+  std::stable_sort(out.begin(), out.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     if (a.ts_nanos != b.ts_nanos) {
+                       return a.ts_nanos < b.ts_nanos;
+                     }
+                     return a.tid < b.tid;
+                   });
+  return out;
+}
+
+void FlightRecorder::Clear() {
+  min_visible_ts_.store(TraceNowNanos(), std::memory_order_relaxed);
+}
+
+void FlightRecorder::SetRingCapacityForTest(size_t capacity) {
+  size_t pow2 = 1;
+  while (pow2 < capacity) pow2 <<= 1;
+  ring_capacity_.store(pow2, std::memory_order_relaxed);
+}
+
+}  // namespace monkeydb

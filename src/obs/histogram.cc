@@ -24,43 +24,183 @@ void HistogramMerger::Add(const Histogram& h) {
   max_ = std::max(max_, h.max());
 }
 
-double HistogramMerger::Percentile(double fraction) const {
-  if (count_ == 0) return 0.0;
-  // Rank of the requested percentile, 1-based; clamp into [1, count_].
+namespace {
+
+double PercentileFromBuckets(const uint64_t* buckets, uint64_t count,
+                             uint64_t max, double fraction) {
+  if (count == 0) return 0.0;
+  // Rank of the requested percentile, 1-based; clamp into [1, count].
   const uint64_t rank = std::min<uint64_t>(
-      count_, std::max<uint64_t>(1, static_cast<uint64_t>(
-                                        fraction * count_ + 0.5)));
+      count, std::max<uint64_t>(1, static_cast<uint64_t>(
+                                       fraction * count + 0.5)));
   uint64_t seen = 0;
   for (int i = 0; i < Histogram::kNumBuckets; ++i) {
-    if (buckets_[i] == 0) continue;
-    if (seen + buckets_[i] >= rank) {
+    if (buckets[i] == 0) continue;
+    if (seen + buckets[i] >= rank) {
       // Interpolate linearly inside the bucket. The upper edge of the last
       // octave would overflow, so cap the width at the lower bound / 4
       // (exact for every non-degenerate bucket).
       const uint64_t lo = Histogram::BucketLowerBound(i);
       const uint64_t width = i < 4 ? 1 : lo / 4;
       const double within =
-          static_cast<double>(rank - seen) / buckets_[i];
+          static_cast<double>(rank - seen) / buckets[i];
       return std::min(static_cast<double>(lo) + width * within,
-                      static_cast<double>(max_));
+                      static_cast<double>(max));
     }
-    seen += buckets_[i];
+    seen += buckets[i];
   }
-  return static_cast<double>(max_);
+  return static_cast<double>(max);
+}
+
+}  // namespace
+
+HistogramData SnapshotFromBuckets(const uint64_t* buckets, uint64_t count,
+                                  uint64_t sum, uint64_t max) {
+  HistogramData d;
+  d.count = count;
+  d.sum = sum;
+  d.max = max;
+  d.avg = count == 0 ? 0.0 : static_cast<double>(sum) / count;
+  d.p50 = PercentileFromBuckets(buckets, count, max, 0.50);
+  d.p90 = PercentileFromBuckets(buckets, count, max, 0.90);
+  d.p99 = PercentileFromBuckets(buckets, count, max, 0.99);
+  d.p999 = PercentileFromBuckets(buckets, count, max, 0.999);
+  return d;
 }
 
 HistogramData HistogramMerger::Snapshot() const {
-  HistogramData d;
-  d.count = count_;
-  d.sum = sum_;
-  d.max = max_;
-  d.avg = count_ == 0 ? 0.0
-                      : static_cast<double>(sum_) / count_;
-  d.p50 = Percentile(0.50);
-  d.p90 = Percentile(0.90);
-  d.p99 = Percentile(0.99);
-  d.p999 = Percentile(0.999);
-  return d;
+  return SnapshotFromBuckets(buckets_, count_, sum_, max_);
+}
+
+// --- EpochWindow ------------------------------------------------------------
+
+EpochWindow::EpochWindow(size_t num_counters, size_t max_epochs)
+    : num_counters_(num_counters), ring_(std::max<size_t>(2, max_epochs)) {
+  for (auto& e : ring_) e.cum.resize(num_counters_, 0);
+}
+
+void EpochWindow::Advance(uint64_t now_secs,
+                          const std::vector<uint64_t>& cumulative) {
+  // Re-stamp the newest epoch on a same-second scrape burst instead of
+  // eating the whole ring.
+  if (size_ > 0) {
+    Epoch& newest = ring_[(head_ + ring_.size() - 1) % ring_.size()];
+    if (newest.ts_secs == now_secs) {
+      newest.cum = cumulative;
+      return;
+    }
+  }
+  Epoch& e = ring_[head_];
+  e.ts_secs = now_secs;
+  e.cum = cumulative;
+  head_ = (head_ + 1) % ring_.size();
+  if (size_ < ring_.size()) ++size_;
+}
+
+bool EpochWindow::Bracket(uint64_t last_n_secs, const Epoch** oldest,
+                          const Epoch** newest) const {
+  if (size_ < 2) return false;
+  const Epoch& n = ring_[(head_ + ring_.size() - 1) % ring_.size()];
+  // Walk from oldest retained toward newest; pick the first epoch inside
+  // the window, falling back to the second-newest so the delta is never
+  // empty.
+  const Epoch* o = nullptr;
+  for (size_t i = 0; i + 1 < size_; ++i) {
+    const Epoch& cand =
+        ring_[(head_ + ring_.size() - size_ + i) % ring_.size()];
+    if (n.ts_secs - cand.ts_secs <= last_n_secs || i + 2 == size_) {
+      o = &cand;
+      break;
+    }
+  }
+  *oldest = o;
+  *newest = &n;
+  return true;
+}
+
+bool EpochWindow::Delta(uint64_t last_n_secs, std::vector<uint64_t>* delta,
+                        uint64_t* span_secs) const {
+  const Epoch* oldest = nullptr;
+  const Epoch* newest = nullptr;
+  if (!Bracket(last_n_secs, &oldest, &newest)) return false;
+  delta->assign(num_counters_, 0);
+  for (size_t c = 0; c < num_counters_; ++c) {
+    // Counters are monotone; guard anyway so a reset can't underflow.
+    (*delta)[c] = newest->cum[c] >= oldest->cum[c]
+                      ? newest->cum[c] - oldest->cum[c]
+                      : newest->cum[c];
+  }
+  if (span_secs != nullptr) {
+    *span_secs = newest->ts_secs - oldest->ts_secs;
+  }
+  return true;
+}
+
+// --- WindowedHistogram ------------------------------------------------------
+
+WindowedHistogram::WindowedHistogram(size_t max_epochs)
+    : ring_(std::max<size_t>(2, max_epochs)) {}
+
+void WindowedHistogram::Advance(uint64_t now_secs,
+                                const HistogramMerger& cumulative) {
+  Epoch* e;
+  if (size_ > 0 &&
+      ring_[(head_ + ring_.size() - 1) % ring_.size()].ts_secs == now_secs) {
+    e = &ring_[(head_ + ring_.size() - 1) % ring_.size()];
+  } else {
+    e = &ring_[head_];
+    head_ = (head_ + 1) % ring_.size();
+    if (size_ < ring_.size()) ++size_;
+  }
+  e->ts_secs = now_secs;
+  for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+    e->buckets[i] = cumulative.bucket(i);
+  }
+  e->count = cumulative.count();
+  e->sum = cumulative.sum();
+  e->max = cumulative.max();
+}
+
+bool WindowedHistogram::Bracket(uint64_t last_n_secs, const Epoch** oldest,
+                                const Epoch** newest) const {
+  if (size_ < 2) return false;
+  const Epoch& n = ring_[(head_ + ring_.size() - 1) % ring_.size()];
+  const Epoch* o = nullptr;
+  for (size_t i = 0; i + 1 < size_; ++i) {
+    const Epoch& cand =
+        ring_[(head_ + ring_.size() - size_ + i) % ring_.size()];
+    if (n.ts_secs - cand.ts_secs <= last_n_secs || i + 2 == size_) {
+      o = &cand;
+      break;
+    }
+  }
+  *oldest = o;
+  *newest = &n;
+  return true;
+}
+
+bool WindowedHistogram::SnapshotWindow(uint64_t last_n_secs,
+                                       HistogramData* out,
+                                       uint64_t* span_secs) const {
+  const Epoch* oldest = nullptr;
+  const Epoch* newest = nullptr;
+  if (!Bracket(last_n_secs, &oldest, &newest)) return false;
+  uint64_t buckets[Histogram::kNumBuckets];
+  for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+    buckets[i] = newest->buckets[i] >= oldest->buckets[i]
+                     ? newest->buckets[i] - oldest->buckets[i]
+                     : newest->buckets[i];
+  }
+  const uint64_t count = newest->count >= oldest->count
+                             ? newest->count - oldest->count
+                             : newest->count;
+  const uint64_t sum =
+      newest->sum >= oldest->sum ? newest->sum - oldest->sum : newest->sum;
+  *out = SnapshotFromBuckets(buckets, count, sum, newest->max);
+  if (span_secs != nullptr) {
+    *span_secs = newest->ts_secs - oldest->ts_secs;
+  }
+  return true;
 }
 
 }  // namespace monkeydb

@@ -17,6 +17,7 @@
 #include <bit>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace monkeydb {
 
@@ -99,14 +100,102 @@ class HistogramMerger {
   void Add(const Histogram& h);
   HistogramData Snapshot() const;
 
- private:
-  double Percentile(double fraction) const;
+  // Folded-bucket accessors for windowed deltas (WindowedHistogram stores
+  // cumulative merges and subtracts them epoch-to-epoch).
+  uint64_t bucket(int i) const { return buckets_[i]; }
+  uint64_t count() const { return count_; }
+  uint64_t sum() const { return sum_; }
+  uint64_t max() const { return max_; }
 
+ private:
   uint64_t buckets_[Histogram::kNumBuckets] = {};
   uint64_t count_ = 0;
   uint64_t sum_ = 0;
   uint64_t max_ = 0;
 };
+
+// --- Windowed (ring-of-epochs) snapshots ------------------------------------
+//
+// Cumulative counters answer "since process start"; the self-tuning signals
+// (measured FPR drift, rolling latency) need "over the last minute". Both
+// classes below keep a small ring of *cumulative* snapshots stamped at
+// scrape time and report the delta between the newest epoch and the oldest
+// epoch still inside the requested window. They are externally
+// synchronized: callers advance and read them under their own lock (the DB
+// advances on each DumpMetrics() scrape).
+
+// Ring of timestamped cumulative counter vectors; Delta() reports how much
+// each counter grew over roughly the last N seconds.
+class EpochWindow {
+ public:
+  static constexpr size_t kDefaultEpochs = 64;
+
+  explicit EpochWindow(size_t num_counters,
+                       size_t max_epochs = kDefaultEpochs);
+
+  // Records the current cumulative counter values at `now_secs`
+  // (monotonic). A repeat call within the same second overwrites the
+  // newest epoch instead of consuming a slot.
+  void Advance(uint64_t now_secs, const std::vector<uint64_t>& cumulative);
+
+  // Growth of each counter between the newest epoch and the oldest
+  // retained epoch at most `last_n_secs` older. False until two epochs
+  // exist; *span_secs reports the span actually covered (it can be shorter
+  // than requested early in life, or longer by one scrape interval).
+  bool Delta(uint64_t last_n_secs, std::vector<uint64_t>* delta,
+             uint64_t* span_secs) const;
+
+ private:
+  struct Epoch {
+    uint64_t ts_secs = 0;
+    std::vector<uint64_t> cum;
+  };
+
+  // Newest epoch, and the oldest retained epoch no more than
+  // `last_n_secs` older; false until two epochs exist.
+  bool Bracket(uint64_t last_n_secs, const Epoch** oldest,
+               const Epoch** newest) const;
+
+  const size_t num_counters_;
+  std::vector<Epoch> ring_;
+  size_t head_ = 0;  // Next slot to write.
+  size_t size_ = 0;  // Filled slots.
+};
+
+// Same epoch scheme over a full histogram: stores cumulative merged
+// buckets per epoch and reports percentile snapshots of the windowed
+// delta. The window's `max` is approximated by the cumulative max (a true
+// windowed max is not recoverable from cumulative counters); percentiles
+// come from the delta'd buckets and are exact to bucket resolution.
+class WindowedHistogram {
+ public:
+  explicit WindowedHistogram(size_t max_epochs = EpochWindow::kDefaultEpochs);
+
+  void Advance(uint64_t now_secs, const HistogramMerger& cumulative);
+  bool SnapshotWindow(uint64_t last_n_secs, HistogramData* out,
+                      uint64_t* span_secs = nullptr) const;
+
+ private:
+  struct Epoch {
+    uint64_t ts_secs = 0;
+    uint64_t buckets[Histogram::kNumBuckets] = {};
+    uint64_t count = 0;
+    uint64_t sum = 0;
+    uint64_t max = 0;
+  };
+
+  bool Bracket(uint64_t last_n_secs, const Epoch** oldest,
+               const Epoch** newest) const;
+
+  std::vector<Epoch> ring_;
+  size_t head_ = 0;
+  size_t size_ = 0;
+};
+
+// Percentile snapshot of a raw folded-bucket array (shared by
+// HistogramMerger::Snapshot and WindowedHistogram's delta path).
+HistogramData SnapshotFromBuckets(const uint64_t* buckets, uint64_t count,
+                                  uint64_t sum, uint64_t max);
 
 }  // namespace monkeydb
 

@@ -58,10 +58,14 @@ MetricsRegistry::MetricsRegistry()
 
 HistogramData MetricsRegistry::SnapshotHistogram(Hist h) const {
   HistogramMerger merger;
-  for (int s = 0; s < kNumShards; ++s) {
-    merger.Add(shards_[s].hists[static_cast<int>(h)]);
-  }
+  MergeHistogram(h, &merger);
   return merger.Snapshot();
+}
+
+void MetricsRegistry::MergeHistogram(Hist h, HistogramMerger* merger) const {
+  for (int s = 0; s < kNumShards; ++s) {
+    merger->Add(shards_[s].hists[static_cast<int>(h)]);
+  }
 }
 
 uint64_t MetricsRegistry::TickTotal(Tick t) const {

@@ -101,6 +101,9 @@ class MetricsRegistry {
   }
 
   HistogramData SnapshotHistogram(Hist h) const;
+  // Folds all shards of `h` into *merger without computing percentiles —
+  // the cumulative input WindowedHistogram::Advance wants at scrape time.
+  void MergeHistogram(Hist h, HistogramMerger* merger) const;
   uint64_t TickTotal(Tick t) const;
 
   // Zeroes every shard. Concurrent recorders may land increments on either

@@ -1,0 +1,338 @@
+#include "obs/trace.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "obs/flight_recorder.h"
+
+namespace monkeydb {
+
+namespace {
+
+struct NameInfo {
+  const char* name;
+  const char* args[3];
+};
+
+// Indexed by TraceName. Keep in enum order.
+constexpr NameInfo kNames[] = {
+    {"server.parse", {"bytes_buffered", "commands_parsed", nullptr}},
+    {"server.command", {"command_id", "commands_in_run", "keys"}},
+    {"server.admin", {"command_id", nullptr, nullptr}},
+    {"db.get", {"found", nullptr, nullptr}},
+    {"db.multiget", {"keys", nullptr, nullptr}},
+    {"db.memtable_probe", {"memtables", "hit", nullptr}},
+    {"db.run_probe", {"level", "outcome", "predicted_fpr_ppb"}},
+    {"table.filter_probe", {"may_contain", nullptr, nullptr}},
+    {"table.fence_seek", {"block_needed", nullptr, nullptr}},
+    {"table.block_fetch", {"cache_hit", "bytes", nullptr}},
+    {"db.write", {"batch_bytes", nullptr, nullptr}},
+    {"db.write_queue_wait", {"leader", nullptr, nullptr}},
+    {"db.wal_append", {"bytes", "sync", nullptr}},
+    {"db.memtable_apply", {"batches", nullptr, nullptr}},
+    {"uring.submit_batch", {"requests", "rounds", nullptr}},
+    {"uring.complete", {"index", "result_bytes", nullptr}},
+    {"uring.short_read_retry", {"index", nullptr, nullptr}},
+};
+static_assert(sizeof(kNames) / sizeof(kNames[0]) ==
+                  static_cast<size_t>(TraceName::kNumTraceNames),
+              "kNames must cover every TraceName");
+
+std::atomic<uint64_t> g_clock_reads{0};
+std::atomic<uint64_t> g_next_request_id{1};
+
+// Sampling threshold against a 32-bit uniform draw: 0 = never, 1 << 32 =
+// always. Initialized from MONKEYDB_TRACE_SAMPLE so CI can arm the whole
+// test suite; SetTraceSampleRate overwrites it afterwards.
+uint64_t ThresholdForRate(double rate) {
+  if (rate <= 0.0) return 0;
+  if (rate >= 1.0) return uint64_t{1} << 32;
+  return static_cast<uint64_t>(rate * 4294967296.0);
+}
+
+bool EnvSampleRate(double* rate) {
+  const char* env = getenv("MONKEYDB_TRACE_SAMPLE");
+  if (env == nullptr || env[0] == '\0') return false;
+  *rate = strtod(env, nullptr);
+  return true;
+}
+
+uint64_t InitialThreshold() {
+  double rate = 0.0;
+  return EnvSampleRate(&rate) ? ThresholdForRate(rate) : 0;
+}
+
+std::atomic<uint64_t> g_sample_threshold{InitialThreshold()};
+
+uint32_t Xorshift32() {
+  thread_local uint32_t state = [] {
+    // Seed per thread from the address of the state itself plus a global
+    // counter; quality only has to be "spread sampled requests around".
+    static std::atomic<uint32_t> salt{0x9e3779b9};
+    uint32_t s = static_cast<uint32_t>(
+        reinterpret_cast<uintptr_t>(&state) >> 4);
+    s ^= salt.fetch_add(0x85ebca6b, std::memory_order_relaxed);
+    return s != 0 ? s : 1u;
+  }();
+  uint32_t x = state;
+  x ^= x << 13;
+  x ^= x >> 17;
+  x ^= x << 5;
+  state = x;
+  return x;
+}
+
+void Record(uint8_t phase, TraceName name, uint64_t request_id,
+            uint8_t depth, int64_t a0, int64_t a1, int64_t a2) {
+  TraceEvent e;
+  e.ts_nanos = TraceNowNanos();
+  e.request_id = request_id;
+  e.args[0] = a0;
+  e.args[1] = a1;
+  e.args[2] = a2;
+  e.name = name;
+  e.phase = phase;
+  e.depth = depth;
+  FlightRecorder::Global()->Record(e);
+}
+
+}  // namespace
+
+const char* TraceNameString(TraceName name) {
+  const auto i = static_cast<size_t>(name);
+  if (i >= static_cast<size_t>(TraceName::kNumTraceNames)) return "?";
+  return kNames[i].name;
+}
+
+const char* TraceArgName(TraceName name, int i) {
+  const auto n = static_cast<size_t>(name);
+  if (n >= static_cast<size_t>(TraceName::kNumTraceNames) || i < 0 || i > 2) {
+    return nullptr;
+  }
+  return kNames[n].args[i];
+}
+
+TraceContext* GetTraceContext() {
+  thread_local TraceContext ctx;
+  return &ctx;
+}
+
+void SetTraceSampleRate(double rate) {
+  g_sample_threshold.store(ThresholdForRate(rate),
+                           std::memory_order_relaxed);
+}
+
+void ApplyTraceSampleRateOption(double rate) {
+  double env_rate = 0.0;
+  if (EnvSampleRate(&env_rate)) rate = env_rate;
+  SetTraceSampleRate(rate);
+}
+
+double TraceSampleRate() {
+  return static_cast<double>(
+             g_sample_threshold.load(std::memory_order_relaxed)) /
+         4294967296.0;
+}
+
+bool TraceSampleHead() {
+  const uint64_t threshold =
+      g_sample_threshold.load(std::memory_order_relaxed);
+  if (threshold == 0) return false;  // The disarmed default: one load, done.
+  return Xorshift32() < threshold;
+}
+
+uint64_t TraceNowNanos() {
+  g_clock_reads.fetch_add(1, std::memory_order_relaxed);
+  // monkey-lint: io-under-mutex — trace clock read: a vDSO call with no
+  // syscall or blocking; spans never hold annotated mutexes across Env
+  // I/O (the span only wraps the clock and a ring store).
+  const auto now = std::chrono::steady_clock::now();
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          now.time_since_epoch())
+          .count());
+}
+
+uint64_t TraceClockReads() {
+  return g_clock_reads.load(std::memory_order_relaxed);
+}
+
+uint64_t TraceArmer::NextRequestId() {
+  return g_next_request_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+void TraceSpan::Begin() {
+  const uint8_t depth = ctx_->depth();
+  ctx_->set_depth(depth + 1);
+  Record('B', name_, ctx_->request_id(), depth, a0_, a1_, a2_);
+}
+
+void TraceSpan::End() {
+  const uint8_t depth = ctx_->depth();
+  ctx_->set_depth(depth > 0 ? depth - 1 : 0);
+  Record('E', name_, ctx_->request_id(), depth > 0 ? depth - 1 : 0, a0_,
+         a1_, a2_);
+}
+
+void TraceInstantSlow(TraceName name, int64_t a0, int64_t a1, int64_t a2) {
+  TraceContext* ctx = GetTraceContext();
+  Record('I', name, ctx->request_id(), ctx->depth(), a0, a1, a2);
+}
+
+// --- Export ----------------------------------------------------------------
+
+namespace {
+
+void AppendArgsJson(std::string* out, const TraceEvent& e) {
+  char buf[64];
+  *out += "\"args\":{\"request_id\":";
+  snprintf(buf, sizeof(buf), "%llu",
+           static_cast<unsigned long long>(e.request_id));
+  *out += buf;
+  for (int i = 0; i < 3; i++) {
+    const char* arg = TraceArgName(e.name, i);
+    if (arg == nullptr) continue;
+    *out += ",\"";
+    *out += arg;
+    *out += "\":";
+    snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(e.args[i]));
+    *out += buf;
+  }
+  *out += "}";
+}
+
+}  // namespace
+
+std::string DumpTraceJson(uint64_t min_ts_nanos) {
+  const std::vector<TraceEvent> events =
+      FlightRecorder::Global()->Snapshot(min_ts_nanos);
+  std::string out;
+  out.reserve(events.size() * 128 + 64);
+  out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  char buf[96];
+  bool first = true;
+  for (const TraceEvent& e : events) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"name\":\"";
+    out += TraceNameString(e.name);
+    out += "\",\"cat\":\"monkeydb\",\"ph\":\"";
+    out += static_cast<char>(e.phase);
+    out += "\",";
+    if (e.phase == 'I') out += "\"s\":\"t\",";
+    snprintf(buf, sizeof(buf), "\"pid\":1,\"tid\":%u,\"ts\":%.3f,",
+             e.tid, static_cast<double>(e.ts_nanos) / 1e3);
+    out += buf;
+    AppendArgsJson(&out, e);
+    out += "}";
+  }
+  out += "]}\n";
+  return out;
+}
+
+namespace {
+
+void AppendArgsText(std::string* out, TraceName name, const int64_t* args,
+                    uint64_t request_id) {
+  char buf[64];
+  bool any = false;
+  for (int a = 0; a < 3; a++) {
+    const char* arg = TraceArgName(name, a);
+    if (arg == nullptr) continue;
+    *out += any ? ", " : " (";
+    any = true;
+    *out += arg;
+    snprintf(buf, sizeof(buf), "=%lld", static_cast<long long>(args[a]));
+    *out += buf;
+  }
+  if (any) *out += ")";
+  snprintf(buf, sizeof(buf), " req=%llu",
+           static_cast<unsigned long long>(request_id));
+  *out += buf;
+}
+
+}  // namespace
+
+std::string RenderSpanForest(const std::vector<TraceEvent>& events) {
+  // Partition by thread, preserving the snapshot's timestamp order.
+  std::vector<uint32_t> tids;
+  for (const TraceEvent& e : events) {
+    bool seen = false;
+    for (uint32_t t : tids) seen = seen || t == e.tid;
+    if (!seen) tids.push_back(e.tid);
+  }
+  // One line per span/instant/violation, emitted in begin order so
+  // parents precede their children (a readable tree).
+  struct Item {
+    size_t depth = 0;
+    TraceName name = TraceName::kNumTraceNames;
+    uint64_t begin_ts = 0;
+    int64_t dur_nanos = -1;  // -1: instant or unclosed.
+    int64_t args[3] = {0, 0, 0};
+    uint64_t request_id = 0;
+    const char* note = nullptr;  // Violations ("!unmatched end" etc).
+  };
+  std::string out;
+  char buf[128];
+  for (uint32_t tid : tids) {
+    std::vector<Item> items;
+    std::vector<size_t> stack;  // Indices into `items` for open begins.
+    for (const TraceEvent& e : events) {
+      if (e.tid != tid) continue;
+      if (e.phase == 'B') {
+        Item it;
+        it.depth = stack.size();
+        it.name = e.name;
+        it.begin_ts = e.ts_nanos;
+        it.request_id = e.request_id;
+        stack.push_back(items.size());
+        items.push_back(it);
+      } else if (e.phase == 'E') {
+        if (stack.empty() || items[stack.back()].name != e.name) {
+          Item it;
+          it.depth = stack.size();
+          it.name = e.name;
+          it.request_id = e.request_id;
+          it.note = "!unmatched end: ";
+          items.push_back(it);
+          continue;
+        }
+        Item& open = items[stack.back()];
+        stack.pop_back();
+        open.dur_nanos = static_cast<int64_t>(e.ts_nanos - open.begin_ts);
+        for (int a = 0; a < 3; a++) open.args[a] = e.args[a];
+      } else if (e.phase == 'I') {
+        Item it;
+        it.depth = stack.size();
+        it.name = e.name;
+        it.begin_ts = e.ts_nanos;
+        it.request_id = e.request_id;
+        it.note = "";  // Instant marker handled below via dur < 0.
+        for (int a = 0; a < 3; a++) it.args[a] = e.args[a];
+        items.push_back(it);
+      }
+    }
+    for (size_t i : stack) items[i].note = "!unclosed begin: ";
+    snprintf(buf, sizeof(buf), "[tid %u]\n", tid);
+    out += buf;
+    for (const Item& it : items) {
+      out += std::string(2 * (it.depth + 1), ' ');
+      if (it.note != nullptr && it.note[0] == '!') out += it.note;
+      out += TraceNameString(it.name);
+      if (it.dur_nanos >= 0) {
+        snprintf(buf, sizeof(buf), " %.1fus",
+                 static_cast<double>(it.dur_nanos) / 1e3);
+        out += buf;
+      } else if (it.note != nullptr && it.note[0] == '\0') {
+        out += " [instant]";
+      }
+      AppendArgsText(&out, it.name, it.args, it.request_id);
+      out += "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace monkeydb

@@ -23,6 +23,12 @@ constexpr CommandSpec kCommands[] = {
     {CommandId::kDbSize, "dbsize", CommandClass::kAdmin, 1, 1, 1},
     {CommandId::kQuit, "quit", CommandClass::kAdmin, 1, 1, 1},
     {CommandId::kShutdown, "shutdown", CommandClass::kAdmin, 1, 2, 1},
+    // SLOWLOG GET [n] | RESET | LEN (Redis-compatible subcommands; the
+    // entries additionally carry the request's span tree).
+    {CommandId::kSlowlog, "slowlog", CommandClass::kAdmin, 2, 3, 1},
+    // TRACE JSON|TREE [ms]: flight-recorder dump, Chrome JSON or an
+    // indented span-tree text, optionally limited to the last N ms.
+    {CommandId::kTrace, "trace", CommandClass::kAdmin, 1, 3, 1},
 };
 
 // Per-spec arity complaints, built once (the reply borrows the storage).

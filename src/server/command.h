@@ -31,6 +31,8 @@ enum class CommandId {
   kDbSize,
   kQuit,
   kShutdown,
+  kSlowlog,
+  kTrace,
 };
 
 enum class CommandClass { kRead, kWrite, kAdmin };

@@ -7,6 +7,7 @@
 #include <cerrno>
 #include <cstring>
 
+#include "obs/trace.h"
 #include "server/event_loop.h"
 #include "server/server.h"
 
@@ -98,29 +99,41 @@ bool Connection::ProcessInput() {
       if (reads_paused_) return true;  // EPOLLOUT armed; OnWritable retries.
       continue;
     }
-    // Parse one chunk of complete commands.
+    // Parse one chunk of complete commands. The parse span samples
+    // independently of the command runs below it (its armer disarms
+    // before Execute), so parsing cost shows up in traces without
+    // coupling the head-sampling draws.
     pending_.clear();
-    while (pending_.size() < max_pipeline) {
-      std::vector<Slice> args;
-      const RespParser::Result r =
-          parser_.ParseOne(in_.data(), in_.size(), &in_pos_, &args);
-      if (r == RespParser::Result::kNeedMore) break;
-      if (r == RespParser::Result::kProtocolError) {
-        if (metrics() != nullptr) {
-          metrics()->Tick1(Tick::kServerProtocolErrors);
+    {
+      TraceArmer parse_armer(TraceSampleHead());
+      TraceSpan parse_span(TraceName::kServerParse,
+                           static_cast<int64_t>(in_.size() - in_pos_));
+      while (pending_.size() < max_pipeline) {
+        std::vector<Slice> args;
+        const RespParser::Result r =
+            parser_.ParseOne(in_.data(), in_.size(), &in_pos_, &args);
+        if (r == RespParser::Result::kNeedMore) break;
+        if (r == RespParser::Result::kProtocolError) {
+          if (metrics() != nullptr) {
+            metrics()->Tick1(Tick::kServerProtocolErrors);
+          }
+          // Named local: Slice's deleted rvalue-string overload rejects
+          // binding a temporary, even in argument position where it would
+          // be safe.
+          const std::string protocol_error = "ERR " + parser_.error();
+          resp::AppendError(&out_, protocol_error);
+          close_after_flush_ = true;
+          break;
         }
-        // Named local: Slice's deleted rvalue-string overload rejects
-        // binding a temporary, even in argument position where it would
-        // be safe.
-        const std::string protocol_error = "ERR " + parser_.error();
-        resp::AppendError(&out_, protocol_error);
-        close_after_flush_ = true;
-        break;
+        ParsedCommand cmd;
+        cmd.spec = LookupCommand(args[0]);
+        cmd.args = std::move(args);
+        pending_.push_back(std::move(cmd));
       }
-      ParsedCommand cmd;
-      cmd.spec = LookupCommand(args[0]);
-      cmd.args = std::move(args);
-      pending_.push_back(std::move(cmd));
+      if (parse_span.armed()) {
+        parse_span.set_args(static_cast<int64_t>(in_.size() - in_pos_),
+                            static_cast<int64_t>(pending_.size()));
+      }
     }
     if (pending_.empty()) break;
     server_->Execute(this, &pending_);

@@ -10,11 +10,14 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <ctime>
 #include <set>
 #include <utility>
 
 #include "io/uring_env.h"
 #include "obs/exposition.h"
+#include "obs/flight_recorder.h"
+#include "obs/trace.h"
 #include "server/resp.h"
 
 namespace monkeydb {
@@ -125,6 +128,9 @@ Status MonkeyServer::Start(const ServerOptions& options,
   if (options.server_enable_metrics) {
     server->metrics_ = std::make_unique<MetricsRegistry>();
   }
+  // Head-sampling rate for request tracing; a MONKEYDB_TRACE_SAMPLE
+  // environment override wins (DESIGN.md §16).
+  ApplyTraceSampleRateOption(options.trace_sample_rate);
 
   // Shard DBs first: an accepted connection must always find a live
   // engine behind every shard index.
@@ -264,6 +270,10 @@ void MonkeyServer::ExecuteReadRun(Connection* c,
                                   const std::vector<ParsedCommand>& cmds,
                                   size_t begin, size_t end) {
   std::string* out = c->out();
+  // Arm tracing for this run: head-sampled, plus always-on while SLOWLOG
+  // is active so a run that turns out slow has its span tree on capture.
+  const bool slowlog_on = opts_.slowlog_threshold_us > 0;
+  TraceArmer trace_armer(slowlog_on || TraceSampleHead());
 
   // Flatten every key of the run, remembering each command's span.
   struct ReadCmd {
@@ -292,7 +302,12 @@ void MonkeyServer::ExecuteReadRun(Connection* c,
   // singleton stays a plain Get.
   std::vector<std::string> values(keys.size());
   std::vector<Status> statuses(keys.size());
-  const uint64_t start = metrics_ != nullptr ? NowMicros() : 0;
+  const bool timed = metrics_ != nullptr || slowlog_on;
+  const uint64_t start = timed ? NowMicros() : 0;
+  TraceSpan cmd_span(TraceName::kServerCommand,
+                     static_cast<int64_t>(cmds[begin].spec->id),
+                     static_cast<int64_t>(end - begin),
+                     static_cast<int64_t>(keys.size()));
   const ReadOptions ropts;
   if (router_.shards() == 1) {
     if (keys.size() == 1) {
@@ -331,7 +346,11 @@ void MonkeyServer::ExecuteReadRun(Connection* c,
       }
     }
   }
-  const uint64_t elapsed = metrics_ != nullptr ? NowMicros() - start : 0;
+  cmd_span.Finish();
+  const uint64_t elapsed = timed ? NowMicros() - start : 0;
+  if (slowlog_on && elapsed >= opts_.slowlog_threshold_us) {
+    RecordSlowRun(cmds[begin], end - begin, elapsed);
+  }
 
   // Replies, in command order.
   uint64_t n_get = 0, n_mget = 0, n_other = 0;
@@ -393,6 +412,8 @@ void MonkeyServer::ExecuteWriteRun(Connection* c,
                                    size_t begin, size_t end) {
   std::string* out = c->out();
   const size_t nshards = static_cast<size_t>(router_.shards());
+  const bool slowlog_on = opts_.slowlog_threshold_us > 0;
+  TraceArmer trace_armer(slowlog_on || TraceSampleHead());
 
   // DEL needs to report how many of its keys existed; probe them all in
   // one batched existence pass per shard before the deletes commit.
@@ -408,7 +429,11 @@ void MonkeyServer::ExecuteWriteRun(Connection* c,
           .push_back(cmd.args[a]);
     }
   }
-  const uint64_t start = metrics_ != nullptr ? NowMicros() : 0;
+  const bool timed = metrics_ != nullptr || slowlog_on;
+  const uint64_t start = timed ? NowMicros() : 0;
+  TraceSpan cmd_span(TraceName::kServerCommand,
+                     static_cast<int64_t>(cmds[begin].spec->id),
+                     static_cast<int64_t>(end - begin), 0);
   // exists[shard] maps key -> found (a key DEL'd twice in one run counts
   // once per mention, matching sequential semantics closely enough for a
   // batch that commits atomically).
@@ -461,12 +486,22 @@ void MonkeyServer::ExecuteWriteRun(Connection* c,
   }
   std::vector<Status> shard_status(nshards);
   const WriteOptions wopts;  // Durability comes from db_options.sync_writes.
+  int64_t total_ops = 0;
   for (size_t s = 0; s < nshards; ++s) {
     if (batches[s].count() == 0) continue;
+    total_ops += static_cast<int64_t>(batches[s].count());
     shard_status[s] = dbs_[s]->Write(wopts, batches[s]);
     engine_writes_.fetch_add(1, std::memory_order_relaxed);
   }
-  const uint64_t elapsed = metrics_ != nullptr ? NowMicros() - start : 0;
+  if (cmd_span.armed()) {
+    cmd_span.set_args(static_cast<int64_t>(cmds[begin].spec->id),
+                      static_cast<int64_t>(end - begin), total_ops);
+  }
+  cmd_span.Finish();
+  const uint64_t elapsed = timed ? NowMicros() - start : 0;
+  if (slowlog_on && elapsed >= opts_.slowlog_threshold_us) {
+    RecordSlowRun(cmds[begin], end - begin, elapsed);
+  }
 
   // Replies, in command order. A failed shard write fails every command
   // of the run that touched that shard.
@@ -537,7 +572,12 @@ void MonkeyServer::ExecuteAdmin(Connection* c, const ParsedCommand& cmd) {
     resp::AppendError(out, arity_error);
     return;
   }
-  const uint64_t start = metrics_ != nullptr ? NowMicros() : 0;
+  const bool slowlog_on = opts_.slowlog_threshold_us > 0;
+  TraceArmer trace_armer(slowlog_on || TraceSampleHead());
+  const bool timed = metrics_ != nullptr || slowlog_on;
+  const uint64_t start = timed ? NowMicros() : 0;
+  TraceSpan cmd_span(TraceName::kServerAdmin,
+                     static_cast<int64_t>(cmd.spec->id));
   switch (cmd.spec->id) {
     case CommandId::kPing:
       if (cmd.args.size() == 2) {
@@ -580,6 +620,12 @@ void MonkeyServer::ExecuteAdmin(Connection* c, const ParsedCommand& cmd) {
     case CommandId::kScan:
       DoScan(c, cmd);
       break;
+    case CommandId::kSlowlog:
+      DoSlowlog(c, cmd);
+      break;
+    case CommandId::kTrace:
+      DoTrace(c, cmd);
+      break;
     case CommandId::kQuit:
       resp::AppendSimpleString(out, "OK");
       c->CloseAfterFlush();
@@ -593,11 +639,16 @@ void MonkeyServer::ExecuteAdmin(Connection* c, const ParsedCommand& cmd) {
       resp::AppendError(out, "ERR internal: admin dispatch");
       break;
   }
-  if (metrics_ != nullptr) {
+  cmd_span.Finish();
+  if (timed) {
+    const uint64_t elapsed = NowMicros() - start;
+    if (slowlog_on && elapsed >= opts_.slowlog_threshold_us) {
+      RecordSlowRun(cmd, 1, elapsed);
+    }
     RecordCommandLatency(cmd.spec->id == CommandId::kScan
                              ? Hist::kServerScanLatency
                              : Hist::kServerOtherLatency,
-                         NowMicros() - start, 1);
+                         elapsed, 1);
   }
 }
 
@@ -763,6 +814,120 @@ void MonkeyServer::DoConfig(Connection* c, const ParsedCommand& cmd) {
 void MonkeyServer::DoInfo(Connection* c) {
   const std::string info = InfoText();
   resp::AppendBulk(c->out(), info);
+}
+
+// --- SLOWLOG / TRACE --------------------------------------------------
+
+void MonkeyServer::RecordSlowRun(const ParsedCommand& first, size_t run_len,
+                                 uint64_t duration_us) {
+  // Pull this run's spans out of the recorder (and render them) before
+  // taking the slowlog lock.
+  const uint64_t request_id = TraceLastRequestId();
+  std::vector<TraceEvent> mine;
+  for (const TraceEvent& e : FlightRecorder::Global()->Snapshot()) {
+    if (e.request_id == request_id) mine.push_back(e);
+  }
+  SlowlogEntry entry;
+  entry.unix_secs = static_cast<uint64_t>(::time(nullptr));
+  entry.duration_us = duration_us;
+  for (size_t a = 0; a < first.args.size() && a < 8; ++a) {
+    std::string arg = first.args[a].ToString();
+    if (arg.size() > 64) {
+      arg.resize(61);
+      arg += "...";
+    }
+    entry.args.push_back(std::move(arg));
+  }
+  if (first.args.size() > 8) {
+    entry.args.push_back("(+" + U64(first.args.size() - 8) + " more args)");
+  }
+  if (run_len > 1) {
+    entry.args.push_back("(+" + U64(run_len - 1) + " batched commands)");
+  }
+  entry.span_tree = RenderSpanForest(mine);
+  MutexLock lock(slowlog_mu_);
+  entry.id = next_slowlog_id_++;
+  slowlog_.push_back(std::move(entry));
+  while (slowlog_.size() > opts_.slowlog_max_len) slowlog_.pop_front();
+}
+
+void MonkeyServer::DoSlowlog(Connection* c, const ParsedCommand& cmd) {
+  std::string* out = c->out();
+  const Slice& sub = cmd.args[1];
+  if (sub.size() == 3 && strncasecmp(sub.data(), "get", 3) == 0) {
+    // SLOWLOG GET [n]: newest first; n < 0 (Redis convention) = all.
+    long long n = 10;
+    if (cmd.args.size() == 3) {
+      n = atoll(cmd.args[2].ToString().c_str());
+    }
+    MutexLock lock(slowlog_mu_);
+    const size_t count =
+        n < 0 ? slowlog_.size()
+              : std::min<size_t>(slowlog_.size(), static_cast<size_t>(n));
+    resp::AppendArrayHeader(out, count);
+    for (size_t i = 0; i < count; ++i) {
+      const SlowlogEntry& e = slowlog_[slowlog_.size() - 1 - i];
+      resp::AppendArrayHeader(out, 5);
+      resp::AppendInteger(out, static_cast<long long>(e.id));
+      resp::AppendInteger(out, static_cast<long long>(e.unix_secs));
+      resp::AppendInteger(out, static_cast<long long>(e.duration_us));
+      resp::AppendArrayHeader(out, e.args.size());
+      for (const std::string& a : e.args) resp::AppendBulk(out, a);
+      resp::AppendBulk(out, e.span_tree);
+    }
+    return;
+  }
+  if (sub.size() == 5 && strncasecmp(sub.data(), "reset", 5) == 0 &&
+      cmd.args.size() == 2) {
+    {
+      MutexLock lock(slowlog_mu_);
+      slowlog_.clear();
+    }
+    resp::AppendSimpleString(out, "OK");
+    return;
+  }
+  if (sub.size() == 3 && strncasecmp(sub.data(), "len", 3) == 0 &&
+      cmd.args.size() == 2) {
+    MutexLock lock(slowlog_mu_);
+    resp::AppendInteger(out, static_cast<long long>(slowlog_.size()));
+    return;
+  }
+  resp::AppendError(out,
+                    "ERR SLOWLOG subcommand must be GET [n], RESET or LEN");
+}
+
+void MonkeyServer::DoTrace(Connection* c, const ParsedCommand& cmd) {
+  std::string* out = c->out();
+  // TRACE [JSON|TREE] [ms] — a bare "TRACE <ms>" gets the TREE view.
+  bool json = false;
+  size_t ms_arg = 1;
+  if (cmd.args.size() >= 2) {
+    const Slice& sub = cmd.args[1];
+    if (sub.size() == 4 && strncasecmp(sub.data(), "json", 4) == 0) {
+      json = true;
+      ms_arg = 2;
+    } else if (sub.size() == 4 && strncasecmp(sub.data(), "tree", 4) == 0) {
+      ms_arg = 2;
+    } else if (cmd.args.size() == 3) {
+      resp::AppendError(out, "ERR TRACE subcommand must be JSON or TREE");
+      return;
+    }
+  }
+  uint64_t min_ts = 0;
+  if (cmd.args.size() > ms_arg) {
+    const long long ms = atoll(cmd.args[ms_arg].ToString().c_str());
+    if (ms <= 0) {
+      resp::AppendError(out, "ERR invalid trace window (want ms > 0)");
+      return;
+    }
+    const uint64_t now = TraceNowNanos();
+    const uint64_t window = static_cast<uint64_t>(ms) * 1000000ULL;
+    min_ts = now > window ? now - window : 0;
+  }
+  const std::string dump =
+      json ? DumpTraceJson(min_ts)
+           : RenderSpanForest(FlightRecorder::Global()->Snapshot(min_ts));
+  resp::AppendBulk(out, dump);
 }
 
 std::string MonkeyServer::InfoText() const {
@@ -954,12 +1119,34 @@ std::string MonkeyServer::HandleHttpRequest(const Slice& method,
   std::string body;
   const char* status_line = "200 OK";
   const char* content_type = "text/plain; version=0.0.4; charset=utf-8";
-  if (path.compare(Slice("/metrics")) == 0) {
+  // Split any "?query" off the target so /trace can take a window.
+  std::string target(path.data(), path.size());
+  std::string query;
+  const size_t qpos = target.find('?');
+  if (qpos != std::string::npos) {
+    query = target.substr(qpos + 1);
+    target.resize(qpos);
+  }
+  if (target == "/metrics") {
     body = MetricsText();
-  } else if (path.compare(Slice("/healthz")) == 0) {
+  } else if (target == "/healthz") {
     body = "ok\n";
-  } else if (path.compare(Slice("/info")) == 0) {
+  } else if (target == "/info") {
     body = InfoText();
+  } else if (target == "/trace") {
+    // GET /trace[?ms=N]: Chrome/Perfetto JSON of the flight recorder,
+    // optionally limited to the last N milliseconds.
+    uint64_t min_ts = 0;
+    if (query.compare(0, 3, "ms=") == 0) {
+      const long long ms = atoll(query.c_str() + 3);
+      if (ms > 0) {
+        const uint64_t now = TraceNowNanos();
+        const uint64_t window = static_cast<uint64_t>(ms) * 1000000ULL;
+        min_ts = now > window ? now - window : 0;
+      }
+    }
+    body = DumpTraceJson(min_ts);
+    content_type = "application/json";
   } else {
     status_line = "404 Not Found";
     body = "not found\n";

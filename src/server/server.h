@@ -18,6 +18,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
 #include <string>
@@ -130,8 +131,16 @@ class MonkeyServer {
   void DoScan(Connection* c, const ParsedCommand& cmd);
   void DoConfig(Connection* c, const ParsedCommand& cmd);
   void DoInfo(Connection* c);
+  void DoSlowlog(Connection* c, const ParsedCommand& cmd);
+  void DoTrace(Connection* c, const ParsedCommand& cmd);
 
   void RecordCommandLatency(Hist hist, uint64_t micros, uint64_t n);
+
+  // Appends a run (first command + count) to the SLOWLOG ring with its
+  // measured duration and the span tree of the run's trace request id
+  // (the run was armed, so its engine spans are in the flight recorder).
+  void RecordSlowRun(const ParsedCommand& first, size_t run_len,
+                     uint64_t duration_us);
 
   // SCAN cursor registry. Cursors are opaque uint64 tokens handed to the
   // client; state is (shard, last key returned). Bounded: the oldest
@@ -168,6 +177,19 @@ class MonkeyServer {
   std::map<uint64_t, ScanState> scan_cursors_ GUARDED_BY(scan_mu_);
   uint64_t next_cursor_ GUARDED_BY(scan_mu_) = 1;
   uint64_t scan_lru_tick_ GUARDED_BY(scan_mu_) = 0;
+
+  // SLOWLOG ring (slowlog_threshold_us > 0; DESIGN.md §16). Bounded by
+  // slowlog_max_len, oldest out; SLOWLOG GET serves entries newest-first.
+  struct SlowlogEntry {
+    uint64_t id = 0;
+    uint64_t unix_secs = 0;
+    uint64_t duration_us = 0;
+    std::vector<std::string> args;  // First command of the run, truncated.
+    std::string span_tree;          // RenderSpanForest of the run's spans.
+  };
+  mutable Mutex slowlog_mu_;
+  std::deque<SlowlogEntry> slowlog_ GUARDED_BY(slowlog_mu_);
+  uint64_t next_slowlog_id_ GUARDED_BY(slowlog_mu_) = 0;
 };
 
 }  // namespace monkeydb

@@ -22,6 +22,7 @@ void Usage(const char* argv0) {
           "usage: %s [--port N] [--shards N] [--bind ADDR]\n"
           "          [--data-dir PATH] [--max-pipeline N]\n"
           "          [--engine-metrics] [--no-metrics]\n"
+          "          [--slowlog-us N] [--trace-sample R]\n"
           "\n"
           "  --port N          listen port (default 6380; 0 = ephemeral)\n"
           "  --shards N        keyspace shards = DB instances = event-loop\n"
@@ -31,7 +32,12 @@ void Usage(const char* argv0) {
           "                    PATH/shard-<i> (default ./monkeydb-data)\n"
           "  --max-pipeline N  commands coalesced per tick (default 1024)\n"
           "  --engine-metrics  enable the per-shard engine histograms too\n"
-          "  --no-metrics      disable the server metrics registry\n",
+          "  --no-metrics      disable the server metrics registry\n"
+          "  --slowlog-us N    log runs slower than N microseconds, with\n"
+          "                    their span trees (SLOWLOG GET; default off)\n"
+          "  --trace-sample R  head-sample requests into the flight\n"
+          "                    recorder at rate R in [0,1] (TRACE, /trace;\n"
+          "                    MONKEYDB_TRACE_SAMPLE overrides; default 0)\n",
           argv0);
 }
 
@@ -67,6 +73,11 @@ int main(int argc, char** argv) {
       opts.db_options.enable_metrics = true;
     } else if (arg == "--no-metrics") {
       opts.server_enable_metrics = false;
+    } else if (arg == "--slowlog-us") {
+      opts.slowlog_threshold_us =
+          static_cast<uint64_t>(atoll(next("--slowlog-us")));
+    } else if (arg == "--trace-sample") {
+      opts.trace_sample_rate = atof(next("--trace-sample"));
     } else if (arg == "--help" || arg == "-h") {
       Usage(argv[0]);
       return 0;

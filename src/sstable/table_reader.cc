@@ -5,6 +5,7 @@
 
 #include "bloom/bloom_filter.h"
 #include "obs/perf_context.h"
+#include "obs/trace.h"
 #include "util/mutex.h"
 #include "util/thread_annotations.h"
 #include "util/thread_pool.h"
@@ -83,6 +84,7 @@ Status TableReader::ReadBlockShared(
     std::shared_ptr<const std::string>* contents) const {
   // block_read_nanos spans the whole fetch: cache lookup + any disk read.
   PerfTimer read_timer(&GetPerfContext()->block_read_nanos);
+  TraceSpan fetch_span(TraceName::kBlockFetch);
   BlockCache::Key cache_key{options_.cache_file_id, handle.offset};
   if (options_.block_cache != nullptr) {
     bool was_prefetched = false;
@@ -98,6 +100,9 @@ Status TableReader::ReadBlockShared(
         if (was_prefetched) perf->blocks_read_from_prefetch++;
         perf->block_bytes_read += cached->size();
       }
+      if (fetch_span.armed()) {
+        fetch_span.set_args(1, static_cast<int64_t>(cached->size()));
+      }
       *contents = std::move(cached);
       return Status::OK();
     }
@@ -112,6 +117,9 @@ Status TableReader::ReadBlockShared(
     PerfContext* perf = GetPerfContext();
     perf->blocks_read_from_disk++;
     perf->block_bytes_read += raw.size();
+  }
+  if (fetch_span.armed()) {
+    fetch_span.set_args(0, static_cast<int64_t>(raw.size()));
   }
   auto shared_contents = std::make_shared<const std::string>(std::move(raw));
   if (options_.block_cache != nullptr) {
@@ -172,15 +180,19 @@ Status TableReader::ReadBlocksShared(
   // block's final string storage (zero intermediate copy, as in
   // ReadBlockContents).
   PerfTimer read_timer(&GetPerfContext()->block_read_nanos);
+  TraceSpan fetch_span(TraceName::kBlockFetch);
   std::vector<std::string> raws(misses.size());
   std::vector<ReadRequest> reqs(misses.size());
+  int64_t miss_bytes = 0;
   for (size_t m = 0; m < misses.size(); m++) {
     const BlockHandle& handle = handles[misses[m]];
     raws[m].resize(handle.size + kBlockTrailerSize);
     reqs[m].offset = handle.offset;
     reqs[m].n = raws[m].size();
     reqs[m].scratch = raws[m].data();
+    miss_bytes += static_cast<int64_t>(raws[m].size());
   }
+  if (fetch_span.armed()) fetch_span.set_args(0, miss_bytes);
   {
     StopWatch watch(options_.metrics, Hist::kBlockReadLatency);
     Status s = file_->ReadBatch(reqs.data(), reqs.size());
@@ -240,7 +252,9 @@ Status TableReader::FindBlockHandle(const LookupKey& lookup,
   bool may_contain;
   {
     PerfTimer timer(&GetPerfContext()->filter_probe_nanos);
+    TraceSpan filter_span(TraceName::kFilterProbe);
     may_contain = FilterMayContain(lookup.user_key());
+    if (filter_span.armed()) filter_span.set_args(may_contain ? 1 : 0);
   }
   if (!may_contain) {
     if (perf) GetPerfContext()->filter_negatives++;
@@ -251,6 +265,7 @@ Status TableReader::FindBlockHandle(const LookupKey& lookup,
   // 2. Fence pointers (in memory): find the first page whose largest key is
   // >= the lookup internal key.
   if (perf) GetPerfContext()->fence_seeks++;
+  TraceSpan fence_span(TraceName::kFenceSeek);
   auto index_iter = index_block_->NewIterator(options_.comparator);
   index_iter->Seek(lookup.internal_key());
   if (!index_iter->Valid()) {
@@ -261,6 +276,7 @@ Status TableReader::FindBlockHandle(const LookupKey& lookup,
   Slice handle_value = index_iter->value();
   MONKEYDB_RETURN_IF_ERROR(handle->DecodeFrom(&handle_value));
   *state = ProbeState::kBlockNeeded;
+  if (fence_span.armed()) fence_span.set_args(1);
   return Status::OK();
 }
 
